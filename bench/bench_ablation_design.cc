@@ -1,0 +1,229 @@
+// Ablations of the §3 design changes.
+//
+// (i)  Old vs new tap architecture. The original ST-TCP prototype had the
+//      backup receive the primary->client traffic too; under load the
+//      backup's NIC/CPU overloaded, it lagged, and the primary wrongly
+//      declared it failed. The new design carries the needed information
+//      (LastByteReceived / LastAppByteWritten) in the heartbeat instead.
+//      We emulate the old design with a switch egress mirror + promiscuous
+//      backup NIC and measure backup NIC load and (with a slower backup
+//      CPU) whether a false failover occurs.
+//
+// (ii) Missed-byte recovery cost: how long the backup takes to re-converge
+//      after a loss burst, vs. the burst size.
+#include "bench/bench_util.h"
+
+namespace sttcp::bench {
+namespace {
+
+struct TapRun {
+  double backup_rx_mb = 0;
+  double primary_rx_mb = 0;
+  bool false_failover = false;
+  bool complete = false;
+};
+
+TapRun run_tap(bool old_design, sim::Duration backup_cpu,
+               std::uint64_t backup_bw = 0) {
+  ScenarioConfig cfg;
+  cfg.backup_cpu_packet_time = backup_cpu;
+  cfg.backup_link_bandwidth_bps = backup_bw;
+  Scenario sc(std::move(cfg));
+  if (old_design) sc.emulate_old_design_tap();
+  FileServer p_app(sc.primary_stack(), sc.service_port(), 50'000'000);
+  FileServer b_app(sc.backup_stack(), sc.service_port(), 50'000'000);
+  DownloadClient::Options opt;
+  opt.expected_bytes = 50'000'000;
+  DownloadClient client(sc.client_stack(), sc.client_ip(), {sc.connect_addr()}, opt);
+  client.start();
+  sc.run_for(sim::Duration::seconds(60));
+  TapRun out;
+  out.backup_rx_mb =
+      static_cast<double>(sc.backup().nic().stats().rx_bytes) / 1e6;
+  out.primary_rx_mb =
+      static_cast<double>(sc.primary().nic().stats().rx_bytes) / 1e6;
+  out.false_failover = sc.world().trace().count("non_ft_mode") +
+                           sc.world().trace().count("takeover") >
+                       0;
+  out.complete = client.complete() && !client.corrupt();
+  return out;
+}
+
+void run() {
+  print_header("Ablation: §3 design changes",
+               "paper §3 (old tap architecture vs counters-in-heartbeat; "
+               "temporary-loss recovery)");
+
+  std::cout << "-- (i) backup NIC load: old tap vs new design --\n\n";
+  {
+    Table t({"architecture", "backup port", "backup NIC rx (MB)",
+             "primary NIC rx (MB)", "false failover", "transfer ok"});
+    {
+      const TapRun r = run_tap(false, sim::Duration::zero());
+      t.row("new (HB counters)", "100 Mbps", r.backup_rx_mb, r.primary_rx_mb,
+            r.false_failover ? "YES" : "no", ok(r.complete));
+    }
+    {
+      const TapRun r = run_tap(true, sim::Duration::zero());
+      t.row("old (backup taps srv->cli)", "100 Mbps", r.backup_rx_mb,
+            r.primary_rx_mb, r.false_failover ? "YES" : "no", ok(r.complete));
+    }
+    {
+      // The prototype's mitigation: "adding an additional NIC and CPU".
+      const TapRun r = run_tap(true, sim::Duration::zero(), 250'000'000);
+      t.row("old + extra NIC (250 Mbps)", "250 Mbps", r.backup_rx_mb,
+            r.primary_rx_mb, r.false_failover ? "YES" : "no", ok(r.complete));
+    }
+    t.print();
+    std::cout << "\nThe old design doubles the backup's receive load — at line\n"
+                 "rate the tap saturates the backup's port, delays the client\n"
+                 "ACKs behind mirrored data, the backup's app lags, and the\n"
+                 "primary wrongly declares it failed: exactly the §3 anecdote\n"
+                 "('the backup starts lagging behind the primary... interpreted\n"
+                 "as the backup being failed'). The prototype's fix was an\n"
+                 "extra NIC; the new design removes the tap entirely.\n";
+  }
+
+  std::cout << "\n-- (ii) missed-byte recovery after a loss burst --\n"
+               "   (recovery volume tracks detection latency x request rate,\n"
+               "    not burst size: bytes behind the gap buffer out-of-order)\n\n";
+  {
+    Table t({"burst (frames)", "requests", "bytes injected", "failover",
+             "stream intact"});
+    for (const int burst : {2, 8, 32, 64}) {
+      ScenarioConfig cfg;
+      Scenario sc(std::move(cfg));
+      StreamServer p_app(sc.primary_stack(), sc.service_port(), 2000);
+      StreamServer b_app(sc.backup_stack(), sc.service_port(), 2000);
+      StreamClient client(sc.client_stack(), sc.client_ip(), sc.connect_addr(),
+                          2000, 8);
+      client.start();
+      sc.drop_backup_frames_at(sim::Duration::millis(300), burst);
+      sc.run_for(sim::Duration::seconds(15));
+      const auto& tr = sc.world().trace();
+      std::uint64_t injected = 0;
+      for (const auto& e : tr.all("missed_bytes_injected")) {
+        injected += static_cast<std::uint64_t>(e.value);
+      }
+      t.row(burst, tr.count("missed_bytes_request"), injected,
+            tr.count("takeover") + tr.count("non_ft_mode") == 0 ? "none" : "YES?",
+            ok(!client.corrupt() && client.records_completed() > 1000));
+    }
+    t.print();
+  }
+
+  std::cout << "\n-- (iii) hold-buffer sizing: min capacity that avoids non-FT --\n\n";
+  {
+    Table t({"hold buffer", "result", "upload ok"});
+    for (const std::size_t cap : {std::size_t{1} << 20, std::size_t{4} << 20,
+                                  std::size_t{16} << 20}) {
+      ScenarioConfig cfg;
+      cfg.sttcp.hold_buffer_capacity = cap;
+      Scenario sc(std::move(cfg));
+      app::SinkServer p_app(sc.primary_stack(), sc.service_port());
+      app::SinkServer b_app(sc.backup_stack(), sc.service_port());
+      tcp::TcpConnection* conn = nullptr;
+      std::uint64_t sent = 0;
+      auto pump = [&] {
+        while (conn != nullptr) {
+          const std::size_t n = conn->send(app::pattern_bytes(sent, 8192));
+          sent += n;
+          if (n < 8192) break;
+        }
+      };
+      tcp::TcpConnection::Callbacks cb;
+      cb.on_established = [&] { pump(); };
+      cb.on_writable = [&] { pump(); };
+      cb.on_closed = [&](tcp::CloseReason) { conn = nullptr; };
+      conn = &sc.client_stack().connect(sc.client_ip(), sc.connect_addr(),
+                                        std::move(cb));
+      // A short data-only outage toward the backup (~8 ms at ~11 MB/s of
+      // upload is ~90 KB to recover): it must catch up from the hold buffer.
+      sc.world().loop().schedule_after(sim::Duration::millis(300), [&sc] {
+        sc.backup_link().set_drop_filter(
+            [](const net::Bytes& f) { return f.size() > 300; });
+      });
+      sc.world().loop().schedule_after(sim::Duration::millis(308), [&sc] {
+        sc.backup_link().set_drop_filter(nullptr);
+      });
+      sc.run_for(sim::Duration::seconds(10));
+      const auto& tr = sc.world().trace();
+      const char* result = tr.count("hold_overflow") > 0  ? "overflow -> non-FT"
+                           : tr.count("non_ft_mode") > 0  ? "non-FT (lag)"
+                                                          : "recovered";
+      t.row(std::to_string(cap >> 20) + " MB", result, ok(sent > 5'000'000));
+    }
+    t.print();
+    std::cout << "\nSizing law: the backup confirms receipt once per heartbeat,\n"
+                 "so the hold buffer holds ~bandwidth x hb_period (~2.5 MB at\n"
+                 "100 Mbps / 200 ms) in STEADY STATE under sustained upload,\n"
+                 "plus the outage backlog. Buffers below that overflow into\n"
+                 "non-FT mode even without a fault — the quantitative content\n"
+                 "of §2's 'extra TCP receive buffer space'.\n";
+  }
+
+  std::cout << "\n-- (iv) output-commit logger (§4.3 extension) --\n\n";
+  {
+    Table t({"configuration", "takeover", "stream resumed", "logger bytes"});
+    for (const bool with_logger : {false, true}) {
+      ScenarioConfig cfg;
+      cfg.enable_logger = with_logger;
+      Scenario sc(std::move(cfg));
+      app::SinkServer p_app(sc.primary_stack(), sc.service_port(), true);
+      app::SinkServer b_app(sc.backup_stack(), sc.service_port(), true);
+      tcp::TcpConnection* conn = nullptr;
+      std::uint64_t sent = 0;
+      auto pump = [&] {
+        while (conn != nullptr) {
+          const std::size_t n = conn->send(app::pattern_bytes(sent, 8192));
+          sent += n;
+          if (n < 8192) break;
+        }
+      };
+      tcp::TcpConnection::Callbacks cb;
+      cb.on_established = [&] { pump(); };
+      cb.on_writable = [&] { pump(); };
+      cb.on_closed = [&](tcp::CloseReason) { conn = nullptr; };
+      conn = &sc.client_stack().connect(sc.client_ip(), sc.connect_addr(),
+                                        std::move(cb));
+      // Gap toward the backup, then the primary dies before serving the
+      // catch-up: the classic output-commit hole.
+      sc.world().loop().schedule_after(sim::Duration::millis(300), [&sc] {
+        sc.backup_link().set_drop_filter(
+            [](const net::Bytes& f) { return f.size() > 300; });
+      });
+      sc.world().loop().schedule_after(sim::Duration::millis(320), [&sc] {
+        sc.backup_link().set_drop_filter(nullptr);
+        sc.primary().crash("during catch-up window");
+      });
+      const std::uint64_t mark = [&] {
+        sc.run_for(sim::Duration::seconds(2));
+        return sent;
+      }();
+      sc.run_for(sim::Duration::seconds(8));
+      const auto& tr = sc.world().trace();
+      std::uint64_t logger_bytes = 0;
+      for (const auto& e : tr.all("logger_injected")) {
+        logger_bytes += static_cast<std::uint64_t>(e.value);
+      }
+      t.row(with_logger ? "with stream logger" : "without (paper default)",
+            tr.count("takeover") > 0 ? "yes" : "no",
+            sent > mark + 5'000'000 ? "yes" : "WEDGED (unrecoverable)",
+            logger_bytes);
+    }
+    t.print();
+    std::cout << "\nWithout the logger, a primary death during the backup's\n"
+                 "catch-up window leaves a hole the client will never\n"
+                 "retransmit (the dead primary acked those bytes): the paper\n"
+                 "calls this unrecoverable. The logger replays them and the\n"
+                 "stream resumes.\n";
+  }
+}
+
+}  // namespace
+}  // namespace sttcp::bench
+
+int main() {
+  sttcp::bench::run();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Demo 2: Dependence of Failover Time on HB Frequency.
+//
+// Failover time = failure-detection time (miss_threshold x hb_period) plus
+// the wait until the next client/backup retransmission (both back off
+// exponentially while the primary is silent). The paper demos 200 ms,
+// 500 ms and 1 s heartbeat periods; we sweep those plus the miss threshold
+// and the takeover retransmission policy.
+#include "bench/bench_util.h"
+
+namespace sttcp::bench {
+namespace {
+
+DownloadRun one(sim::Duration hb_period, int miss_threshold, bool immediate_rtx,
+                std::uint64_t seed = 1) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.sttcp.hb_period = hb_period;
+  cfg.sttcp.hb_miss_threshold = miss_threshold;
+  cfg.sttcp.immediate_retransmit_on_takeover = immediate_rtx;
+  DownloadSpec spec;
+  spec.file_size = 60'000'000;
+  spec.failure = DownloadSpec::FailureKind::kHwCrashPrimary;
+  spec.crash_at = sim::Duration::millis(1700);
+  return run_download(std::move(cfg), spec);
+}
+
+void run() {
+  print_header("Demo 2: failover time vs heartbeat frequency",
+               "paper §5 Demo 2 (HB periods 200ms / 500ms / 1s)");
+
+  {
+    Table t({"HB period", "detect (ms)", "takeover (ms)", "client glitch (ms)",
+             "completed", "intact"});
+    for (const auto period : {sim::Duration::millis(200), sim::Duration::millis(500),
+                              sim::Duration::seconds(1)}) {
+      const DownloadRun r = one(period, 3, false);
+      t.row(period.str(), r.detection_ms, r.takeover_ms, r.max_stall_ms,
+            ok(r.complete), ok(!r.corrupt));
+    }
+    t.print();
+  }
+
+  std::cout << "\n-- sweep: miss threshold (HB period 200ms) --\n\n";
+  {
+    Table t({"miss threshold", "detect (ms)", "client glitch (ms)"});
+    for (int miss = 2; miss <= 6; ++miss) {
+      const DownloadRun r = one(sim::Duration::millis(200), miss, false);
+      t.row(miss, r.detection_ms, r.max_stall_ms);
+    }
+    t.print();
+  }
+
+  std::cout << "\n-- ablation: immediate retransmit on takeover (beyond-paper) --\n\n";
+  {
+    Table t({"HB period", "policy", "client glitch (ms)"});
+    for (const auto period : {sim::Duration::millis(200), sim::Duration::millis(500),
+                              sim::Duration::seconds(1)}) {
+      const DownloadRun wait = one(period, 3, false);
+      const DownloadRun imm = one(period, 3, true);
+      t.row(period.str(), "wait for timer (paper)", wait.max_stall_ms);
+      t.row(period.str(), "immediate retransmit", imm.max_stall_ms);
+    }
+    t.print();
+  }
+
+  std::cout << "\n-- bidirectional traffic (client also sending, per the paper) --\n\n";
+  {
+    Table t({"HB period", "stream stall (ms)", "stream intact"});
+    for (const auto period : {sim::Duration::millis(200), sim::Duration::millis(500),
+                              sim::Duration::seconds(1)}) {
+      ScenarioConfig cfg;
+      cfg.sttcp.hb_period = period;
+      Scenario sc(std::move(cfg));
+      StreamServer p_app(sc.primary_stack(), sc.service_port(), 4000);
+      StreamServer b_app(sc.backup_stack(), sc.service_port(), 4000);
+      StreamClient client(sc.client_stack(), sc.client_ip(), sc.connect_addr(),
+                          4000, 8);
+      client.start();
+      sc.crash_primary_at(sim::Duration::millis(1700));
+      sc.run_for(sim::Duration::seconds(30));
+      t.row(period.str(), client.max_stall().to_millis(),
+            ok(!client.corrupt() && !client.closed()));
+    }
+    t.print();
+  }
+
+  std::cout << "\nExpected shape (paper): failover time grows with the HB\n"
+               "period — detection is ~miss_threshold x period, and the\n"
+               "backed-off retransmission timers add a period-correlated\n"
+               "tail that immediate retransmission removes.\n";
+}
+
+}  // namespace
+}  // namespace sttcp::bench
+
+int main() {
+  sttcp::bench::run();
+  return 0;
+}

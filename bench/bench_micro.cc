@@ -1,0 +1,122 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the substrate:
+// codecs, checksums, reassembly, the event loop, and a full simulated
+// transfer (simulated seconds per wall second).
+#include <benchmark/benchmark.h>
+
+#include "app/client.h"
+#include "app/server.h"
+#include "harness/scenario.h"
+#include "net/checksum.h"
+#include "sttcp/messages.h"
+#include "tcp/reassembly.h"
+#include "tcp/segment.h"
+
+namespace sttcp {
+namespace {
+
+void BM_InternetChecksum(benchmark::State& state) {
+  const net::Bytes data(static_cast<std::size_t>(state.range(0)), 0xa5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::internet_checksum(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(64)->Arg(1460)->Arg(65536);
+
+void BM_TcpSegmentSerialize(benchmark::State& state) {
+  tcp::TcpSegment seg;
+  seg.payload = net::Bytes(1460, 0x5a);
+  seg.flags.ack = true;
+  const net::Ipv4Addr a(10, 0, 0, 1), b(10, 0, 0, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seg.serialize(a, b));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1480);
+}
+BENCHMARK(BM_TcpSegmentSerialize);
+
+void BM_TcpSegmentParse(benchmark::State& state) {
+  tcp::TcpSegment seg;
+  seg.payload = net::Bytes(1460, 0x5a);
+  seg.flags.ack = true;
+  const net::Ipv4Addr a(10, 0, 0, 1), b(10, 0, 0, 2);
+  const net::Bytes wire = seg.serialize(a, b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tcp::TcpSegment::parse(a, b, wire, true));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1480);
+}
+BENCHMARK(BM_TcpSegmentParse);
+
+void BM_HeartbeatSerialize(benchmark::State& state) {
+  sttcp::HeartbeatMsg msg;
+  for (int i = 0; i < state.range(0); ++i) {
+    sttcp::HbRecord r;
+    r.repl_id = static_cast<std::uint16_t>(i);
+    msg.records.push_back(r);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(msg.serialize());
+  }
+}
+BENCHMARK(BM_HeartbeatSerialize)->Arg(1)->Arg(100);
+
+void BM_ReassemblyInOrder(benchmark::State& state) {
+  const net::Bytes chunk(1460, 0x11);
+  for (auto _ : state) {
+    state.PauseTiming();
+    tcp::ReassemblyBuffer rb(1 << 20);
+    state.ResumeTiming();
+    std::uint64_t off = 0;
+    for (int i = 0; i < 64; ++i) {
+      rb.insert(off, chunk);
+      off += chunk.size();
+      if (rb.window() < chunk.size()) rb.read(1 << 20);
+    }
+    benchmark::DoNotOptimize(rb.read(1 << 20));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 64 * 1460);
+}
+BENCHMARK(BM_ReassemblyInOrder);
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      loop.schedule_at(sim::SimTime::from_ns(i * 100), [&sink] { ++sink; });
+    }
+    loop.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_EventLoopScheduleRun);
+
+void BM_SimulatedTransferThroughput(benchmark::State& state) {
+  // How much simulated work one wall-clock second buys: a full 10 MB
+  // ST-TCP-replicated download per iteration.
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    harness::ScenarioConfig cfg;
+    harness::Scenario sc(std::move(cfg));
+    app::FileServer p(sc.primary_stack(), sc.service_port(), 10'000'000);
+    app::FileServer b(sc.backup_stack(), sc.service_port(), 10'000'000);
+    app::DownloadClient::Options opt;
+    opt.expected_bytes = 10'000'000;
+    app::DownloadClient client(sc.client_stack(), sc.client_ip(),
+                               {sc.connect_addr()}, opt);
+    client.start();
+    sc.run_for(sim::Duration::seconds(10));
+    bytes += client.received();
+    benchmark::DoNotOptimize(client.complete());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_SimulatedTransferThroughput)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sttcp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// §3 sizing: the serial heartbeat channel.
+//
+// "The HB is less than 20 bytes per TCP connection, and assuming a HB every
+// 200ms, this translates to a bandwidth of 0.8 kbps per TCP connection.
+// Thus, the serial link provides enough bandwidth for around 100
+// simultaneous TCP connections."
+//
+// This bench sweeps the connection count and reports the serial channel's
+// load and health, reproducing the ~100-connection ceiling.
+#include "bench/bench_util.h"
+#include "sttcp/messages.h"
+
+namespace sttcp::bench {
+namespace {
+
+void run() {
+  print_header("Serial heartbeat capacity",
+               "paper §3 (115.2 kbps RS-232, <20 B/connection, ~100 conns)");
+
+  // Analytic part: wire cost per heartbeat record.
+  {
+    ::sttcp::sttcp::HeartbeatMsg m;
+    const std::size_t header = m.serialize().size();
+    ::sttcp::sttcp::HbRecord r;
+    r.repl_id = 1;
+    m.records.push_back(r);
+    const std::size_t per_conn = m.serialize().size() - header;
+    std::cout << "heartbeat header: " << header << " B, per-connection record: "
+              << per_conn << " B (paper claims < 20 B)\n";
+    Table t({"connections", "HB size (B)", "serial load @200ms (kbps)",
+             "fits 115.2 kbps"});
+    for (const int n : {1, 10, 50, 100, 150, 200}) {
+      const std::size_t hb = header + static_cast<std::size_t>(n) * per_conn;
+      const double kbps =
+          (hb + net::SerialLink::kFramingBytes) * net::SerialLink::kBitsPerByte *
+          5.0 / 1000.0;
+      t.row(n, hb, kbps, kbps < 115.2 ? "yes" : "NO");
+    }
+    t.print();
+  }
+
+  // Empirical part: run the scenario with N live connections and observe
+  // the serial channel.
+  std::cout << "\n-- empirical: N live record-stream connections --\n\n";
+  {
+    Table t({"connections", "serial queue (ms)", "serial HB alive",
+             "false failover"});
+    for (const int n : {10, 50, 100, 140}) {
+      ScenarioConfig cfg;
+      Scenario sc(std::move(cfg));
+      StreamServer p_app(sc.primary_stack(), sc.service_port(), 100);
+      StreamServer b_app(sc.backup_stack(), sc.service_port(), 100);
+      std::vector<std::unique_ptr<StreamClient>> clients;
+      for (int i = 0; i < n; ++i) {
+        clients.push_back(std::make_unique<StreamClient>(
+            sc.client_stack(), sc.client_ip(), sc.connect_addr(), 100, 1));
+        clients.back()->start();
+      }
+      sc.run_for(sim::Duration::seconds(8));
+      const bool failover = sc.world().trace().count("takeover") +
+                                sc.world().trace().count("non_ft_mode") >
+                            0;
+      t.row(n, sc.serial().queue_delay(0).to_millis(),
+            ok(sc.primary_endpoint()->serial_channel_alive()),
+            failover ? "YES" : "no");
+    }
+    t.print();
+  }
+
+  std::cout << "\nExpected shape (paper): comfortably under the 115.2 kbps\n"
+               "ceiling up to ~100 connections; beyond that the serial\n"
+               "channel saturates (growing queue) and an Ethernet crossover\n"
+               "cable should replace it.\n";
+}
+
+}  // namespace
+}  // namespace sttcp::bench
+
+int main() {
+  sttcp::bench::run();
+  return 0;
+}

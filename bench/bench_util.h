@@ -1,0 +1,157 @@
+// Shared plumbing for the demo benchmarks: canned workloads over the
+// Figure-2 scenario, returning the client-side metrics each table reports.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "app/client.h"
+#include "app/server.h"
+#include "harness/scenario.h"
+#include "harness/table.h"
+
+namespace sttcp::bench {
+
+using app::DownloadClient;
+using app::FileServer;
+using app::StreamClient;
+using app::StreamServer;
+using harness::Scenario;
+using harness::ScenarioConfig;
+using harness::Table;
+
+struct DownloadRun {
+  bool complete = false;
+  bool corrupt = true;
+  std::uint64_t received = 0;
+  int connection_failures = 0;
+  int connects = 0;
+  double transfer_secs = 0;
+  double max_stall_ms = 0;
+  double detection_ms = -1;   // crash -> detection event
+  double takeover_ms = -1;    // crash -> takeover
+  std::uint64_t hb_sent = 0;
+  std::string outcome;        // takeover / non_ft / none
+};
+
+struct DownloadSpec {
+  std::uint64_t file_size = 20'000'000;
+  sim::Duration crash_at = sim::Duration::zero();  // zero = no failure
+  enum class FailureKind {
+    kNone,
+    kHwCrashPrimary,
+    kHwCrashBackup,
+    kAppHangPrimary,
+    kAppHangBackup,
+    kAppFinPrimary,
+    kAppFinBackup,
+    kAppRstPrimary,
+    kAppRstBackup,
+    kNicPrimary,
+    kNicBackup,
+  } failure = FailureKind::kNone;
+  sim::Duration run_limit = sim::Duration::seconds(300);
+  /// Baseline client behaviour (plain TCP): reconnect via stall timeout.
+  bool baseline_reconnect = false;
+  sim::Duration stall_timeout = sim::Duration::seconds(5);
+};
+
+inline DownloadRun run_download(ScenarioConfig cfg, const DownloadSpec& spec) {
+  Scenario sc(std::move(cfg));
+  FileServer p_app(sc.primary_stack(), sc.service_port(), spec.file_size);
+  FileServer b_app(sc.backup_stack(), sc.service_port(), spec.file_size);
+
+  DownloadClient::Options opt;
+  opt.expected_bytes = spec.file_size;
+  std::vector<net::SocketAddr> servers{sc.connect_addr()};
+  if (spec.baseline_reconnect) {
+    opt.reconnect = true;
+    opt.reconnect_delay = sim::Duration::millis(10);
+    opt.stall_timeout = spec.stall_timeout;
+    servers.push_back(sc.backup_addr());
+  }
+  DownloadClient client(sc.client_stack(), sc.client_ip(), servers, opt);
+  client.start();
+
+  using FK = DownloadSpec::FailureKind;
+  switch (spec.failure) {
+    case FK::kNone:
+      break;
+    case FK::kHwCrashPrimary:
+      sc.crash_primary_at(spec.crash_at);
+      break;
+    case FK::kHwCrashBackup:
+      sc.crash_backup_at(spec.crash_at);
+      break;
+    case FK::kAppHangPrimary:
+      sc.world().loop().schedule_after(spec.crash_at, [&p_app] { p_app.hang(); });
+      break;
+    case FK::kAppHangBackup:
+      sc.world().loop().schedule_after(spec.crash_at, [&b_app] { b_app.hang(); });
+      break;
+    case FK::kAppFinPrimary:
+      sc.world().loop().schedule_after(spec.crash_at,
+                                       [&p_app] { p_app.crash_clean(); });
+      break;
+    case FK::kAppFinBackup:
+      sc.world().loop().schedule_after(spec.crash_at,
+                                       [&b_app] { b_app.crash_clean(); });
+      break;
+    case FK::kAppRstPrimary:
+      sc.world().loop().schedule_after(spec.crash_at,
+                                       [&p_app] { p_app.crash_abort(); });
+      break;
+    case FK::kAppRstBackup:
+      sc.world().loop().schedule_after(spec.crash_at,
+                                       [&b_app] { b_app.crash_abort(); });
+      break;
+    case FK::kNicPrimary:
+      sc.fail_primary_nic_at(spec.crash_at);
+      break;
+    case FK::kNicBackup:
+      sc.fail_backup_nic_at(spec.crash_at);
+      break;
+  }
+
+  sc.run_for(spec.run_limit);
+
+  DownloadRun out;
+  out.complete = client.complete();
+  out.corrupt = client.corrupt();
+  out.received = client.received();
+  out.connection_failures = client.connection_failures();
+  out.connects = client.connects();
+  if (client.complete()) {
+    out.transfer_secs = (client.completed_at() - client.started_at()).to_seconds();
+  }
+  out.max_stall_ms = client.max_stall().to_millis();
+  const auto& tr = sc.world().trace();
+  const sim::SimTime crash_time = sim::SimTime::zero() + spec.crash_at;
+  for (const char* ev : {"peer_dead", "app_failure_detected", "nic_failure_detected",
+                         "fin_disagreement", "hold_overflow", "watchdog_failure"}) {
+    if (auto t = tr.first_time(ev)) {
+      out.detection_ms = (*t - crash_time).to_millis();
+      break;
+    }
+  }
+  if (auto t = tr.first_time("takeover")) {
+    out.takeover_ms = (*t - crash_time).to_millis();
+    out.outcome = "takeover";
+  } else if (tr.count("non_ft_mode") > 0) {
+    out.outcome = "non_ft";
+  } else {
+    out.outcome = "none";
+  }
+  if (auto* ep = sc.primary_endpoint()) out.hb_sent = ep->stats().hb_sent;
+  return out;
+}
+
+inline const char* ok(bool b) { return b ? "yes" : "NO"; }
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "Reproduces: " << paper_ref << "\n\n";
+}
+
+}  // namespace sttcp::bench

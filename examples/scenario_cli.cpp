@@ -1,0 +1,184 @@
+// scenario_cli: a command-line driver for the ST-TCP simulator — run any
+// single-failure scenario with chosen parameters and get a report. The tool
+// an operator would use to explore configurations before deployment.
+//
+//   $ ./examples/scenario_cli --failure=primary-crash --hb-ms=500 --size-mb=50
+//   $ ./examples/scenario_cli --failure=backup-nic --seed=7 --logger
+//   $ ./examples/scenario_cli --list
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "app/client.h"
+#include "app/server.h"
+#include "harness/scenario.h"
+
+namespace app = sttcp::app;
+namespace sim = sttcp::sim;
+using sttcp::harness::Scenario;
+using sttcp::harness::ScenarioConfig;
+
+namespace {
+
+struct Options {
+  std::string failure = "primary-crash";
+  int hb_ms = 200;
+  int miss = 3;
+  std::uint64_t size_mb = 40;
+  std::uint64_t seed = 1;
+  int crash_ms = 1000;
+  bool logger = false;
+  bool no_sttcp = false;
+  bool trace = false;
+};
+
+const char* const kFailures[] = {
+    "none",         "primary-crash", "backup-crash",  "primary-app-hang",
+    "backup-app-hang", "primary-app-fin", "backup-app-fin", "primary-nic",
+    "backup-nic",   "serial-cut",    "backup-loss",
+};
+
+void usage() {
+  std::puts(
+      "scenario_cli — run one ST-TCP failure scenario and report\n"
+      "  --failure=<kind>   failure to inject (see --list; default primary-crash)\n"
+      "  --hb-ms=<n>        heartbeat period in ms (default 200)\n"
+      "  --miss=<n>         heartbeat miss threshold (default 3)\n"
+      "  --size-mb=<n>      file size the client downloads (default 40)\n"
+      "  --crash-ms=<n>     injection time in ms (default 1000)\n"
+      "  --seed=<n>         simulation seed (default 1)\n"
+      "  --logger           add the stream-logger host\n"
+      "  --no-sttcp         plain TCP baseline (no replication)\n"
+      "  --trace            dump the full event trace at the end\n"
+      "  --list             list failure kinds and exit\n");
+}
+
+bool parse_flag(const char* arg, const char* name, std::string& out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    out = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (std::strcmp(argv[i], "--help") == 0) {
+      usage();
+      return 0;
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      for (const char* f : kFailures) std::printf("%s\n", f);
+      return 0;
+    } else if (std::strcmp(argv[i], "--logger") == 0) {
+      opt.logger = true;
+    } else if (std::strcmp(argv[i], "--no-sttcp") == 0) {
+      opt.no_sttcp = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      opt.trace = true;
+    } else if (parse_flag(argv[i], "--failure", v)) {
+      opt.failure = v;
+    } else if (parse_flag(argv[i], "--hb-ms", v)) {
+      opt.hb_ms = std::atoi(v.c_str());
+    } else if (parse_flag(argv[i], "--miss", v)) {
+      opt.miss = std::atoi(v.c_str());
+    } else if (parse_flag(argv[i], "--size-mb", v)) {
+      opt.size_mb = static_cast<std::uint64_t>(std::atoll(v.c_str()));
+    } else if (parse_flag(argv[i], "--crash-ms", v)) {
+      opt.crash_ms = std::atoi(v.c_str());
+    } else if (parse_flag(argv[i], "--seed", v)) {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(v.c_str()));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      usage();
+      return 2;
+    }
+  }
+
+  ScenarioConfig cfg;
+  cfg.seed = opt.seed;
+  cfg.enable_sttcp = !opt.no_sttcp;
+  cfg.enable_logger = opt.logger;
+  cfg.sttcp.hb_period = sim::Duration::millis(opt.hb_ms);
+  cfg.sttcp.hb_miss_threshold = opt.miss;
+  Scenario sc(std::move(cfg));
+
+  const std::uint64_t size = opt.size_mb * 1'000'000;
+  app::FileServer p_app(sc.primary_stack(), sc.service_port(), size);
+  app::FileServer b_app(sc.backup_stack(), sc.service_port(), size);
+  app::DownloadClient::Options copt;
+  copt.expected_bytes = size;
+  app::DownloadClient client(sc.client_stack(), sc.client_ip(),
+                             {sc.connect_addr()}, copt);
+  client.start();
+
+  const auto at = sim::Duration::millis(opt.crash_ms);
+  if (opt.failure == "none") {
+  } else if (opt.failure == "primary-crash") {
+    sc.crash_primary_at(at);
+  } else if (opt.failure == "backup-crash") {
+    sc.crash_backup_at(at);
+  } else if (opt.failure == "primary-app-hang") {
+    sc.world().loop().schedule_after(at, [&] { p_app.hang(); });
+  } else if (opt.failure == "backup-app-hang") {
+    sc.world().loop().schedule_after(at, [&] { b_app.hang(); });
+  } else if (opt.failure == "primary-app-fin") {
+    sc.world().loop().schedule_after(at, [&] { p_app.crash_clean(); });
+  } else if (opt.failure == "backup-app-fin") {
+    sc.world().loop().schedule_after(at, [&] { b_app.crash_clean(); });
+  } else if (opt.failure == "primary-nic") {
+    sc.fail_primary_nic_at(at);
+  } else if (opt.failure == "backup-nic") {
+    sc.fail_backup_nic_at(at);
+  } else if (opt.failure == "serial-cut") {
+    sc.fail_serial_at(at);
+  } else if (opt.failure == "backup-loss") {
+    sc.drop_backup_frames_at(at, 12);
+  } else {
+    std::fprintf(stderr, "unknown failure kind '%s' (see --list)\n",
+                 opt.failure.c_str());
+    return 2;
+  }
+
+  sc.run_for(sim::Duration::seconds(240));
+
+  std::printf("scenario:    %s (hb=%dms, miss=%d, seed=%llu%s%s)\n",
+              opt.failure.c_str(), opt.hb_ms, opt.miss,
+              static_cast<unsigned long long>(opt.seed),
+              opt.no_sttcp ? ", plain TCP" : "", opt.logger ? ", +logger" : "");
+  std::printf("download:    %s (%llu / %llu bytes, %s)\n",
+              client.complete() ? "complete" : "INCOMPLETE",
+              static_cast<unsigned long long>(client.received()),
+              static_cast<unsigned long long>(size),
+              client.corrupt() ? "CORRUPT" : "verified");
+  if (client.complete()) {
+    std::printf("transfer:    %.3f s\n",
+                (client.completed_at() - client.started_at()).to_seconds());
+  }
+  std::printf("client view: %d connection failure(s), longest stall %s\n",
+              client.connection_failures(), client.max_stall().str().c_str());
+  const auto& tr = sc.world().trace();
+  for (const char* ev :
+       {"peer_dead", "app_failure_detected", "nic_failure_detected",
+        "hold_overflow", "watchdog_failure"}) {
+    if (auto t = tr.first_time(ev)) {
+      std::printf("detection:   %s at t=%s\n", ev, t->str().c_str());
+      break;
+    }
+  }
+  if (auto t = tr.first_time("takeover")) {
+    std::printf("recovery:    backup takeover at t=%s\n", t->str().c_str());
+  } else if (tr.count("non_ft_mode") > 0) {
+    std::printf("recovery:    primary continued non-fault-tolerant\n");
+  } else {
+    std::printf("recovery:    none needed\n");
+  }
+  if (opt.trace) std::printf("\n--- trace ---\n%s", tr.dump().c_str());
+  return client.corrupt() ? 1 : 0;
+}

@@ -1,0 +1,123 @@
+// Client applications with built-in measurement.
+//
+// DownloadClient is the paper's GUI pie-chart client reduced to its
+// observables: it records a (time, cumulative-bytes) timeline while
+// downloading, verifies every byte against the shared pattern, counts
+// connection failures, and can fail over to an alternate server address by
+// reconnecting — the "without ST-TCP, the client would have to re-connect"
+// baseline of Demo 1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "app/pattern.h"
+#include "tcp/stack.h"
+
+namespace sttcp::app {
+
+class DownloadClient {
+ public:
+  struct Options {
+    /// Stop (success) after this many bytes; the FileServer's close also
+    /// completes the download.
+    std::uint64_t expected_bytes = 0;
+    /// On connection failure before completion, reconnect (to the next
+    /// address in `servers`) after this delay. Zero disables reconnection.
+    sim::Duration reconnect_delay = sim::Duration::zero();
+    bool reconnect = false;
+    /// Application-level liveness: if no bytes arrive for this long while
+    /// the download is incomplete, abort the connection (the paper's GUI
+    /// user watching a frozen pie chart). Zero disables.
+    sim::Duration stall_timeout = sim::Duration::zero();
+  };
+
+  struct Sample {
+    sim::SimTime at;
+    std::uint64_t total_bytes;
+  };
+
+  DownloadClient(tcp::TcpStack& stack, net::Ipv4Addr local_ip,
+                 std::vector<net::SocketAddr> servers, Options opt);
+  ~DownloadClient();
+
+  void start();
+
+  // --- results ---------------------------------------------------------------
+  bool complete() const { return complete_; }
+  bool corrupt() const { return corrupt_; }
+  std::uint64_t received() const { return received_; }
+  /// Bytes received on the CURRENT connection (resets on reconnect).
+  std::uint64_t received_this_conn() const { return conn_received_; }
+  int connection_failures() const { return connection_failures_; }
+  int connects() const { return connects_; }
+  sim::SimTime completed_at() const { return completed_at_; }
+  sim::SimTime started_at() const { return started_at_; }
+  const std::vector<Sample>& timeline() const { return timeline_; }
+
+  /// Longest gap between consecutive receive events strictly inside the
+  /// transfer — the client-visible failover time (Demo 1/2).
+  sim::Duration max_stall() const;
+  /// When the longest stall began (lets benches correlate with the crash).
+  sim::SimTime max_stall_start() const;
+
+ private:
+  void connect();
+  void on_readable();
+  void on_closed(tcp::CloseReason reason);
+
+  tcp::TcpStack& stack_;
+  net::Ipv4Addr local_ip_;
+  std::vector<net::SocketAddr> servers_;
+  Options opt_;
+  tcp::TcpConnection* conn_ = nullptr;
+
+  std::uint64_t received_ = 0;       // across reconnects (for progress)
+  std::uint64_t conn_received_ = 0;  // verified against pattern per-connection
+  bool corrupt_ = false;
+  bool complete_ = false;
+  int connection_failures_ = 0;
+  int connects_ = 0;
+  std::size_t next_server_ = 0;
+  sim::SimTime started_at_;
+  sim::SimTime completed_at_;
+  std::vector<Sample> timeline_;
+  std::unique_ptr<sim::OneShotTimer> stall_timer_;
+};
+
+/// Drives a StreamServer: sends a request byte whenever fewer than
+/// `pipeline` records are outstanding, verifies the response stream.
+class StreamClient {
+ public:
+  StreamClient(tcp::TcpStack& stack, net::Ipv4Addr local_ip, net::SocketAddr server,
+               std::size_t record_size, int pipeline = 4);
+
+  void start();
+  void stop();  // graceful close
+
+  std::uint64_t records_completed() const { return received_ / record_size_; }
+  std::uint64_t received() const { return received_; }
+  bool corrupt() const { return corrupt_; }
+  bool closed() const { return closed_; }
+  sim::Duration max_stall() const;
+
+ private:
+  void maybe_request();
+  void on_readable();
+
+  tcp::TcpStack& stack_;
+  net::Ipv4Addr local_ip_;
+  net::SocketAddr server_;
+  std::size_t record_size_;
+  std::uint64_t pipeline_;
+  tcp::TcpConnection* conn_ = nullptr;
+  std::uint64_t requested_ = 0;  // records requested
+  std::uint64_t received_ = 0;   // payload bytes verified
+  bool corrupt_ = false;
+  bool closed_ = false;
+  bool stopping_ = false;
+  std::vector<sim::SimTime> rx_times_;
+};
+
+}  // namespace sttcp::app

@@ -1,0 +1,32 @@
+// Deterministic payload generator shared by servers, clients, tests and
+// benches: byte i of the stream is a pure function of i, so any receiver can
+// verify integrity at any offset — including across an ST-TCP failover,
+// where the bytes before the crash came from the primary and the bytes
+// after it from the backup.
+#pragma once
+
+#include <cstdint>
+
+#include "net/bytes.h"
+
+namespace sttcp::app {
+
+inline std::uint8_t pattern_byte(std::uint64_t offset) {
+  return static_cast<std::uint8_t>((offset * 131) ^ (offset >> 8));
+}
+
+inline net::Bytes pattern_bytes(std::uint64_t offset, std::size_t n) {
+  net::Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = pattern_byte(offset + i);
+  return b;
+}
+
+/// Verifies a chunk against the pattern; returns false on any mismatch.
+inline bool pattern_verify(std::uint64_t offset, net::BytesView data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] != pattern_byte(offset + i)) return false;
+  }
+  return true;
+}
+
+}  // namespace sttcp::app

@@ -1,0 +1,165 @@
+#include "app/server.h"
+
+namespace sttcp::app {
+
+ServerApp::ServerApp(tcp::TcpStack& stack, std::uint16_t port, std::string name)
+    : stack_(stack), port_(port), name_(std::move(name)) {
+  stack_.listen(port_, [this](tcp::TcpConnection& conn) {
+    if (crashed_) return;  // a dead process accepts nothing
+    auto c = std::make_unique<Conn>();
+    c->tcp = &conn;
+    Conn& ref = *c;
+    conns_.emplace(&conn, std::move(c));
+    ++stats_.connections_accepted;
+
+    tcp::TcpConnection::Callbacks cb;
+    cb.on_readable = [this, &ref] {
+      if (active()) {
+        beat();
+        on_data(ref);
+      }
+    };
+    cb.on_writable = [this, &ref] {
+      if (active()) {
+        beat();
+        on_writable(ref);
+      }
+    };
+    cb.on_peer_closed = [this, &ref] {
+      if (active()) on_peer_closed(ref);
+    };
+    cb.on_closed = [this, &ref](tcp::CloseReason) {
+      ++stats_.connections_closed;
+      conns_.erase(ref.tcp);
+    };
+    conn.set_callbacks(std::move(cb));
+    if (active()) {
+      beat();
+      on_accept(ref);
+    }
+  });
+}
+
+void ServerApp::hang() { hung_ = true; }
+
+void ServerApp::crash_clean() {
+  if (crashed_) return;
+  crashed_ = true;
+  // The OS reaps the process: every socket is closed gracefully (FIN).
+  for (auto& [tcp_conn, c] : conns_) tcp_conn->close();
+}
+
+void ServerApp::crash_abort() {
+  if (crashed_) return;
+  crashed_ = true;
+  // Collect first: abort() can destroy entries under our feet.
+  std::vector<tcp::TcpConnection*> victims;
+  victims.reserve(conns_.size());
+  for (auto& [tcp_conn, c] : conns_) victims.push_back(tcp_conn);
+  for (auto* v : victims) v->abort();
+}
+
+void ServerApp::on_peer_closed(Conn& c) {
+  // Default: when the client closes and we owe nothing more, close too.
+  if (c.to_serve == 0) c.tcp->close();
+}
+
+void ServerApp::serve_pattern(Conn& c, std::uint64_t budget) {
+  while (budget > 0) {
+    const std::size_t chunk =
+        static_cast<std::size_t>(std::min<std::uint64_t>(budget, 16384));
+    const std::size_t n = c.tcp->send(pattern_bytes(c.served, chunk));
+    stats_.bytes_written += n;
+    c.served += n;
+    budget -= n;
+    if (n < chunk) return;  // send buffer full; resume on_writable
+  }
+}
+
+// --- FileServer --------------------------------------------------------------
+
+FileServer::FileServer(tcp::TcpStack& stack, std::uint16_t port,
+                       std::uint64_t file_size)
+    : ServerApp(stack, port, "file_server"), file_size_(file_size) {}
+
+void FileServer::on_accept(Conn& c) {
+  c.to_serve = file_size_;
+  on_writable(c);
+}
+
+void FileServer::on_data(Conn& c) {
+  // A file server ignores (but drains) client chatter.
+  stats_.bytes_read += c.tcp->read(1 << 20).size();
+}
+
+void FileServer::on_writable(Conn& c) {
+  if (c.to_serve == 0) return;
+  const std::uint64_t before = c.served;
+  serve_pattern(c, c.to_serve);
+  c.to_serve -= c.served - before;
+  if (c.to_serve == 0) c.tcp->close();
+}
+
+// --- StreamServer ------------------------------------------------------------
+
+StreamServer::StreamServer(tcp::TcpStack& stack, std::uint16_t port,
+                           std::size_t record_size)
+    : ServerApp(stack, port, "stream_server"), record_size_(record_size) {}
+
+void StreamServer::on_accept(Conn&) {}
+
+void StreamServer::on_data(Conn& c) {
+  const net::Bytes reqs = c.tcp->read(1 << 20);
+  stats_.bytes_read += reqs.size();
+  // Each request byte buys one record.
+  c.to_serve += reqs.size() * record_size_;
+  on_writable(c);
+}
+
+void StreamServer::on_writable(Conn& c) {
+  if (c.to_serve == 0) return;
+  const std::uint64_t before = c.served;
+  serve_pattern(c, c.to_serve);
+  c.to_serve -= c.served - before;
+}
+
+// --- SinkServer --------------------------------------------------------------
+
+SinkServer::SinkServer(tcp::TcpStack& stack, std::uint16_t port, bool verify)
+    : ServerApp(stack, port, "sink_server"), verify_(verify) {}
+
+void SinkServer::on_accept(Conn&) {}
+
+void SinkServer::on_data(Conn& c) {
+  const net::Bytes in = c.tcp->read(1 << 20);
+  if (verify_ && !pattern_verify(c.served, in)) corrupt_ = true;
+  c.served += in.size();  // read offset (SinkServer writes nothing)
+  stats_.bytes_read += in.size();
+}
+
+void SinkServer::on_writable(Conn&) {}
+
+// --- EchoServer --------------------------------------------------------------
+
+EchoServer::EchoServer(tcp::TcpStack& stack, std::uint16_t port)
+    : ServerApp(stack, port, "echo_server") {}
+
+void EchoServer::on_accept(Conn&) {}
+
+void EchoServer::on_data(Conn& c) {
+  net::Bytes in = c.tcp->read(1 << 20);
+  stats_.bytes_read += in.size();
+  c.echo_pending.insert(c.echo_pending.end(), in.begin(), in.end());
+  pump(c);
+}
+
+void EchoServer::on_writable(Conn& c) { pump(c); }
+
+void EchoServer::pump(Conn& c) {
+  if (c.echo_pending.empty()) return;
+  const std::size_t n = c.tcp->send(c.echo_pending);
+  stats_.bytes_written += n;
+  c.echo_pending.erase(c.echo_pending.begin(), c.echo_pending.begin() + n);
+}
+
+}  // namespace sttcp::app

@@ -1,0 +1,149 @@
+// Deterministic server applications.
+//
+// ST-TCP requires the primary application and its replica to be
+// deterministic: fed the same input TCP stream, they make the same writes
+// in the same order (§2). These servers derive every output byte from the
+// connection's stream positions only — no clocks, no randomness — so a
+// primary and backup instance stay byte-identical.
+//
+// Each server supports the paper's application-failure injections (§4.2):
+//   hang()        — the process stops reading/writing but the socket stays
+//                   open (crash WITHOUT cleanup: no FIN);
+//   crash_clean() — the OS reaps the process and closes sockets (FIN);
+//   crash_abort() — sockets are reset (RST).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "app/pattern.h"
+#include "tcp/stack.h"
+
+namespace sttcp::app {
+
+/// Base: owns per-connection state, wires callbacks, applies crash modes.
+class ServerApp {
+ public:
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t bytes_written = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t connections_closed = 0;
+  };
+
+  ServerApp(tcp::TcpStack& stack, std::uint16_t port, std::string name);
+  virtual ~ServerApp() = default;
+
+  /// Application crash without cleanup: stop all activity, keep sockets.
+  void hang();
+  /// Application crash with OS cleanup: close all sockets (FIN).
+  void crash_clean();
+  /// Application crash with reset semantics: abort all sockets (RST).
+  void crash_abort();
+
+  bool hung() const { return hung_; }
+  bool crashed() const { return crashed_; }
+  const Stats& stats() const { return stats_; }
+
+  /// Optional watchdog integration: invoked on every unit of application
+  /// work while healthy.
+  void set_heartbeat_hook(std::function<void()> hook) { hb_hook_ = std::move(hook); }
+
+ protected:
+  struct Conn {
+    tcp::TcpConnection* tcp = nullptr;
+    std::uint64_t to_serve = 0;   // bytes remaining (FileServer)
+    std::uint64_t served = 0;     // stream offset of the next byte to write
+    net::Bytes echo_pending;      // EchoServer: bytes read but not yet echoed
+    bool request_seen = false;
+  };
+
+  virtual void on_accept(Conn& c) = 0;
+  virtual void on_data(Conn& c) = 0;
+  virtual void on_writable(Conn& c) = 0;
+  virtual void on_peer_closed(Conn& c);
+
+  /// Write pattern bytes [c.served, c.served+n) as buffer space allows.
+  void serve_pattern(Conn& c, std::uint64_t budget);
+  bool active() const { return !hung_ && !crashed_; }
+  void beat() {
+    if (hb_hook_) hb_hook_();
+  }
+
+  tcp::TcpStack& stack_;
+  std::uint16_t port_;
+  std::string name_;
+  std::map<tcp::TcpConnection*, std::unique_ptr<Conn>> conns_;
+  bool hung_ = false;
+  bool crashed_ = false;
+  std::function<void()> hb_hook_;
+  Stats stats_;
+};
+
+/// Streams a fixed-size "file" of pattern bytes to every client as soon as
+/// it connects, then closes. The Demo 1/2/3 workload.
+class FileServer : public ServerApp {
+ public:
+  FileServer(tcp::TcpStack& stack, std::uint16_t port, std::uint64_t file_size);
+
+ protected:
+  void on_accept(Conn& c) override;
+  void on_data(Conn& c) override;
+  void on_writable(Conn& c) override;
+
+ private:
+  std::uint64_t file_size_;
+};
+
+/// Request/response record stream: the client sends 1-byte requests, the
+/// server answers each with a fixed-size record of pattern bytes (offsets
+/// continue across requests). Exercises the client->server direction too.
+class StreamServer : public ServerApp {
+ public:
+  StreamServer(tcp::TcpStack& stack, std::uint16_t port, std::size_t record_size);
+
+ protected:
+  void on_accept(Conn& c) override;
+  void on_data(Conn& c) override;
+  void on_writable(Conn& c) override;
+
+ private:
+  std::size_t record_size_;
+};
+
+/// Reads and discards everything (an upload endpoint). With `verify` set it
+/// checks the incoming bytes against the shared pattern, so integrity can be
+/// asserted on the receiving application across a failover.
+class SinkServer : public ServerApp {
+ public:
+  SinkServer(tcp::TcpStack& stack, std::uint16_t port, bool verify = false);
+
+  bool corrupt() const { return corrupt_; }
+
+ protected:
+  void on_accept(Conn& c) override;
+  void on_data(Conn& c) override;
+  void on_writable(Conn& c) override;
+
+ private:
+  bool verify_;
+  bool corrupt_ = false;
+};
+
+/// Echoes everything it reads. The simplest deterministic app.
+class EchoServer : public ServerApp {
+ public:
+  EchoServer(tcp::TcpStack& stack, std::uint16_t port);
+
+ protected:
+  void on_accept(Conn& c) override;
+  void on_data(Conn& c) override;
+  void on_writable(Conn& c) override;
+
+ private:
+  void pump(Conn& c);
+};
+
+}  // namespace sttcp::app

@@ -1,0 +1,180 @@
+#include "harness/scenario.h"
+
+namespace sttcp::harness {
+
+namespace {
+const net::MacAddr kClientMac = net::MacAddr::from_u64(0x020000000001ull);
+const net::MacAddr kPrimaryMac = net::MacAddr::from_u64(0x020000000002ull);
+const net::MacAddr kBackupMac = net::MacAddr::from_u64(0x020000000003ull);
+const net::MacAddr kGatewayMac = net::MacAddr::from_u64(0x0200000000feull);
+const net::MacAddr kLoggerMac = net::MacAddr::from_u64(0x020000000009ull);
+const net::MacAddr kMultiEa = net::MacAddr::multicast_group(0x57);
+}  // namespace
+
+Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)) {
+  world_ = std::make_unique<sim::World>(cfg_.seed, cfg_.log_out, cfg_.log_level);
+  switch_ = std::make_unique<net::EthernetSwitch>(*world_, "switch");
+  power_ = std::make_unique<net::PowerController>(*world_);
+
+  client_ = std::make_unique<net::Host>(*world_, "client");
+  primary_ = std::make_unique<net::Host>(*world_, "primary");
+  backup_ = std::make_unique<net::Host>(*world_, "backup");
+  gateway_ = std::make_unique<net::Host>(*world_, "gateway");
+
+  struct Wiring {
+    net::Host* host;
+    net::MacAddr mac;
+    net::Ipv4Addr ip;
+  };
+  const Wiring wiring[] = {
+      {client_.get(), kClientMac, client_ip()},
+      {primary_.get(), kPrimaryMac, primary_ip()},
+      {backup_.get(), kBackupMac, backup_ip()},
+      {gateway_.get(), kGatewayMac, gateway_ip()},
+  };
+
+  std::vector<int> server_ports;
+  for (const Wiring& w : wiring) {
+    net::Nic& nic = w.host->add_nic(w.mac);
+    w.host->add_ip(w.ip);
+    std::uint64_t bw = cfg_.link_bandwidth_bps;
+    if (w.host == backup_.get() && cfg_.backup_link_bandwidth_bps != 0) {
+      bw = cfg_.backup_link_bandwidth_bps;
+    }
+    auto link = std::make_unique<net::Link>(*world_, cfg_.link_latency, bw);
+    nic.attach(link->port(0));
+    const int port = switch_->add_port(link->port(1));
+    if (w.host == primary_.get() || w.host == backup_.get()) {
+      server_ports.push_back(port);
+    }
+    links_.push_back(std::move(link));
+    power_->register_host(*w.host);
+  }
+
+  // Full static ARP mesh between the four real addresses.
+  for (const Wiring& a : wiring) {
+    for (const Wiring& b : wiring) {
+      if (a.host != b.host) a.host->arp_set(b.ip, b.mac);
+    }
+  }
+
+  // The ST-TCP service address: an alias on both servers, reached through
+  // the multicast group so both taps see every client packet.
+  primary_->add_ip(service_ip());
+  backup_->add_ip(service_ip());
+  primary_->nic().subscribe_multicast(kMultiEa);
+  backup_->nic().subscribe_multicast(kMultiEa);
+  switch_->add_multicast_group(kMultiEa, server_ports);
+  client_->arp_set(service_ip(), kMultiEa);
+  gateway_->arp_set(service_ip(), kMultiEa);
+  // The servers answer the client directly (its unicast MAC), with the
+  // service IP as the source address.
+  primary_->arp_set(client_ip(), kClientMac);
+  backup_->arp_set(client_ip(), kClientMac);
+
+  primary_->set_cpu_packet_time(cfg_.primary_cpu_packet_time);
+  backup_->set_cpu_packet_time(cfg_.backup_cpu_packet_time);
+
+  // Optional stream logger host (§4.3 output-commit extension): joins the
+  // multicast group so it taps the same client traffic as the servers.
+  if (cfg_.enable_logger) {
+    logger_host_ = std::make_unique<net::Host>(*world_, "logger");
+    net::Nic& lnic = logger_host_->add_nic(kLoggerMac);
+    logger_host_->add_ip(logger_ip());
+    // The logger owns the service alias too, so tapped client->service
+    // packets pass its host's IP filter (a real tap would capture
+    // promiscuously; the alias is the simulator's equivalent).
+    logger_host_->add_ip(service_ip());
+    auto llink = std::make_unique<net::Link>(*world_, cfg_.link_latency,
+                                             cfg_.link_bandwidth_bps);
+    lnic.attach(llink->port(0));
+    const int lport = switch_->add_port(llink->port(1));
+    links_.push_back(std::move(llink));
+    lnic.subscribe_multicast(kMultiEa);
+    server_ports.push_back(lport);
+    switch_->add_multicast_group(kMultiEa, server_ports);  // re-install w/ logger
+    for (const Wiring& w : wiring) {
+      logger_host_->arp_set(w.ip, w.mac);
+      w.host->arp_set(logger_ip(), kLoggerMac);
+    }
+    sttcp::StreamLogger::Config lc;
+    lc.service_ip = service_ip();
+    logger_ = std::make_unique<sttcp::StreamLogger>(*logger_host_, lc);
+  }
+
+  // Serial null-modem cable between the servers (port 0 = primary).
+  serial_ = std::make_unique<net::SerialLink>(*world_, cfg_.serial_baud);
+
+  client_stack_ = std::make_unique<tcp::TcpStack>(*client_, cfg_.tcp);
+  primary_stack_ = std::make_unique<tcp::TcpStack>(*primary_, cfg_.tcp);
+  backup_stack_ = std::make_unique<tcp::TcpStack>(*backup_, cfg_.tcp);
+
+  if (cfg_.enable_sttcp) {
+    sttcp::StTcpConfig pc = cfg_.sttcp;
+    pc.service_ip = service_ip();
+    pc.my_ip = primary_ip();
+    pc.peer_ip = backup_ip();
+    pc.peer_name = backup_->name();
+    pc.gateway_ip = gateway_ip();
+    if (cfg_.enable_logger) pc.logger_ip = logger_ip();
+    sttcp::StTcpConfig bc = pc;
+    bc.my_ip = backup_ip();
+    bc.peer_ip = primary_ip();
+    bc.peer_name = primary_->name();
+
+    primary_ep_ = std::make_unique<sttcp::StTcpEndpoint>(
+        *primary_, *primary_stack_, *power_, &serial_->port(0),
+        sttcp::Role::kPrimary, pc);
+    backup_ep_ = std::make_unique<sttcp::StTcpEndpoint>(
+        *backup_, *backup_stack_, *power_, &serial_->port(1),
+        sttcp::Role::kBackup, bc);
+    primary_ep_->start();
+    backup_ep_->start();
+  }
+}
+
+Scenario::~Scenario() = default;
+
+void Scenario::emulate_old_design_tap() {
+  // Port order of construction: client=0, primary=1, backup=2, gateway=3.
+  switch_->add_egress_mirror(/*src_port=*/0, /*dst_port=*/2);
+  backup_->nic().set_promiscuous(true);
+}
+
+void Scenario::crash_primary_at(sim::Duration t) {
+  world_->loop().schedule_after(t, [this] { primary_->crash("injected HW/OS crash"); });
+}
+
+void Scenario::crash_backup_at(sim::Duration t) {
+  world_->loop().schedule_after(t, [this] { backup_->crash("injected HW/OS crash"); });
+}
+
+void Scenario::fail_primary_nic_at(sim::Duration t) {
+  world_->loop().schedule_after(t, [this] {
+    world_->trace().record("primary", "nic_failed");
+    primary_->nic().fail();
+  });
+}
+
+void Scenario::fail_backup_nic_at(sim::Duration t) {
+  world_->loop().schedule_after(t, [this] {
+    world_->trace().record("backup", "nic_failed");
+    backup_->nic().fail();
+  });
+}
+
+void Scenario::fail_serial_at(sim::Duration t) {
+  world_->loop().schedule_after(t, [this] {
+    world_->trace().record("serial", "serial_failed");
+    serial_->fail();
+  });
+}
+
+void Scenario::drop_backup_frames_at(sim::Duration t, int n) {
+  world_->loop().schedule_after(t, [this, n] {
+    world_->trace().record("backup", "frame_drop_burst", "", n);
+    backup_link().drop_next(n);
+  });
+}
+
+}  // namespace sttcp::harness

@@ -1,0 +1,144 @@
+// Scenario: the paper's Figure-2 experimental setup, fully wired.
+//
+//                    ┌────────┐
+//   client ──────────┤        ├────────── primary ──┐
+//                    │ switch │                     │ serial (RS-232
+//   gateway ─────────┤        ├────────── backup  ──┘  null-modem)
+//                    └────────┘
+//
+// * serviceIP is an IP alias on both servers;
+// * the switch carries a static multicast group (multiEA) fanning client
+//   traffic to both servers;
+// * client and gateway hold a static ARP entry serviceIP -> multiEA;
+// * heartbeats run over UDP (IP link) and the serial link;
+// * a PowerController provides the STONITH used before takeover.
+//
+// With `enable_sttcp = false` the same topology runs plain TCP: the backup
+// neither taps nor replicates, and the client addresses the primary's own
+// IP — the Demo 1 baseline ("even if a hot backup is available…") and the
+// Demo 3 overhead comparison.
+#pragma once
+
+#include <memory>
+
+#include "net/host.h"
+#include "net/link.h"
+#include "net/serial_link.h"
+#include "net/switch.h"
+#include "sttcp/endpoint.h"
+#include "sttcp/logger.h"
+#include "tcp/stack.h"
+
+namespace sttcp::harness {
+
+struct ScenarioConfig {
+  std::uint64_t seed = 1;
+
+  // Network fabric.
+  sim::Duration link_latency = sim::Duration::micros(50);
+  std::uint64_t link_bandwidth_bps = 100'000'000;  // Fast Ethernet, as in 2005
+  /// Override for the backup's port (0 = same as link_bandwidth_bps).
+  /// Models the original prototype's mitigation of the tap overload:
+  /// "adding an additional NIC and CPU" on the backup (paper §3).
+  std::uint64_t backup_link_bandwidth_bps = 0;
+  std::uint64_t serial_baud = net::SerialLink::kDefaultBaud;
+
+  // Stacks.
+  tcp::TcpConfig tcp;
+
+  // ST-TCP (addresses are filled in by the scenario).
+  sttcp::StTcpConfig sttcp;
+  bool enable_sttcp = true;
+  /// Add the §4.3 stream logger host (output-commit fallback).
+  bool enable_logger = false;
+
+  // Host CPU models (zero = infinitely fast).
+  sim::Duration primary_cpu_packet_time = sim::Duration::zero();
+  sim::Duration backup_cpu_packet_time = sim::Duration::zero();
+
+  std::ostream* log_out = nullptr;
+  sim::LogLevel log_level = sim::LogLevel::kOff;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig cfg);
+  ~Scenario();
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  // --- topology access ---------------------------------------------------------
+  sim::World& world() { return *world_; }
+  net::Host& client() { return *client_; }
+  net::Host& primary() { return *primary_; }
+  net::Host& backup() { return *backup_; }
+  net::Host& gateway() { return *gateway_; }
+  net::Host* logger_host() { return logger_host_.get(); }
+  sttcp::StreamLogger* logger() { return logger_.get(); }
+  net::Ipv4Addr logger_ip() const { return {10, 0, 0, 9}; }
+  net::EthernetSwitch& ethernet_switch() { return *switch_; }
+  net::PowerController& power() { return *power_; }
+  net::SerialLink& serial() { return *serial_; }
+  net::Link& client_link() { return *links_[0]; }
+  net::Link& primary_link() { return *links_[1]; }
+  net::Link& backup_link() { return *links_[2]; }
+
+  tcp::TcpStack& client_stack() { return *client_stack_; }
+  tcp::TcpStack& primary_stack() { return *primary_stack_; }
+  tcp::TcpStack& backup_stack() { return *backup_stack_; }
+  sttcp::StTcpEndpoint* primary_endpoint() { return primary_ep_.get(); }
+  sttcp::StTcpEndpoint* backup_endpoint() { return backup_ep_.get(); }
+
+  const ScenarioConfig& config() const { return cfg_; }
+
+  // --- addressing ---------------------------------------------------------------
+  net::Ipv4Addr client_ip() const { return {10, 0, 0, 1}; }
+  net::Ipv4Addr primary_ip() const { return {10, 0, 0, 2}; }
+  net::Ipv4Addr backup_ip() const { return {10, 0, 0, 3}; }
+  net::Ipv4Addr gateway_ip() const { return {10, 0, 0, 254}; }
+  net::Ipv4Addr service_ip() const { return {10, 0, 0, 100}; }
+  std::uint16_t service_port() const { return cfg_.sttcp.service_port; }
+  /// Where a client should connect: the virtual service address with
+  /// ST-TCP, the primary's own address without it.
+  net::SocketAddr connect_addr() const {
+    return cfg_.enable_sttcp
+               ? net::SocketAddr{service_ip(), service_port()}
+               : net::SocketAddr{primary_ip(), service_port()};
+  }
+  /// The baseline's reconnect target (the hot backup's own address).
+  net::SocketAddr backup_addr() const {
+    return net::SocketAddr{backup_ip(), service_port()};
+  }
+
+  /// Emulate the ORIGINAL ST-TCP architecture (paper §3): the backup also
+  /// receives all primary->client traffic (switch egress mirror + backup NIC
+  /// in promiscuous mode). The new architecture replaced this with counters
+  /// carried in the heartbeat; the ablation bench quantifies the difference.
+  void emulate_old_design_tap();
+
+  // --- failure injection ----------------------------------------------------------
+  void crash_primary_at(sim::Duration t);
+  void crash_backup_at(sim::Duration t);
+  void fail_primary_nic_at(sim::Duration t);
+  void fail_backup_nic_at(sim::Duration t);
+  void fail_serial_at(sim::Duration t);
+  /// Drop the next n frames on the backup's switch link (temporary loss).
+  void drop_backup_frames_at(sim::Duration t, int n);
+
+  void run_for(sim::Duration d) { world_->loop().run_for(d); }
+
+ private:
+  ScenarioConfig cfg_;
+  std::unique_ptr<sim::World> world_;
+  std::unique_ptr<net::EthernetSwitch> switch_;
+  std::unique_ptr<net::Host> client_, primary_, backup_, gateway_;
+  std::unique_ptr<net::Host> logger_host_;
+  std::unique_ptr<sttcp::StreamLogger> logger_;
+  std::vector<std::unique_ptr<net::Link>> links_;  // client, primary, backup, gateway
+  std::unique_ptr<net::SerialLink> serial_;
+  std::unique_ptr<net::PowerController> power_;
+  std::unique_ptr<tcp::TcpStack> client_stack_, primary_stack_, backup_stack_;
+  std::unique_ptr<sttcp::StTcpEndpoint> primary_ep_, backup_ep_;
+};
+
+}  // namespace sttcp::harness

@@ -1,0 +1,23 @@
+#include "net/addr.h"
+
+#include <cstdio>
+
+namespace sttcp::net {
+
+std::string MacAddr::str() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", b_[0], b_[1],
+                b_[2], b_[3], b_[4], b_[5]);
+  return buf;
+}
+
+std::string Ipv4Addr::str() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (v_ >> 24) & 0xff, (v_ >> 16) & 0xff,
+                (v_ >> 8) & 0xff, v_ & 0xff);
+  return buf;
+}
+
+std::string SocketAddr::str() const { return ip.str() + ":" + std::to_string(port); }
+
+}  // namespace sttcp::net

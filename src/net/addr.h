@@ -1,0 +1,100 @@
+// Link-layer and network-layer addresses.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace sttcp::net {
+
+/// 48-bit IEEE 802 MAC address.
+class MacAddr {
+ public:
+  constexpr MacAddr() = default;
+  constexpr explicit MacAddr(std::array<std::uint8_t, 6> b) : b_(b) {}
+  /// Build from the low 48 bits of `v` (deterministic test addresses).
+  static constexpr MacAddr from_u64(std::uint64_t v) {
+    return MacAddr({static_cast<std::uint8_t>(v >> 40), static_cast<std::uint8_t>(v >> 32),
+                    static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+                    static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)});
+  }
+  static constexpr MacAddr broadcast() {
+    return MacAddr({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+  }
+  /// A locally-administered multicast group address (I/G bit set), as used by
+  /// ST-TCP's multiEA: both servers subscribe to it and the gateway's static
+  /// ARP entry maps the service IP to it.
+  static constexpr MacAddr multicast_group(std::uint32_t id) {
+    return MacAddr({0x03, 0x53, 0x54, static_cast<std::uint8_t>(id >> 16),
+                    static_cast<std::uint8_t>(id >> 8), static_cast<std::uint8_t>(id)});
+  }
+
+  constexpr const std::array<std::uint8_t, 6>& bytes() const { return b_; }
+  constexpr bool is_broadcast() const { return *this == broadcast(); }
+  /// True for group (multicast/broadcast) addresses: I/G bit of first octet.
+  constexpr bool is_group() const { return (b_[0] & 0x01) != 0; }
+  constexpr std::uint64_t to_u64() const {
+    std::uint64_t v = 0;
+    for (auto x : b_) v = (v << 8) | x;
+    return v;
+  }
+
+  constexpr auto operator<=>(const MacAddr&) const = default;
+
+  std::string str() const;  ///< "aa:bb:cc:dd:ee:ff"
+
+ private:
+  std::array<std::uint8_t, 6> b_{};
+};
+
+/// IPv4 address.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) : v_(host_order) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : v_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) | d) {}
+
+  constexpr std::uint32_t value() const { return v_; }
+  constexpr bool is_zero() const { return v_ == 0; }
+
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+  std::string str() const;  ///< dotted quad
+
+ private:
+  std::uint32_t v_ = 0;
+};
+
+/// Convenience: a transport endpoint (IP, port).
+struct SocketAddr {
+  Ipv4Addr ip;
+  std::uint16_t port = 0;
+  auto operator<=>(const SocketAddr&) const = default;
+  std::string str() const;
+};
+
+}  // namespace sttcp::net
+
+template <>
+struct std::hash<sttcp::net::MacAddr> {
+  std::size_t operator()(const sttcp::net::MacAddr& m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.to_u64());
+  }
+};
+
+template <>
+struct std::hash<sttcp::net::Ipv4Addr> {
+  std::size_t operator()(const sttcp::net::Ipv4Addr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<sttcp::net::SocketAddr> {
+  std::size_t operator()(const sttcp::net::SocketAddr& s) const noexcept {
+    return std::hash<std::uint64_t>{}((std::uint64_t{s.ip.value()} << 16) | s.port);
+  }
+};

@@ -1,0 +1,51 @@
+#include "net/checksum.h"
+
+namespace sttcp::net {
+
+void ChecksumAccumulator::add(BytesView data) {
+  std::size_t i = 0;
+  if (odd_ && !data.empty()) {
+    // Pair the dangling byte with this span's first byte.
+    sum_ += data[0];
+    odd_ = false;
+    i = 1;
+  }
+  for (; i + 1 < data.size(); i += 2) {
+    sum_ += (std::uint32_t{data[i]} << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum_ += std::uint32_t{data[i]} << 8;
+    odd_ = true;
+  }
+}
+
+void ChecksumAccumulator::add_u16(std::uint16_t v) {
+  const std::uint8_t b[2] = {static_cast<std::uint8_t>(v >> 8),
+                             static_cast<std::uint8_t>(v)};
+  add(BytesView(b, 2));
+}
+
+std::uint16_t ChecksumAccumulator::finish() const {
+  std::uint32_t s = sum_;
+  while ((s >> 16) != 0) s = (s & 0xffff) + (s >> 16);
+  return static_cast<std::uint16_t>(~s);
+}
+
+std::uint16_t internet_checksum(BytesView data) {
+  ChecksumAccumulator acc;
+  acc.add(data);
+  return acc.finish();
+}
+
+std::uint16_t transport_checksum(Ipv4Addr src, Ipv4Addr dst, std::uint8_t protocol,
+                                 BytesView segment) {
+  ChecksumAccumulator acc;
+  acc.add_u32(src.value());
+  acc.add_u32(dst.value());
+  acc.add_u16(protocol);
+  acc.add_u16(static_cast<std::uint16_t>(segment.size()));
+  acc.add(segment);
+  return acc.finish();
+}
+
+}  // namespace sttcp::net

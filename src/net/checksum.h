@@ -1,0 +1,36 @@
+// RFC 1071 Internet checksum, including the TCP/UDP pseudo-header form.
+#pragma once
+
+#include <cstdint>
+
+#include "net/addr.h"
+#include "net/bytes.h"
+
+namespace sttcp::net {
+
+/// One's-complement sum accumulator. Feed spans, then `finish()`.
+class ChecksumAccumulator {
+ public:
+  void add(BytesView data);
+  void add_u16(std::uint16_t v);
+  void add_u32(std::uint32_t v) {
+    add_u16(static_cast<std::uint16_t>(v >> 16));
+    add_u16(static_cast<std::uint16_t>(v));
+  }
+  /// Final one's-complement checksum, ready to store in a header field.
+  std::uint16_t finish() const;
+
+ private:
+  std::uint32_t sum_ = 0;
+  bool odd_ = false;  // dangling high byte from an odd-length span
+};
+
+/// Checksum of a single contiguous buffer.
+std::uint16_t internet_checksum(BytesView data);
+
+/// TCP/UDP checksum over pseudo-header + transport segment.
+/// `protocol` is the IP protocol number (6 = TCP, 17 = UDP).
+std::uint16_t transport_checksum(Ipv4Addr src, Ipv4Addr dst, std::uint8_t protocol,
+                                 BytesView segment);
+
+}  // namespace sttcp::net

@@ -1,0 +1,70 @@
+#include "net/link.h"
+
+namespace sttcp::net {
+
+Link::Link(sim::World& world, sim::Duration latency, std::uint64_t bandwidth_bps,
+           double drop_probability)
+    : world_(world),
+      latency_(latency),
+      bandwidth_bps_(bandwidth_bps),
+      drop_probability_(drop_probability),
+      rng_(world.rng().fork()) {
+  for (int i = 0; i < 2; ++i) {
+    ports_[i].link_ = this;
+    ports_[i].index_ = i;
+  }
+}
+
+void Link::transmit(int from_port, Bytes frame) {
+  ++stats_.frames_sent;
+  if (failed_) {
+    ++stats_.frames_dropped;
+    return;
+  }
+  if (burst_drop_ > 0) {
+    --burst_drop_;
+    ++stats_.frames_dropped;
+    return;
+  }
+  if (drop_probability_ > 0.0 && rng_.chance(drop_probability_)) {
+    ++stats_.frames_dropped;
+    return;
+  }
+  if (drop_filter_ && drop_filter_(frame)) {
+    ++stats_.frames_dropped;
+    return;
+  }
+
+  // Serialization: each direction is a FIFO pipe; a frame occupies the
+  // transmitter for size/bandwidth, queued behind earlier frames.
+  sim::SimTime start = world_.now();
+  if (busy_until_[from_port] > start) start = busy_until_[from_port];
+  sim::Duration tx_time = sim::Duration::zero();
+  if (bandwidth_bps_ != 0) {
+    tx_time = sim::Duration::nanos(
+        static_cast<std::int64_t>(frame.size()) * 8 * 1000000000 /
+        static_cast<std::int64_t>(bandwidth_bps_));
+  }
+  busy_until_[from_port] = start + tx_time;
+  const sim::SimTime arrive = busy_until_[from_port] + latency_;
+
+  const int to_port = 1 - from_port;
+  world_.loop().schedule_at(arrive, [this, to_port, frame = std::move(frame)]() mutable {
+    // A failure while the frame was in flight kills it: a dead cable
+    // delivers nothing.
+    if (failed_) {
+      ++stats_.frames_dropped;
+      return;
+    }
+    FrameSink* sink = ports_[to_port].sink_;
+    if (sink == nullptr) {
+      ++stats_.frames_dropped;
+      return;
+    }
+    ++stats_.frames_delivered;
+    stats_.bytes_delivered += frame.size();
+    sink->deliver_frame(std::move(frame));
+  });
+}
+
+}  // namespace sttcp::net

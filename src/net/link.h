@@ -1,0 +1,88 @@
+// Point-to-point Ethernet link with latency, bandwidth serialization,
+// deterministic random loss, and fail/heal control.
+//
+// A Link has two ports (0 and 1). Whatever is attached to a port (a NIC or a
+// switch port) implements FrameSink to receive frames and calls
+// Port::send() to transmit toward the other side.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/bytes.h"
+#include "sim/world.h"
+
+namespace sttcp::net {
+
+/// Anything that can receive an Ethernet frame from a link.
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  virtual void deliver_frame(Bytes frame) = 0;
+};
+
+class Link {
+ public:
+  struct Stats {
+    std::uint64_t frames_sent = 0;      // accepted for transmission
+    std::uint64_t frames_delivered = 0; // arrived at the far sink
+    std::uint64_t frames_dropped = 0;   // random loss / burst loss / link down
+    std::uint64_t bytes_delivered = 0;
+  };
+
+  /// `bandwidth_bps` == 0 means infinite (no serialization delay).
+  Link(sim::World& world, sim::Duration latency, std::uint64_t bandwidth_bps,
+       double drop_probability = 0.0);
+
+  class Port {
+   public:
+    void set_sink(FrameSink* sink) { sink_ = sink; }
+    /// Transmit a frame toward the other side of the link.
+    void send(Bytes frame) { link_->transmit(index_, std::move(frame)); }
+
+   private:
+    friend class Link;
+    Link* link_ = nullptr;
+    int index_ = 0;
+    FrameSink* sink_ = nullptr;
+  };
+
+  Port& port(int i) { return ports_[i]; }
+
+  void fail() { failed_ = true; }
+  void heal() { failed_ = false; }
+  bool failed() const { return failed_; }
+
+  /// Drop the next `n` frames in each direction (models a temporary fault
+  /// such as a NIC buffer overflow; used by the missed-byte recovery tests).
+  void drop_next(int n) { burst_drop_ = n; }
+
+  /// Change random loss probability at runtime.
+  void set_drop_probability(double p) { drop_probability_ = p; }
+
+  /// Selective fault injection: frames matching the predicate are dropped
+  /// (e.g. "frames longer than 200 bytes" models a fault that loses bulk
+  /// data while small control traffic survives). nullptr clears it.
+  using DropFilter = std::function<bool(const Bytes& frame)>;
+  void set_drop_filter(DropFilter filter) { drop_filter_ = std::move(filter); }
+
+  sim::Duration latency() const { return latency_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void transmit(int from_port, Bytes frame);
+
+  sim::World& world_;
+  sim::Duration latency_;
+  std::uint64_t bandwidth_bps_;
+  double drop_probability_;
+  sim::Rng rng_;
+  Port ports_[2];
+  sim::SimTime busy_until_[2];  // per-direction serialization queue tail
+  int burst_drop_ = 0;
+  DropFilter drop_filter_;
+  bool failed_ = false;
+  Stats stats_;
+};
+
+}  // namespace sttcp::net

@@ -1,0 +1,50 @@
+#include "net/nic.h"
+
+#include "net/headers.h"
+
+namespace sttcp::net {
+
+Nic::Nic(sim::World& world, std::string name, MacAddr mac)
+    : world_(world), name_(std::move(name)), mac_(mac) {}
+
+void Nic::attach(Link::Port& port) {
+  port_ = &port;
+  port.set_sink(this);
+}
+
+bool Nic::send(Bytes frame) {
+  if (failed_ || port_ == nullptr) {
+    ++stats_.dropped_down;
+    return false;
+  }
+  ++stats_.tx_frames;
+  stats_.tx_bytes += frame.size();
+  port_->send(std::move(frame));
+  return true;
+}
+
+void Nic::deliver_frame(Bytes frame) {
+  if (failed_) {
+    ++stats_.dropped_down;
+    return;
+  }
+  if (frame.size() < EthernetHeader::kSize) {
+    ++stats_.rx_filtered;
+    return;
+  }
+  // Peek at the destination MAC without a full parse.
+  std::array<std::uint8_t, 6> d{};
+  std::copy(frame.begin(), frame.begin() + 6, d.begin());
+  const MacAddr dst{d};
+  const bool accept = promiscuous_ || dst == mac_ || dst.is_broadcast() ||
+                      (dst.is_group() && multicast_.count(dst) != 0);
+  if (!accept) {
+    ++stats_.rx_filtered;
+    return;
+  }
+  ++stats_.rx_frames;
+  stats_.rx_bytes += frame.size();
+  if (host_sink_) host_sink_(std::move(frame));
+}
+
+}  // namespace sttcp::net

@@ -1,0 +1,57 @@
+#include "net/serial_link.h"
+
+namespace sttcp::net {
+
+bool SerialPort::send(Bytes message) {
+  if (link_ == nullptr) return false;
+  link_->transmit(index_, std::move(message));
+  return true;
+}
+
+SerialLink::SerialLink(sim::World& world, std::uint64_t baud)
+    : world_(world), baud_(baud) {
+  for (int i = 0; i < 2; ++i) {
+    ports_[i].link_ = this;
+    ports_[i].index_ = i;
+  }
+}
+
+sim::Duration SerialLink::queue_delay(int from_port) const {
+  const sim::SimTime b = busy_until_[from_port];
+  if (b <= world_.now()) return sim::Duration::zero();
+  return b - world_.now();
+}
+
+void SerialLink::transmit(int from_port, Bytes message) {
+  ++stats_.messages_sent;
+  if (failed_) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  sim::SimTime start = world_.now();
+  if (busy_until_[from_port] > start) start = busy_until_[from_port];
+  const std::uint64_t wire_bits =
+      (message.size() + kFramingBytes) * static_cast<std::uint64_t>(kBitsPerByte);
+  const auto tx = sim::Duration::nanos(
+      static_cast<std::int64_t>(wire_bits * 1000000000ull / baud_));
+  busy_until_[from_port] = start + tx;
+
+  const int to_port = 1 - from_port;
+  world_.loop().schedule_at(
+      busy_until_[from_port], [this, to_port, message = std::move(message)]() mutable {
+        if (failed_) {
+          ++stats_.messages_dropped;
+          return;
+        }
+        SerialPort& p = ports_[to_port];
+        if (!p.handler_) {
+          ++stats_.messages_dropped;
+          return;
+        }
+        ++stats_.messages_delivered;
+        stats_.bytes_delivered += message.size();
+        p.handler_(std::move(message));
+      });
+}
+
+}  // namespace sttcp::net

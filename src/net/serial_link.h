@@ -1,0 +1,80 @@
+// RS-232 null-modem serial link.
+//
+// The paper's secondary heartbeat channel: two machines' serial ports wired
+// together with a null-modem cable, 115.2 kbps. We model a message-framed
+// byte pipe (each write is delivered as one message) with start/stop-bit
+// overhead (10 wire bits per byte), FIFO serialization, and fail/heal — the
+// bandwidth ceiling is what limits the number of connections one serial HB
+// channel can carry (paper §3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/bytes.h"
+#include "sim/world.h"
+
+namespace sttcp::net {
+
+class SerialLink;
+
+/// One end of the cable. Obtained from SerialLink::port().
+class SerialPort {
+ public:
+  using Handler = std::function<void(Bytes message)>;
+
+  void set_handler(Handler h) { handler_ = std::move(h); }
+  /// Queue a message for transmission. Returns false when the link is down
+  /// (the caller cannot detect this in real RS-232 either, but tests can).
+  bool send(Bytes message);
+
+ private:
+  friend class SerialLink;
+  SerialLink* link_ = nullptr;
+  int index_ = 0;
+  Handler handler_;
+};
+
+class SerialLink {
+ public:
+  struct Stats {
+    std::uint64_t messages_sent = 0;
+    std::uint64_t messages_delivered = 0;
+    std::uint64_t messages_dropped = 0;
+    std::uint64_t bytes_delivered = 0;
+  };
+
+  static constexpr std::uint64_t kDefaultBaud = 115200;
+  /// RS-232 8N1: 1 start + 8 data + 1 stop bits per byte.
+  static constexpr int kBitsPerByte = 10;
+  /// Per-message framing overhead (length prefix + delimiter), in bytes.
+  static constexpr int kFramingBytes = 3;
+
+  explicit SerialLink(sim::World& world, std::uint64_t baud = kDefaultBaud);
+
+  SerialPort& port(int i) { return ports_[i]; }
+
+  void fail() { failed_ = true; }
+  void heal() { failed_ = false; }
+  bool failed() const { return failed_; }
+
+  /// Transmission queue depth in bytes for one direction — lets tests verify
+  /// the channel saturates beyond ~100 connections as the paper predicts.
+  sim::Duration queue_delay(int from_port) const;
+
+  std::uint64_t baud() const { return baud_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend class SerialPort;
+  void transmit(int from_port, Bytes message);
+
+  sim::World& world_;
+  std::uint64_t baud_;
+  SerialPort ports_[2];
+  sim::SimTime busy_until_[2];
+  bool failed_ = false;
+  Stats stats_;
+};
+
+}  // namespace sttcp::net

@@ -1,0 +1,75 @@
+#include "net/switch.h"
+
+namespace sttcp::net {
+
+EthernetSwitch::EthernetSwitch(sim::World& world, std::string name)
+    : world_(world), name_(std::move(name)), log_(world.logger(name_)) {}
+
+int EthernetSwitch::add_port(Link::Port& link_port) {
+  auto p = std::make_unique<SwitchPort>();
+  p->sw = this;
+  p->index = static_cast<int>(ports_.size());
+  p->out = &link_port;
+  link_port.set_sink(p.get());
+  ports_.push_back(std::move(p));
+  return ports_.back()->index;
+}
+
+void EthernetSwitch::add_multicast_group(MacAddr group, std::vector<int> ports) {
+  multicast_groups_[group] = std::move(ports);
+}
+
+void EthernetSwitch::add_egress_mirror(int src_port, int dst_port) {
+  egress_mirrors_[src_port] = dst_port;
+}
+
+void EthernetSwitch::on_frame(int ingress, Bytes frame) {
+  if (frame.size() < 12) return;  // runt; silently discarded
+  std::array<std::uint8_t, 6> b{};
+  std::copy(frame.begin(), frame.begin() + 6, b.begin());
+  const MacAddr dst{b};
+  std::copy(frame.begin() + 6, frame.begin() + 12, b.begin());
+  const MacAddr src{b};
+
+  // Learn the source address (unless it is a group address, which can only
+  // appear as a destination in well-formed traffic).
+  if (!src.is_group()) fdb_[src] = ingress;
+
+  if (dst.is_group()) {
+    auto g = multicast_groups_.find(dst);
+    if (g != multicast_groups_.end()) {
+      ++stats_.multicast;
+      for (int p : g->second) {
+        if (p != ingress) send_out(p, frame);
+      }
+      return;
+    }
+    // Broadcast or unknown multicast: flood.
+    ++stats_.flooded;
+    for (const auto& p : ports_) {
+      if (p->index != ingress) send_out(p->index, frame);
+    }
+    return;
+  }
+
+  auto it = fdb_.find(dst);
+  if (it != fdb_.end()) {
+    ++stats_.forwarded;
+    if (it->second != ingress) send_out(it->second, frame);
+    return;
+  }
+  ++stats_.flooded;
+  for (const auto& p : ports_) {
+    if (p->index != ingress) send_out(p->index, frame);
+  }
+}
+
+void EthernetSwitch::send_out(int port, const Bytes& frame) {
+  ports_[static_cast<std::size_t>(port)]->out->send(frame);
+  auto m = egress_mirrors_.find(port);
+  if (m != egress_mirrors_.end()) {
+    ports_[static_cast<std::size_t>(m->second)]->out->send(frame);
+  }
+}
+
+}  // namespace sttcp::net

@@ -1,0 +1,69 @@
+// Learning Ethernet switch with static multicast groups.
+//
+// Reproduces the paper's Figure-2 fabric: client, primary, backup and
+// gateway all hang off one switch; a static multicast group (multiEA) fans
+// client→serviceIP frames out to both servers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/addr.h"
+#include "net/link.h"
+#include "sim/world.h"
+
+namespace sttcp::net {
+
+class EthernetSwitch {
+ public:
+  struct Stats {
+    std::uint64_t forwarded = 0;  // unicast to a learned port
+    std::uint64_t flooded = 0;    // unknown unicast / broadcast
+    std::uint64_t multicast = 0;  // static-group fan-out
+  };
+
+  EthernetSwitch(sim::World& world, std::string name);
+
+  /// Bind one side of a link to a new switch port; returns the port index.
+  int add_port(Link::Port& link_port);
+
+  /// Install a static multicast group: frames to `group` go to `ports`.
+  void add_multicast_group(MacAddr group, std::vector<int> ports);
+
+  /// Mirror every frame egressing `src_port` to `dst_port` as well. Used to
+  /// emulate the ORIGINAL ST-TCP architecture, where the backup also tapped
+  /// the primary->client traffic (paper §3 replaced this with counters in
+  /// the heartbeat).
+  void add_egress_mirror(int src_port, int dst_port);
+
+  /// Forget a learned MAC (used by failure tests to force flooding).
+  void flush_fdb() { fdb_.clear(); }
+
+  const Stats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct SwitchPort final : FrameSink {
+    EthernetSwitch* sw = nullptr;
+    int index = 0;
+    Link::Port* out = nullptr;
+    void deliver_frame(Bytes frame) override { sw->on_frame(index, std::move(frame)); }
+  };
+
+  void on_frame(int ingress, Bytes frame);
+  void send_out(int port, const Bytes& frame);
+
+  sim::World& world_;
+  std::string name_;
+  sim::Logger log_;
+  std::vector<std::unique_ptr<SwitchPort>> ports_;
+  std::unordered_map<MacAddr, int> fdb_;  // learned source MAC -> port
+  std::unordered_map<MacAddr, std::vector<int>> multicast_groups_;
+  std::unordered_map<int, int> egress_mirrors_;  // src egress port -> mirror port
+  Stats stats_;
+};
+
+}  // namespace sttcp::net

@@ -1,0 +1,115 @@
+#include "sim/event_loop.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace sttcp::sim {
+
+TimerId EventLoop::schedule_at(SimTime t, Callback cb) {
+  if (t < now_) t = now_;
+  const TimerId id = next_id_++;
+  queue_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+bool EventLoop::cancel(TimerId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool EventLoop::step() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    auto c = cancelled_.find(e.id);
+    if (c != cancelled_.end()) {
+      cancelled_.erase(c);
+      continue;
+    }
+    auto it = callbacks_.find(e.id);
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = e.at;
+    ++executed_;
+    if (budget_ != 0 && executed_ > budget_) {
+      std::fprintf(stderr, "EventLoop: event budget (%llu) exceeded at t=%s\n",
+                   static_cast<unsigned long long>(budget_), now_.str().c_str());
+      std::abort();
+    }
+    cb();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t EventLoop::run() {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_ && step()) ++n;
+  return n;
+}
+
+std::uint64_t EventLoop::run_until(SimTime t) {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_ && !queue_.empty()) {
+    // Skip over cancelled entries to find the true next timestamp.
+    while (!queue_.empty() && cancelled_.count(queue_.top().id) != 0) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().at > t) break;
+    if (step()) ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+void OneShotTimer::arm(Duration d, EventLoop::Callback cb) {
+  arm_at(loop_.now() + (d.is_negative() ? Duration::zero() : d), std::move(cb));
+}
+
+void OneShotTimer::arm_at(SimTime t, EventLoop::Callback cb) {
+  cancel();
+  deadline_ = t;
+  // Clear id_ before invoking so the callback can re-arm this same timer.
+  id_ = loop_.schedule_at(t, [this, cb = std::move(cb)]() {
+    id_ = 0;
+    cb();
+  });
+}
+
+void OneShotTimer::cancel() {
+  if (id_ != 0) {
+    loop_.cancel(id_);
+    id_ = 0;
+  }
+}
+
+void PeriodicTimer::start(Duration period, EventLoop::Callback cb) {
+  stop();
+  period_ = period;
+  cb_ = std::move(cb);
+  id_ = loop_.schedule_after(period_, [this] { fire(); });
+}
+
+void PeriodicTimer::stop() {
+  if (id_ != 0) {
+    loop_.cancel(id_);
+    id_ = 0;
+  }
+  cb_ = nullptr;
+}
+
+void PeriodicTimer::fire() {
+  // Reschedule first: cb_ may call stop(), which must cancel the next shot.
+  id_ = loop_.schedule_after(period_, [this] { fire(); });
+  cb_();
+}
+
+}  // namespace sttcp::sim

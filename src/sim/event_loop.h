@@ -1,0 +1,149 @@
+// Discrete-event simulation loop.
+//
+// A single EventLoop owns the virtual clock for a whole simulated world.
+// Components schedule callbacks at absolute or relative times; the loop
+// executes them in strict timestamp order, breaking ties by scheduling order
+// so that a given scenario is bit-for-bit reproducible.
+//
+// The loop is strictly single-threaded; no synchronization is needed or
+// provided.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace sttcp::sim {
+
+/// Opaque handle to a scheduled event, usable to cancel it.
+/// Value 0 is reserved and never issued.
+using TimerId = std::uint64_t;
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Current virtual time. Advances only while events execute.
+  SimTime now() const { return now_; }
+
+  /// Schedule `cb` to run at absolute time `t`. Times in the past run at the
+  /// current time (immediately after already-queued events for `now()`).
+  TimerId schedule_at(SimTime t, Callback cb);
+
+  /// Schedule `cb` to run `d` after the current time.
+  TimerId schedule_after(Duration d, Callback cb) {
+    return schedule_at(now_ + (d.is_negative() ? Duration::zero() : d), std::move(cb));
+  }
+
+  /// Cancel a pending event. Returns true if the event had not yet run.
+  bool cancel(TimerId id);
+
+  /// Execute the next pending event, if any. Returns false when idle.
+  bool step();
+
+  /// Run until the queue drains or `stop()` is called. Returns events run.
+  std::uint64_t run();
+
+  /// Run all events with timestamp <= t, then set the clock to exactly t.
+  std::uint64_t run_until(SimTime t);
+
+  /// Run all events within the next `d` of virtual time.
+  std::uint64_t run_for(Duration d) { return run_until(now_ + d); }
+
+  /// Make `run()`/`run_until()` return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+  /// Total events executed since construction (diagnostics / runaway guard).
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// Abort the process if a single run executes more than this many events.
+  /// Guards against accidental infinite event ping-pong in tests. 0 disables.
+  void set_event_budget(std::uint64_t budget) { budget_ = budget; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    TimerId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_map<TimerId, Callback> callbacks_;
+  std::unordered_set<TimerId> cancelled_;
+  TimerId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t budget_ = 0;
+  bool stopped_ = false;
+};
+
+/// A restartable one-shot timer bound to an EventLoop. Convenience wrapper
+/// used by protocol state machines for retransmission / heartbeat / delay
+/// timers: re-arming implicitly cancels the previous shot, and destruction
+/// cancels any pending shot (no callbacks into destroyed objects).
+class OneShotTimer {
+ public:
+  explicit OneShotTimer(EventLoop& loop) : loop_(loop) {}
+  ~OneShotTimer() { cancel(); }
+  OneShotTimer(const OneShotTimer&) = delete;
+  OneShotTimer& operator=(const OneShotTimer&) = delete;
+
+  /// Arm (or re-arm) to fire `d` from now.
+  void arm(Duration d, EventLoop::Callback cb);
+  /// Arm (or re-arm) to fire at absolute time `t`.
+  void arm_at(SimTime t, EventLoop::Callback cb);
+  void cancel();
+  bool armed() const { return id_ != 0; }
+  /// Absolute expiry time, or SimTime::never() when unarmed.
+  SimTime deadline() const { return id_ != 0 ? deadline_ : SimTime::never(); }
+
+ private:
+  EventLoop& loop_;
+  TimerId id_ = 0;
+  SimTime deadline_;
+};
+
+/// A periodic timer: fires every `period` until stopped or destroyed.
+class PeriodicTimer {
+ public:
+  explicit PeriodicTimer(EventLoop& loop) : loop_(loop) {}
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Start firing `cb` every `period`, first shot after `period`.
+  void start(Duration period, EventLoop::Callback cb);
+  void stop();
+  bool running() const { return id_ != 0; }
+  Duration period() const { return period_; }
+
+ private:
+  void fire();
+
+  EventLoop& loop_;
+  TimerId id_ = 0;
+  Duration period_;
+  EventLoop::Callback cb_;
+};
+
+}  // namespace sttcp::sim

@@ -1,0 +1,30 @@
+#include "sim/logging.h"
+
+#include <iostream>
+
+#include "sim/event_loop.h"
+
+namespace sttcp::sim {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF  ";
+  }
+  return "?????";
+}
+
+LogSink::LogSink(const EventLoop& loop, std::ostream* out, LogLevel level)
+    : loop_(loop), out_(out != nullptr ? out : &std::cerr), level_(level) {}
+
+void LogSink::write(LogLevel level, const std::string& component,
+                    const std::string& msg) {
+  (*out_) << "[" << loop_.now().str() << "] " << to_string(level) << " "
+          << component << ": " << msg << "\n";
+}
+
+}  // namespace sttcp::sim

@@ -1,0 +1,79 @@
+// Sim-time-stamped logging.
+//
+// A LogSink is shared by a whole simulated world; each component creates a
+// cheap Logger facade tagged with its name. Logging below the sink's level
+// costs one branch, so hot paths may log freely at kTrace/kDebug.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/strings.h"
+#include "sim/time.h"
+
+namespace sttcp::sim {
+
+class EventLoop;
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+const char* to_string(LogLevel level);
+
+/// Owns the output stream and the global level threshold.
+class LogSink {
+ public:
+  /// `loop` supplies timestamps; `out` defaults to stderr. Does not own `out`.
+  explicit LogSink(const EventLoop& loop, std::ostream* out = nullptr,
+                   LogLevel level = LogLevel::kWarn);
+
+  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_ = level; }
+
+  bool enabled(LogLevel level) const { return level >= level_; }
+  void write(LogLevel level, const std::string& component, const std::string& msg);
+
+ private:
+  const EventLoop& loop_;
+  std::ostream* out_;
+  LogLevel level_;
+};
+
+/// Per-component facade. Copyable; holds a pointer to the shared sink.
+/// A default-constructed Logger discards everything (useful in unit tests of
+/// leaf classes that do not care about logging).
+class Logger {
+ public:
+  Logger() = default;
+  Logger(LogSink* sink, std::string component)
+      : sink_(sink), component_(std::move(component)) {}
+
+  /// Derive a logger for a sub-component: "primary" -> "primary/tcp".
+  Logger child(const std::string& suffix) const {
+    return Logger(sink_, component_.empty() ? suffix : component_ + "/" + suffix);
+  }
+
+  bool enabled(LogLevel level) const { return sink_ != nullptr && sink_->enabled(level); }
+
+  template <typename... Args>
+  void log(LogLevel level, const Args&... args) const {
+    if (enabled(level)) sink_->write(level, component_, cat(args...));
+  }
+  template <typename... Args>
+  void trace(const Args&... args) const { log(LogLevel::kTrace, args...); }
+  template <typename... Args>
+  void debug(const Args&... args) const { log(LogLevel::kDebug, args...); }
+  template <typename... Args>
+  void info(const Args&... args) const { log(LogLevel::kInfo, args...); }
+  template <typename... Args>
+  void warn(const Args&... args) const { log(LogLevel::kWarn, args...); }
+  template <typename... Args>
+  void error(const Args&... args) const { log(LogLevel::kError, args...); }
+
+  const std::string& component() const { return component_; }
+
+ private:
+  LogSink* sink_ = nullptr;
+  std::string component_;
+};
+
+}  // namespace sttcp::sim

@@ -1,0 +1,44 @@
+// Deterministic pseudo-random source for simulations.
+//
+// xoshiro256** seeded through splitmix64 — fast, high quality, and fully
+// reproducible from a single 64-bit seed. Every stochastic element of a
+// scenario (link loss, jitter, payload generation) draws from an Rng so a
+// scenario is a pure function of its seed.
+#pragma once
+
+#include <cstdint>
+
+namespace sttcp::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5717cf00d5ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform over all 64-bit values.
+  std::uint64_t next_u64();
+
+  /// Uniform over [0, n). n == 0 returns 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform over the inclusive range [lo, hi].
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial: true with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Derive an independent child stream (for per-component RNGs).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace sttcp::sim

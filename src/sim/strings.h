@@ -1,0 +1,26 @@
+// Tiny string-building helpers (the toolchain lacks std::format).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sttcp::sim {
+
+namespace detail {
+inline void cat_one(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void cat_one(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  cat_one(os, rest...);
+}
+}  // namespace detail
+
+/// Concatenate any streamable values into a string: cat("x=", 3, "ms").
+template <typename... Args>
+std::string cat(const Args&... args) {
+  std::ostringstream os;
+  detail::cat_one(os, args...);
+  return os.str();
+}
+
+}  // namespace sttcp::sim

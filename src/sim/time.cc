@@ -1,0 +1,32 @@
+#include "sim/time.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace sttcp::sim {
+
+std::string Duration::str() const {
+  char buf[64];
+  const std::int64_t a = ns_ < 0 ? -ns_ : ns_;
+  if (a == 0) {
+    return "0s";
+  }
+  if (a < 1000) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ns", ns_);
+  } else if (a < 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", static_cast<double>(ns_) / 1e3);
+  } else if (a < 1000000000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(ns_) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(ns_) / 1e9);
+  }
+  return buf;
+}
+
+std::string SimTime::str() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6fs", static_cast<double>(ns_) / 1e9);
+  return buf;
+}
+
+}  // namespace sttcp::sim

@@ -1,0 +1,86 @@
+// Simulated time for the discrete-event kernel.
+//
+// All simulation components share a single virtual clock owned by the
+// EventLoop. Time is a signed 64-bit nanosecond count wrapped in strong types
+// so durations and absolute instants cannot be mixed up. The range (~292
+// years) is far beyond any scenario in this repository.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sttcp::sim {
+
+/// A span of simulated time. Nanosecond resolution.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration nanos(std::int64_t n) { return Duration(n); }
+  static constexpr Duration micros(std::int64_t n) { return Duration(n * 1000); }
+  static constexpr Duration millis(std::int64_t n) { return Duration(n * 1000000); }
+  static constexpr Duration seconds(std::int64_t n) { return Duration(n * 1000000000); }
+  static constexpr Duration minutes(std::int64_t n) { return seconds(n * 60); }
+  /// Duration from a floating-point second count (rounds to nearest ns).
+  static constexpr Duration from_seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr Duration zero() { return Duration(0); }
+  /// Sentinel larger than any scenario length; safe to add to any scenario time.
+  static constexpr Duration infinite() { return Duration(std::int64_t{1} << 62); }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr std::int64_t us() const { return ns_ / 1000; }
+  constexpr std::int64_t ms() const { return ns_ / 1000000; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_negative() const { return ns_ < 0; }
+
+  constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+  constexpr Duration operator*(std::int64_t k) const { return Duration(ns_ * k); }
+  constexpr Duration operator/(std::int64_t k) const { return Duration(ns_ / k); }
+  constexpr std::int64_t operator/(Duration o) const { return ns_ / o.ns_; }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  /// Human-readable rendering with an auto-selected unit, e.g. "1.500ms".
+  std::string str() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute instant on the simulation clock. The epoch (t = 0) is the
+/// moment the EventLoop was constructed.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  static constexpr SimTime from_ns(std::int64_t n) { return SimTime(n); }
+  static constexpr SimTime zero() { return SimTime(0); }
+  /// Sentinel beyond any scenario end; used as "never".
+  static constexpr SimTime never() { return SimTime(std::int64_t{1} << 62); }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+  constexpr bool is_never() const { return ns_ >= (std::int64_t{1} << 62); }
+
+  constexpr SimTime operator+(Duration d) const { return SimTime(ns_ + d.ns()); }
+  constexpr SimTime operator-(Duration d) const { return SimTime(ns_ - d.ns()); }
+  constexpr Duration operator-(SimTime o) const { return Duration::nanos(ns_ - o.ns_); }
+  constexpr SimTime& operator+=(Duration d) { ns_ += d.ns(); return *this; }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  /// Human-readable rendering as seconds, e.g. "12.345678s".
+  std::string str() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace sttcp::sim

@@ -1,0 +1,91 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+#include "sim/event_loop.h"
+
+namespace sttcp::sim {
+
+void TraceRecorder::record(std::string_view component, std::string_view event,
+                           std::string_view detail, std::int64_t value) {
+  entries_.push_back(TraceEntry{loop_->now(), std::string(component),
+                                std::string(event), std::string(detail), value});
+}
+
+std::size_t TraceRecorder::count(std::string_view event) const {
+  std::size_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.event == event) ++n;
+  }
+  return n;
+}
+
+std::size_t TraceRecorder::count(std::string_view component,
+                                 std::string_view event) const {
+  std::size_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.component == component && e.event == event) ++n;
+  }
+  return n;
+}
+
+std::optional<SimTime> TraceRecorder::first_time(std::string_view event) const {
+  const TraceEntry* e = first(event);
+  if (e == nullptr) return std::nullopt;
+  return e->at;
+}
+
+std::optional<SimTime> TraceRecorder::last_time(std::string_view event) const {
+  const TraceEntry* e = last(event);
+  if (e == nullptr) return std::nullopt;
+  return e->at;
+}
+
+const TraceEntry* TraceRecorder::first(std::string_view event) const {
+  for (const auto& e : entries_) {
+    if (e.event == event) return &e;
+  }
+  return nullptr;
+}
+
+const TraceEntry* TraceRecorder::last(std::string_view event) const {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->event == event) return &*it;
+  }
+  return nullptr;
+}
+
+std::vector<TraceEntry> TraceRecorder::all(std::string_view event) const {
+  std::vector<TraceEntry> out;
+  for (const auto& e : entries_) {
+    if (e.event == event) out.push_back(e);
+  }
+  return out;
+}
+
+bool TraceRecorder::strictly_before(std::string_view a, std::string_view b) const {
+  // Entry order, not timestamps: events recorded in one causal chain share a
+  // timestamp but have a definite order.
+  std::ptrdiff_t last_a = -1;
+  std::ptrdiff_t first_b = -1;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].event == a) last_a = static_cast<std::ptrdiff_t>(i);
+    if (first_b < 0 && entries_[i].event == b) first_b = static_cast<std::ptrdiff_t>(i);
+  }
+  if (last_a < 0) return false;
+  if (first_b < 0) return true;
+  return last_a < first_b;
+}
+
+std::string TraceRecorder::dump() const {
+  std::ostringstream os;
+  for (const auto& e : entries_) {
+    os << e.at.str() << " " << e.component << " " << e.event;
+    if (!e.detail.empty()) os << " [" << e.detail << "]";
+    if (e.value != 0) os << " value=" << e.value;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sttcp::sim

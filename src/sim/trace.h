@@ -1,0 +1,68 @@
+// Structured event trace.
+//
+// Protocol components emit named events ("takeover", "fin_suppressed", ...)
+// with a timestamp, the emitting component, and an optional integer value /
+// detail string. Tests and benchmarks assert on the trace instead of poking
+// into private state, and the harness derives metrics (e.g. failover time)
+// from it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace sttcp::sim {
+
+class EventLoop;
+
+struct TraceEntry {
+  SimTime at;
+  std::string component;
+  std::string event;
+  std::string detail;
+  std::int64_t value = 0;
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(const EventLoop& loop) : loop_(&loop) {}
+
+  void record(std::string_view component, std::string_view event,
+              std::string_view detail = {}, std::int64_t value = 0);
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+  void clear() { entries_.clear(); }
+
+  /// Number of entries whose event name equals `event`.
+  std::size_t count(std::string_view event) const;
+  /// Number of matching entries from a specific component.
+  std::size_t count(std::string_view component, std::string_view event) const;
+
+  /// Timestamp of the first/last entry with this event name.
+  std::optional<SimTime> first_time(std::string_view event) const;
+  std::optional<SimTime> last_time(std::string_view event) const;
+
+  /// First matching entry, if any.
+  const TraceEntry* first(std::string_view event) const;
+  const TraceEntry* last(std::string_view event) const;
+
+  /// All entries with this event name (copies).
+  std::vector<TraceEntry> all(std::string_view event) const;
+
+  /// True if `a` occurs at least once and every `a` precedes every `b` in
+  /// recording order (events in one causal chain share timestamps).
+  bool strictly_before(std::string_view a, std::string_view b) const;
+
+  /// Render the full trace, one line per entry (diagnostics in test failures).
+  std::string dump() const;
+
+ private:
+  const EventLoop* loop_;
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace sttcp::sim

@@ -1,0 +1,40 @@
+// World: the shared context every simulated component hangs off.
+//
+// Bundles the event loop, RNG root, log sink, and trace recorder so
+// constructors take one `World&` instead of four references.
+#pragma once
+
+#include <ostream>
+
+#include "sim/event_loop.h"
+#include "sim/logging.h"
+#include "sim/random.h"
+#include "sim/trace.h"
+
+namespace sttcp::sim {
+
+class World {
+ public:
+  explicit World(std::uint64_t seed = 1, std::ostream* log_out = nullptr,
+                 LogLevel log_level = LogLevel::kWarn)
+      : rng_(seed), sink_(loop_, log_out, log_level), trace_(loop_) {}
+
+  EventLoop& loop() { return loop_; }
+  const EventLoop& loop() const { return loop_; }
+  SimTime now() const { return loop_.now(); }
+
+  Rng& rng() { return rng_; }
+  LogSink& sink() { return sink_; }
+  TraceRecorder& trace() { return trace_; }
+  const TraceRecorder& trace() const { return trace_; }
+
+  Logger logger(const std::string& component) { return Logger(&sink_, component); }
+
+ private:
+  EventLoop loop_;
+  Rng rng_;
+  LogSink sink_;
+  TraceRecorder trace_;
+};
+
+}  // namespace sttcp::sim

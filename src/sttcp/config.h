@@ -1,0 +1,92 @@
+// ST-TCP configuration: every tunable the paper names (heartbeat period,
+// AppMaxLagBytes, AppMaxLagTime, MaxDelayFIN, hold-buffer size, ping
+// arbitration) plus the addressing of the server pair.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/addr.h"
+#include "sim/time.h"
+
+namespace sttcp::sttcp {
+
+struct StTcpConfig {
+  // --- identity ------------------------------------------------------------
+  /// The virtual service address clients connect to (an IP alias on both
+  /// servers, ARP-mapped to the multicast Ethernet address).
+  net::Ipv4Addr service_ip;
+  std::uint16_t service_port = 80;
+  /// This server's own (management) address, used for HB/control traffic.
+  net::Ipv4Addr my_ip;
+  /// The peer server's own address.
+  net::Ipv4Addr peer_ip;
+  /// Peer host name, for the STONITH power-off command.
+  std::string peer_name;
+  /// Gateway pinged during NIC-failure arbitration (§4.3).
+  net::Ipv4Addr gateway_ip;
+  /// Optional stream logger (§4.3 output-commit extension): the backup
+  /// fetches client bytes the dead primary had already acknowledged from
+  /// here after a takeover. Zero address disables the fallback.
+  net::Ipv4Addr logger_ip;
+  std::uint16_t logger_port = 7003;
+
+  // --- heartbeat -------------------------------------------------------------
+  std::uint16_t hb_port = 7001;
+  std::uint16_t control_port = 7002;
+  /// Heartbeat period (paper demos use 200 ms / 500 ms / 1 s).
+  sim::Duration hb_period = sim::Duration::millis(200);
+  /// Consecutive missed heartbeats before a channel is declared dead.
+  int hb_miss_threshold = 3;
+
+  // --- application-failure detection (§4.2.1) ----------------------------------
+  /// AppMaxLagBytes: peer app read/write position lagging by this many bytes…
+  std::uint64_t app_max_lag_bytes = 64 * 1024;
+  /// …sustained for this long ("a short duration of time") fails the peer.
+  sim::Duration app_lag_bytes_grace = sim::Duration::millis(500);
+  /// AppMaxLagTime: a byte processed locally but not by the peer for this
+  /// long fails the peer.
+  sim::Duration app_max_lag_time = sim::Duration::seconds(2);
+  /// Don't evaluate app lag until the replica has had a chance to appear.
+  sim::Duration replica_setup_grace = sim::Duration::seconds(1);
+
+  // --- FIN arbitration (§4.2.2) --------------------------------------------------
+  /// How long a disagreed FIN/RST is withheld before being trusted as a
+  /// normal close (paper suggests ~1 minute).
+  sim::Duration max_delay_fin = sim::Duration::seconds(60);
+
+  // --- NIC-failure arbitration (§4.3) -----------------------------------------
+  std::uint64_t nic_lag_bytes = 32 * 1024;
+  sim::Duration nic_lag_time = sim::Duration::seconds(2);
+  sim::Duration ping_interval = sim::Duration::millis(300);
+  sim::Duration ping_timeout = sim::Duration::millis(250);
+  /// Consecutive peer ping failures (with local pings succeeding) that
+  /// convict the peer's NIC.
+  int ping_fail_threshold = 3;
+
+  // --- missed-byte recovery (§4.3 temporary failures) -----------------------------
+  /// Extra receive buffer on the primary holding client bytes until the
+  /// backup confirms them (§2). Overflow ⇒ backup considered failed.
+  /// Sizing law (see bench_ablation_design): confirmations arrive once per
+  /// heartbeat, so steady-state occupancy under sustained client upload is
+  /// ~bandwidth x hb_period (2.5 MB at 100 Mbps / 200 ms) plus recovery
+  /// backlog; size well above that.
+  std::size_t hold_buffer_capacity = 8 * 1024 * 1024;
+  /// How long a receive gap must persist before the backup asks the primary.
+  sim::Duration recovery_request_delay = sim::Duration::millis(50);
+  /// Payload bytes per MissedBytesReply datagram (fits a 1500-byte MTU).
+  std::size_t recovery_chunk = 1200;
+
+  // --- takeover --------------------------------------------------------------
+  /// Paper behaviour: after takeover, wait for the next natural client/backup
+  /// retransmission. Enabling this retransmits immediately instead (our
+  /// extension; quantified by the ablation bench).
+  bool immediate_retransmit_on_takeover = false;
+
+  // --- housekeeping -----------------------------------------------------------
+  /// Closed connections linger in heartbeat records this long (lets the peer
+  /// observe the closed flag before the record disappears).
+  sim::Duration closed_linger = sim::Duration::seconds(2);
+};
+
+}  // namespace sttcp::sttcp

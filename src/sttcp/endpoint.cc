@@ -1,0 +1,768 @@
+#include "sttcp/endpoint.h"
+
+#include <algorithm>
+
+#include "sttcp/logger.h"
+
+namespace sttcp::sttcp {
+
+StTcpEndpoint::StTcpEndpoint(net::Host& host, tcp::TcpStack& stack,
+                             net::PowerController& power, net::SerialPort* serial,
+                             Role role, StTcpConfig config)
+    : host_(host),
+      stack_(stack),
+      power_(power),
+      serial_(serial),
+      role_(role),
+      cfg_(std::move(config)),
+      log_(host.logger().child("sttcp")),
+      world_(host.world()),
+      hb_timer_(host.world().loop()),
+      ping_timer_(host.world().loop()),
+      logger_timer_(host.world().loop()) {}
+
+StTcpEndpoint::~StTcpEndpoint() = default;
+
+void StTcpEndpoint::start() {
+  started_ = true;
+  last_rx_ip_ = world_.now();
+  last_rx_serial_ = world_.now();
+
+  stack_.set_observer(this);
+  if (role_ == Role::kBackup) {
+    stack_.set_replica_mode(true);
+    stack_.set_replica_inference(
+        [this](const tcp::FourTuple& t, tcp::SeqWire iss, tcp::SeqWire irs) {
+          create_replica_inferred(t, iss, irs);
+        });
+  }
+
+  host_.udp_bind(cfg_.hb_port, [this](net::Ipv4Addr, std::uint16_t,
+                                      net::BytesView payload) {
+    on_hb_datagram(payload, /*via_serial=*/false);
+  });
+  host_.udp_bind(cfg_.control_port,
+                 [this](net::Ipv4Addr src, std::uint16_t, net::BytesView payload) {
+                   on_control_datagram(src, payload);
+                 });
+  if (serial_ != nullptr) {
+    serial_->set_handler([this](net::Bytes msg) {
+      on_hb_datagram(msg, /*via_serial=*/true);
+    });
+  }
+  host_.add_crash_hook([this] {
+    mode_ = Mode::kDead;
+    hb_timer_.stop();
+    ping_timer_.cancel();
+  });
+
+  hb_timer_.start(cfg_.hb_period, [this] {
+    send_heartbeat();
+    detector_tick();
+  });
+  log_.info("ST-TCP ", to_string(role_), " started (hb=", cfg_.hb_period.str(), ")");
+}
+
+bool StTcpEndpoint::ip_channel_alive() const {
+  const sim::Duration deadline =
+      cfg_.hb_period * cfg_.hb_miss_threshold + cfg_.hb_period / 2;
+  return world_.now() - last_rx_ip_ <= deadline;
+}
+
+bool StTcpEndpoint::serial_channel_alive() const {
+  const sim::Duration deadline =
+      cfg_.hb_period * cfg_.hb_miss_threshold + cfg_.hb_period / 2;
+  return world_.now() - last_rx_serial_ <= deadline;
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat
+// ---------------------------------------------------------------------------
+
+void StTcpEndpoint::send_heartbeat(bool include_serial) {
+  if (!host_.alive() || mode_ == Mode::kDead) return;
+  if (mode_ == Mode::kTakenOver || mode_ == Mode::kNonFaultTolerant) return;
+
+  HeartbeatMsg msg;
+  msg.role = role_;
+  msg.hb_seq = hb_seq_++;
+  msg.ping_valid = my_ping_valid_;
+  msg.ping_ok = my_ping_ok_;
+  msg.app_suspect = local_app_suspect_;
+  msg.records.reserve(conns_.size());
+  for (auto& [id, rc] : conns_) {
+    HbRecord rec;
+    rec.repl_id = id;
+    rec.fin_generated = rc->fin();
+    rec.rst_generated = rc->rst();
+    rec.closed = rc->local_closed;
+    rec.bytes_received = rc->received();
+    rec.acked_by_peer = rc->acked();
+    rec.app_written = rc->written();
+    rec.app_read = rc->read();
+    if (role_ == Role::kPrimary && !rc->announce_confirmed && rc->conn != nullptr) {
+      rec.announce = true;
+      rec.established = true;
+      rec.client_ip = rc->tuple.remote.ip;
+      rec.client_port = rc->tuple.remote.port;
+      rec.local_port = rc->tuple.local.port;
+      rec.iss = rc->conn->iss();
+      rec.irs = rc->conn->irs();
+    }
+    msg.records.push_back(rec);
+  }
+
+  const net::Bytes wire_msg = msg.serialize();
+  host_.udp_send(cfg_.my_ip, cfg_.hb_port, cfg_.peer_ip, cfg_.hb_port, wire_msg);
+  if (include_serial && serial_ != nullptr) serial_->send(wire_msg);
+  ++stats_.hb_sent;
+}
+
+void StTcpEndpoint::on_hb_datagram(net::BytesView payload, bool via_serial) {
+  if (!host_.alive() || mode_ == Mode::kDead) return;
+  auto msg = HeartbeatMsg::parse(payload);
+  if (!msg.has_value()) {
+    log_.warn("malformed heartbeat (", via_serial ? "serial" : "ip", ")");
+    return;
+  }
+  on_heartbeat(*msg, via_serial);
+}
+
+void StTcpEndpoint::on_heartbeat(const HeartbeatMsg& msg, bool via_serial) {
+  if (msg.role == role_) return;  // our own reflection; should not happen
+  if (via_serial) {
+    last_rx_serial_ = world_.now();
+    ++stats_.hb_received_serial;
+  } else {
+    last_rx_ip_ = world_.now();
+    ++stats_.hb_received_ip;
+  }
+  if (mode_ != Mode::kReplicating) return;
+
+  if (msg.ping_valid) {
+    peer_ping_fail_streak_ = msg.ping_ok ? 0 : peer_ping_fail_streak_ + 1;
+  }
+  if (msg.app_suspect) peer_app_suspect_ = true;
+
+  for (const HbRecord& rec : msg.records) {
+    if (!active()) break;  // a record may have triggered a failover action
+    process_record(rec);
+  }
+}
+
+void StTcpEndpoint::process_record(const HbRecord& rec) {
+  ReplConn* rc = by_id(rec.repl_id);
+  if (rc == nullptr) {
+    if (role_ == Role::kBackup && rec.announce) {
+      create_replica_from(rec);
+      rc = by_id(rec.repl_id);
+    }
+    if (rc == nullptr) return;
+  }
+
+  if (role_ == Role::kPrimary && !rc->announce_confirmed) {
+    rc->announce_confirmed = true;
+    ++stats_.announces_confirmed;
+    world_.trace().record(host_.name(), "announce_confirmed", rc->tuple.str());
+  }
+
+  // Unwrap the 32-bit wire counters against the previous values.
+  rc->p_received = unwrap_counter(static_cast<std::uint32_t>(rec.bytes_received),
+                                  rc->p_received);
+  rc->p_acked =
+      unwrap_counter(static_cast<std::uint32_t>(rec.acked_by_peer), rc->p_acked);
+  rc->p_written =
+      unwrap_counter(static_cast<std::uint32_t>(rec.app_written), rc->p_written);
+  rc->p_read = unwrap_counter(static_cast<std::uint32_t>(rec.app_read), rc->p_read);
+  rc->p_fin = rc->p_fin || rec.fin_generated;
+  rc->p_rst = rc->p_rst || rec.rst_generated;
+  rc->p_closed = rc->p_closed || rec.closed;
+  rc->peer_valid = true;
+
+  // Primary: the backup has confirmed receipt through p_received — release
+  // the hold buffer below that point.
+  if (role_ == Role::kPrimary) {
+    rc->hold.release_to(rc->p_received);
+  }
+
+  // FIN arbitration: the peer generated a FIN/RST.
+  if ((rc->p_fin || rc->p_rst)) on_peer_fin_notice(*rc);
+
+  const sim::SimTime now = world_.now();
+
+  // Application-failure detection (§4.2.1). Detection stays ACTIVE while a
+  // FIN disagreement is pending — the paper makes the delayed-FIN window
+  // "identical to the one described in Section 4.2.1". Only an AGREED close
+  // (both sides produced a FIN/RST) or a finished connection disables it;
+  // replicas behave identically during a normal close, so a lone FIN on the
+  // healthy side never creates false lag.
+  // While the IP heartbeat is down (local network failure, §4.3), app-level
+  // lag is a symptom of the network fault, not of the application: leave the
+  // diagnosis to the NIC arbitration below.
+  // A lone peer close (FIN/RST/closed with our side still open) is NOT
+  // benign — its frozen counters are exactly the §4.2.1 symptom.
+  const bool local_closing = rc->conn == nullptr || rc->conn->fin_generated() ||
+                             rc->conn->rst_generated();
+  const bool peer_closing = rc->p_fin || rc->p_rst || rc->p_closed;
+  // While we are actively serving missed bytes to the peer, its app lag is
+  // explained by the gap being repaired — do not convict until the recovery
+  // has had a couple of heartbeats to land.
+  const bool recovering_peer =
+      rc->ever_served && now - rc->last_served_at < cfg_.hb_period * 3;
+  const bool detection_eligible = rc->conn != nullptr && !rc->local_closed &&
+                                  !(local_closing && peer_closing) &&
+                                  !recovering_peer && ip_channel_alive();
+  if (detection_eligible) {
+    const auto v_read = rc->lag_read.update(rc->read(), rc->p_read, now);
+    if (v_read.failed) {
+      peer_failed(sim::cat("app read lag: ", v_read.reason), "app_failure_detected");
+      return;
+    }
+    const auto v_written = rc->lag_written.update(rc->written(), rc->p_written, now);
+    if (v_written.failed) {
+      peer_failed(sim::cat("app write lag: ", v_written.reason),
+                  "app_failure_detected");
+      return;
+    }
+  }
+
+  // NIC-failure detection via LastByteReceived / LastAckReceived comparison
+  // (§4.3) — only meaningful while the IP channel is dead and the serial
+  // channel carries the heartbeat.
+  if (!ip_channel_alive() && serial_channel_alive() && rc->conn != nullptr &&
+      !rc->local_closed && !rc->p_closed) {
+    const auto v_rx = rc->lag_received.update(rc->received(), rc->p_received, now);
+    const auto v_ack = rc->lag_acked.update(rc->acked(), rc->p_acked, now);
+    if (v_rx.failed || v_ack.failed) {
+      peer_failed(sim::cat("NIC failure (client-byte comparison): ",
+                           v_rx.failed ? v_rx.reason : v_ack.reason),
+                  "nic_failure_detected");
+      return;
+    }
+  }
+
+  // Backup: missed-byte recovery (§4.3 temporary failures).
+  if (role_ == Role::kBackup) maybe_request_missed(*rc);
+}
+
+void StTcpEndpoint::detector_tick() {
+  if (!active()) return;
+  gc_closed_conns();
+
+  const bool ip_alive = ip_channel_alive();
+  const bool serial_alive = serial_channel_alive();
+
+  if (!ip_alive && !serial_alive) {
+    // Table 1 row 1: HB failure on both links => peer crashed.
+    world_.trace().record(host_.name(), "hb_both_links_dead");
+    peer_failed("heartbeat failure on both links", "peer_dead");
+    return;
+  }
+
+  if (!ip_alive && serial_alive) {
+    // Table 1 row 4 territory: local network failure somewhere. Start (or
+    // continue) gateway-ping arbitration; conviction happens here or in
+    // process_record via the byte-count comparison.
+    if (!ping_loop_active_) {
+      ping_loop_active_ = true;
+      world_.trace().record(host_.name(), "nic_arbitration_start");
+      update_ping_loop();
+    }
+    evaluate_nic_arbitration();
+  } else if (ping_loop_active_) {
+    ping_loop_active_ = false;
+    my_ping_valid_ = false;
+    peer_ping_fail_streak_ = 0;
+    ping_timer_.cancel();
+  }
+
+  if (peer_app_suspect_) {
+    peer_failed("watchdog reported peer application failure", "watchdog_failure");
+    return;
+  }
+
+  // A connection the peer never started replicating within the grace period
+  // means the peer application is not accepting (e.g. it crashed between
+  // connections).
+  for (auto& [id, rc] : conns_) {
+    if (!rc->peer_valid && rc->conn != nullptr && !rc->local_closed &&
+        world_.now() - rc->registered_at > cfg_.replica_setup_grace) {
+      peer_failed(sim::cat("peer never replicated connection ", rc->tuple.str()),
+                  "app_failure_detected");
+      return;
+    }
+    // Deferred hold-buffer overflow (set from the rx tap).
+    if (rc->hold.overflowed()) {
+      peer_failed("hold buffer overflow: backup cannot catch up", "hold_overflow");
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registration
+// ---------------------------------------------------------------------------
+
+void StTcpEndpoint::on_accepted(tcp::TcpConnection& conn) {
+  if (mode_ != Mode::kReplicating) return;
+  if (conn.tuple().local.ip != cfg_.service_ip ||
+      conn.tuple().local.port != cfg_.service_port) {
+    return;  // not the replicated service
+  }
+  if (role_ == Role::kPrimary) {
+    register_primary_conn(conn);
+  }
+  // Backup replicas are registered in create_replica_from(); nothing here.
+}
+
+void StTcpEndpoint::on_finished(tcp::TcpConnection& conn, tcp::CloseReason) {
+  ReplConn* rc = by_tuple(conn.tuple());
+  if (rc == nullptr || rc->conn != &conn) return;
+  rc->f_received = conn.bytes_received();
+  rc->f_acked = conn.bytes_acked_by_peer();
+  rc->f_written = conn.app_bytes_written();
+  rc->f_read = conn.app_bytes_read();
+  rc->f_fin = conn.fin_generated();
+  rc->f_rst = conn.rst_generated();
+  rc->conn = nullptr;
+  rc->local_closed = true;
+  rc->closed_at = world_.now();
+  rc->fin_delay_timer.cancel();
+  rc->peer_fin_timer.cancel();
+}
+
+void StTcpEndpoint::register_primary_conn(tcp::TcpConnection& conn) {
+  const std::uint16_t id = next_id_++;
+  auto rc = std::make_unique<ReplConn>(world_.loop(), cfg_);
+  rc->id = id;
+  rc->tuple = conn.tuple();
+  rc->conn = &conn;
+  rc->registered_at = world_.now();
+  conns_.emplace(id, std::move(rc));
+  id_by_tuple_[conn.tuple()] = id;
+
+  conn.set_rx_tap([this, id](std::uint64_t off, net::BytesView data) {
+    ReplConn* r = by_id(id);
+    if (r == nullptr || mode_ != Mode::kReplicating) return;
+    r->hold.append(off, data);
+    // Overflow is handled (deferred) by detector_tick: reacting here would
+    // tear down hooks while this very callback executes.
+  });
+  conn.set_close_gate([this, id](bool is_rst) { return close_gate(id, is_rst); });
+
+  world_.trace().record(host_.name(), "conn_registered", conn.tuple().str(), id);
+  // Announce immediately rather than waiting out the period (IP channel
+  // only: the periodic beat carries it on serial).
+  send_heartbeat(/*include_serial=*/false);
+}
+
+void StTcpEndpoint::create_replica_from(const HbRecord& rec) {
+  tcp::FourTuple tuple;
+  tuple.local = net::SocketAddr{cfg_.service_ip, rec.local_port};
+  tuple.remote = net::SocketAddr{rec.client_ip, rec.client_port};
+
+  // The tuple may already be tracked under an inferred id (ISN inference
+  // beat the announcement): remap it to the primary's id so heartbeat
+  // records line up, and keep the existing connection.
+  auto existing = id_by_tuple_.find(tuple);
+  if (existing != id_by_tuple_.end()) {
+    const std::uint16_t old_id = existing->second;
+    if (old_id == rec.repl_id) return;
+    auto node = conns_.extract(old_id);
+    if (!node.empty()) {
+      node.key() = rec.repl_id;
+      node.mapped()->id = rec.repl_id;
+      conns_.insert(std::move(node));
+      existing->second = rec.repl_id;
+      world_.trace().record(host_.name(), "replica_id_remapped", tuple.str(),
+                            rec.repl_id);
+    }
+    return;
+  }
+
+  auto rc = std::make_unique<ReplConn>(world_.loop(), cfg_);
+  rc->id = rec.repl_id;
+  rc->tuple = tuple;
+  rc->registered_at = world_.now();
+  conns_.emplace(rec.repl_id, std::move(rc));
+  id_by_tuple_[tuple] = rec.repl_id;
+
+  tcp::TcpConnection::ReplicaInit init;
+  init.iss = rec.iss;
+  init.irs = rec.irs;
+  init.established = rec.established;
+  tcp::TcpConnection& conn = stack_.create_replica(tuple, init);
+  conns_[rec.repl_id]->conn = &conn;
+  ++stats_.replicas_created;
+  world_.trace().record(host_.name(), "replica_created", tuple.str(), rec.repl_id);
+}
+
+void StTcpEndpoint::create_replica_inferred(const tcp::FourTuple& tuple,
+                                            tcp::SeqWire iss, tcp::SeqWire irs) {
+  if (mode_ != Mode::kReplicating) return;
+  if (tuple.local.ip != cfg_.service_ip || tuple.local.port != cfg_.service_port) {
+    return;  // only the replicated service is adopted
+  }
+  if (id_by_tuple_.count(tuple) != 0) return;
+  const std::uint16_t id = next_inferred_id_++;
+  auto rc = std::make_unique<ReplConn>(world_.loop(), cfg_);
+  rc->id = id;
+  rc->tuple = tuple;
+  rc->registered_at = world_.now();
+  // The inferred replica has no peer record yet; the announce (if the
+  // primary lives long enough to send one) will remap the id.
+  rc->peer_valid = true;  // suppress the setup-grace detector: we self-made it
+  conns_.emplace(id, std::move(rc));
+  id_by_tuple_[tuple] = id;
+
+  tcp::TcpConnection::ReplicaInit init;
+  init.iss = iss;
+  init.irs = irs;
+  init.established = true;
+  tcp::TcpConnection& conn = stack_.create_replica(tuple, init);
+  conns_[id]->conn = &conn;
+  ++stats_.replicas_created;
+  world_.trace().record(host_.name(), "replica_created", tuple.str(), id);
+  world_.trace().record(host_.name(), "replica_inferred", tuple.str(), id);
+}
+
+// ---------------------------------------------------------------------------
+// FIN arbitration (§4.2.2)
+// ---------------------------------------------------------------------------
+
+bool StTcpEndpoint::close_gate(std::uint16_t id, bool is_rst) {
+  if (mode_ != Mode::kReplicating) return true;
+  ReplConn* rc = by_id(id);
+  if (rc == nullptr || rc->conn == nullptr) return true;
+
+  // "The primary always immediately sends out a FIN if it has already
+  // received a FIN from the client."
+  if (rc->conn->peer_half_closed()) return true;
+
+  // Agreement: the peer generated one too => normal closure.
+  if (rc->p_fin || rc->p_rst) {
+    ++stats_.fin_agreed;
+    world_.trace().record(host_.name(), "fin_agreed", rc->tuple.str());
+    return true;
+  }
+
+  // Disagreement (so far): withhold for MaxDelayFIN. The peer's notice may
+  // arrive within a heartbeat; failure detection may also fire first.
+  if (!rc->fin_withheld) {
+    rc->fin_withheld = true;
+    ++stats_.fin_delayed;
+    world_.trace().record(host_.name(), is_rst ? "rst_delayed" : "fin_delayed",
+                          rc->tuple.str());
+    rc->fin_delay_timer.arm(cfg_.max_delay_fin, [this, id] {
+      ReplConn* r = by_id(id);
+      if (r == nullptr || r->conn == nullptr) return;
+      // MaxDelayFIN expired with no failure detected: trust our own close
+      // as the correct behaviour and send the FIN to the client.
+      world_.trace().record(host_.name(), "fin_released_after_delay",
+                            r->tuple.str());
+      r->conn->release_fin();
+    });
+    // Tell the peer about our FIN right away ("...should immediately
+    // communicate the FIN to the other server through the HB").
+    send_heartbeat(/*include_serial=*/false);
+  }
+  return false;
+}
+
+void StTcpEndpoint::on_peer_fin_notice(ReplConn& rc) {
+  if (rc.conn == nullptr) return;
+
+  // If our own FIN is withheld, the peer's notice settles the arbitration:
+  // both closed => normal closure, send it.
+  if (rc.fin_withheld) {
+    rc.fin_withheld = false;
+    rc.fin_delay_timer.cancel();
+    ++stats_.fin_agreed;
+    world_.trace().record(host_.name(), "fin_agreed", rc.tuple.str());
+    rc.conn->release_fin();
+    return;
+  }
+
+  // Peer FINed, we did not (and our app hasn't closed): suspicious. Give the
+  // lag detectors MaxDelayFIN to convict; on the primary an expiry convicts
+  // the backup (its FIN was a failure artifact); on the backup an expiry
+  // means the primary will send its FIN — nothing for us to do.
+  if (!rc.conn->fin_generated() && !rc.conn->rst_generated() &&
+      !rc.peer_fin_timer.armed()) {
+    const std::uint16_t id = rc.id;
+    world_.trace().record(host_.name(), "peer_fin_disagreement", rc.tuple.str());
+    rc.peer_fin_timer.arm(cfg_.max_delay_fin, [this, id] {
+      if (!active()) return;
+      ReplConn* r = by_id(id);
+      if (r == nullptr || r->conn == nullptr) return;
+      if (r->conn->fin_generated() || r->conn->rst_generated()) return;  // agreed since
+      if (role_ == Role::kPrimary) {
+        peer_failed("backup generated FIN/RST with no local counterpart",
+                    "fin_disagreement");
+      } else {
+        world_.trace().record(host_.name(), "fin_disagreement_expired",
+                              r->tuple.str());
+      }
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NIC arbitration (§4.3)
+// ---------------------------------------------------------------------------
+
+void StTcpEndpoint::update_ping_loop() {
+  if (!ping_loop_active_ || !active()) return;
+  host_.ping(cfg_.my_ip, cfg_.gateway_ip, cfg_.ping_timeout,
+             [this](bool ok, sim::Duration) {
+               my_ping_valid_ = true;
+               my_ping_ok_ = ok;
+             });
+  ping_timer_.arm(cfg_.ping_interval, [this] { update_ping_loop(); });
+}
+
+void StTcpEndpoint::evaluate_nic_arbitration() {
+  if (my_ping_valid_ && my_ping_ok_ &&
+      peer_ping_fail_streak_ >= cfg_.ping_fail_threshold) {
+    peer_failed(sim::cat("gateway ping arbitration: peer failed ",
+                         peer_ping_fail_streak_, " consecutive pings"),
+                "nic_failure_detected");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Missed-byte recovery (§4.3 temporary failures)
+// ---------------------------------------------------------------------------
+
+void StTcpEndpoint::maybe_request_missed(ReplConn& rc) {
+  if (rc.conn == nullptr) return;
+  const std::uint64_t mine = rc.conn->bytes_received();
+  if (rc.p_received <= mine) return;
+  if (world_.now() - rc.last_request_at < cfg_.recovery_request_delay &&
+      rc.last_request_offset == mine) {
+    return;  // request outstanding for the same gap
+  }
+  MissedBytesRequest req;
+  req.repl_id = rc.id;
+  req.offset = mine;
+  req.length = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(rc.p_received - mine, 512 * 1024));
+  rc.last_request_at = world_.now();
+  rc.last_request_offset = mine;
+  ++stats_.missed_requests_sent;
+  world_.trace().record(host_.name(), "missed_bytes_request", rc.tuple.str(),
+                        static_cast<std::int64_t>(req.length));
+  host_.udp_send(cfg_.my_ip, cfg_.control_port, cfg_.peer_ip, cfg_.control_port,
+                 req.serialize());
+}
+
+void StTcpEndpoint::on_control_datagram(net::Ipv4Addr src, net::BytesView payload) {
+  if (!host_.alive() || mode_ == Mode::kDead) return;
+  if (src == cfg_.peer_ip) {
+    auto msg = ControlMsg::parse(payload);
+    if (!msg.has_value()) return;
+    switch (msg->type) {
+      case ControlType::kMissedBytesRequest:
+        serve_missed(msg->request);
+        break;
+      case ControlType::kMissedBytesReply:
+        apply_missed(msg->reply);
+        break;
+    }
+    return;
+  }
+  if (!cfg_.logger_ip.is_zero() && src == cfg_.logger_ip) {
+    auto rep = LoggerReply::parse(payload);
+    if (!rep.has_value() || rep->data.empty()) return;
+    tcp::FourTuple t;
+    t.local = net::SocketAddr{cfg_.service_ip, rep->service_port};
+    t.remote = net::SocketAddr{rep->client_ip, rep->client_port};
+    ReplConn* rc = by_tuple(t);
+    if (rc == nullptr || rc->conn == nullptr) return;
+    const std::size_t injected =
+        rc->conn->inject_stream_bytes(rep->offset, rep->data);
+    stats_.logger_bytes_injected += injected;
+    if (injected > 0) {
+      world_.trace().record(host_.name(), "logger_injected", rc->tuple.str(),
+                            static_cast<std::int64_t>(injected));
+      // Chain immediately while the gap persists.
+      logger_recovery_tick();
+    }
+  }
+}
+
+void StTcpEndpoint::serve_missed(const MissedBytesRequest& req) {
+  ReplConn* rc = by_id(req.repl_id);
+  if (rc == nullptr) return;
+  ++stats_.missed_requests_served;
+  rc->last_served_at = world_.now();
+  rc->ever_served = true;
+  std::uint64_t off = req.offset;
+  std::uint64_t remaining = req.length;
+  while (remaining > 0) {
+    const std::size_t chunk =
+        static_cast<std::size_t>(std::min<std::uint64_t>(remaining, cfg_.recovery_chunk));
+    MissedBytesReply rep;
+    rep.repl_id = req.repl_id;
+    rep.offset = off;
+    rep.data = rc->hold.slice(off, chunk);
+    if (rep.data.empty()) {
+      log_.warn("missed-byte request for [", off, ", +", chunk,
+                ") outside hold buffer [", rc->hold.start_offset(), ", ",
+                rc->hold.end_offset(), ")");
+      break;
+    }
+    world_.trace().record(host_.name(), "missed_bytes_served", rc->tuple.str(),
+                          static_cast<std::int64_t>(rep.data.size()));
+    const std::uint64_t served = rep.data.size();
+    host_.udp_send(cfg_.my_ip, cfg_.control_port, cfg_.peer_ip, cfg_.control_port,
+                   rep.serialize());
+    off += served;
+    remaining -= std::min<std::uint64_t>(remaining, served);
+    if (served < chunk) break;  // ran out of held bytes
+  }
+}
+
+void StTcpEndpoint::apply_missed(const MissedBytesReply& rep) {
+  ReplConn* rc = by_id(rep.repl_id);
+  if (rc == nullptr || rc->conn == nullptr) return;
+  const std::size_t injected = rc->conn->inject_stream_bytes(rep.offset, rep.data);
+  stats_.missed_bytes_injected += injected;
+  if (injected > 0) {
+    world_.trace().record(host_.name(), "missed_bytes_injected", rc->tuple.str(),
+                          static_cast<std::int64_t>(injected));
+    // Chain: if the gap is still open (more was lost than one request
+    // covers), ask again immediately instead of waiting for the next
+    // heartbeat record.
+    maybe_request_missed(*rc);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failure reactions
+// ---------------------------------------------------------------------------
+
+void StTcpEndpoint::peer_failed(const std::string& reason, const char* trace_event) {
+  if (!active()) return;
+  world_.trace().record(host_.name(), trace_event, reason);
+  log_.warn("peer declared failed: ", reason);
+  if (role_ == Role::kBackup) {
+    takeover(reason);
+  } else {
+    stonith_peer();
+    go_non_ft(reason);
+  }
+}
+
+void StTcpEndpoint::takeover(const std::string& reason) {
+  ++stats_.takeovers;
+  mode_ = Mode::kTakenOver;
+  // Power the primary down BEFORE assuming the connection — no dual-active.
+  stonith_peer();
+  stack_.set_replica_mode(false);
+  for (auto& [id, rc] : conns_) {
+    if (rc->conn != nullptr) {
+      rc->conn->on_takeover(cfg_.immediate_retransmit_on_takeover);
+    }
+  }
+  hb_timer_.stop();
+  ping_timer_.cancel();
+  world_.trace().record(host_.name(), "takeover", reason);
+  log_.warn("TOOK OVER as active server: ", reason);
+  // Output-commit fallback: any receive gap whose bytes the dead primary
+  // already acknowledged can only be filled by the stream logger now.
+  if (!cfg_.logger_ip.is_zero()) {
+    logger_attempts_ = 0;
+    logger_recovery_tick();
+  }
+}
+
+void StTcpEndpoint::logger_recovery_tick() {
+  if (!host_.alive()) return;
+  bool any_gap = false;
+  for (auto& [id, rc] : conns_) {
+    if (rc->conn == nullptr) continue;
+    const std::uint64_t mine = rc->conn->bytes_received();
+    std::uint64_t target = rc->p_received;
+    if (rc->conn->has_rx_gap()) {
+      target = std::max(target, rc->conn->rx_gap_end());
+    }
+    // The client retransmitting from above our rcv_nxt proves the dead
+    // primary acknowledged the bytes in between; only the logger has them.
+    if (const auto floor = rc->conn->rx_future_floor()) {
+      target = std::max(target, *floor);
+    }
+    if (target <= mine) continue;
+    any_gap = true;
+    LoggerRequest req;
+    req.client_ip = rc->tuple.remote.ip;
+    req.client_port = rc->tuple.remote.port;
+    req.service_port = rc->tuple.local.port;
+    req.offset = mine;
+    req.length = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        target - mine, cfg_.recovery_chunk));
+    ++stats_.logger_requests_sent;
+    world_.trace().record(host_.name(), "logger_request", rc->tuple.str(),
+                          static_cast<std::int64_t>(req.length));
+    host_.udp_send(cfg_.my_ip, cfg_.control_port, cfg_.logger_ip,
+                   cfg_.logger_port, req.serialize());
+  }
+  if (any_gap && ++logger_attempts_ < 200) {
+    logger_timer_.arm(cfg_.hb_period / 2, [this] { logger_recovery_tick(); });
+  }
+}
+
+void StTcpEndpoint::go_non_ft(const std::string& reason) {
+  mode_ = Mode::kNonFaultTolerant;
+  for (auto& [id, rc] : conns_) {
+    rc->hold.clear();
+    if (rc->conn != nullptr) {
+      rc->conn->set_rx_tap(nullptr);
+      rc->conn->set_close_gate(nullptr);
+      rc->conn->release_fin();  // any withheld FIN goes out now
+    }
+    rc->fin_delay_timer.cancel();
+    rc->peer_fin_timer.cancel();
+  }
+  hb_timer_.stop();
+  ping_timer_.cancel();
+  world_.trace().record(host_.name(), "non_ft_mode", reason);
+  log_.warn("running NON-FAULT-TOLERANT: ", reason);
+}
+
+void StTcpEndpoint::stonith_peer() {
+  world_.trace().record(host_.name(), "stonith", cfg_.peer_name);
+  if (!power_.power_off(cfg_.peer_name)) {
+    log_.warn("STONITH of ", cfg_.peer_name, " failed (power controller)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bookkeeping
+// ---------------------------------------------------------------------------
+
+StTcpEndpoint::ReplConn* StTcpEndpoint::by_id(std::uint16_t id) {
+  auto it = conns_.find(id);
+  return it == conns_.end() ? nullptr : it->second.get();
+}
+
+StTcpEndpoint::ReplConn* StTcpEndpoint::by_tuple(const tcp::FourTuple& t) {
+  auto it = id_by_tuple_.find(t);
+  return it == id_by_tuple_.end() ? nullptr : by_id(it->second);
+}
+
+void StTcpEndpoint::gc_closed_conns() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    ReplConn& rc = *it->second;
+    const bool expired = rc.local_closed &&
+                         (rc.p_closed || world_.now() - rc.closed_at > cfg_.closed_linger);
+    if (expired) {
+      id_by_tuple_.erase(rc.tuple);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace sttcp::sttcp

@@ -1,0 +1,247 @@
+// StTcpEndpoint: the per-server ST-TCP engine (the paper's primary
+// contribution).
+//
+// One endpoint runs on the primary and one on the backup. Each:
+//  * exchanges heartbeats every hb_period on TWO channels — UDP over the IP
+//    link and the RS-232 serial link (§3) — carrying the per-connection
+//    progress counters, FIN/RST notices, connection announcements and
+//    gateway-ping results;
+//  * tracks per-channel liveness (hb_miss_threshold consecutive silent
+//    periods kill a channel);
+//  * detects and reacts to every single-failure row of Table 1:
+//      1. HW/OS crash        — both channels dead             → takeover / non-FT
+//      2. app hang (no FIN)  — AppMaxLagBytes / AppMaxLagTime → takeover / non-FT
+//      3. app crash (FIN)    — FIN disagreement + MaxDelayFIN → takeover / non-FT
+//      4. NIC/cable failure  — IP dead + serial alive, LastByteReceived
+//                              comparison + gateway-ping arbitration
+//      5. temporary loss     — backup recovers missed bytes from the
+//                              primary's hold buffer over the control channel
+//  * on the primary: feeds the hold buffer from the connection rx tap,
+//    releases it as the backup confirms receipt, gates FIN/RST emission for
+//    arbitration, and announces new connections (ISS/IRS) to the backup;
+//  * on the backup: creates replica connections from announcements, keeps
+//    them suppressed, and performs the takeover — STONITH the primary, leave
+//    replica mode, stop suppressing (paper: wait for the next natural
+//    retransmission; optionally retransmit immediately).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/host.h"
+#include "net/serial_link.h"
+#include "sttcp/config.h"
+#include "sttcp/hold_buffer.h"
+#include "sttcp/lag.h"
+#include "sttcp/messages.h"
+#include "tcp/stack.h"
+
+namespace sttcp::sttcp {
+
+class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
+ public:
+  enum class Mode {
+    kReplicating,       // normal operation, peer believed healthy
+    kNonFaultTolerant,  // primary continuing alone (backup declared failed)
+    kTakenOver,         // backup now owns the client connections
+    kDead,              // this host crashed
+  };
+
+  struct Stats {
+    std::uint64_t hb_sent = 0;
+    std::uint64_t hb_received_ip = 0;
+    std::uint64_t hb_received_serial = 0;
+    std::uint64_t announces_confirmed = 0;
+    std::uint64_t replicas_created = 0;
+    std::uint64_t missed_requests_sent = 0;
+    std::uint64_t missed_requests_served = 0;
+    std::uint64_t missed_bytes_injected = 0;
+    std::uint64_t logger_requests_sent = 0;
+    std::uint64_t logger_bytes_injected = 0;
+    std::uint64_t fin_delayed = 0;
+    std::uint64_t fin_agreed = 0;
+    std::uint64_t takeovers = 0;
+  };
+
+  StTcpEndpoint(net::Host& host, tcp::TcpStack& stack, net::PowerController& power,
+                net::SerialPort* serial, Role role, StTcpConfig config);
+  ~StTcpEndpoint() override;
+  StTcpEndpoint(const StTcpEndpoint&) = delete;
+  StTcpEndpoint& operator=(const StTcpEndpoint&) = delete;
+
+  /// Bind channels and begin heartbeating. Call once topology is wired.
+  void start();
+
+  Role role() const { return role_; }
+  Mode mode() const { return mode_; }
+  const StTcpConfig& config() const { return cfg_; }
+  const Stats& stats() const { return stats_; }
+
+  /// Channel liveness as currently believed (tests / benches).
+  bool ip_channel_alive() const;
+  bool serial_channel_alive() const;
+  /// Replicated connections currently tracked.
+  std::size_t replicated_connections() const { return conns_.size(); }
+
+  /// Watchdog extension: the application layer reports a suspicion that the
+  /// LOCAL application has failed; relayed to the peer via the heartbeat.
+  void report_local_app_suspect() { local_app_suspect_ = true; }
+
+  // --- tcp::TcpStack::ConnectionObserver -------------------------------------
+  void on_accepted(tcp::TcpConnection& conn) override;
+  void on_finished(tcp::TcpConnection& conn, tcp::CloseReason reason) override;
+
+ private:
+  struct ReplConn {
+    std::uint16_t id = 0;
+    tcp::FourTuple tuple;
+    tcp::TcpConnection* conn = nullptr;
+
+    HoldBuffer hold;  // primary only
+    bool announce_confirmed = false;
+
+    // Peer state from heartbeat records (unwrapped to 64 bits).
+    bool peer_valid = false;
+    std::uint64_t p_received = 0;
+    std::uint64_t p_acked = 0;
+    std::uint64_t p_written = 0;
+    std::uint64_t p_read = 0;
+    bool p_fin = false;
+    bool p_rst = false;
+    bool p_closed = false;
+
+    // Lag detectors (peer app read / write; LastByteReceived and
+    // LastAckReceived for NIC arbitration — the ACK comparison covers
+    // download-heavy workloads where the client sends no data, §4.3).
+    LagTracker lag_read;
+    LagTracker lag_written;
+    LagTracker lag_received;
+    LagTracker lag_acked;
+
+    // FIN arbitration.
+    bool fin_withheld = false;
+    sim::OneShotTimer fin_delay_timer;
+    sim::OneShotTimer peer_fin_timer;  // peer FINed, we did not
+
+    // Missed-byte recovery (backup side: request state; primary side: when
+    // we last served this connection — explains the backup's transient lag).
+    sim::SimTime last_request_at;
+    std::uint64_t last_request_offset = 0;
+    sim::SimTime last_served_at;
+    bool ever_served = false;
+
+    // Local close bookkeeping: final counters survive connection GC.
+    bool local_closed = false;
+    sim::SimTime closed_at;
+    std::uint64_t f_received = 0, f_acked = 0, f_written = 0, f_read = 0;
+    bool f_fin = false, f_rst = false;
+
+    sim::SimTime registered_at;
+
+    ReplConn(sim::EventLoop& loop, const StTcpConfig& cfg)
+        : hold(cfg.hold_buffer_capacity),
+          lag_read(cfg.app_max_lag_bytes, cfg.app_lag_bytes_grace,
+                   cfg.app_max_lag_time),
+          lag_written(cfg.app_max_lag_bytes, cfg.app_lag_bytes_grace,
+                      cfg.app_max_lag_time),
+          lag_received(cfg.nic_lag_bytes, cfg.app_lag_bytes_grace, cfg.nic_lag_time),
+          lag_acked(cfg.nic_lag_bytes, cfg.app_lag_bytes_grace, cfg.nic_lag_time),
+          fin_delay_timer(loop),
+          peer_fin_timer(loop) {}
+
+    // Current counter values: live connection or final snapshot.
+    std::uint64_t received() const { return conn ? conn->bytes_received() : f_received; }
+    std::uint64_t acked() const { return conn ? conn->bytes_acked_by_peer() : f_acked; }
+    std::uint64_t written() const { return conn ? conn->app_bytes_written() : f_written; }
+    std::uint64_t read() const { return conn ? conn->app_bytes_read() : f_read; }
+    bool fin() const { return conn ? conn->fin_generated() : f_fin; }
+    bool rst() const { return conn ? conn->rst_generated() : f_rst; }
+  };
+
+  // Heartbeat path. Periodic beats go out on BOTH channels; event-triggered
+  // beats (connection announce, FIN notice) go out on the IP channel only —
+  // a full heartbeat costs milliseconds of serial wire time, and a burst of
+  // events (e.g. 100 connections arriving) must not back the serial link up.
+  void send_heartbeat(bool include_serial = true);
+  void on_hb_datagram(net::BytesView payload, bool via_serial);
+  void on_heartbeat(const HeartbeatMsg& msg, bool via_serial);
+  void process_record(const HbRecord& rec);
+  void detector_tick();
+
+  // Registration.
+  void register_primary_conn(tcp::TcpConnection& conn);
+  void create_replica_from(const HbRecord& rec);
+  void create_replica_inferred(const tcp::FourTuple& tuple, tcp::SeqWire iss,
+                               tcp::SeqWire irs);
+
+  // FIN arbitration.
+  bool close_gate(std::uint16_t id, bool is_rst);
+  void on_peer_fin_notice(ReplConn& rc);
+
+  // NIC arbitration.
+  void update_ping_loop();
+  void evaluate_nic_arbitration();
+
+  // Recovery.
+  void maybe_request_missed(ReplConn& rc);
+  void on_control_datagram(net::Ipv4Addr src, net::BytesView payload);
+  void serve_missed(const MissedBytesRequest& req);
+  // Logger fallback (§4.3 output-commit extension): after a takeover, fetch
+  // client bytes the dead primary had acknowledged from the stream logger.
+  void logger_recovery_tick();
+  void apply_missed(const MissedBytesReply& rep);
+
+  // Failure reactions.
+  void peer_failed(const std::string& reason, const char* trace_event);
+  void takeover(const std::string& reason);
+  void go_non_ft(const std::string& reason);
+  void stonith_peer();
+
+  ReplConn* by_id(std::uint16_t id);
+  ReplConn* by_tuple(const tcp::FourTuple& t);
+  void gc_closed_conns();
+  bool active() const { return mode_ == Mode::kReplicating && host_.alive(); }
+
+  net::Host& host_;
+  tcp::TcpStack& stack_;
+  net::PowerController& power_;
+  net::SerialPort* serial_;
+  Role role_;
+  StTcpConfig cfg_;
+  sim::Logger log_;
+  sim::World& world_;
+
+  Mode mode_ = Mode::kReplicating;
+  sim::PeriodicTimer hb_timer_;
+  std::uint32_t hb_seq_ = 0;
+
+  // Channel liveness.
+  sim::SimTime last_rx_ip_;
+  sim::SimTime last_rx_serial_;
+  bool started_ = false;
+
+  // Gateway-ping arbitration.
+  sim::OneShotTimer ping_timer_;
+  // Logger fallback.
+  sim::OneShotTimer logger_timer_;
+  int logger_attempts_ = 0;
+  bool ping_loop_active_ = false;
+  bool my_ping_valid_ = false;
+  bool my_ping_ok_ = false;
+  int peer_ping_fail_streak_ = 0;
+  bool peer_app_suspect_ = false;
+  bool local_app_suspect_ = false;
+
+  std::map<std::uint16_t, std::unique_ptr<ReplConn>> conns_;
+  std::map<tcp::FourTuple, std::uint16_t> id_by_tuple_;
+  std::uint16_t next_id_ = 1;
+  /// Inferred (un-announced) replicas use a disjoint id range; they are
+  /// remapped to the primary's id when its announce arrives.
+  std::uint16_t next_inferred_id_ = 0x8000;
+
+  Stats stats_;
+};
+
+}  // namespace sttcp::sttcp

@@ -1,0 +1,48 @@
+#include "sttcp/lag.h"
+
+#include "sim/strings.h"
+
+namespace sttcp::sttcp {
+
+LagTracker::Verdict LagTracker::update(std::uint64_t mine, std::uint64_t peer,
+                                       sim::SimTime now) {
+  Verdict v;
+  lag_bytes_ = peer < mine ? mine - peer : 0;
+
+  // --- AppMaxLagTime: has the peer reached our last snapshot yet? ---
+  if (!snap_valid_ || peer >= snap_value_) {
+    snap_value_ = mine;
+    snap_time_ = now;
+    snap_valid_ = true;
+  } else if (max_lag_time_ > sim::Duration::zero() &&
+             now - snap_time_ > max_lag_time_) {
+    v.failed = true;
+    v.reason = sim::cat("position ", snap_value_, " unreached by peer for ",
+                        (now - snap_time_).str(), " (peer at ", peer, ")");
+    return v;
+  }
+
+  // --- AppMaxLagBytes, sustained past the grace period ---
+  if (max_lag_bytes_ > 0 && lag_bytes_ > max_lag_bytes_) {
+    if (!bytes_exceeded_) {
+      bytes_exceeded_ = true;
+      bytes_exceeded_since_ = now;
+    } else if (now - bytes_exceeded_since_ >= bytes_grace_) {
+      v.failed = true;
+      v.reason = sim::cat("peer lags ", lag_bytes_, " bytes (> ", max_lag_bytes_,
+                          ") for ", (now - bytes_exceeded_since_).str());
+      return v;
+    }
+  } else {
+    bytes_exceeded_ = false;
+  }
+  return v;
+}
+
+void LagTracker::reset() {
+  snap_valid_ = false;
+  bytes_exceeded_ = false;
+  lag_bytes_ = 0;
+}
+
+}  // namespace sttcp::sttcp

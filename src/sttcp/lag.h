@@ -1,0 +1,59 @@
+// Peer-lag tracking: implements the paper's two application-failure
+// criteria (§4.2.1) over a pair of monotonic counters —
+//   * AppMaxLagBytes: peer trails the local counter by more than N bytes,
+//     sustained for a short grace period;
+//   * AppMaxLagTime:  a position reached locally at time T has still not
+//     been reached by the peer after the configured duration.
+// The same machinery, with different thresholds, drives the
+// LastByteReceived comparison used for NIC-failure arbitration (§4.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace sttcp::sttcp {
+
+class LagTracker {
+ public:
+  struct Verdict {
+    bool failed = false;
+    std::string reason;  // human-readable, recorded in the trace
+  };
+
+  LagTracker(std::uint64_t max_lag_bytes, sim::Duration bytes_grace,
+             sim::Duration max_lag_time)
+      : max_lag_bytes_(max_lag_bytes),
+        bytes_grace_(bytes_grace),
+        max_lag_time_(max_lag_time) {}
+
+  /// Feed the current local and peer counter values; returns the verdict.
+  /// Call regularly (each heartbeat) — time-based criteria need the clock.
+  Verdict update(std::uint64_t mine, std::uint64_t peer, sim::SimTime now);
+
+  /// Forget history (e.g. when a failover resets roles).
+  void reset();
+
+  /// Current byte lag as of the last update.
+  std::uint64_t lag_bytes() const { return lag_bytes_; }
+
+ private:
+  std::uint64_t max_lag_bytes_;
+  sim::Duration bytes_grace_;
+  sim::Duration max_lag_time_;
+
+  // Time criterion: snapshot of the local counter; refreshed whenever the
+  // peer catches up to the snapshot.
+  std::uint64_t snap_value_ = 0;
+  sim::SimTime snap_time_;
+  bool snap_valid_ = false;
+
+  // Byte criterion: when the lag first exceeded the threshold.
+  sim::SimTime bytes_exceeded_since_;
+  bool bytes_exceeded_ = false;
+
+  std::uint64_t lag_bytes_ = 0;
+};
+
+}  // namespace sttcp::sttcp

@@ -1,0 +1,159 @@
+#include "sttcp/messages.h"
+
+namespace sttcp::sttcp {
+
+namespace {
+constexpr std::uint8_t kHbMagic = 0x48;  // 'H'
+
+constexpr std::uint8_t kFlagFin = 0x01;
+constexpr std::uint8_t kFlagRst = 0x02;
+constexpr std::uint8_t kFlagClosed = 0x04;
+constexpr std::uint8_t kFlagAnnounce = 0x08;
+constexpr std::uint8_t kFlagEstablished = 0x10;
+
+constexpr std::uint8_t kHdrPingValid = 0x01;
+constexpr std::uint8_t kHdrPingOk = 0x02;
+constexpr std::uint8_t kHdrAppSuspect = 0x04;
+}  // namespace
+
+const char* to_string(Role r) {
+  return r == Role::kPrimary ? "primary" : "backup";
+}
+
+net::Bytes HeartbeatMsg::serialize() const {
+  net::Bytes out;
+  out.reserve(9 + records.size() * 19);
+  net::ByteWriter w(out);
+  w.u8(kHbMagic);
+  w.u8(static_cast<std::uint8_t>(role));
+  w.u32(hb_seq);
+  std::uint8_t hf = 0;
+  if (ping_valid) hf |= kHdrPingValid;
+  if (ping_ok) hf |= kHdrPingOk;
+  if (app_suspect) hf |= kHdrAppSuspect;
+  w.u8(hf);
+  w.u16(static_cast<std::uint16_t>(records.size()));
+  for (const HbRecord& r : records) {
+    w.u16(r.repl_id);
+    std::uint8_t f = 0;
+    if (r.fin_generated) f |= kFlagFin;
+    if (r.rst_generated) f |= kFlagRst;
+    if (r.closed) f |= kFlagClosed;
+    if (r.announce) f |= kFlagAnnounce;
+    if (r.established) f |= kFlagEstablished;
+    w.u8(f);
+    w.u32(static_cast<std::uint32_t>(r.bytes_received));
+    w.u32(static_cast<std::uint32_t>(r.acked_by_peer));
+    w.u32(static_cast<std::uint32_t>(r.app_written));
+    w.u32(static_cast<std::uint32_t>(r.app_read));
+    if (r.announce) {
+      w.u32(r.client_ip.value());
+      w.u16(r.client_port);
+      w.u16(r.local_port);
+      w.u32(r.iss);
+      w.u32(r.irs);
+    }
+  }
+  return out;
+}
+
+std::optional<HeartbeatMsg> HeartbeatMsg::parse(net::BytesView data) {
+  try {
+    net::ByteReader r(data);
+    if (r.u8() != kHbMagic) return std::nullopt;
+    HeartbeatMsg m;
+    m.role = static_cast<Role>(r.u8());
+    m.hb_seq = r.u32();
+    const std::uint8_t hf = r.u8();
+    m.ping_valid = (hf & kHdrPingValid) != 0;
+    m.ping_ok = (hf & kHdrPingOk) != 0;
+    m.app_suspect = (hf & kHdrAppSuspect) != 0;
+    const std::uint16_t count = r.u16();
+    m.records.reserve(count);
+    for (std::uint16_t i = 0; i < count; ++i) {
+      HbRecord rec;
+      rec.repl_id = r.u16();
+      const std::uint8_t f = r.u8();
+      rec.fin_generated = (f & kFlagFin) != 0;
+      rec.rst_generated = (f & kFlagRst) != 0;
+      rec.closed = (f & kFlagClosed) != 0;
+      rec.announce = (f & kFlagAnnounce) != 0;
+      rec.established = (f & kFlagEstablished) != 0;
+      rec.bytes_received = r.u32();
+      rec.acked_by_peer = r.u32();
+      rec.app_written = r.u32();
+      rec.app_read = r.u32();
+      if (rec.announce) {
+        rec.client_ip = net::Ipv4Addr(r.u32());
+        rec.client_port = r.u16();
+        rec.local_port = r.u16();
+        rec.iss = r.u32();
+        rec.irs = r.u32();
+      }
+      m.records.push_back(rec);
+    }
+    return m;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::uint64_t unwrap_counter(std::uint32_t wire_value, std::uint64_t previous) {
+  const std::uint32_t prev_low = static_cast<std::uint32_t>(previous);
+  const std::int32_t delta = static_cast<std::int32_t>(wire_value - prev_low);
+  if (delta < 0) {
+    // Counters never regress; a small negative delta is a stale heartbeat.
+    return previous;
+  }
+  return previous + static_cast<std::uint64_t>(delta);
+}
+
+net::Bytes MissedBytesRequest::serialize() const {
+  net::Bytes out;
+  net::ByteWriter w(out);
+  w.u8(static_cast<std::uint8_t>(ControlType::kMissedBytesRequest));
+  w.u16(repl_id);
+  w.u64(offset);
+  w.u32(length);
+  return out;
+}
+
+net::Bytes MissedBytesReply::serialize() const {
+  net::Bytes out;
+  out.reserve(15 + data.size());
+  net::ByteWriter w(out);
+  w.u8(static_cast<std::uint8_t>(ControlType::kMissedBytesReply));
+  w.u16(repl_id);
+  w.u64(offset);
+  w.u32(static_cast<std::uint32_t>(data.size()));
+  w.bytes(data);
+  return out;
+}
+
+std::optional<ControlMsg> ControlMsg::parse(net::BytesView data) {
+  try {
+    net::ByteReader r(data);
+    ControlMsg m{};
+    const std::uint8_t t = r.u8();
+    if (t == static_cast<std::uint8_t>(ControlType::kMissedBytesRequest)) {
+      m.type = ControlType::kMissedBytesRequest;
+      m.request.repl_id = r.u16();
+      m.request.offset = r.u64();
+      m.request.length = r.u32();
+      return m;
+    }
+    if (t == static_cast<std::uint8_t>(ControlType::kMissedBytesReply)) {
+      m.type = ControlType::kMissedBytesReply;
+      m.reply.repl_id = r.u16();
+      m.reply.offset = r.u64();
+      const std::uint32_t len = r.u32();
+      m.reply.data = net::to_bytes(r.bytes(len));
+      return m;
+    }
+    return std::nullopt;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace sttcp::sttcp

@@ -1,0 +1,116 @@
+// Wire formats for the server-to-server protocol.
+//
+// Heartbeat (§3): sent every hb_period on BOTH channels (UDP over the IP
+// link, and the RS-232 serial link). Carries, per connection, the four
+// progress counters the paper lists —
+//   LastByteReceived, LastAckReceived, LastAppByteWritten, LastAppByteRead —
+// plus FIN/RST/closed notices and (while unconfirmed) the connection
+// announcement with the primary's ISS and the client's IRS so the backup can
+// seed its replica with matching sequence numbers.
+//
+// The steady-state record is 19 bytes — within the paper's "less than 20
+// bytes per TCP connection", which is what makes ~100 connections fit on a
+// 115.2 kbps serial channel at a 200 ms heartbeat. Counters travel as the
+// low 32 bits of the 64-bit positions and are unwrapped against the
+// receiver's previous value.
+//
+// Control messages (UDP, IP link only): missed-byte recovery (§4.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/addr.h"
+#include "net/bytes.h"
+
+namespace sttcp::sttcp {
+
+enum class Role : std::uint8_t { kPrimary = 0, kBackup = 1 };
+
+const char* to_string(Role r);
+
+/// Per-connection heartbeat record.
+struct HbRecord {
+  std::uint16_t repl_id = 0;
+
+  // Flags.
+  bool fin_generated = false;
+  bool rst_generated = false;
+  bool closed = false;
+  bool announce = false;     // extended announce fields present
+  bool established = false;  // (announce only) connection already established
+
+  // The four progress counters, as absolute 64-bit stream positions. Only
+  // the low 32 bits travel on the wire.
+  std::uint64_t bytes_received = 0;    // LastByteReceived
+  std::uint64_t acked_by_peer = 0;     // LastAckReceived
+  std::uint64_t app_written = 0;       // LastAppByteWritten
+  std::uint64_t app_read = 0;          // LastAppByteRead
+
+  // Announce-only fields.
+  net::Ipv4Addr client_ip;
+  std::uint16_t client_port = 0;
+  std::uint16_t local_port = 0;
+  std::uint32_t iss = 0;
+  std::uint32_t irs = 0;
+
+  /// Wire size of this record.
+  std::size_t wire_size() const { return announce ? 19 + 16 : 19; }
+};
+
+struct HeartbeatMsg {
+  Role role = Role::kPrimary;
+  std::uint32_t hb_seq = 0;
+
+  // Gateway-ping arbitration (§4.3): result of the most recent ping, when
+  // arbitration is active.
+  bool ping_valid = false;
+  bool ping_ok = false;
+
+  /// Watchdog extension (§4.2.2 suggestion): the sender's application-level
+  /// watchdog suspects the local application has failed.
+  bool app_suspect = false;
+
+  std::vector<HbRecord> records;
+
+  net::Bytes serialize() const;
+  static std::optional<HeartbeatMsg> parse(net::BytesView data);
+};
+
+/// Unwrap a 32-bit wire counter against the previous 64-bit value.
+/// Counters are monotonic, so the result is never allowed to go backwards.
+std::uint64_t unwrap_counter(std::uint32_t wire_value, std::uint64_t previous);
+
+// --- control channel ---------------------------------------------------------
+
+enum class ControlType : std::uint8_t {
+  kMissedBytesRequest = 1,
+  kMissedBytesReply = 2,
+};
+
+struct MissedBytesRequest {
+  std::uint16_t repl_id = 0;
+  std::uint64_t offset = 0;  // absolute payload offset of the first wanted byte
+  std::uint32_t length = 0;
+
+  net::Bytes serialize() const;
+};
+
+struct MissedBytesReply {
+  std::uint16_t repl_id = 0;
+  std::uint64_t offset = 0;
+  net::Bytes data;
+
+  net::Bytes serialize() const;
+};
+
+struct ControlMsg {
+  ControlType type;
+  MissedBytesRequest request;  // valid when type == kMissedBytesRequest
+  MissedBytesReply reply;      // valid when type == kMissedBytesReply
+
+  static std::optional<ControlMsg> parse(net::BytesView data);
+};
+
+}  // namespace sttcp::sttcp

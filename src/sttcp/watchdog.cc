@@ -1,0 +1,42 @@
+#include "sttcp/watchdog.h"
+
+#include "sttcp/endpoint.h"
+
+namespace sttcp::sttcp {
+
+Watchdog::Watchdog(sim::World& world, StTcpEndpoint& endpoint, sim::Duration interval,
+                   int misses)
+    : world_(world),
+      endpoint_(endpoint),
+      interval_(interval),
+      misses_allowed_(misses),
+      timer_(world.loop()) {}
+
+Watchdog::~Watchdog() = default;
+
+void Watchdog::start() {
+  running_ = true;
+  last_pet_ = world_.now();
+  timer_.start(interval_, [this] { check(); });
+}
+
+void Watchdog::stop() {
+  running_ = false;
+  timer_.stop();
+}
+
+void Watchdog::pet() {
+  if (!running_) return;
+  last_pet_ = world_.now();
+}
+
+void Watchdog::check() {
+  if (suspicious_) return;
+  if (world_.now() - last_pet_ > interval_ * misses_allowed_) {
+    suspicious_ = true;
+    world_.trace().record("watchdog", "app_suspect");
+    endpoint_.report_local_app_suspect();
+  }
+}
+
+}  // namespace sttcp::sttcp

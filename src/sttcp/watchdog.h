@@ -1,0 +1,48 @@
+// Application watchdog (the paper's §4.2.2 extension): the application
+// sends the watchdog a heartbeat; if the heartbeats stop, the watchdog
+// informs ST-TCP, which relays the suspicion to the peer so failures that
+// produce neither lag nor a FIN (e.g. an idle-connection app crash) are
+// still detected.
+#pragma once
+
+#include <functional>
+
+#include "sim/world.h"
+
+namespace sttcp::sttcp {
+
+class StTcpEndpoint;
+
+class Watchdog {
+ public:
+  /// `interval`: how often the application promises to call pet();
+  /// `misses`: consecutive missed intervals before suspicion is raised.
+  Watchdog(sim::World& world, StTcpEndpoint& endpoint, sim::Duration interval,
+           int misses = 3);
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Begin monitoring (the application is expected to start petting).
+  void start();
+  void stop();
+
+  /// Application-side heartbeat.
+  void pet();
+
+  bool suspicious() const { return suspicious_; }
+
+ private:
+  void check();
+
+  sim::World& world_;
+  StTcpEndpoint& endpoint_;
+  sim::Duration interval_;
+  int misses_allowed_;
+  sim::PeriodicTimer timer_;
+  sim::SimTime last_pet_;
+  bool suspicious_ = false;
+  bool running_ = false;
+};
+
+}  // namespace sttcp::sttcp

@@ -1,0 +1,69 @@
+// Tunables for the userspace TCP stack.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "sim/time.h"
+
+namespace sttcp::tcp {
+
+struct TcpConfig {
+  /// Maximum payload bytes per segment (Ethernet MTU 1500 - 20 IP - 20 TCP).
+  std::size_t mss = 1460;
+
+  /// Send buffer capacity (unacked + unsent bytes).
+  std::size_t send_buffer = 256 * 1024;
+  /// Receive buffer capacity; also caps the advertised window (<= 65535
+  /// because window scaling is not implemented).
+  std::size_t recv_buffer = 64 * 1024;
+
+  // RFC 6298 retransmission timing.
+  sim::Duration initial_rto = sim::Duration::seconds(1);
+  sim::Duration min_rto = sim::Duration::millis(200);
+  sim::Duration max_rto = sim::Duration::seconds(60);
+  /// Clock granularity G in the RTO formula.
+  sim::Duration rto_granularity = sim::Duration::millis(1);
+
+  /// SYN / SYN-ACK retransmission attempts before giving up.
+  int syn_retries = 6;
+  /// Data retransmission attempts before the connection is declared dead
+  /// (maps to Linux tcp_retries2; the plain-TCP baseline in Demo 1 relies on
+  /// this to show the client-visible connection failure).
+  int max_retries = 15;
+
+  /// Maximum segment lifetime; TIME_WAIT lasts 2*MSL.
+  sim::Duration msl = sim::Duration::seconds(1);
+
+  // Keepalive (off by default, like BSD sockets). When enabled, an idle
+  // connection is probed; a peer that answers nothing is declared dead.
+  bool keepalive = false;
+  sim::Duration keepalive_idle = sim::Duration::seconds(30);
+  sim::Duration keepalive_interval = sim::Duration::seconds(5);
+  int keepalive_probes = 4;
+
+  /// Zero-window persist probe timing.
+  sim::Duration persist_base = sim::Duration::millis(500);
+  sim::Duration persist_max = sim::Duration::seconds(60);
+
+  // Congestion control (slow start + AIMD + fast retransmit).
+  bool congestion_control = true;
+  std::uint32_t initial_cwnd_segments = 10;
+
+  /// Verify TCP/IP checksums on receive (on by default; benches may disable
+  /// to isolate protocol costs).
+  bool verify_checksums = true;
+
+  /// Fixed initial sequence number for locally-opened connections
+  /// (tests: e.g. force wraparound by starting near 2^32). Random when unset.
+  std::optional<std::uint32_t> isn_override;
+
+  /// Replica-mode ISN inference window: a pure ACK tapped within this long
+  /// of the client's SYN is trusted to be the handshake ACK (ack = ISS+1).
+  /// Later pure ACKs could be data acknowledgments and would infer a wrong,
+  /// stream-corrupting ISS — so they are never used. Size to a few RTTs.
+  sim::Duration replica_isn_inference_window = sim::Duration::millis(5);
+};
+
+}  // namespace sttcp::tcp

@@ -1,0 +1,57 @@
+// Congestion control: slow start, congestion avoidance (AIMD), and the
+// window adjustments for fast retransmit / RTO, in the style of RFC 5681.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "tcp/config.h"
+
+namespace sttcp::tcp {
+
+class CongestionControl {
+ public:
+  CongestionControl(const TcpConfig& cfg)
+      : mss_(cfg.mss),
+        enabled_(cfg.congestion_control),
+        cwnd_(cfg.initial_cwnd_segments * cfg.mss),
+        ssthresh_(~std::uint64_t{0}) {}
+
+  /// Usable congestion window in bytes (unbounded when disabled).
+  std::uint64_t cwnd() const { return enabled_ ? cwnd_ : ~std::uint64_t{0}; }
+  std::uint64_t ssthresh() const { return ssthresh_; }
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+  /// New data acknowledged.
+  void on_ack(std::uint64_t acked_bytes) {
+    if (!enabled_ || acked_bytes == 0) return;
+    if (in_slow_start()) {
+      cwnd_ += std::min<std::uint64_t>(acked_bytes, mss_);
+    } else {
+      // Congestion avoidance: ~one MSS per RTT.
+      cwnd_ += std::max<std::uint64_t>(1, mss_ * mss_ / cwnd_);
+    }
+  }
+
+  /// Triple-duplicate-ACK loss signal (fast retransmit).
+  void on_fast_retransmit(std::uint64_t flight_bytes) {
+    if (!enabled_) return;
+    ssthresh_ = std::max<std::uint64_t>(flight_bytes / 2, 2 * mss_);
+    cwnd_ = ssthresh_ + 3 * mss_;
+  }
+
+  /// Retransmission timeout: collapse to one segment.
+  void on_rto(std::uint64_t flight_bytes) {
+    if (!enabled_) return;
+    ssthresh_ = std::max<std::uint64_t>(flight_bytes / 2, 2 * mss_);
+    cwnd_ = mss_;
+  }
+
+ private:
+  std::uint64_t mss_;
+  bool enabled_;
+  std::uint64_t cwnd_;
+  std::uint64_t ssthresh_;
+};
+
+}  // namespace sttcp::tcp

@@ -1,0 +1,70 @@
+// Receive-side reassembly buffer.
+//
+// Tracks the next expected absolute payload offset, holds out-of-order
+// fragments, and exposes an in-order byte queue to the application. The
+// advertised receive window is derived from the free capacity.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "net/bytes.h"
+
+namespace sttcp::tcp {
+
+class ReassemblyBuffer {
+ public:
+  explicit ReassemblyBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Offer payload starting at absolute offset `at`. Bytes outside
+  /// [next_expected, next_expected + window) are clipped. Returns the number
+  /// of *new in-order* bytes that became readable as a result.
+  std::size_t insert(std::uint64_t at, net::BytesView data);
+
+  /// Read up to `max` in-order bytes (application recv()).
+  net::Bytes read(std::size_t max);
+
+  /// Bytes available for the application right now.
+  std::size_t readable() const { return ready_.size(); }
+
+  /// Next absolute payload offset we expect from the wire (== total in-order
+  /// bytes received since the start of the stream).
+  std::uint64_t next_expected() const { return next_; }
+
+  /// Current advertised window: capacity minus everything buffered.
+  std::size_t window() const;
+
+  /// True if there is buffered data beyond a gap (a hole exists). ST-TCP's
+  /// backup uses this as one trigger for missed-byte recovery.
+  bool has_gap() const { return !ooo_.empty(); }
+  /// Absolute offset of the first missing byte when a gap exists.
+  std::uint64_t gap_start() const { return next_; }
+  /// Absolute offset where buffered out-of-order data begins (gap end).
+  std::uint64_t gap_end() const { return ooo_.empty() ? next_ : ooo_.begin()->first; }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Observe every byte the moment it becomes in-order readable
+  /// (absolute offset of the first byte + the data). ST-TCP's primary feeds
+  /// its hold buffer from this tap.
+  using DeliverTap = std::function<void(std::uint64_t offset, net::BytesView data)>;
+  void set_deliver_tap(DeliverTap tap) { deliver_tap_ = std::move(tap); }
+
+ private:
+  void deliver(std::uint64_t offset, net::BytesView data) {
+    if (deliver_tap_) deliver_tap_(offset, data);
+    ready_.insert(ready_.end(), data.begin(), data.end());
+  }
+
+  std::size_t ooo_bytes() const;
+
+  std::size_t capacity_;
+  std::uint64_t next_ = 0;                       // next expected absolute offset
+  std::deque<std::uint8_t> ready_;               // in-order, unread bytes
+  std::map<std::uint64_t, net::Bytes> ooo_;      // offset -> fragment (disjoint)
+  DeliverTap deliver_tap_;
+};
+
+}  // namespace sttcp::tcp

@@ -1,0 +1,33 @@
+#include "tcp/rto.h"
+
+#include <algorithm>
+
+namespace sttcp::tcp {
+
+void RtoEstimator::sample(sim::Duration rtt) {
+  if (rtt.is_negative()) return;
+  if (!has_sample_) {
+    srtt_ = rtt;
+    rttvar_ = sim::Duration::nanos(rtt.ns() / 2);
+    has_sample_ = true;
+  } else {
+    // RTTVAR <- 3/4 RTTVAR + 1/4 |SRTT - R'|; SRTT <- 7/8 SRTT + 1/8 R'.
+    const std::int64_t err =
+        srtt_.ns() > rtt.ns() ? srtt_.ns() - rtt.ns() : rtt.ns() - srtt_.ns();
+    rttvar_ = sim::Duration::nanos((3 * rttvar_.ns() + err) / 4);
+    srtt_ = sim::Duration::nanos((7 * srtt_.ns() + rtt.ns()) / 8);
+  }
+  const std::int64_t var_term = std::max(cfg_.rto_granularity.ns(), 4 * rttvar_.ns());
+  rto_ = sim::Duration::nanos(srtt_.ns() + var_term);
+}
+
+sim::Duration RtoEstimator::rto() const {
+  std::int64_t ns = rto_.ns();
+  ns = std::max(ns, cfg_.min_rto.ns());
+  // Apply backoff, clamping to max_rto (and guarding shift overflow).
+  for (int i = 0; i < backoff_shift_ && ns < cfg_.max_rto.ns(); ++i) ns *= 2;
+  ns = std::min(ns, cfg_.max_rto.ns());
+  return sim::Duration::nanos(ns);
+}
+
+}  // namespace sttcp::tcp

@@ -1,0 +1,42 @@
+// RFC 6298 retransmission timeout estimator with Karn's algorithm and
+// exponential backoff.
+#pragma once
+
+#include "sim/time.h"
+#include "tcp/config.h"
+
+namespace sttcp::tcp {
+
+class RtoEstimator {
+ public:
+  explicit RtoEstimator(const TcpConfig& cfg)
+      : cfg_(cfg), rto_(cfg.initial_rto) {}
+
+  /// Record an RTT sample from a segment that was NOT retransmitted
+  /// (Karn's algorithm: callers must not sample retransmitted segments).
+  void sample(sim::Duration rtt);
+
+  /// Current timeout for the next (re)transmission, including backoff.
+  sim::Duration rto() const;
+
+  /// Timer expired: double the backoff (clamped to max_rto).
+  void on_timeout() { backoff_shift_ = backoff_shift_ >= 12 ? 12 : backoff_shift_ + 1; }
+
+  /// New ACK advanced snd_una: collapse the backoff.
+  void on_ack() { backoff_shift_ = 0; }
+
+  int backoff_shift() const { return backoff_shift_; }
+  bool has_samples() const { return has_sample_; }
+  sim::Duration srtt() const { return srtt_; }
+  sim::Duration rttvar() const { return rttvar_; }
+
+ private:
+  const TcpConfig& cfg_;
+  sim::Duration srtt_;
+  sim::Duration rttvar_;
+  sim::Duration rto_;  // base (un-backed-off) timeout
+  int backoff_shift_ = 0;
+  bool has_sample_ = false;
+};
+
+}  // namespace sttcp::tcp

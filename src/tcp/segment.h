@@ -1,0 +1,54 @@
+// TCP segment representation and byte-exact codec (20-byte header, no
+// options), checksummed with the standard pseudo-header.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/addr.h"
+#include "net/bytes.h"
+#include "tcp/seq.h"
+
+namespace sttcp::tcp {
+
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+  bool psh = false;
+
+  std::string str() const;
+};
+
+struct TcpSegment {
+  static constexpr std::size_t kHeaderSize = 20;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  SeqWire seq = 0;
+  SeqWire ack = 0;
+  TcpFlags flags;
+  std::uint16_t window = 0;
+  net::Bytes payload;
+
+  /// Sequence space the segment occupies (payload + SYN + FIN).
+  std::uint32_t seq_len() const {
+    return static_cast<std::uint32_t>(payload.size()) + (flags.syn ? 1 : 0) +
+           (flags.fin ? 1 : 0);
+  }
+
+  /// Serialize header+payload with a valid checksum.
+  net::Bytes serialize(net::Ipv4Addr src_ip, net::Ipv4Addr dst_ip) const;
+
+  /// Parse and (optionally) verify the checksum. Returns nullopt on a
+  /// malformed or corrupt segment.
+  static std::optional<TcpSegment> parse(net::Ipv4Addr src_ip, net::Ipv4Addr dst_ip,
+                                         net::BytesView data, bool verify_checksum);
+
+  /// Compact rendering for logs: "SYN|ACK seq=x ack=y len=n win=w".
+  std::string str() const;
+};
+
+}  // namespace sttcp::tcp

@@ -1,0 +1,32 @@
+#include "tcp/send_buffer.h"
+
+#include <algorithm>
+
+namespace sttcp::tcp {
+
+std::size_t SendBuffer::append(net::BytesView data) {
+  const std::size_t n = std::min(data.size(), free_space());
+  data_.insert(data_.end(), data.begin(), data.begin() + n);
+  return n;
+}
+
+std::size_t SendBuffer::ack_to(std::uint64_t upto) {
+  if (upto <= una_) return 0;
+  const std::size_t n =
+      std::min(static_cast<std::size_t>(upto - una_), data_.size());
+  data_.erase(data_.begin(), data_.begin() + n);
+  una_ += n;
+  return n;
+}
+
+net::Bytes SendBuffer::slice(std::uint64_t from, std::size_t len) const {
+  net::Bytes out;
+  if (from < una_ || from >= end_offset()) return out;
+  const std::size_t start = static_cast<std::size_t>(from - una_);
+  const std::size_t n = std::min(len, data_.size() - start);
+  out.reserve(n);
+  out.insert(out.end(), data_.begin() + start, data_.begin() + start + n);
+  return out;
+}
+
+}  // namespace sttcp::tcp

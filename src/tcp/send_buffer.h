@@ -1,0 +1,45 @@
+// Send-side byte buffer: holds bytes from snd_una (oldest unacknowledged)
+// through the newest byte the application has written. Addressed by
+// absolute stream offset (byte 0 = first payload byte after the SYN).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/bytes.h"
+
+namespace sttcp::tcp {
+
+class SendBuffer {
+ public:
+  explicit SendBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Append as much of `data` as fits; returns bytes accepted.
+  std::size_t append(net::BytesView data);
+
+  /// Acknowledge everything below absolute payload offset `upto`.
+  /// Returns bytes released.
+  std::size_t ack_to(std::uint64_t upto);
+
+  /// Copy out up to `len` bytes starting at absolute offset `from` (must be
+  /// within [una_offset, end_offset)). Used for transmission and
+  /// retransmission alike.
+  net::Bytes slice(std::uint64_t from, std::size_t len) const;
+
+  /// Oldest unacknowledged payload offset.
+  std::uint64_t una_offset() const { return una_; }
+  /// One past the newest byte written by the application.
+  std::uint64_t end_offset() const { return una_ + data_.size(); }
+
+  std::size_t size() const { return data_.size(); }
+  std::size_t free_space() const { return capacity_ - data_.size(); }
+  bool empty() const { return data_.empty(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t una_ = 0;           // absolute offset of data_.front()
+  std::deque<std::uint8_t> data_;   // bytes [una_, una_ + size)
+};
+
+}  // namespace sttcp::tcp

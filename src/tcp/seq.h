@@ -1,0 +1,42 @@
+// TCP sequence-number arithmetic.
+//
+// On the wire sequence numbers are 32-bit and wrap; internally the stack
+// tracks *absolute* 64-bit sequence positions (SeqAbs) so window and buffer
+// logic never has to reason about wraparound. unwrap32() maps a wire value
+// to the absolute position closest to a reference — the standard trick for
+// extending a wrapping counter.
+#pragma once
+
+#include <cstdint>
+
+namespace sttcp::tcp {
+
+/// Absolute (unwrapped) sequence position. Low 32 bits are the wire value.
+using SeqAbs = std::uint64_t;
+
+/// Wire (wrapping) sequence number.
+using SeqWire = std::uint32_t;
+
+inline constexpr SeqWire wire(SeqAbs abs) { return static_cast<SeqWire>(abs); }
+
+/// Map wire value `s` to the SeqAbs with the same low 32 bits that is
+/// closest to `reference`. Correct as long as the true value is within
+/// +/- 2^31 of the reference, which TCP's window rules guarantee.
+inline constexpr SeqAbs unwrap32(SeqWire s, SeqAbs reference) {
+  const SeqWire ref_low = static_cast<SeqWire>(reference);
+  const std::int32_t delta = static_cast<std::int32_t>(s - ref_low);
+  return reference + static_cast<std::int64_t>(delta);
+}
+
+// Classic mod-2^32 comparisons, used by the few places that must reason
+// about raw wire values (e.g. validating a wire ACK before unwrapping).
+inline constexpr bool seq_lt(SeqWire a, SeqWire b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+inline constexpr bool seq_le(SeqWire a, SeqWire b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+inline constexpr bool seq_gt(SeqWire a, SeqWire b) { return seq_lt(b, a); }
+inline constexpr bool seq_ge(SeqWire a, SeqWire b) { return seq_le(b, a); }
+
+}  // namespace sttcp::tcp

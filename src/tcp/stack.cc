@@ -1,0 +1,194 @@
+#include "tcp/stack.h"
+
+namespace sttcp::tcp {
+
+TcpStack::TcpStack(net::Host& host, TcpConfig config)
+    : host_(host),
+      cfg_(config),
+      log_(host.logger().child("tcp")),
+      isn_rng_(host.world().rng().fork()) {
+  host_.set_l4_handler(net::kIpProtoTcp,
+                       [this](const net::Ipv4Header& ip, net::BytesView l4) {
+                         on_packet(ip, l4);
+                       });
+}
+
+TcpStack::~TcpStack() = default;
+
+void TcpStack::listen(std::uint16_t port, AcceptHandler handler) {
+  listeners_[port] = std::move(handler);
+}
+
+TcpConnection& TcpStack::connect(net::Ipv4Addr local_ip, net::SocketAddr remote,
+                                 TcpConnection::Callbacks callbacks) {
+  FourTuple t;
+  t.local = net::SocketAddr{local_ip, next_ephemeral_++};
+  t.remote = remote;
+  TcpConnection& conn = create_connection(t);
+  conn.set_callbacks(std::move(callbacks));
+  ++stats_.connections_initiated;
+  conn.start_connect();
+  return conn;
+}
+
+TcpConnection& TcpStack::create_replica(const FourTuple& tuple,
+                                        TcpConnection::ReplicaInit init) {
+  if (TcpConnection* existing = find(tuple)) return *existing;
+  TcpConnection& conn = create_connection(tuple);
+  ++stats_.replicas_created;
+  // The listener's accept handler attaches the (replica) application when
+  // the connection establishes — identically to the primary.
+  TcpConnection::Callbacks cb;
+  cb.on_established = [this, &conn] { dispatch_accept(conn); };
+  conn.set_callbacks(std::move(cb));
+  conn.start_replica(init);
+  // Replay anything tapped before the announcement arrived.
+  pending_syn_time_.erase(tuple);
+  auto it = pending_.find(tuple);
+  if (it != pending_.end()) {
+    std::vector<TcpSegment> segs = std::move(it->second);
+    pending_.erase(it);
+    for (const TcpSegment& s : segs) {
+      if (!conn.is_open()) break;
+      conn.on_segment(s);
+    }
+  }
+  return conn;
+}
+
+TcpConnection* TcpStack::find(const FourTuple& tuple) {
+  auto it = conns_.find(tuple);
+  return it == conns_.end() ? nullptr : it->second.get();
+}
+
+void TcpStack::for_each(const std::function<void(TcpConnection&)>& fn) {
+  for (auto& [t, c] : conns_) fn(*c);
+}
+
+bool TcpStack::emit(const FourTuple& tuple, const TcpSegment& seg) {
+  if (!alive()) return false;
+  net::Bytes l4 = seg.serialize(tuple.local.ip, tuple.remote.ip);
+  return host_.send_ip(tuple.local.ip, tuple.remote.ip, net::kIpProtoTcp, l4);
+}
+
+void TcpStack::on_connection_finished(TcpConnection& conn, CloseReason reason) {
+  if (observer_ != nullptr) observer_->on_finished(conn, reason);
+  schedule_gc(conn.tuple());
+}
+
+void TcpStack::on_packet(const net::Ipv4Header& ip, net::BytesView l4) {
+  if (!alive()) return;
+  ++stats_.segments_in;
+  auto seg = TcpSegment::parse(ip.src, ip.dst, l4, cfg_.verify_checksums);
+  if (!seg.has_value()) {
+    ++stats_.bad_checksum;
+    log_.warn("dropping malformed/corrupt TCP segment from ", ip.src.str());
+    return;
+  }
+  FourTuple t;
+  t.local = net::SocketAddr{ip.dst, seg->dst_port};
+  t.remote = net::SocketAddr{ip.src, seg->src_port};
+
+  if (TcpConnection* conn = find(t)) {
+    ++stats_.segments_demuxed;
+    conn->on_segment(*seg);
+    return;
+  }
+
+  if (replica_mode_) {
+    // Hold segments until ST-TCP announces the connection (ISS/IRS).
+    auto& q = pending_[t];
+    if (q.size() < kMaxBufferedSegments) {
+      q.push_back(*seg);
+      ++stats_.segments_buffered;
+    }
+    if (seg->flags.syn && !seg->flags.ack) {
+      pending_syn_time_[t] = world().now();
+    } else if (inference_ && seg->flags.ack && !seg->flags.rst &&
+               seg->payload.empty()) {
+      // ISN inference: the first pure ACK tapped hard on the heels of the
+      // client's SYN is its handshake ACK, so ack-1 is the primary's ISS.
+      // The time window guards against mistaking a later data ACK (which
+      // would infer a corrupting ISS) for the handshake ACK.
+      auto st = pending_syn_time_.find(t);
+      if (st != pending_syn_time_.end() &&
+          world().now() - st->second <= cfg_.replica_isn_inference_window) {
+        SeqWire irs = 0;
+        for (const TcpSegment& b : q) {
+          if (b.flags.syn) {
+            irs = b.seq;
+            break;
+          }
+        }
+        pending_syn_time_.erase(st);
+        inference_(t, seg->ack - 1, irs);
+      } else if (st != pending_syn_time_.end()) {
+        pending_syn_time_.erase(st);  // window expired: never infer
+      }
+    }
+    return;
+  }
+
+  if (seg->flags.syn && !seg->flags.ack) {
+    auto l = listeners_.find(seg->dst_port);
+    if (l != listeners_.end() && host_.has_ip(ip.dst)) {
+      TcpConnection& conn = create_connection(t);
+      ++stats_.connections_accepted;
+      TcpConnection::Callbacks cb;
+      cb.on_established = [this, &conn] { dispatch_accept(conn); };
+      conn.set_callbacks(std::move(cb));
+      conn.start_accept(seg->seq);
+      return;
+    }
+  }
+  send_rst_for(ip, *seg);
+}
+
+TcpConnection& TcpStack::create_connection(const FourTuple& tuple) {
+  auto conn = std::make_unique<TcpConnection>(*this, tuple, cfg_,
+                                              log_.child(tuple.remote.str()));
+  TcpConnection& ref = *conn;
+  conns_.emplace(tuple, std::move(conn));
+  return ref;
+}
+
+void TcpStack::dispatch_accept(TcpConnection& conn) {
+  auto l = listeners_.find(conn.tuple().local.port);
+  if (l != listeners_.end() && l->second) {
+    l->second(conn);  // application installs its callbacks here
+  }
+  if (observer_ != nullptr) observer_->on_accepted(conn);
+}
+
+void TcpStack::send_rst_for(const net::Ipv4Header& ip, const TcpSegment& seg) {
+  if (seg.flags.rst) return;  // never RST a RST
+  log_.debug("RST for unknown segment ", seg.str(), " from ", ip.src.str(), ":",
+             seg.src_port, " to port ", seg.dst_port);
+  TcpSegment rst;
+  rst.src_port = seg.dst_port;
+  rst.dst_port = seg.src_port;
+  rst.flags.rst = true;
+  if (seg.flags.ack) {
+    rst.seq = seg.ack;
+  } else {
+    rst.seq = 0;
+    rst.flags.ack = true;
+    rst.ack = seg.seq + seg.seq_len();
+  }
+  ++stats_.rst_sent;
+  net::Bytes l4 = rst.serialize(ip.dst, ip.src);
+  host_.send_ip(ip.dst, ip.src, net::kIpProtoTcp, l4);
+}
+
+void TcpStack::schedule_gc(const FourTuple& tuple) {
+  // Defer destruction: finish() may be deep inside the connection's own
+  // call stack.
+  world().loop().schedule_after(sim::Duration::zero(), [this, tuple] {
+    auto it = conns_.find(tuple);
+    if (it != conns_.end() && it->second->state() == TcpState::kClosed) {
+      conns_.erase(it);
+    }
+  });
+}
+
+}  // namespace sttcp::tcp

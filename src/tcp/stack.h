@@ -1,0 +1,129 @@
+// TCP stack: demultiplexes segments to connections, owns listeners and
+// connection lifetimes, and exposes the socket-style API plus the ST-TCP
+// seams (replica mode, replica creation, connection observer).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/host.h"
+#include "tcp/config.h"
+#include "tcp/connection.h"
+
+namespace sttcp::tcp {
+
+class TcpStack {
+ public:
+  /// Invoked when a passively-opened connection (including a replica on the
+  /// backup) reaches ESTABLISHED. The handler installs the application's
+  /// callbacks on the connection.
+  using AcceptHandler = std::function<void(TcpConnection&)>;
+
+  /// ST-TCP's view of connection lifecycle on this stack.
+  class ConnectionObserver {
+   public:
+    virtual ~ConnectionObserver() = default;
+    /// A passively-accepted connection became ESTABLISHED (primary uses this
+    /// to announce the connection to the backup).
+    virtual void on_accepted(TcpConnection& conn) = 0;
+    /// A connection fully finished and is about to be destroyed.
+    virtual void on_finished(TcpConnection& conn, CloseReason reason) = 0;
+  };
+
+  struct Stats {
+    std::uint64_t segments_in = 0;
+    std::uint64_t segments_demuxed = 0;
+    std::uint64_t segments_buffered = 0;   // replica mode, pre-announce
+    std::uint64_t bad_checksum = 0;
+    std::uint64_t rst_sent = 0;            // RSTs for unknown connections
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_initiated = 0;
+    std::uint64_t replicas_created = 0;
+  };
+
+  TcpStack(net::Host& host, TcpConfig config);
+  ~TcpStack();
+  TcpStack(const TcpStack&) = delete;
+  TcpStack& operator=(const TcpStack&) = delete;
+
+  // --- socket API -----------------------------------------------------------
+  void listen(std::uint16_t port, AcceptHandler handler);
+  /// Active open. `local_ip` must be one of the host's addresses. Returns the
+  /// connection (owned by the stack; valid until on_closed fires and the
+  /// event loop turns over).
+  TcpConnection& connect(net::Ipv4Addr local_ip, net::SocketAddr remote,
+                         TcpConnection::Callbacks callbacks);
+
+  // --- ST-TCP seams -----------------------------------------------------------
+  /// In replica mode the stack never answers SYNs or unknown segments; it
+  /// buffers them per 4-tuple until ST-TCP announces the connection.
+  void set_replica_mode(bool on) { replica_mode_ = on; }
+  bool replica_mode() const { return replica_mode_; }
+
+  /// Create a replica connection from the primary's announcement. Buffered
+  /// segments for the tuple are replayed into it. If a tapped client SYN was
+  /// buffered, the replica completes the handshake passively.
+  TcpConnection& create_replica(const FourTuple& tuple,
+                                TcpConnection::ReplicaInit init);
+
+  /// Replica-mode ISN inference (paper §2: "during TCP connection
+  /// initialization, the backup changes its initial sequence number to match
+  /// that of the primary"). When the tap has seen both the client's SYN
+  /// (yielding IRS) and its handshake ACK (whose ack field is ISS+1), the
+  /// stack can reconstruct the primary's ISN without any announcement —
+  /// which also covers a primary that dies before its announce arrives.
+  using ReplicaInference =
+      std::function<void(const FourTuple& tuple, SeqWire iss, SeqWire irs)>;
+  void set_replica_inference(ReplicaInference fn) { inference_ = std::move(fn); }
+
+  void set_observer(ConnectionObserver* obs) { observer_ = obs; }
+
+  // --- lookup ------------------------------------------------------------------
+  TcpConnection* find(const FourTuple& tuple);
+  void for_each(const std::function<void(TcpConnection&)>& fn);
+  std::size_t connection_count() const { return conns_.size(); }
+
+  // --- plumbing (used by TcpConnection) ----------------------------------------
+  sim::World& world() { return host_.world(); }
+  bool alive() const { return host_.alive(); }
+  const TcpConfig& config() const { return cfg_; }
+  SeqWire choose_isn() {
+    if (cfg_.isn_override.has_value()) return *cfg_.isn_override;
+    return static_cast<SeqWire>(isn_rng_.next_u64());
+  }
+  bool emit(const FourTuple& tuple, const TcpSegment& seg);
+  void on_connection_finished(TcpConnection& conn, CloseReason reason);
+
+  const Stats& stats() const { return stats_; }
+  net::Host& host() { return host_; }
+
+ private:
+  void on_packet(const net::Ipv4Header& ip, net::BytesView l4);
+  TcpConnection& create_connection(const FourTuple& tuple);
+  void dispatch_accept(TcpConnection& conn);
+  void send_rst_for(const net::Ipv4Header& ip, const TcpSegment& seg);
+  void schedule_gc(const FourTuple& tuple);
+
+  net::Host& host_;
+  TcpConfig cfg_;
+  sim::Logger log_;
+  sim::Rng isn_rng_;
+  std::map<FourTuple, std::unique_ptr<TcpConnection>> conns_;
+  std::map<std::uint16_t, AcceptHandler> listeners_;
+  ConnectionObserver* observer_ = nullptr;
+
+  // Replica mode: segments seen before the primary's announcement.
+  static constexpr std::size_t kMaxBufferedSegments = 256;
+  std::map<FourTuple, std::vector<TcpSegment>> pending_;
+  std::map<FourTuple, sim::SimTime> pending_syn_time_;
+
+  ReplicaInference inference_;
+  bool replica_mode_ = false;
+  std::uint16_t next_ephemeral_ = 49152;
+  Stats stats_;
+};
+
+}  // namespace sttcp::tcp

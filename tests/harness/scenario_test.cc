@@ -1,0 +1,135 @@
+// Topology invariants of the Figure-2 scenario: the multicast tap, the
+// service alias, baseline addressing, gateway reachability, failure
+// injection plumbing.
+#include "harness/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "app/client.h"
+#include "app/server.h"
+
+namespace sttcp::harness {
+namespace {
+
+TEST(ScenarioTest, AddressingMatchesFigure2) {
+  Scenario sc{ScenarioConfig{}};
+  EXPECT_TRUE(sc.primary().has_ip(sc.service_ip()));
+  EXPECT_TRUE(sc.backup().has_ip(sc.service_ip()));
+  EXPECT_FALSE(sc.client().has_ip(sc.service_ip()));
+  EXPECT_EQ(sc.connect_addr().ip, sc.service_ip());
+  ScenarioConfig plain;
+  plain.enable_sttcp = false;
+  Scenario sc2(std::move(plain));
+  EXPECT_EQ(sc2.connect_addr().ip, sc2.primary_ip());
+  EXPECT_EQ(sc2.primary_endpoint(), nullptr);
+  EXPECT_EQ(sc2.backup_endpoint(), nullptr);
+}
+
+TEST(ScenarioTest, MulticastTapDeliversClientTrafficToBothServers) {
+  Scenario sc{ScenarioConfig{}};
+  // Raw UDP datagram from the client to the service IP: both servers'
+  // hosts must see it (the ST-TCP tap mechanism at L2).
+  int primary_got = 0;
+  int backup_got = 0;
+  sc.primary().udp_bind(9999, [&](net::Ipv4Addr, std::uint16_t, net::BytesView) {
+    ++primary_got;
+  });
+  sc.backup().udp_bind(9999, [&](net::Ipv4Addr, std::uint16_t, net::BytesView) {
+    ++backup_got;
+  });
+  sc.client().udp_send(sc.client_ip(), 1234, sc.service_ip(), 9999,
+                       net::to_bytes("tap me"));
+  sc.run_for(sim::Duration::millis(10));
+  EXPECT_EQ(primary_got, 1);
+  EXPECT_EQ(backup_got, 1);
+}
+
+TEST(ScenarioTest, ServerRepliesReachOnlyTheClient) {
+  Scenario sc{ScenarioConfig{}};
+  int client_got = 0;
+  int backup_got = 0;
+  sc.client().udp_bind(8888, [&](net::Ipv4Addr src, std::uint16_t, net::BytesView) {
+    EXPECT_EQ(src, sc.service_ip());
+    ++client_got;
+  });
+  sc.backup().udp_bind(8888, [&](net::Ipv4Addr, std::uint16_t, net::BytesView) {
+    ++backup_got;
+  });
+  // The primary answers FROM the service IP to the client's unicast MAC.
+  sc.primary().udp_send(sc.service_ip(), 8888, sc.client_ip(), 8888,
+                        net::to_bytes("reply"));
+  sc.run_for(sim::Duration::millis(10));
+  EXPECT_EQ(client_got, 1);
+  EXPECT_EQ(backup_got, 0);  // new design: no server->client tap
+}
+
+TEST(ScenarioTest, GatewayAnswersPingsFromBothServers) {
+  Scenario sc{ScenarioConfig{}};
+  int ok = 0;
+  sc.primary().ping(sc.primary_ip(), sc.gateway_ip(), sim::Duration::seconds(1),
+                    [&](bool success, sim::Duration) { ok += success; });
+  sc.backup().ping(sc.backup_ip(), sc.gateway_ip(), sim::Duration::seconds(1),
+                   [&](bool success, sim::Duration) { ok += success; });
+  sc.run_for(sim::Duration::millis(100));
+  EXPECT_EQ(ok, 2);
+}
+
+TEST(ScenarioTest, FailureInjectionHooksFire) {
+  Scenario sc{ScenarioConfig{}};
+  sc.fail_primary_nic_at(sim::Duration::millis(10));
+  sc.fail_serial_at(sim::Duration::millis(20));
+  sc.drop_backup_frames_at(sim::Duration::millis(30), 5);
+  sc.crash_backup_at(sim::Duration::millis(40));
+  sc.run_for(sim::Duration::millis(100));
+  EXPECT_TRUE(sc.primary().nic().failed());
+  EXPECT_TRUE(sc.serial().failed());
+  EXPECT_FALSE(sc.backup().alive());
+  const auto& tr = sc.world().trace();
+  EXPECT_EQ(tr.count("primary", "nic_failed"), 1u);
+  EXPECT_EQ(tr.count("serial", "serial_failed"), 1u);
+  EXPECT_EQ(tr.count("backup", "frame_drop_burst"), 1u);
+  EXPECT_EQ(tr.count("backup", "host_crash"), 1u);
+}
+
+TEST(ScenarioTest, DeterministicAcrossRuns) {
+  // Two worlds with the same seed produce byte-identical traces.
+  auto run_once = [](std::uint64_t seed) {
+    ScenarioConfig cfg;
+    cfg.seed = seed;
+    Scenario sc(std::move(cfg));
+    app::FileServer p(sc.primary_stack(), sc.service_port(), 1'000'000);
+    app::FileServer b(sc.backup_stack(), sc.service_port(), 1'000'000);
+    app::DownloadClient::Options opt;
+    opt.expected_bytes = 1'000'000;
+    app::DownloadClient c(sc.client_stack(), sc.client_ip(), {sc.connect_addr()},
+                          opt);
+    c.start();
+    sc.crash_primary_at(sim::Duration::millis(40));
+    sc.run_for(sim::Duration::seconds(20));
+    return sc.world().trace().dump() + (c.complete() ? "C" : "I") +
+           std::to_string(c.max_stall().ns());
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+  // (Different seeds change the ISNs but not the trace-visible timing, so
+  // no inequality assertion: determinism is the property under test.)
+}
+
+TEST(ScenarioTest, SlowBackupCpuConfigured) {
+  ScenarioConfig cfg;
+  cfg.backup_cpu_packet_time = sim::Duration::micros(50);
+  Scenario sc(std::move(cfg));
+  // Functional smoke: a transfer still completes with a slow backup.
+  app::FileServer p(sc.primary_stack(), sc.service_port(), 2'000'000);
+  app::FileServer b(sc.backup_stack(), sc.service_port(), 2'000'000);
+  app::DownloadClient::Options opt;
+  opt.expected_bytes = 2'000'000;
+  app::DownloadClient c(sc.client_stack(), sc.client_ip(), {sc.connect_addr()},
+                        opt);
+  c.start();
+  sc.run_for(sim::Duration::seconds(20));
+  EXPECT_TRUE(c.complete());
+  EXPECT_FALSE(c.corrupt());
+}
+
+}  // namespace
+}  // namespace sttcp::harness

@@ -1,0 +1,123 @@
+// Chaos sweep: randomized single-failure schedules across seeds. For every
+// seed, exactly one failure (random kind, random time) is injected into a
+// running transfer. The invariant is absolute:
+//   * the stream the client observes is NEVER corrupt, and
+//   * a single failure is ALWAYS masked (download completes, zero
+//     connection failures).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "app/client.h"
+#include "app/server.h"
+#include "harness/scenario.h"
+
+namespace sttcp::harness {
+namespace {
+
+class ChaosTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosTest, AnySingleFailureIsMasked) {
+  const std::uint64_t seed = GetParam();
+  sim::Rng dice(seed * 7919 + 13);
+
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.sttcp.max_delay_fin = sim::Duration::seconds(20);
+  Scenario sc(std::move(cfg));
+  const std::uint64_t size = 40'000'000;
+  app::FileServer p_app(sc.primary_stack(), sc.service_port(), size);
+  app::FileServer b_app(sc.backup_stack(), sc.service_port(), size);
+  app::DownloadClient::Options opt;
+  opt.expected_bytes = size;
+  app::DownloadClient client(sc.client_stack(), sc.client_ip(),
+                             {sc.connect_addr()}, opt);
+  client.start();
+
+  // Random injection: kind and time drawn from the seed.
+  const auto at = sim::Duration::millis(dice.range(50, 3000));
+  const int kind = static_cast<int>(dice.below(8));
+  std::string desc;
+  switch (kind) {
+    case 0:
+      desc = "primary HW crash";
+      sc.crash_primary_at(at);
+      break;
+    case 1:
+      desc = "backup HW crash";
+      sc.crash_backup_at(at);
+      break;
+    case 2:
+      desc = "primary app hang";
+      sc.world().loop().schedule_after(at, [&] { p_app.hang(); });
+      break;
+    case 3:
+      desc = "backup app hang";
+      sc.world().loop().schedule_after(at, [&] { b_app.hang(); });
+      break;
+    case 4:
+      desc = "primary app FIN crash";
+      sc.world().loop().schedule_after(at, [&] { p_app.crash_clean(); });
+      break;
+    case 5:
+      desc = "backup app RST crash";
+      sc.world().loop().schedule_after(at, [&] { b_app.crash_abort(); });
+      break;
+    case 6:
+      desc = "primary NIC failure";
+      sc.fail_primary_nic_at(at);
+      break;
+    default:
+      desc = "backup loss burst";
+      sc.drop_backup_frames_at(at, static_cast<int>(dice.range(1, 40)));
+      break;
+  }
+  SCOPED_TRACE(desc + " at " + at.str() + ", seed " + std::to_string(seed));
+
+  sc.run_for(sim::Duration::seconds(120));
+
+  EXPECT_TRUE(client.complete()) << sc.world().trace().dump();
+  EXPECT_FALSE(client.corrupt());
+  EXPECT_EQ(client.connection_failures(), 0);
+  EXPECT_EQ(client.received(), size);
+  // At most one failover action ever happens.
+  const auto& tr = sc.world().trace();
+  EXPECT_LE(tr.count("takeover") + tr.count("non_ft_mode"), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest, ::testing::Range<std::uint64_t>(1, 25));
+
+// Failover under ambient loss: the takeover machinery must work while the
+// network itself is misbehaving (loss delays heartbeats, retransmissions
+// and the announce/recovery protocols all at once).
+class LossyFailoverTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LossyFailoverTest, CrashMaskedDespiteRandomLoss) {
+  const std::uint64_t seed = GetParam();
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  Scenario sc(std::move(cfg));
+  sc.client_link().set_drop_probability(0.02);
+  sc.primary_link().set_drop_probability(0.02);
+  sc.backup_link().set_drop_probability(0.02);
+  const std::uint64_t size = 10'000'000;
+  app::FileServer p_app(sc.primary_stack(), sc.service_port(), size);
+  app::FileServer b_app(sc.backup_stack(), sc.service_port(), size);
+  app::DownloadClient::Options opt;
+  opt.expected_bytes = size;
+  app::DownloadClient client(sc.client_stack(), sc.client_ip(),
+                             {sc.connect_addr()}, opt);
+  client.start();
+  sc.crash_primary_at(sim::Duration::millis(500));
+  sc.run_for(sim::Duration::seconds(240));
+  EXPECT_TRUE(client.complete()) << "seed " << seed;
+  EXPECT_FALSE(client.corrupt());
+  EXPECT_EQ(client.connection_failures(), 0);
+  EXPECT_EQ(sc.world().trace().count("backup", "takeover"), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LossyFailoverTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace sttcp::harness

@@ -1,0 +1,232 @@
+// End-to-end ST-TCP: Demo 1's scenario as a test. A client downloads a file
+// through the virtual service address; the primary is crashed mid-transfer;
+// the backup must take over the same TCP connection transparently and the
+// client must receive every byte intact on the ORIGINAL connection.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "app/client.h"
+#include "app/server.h"
+#include "harness/scenario.h"
+
+namespace sttcp::harness {
+namespace {
+
+using app::DownloadClient;
+using app::FileServer;
+
+struct Rig {
+  explicit Rig(ScenarioConfig cfg = {}) : scenario(std::move(cfg)) {}
+
+  void start_file_service(std::uint64_t file_size) {
+    primary_app = std::make_unique<FileServer>(scenario.primary_stack(),
+                                               scenario.service_port(), file_size);
+    backup_app = std::make_unique<FileServer>(scenario.backup_stack(),
+                                              scenario.service_port(), file_size);
+  }
+
+  void start_download(std::uint64_t expected) {
+    DownloadClient::Options opt;
+    opt.expected_bytes = expected;
+    client = std::make_unique<DownloadClient>(
+        scenario.client_stack(), scenario.client_ip(),
+        std::vector<net::SocketAddr>{scenario.connect_addr()}, opt);
+    client->start();
+  }
+
+  Scenario scenario;
+  std::unique_ptr<FileServer> primary_app;
+  std::unique_ptr<FileServer> backup_app;
+  std::unique_ptr<DownloadClient> client;
+};
+
+TEST(FailoverTest, TransferCompletesWithoutFailures) {
+  Rig rig;
+  const std::uint64_t size = 2'000'000;
+  rig.start_file_service(size);
+  rig.start_download(size);
+  rig.scenario.run_for(sim::Duration::seconds(10));
+  EXPECT_TRUE(rig.client->complete());
+  EXPECT_FALSE(rig.client->corrupt());
+  EXPECT_EQ(rig.client->connection_failures(), 0);
+  // No failover happened.
+  EXPECT_EQ(rig.scenario.world().trace().count("takeover"), 0u);
+  EXPECT_EQ(rig.scenario.backup_endpoint()->mode(),
+            sttcp::StTcpEndpoint::Mode::kReplicating);
+}
+
+TEST(FailoverTest, BackupReplicatesConnectionState) {
+  Rig rig;
+  const std::uint64_t size = 500'000;
+  rig.start_file_service(size);
+  rig.start_download(size);
+  rig.scenario.run_for(sim::Duration::seconds(5));
+  ASSERT_TRUE(rig.client->complete());
+  // The backup app served the same bytes (all suppressed).
+  EXPECT_EQ(rig.backup_app->stats().bytes_written, size);
+  EXPECT_EQ(rig.backup_app->stats().connections_accepted, 1u);
+  EXPECT_EQ(rig.scenario.world().trace().count("backup", "replica_created"), 1u);
+  EXPECT_EQ(rig.scenario.world().trace().count("primary", "announce_confirmed"), 1u);
+  // Nothing from the backup reached the wire on the service connection.
+  EXPECT_EQ(rig.scenario.backup_stack().stats().rst_sent, 0u);
+}
+
+TEST(FailoverTest, PrimaryCrashMidTransferIsMaskedFromClient) {
+  Rig rig;
+  const std::uint64_t size = 20'000'000;  // long enough to straddle the crash
+  rig.start_file_service(size);
+  rig.start_download(size);
+  rig.scenario.crash_primary_at(sim::Duration::millis(500));
+  rig.scenario.run_for(sim::Duration::seconds(60));
+
+  // The client finished the download with zero connection failures: the
+  // failover was transparent.
+  EXPECT_TRUE(rig.client->complete());
+  EXPECT_FALSE(rig.client->corrupt());
+  EXPECT_EQ(rig.client->received(), size);
+  EXPECT_EQ(rig.client->connection_failures(), 0);
+  EXPECT_EQ(rig.client->connects(), 1);
+
+  // Exactly one takeover; the backup powered the primary down first.
+  const auto& trace = rig.scenario.world().trace();
+  EXPECT_EQ(trace.count("backup", "takeover"), 1u);
+  EXPECT_EQ(rig.scenario.backup_endpoint()->mode(),
+            sttcp::StTcpEndpoint::Mode::kTakenOver);
+  EXPECT_TRUE(trace.strictly_before("stonith", "takeover"));
+
+  // Client-visible stall: detection (3 x 200ms HB) + TCP retransmission
+  // backoff. Sanity bounds rather than exact numbers.
+  const sim::Duration stall = rig.client->max_stall();
+  EXPECT_GT(stall.ms(), 400);
+  EXPECT_LT(stall.ms(), 5000);
+}
+
+TEST(FailoverTest, WithoutStTcpClientMustReconnect) {
+  ScenarioConfig cfg;
+  cfg.enable_sttcp = false;
+  cfg.tcp.max_retries = 6;  // fail the dead connection within seconds
+  Rig rig(cfg);
+  const std::uint64_t size = 20'000'000;
+  rig.start_file_service(size);
+
+  DownloadClient::Options opt;
+  opt.expected_bytes = size;
+  opt.reconnect = true;
+  opt.reconnect_delay = sim::Duration::millis(10);
+  // The GUI user notices the frozen progress bar after a few seconds and
+  // reconnects; without this (or TCP keepalive) a pure receiver would hang
+  // on a dead server forever.
+  opt.stall_timeout = sim::Duration::seconds(5);
+  rig.client = std::make_unique<DownloadClient>(
+      rig.scenario.client_stack(), rig.scenario.client_ip(),
+      std::vector<net::SocketAddr>{rig.scenario.connect_addr(),
+                                   rig.scenario.backup_addr()},
+      opt);
+  rig.client->start();
+  rig.scenario.crash_primary_at(sim::Duration::millis(500));
+  rig.scenario.run_for(sim::Duration::seconds(120));
+
+  // The download ultimately completes (against the hot backup), but the
+  // client saw a broken connection and had to reconnect — the disruption
+  // ST-TCP exists to remove.
+  EXPECT_TRUE(rig.client->complete());
+  EXPECT_GE(rig.client->connection_failures(), 1);
+  EXPECT_GE(rig.client->connects(), 2);
+  // The service interruption dwarfs ST-TCP's sub-second glitch: the stall
+  // lasted at least the detection timeout.
+  const auto stall_at = rig.scenario.world().trace().first_time("stall_timeout");
+  ASSERT_TRUE(stall_at.has_value());
+  EXPECT_GT((*stall_at - sim::SimTime::zero()).ms(), 5000);  // crash at 500ms + 5s
+}
+
+TEST(FailoverTest, StreamContinuityAcrossTakeover) {
+  // The strongest invariant: the byte stream the client sees is the SAME
+  // stream regardless of which server produced which half. pattern_verify
+  // inside DownloadClient checks every offset; additionally ensure bytes
+  // continued beyond the crash point.
+  Rig rig;
+  const std::uint64_t size = 30'000'000;
+  rig.start_file_service(size);
+  rig.start_download(size);
+  rig.scenario.crash_primary_at(sim::Duration::seconds(1));
+  rig.scenario.run_for(sim::Duration::seconds(60));
+  ASSERT_TRUE(rig.client->complete());
+  EXPECT_FALSE(rig.client->corrupt());
+
+  // Find bytes received before and after the takeover.
+  const auto takeover_at = rig.scenario.world().trace().first_time("takeover");
+  ASSERT_TRUE(takeover_at.has_value());
+  std::uint64_t before = 0, after = 0;
+  for (const auto& s : rig.client->timeline()) {
+    if (s.at < *takeover_at) {
+      before = s.total_bytes;
+    } else {
+      after = s.total_bytes;
+    }
+  }
+  EXPECT_GT(before, 0u);
+  EXPECT_GT(after, before);
+  EXPECT_EQ(after, size);
+}
+
+TEST(FailoverTest, BackupCrashLeavesPrimaryServingNonFt) {
+  Rig rig;
+  const std::uint64_t size = 20'000'000;
+  rig.start_file_service(size);
+  rig.start_download(size);
+  rig.scenario.crash_backup_at(sim::Duration::millis(500));
+  rig.scenario.run_for(sim::Duration::seconds(60));
+
+  EXPECT_TRUE(rig.client->complete());
+  EXPECT_FALSE(rig.client->corrupt());
+  EXPECT_EQ(rig.client->connection_failures(), 0);
+  EXPECT_EQ(rig.scenario.primary_endpoint()->mode(),
+            sttcp::StTcpEndpoint::Mode::kNonFaultTolerant);
+  EXPECT_EQ(rig.scenario.world().trace().count("takeover"), 0u);
+  EXPECT_EQ(rig.scenario.world().trace().count("primary", "non_ft_mode"), 1u);
+  // The client baerly notices: the primary never stopped serving.
+  EXPECT_LT(rig.client->max_stall().ms(), 500);
+}
+
+TEST(FailoverTest, CrashBeforeAnyConnectionStillFailsOver) {
+  Rig rig;
+  rig.start_file_service(1'000'000);
+  // Crash the primary before the client ever connects.
+  rig.scenario.crash_primary_at(sim::Duration::millis(100));
+  rig.scenario.run_for(sim::Duration::seconds(2));
+  EXPECT_EQ(rig.scenario.world().trace().count("backup", "takeover"), 1u);
+  // A client connecting afterwards is served by the (now active) backup
+  // through the same service address.
+  rig.start_download(1'000'000);
+  rig.scenario.run_for(sim::Duration::seconds(10));
+  EXPECT_TRUE(rig.client->complete());
+  EXPECT_FALSE(rig.client->corrupt());
+}
+
+TEST(FailoverTest, IdleConnectionSurvivesFailover) {
+  // No data in flight when the primary dies; the connection must still be
+  // usable afterwards. StreamServer + StreamClient: request/response.
+  Rig rig;
+  auto p_app = std::make_unique<app::StreamServer>(rig.scenario.primary_stack(),
+                                                   rig.scenario.service_port(), 1000);
+  auto b_app = std::make_unique<app::StreamServer>(rig.scenario.backup_stack(),
+                                                   rig.scenario.service_port(), 1000);
+  app::StreamClient client(rig.scenario.client_stack(), rig.scenario.client_ip(),
+                           rig.scenario.connect_addr(), 1000, /*pipeline=*/1);
+  client.start();
+  // Let a few records flow, go idle, crash, then keep using the connection.
+  rig.scenario.run_for(sim::Duration::seconds(1));
+  const std::uint64_t before = client.records_completed();
+  EXPECT_GT(before, 0u);
+  rig.scenario.crash_primary_at(sim::Duration::millis(100));
+  rig.scenario.run_for(sim::Duration::seconds(5));
+  EXPECT_EQ(rig.scenario.world().trace().count("backup", "takeover"), 1u);
+  rig.scenario.run_for(sim::Duration::seconds(5));
+  EXPECT_FALSE(client.closed());
+  EXPECT_GT(client.records_completed(), before);
+  EXPECT_FALSE(client.corrupt());
+}
+
+}  // namespace
+}  // namespace sttcp::harness

@@ -1,0 +1,84 @@
+#include "net/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace sttcp::net {
+namespace {
+
+TEST(ByteWriterTest, BigEndianLayout) {
+  Bytes out;
+  ByteWriter w(out);
+  w.u8(0x01);
+  w.u16(0x0203);
+  w.u32(0x04050607);
+  w.u64(0x08090a0b0c0d0e0full);
+  const Bytes expect = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                        0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+  EXPECT_EQ(out, expect);
+}
+
+TEST(ByteWriterTest, PatchU16) {
+  Bytes out;
+  ByteWriter w(out);
+  w.u16(0);
+  w.u32(0xdeadbeef);
+  w.patch_u16(0, 0xcafe);
+  EXPECT_EQ(out[0], 0xca);
+  EXPECT_EQ(out[1], 0xfe);
+  EXPECT_EQ(out[2], 0xde);  // rest untouched
+}
+
+TEST(ByteWriterTest, BytesAppend) {
+  Bytes out;
+  ByteWriter w(out);
+  w.bytes(to_bytes("abc"));
+  w.u8('d');
+  EXPECT_EQ(out, to_bytes("abcd"));
+  EXPECT_EQ(w.size(), 4u);
+}
+
+TEST(ByteReaderTest, RoundTrip) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.u8(7);
+  w.u16(1024);
+  w.u32(1u << 30);
+  w.u64(0x1122334455667788ull);
+  w.bytes(to_bytes("tail"));
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 1024);
+  EXPECT_EQ(r.u32(), 1u << 30);
+  EXPECT_EQ(r.u64(), 0x1122334455667788ull);
+  EXPECT_EQ(r.remaining(), 4u);
+  EXPECT_EQ(to_bytes(r.rest()), to_bytes("tail"));
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReaderTest, UnderrunThrows) {
+  const Bytes buf = {1, 2, 3};
+  ByteReader r(buf);
+  EXPECT_EQ(r.u16(), 0x0102);
+  EXPECT_THROW(r.u16(), std::out_of_range);
+  // Position unchanged after a failed read.
+  EXPECT_EQ(r.u8(), 3);
+  EXPECT_THROW(r.u8(), std::out_of_range);
+}
+
+TEST(ByteReaderTest, SkipAndPos) {
+  const Bytes buf = {1, 2, 3, 4, 5};
+  ByteReader r(buf);
+  r.skip(2);
+  EXPECT_EQ(r.pos(), 2u);
+  EXPECT_EQ(r.u8(), 3);
+  EXPECT_THROW(r.skip(10), std::out_of_range);
+}
+
+TEST(BytesHelpersTest, ToBytesFromCString) {
+  EXPECT_EQ(to_bytes("").size(), 0u);
+  EXPECT_EQ(to_bytes("xy"), (Bytes{'x', 'y'}));
+}
+
+}  // namespace
+}  // namespace sttcp::net

@@ -1,0 +1,183 @@
+#include "net/host.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/net/testnet.h"
+
+namespace sttcp::net {
+namespace {
+
+using sttcp::testing::TestNet;
+
+class HostTest : public ::testing::Test {
+ protected:
+  HostTest() {
+    net_.add_host("alice", 1);
+    net_.add_host("bob", 2);
+  }
+  TestNet net_;
+};
+
+TEST_F(HostTest, UdpSendAndReceive) {
+  Bytes got;
+  Ipv4Addr from;
+  std::uint16_t from_port = 0;
+  net_.host(1).udp_bind(7000, [&](Ipv4Addr src, std::uint16_t sport, BytesView p) {
+    from = src;
+    from_port = sport;
+    got = to_bytes(p);
+  });
+  net_.host(0).udp_send(net_.ip(0), 5555, net_.ip(1), 7000, to_bytes("ping!"));
+  net_.run_for(sim::Duration::millis(10));
+  EXPECT_EQ(got, to_bytes("ping!"));
+  EXPECT_EQ(from, net_.ip(0));
+  EXPECT_EQ(from_port, 5555);
+}
+
+TEST_F(HostTest, UdpToUnboundPortIsDropped) {
+  net_.host(0).udp_send(net_.ip(0), 5555, net_.ip(1), 9999, to_bytes("x"));
+  net_.run_for(sim::Duration::millis(10));
+  EXPECT_EQ(net_.host(1).stats().packets_in, 1u);  // received, no handler
+}
+
+TEST_F(HostTest, UdpUnbindStopsDelivery) {
+  int count = 0;
+  net_.host(1).udp_bind(7000, [&](Ipv4Addr, std::uint16_t, BytesView) { ++count; });
+  net_.host(0).udp_send(net_.ip(0), 1, net_.ip(1), 7000, to_bytes("a"));
+  net_.run_for(sim::Duration::millis(5));
+  net_.host(1).udp_unbind(7000);
+  net_.host(0).udp_send(net_.ip(0), 1, net_.ip(1), 7000, to_bytes("b"));
+  net_.run_for(sim::Duration::millis(5));
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(HostTest, PingSucceedsToLiveHost) {
+  bool ok = false;
+  sim::Duration rtt;
+  net_.host(0).ping(net_.ip(0), net_.ip(1), sim::Duration::seconds(1),
+                    [&](bool success, sim::Duration r) {
+                      ok = success;
+                      rtt = r;
+                    });
+  net_.run_for(sim::Duration::millis(100));
+  EXPECT_TRUE(ok);
+  EXPECT_GT(rtt.ns(), 0);
+  EXPECT_LT(rtt.ms(), 10);
+}
+
+TEST_F(HostTest, PingTimesOutToDeadHost) {
+  net_.host(1).crash("test");
+  bool called = false;
+  bool ok = true;
+  net_.host(0).ping(net_.ip(0), net_.ip(1), sim::Duration::millis(200),
+                    [&](bool success, sim::Duration) {
+                      called = true;
+                      ok = success;
+                    });
+  net_.run_for(sim::Duration::millis(500));
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(HostTest, PingFailsWhenOwnNicDown) {
+  net_.host(0).nic().fail();
+  bool ok = true;
+  net_.host(0).ping(net_.ip(0), net_.ip(1), sim::Duration::millis(200),
+                    [&](bool success, sim::Duration) { ok = success; });
+  net_.run_for(sim::Duration::millis(500));
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(HostTest, CrashStopsAllTraffic) {
+  net_.host(1).crash("fault injection");
+  EXPECT_FALSE(net_.host(1).alive());
+  EXPECT_FALSE(net_.host(1).udp_send(net_.ip(1), 1, net_.ip(0), 2, to_bytes("x")));
+  int received = 0;
+  net_.host(1).udp_bind(7000, [&](Ipv4Addr, std::uint16_t, BytesView) { ++received; });
+  net_.host(0).udp_send(net_.ip(0), 1, net_.ip(1), 7000, to_bytes("y"));
+  net_.run_for(sim::Duration::millis(10));
+  EXPECT_EQ(received, 0);
+}
+
+TEST_F(HostTest, CrashHooksFireOnce) {
+  int fired = 0;
+  net_.host(0).add_crash_hook([&] { ++fired; });
+  net_.host(0).crash("first");
+  net_.host(0).crash("second");
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(HostTest, CrashRecordsTraceEvent) {
+  net_.host(0).crash("bang");
+  EXPECT_EQ(net_.world.trace().count("alice", "host_crash"), 1u);
+}
+
+TEST_F(HostTest, IpAliasesAreLocal) {
+  const Ipv4Addr service(10, 0, 0, 100);
+  net_.host(1).add_ip(service);
+  EXPECT_TRUE(net_.host(1).has_ip(service));
+  net_.host(0).arp_set(service, net_.host_macs[1]);
+  Bytes got;
+  net_.host(1).udp_bind(7000,
+                        [&](Ipv4Addr, std::uint16_t, BytesView p) { got = to_bytes(p); });
+  net_.host(0).udp_send(net_.ip(0), 1, service, 7000, to_bytes("alias"));
+  net_.run_for(sim::Duration::millis(10));
+  EXPECT_EQ(got, to_bytes("alias"));
+}
+
+TEST_F(HostTest, PacketsToForeignIpNotDelivered) {
+  // Deliver a frame to bob's NIC with an IP he does not own.
+  const Ipv4Addr stranger(10, 0, 0, 200);
+  net_.host(0).arp_set(stranger, net_.host_macs[1]);
+  net_.host(0).udp_send(net_.ip(0), 1, stranger, 7000, to_bytes("not-yours"));
+  net_.run_for(sim::Duration::millis(10));
+  EXPECT_EQ(net_.host(1).stats().not_local, 1u);
+  EXPECT_EQ(net_.host(1).stats().packets_in, 0u);
+}
+
+TEST_F(HostTest, SendWithoutArpFails) {
+  EXPECT_FALSE(net_.host(0).udp_send(net_.ip(0), 1, Ipv4Addr(10, 9, 9, 9), 7,
+                                     to_bytes("?")));
+  EXPECT_EQ(net_.host(0).stats().arp_misses, 1u);
+}
+
+TEST_F(HostTest, PowerControllerKillsTarget) {
+  PowerController power(net_.world);
+  power.register_host(net_.host(0));
+  power.register_host(net_.host(1));
+  EXPECT_TRUE(power.power_off("bob"));
+  EXPECT_FALSE(net_.host(1).alive());
+  EXPECT_TRUE(net_.host(0).alive());
+  EXPECT_EQ(power.power_off_count(), 1u);
+  EXPECT_FALSE(power.power_off("nobody"));
+  // Powering off an already-dead host is a harmless success.
+  EXPECT_TRUE(power.power_off("bob"));
+}
+
+TEST_F(HostTest, DisabledPowerControllerRefuses) {
+  PowerController power(net_.world);
+  power.register_host(net_.host(1));
+  power.set_functional(false);
+  EXPECT_FALSE(power.power_off("bob"));
+  EXPECT_TRUE(net_.host(1).alive());
+}
+
+TEST_F(HostTest, CpuPacketTimeDelaysProcessing) {
+  // With 1ms per packet, 5 packets take 5ms to drain.
+  net_.host(1).set_cpu_packet_time(sim::Duration::millis(1));
+  int count = 0;
+  sim::SimTime last;
+  net_.host(1).udp_bind(7000, [&](Ipv4Addr, std::uint16_t, BytesView) {
+    ++count;
+    last = net_.world.now();
+  });
+  for (int i = 0; i < 5; ++i) {
+    net_.host(0).udp_send(net_.ip(0), 1, net_.ip(1), 7000, to_bytes("x"));
+  }
+  net_.run_for(sim::Duration::millis(100));
+  EXPECT_EQ(count, 5);
+  EXPECT_GE((last - sim::SimTime::zero()).ms(), 5);
+}
+
+}  // namespace
+}  // namespace sttcp::net

@@ -1,0 +1,108 @@
+#include "net/serial_link.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/world.h"
+
+namespace sttcp::net {
+namespace {
+
+class SerialTest : public ::testing::Test {
+ protected:
+  SerialTest() : link_(world_) {
+    link_.port(0).set_handler([this](Bytes m) {
+      at_a_.push_back(std::move(m));
+      times_a_.push_back(world_.now());
+    });
+    link_.port(1).set_handler([this](Bytes m) {
+      at_b_.push_back(std::move(m));
+      times_b_.push_back(world_.now());
+    });
+  }
+
+  sim::World world_;
+  SerialLink link_;
+  std::vector<Bytes> at_a_, at_b_;
+  std::vector<sim::SimTime> times_a_, times_b_;
+};
+
+TEST_F(SerialTest, DeliversWholeMessages) {
+  link_.port(0).send(to_bytes("heartbeat-1"));
+  world_.loop().run();
+  ASSERT_EQ(at_b_.size(), 1u);
+  EXPECT_EQ(at_b_[0], to_bytes("heartbeat-1"));
+  EXPECT_TRUE(at_a_.empty());
+}
+
+TEST_F(SerialTest, SerializationDelayMatchesBaudRate) {
+  // 115200 baud, 10 wire bits per byte => 1152 bytes take exactly 100ms.
+  // Message of 1152-3 bytes + 3 framing bytes = 1152 wire bytes.
+  const std::size_t n = 1152 - SerialLink::kFramingBytes;
+  link_.port(0).send(Bytes(n, 0x55));
+  world_.loop().run();
+  ASSERT_EQ(times_b_.size(), 1u);
+  EXPECT_EQ(times_b_[0], sim::SimTime::zero() + sim::Duration::millis(100));
+}
+
+TEST_F(SerialTest, MessagesQueueFifo) {
+  const std::size_t n = 1152 - SerialLink::kFramingBytes;
+  link_.port(0).send(Bytes(n, 0x01));
+  link_.port(0).send(Bytes(n, 0x02));
+  world_.loop().run();
+  ASSERT_EQ(times_b_.size(), 2u);
+  EXPECT_EQ(times_b_[0], sim::SimTime::zero() + sim::Duration::millis(100));
+  EXPECT_EQ(times_b_[1], sim::SimTime::zero() + sim::Duration::millis(200));
+  EXPECT_EQ(at_b_[0][0], 0x01);
+  EXPECT_EQ(at_b_[1][0], 0x02);
+}
+
+TEST_F(SerialTest, FullDuplex) {
+  link_.port(0).send(to_bytes("to-b"));
+  link_.port(1).send(to_bytes("to-a"));
+  world_.loop().run();
+  ASSERT_EQ(at_a_.size(), 1u);
+  ASSERT_EQ(at_b_.size(), 1u);
+  EXPECT_EQ(times_a_[0], times_b_[0]);  // directions independent
+}
+
+TEST_F(SerialTest, FailedLinkDrops) {
+  link_.fail();
+  link_.port(0).send(to_bytes("lost"));
+  world_.loop().run();
+  EXPECT_TRUE(at_b_.empty());
+  EXPECT_EQ(link_.stats().messages_dropped, 1u);
+  link_.heal();
+  link_.port(0).send(to_bytes("found"));
+  world_.loop().run();
+  EXPECT_EQ(at_b_.size(), 1u);
+}
+
+TEST_F(SerialTest, FailureKillsInFlight) {
+  link_.port(0).send(Bytes(1000, 0x00));  // ~87ms on the wire
+  world_.loop().schedule_after(sim::Duration::millis(10), [&] { link_.fail(); });
+  world_.loop().run();
+  EXPECT_TRUE(at_b_.empty());
+}
+
+TEST_F(SerialTest, QueueDelayReflectsBacklog) {
+  EXPECT_EQ(link_.queue_delay(0), sim::Duration::zero());
+  const std::size_t n = 1152 - SerialLink::kFramingBytes;
+  link_.port(0).send(Bytes(n, 0x00));
+  link_.port(0).send(Bytes(n, 0x00));
+  EXPECT_EQ(link_.queue_delay(0), sim::Duration::millis(200));
+}
+
+TEST_F(SerialTest, CustomBaud) {
+  SerialLink fast(world_, 1'152'000);  // 10x the default
+  std::vector<sim::SimTime> t;
+  fast.port(1).set_handler([&](Bytes) { t.push_back(world_.now()); });
+  fast.port(0).send(Bytes(1152 - SerialLink::kFramingBytes, 0x00));
+  world_.loop().run();
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0], sim::SimTime::zero() + sim::Duration::millis(10));
+}
+
+}  // namespace
+}  // namespace sttcp::net

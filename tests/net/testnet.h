@@ -1,0 +1,63 @@
+// Shared topology helpers for network-layer and TCP tests: a small world
+// with N hosts hanging off one switch, fully ARP'd to each other.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/host.h"
+#include "net/link.h"
+#include "net/switch.h"
+#include "sim/world.h"
+
+namespace sttcp::testing {
+
+struct TestNet {
+  explicit TestNet(std::uint64_t seed = 1,
+                   sim::Duration latency = sim::Duration::micros(50),
+                   std::uint64_t bandwidth_bps = 100'000'000)
+      : world(seed), sw(world, "switch"), latency_(latency), bw_(bandwidth_bps) {}
+
+  /// Add a host with one NIC on the switch. IP/MAC derived from `index`.
+  net::Host& add_host(const std::string& name, int index) {
+    auto host = std::make_unique<net::Host>(world, name);
+    const net::MacAddr mac = net::MacAddr::from_u64(0x0200000000ull + index);
+    const net::Ipv4Addr ip(10, 0, 0, static_cast<std::uint8_t>(index));
+    net::Nic& nic = host->add_nic(mac);
+    host->add_ip(ip);
+    auto link = std::make_unique<net::Link>(world, latency_, bw_);
+    nic.attach(link->port(0));
+    sw.add_port(link->port(1));
+    links.push_back(std::move(link));
+    hosts.push_back(std::move(host));
+    host_ips.push_back(ip);
+    host_macs.push_back(mac);
+    // Fill in ARP both ways with all existing hosts.
+    net::Host& h = *hosts.back();
+    for (std::size_t i = 0; i + 1 < hosts.size(); ++i) {
+      h.arp_set(host_ips[i], host_macs[i]);
+      hosts[i]->arp_set(ip, mac);
+    }
+    return h;
+  }
+
+  net::Host& host(std::size_t i) { return *hosts[i]; }
+  net::Ipv4Addr ip(std::size_t i) const { return host_ips[i]; }
+  net::Link& link(std::size_t i) { return *links[i]; }
+
+  void run_for(sim::Duration d) { world.loop().run_for(d); }
+
+  sim::World world;
+  net::EthernetSwitch sw;
+  std::vector<std::unique_ptr<net::Host>> hosts;
+  std::vector<std::unique_ptr<net::Link>> links;
+  std::vector<net::Ipv4Addr> host_ips;
+  std::vector<net::MacAddr> host_macs;
+
+ private:
+  sim::Duration latency_;
+  std::uint64_t bw_;
+};
+
+}  // namespace sttcp::testing

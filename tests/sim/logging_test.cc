@@ -1,0 +1,87 @@
+#include "sim/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/event_loop.h"
+
+namespace sttcp::sim {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  EventLoop loop_;
+  std::ostringstream out_;
+};
+
+TEST_F(LoggingTest, LevelsFilter) {
+  LogSink sink(loop_, &out_, LogLevel::kWarn);
+  Logger log(&sink, "component");
+  log.debug("invisible");
+  log.info("also invisible");
+  log.warn("visible-warn");
+  log.error("visible-error");
+  const std::string s = out_.str();
+  EXPECT_EQ(s.find("invisible"), std::string::npos);
+  EXPECT_NE(s.find("visible-warn"), std::string::npos);
+  EXPECT_NE(s.find("visible-error"), std::string::npos);
+}
+
+TEST_F(LoggingTest, TimestampsComeFromSimClock) {
+  LogSink sink(loop_, &out_, LogLevel::kInfo);
+  Logger log(&sink, "c");
+  loop_.schedule_after(Duration::millis(1500), [&] { log.info("late"); });
+  loop_.run();
+  EXPECT_NE(out_.str().find("[1.500000s]"), std::string::npos);
+}
+
+TEST_F(LoggingTest, VariadicFormatting) {
+  LogSink sink(loop_, &out_, LogLevel::kInfo);
+  Logger log(&sink, "fmt");
+  log.info("x=", 42, " y=", 2.5, " z=", std::string("s"));
+  EXPECT_NE(out_.str().find("x=42 y=2.5 z=s"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ChildComponentNames) {
+  LogSink sink(loop_, &out_, LogLevel::kInfo);
+  Logger parent(&sink, "host");
+  Logger child = parent.child("tcp");
+  child.info("hello");
+  EXPECT_NE(out_.str().find("host/tcp:"), std::string::npos);
+  // A child of an empty logger is just the suffix.
+  Logger root(&sink, "");
+  EXPECT_EQ(root.child("x").component(), "x");
+}
+
+TEST_F(LoggingTest, DefaultLoggerDiscardsSafely) {
+  Logger log;  // no sink
+  log.error("goes nowhere");  // must not crash
+  EXPECT_FALSE(log.enabled(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, EnabledGuardSkipsFormatting) {
+  LogSink sink(loop_, &out_, LogLevel::kOff);
+  Logger log(&sink, "quiet");
+  EXPECT_FALSE(log.enabled(LogLevel::kError));
+  log.error("never rendered");
+  EXPECT_TRUE(out_.str().empty());
+}
+
+TEST_F(LoggingTest, RuntimeLevelChange) {
+  LogSink sink(loop_, &out_, LogLevel::kError);
+  Logger log(&sink, "c");
+  log.info("no");
+  sink.set_level(LogLevel::kTrace);
+  log.trace("yes");
+  EXPECT_EQ(out_.str().find("no\n"), std::string::npos);
+  EXPECT_NE(out_.str().find("yes"), std::string::npos);
+}
+
+TEST(LogLevelTest, Names) {
+  EXPECT_STREQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace sttcp::sim

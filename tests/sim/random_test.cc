@@ -1,0 +1,110 @@
+#include "sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace sttcp::sim {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+  EXPECT_EQ(r.below(0), 0u);
+  EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng r(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit over 1000 draws
+  EXPECT_EQ(r.range(5, 5), 5);
+  EXPECT_EQ(r.range(5, 4), 5);  // degenerate
+}
+
+TEST(RngTest, Uniform01Bounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng r(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+    EXPECT_FALSE(r.chance(-0.5));
+    EXPECT_TRUE(r.chance(1.5));
+  }
+}
+
+TEST(RngTest, ChanceFrequencyRoughlyMatches) {
+  Rng r(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (r.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng r(17);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.fork();
+  // The fork must not replay the parent's stream.
+  Rng b(21);
+  (void)b.next_u64();  // consume the value that seeded the fork
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ReseedResetsStream) {
+  Rng r(5);
+  const std::uint64_t first = r.next_u64();
+  (void)r.next_u64();
+  r.reseed(5);
+  EXPECT_EQ(r.next_u64(), first);
+}
+
+}  // namespace
+}  // namespace sttcp::sim

@@ -1,0 +1,71 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace sttcp::sim {
+namespace {
+
+TEST(DurationTest, UnitConstructors) {
+  EXPECT_EQ(Duration::nanos(5).ns(), 5);
+  EXPECT_EQ(Duration::micros(5).ns(), 5000);
+  EXPECT_EQ(Duration::millis(5).ns(), 5000000);
+  EXPECT_EQ(Duration::seconds(5).ns(), 5000000000LL);
+  EXPECT_EQ(Duration::minutes(2).ns(), 120000000000LL);
+}
+
+TEST(DurationTest, FromSecondsRounds) {
+  EXPECT_EQ(Duration::from_seconds(0.2).ms(), 200);
+  EXPECT_EQ(Duration::from_seconds(1.5).ms(), 1500);
+  EXPECT_EQ(Duration::from_seconds(0.0000000015).ns(), 2);  // rounds to nearest
+}
+
+TEST(DurationTest, Arithmetic) {
+  const Duration a = Duration::millis(100);
+  const Duration b = Duration::millis(40);
+  EXPECT_EQ((a + b).ms(), 140);
+  EXPECT_EQ((a - b).ms(), 60);
+  EXPECT_EQ((a * 3).ms(), 300);
+  EXPECT_EQ((a / 4).ms(), 25);
+  EXPECT_EQ(a / b, 2);  // integer ratio
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_EQ(Duration::seconds(1), Duration::millis(1000));
+  EXPECT_TRUE(Duration::zero().is_zero());
+  EXPECT_TRUE((Duration::zero() - Duration::nanos(1)).is_negative());
+}
+
+TEST(DurationTest, ToSeconds) {
+  EXPECT_DOUBLE_EQ(Duration::millis(1500).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::millis(1500).to_millis(), 1500.0);
+}
+
+TEST(DurationTest, Str) {
+  EXPECT_EQ(Duration::zero().str(), "0s");
+  EXPECT_EQ(Duration::nanos(12).str(), "12ns");
+  EXPECT_EQ(Duration::micros(3).str(), "3.000us");
+  EXPECT_EQ(Duration::millis(250).str(), "250.000ms");
+  EXPECT_EQ(Duration::seconds(2).str(), "2.000s");
+}
+
+TEST(SimTimeTest, EpochAndAdvance) {
+  const SimTime t0 = SimTime::zero();
+  const SimTime t1 = t0 + Duration::millis(5);
+  EXPECT_EQ((t1 - t0).ms(), 5);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ((t1 - Duration::millis(5)), t0);
+}
+
+TEST(SimTimeTest, NeverIsBeyondEverything) {
+  EXPECT_TRUE(SimTime::never().is_never());
+  EXPECT_LT(SimTime::zero() + Duration::seconds(1000000), SimTime::never());
+  EXPECT_FALSE(SimTime::zero().is_never());
+}
+
+TEST(SimTimeTest, Str) {
+  EXPECT_EQ((SimTime::zero() + Duration::millis(1500)).str(), "1.500000s");
+}
+
+}  // namespace
+}  // namespace sttcp::sim

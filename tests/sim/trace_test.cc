@@ -1,0 +1,84 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/event_loop.h"
+
+namespace sttcp::sim {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  EventLoop loop_;
+  TraceRecorder trace_{loop_};
+};
+
+TEST_F(TraceTest, RecordsTimestampedEntries) {
+  loop_.schedule_after(Duration::millis(5), [&] { trace_.record("a", "ev1"); });
+  loop_.schedule_after(Duration::millis(10), [&] { trace_.record("b", "ev2", "x", 7); });
+  loop_.run();
+  ASSERT_EQ(trace_.entries().size(), 2u);
+  EXPECT_EQ(trace_.entries()[0].at, SimTime::zero() + Duration::millis(5));
+  EXPECT_EQ(trace_.entries()[1].component, "b");
+  EXPECT_EQ(trace_.entries()[1].detail, "x");
+  EXPECT_EQ(trace_.entries()[1].value, 7);
+}
+
+TEST_F(TraceTest, CountsByEventAndComponent) {
+  trace_.record("p", "takeover");
+  trace_.record("b", "takeover");
+  trace_.record("b", "hb_loss");
+  EXPECT_EQ(trace_.count("takeover"), 2u);
+  EXPECT_EQ(trace_.count("b", "takeover"), 1u);
+  EXPECT_EQ(trace_.count("p", "hb_loss"), 0u);
+  EXPECT_EQ(trace_.count("missing"), 0u);
+}
+
+TEST_F(TraceTest, FirstAndLastTimes) {
+  loop_.schedule_after(Duration::millis(1), [&] { trace_.record("a", "x"); });
+  loop_.schedule_after(Duration::millis(9), [&] { trace_.record("a", "x"); });
+  loop_.run();
+  EXPECT_EQ(trace_.first_time("x").value(), SimTime::zero() + Duration::millis(1));
+  EXPECT_EQ(trace_.last_time("x").value(), SimTime::zero() + Duration::millis(9));
+  EXPECT_FALSE(trace_.first_time("y").has_value());
+}
+
+TEST_F(TraceTest, StrictlyBefore) {
+  loop_.schedule_after(Duration::millis(1), [&] { trace_.record("a", "detect"); });
+  loop_.schedule_after(Duration::millis(2), [&] { trace_.record("a", "recover"); });
+  loop_.run();
+  EXPECT_TRUE(trace_.strictly_before("detect", "recover"));
+  EXPECT_FALSE(trace_.strictly_before("recover", "detect"));
+  EXPECT_FALSE(trace_.strictly_before("missing", "recover"));
+  // An event with no following counterpart is trivially before it.
+  EXPECT_TRUE(trace_.strictly_before("detect", "missing"));
+}
+
+TEST_F(TraceTest, AllReturnsMatchingEntries) {
+  trace_.record("a", "x", "one", 1);
+  trace_.record("a", "y");
+  trace_.record("b", "x", "two", 2);
+  auto xs = trace_.all("x");
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_EQ(xs[0].value, 1);
+  EXPECT_EQ(xs[1].value, 2);
+}
+
+TEST_F(TraceTest, DumpRendersEntries) {
+  trace_.record("comp", "event", "detail", 3);
+  const std::string d = trace_.dump();
+  EXPECT_NE(d.find("comp"), std::string::npos);
+  EXPECT_NE(d.find("event"), std::string::npos);
+  EXPECT_NE(d.find("[detail]"), std::string::npos);
+  EXPECT_NE(d.find("value=3"), std::string::npos);
+}
+
+TEST_F(TraceTest, ClearEmpties) {
+  trace_.record("a", "x");
+  trace_.clear();
+  EXPECT_TRUE(trace_.entries().empty());
+  EXPECT_EQ(trace_.count("x"), 0u);
+}
+
+}  // namespace
+}  // namespace sttcp::sim

@@ -1,0 +1,96 @@
+#include "sttcp/hold_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "app/pattern.h"
+
+namespace sttcp::sttcp {
+namespace {
+
+using app::pattern_bytes;
+
+TEST(HoldBufferTest, AppendAndSlice) {
+  HoldBuffer hb(1000);
+  EXPECT_TRUE(hb.append(0, pattern_bytes(0, 100)));
+  EXPECT_TRUE(hb.append(100, pattern_bytes(100, 100)));
+  EXPECT_EQ(hb.start_offset(), 0u);
+  EXPECT_EQ(hb.end_offset(), 200u);
+  EXPECT_EQ(hb.slice(50, 100), pattern_bytes(50, 100));
+  EXPECT_EQ(hb.slice(0, 200), pattern_bytes(0, 200));
+}
+
+TEST(HoldBufferTest, SliceClipsAtEnd) {
+  HoldBuffer hb(1000);
+  hb.append(0, pattern_bytes(0, 100));
+  EXPECT_EQ(hb.slice(80, 100), pattern_bytes(80, 20));
+  EXPECT_TRUE(hb.slice(100, 10).empty());
+  EXPECT_TRUE(hb.slice(500, 10).empty());
+}
+
+TEST(HoldBufferTest, ReleaseAdvancesStart) {
+  HoldBuffer hb(1000);
+  hb.append(0, pattern_bytes(0, 300));
+  hb.release_to(120);
+  EXPECT_EQ(hb.start_offset(), 120u);
+  EXPECT_EQ(hb.size(), 180u);
+  EXPECT_TRUE(hb.slice(100, 10).empty());  // released bytes gone
+  EXPECT_EQ(hb.slice(120, 10), pattern_bytes(120, 10));
+  // Old/duplicate releases are no-ops.
+  hb.release_to(100);
+  EXPECT_EQ(hb.start_offset(), 120u);
+  // Release beyond end clamps.
+  hb.release_to(10'000);
+  EXPECT_EQ(hb.size(), 0u);
+  EXPECT_EQ(hb.start_offset(), 300u);
+}
+
+TEST(HoldBufferTest, FirstAppendSetsStart) {
+  HoldBuffer hb(1000);
+  EXPECT_TRUE(hb.append(5000, pattern_bytes(5000, 10)));
+  EXPECT_EQ(hb.start_offset(), 5000u);
+  EXPECT_EQ(hb.end_offset(), 5010u);
+}
+
+TEST(HoldBufferTest, OverflowDetected) {
+  HoldBuffer hb(100);
+  EXPECT_TRUE(hb.append(0, pattern_bytes(0, 60)));
+  EXPECT_FALSE(hb.overflowed());
+  EXPECT_FALSE(hb.append(60, pattern_bytes(60, 60)));  // would exceed 100
+  EXPECT_TRUE(hb.overflowed());
+  // The failed append stored nothing.
+  EXPECT_EQ(hb.end_offset(), 60u);
+}
+
+TEST(HoldBufferTest, ReleaseMakesRoomAgain) {
+  HoldBuffer hb(100);
+  EXPECT_TRUE(hb.append(0, pattern_bytes(0, 100)));
+  hb.release_to(50);
+  EXPECT_TRUE(hb.append(100, pattern_bytes(100, 50)));
+  EXPECT_FALSE(hb.overflowed());
+  EXPECT_EQ(hb.slice(50, 100), pattern_bytes(50, 100));
+}
+
+TEST(HoldBufferTest, NonContiguousAppendIsRejected) {
+  HoldBuffer hb(1000);
+  hb.append(0, pattern_bytes(0, 10));
+  EXPECT_FALSE(hb.append(20, pattern_bytes(20, 10)));  // gap: invariant broken
+  EXPECT_TRUE(hb.overflowed());
+}
+
+TEST(HoldBufferTest, ClearResets) {
+  HoldBuffer hb(100);
+  hb.append(0, pattern_bytes(0, 100));
+  hb.append(100, pattern_bytes(100, 1));  // overflow
+  hb.clear();
+  EXPECT_FALSE(hb.overflowed());
+  EXPECT_EQ(hb.size(), 0u);
+}
+
+TEST(HoldBufferTest, EmptyAppendAlwaysSucceeds) {
+  HoldBuffer hb(10);
+  EXPECT_TRUE(hb.append(0, {}));
+  EXPECT_EQ(hb.size(), 0u);
+}
+
+}  // namespace
+}  // namespace sttcp::sttcp

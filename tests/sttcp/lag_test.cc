@@ -1,0 +1,119 @@
+#include "sttcp/lag.h"
+
+#include <gtest/gtest.h>
+
+namespace sttcp::sttcp {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+SimTime at(std::int64_t ms) { return SimTime::zero() + Duration::millis(ms); }
+
+LagTracker make_tracker() {
+  return LagTracker(/*max_lag_bytes=*/1000, /*bytes_grace=*/Duration::millis(500),
+                    /*max_lag_time=*/Duration::seconds(2));
+}
+
+TEST(LagTrackerTest, NoLagNoFailure) {
+  LagTracker t = make_tracker();
+  for (int i = 0; i < 100; ++i) {
+    const auto v = t.update(i * 100, i * 100, at(i * 100));
+    EXPECT_FALSE(v.failed);
+  }
+  EXPECT_EQ(t.lag_bytes(), 0u);
+}
+
+TEST(LagTrackerTest, SmallLagTolerated) {
+  LagTracker t = make_tracker();
+  for (int i = 0; i < 100; ++i) {
+    // Peer is consistently 500 bytes behind — under the 1000-byte threshold,
+    // and it keeps catching up to old snapshots, so no time violation.
+    const auto v = t.update(i * 100 + 500, i * 100, at(i * 100));
+    EXPECT_FALSE(v.failed) << i;
+  }
+}
+
+TEST(LagTrackerTest, ByteLagNeedsSustainedExcess) {
+  LagTracker t = make_tracker();
+  EXPECT_FALSE(t.update(5000, 0, at(0)).failed);    // starts the grace clock
+  EXPECT_FALSE(t.update(5000, 0, at(400)).failed);  // within grace
+  const auto v = t.update(5000, 0, at(600));        // grace (500ms) exceeded
+  EXPECT_TRUE(v.failed);
+  EXPECT_NE(v.reason.find("lags"), std::string::npos);
+}
+
+TEST(LagTrackerTest, ByteLagResetWhenPeerCatchesUp) {
+  LagTracker t = make_tracker();
+  EXPECT_FALSE(t.update(5000, 0, at(0)).failed);
+  EXPECT_FALSE(t.update(5000, 4500, at(400)).failed);  // lag now 500 < threshold
+  // Excess must be continuous: the clock restarted.
+  EXPECT_FALSE(t.update(6000, 4500, at(700)).failed);
+  EXPECT_FALSE(t.update(6000, 4500, at(1100)).failed);
+  EXPECT_TRUE(t.update(6000, 4500, at(1300)).failed);
+}
+
+TEST(LagTrackerTest, TimeLagFailsStalledPeer) {
+  LagTracker t = make_tracker();
+  // Peer stalls at 100 while we move on; within max_lag_time nothing fires.
+  EXPECT_FALSE(t.update(100, 100, at(0)).failed);    // snapshot (100 @ 0)
+  EXPECT_FALSE(t.update(600, 100, at(500)).failed);  // snapshot refreshed: peer >= 100
+  // Snapshot is now (600 @ 500). Peer stuck at 100 forever.
+  EXPECT_FALSE(t.update(900, 100, at(1000)).failed);
+  EXPECT_FALSE(t.update(950, 100, at(2400)).failed);  // 1.9s < 2s
+  const auto v = t.update(990, 100, at(2600));        // 2.1s > 2s
+  EXPECT_TRUE(v.failed);
+  EXPECT_NE(v.reason.find("unreached"), std::string::npos);
+}
+
+TEST(LagTrackerTest, SlowButMovingPeerPasses) {
+  LagTracker t(1u << 30, Duration::millis(500), Duration::seconds(2));
+  // Peer advances steadily, only 1s behind in wall terms: every snapshot is
+  // reached within 2s, so the time criterion never fires.
+  std::uint64_t mine = 0;
+  for (int i = 0; i < 100; ++i) {
+    mine += 100;
+    const std::uint64_t peer = i >= 10 ? (mine - 1000) : 0;
+    EXPECT_FALSE(t.update(mine, peer, at(i * 100)).failed) << i;
+  }
+}
+
+TEST(LagTrackerTest, StaleHeartbeatValuesAreToleratedWithinGrace) {
+  // Models the heartbeat-staleness case: at high throughput the reported
+  // peer counter is one period old. The byte criterion must not fire when
+  // each fresh report catches back up.
+  LagTracker t(64 * 1024, Duration::millis(500), Duration::seconds(2));
+  const std::uint64_t rate_per_200ms = 2'500'000;  // 100 Mbps
+  std::uint64_t mine = 0;
+  for (int i = 1; i < 50; ++i) {
+    mine += rate_per_200ms;
+    // Peer report = our position one period ago: a huge apparent byte lag,
+    // but the TIME criterion sees every snapshot reached within 200 ms...
+    const std::uint64_t peer_reported = mine - rate_per_200ms;
+    const auto v = t.update(mine, peer_reported, at(i * 200));
+    // ...while the byte criterion would fire after its grace. This is why
+    // the endpoint evaluates lag against fresh heartbeat records only, and
+    // why AppMaxLagBytes must exceed bandwidth * hb_period in deployment.
+    if (v.failed) {
+      EXPECT_GE(i * 200, 500);
+      return;  // expected with these (deliberately mis-sized) thresholds
+    }
+  }
+}
+
+TEST(LagTrackerTest, ZeroThresholdsDisableCriteria) {
+  LagTracker t(0, Duration::millis(500), Duration::zero());
+  EXPECT_FALSE(t.update(1'000'000, 0, at(0)).failed);
+  EXPECT_FALSE(t.update(2'000'000, 0, at(10'000)).failed);
+}
+
+TEST(LagTrackerTest, ResetForgetsHistory) {
+  LagTracker t = make_tracker();
+  t.update(5000, 0, at(0));
+  t.reset();
+  EXPECT_FALSE(t.update(5000, 0, at(600)).failed);  // grace clock restarted
+  EXPECT_EQ(t.lag_bytes(), 5000u);
+}
+
+}  // namespace
+}  // namespace sttcp::sttcp

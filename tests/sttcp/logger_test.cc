@@ -1,0 +1,191 @@
+// StreamLogger (§4.3 output-commit extension) tests: codecs, passive
+// capture, request serving, and the headline scenario — the primary dies
+// while the backup still has a receive gap for client bytes the primary
+// already acknowledged. Without the logger that is (per the paper)
+// unrecoverable; with it, the backup refills the gap and the upload
+// continues.
+#include "sttcp/logger.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "app/client.h"
+#include "app/server.h"
+#include "harness/scenario.h"
+#include "sttcp/endpoint.h"
+
+namespace sttcp::sttcp {
+namespace {
+
+using harness::Scenario;
+using harness::ScenarioConfig;
+
+TEST(LoggerCodecTest, RequestRoundTrip) {
+  LoggerRequest q;
+  q.client_ip = net::Ipv4Addr(10, 0, 0, 1);
+  q.client_port = 49152;
+  q.service_port = 80;
+  q.offset = 0xabcdef01ull;
+  q.length = 555;
+  auto p = LoggerRequest::parse(q.serialize());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->client_ip, q.client_ip);
+  EXPECT_EQ(p->client_port, q.client_port);
+  EXPECT_EQ(p->service_port, q.service_port);
+  EXPECT_EQ(p->offset, q.offset);
+  EXPECT_EQ(p->length, q.length);
+  EXPECT_FALSE(LoggerRequest::parse(net::to_bytes("junk")).has_value());
+}
+
+TEST(LoggerCodecTest, ReplyRoundTrip) {
+  LoggerReply r;
+  r.client_ip = net::Ipv4Addr(10, 0, 0, 1);
+  r.client_port = 2;
+  r.service_port = 80;
+  r.offset = 77;
+  r.data = net::to_bytes("salvaged");
+  auto p = LoggerReply::parse(r.serialize());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->offset, 77u);
+  EXPECT_EQ(p->data, net::to_bytes("salvaged"));
+  EXPECT_FALSE(LoggerReply::parse(LoggerRequest{}.serialize()).has_value());
+}
+
+struct UploadRig {
+  explicit UploadRig(ScenarioConfig cfg) : sc(std::move(cfg)) {
+    p_app = std::make_unique<app::SinkServer>(sc.primary_stack(),
+                                              sc.service_port(), /*verify=*/true);
+    b_app = std::make_unique<app::SinkServer>(sc.backup_stack(),
+                                              sc.service_port(), /*verify=*/true);
+    tcp::TcpConnection::Callbacks cb;
+    cb.on_established = [this] { pump(); };
+    cb.on_writable = [this] { pump(); };
+    cb.on_closed = [this](tcp::CloseReason) {
+      conn = nullptr;
+      failed = true;
+    };
+    conn = &sc.client_stack().connect(sc.client_ip(), sc.connect_addr(),
+                                      std::move(cb));
+  }
+
+  void pump() {
+    while (conn != nullptr) {
+      const std::size_t n = conn->send(app::pattern_bytes(sent, 8192));
+      sent += n;
+      if (n < 8192) break;
+    }
+  }
+
+  Scenario sc;
+  std::unique_ptr<app::SinkServer> p_app;
+  std::unique_ptr<app::SinkServer> b_app;
+  tcp::TcpConnection* conn = nullptr;
+  std::uint64_t sent = 0;
+  bool failed = false;
+};
+
+TEST(LoggerTest, PassiveCaptureTracksClientStream) {
+  ScenarioConfig cfg;
+  cfg.enable_logger = true;
+  UploadRig rig(cfg);
+  rig.sc.run_for(sim::Duration::seconds(1));
+  ASSERT_NE(rig.sc.logger(), nullptr);
+  // The logger saw the stream and logged (nearly) everything sent so far.
+  EXPECT_GT(rig.sc.logger()->stats().bytes_logged, 5'000'000u);
+  const std::uint64_t logged = rig.sc.logger()->logged_bytes(
+      rig.sc.client_ip(), rig.conn->tuple().local.port, rig.sc.service_port());
+  EXPECT_GT(logged, 5'000'000u);
+  EXPECT_LE(logged, rig.sent);
+}
+
+// The headline: gap + primary death. Frames toward the backup are dropped
+// (data-only, heartbeats survive) and the primary is crashed while the
+// backup still has the hole. The client will not retransmit those bytes —
+// the dead primary acknowledged them.
+void run_gap_then_crash(UploadRig& rig) {
+  rig.sc.world().loop().schedule_after(sim::Duration::millis(300), [&rig] {
+    rig.sc.backup_link().set_drop_filter(
+        [](const net::Bytes& f) { return f.size() > 300; });
+  });
+  rig.sc.world().loop().schedule_after(sim::Duration::millis(320), [&rig] {
+    rig.sc.backup_link().set_drop_filter(nullptr);
+    rig.sc.primary().crash("dies during the backup's catch-up window");
+  });
+  rig.sc.run_for(sim::Duration::seconds(8));
+}
+
+TEST(LoggerTest, GapPlusPrimaryDeathRecoveredViaLogger) {
+  ScenarioConfig cfg;
+  cfg.enable_logger = true;
+  UploadRig rig(cfg);
+  const std::uint64_t sent_before = [&] {
+    rig.sc.run_for(sim::Duration::millis(300));
+    return rig.sent;
+  }();
+  run_gap_then_crash(rig);
+
+  const auto& tr = rig.sc.world().trace();
+  EXPECT_EQ(tr.count("backup", "takeover"), 1u);
+  EXPECT_GE(tr.count("backup", "logger_request"), 1u);
+  EXPECT_GE(tr.count("logger", "logger_served"), 1u);
+  EXPECT_GE(tr.count("backup", "logger_injected"), 1u);
+  // The upload kept going well past the pre-crash volume, the connection
+  // never failed, and the (verifying) backup app saw an intact stream.
+  EXPECT_FALSE(rig.failed);
+  EXPECT_GT(rig.sent, sent_before + 10'000'000u);
+  EXPECT_FALSE(rig.b_app->corrupt());
+  EXPECT_GT(rig.b_app->stats().bytes_read, sent_before);
+}
+
+TEST(LoggerTest, WithoutLoggerTheSameFailureIsUnrecoverable) {
+  // The paper's stated limitation: "for other applications, ST-TCP treats
+  // this failure as unrecoverable."
+  ScenarioConfig cfg;
+  cfg.enable_logger = false;
+  UploadRig rig(cfg);
+  rig.sc.run_for(sim::Duration::millis(300));
+  run_gap_then_crash(rig);
+
+  const auto& tr = rig.sc.world().trace();
+  EXPECT_EQ(tr.count("backup", "takeover"), 1u);
+  EXPECT_EQ(tr.count("backup", "logger_request"), 0u);
+  // The stream is wedged: the hole spans more than the backup's receive
+  // window, so the client's retransmissions (which start at the dead
+  // primary's last ACK) cannot even enter the window, and the backup's
+  // application never advances past the gap.
+  tcp::TcpConnection* bconn = nullptr;
+  rig.sc.backup_stack().for_each([&](tcp::TcpConnection& c) { bconn = &c; });
+  ASSERT_NE(bconn, nullptr);
+  const std::uint64_t wedged_at = bconn->bytes_received();
+  EXPECT_LT(wedged_at + 300'000, rig.sent);  // a large unfillable hole remains
+  rig.sc.run_for(sim::Duration::seconds(5));
+  EXPECT_EQ(bconn->bytes_received(), wedged_at);  // and not moving
+}
+
+TEST(LoggerTest, LoggerIdleWhenNoFailure) {
+  ScenarioConfig cfg;
+  cfg.enable_logger = true;
+  UploadRig rig(cfg);
+  rig.sc.run_for(sim::Duration::seconds(2));
+  // Capture happens; no requests are ever made.
+  EXPECT_EQ(rig.sc.logger()->stats().requests_served, 0u);
+  EXPECT_EQ(rig.sc.world().trace().count("logger_request"), 0u);
+  EXPECT_FALSE(rig.failed);
+}
+
+TEST(LoggerTest, NormalTakeoverDoesNotNeedLogger) {
+  // A clean crash with no gap: the logger is present but unused.
+  ScenarioConfig cfg;
+  cfg.enable_logger = true;
+  UploadRig rig(cfg);
+  rig.sc.crash_primary_at(sim::Duration::millis(500));
+  rig.sc.run_for(sim::Duration::seconds(10));
+  EXPECT_EQ(rig.sc.world().trace().count("backup", "takeover"), 1u);
+  EXPECT_EQ(rig.sc.world().trace().count("backup", "logger_injected"), 0u);
+  EXPECT_FALSE(rig.failed);
+  EXPECT_FALSE(rig.b_app->corrupt());
+}
+
+}  // namespace
+}  // namespace sttcp::sttcp

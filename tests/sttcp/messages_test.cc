@@ -1,0 +1,160 @@
+#include "sttcp/messages.h"
+
+#include <gtest/gtest.h>
+
+namespace sttcp::sttcp {
+namespace {
+
+HbRecord sample_record(std::uint16_t id) {
+  HbRecord r;
+  r.repl_id = id;
+  r.bytes_received = 0x1'00000123ull;  // only low 32 bits travel
+  r.acked_by_peer = 456;
+  r.app_written = 789;
+  r.app_read = 1011;
+  return r;
+}
+
+TEST(HeartbeatMsgTest, RoundTripEmpty) {
+  HeartbeatMsg m;
+  m.role = Role::kBackup;
+  m.hb_seq = 42;
+  auto p = HeartbeatMsg::parse(m.serialize());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->role, Role::kBackup);
+  EXPECT_EQ(p->hb_seq, 42u);
+  EXPECT_TRUE(p->records.empty());
+  EXPECT_FALSE(p->ping_valid);
+  EXPECT_FALSE(p->app_suspect);
+}
+
+TEST(HeartbeatMsgTest, RoundTripRecords) {
+  HeartbeatMsg m;
+  m.role = Role::kPrimary;
+  m.records.push_back(sample_record(1));
+  m.records.push_back(sample_record(2));
+  m.records[1].fin_generated = true;
+  m.records[1].closed = true;
+  auto p = HeartbeatMsg::parse(m.serialize());
+  ASSERT_TRUE(p.has_value());
+  ASSERT_EQ(p->records.size(), 2u);
+  EXPECT_EQ(p->records[0].repl_id, 1);
+  // Wire carries the low 32 bits.
+  EXPECT_EQ(p->records[0].bytes_received, 0x123u);
+  EXPECT_EQ(p->records[0].acked_by_peer, 456u);
+  EXPECT_FALSE(p->records[0].fin_generated);
+  EXPECT_TRUE(p->records[1].fin_generated);
+  EXPECT_TRUE(p->records[1].closed);
+  EXPECT_FALSE(p->records[1].rst_generated);
+}
+
+TEST(HeartbeatMsgTest, AnnounceFieldsRoundTrip) {
+  HeartbeatMsg m;
+  HbRecord r = sample_record(7);
+  r.announce = true;
+  r.established = true;
+  r.client_ip = net::Ipv4Addr(10, 0, 0, 1);
+  r.client_port = 49152;
+  r.local_port = 80;
+  r.iss = 0xdeadbeef;
+  r.irs = 0x12345678;
+  m.records.push_back(r);
+  auto p = HeartbeatMsg::parse(m.serialize());
+  ASSERT_TRUE(p.has_value());
+  const HbRecord& q = p->records[0];
+  EXPECT_TRUE(q.announce);
+  EXPECT_TRUE(q.established);
+  EXPECT_EQ(q.client_ip, net::Ipv4Addr(10, 0, 0, 1));
+  EXPECT_EQ(q.client_port, 49152);
+  EXPECT_EQ(q.local_port, 80);
+  EXPECT_EQ(q.iss, 0xdeadbeefu);
+  EXPECT_EQ(q.irs, 0x12345678u);
+}
+
+TEST(HeartbeatMsgTest, PingAndSuspectFlags) {
+  HeartbeatMsg m;
+  m.ping_valid = true;
+  m.ping_ok = false;
+  m.app_suspect = true;
+  auto p = HeartbeatMsg::parse(m.serialize());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->ping_valid);
+  EXPECT_FALSE(p->ping_ok);
+  EXPECT_TRUE(p->app_suspect);
+}
+
+TEST(HeartbeatMsgTest, SteadyStateRecordIsUnder20Bytes) {
+  // The paper's sizing claim: "The HB is less than 20 bytes per TCP
+  // connection" — that is what lets ~100 connections share a 115.2 kbps
+  // serial link at a 200 ms heartbeat.
+  HeartbeatMsg base;
+  const std::size_t empty = base.serialize().size();
+  base.records.push_back(sample_record(1));
+  const std::size_t one = base.serialize().size();
+  EXPECT_LT(one - empty, 20u);
+  EXPECT_EQ(one - empty, sample_record(1).wire_size());
+  // 100 connections at 5 HB/s must fit in 115200/10 bytes/s.
+  const std::size_t hb_100 = empty + 100 * (one - empty);
+  EXPECT_LT(hb_100 * 5 * 10, 115200u);
+}
+
+TEST(HeartbeatMsgTest, GarbageRejected) {
+  EXPECT_FALSE(HeartbeatMsg::parse(net::to_bytes("not a heartbeat")).has_value());
+  EXPECT_FALSE(HeartbeatMsg::parse(net::Bytes{}).has_value());
+  // Truncated records.
+  HeartbeatMsg m;
+  m.records.push_back(sample_record(1));
+  net::Bytes w = m.serialize();
+  w.resize(w.size() - 5);
+  EXPECT_FALSE(HeartbeatMsg::parse(w).has_value());
+}
+
+TEST(CounterUnwrapTest, MonotonicAndWrapping) {
+  EXPECT_EQ(unwrap_counter(100, 0), 100u);
+  EXPECT_EQ(unwrap_counter(100, 50), 100u);
+  // A stale (smaller) wire value never regresses the counter.
+  EXPECT_EQ(unwrap_counter(40, 50), 50u);
+  // Forward across the 32-bit wrap.
+  EXPECT_EQ(unwrap_counter(5, 0xfffffff0ull), 0x1'00000005ull);
+  // Large jumps (< 2^31) are accepted.
+  EXPECT_EQ(unwrap_counter(0x40000000, 0), 0x40000000u);
+}
+
+TEST(ControlMsgTest, RequestRoundTrip) {
+  MissedBytesRequest req;
+  req.repl_id = 3;
+  req.offset = 0x1122334455ull;
+  req.length = 4096;
+  auto p = ControlMsg::parse(req.serialize());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->type, ControlType::kMissedBytesRequest);
+  EXPECT_EQ(p->request.repl_id, 3);
+  EXPECT_EQ(p->request.offset, 0x1122334455ull);
+  EXPECT_EQ(p->request.length, 4096u);
+}
+
+TEST(ControlMsgTest, ReplyRoundTrip) {
+  MissedBytesReply rep;
+  rep.repl_id = 9;
+  rep.offset = 777;
+  rep.data = net::to_bytes("recovered payload");
+  auto p = ControlMsg::parse(rep.serialize());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->type, ControlType::kMissedBytesReply);
+  EXPECT_EQ(p->reply.repl_id, 9);
+  EXPECT_EQ(p->reply.offset, 777u);
+  EXPECT_EQ(p->reply.data, net::to_bytes("recovered payload"));
+}
+
+TEST(ControlMsgTest, GarbageRejected) {
+  EXPECT_FALSE(ControlMsg::parse(net::to_bytes("\x07junk")).has_value());
+  EXPECT_FALSE(ControlMsg::parse(net::Bytes{}).has_value());
+  MissedBytesReply rep;
+  rep.data = net::Bytes(100, 0xaa);
+  net::Bytes w = rep.serialize();
+  w.resize(20);  // length field promises more data than present
+  EXPECT_FALSE(ControlMsg::parse(w).has_value());
+}
+
+}  // namespace
+}  // namespace sttcp::sttcp

@@ -1,0 +1,93 @@
+#include "tcp/congestion.h"
+
+#include <gtest/gtest.h>
+
+namespace sttcp::tcp {
+namespace {
+
+TcpConfig make_cfg(bool enabled = true, std::uint32_t iw = 10) {
+  TcpConfig c;
+  c.congestion_control = enabled;
+  c.initial_cwnd_segments = iw;
+  return c;
+}
+
+TEST(CongestionTest, InitialWindow) {
+  TcpConfig c = make_cfg();
+  CongestionControl cc(c);
+  EXPECT_EQ(cc.cwnd(), 10u * c.mss);
+  EXPECT_TRUE(cc.in_slow_start());
+}
+
+TEST(CongestionTest, SlowStartDoublesPerRtt) {
+  TcpConfig c = make_cfg(true, 2);
+  CongestionControl cc(c);
+  const std::uint64_t start = cc.cwnd();
+  // Acking a full window in MSS chunks should roughly double cwnd.
+  for (std::uint64_t acked = 0; acked < start; acked += c.mss) {
+    cc.on_ack(c.mss);
+  }
+  EXPECT_EQ(cc.cwnd(), 2 * start);
+}
+
+TEST(CongestionTest, RtoCollapsesToOneSegment) {
+  TcpConfig c = make_cfg();
+  CongestionControl cc(c);
+  for (int i = 0; i < 100; ++i) cc.on_ack(c.mss);
+  const std::uint64_t flight = 50 * c.mss;
+  cc.on_rto(flight);
+  EXPECT_EQ(cc.cwnd(), c.mss);
+  EXPECT_EQ(cc.ssthresh(), flight / 2);
+}
+
+TEST(CongestionTest, SsthreshFloorIsTwoMss) {
+  TcpConfig c = make_cfg();
+  CongestionControl cc(c);
+  cc.on_rto(c.mss);  // tiny flight
+  EXPECT_EQ(cc.ssthresh(), 2 * c.mss);
+}
+
+TEST(CongestionTest, FastRetransmitHalvesPlusThree) {
+  TcpConfig c = make_cfg();
+  CongestionControl cc(c);
+  const std::uint64_t flight = 20 * c.mss;
+  cc.on_fast_retransmit(flight);
+  EXPECT_EQ(cc.ssthresh(), flight / 2);
+  EXPECT_EQ(cc.cwnd(), flight / 2 + 3 * c.mss);
+}
+
+TEST(CongestionTest, CongestionAvoidanceGrowsLinearly) {
+  TcpConfig c = make_cfg();
+  CongestionControl cc(c);
+  cc.on_rto(40 * c.mss);  // ssthresh = 20 MSS, cwnd = 1 MSS
+  // Grow back into congestion avoidance.
+  while (cc.in_slow_start()) cc.on_ack(c.mss);
+  const std::uint64_t at_ca = cc.cwnd();
+  // One window's worth of ACKs in CA adds ~one MSS.
+  std::uint64_t acked = 0;
+  while (acked < at_ca) {
+    cc.on_ack(c.mss);
+    acked += c.mss;
+  }
+  EXPECT_NEAR(static_cast<double>(cc.cwnd() - at_ca), static_cast<double>(c.mss),
+              static_cast<double>(c.mss) / 2);
+}
+
+TEST(CongestionTest, DisabledIsUnbounded) {
+  TcpConfig c = make_cfg(false);
+  CongestionControl cc(c);
+  EXPECT_EQ(cc.cwnd(), ~std::uint64_t{0});
+  cc.on_rto(1000);
+  EXPECT_EQ(cc.cwnd(), ~std::uint64_t{0});
+}
+
+TEST(CongestionTest, ZeroAckIsNoop) {
+  TcpConfig c = make_cfg();
+  CongestionControl cc(c);
+  const std::uint64_t before = cc.cwnd();
+  cc.on_ack(0);
+  EXPECT_EQ(cc.cwnd(), before);
+}
+
+}  // namespace
+}  // namespace sttcp::tcp

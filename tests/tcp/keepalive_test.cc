@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "tests/tcp/tcp_fixture.h"
+
+namespace sttcp::tcp {
+namespace {
+
+using testing::TcpFixture;
+
+class KeepaliveTest : public TcpFixture {
+ protected:
+  KeepaliveTest() {
+    cfg_.keepalive = true;
+    cfg_.keepalive_idle = sim::Duration::seconds(5);
+    cfg_.keepalive_interval = sim::Duration::seconds(1);
+    cfg_.keepalive_probes = 3;
+    client_stack_ = std::make_unique<TcpStack>(net_.host(0), cfg_);
+    server_stack_ = std::make_unique<TcpStack>(net_.host(1), cfg_);
+  }
+
+  TcpConnection* connect_idle() {
+    server_stack_->listen(80, [this](TcpConnection& c) { server_conn_ = &c; });
+    TcpConnection::Callbacks cb;
+    TcpConnection** slot = &conn_;
+    cb.on_closed = [this, slot](CloseReason r) {
+      closed_ = true;
+      reason_ = r;
+      // Snapshot stats now: the stack destroys the connection after close.
+      probes_at_close_ = (*slot)->stats().keepalives_sent;
+    };
+    conn_ = &client_stack_->connect(net_.ip(0), net::SocketAddr{net_.ip(1), 80},
+                                    std::move(cb));
+    return conn_;
+  }
+
+  TcpConnection* conn_ = nullptr;
+  TcpConnection* server_conn_ = nullptr;
+  bool closed_ = false;
+  CloseReason reason_{};
+  std::uint64_t probes_at_close_ = 0;
+};
+
+TEST_F(KeepaliveTest, IdleConnectionWithLivePeerSurvives) {
+  TcpConnection* c = connect_idle();
+  run_for(sim::Duration::seconds(60));
+  EXPECT_EQ(c->state(), TcpState::kEstablished);
+  EXPECT_FALSE(closed_);
+  // Probes were sent and answered.
+  EXPECT_GT(c->stats().keepalives_sent, 5u);
+}
+
+TEST_F(KeepaliveTest, DeadPeerDetectedAfterProbesExhaust) {
+  connect_idle();
+  run_for(sim::Duration::millis(100));
+  net_.host(1).crash("server dies silently");
+  run_for(sim::Duration::seconds(60));
+  EXPECT_TRUE(closed_);
+  EXPECT_EQ(reason_, CloseReason::kTimeout);
+  // Death took idle (5s) + probes * interval, not the full 60s.
+  EXPECT_GE(probes_at_close_, 3u);
+  EXPECT_LE(probes_at_close_, 6u);
+}
+
+TEST_F(KeepaliveTest, TrafficPostponesProbing) {
+  TcpConnection* c = connect_idle();
+  // Server pings a byte every 2 seconds — under the 5s idle threshold.
+  sim::PeriodicTimer chatter(net_.world.loop());
+  run_for(sim::Duration::millis(100));
+  ASSERT_NE(server_conn_, nullptr);
+  chatter.start(sim::Duration::seconds(2),
+                [this] { server_conn_->send(net::to_bytes("x")); });
+  run_for(sim::Duration::seconds(30));
+  EXPECT_EQ(c->stats().keepalives_sent, 0u);
+  EXPECT_FALSE(closed_);
+}
+
+TEST_F(KeepaliveTest, DisabledByDefault) {
+  TcpConfig plain;
+  EXPECT_FALSE(plain.keepalive);
+  // Fixture base uses default config? No — this fixture enables it; build a
+  // separate pair of stacks with defaults and verify no probes.
+  TcpConfig def;
+  auto cs = std::make_unique<TcpStack>(net_.host(0), def);
+  auto ss = std::make_unique<TcpStack>(net_.host(1), def);
+  TcpConnection* sconn = nullptr;
+  ss->listen(81, [&](TcpConnection& c) { sconn = &c; });
+  TcpConnection& c =
+      cs->connect(net_.ip(0), net::SocketAddr{net_.ip(1), 81}, {});
+  run_for(sim::Duration::seconds(60));
+  EXPECT_EQ(c.stats().keepalives_sent, 0u);
+  EXPECT_EQ(c.state(), TcpState::kEstablished);
+}
+
+}  // namespace
+}  // namespace sttcp::tcp

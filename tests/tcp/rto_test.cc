@@ -1,0 +1,95 @@
+#include "tcp/rto.h"
+
+#include <gtest/gtest.h>
+
+namespace sttcp::tcp {
+namespace {
+
+using sim::Duration;
+
+TcpConfig cfg_with(Duration min_rto = Duration::millis(200),
+                   Duration max_rto = Duration::seconds(60)) {
+  TcpConfig c;
+  c.min_rto = min_rto;
+  c.max_rto = max_rto;
+  return c;
+}
+
+TEST(RtoTest, InitialRtoBeforeSamples) {
+  TcpConfig c = cfg_with();
+  RtoEstimator r(c);
+  EXPECT_FALSE(r.has_samples());
+  EXPECT_EQ(r.rto(), Duration::seconds(1));
+}
+
+TEST(RtoTest, FirstSampleSetsSrttAndVar) {
+  TcpConfig c = cfg_with();
+  RtoEstimator r(c);
+  r.sample(Duration::millis(100));
+  EXPECT_TRUE(r.has_samples());
+  EXPECT_EQ(r.srtt(), Duration::millis(100));
+  EXPECT_EQ(r.rttvar(), Duration::millis(50));
+  // RTO = SRTT + 4*RTTVAR = 300ms.
+  EXPECT_EQ(r.rto(), Duration::millis(300));
+}
+
+TEST(RtoTest, SmoothedUpdates) {
+  TcpConfig c = cfg_with();
+  RtoEstimator r(c);
+  r.sample(Duration::millis(100));
+  r.sample(Duration::millis(100));
+  // Stable RTT: SRTT stays 100ms, RTTVAR shrinks 50 -> 37.5ms.
+  EXPECT_EQ(r.srtt(), Duration::millis(100));
+  EXPECT_EQ(r.rttvar().ns(), Duration::micros(37500).ns());
+}
+
+TEST(RtoTest, MinRtoFloorApplies) {
+  TcpConfig c = cfg_with(Duration::millis(200));
+  RtoEstimator r(c);
+  // Tiny LAN RTT: raw RTO would be far below the floor.
+  for (int i = 0; i < 10; ++i) r.sample(Duration::micros(200));
+  EXPECT_EQ(r.rto(), Duration::millis(200));
+}
+
+TEST(RtoTest, BackoffDoublesAndAckResets) {
+  TcpConfig c = cfg_with();
+  RtoEstimator r(c);
+  for (int i = 0; i < 10; ++i) r.sample(Duration::micros(100));
+  const Duration base = r.rto();
+  r.on_timeout();
+  EXPECT_EQ(r.rto(), base * 2);
+  r.on_timeout();
+  EXPECT_EQ(r.rto(), base * 4);
+  EXPECT_EQ(r.backoff_shift(), 2);
+  r.on_ack();
+  EXPECT_EQ(r.rto(), base);
+}
+
+TEST(RtoTest, BackoffClampsAtMax) {
+  TcpConfig c = cfg_with(Duration::millis(200), Duration::seconds(5));
+  RtoEstimator r(c);
+  for (int i = 0; i < 20; ++i) r.on_timeout();
+  EXPECT_EQ(r.rto(), Duration::seconds(5));
+}
+
+TEST(RtoTest, NegativeSampleIgnored) {
+  TcpConfig c = cfg_with();
+  RtoEstimator r(c);
+  r.sample(Duration::zero() - Duration::millis(5));
+  EXPECT_FALSE(r.has_samples());
+}
+
+TEST(RtoTest, VarianceGrowsWithJitter) {
+  TcpConfig c = cfg_with();
+  RtoEstimator r(c);
+  r.sample(Duration::millis(100));
+  for (int i = 0; i < 20; ++i) {
+    r.sample(Duration::millis(i % 2 == 0 ? 50 : 150));
+  }
+  // Alternating 50/150ms keeps RTTVAR substantial, inflating RTO well above
+  // the smoothed RTT.
+  EXPECT_GT(r.rto(), r.srtt() + Duration::millis(50));
+}
+
+}  // namespace
+}  // namespace sttcp::tcp

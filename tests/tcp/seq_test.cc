@@ -1,0 +1,66 @@
+#include "tcp/seq.h"
+
+#include <gtest/gtest.h>
+
+namespace sttcp::tcp {
+namespace {
+
+TEST(SeqTest, WireTruncates) {
+  EXPECT_EQ(wire(0x1'00000005ull), 5u);
+  EXPECT_EQ(wire(0xffffffffull), 0xffffffffu);
+}
+
+TEST(SeqTest, UnwrapIdentityNearReference) {
+  EXPECT_EQ(unwrap32(100, 100), 100u);
+  EXPECT_EQ(unwrap32(150, 100), 150u);
+  EXPECT_EQ(unwrap32(50, 100), 50u);
+}
+
+TEST(SeqTest, UnwrapAcrossForwardWrap) {
+  const SeqAbs ref = 0xffffff00ull;
+  // Wire value 0x10 is just past the 32-bit wrap.
+  EXPECT_EQ(unwrap32(0x10, ref), 0x1'00000010ull);
+}
+
+TEST(SeqTest, UnwrapAcrossBackwardWrap) {
+  const SeqAbs ref = 0x1'00000010ull;
+  // Wire value slightly before the wrap resolves below the reference.
+  EXPECT_EQ(unwrap32(0xffffff00u, ref), 0xffffff00ull);
+}
+
+TEST(SeqTest, UnwrapManyWraps) {
+  const SeqAbs ref = 0x5'00000000ull;  // after 5 wraps
+  EXPECT_EQ(unwrap32(0x42, ref), 0x5'00000042ull);
+  EXPECT_EQ(unwrap32(0xffffffff, ref), 0x4'ffffffffull);
+}
+
+TEST(SeqTest, UnwrapChoosesNearestSide) {
+  const SeqAbs ref = 0x1'80000000ull;
+  // Values within +/- 2^31 of ref resolve exactly.
+  EXPECT_EQ(unwrap32(wire(ref + 0x7fffffff), ref), ref + 0x7fffffff);
+  EXPECT_EQ(unwrap32(wire(ref - 0x7fffffff), ref), ref - 0x7fffffff);
+}
+
+TEST(SeqTest, RoundTripPropertySweep) {
+  // For any abs value within half-range of the reference, wire+unwrap is
+  // the identity.
+  const SeqAbs refs[] = {1000, 0xfffffff0ull, 0x2'00000000ull, 0x7'deadbeefull};
+  for (const SeqAbs ref : refs) {
+    for (std::int64_t d = -2000; d <= 2000; d += 97) {
+      const SeqAbs v = ref + d;
+      EXPECT_EQ(unwrap32(wire(v), ref), v) << "ref=" << ref << " d=" << d;
+    }
+  }
+}
+
+TEST(SeqTest, WireComparisons) {
+  EXPECT_TRUE(seq_lt(1, 2));
+  EXPECT_TRUE(seq_lt(0xfffffff0u, 0x10u));  // across the wrap
+  EXPECT_FALSE(seq_lt(0x10u, 0xfffffff0u));
+  EXPECT_TRUE(seq_le(5, 5));
+  EXPECT_TRUE(seq_gt(0x10u, 0xfffffff0u));
+  EXPECT_TRUE(seq_ge(5, 5));
+}
+
+}  // namespace
+}  // namespace sttcp::tcp

@@ -1,0 +1,57 @@
+// Two hosts with TCP stacks on one switch, plus tiny sink/source apps —
+// the standard rig for connection-level TCP tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tcp/stack.h"
+#include "tests/net/testnet.h"
+
+namespace sttcp::tcp::testing {
+
+using ::sttcp::testing::TestNet;
+
+/// Generates a deterministic byte pattern (same function everywhere so
+/// integrity can be checked per-offset).
+inline net::Bytes pattern_bytes(std::uint64_t offset, std::size_t n) {
+  net::Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t x = offset + i;
+    b[i] = static_cast<std::uint8_t>((x * 131) ^ (x >> 8));
+  }
+  return b;
+}
+
+/// Sink that validates arriving bytes against pattern_bytes.
+struct PatternSink {
+  std::uint64_t received = 0;
+  bool corrupt = false;
+  bool eof = false;
+
+  void consume(net::BytesView data) {
+    const net::Bytes expect = pattern_bytes(received, data.size());
+    if (!std::equal(data.begin(), data.end(), expect.begin())) corrupt = true;
+    received += data.size();
+  }
+};
+
+class TcpFixture : public ::testing::Test {
+ public:
+  explicit TcpFixture(std::uint64_t seed = 1) : net_(seed) {
+    net_.add_host("client", 1);
+    net_.add_host("server", 2);
+    client_stack_ = std::make_unique<TcpStack>(net_.host(0), cfg_);
+    server_stack_ = std::make_unique<TcpStack>(net_.host(1), cfg_);
+  }
+
+  void run_for(sim::Duration d) { net_.run_for(d); }
+
+  TestNet net_;
+  TcpConfig cfg_;
+  std::unique_ptr<TcpStack> client_stack_;
+  std::unique_ptr<TcpStack> server_stack_;
+};
+
+}  // namespace sttcp::tcp::testing
