@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_demo1_failover.dir/bench_demo1_failover.cc.o"
+  "CMakeFiles/bench_demo1_failover.dir/bench_demo1_failover.cc.o.d"
+  "bench_demo1_failover"
+  "bench_demo1_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_demo1_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_demo2_hb_frequency.dir/bench_demo2_hb_frequency.cc.o"
+  "CMakeFiles/bench_demo2_hb_frequency.dir/bench_demo2_hb_frequency.cc.o.d"
+  "bench_demo2_hb_frequency"
+  "bench_demo2_hb_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_demo2_hb_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

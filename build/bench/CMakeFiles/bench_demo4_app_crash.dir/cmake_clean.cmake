@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_demo4_app_crash.dir/bench_demo4_app_crash.cc.o"
+  "CMakeFiles/bench_demo4_app_crash.dir/bench_demo4_app_crash.cc.o.d"
+  "bench_demo4_app_crash"
+  "bench_demo4_app_crash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_demo4_app_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_demo4_app_crash.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_demo5_nic_failure.dir/bench_demo5_nic_failure.cc.o"
+  "CMakeFiles/bench_demo5_nic_failure.dir/bench_demo5_nic_failure.cc.o.d"
+  "bench_demo5_nic_failure"
+  "bench_demo5_nic_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_demo5_nic_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_demo5_nic_failure.
+# This may be replaced when dependencies are built.

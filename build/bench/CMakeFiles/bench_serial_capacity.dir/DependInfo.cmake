@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_serial_capacity.cc" "bench/CMakeFiles/bench_serial_capacity.dir/bench_serial_capacity.cc.o" "gcc" "bench/CMakeFiles/bench_serial_capacity.dir/bench_serial_capacity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/sttcp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttcp/CMakeFiles/sttcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/sttcp_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/sttcp_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sttcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sttcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serial_capacity.dir/bench_serial_capacity.cc.o"
+  "CMakeFiles/bench_serial_capacity.dir/bench_serial_capacity.cc.o.d"
+  "bench_serial_capacity"
+  "bench_serial_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serial_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

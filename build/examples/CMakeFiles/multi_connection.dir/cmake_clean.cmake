@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_connection.dir/multi_connection.cpp.o"
+  "CMakeFiles/multi_connection.dir/multi_connection.cpp.o.d"
+  "multi_connection"
+  "multi_connection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_connection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

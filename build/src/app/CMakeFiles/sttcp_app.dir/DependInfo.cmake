@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/client.cc" "src/app/CMakeFiles/sttcp_app.dir/client.cc.o" "gcc" "src/app/CMakeFiles/sttcp_app.dir/client.cc.o.d"
+  "/root/repo/src/app/server.cc" "src/app/CMakeFiles/sttcp_app.dir/server.cc.o" "gcc" "src/app/CMakeFiles/sttcp_app.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcp/CMakeFiles/sttcp_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sttcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sttcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

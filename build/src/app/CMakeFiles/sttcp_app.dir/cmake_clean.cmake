@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttcp_app.dir/client.cc.o"
+  "CMakeFiles/sttcp_app.dir/client.cc.o.d"
+  "CMakeFiles/sttcp_app.dir/server.cc.o"
+  "CMakeFiles/sttcp_app.dir/server.cc.o.d"
+  "libsttcp_app.a"
+  "libsttcp_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttcp_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

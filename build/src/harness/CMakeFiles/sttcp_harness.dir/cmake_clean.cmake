@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttcp_harness.dir/scenario.cc.o"
+  "CMakeFiles/sttcp_harness.dir/scenario.cc.o.d"
+  "libsttcp_harness.a"
+  "libsttcp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttcp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

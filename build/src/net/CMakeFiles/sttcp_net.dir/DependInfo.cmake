@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/addr.cc" "src/net/CMakeFiles/sttcp_net.dir/addr.cc.o" "gcc" "src/net/CMakeFiles/sttcp_net.dir/addr.cc.o.d"
+  "/root/repo/src/net/checksum.cc" "src/net/CMakeFiles/sttcp_net.dir/checksum.cc.o" "gcc" "src/net/CMakeFiles/sttcp_net.dir/checksum.cc.o.d"
+  "/root/repo/src/net/headers.cc" "src/net/CMakeFiles/sttcp_net.dir/headers.cc.o" "gcc" "src/net/CMakeFiles/sttcp_net.dir/headers.cc.o.d"
+  "/root/repo/src/net/host.cc" "src/net/CMakeFiles/sttcp_net.dir/host.cc.o" "gcc" "src/net/CMakeFiles/sttcp_net.dir/host.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/net/CMakeFiles/sttcp_net.dir/link.cc.o" "gcc" "src/net/CMakeFiles/sttcp_net.dir/link.cc.o.d"
+  "/root/repo/src/net/nic.cc" "src/net/CMakeFiles/sttcp_net.dir/nic.cc.o" "gcc" "src/net/CMakeFiles/sttcp_net.dir/nic.cc.o.d"
+  "/root/repo/src/net/serial_link.cc" "src/net/CMakeFiles/sttcp_net.dir/serial_link.cc.o" "gcc" "src/net/CMakeFiles/sttcp_net.dir/serial_link.cc.o.d"
+  "/root/repo/src/net/switch.cc" "src/net/CMakeFiles/sttcp_net.dir/switch.cc.o" "gcc" "src/net/CMakeFiles/sttcp_net.dir/switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sttcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

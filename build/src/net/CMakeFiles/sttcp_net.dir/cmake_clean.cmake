@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttcp_net.dir/addr.cc.o"
+  "CMakeFiles/sttcp_net.dir/addr.cc.o.d"
+  "CMakeFiles/sttcp_net.dir/checksum.cc.o"
+  "CMakeFiles/sttcp_net.dir/checksum.cc.o.d"
+  "CMakeFiles/sttcp_net.dir/headers.cc.o"
+  "CMakeFiles/sttcp_net.dir/headers.cc.o.d"
+  "CMakeFiles/sttcp_net.dir/host.cc.o"
+  "CMakeFiles/sttcp_net.dir/host.cc.o.d"
+  "CMakeFiles/sttcp_net.dir/link.cc.o"
+  "CMakeFiles/sttcp_net.dir/link.cc.o.d"
+  "CMakeFiles/sttcp_net.dir/nic.cc.o"
+  "CMakeFiles/sttcp_net.dir/nic.cc.o.d"
+  "CMakeFiles/sttcp_net.dir/serial_link.cc.o"
+  "CMakeFiles/sttcp_net.dir/serial_link.cc.o.d"
+  "CMakeFiles/sttcp_net.dir/switch.cc.o"
+  "CMakeFiles/sttcp_net.dir/switch.cc.o.d"
+  "libsttcp_net.a"
+  "libsttcp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttcp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

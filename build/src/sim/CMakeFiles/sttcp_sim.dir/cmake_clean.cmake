@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttcp_sim.dir/event_loop.cc.o"
+  "CMakeFiles/sttcp_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/sttcp_sim.dir/logging.cc.o"
+  "CMakeFiles/sttcp_sim.dir/logging.cc.o.d"
+  "CMakeFiles/sttcp_sim.dir/random.cc.o"
+  "CMakeFiles/sttcp_sim.dir/random.cc.o.d"
+  "CMakeFiles/sttcp_sim.dir/time.cc.o"
+  "CMakeFiles/sttcp_sim.dir/time.cc.o.d"
+  "CMakeFiles/sttcp_sim.dir/trace.cc.o"
+  "CMakeFiles/sttcp_sim.dir/trace.cc.o.d"
+  "libsttcp_sim.a"
+  "libsttcp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttcp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

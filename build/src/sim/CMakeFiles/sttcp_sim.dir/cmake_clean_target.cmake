@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsttcp_sim.a"
+)

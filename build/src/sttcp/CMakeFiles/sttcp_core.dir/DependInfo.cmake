@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sttcp/endpoint.cc" "src/sttcp/CMakeFiles/sttcp_core.dir/endpoint.cc.o" "gcc" "src/sttcp/CMakeFiles/sttcp_core.dir/endpoint.cc.o.d"
+  "/root/repo/src/sttcp/hold_buffer.cc" "src/sttcp/CMakeFiles/sttcp_core.dir/hold_buffer.cc.o" "gcc" "src/sttcp/CMakeFiles/sttcp_core.dir/hold_buffer.cc.o.d"
+  "/root/repo/src/sttcp/lag.cc" "src/sttcp/CMakeFiles/sttcp_core.dir/lag.cc.o" "gcc" "src/sttcp/CMakeFiles/sttcp_core.dir/lag.cc.o.d"
+  "/root/repo/src/sttcp/logger.cc" "src/sttcp/CMakeFiles/sttcp_core.dir/logger.cc.o" "gcc" "src/sttcp/CMakeFiles/sttcp_core.dir/logger.cc.o.d"
+  "/root/repo/src/sttcp/messages.cc" "src/sttcp/CMakeFiles/sttcp_core.dir/messages.cc.o" "gcc" "src/sttcp/CMakeFiles/sttcp_core.dir/messages.cc.o.d"
+  "/root/repo/src/sttcp/watchdog.cc" "src/sttcp/CMakeFiles/sttcp_core.dir/watchdog.cc.o" "gcc" "src/sttcp/CMakeFiles/sttcp_core.dir/watchdog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcp/CMakeFiles/sttcp_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sttcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sttcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttcp_core.dir/endpoint.cc.o"
+  "CMakeFiles/sttcp_core.dir/endpoint.cc.o.d"
+  "CMakeFiles/sttcp_core.dir/hold_buffer.cc.o"
+  "CMakeFiles/sttcp_core.dir/hold_buffer.cc.o.d"
+  "CMakeFiles/sttcp_core.dir/lag.cc.o"
+  "CMakeFiles/sttcp_core.dir/lag.cc.o.d"
+  "CMakeFiles/sttcp_core.dir/logger.cc.o"
+  "CMakeFiles/sttcp_core.dir/logger.cc.o.d"
+  "CMakeFiles/sttcp_core.dir/messages.cc.o"
+  "CMakeFiles/sttcp_core.dir/messages.cc.o.d"
+  "CMakeFiles/sttcp_core.dir/watchdog.cc.o"
+  "CMakeFiles/sttcp_core.dir/watchdog.cc.o.d"
+  "libsttcp_core.a"
+  "libsttcp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttcp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/connection.cc" "src/tcp/CMakeFiles/sttcp_tcp.dir/connection.cc.o" "gcc" "src/tcp/CMakeFiles/sttcp_tcp.dir/connection.cc.o.d"
+  "/root/repo/src/tcp/reassembly.cc" "src/tcp/CMakeFiles/sttcp_tcp.dir/reassembly.cc.o" "gcc" "src/tcp/CMakeFiles/sttcp_tcp.dir/reassembly.cc.o.d"
+  "/root/repo/src/tcp/rto.cc" "src/tcp/CMakeFiles/sttcp_tcp.dir/rto.cc.o" "gcc" "src/tcp/CMakeFiles/sttcp_tcp.dir/rto.cc.o.d"
+  "/root/repo/src/tcp/segment.cc" "src/tcp/CMakeFiles/sttcp_tcp.dir/segment.cc.o" "gcc" "src/tcp/CMakeFiles/sttcp_tcp.dir/segment.cc.o.d"
+  "/root/repo/src/tcp/send_buffer.cc" "src/tcp/CMakeFiles/sttcp_tcp.dir/send_buffer.cc.o" "gcc" "src/tcp/CMakeFiles/sttcp_tcp.dir/send_buffer.cc.o.d"
+  "/root/repo/src/tcp/stack.cc" "src/tcp/CMakeFiles/sttcp_tcp.dir/stack.cc.o" "gcc" "src/tcp/CMakeFiles/sttcp_tcp.dir/stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sttcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sttcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttcp_tcp.dir/connection.cc.o"
+  "CMakeFiles/sttcp_tcp.dir/connection.cc.o.d"
+  "CMakeFiles/sttcp_tcp.dir/reassembly.cc.o"
+  "CMakeFiles/sttcp_tcp.dir/reassembly.cc.o.d"
+  "CMakeFiles/sttcp_tcp.dir/rto.cc.o"
+  "CMakeFiles/sttcp_tcp.dir/rto.cc.o.d"
+  "CMakeFiles/sttcp_tcp.dir/segment.cc.o"
+  "CMakeFiles/sttcp_tcp.dir/segment.cc.o.d"
+  "CMakeFiles/sttcp_tcp.dir/send_buffer.cc.o"
+  "CMakeFiles/sttcp_tcp.dir/send_buffer.cc.o.d"
+  "CMakeFiles/sttcp_tcp.dir/stack.cc.o"
+  "CMakeFiles/sttcp_tcp.dir/stack.cc.o.d"
+  "libsttcp_tcp.a"
+  "libsttcp_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttcp_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

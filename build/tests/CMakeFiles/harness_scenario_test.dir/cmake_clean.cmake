@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_scenario_test.dir/harness/scenario_test.cc.o"
+  "CMakeFiles/harness_scenario_test.dir/harness/scenario_test.cc.o.d"
+  "harness_scenario_test"
+  "harness_scenario_test.pdb"
+  "harness_scenario_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_app_crash_test.dir/integration/app_crash_test.cc.o"
+  "CMakeFiles/integration_app_crash_test.dir/integration/app_crash_test.cc.o.d"
+  "integration_app_crash_test"
+  "integration_app_crash_test.pdb"
+  "integration_app_crash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_app_crash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

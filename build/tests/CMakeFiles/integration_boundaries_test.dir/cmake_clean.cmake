@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_boundaries_test.dir/integration/boundaries_test.cc.o"
+  "CMakeFiles/integration_boundaries_test.dir/integration/boundaries_test.cc.o.d"
+  "integration_boundaries_test"
+  "integration_boundaries_test.pdb"
+  "integration_boundaries_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_boundaries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

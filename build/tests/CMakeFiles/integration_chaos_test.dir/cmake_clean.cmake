@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_chaos_test.dir/integration/chaos_test.cc.o"
+  "CMakeFiles/integration_chaos_test.dir/integration/chaos_test.cc.o.d"
+  "integration_chaos_test"
+  "integration_chaos_test.pdb"
+  "integration_chaos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_chaos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

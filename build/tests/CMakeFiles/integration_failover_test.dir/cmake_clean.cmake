@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_failover_test.dir/integration/failover_test.cc.o"
+  "CMakeFiles/integration_failover_test.dir/integration/failover_test.cc.o.d"
+  "integration_failover_test"
+  "integration_failover_test.pdb"
+  "integration_failover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_failover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_nic_failure_test.dir/integration/nic_failure_test.cc.o"
+  "CMakeFiles/integration_nic_failure_test.dir/integration/nic_failure_test.cc.o.d"
+  "integration_nic_failure_test"
+  "integration_nic_failure_test.pdb"
+  "integration_nic_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_nic_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

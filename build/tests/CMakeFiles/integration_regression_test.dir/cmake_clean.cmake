@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_regression_test.dir/integration/regression_test.cc.o"
+  "CMakeFiles/integration_regression_test.dir/integration/regression_test.cc.o.d"
+  "integration_regression_test"
+  "integration_regression_test.pdb"
+  "integration_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_table1_test.dir/integration/table1_test.cc.o"
+  "CMakeFiles/integration_table1_test.dir/integration/table1_test.cc.o.d"
+  "integration_table1_test"
+  "integration_table1_test.pdb"
+  "integration_table1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_table1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_bytes_test.dir/net/bytes_test.cc.o"
+  "CMakeFiles/net_bytes_test.dir/net/bytes_test.cc.o.d"
+  "net_bytes_test"
+  "net_bytes_test.pdb"
+  "net_bytes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_bytes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

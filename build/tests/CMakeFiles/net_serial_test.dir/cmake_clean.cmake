@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_serial_test.dir/net/serial_test.cc.o"
+  "CMakeFiles/net_serial_test.dir/net/serial_test.cc.o.d"
+  "net_serial_test"
+  "net_serial_test.pdb"
+  "net_serial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_serial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

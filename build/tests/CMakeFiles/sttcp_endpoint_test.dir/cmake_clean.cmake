@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttcp_endpoint_test.dir/sttcp/endpoint_test.cc.o"
+  "CMakeFiles/sttcp_endpoint_test.dir/sttcp/endpoint_test.cc.o.d"
+  "sttcp_endpoint_test"
+  "sttcp_endpoint_test.pdb"
+  "sttcp_endpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttcp_endpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

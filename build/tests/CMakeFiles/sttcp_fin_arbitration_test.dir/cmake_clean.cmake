@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttcp_fin_arbitration_test.dir/sttcp/fin_arbitration_test.cc.o"
+  "CMakeFiles/sttcp_fin_arbitration_test.dir/sttcp/fin_arbitration_test.cc.o.d"
+  "sttcp_fin_arbitration_test"
+  "sttcp_fin_arbitration_test.pdb"
+  "sttcp_fin_arbitration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttcp_fin_arbitration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

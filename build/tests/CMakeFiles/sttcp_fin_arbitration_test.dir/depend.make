@@ -1,0 +1,2 @@
+# Empty dependencies file for sttcp_fin_arbitration_test.
+# This may be replaced when dependencies are built.

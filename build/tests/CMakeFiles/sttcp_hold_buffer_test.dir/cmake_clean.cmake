@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttcp_hold_buffer_test.dir/sttcp/hold_buffer_test.cc.o"
+  "CMakeFiles/sttcp_hold_buffer_test.dir/sttcp/hold_buffer_test.cc.o.d"
+  "sttcp_hold_buffer_test"
+  "sttcp_hold_buffer_test.pdb"
+  "sttcp_hold_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttcp_hold_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

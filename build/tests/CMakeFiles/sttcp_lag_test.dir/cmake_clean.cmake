@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttcp_lag_test.dir/sttcp/lag_test.cc.o"
+  "CMakeFiles/sttcp_lag_test.dir/sttcp/lag_test.cc.o.d"
+  "sttcp_lag_test"
+  "sttcp_lag_test.pdb"
+  "sttcp_lag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttcp_lag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

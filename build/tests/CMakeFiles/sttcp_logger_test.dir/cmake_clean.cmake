@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttcp_logger_test.dir/sttcp/logger_test.cc.o"
+  "CMakeFiles/sttcp_logger_test.dir/sttcp/logger_test.cc.o.d"
+  "sttcp_logger_test"
+  "sttcp_logger_test.pdb"
+  "sttcp_logger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttcp_logger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttcp_messages_test.dir/sttcp/messages_test.cc.o"
+  "CMakeFiles/sttcp_messages_test.dir/sttcp/messages_test.cc.o.d"
+  "sttcp_messages_test"
+  "sttcp_messages_test.pdb"
+  "sttcp_messages_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttcp_messages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttcp_watchdog_test.dir/sttcp/watchdog_test.cc.o"
+  "CMakeFiles/sttcp_watchdog_test.dir/sttcp/watchdog_test.cc.o.d"
+  "sttcp_watchdog_test"
+  "sttcp_watchdog_test.pdb"
+  "sttcp_watchdog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttcp_watchdog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_config_sweep_test.dir/tcp/config_sweep_test.cc.o"
+  "CMakeFiles/tcp_config_sweep_test.dir/tcp/config_sweep_test.cc.o.d"
+  "tcp_config_sweep_test"
+  "tcp_config_sweep_test.pdb"
+  "tcp_config_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_config_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

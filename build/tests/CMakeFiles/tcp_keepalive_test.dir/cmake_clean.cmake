@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_keepalive_test.dir/tcp/keepalive_test.cc.o"
+  "CMakeFiles/tcp_keepalive_test.dir/tcp/keepalive_test.cc.o.d"
+  "tcp_keepalive_test"
+  "tcp_keepalive_test.pdb"
+  "tcp_keepalive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_keepalive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

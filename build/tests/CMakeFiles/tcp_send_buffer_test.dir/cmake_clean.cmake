@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_send_buffer_test.dir/tcp/send_buffer_test.cc.o"
+  "CMakeFiles/tcp_send_buffer_test.dir/tcp/send_buffer_test.cc.o.d"
+  "tcp_send_buffer_test"
+  "tcp_send_buffer_test.pdb"
+  "tcp_send_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_send_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

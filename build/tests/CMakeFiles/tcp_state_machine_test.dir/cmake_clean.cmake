@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_state_machine_test.dir/tcp/state_machine_test.cc.o"
+  "CMakeFiles/tcp_state_machine_test.dir/tcp/state_machine_test.cc.o.d"
+  "tcp_state_machine_test"
+  "tcp_state_machine_test.pdb"
+  "tcp_state_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_state_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_transfer_test.dir/tcp/transfer_test.cc.o"
+  "CMakeFiles/tcp_transfer_test.dir/tcp/transfer_test.cc.o.d"
+  "tcp_transfer_test"
+  "tcp_transfer_test.pdb"
+  "tcp_transfer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
