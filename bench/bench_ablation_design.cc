@@ -98,7 +98,7 @@ void run() {
       StreamClient client(sc.client_stack(), sc.client_ip(), sc.connect_addr(),
                           2000, 8);
       client.start();
-      sc.drop_backup_frames_at(sim::Duration::millis(300), burst);
+      sc.inject(harness::Fault::FrameLoss(harness::Node::kBackup, burst).at(sim::Duration::millis(300)));
       sc.run_for(sim::Duration::seconds(15));
       const auto& tr = sc.world().trace();
       std::uint64_t injected = 0;

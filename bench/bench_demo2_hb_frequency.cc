@@ -76,7 +76,7 @@ void run() {
       StreamClient client(sc.client_stack(), sc.client_ip(), sc.connect_addr(),
                           4000, 8);
       client.start();
-      sc.crash_primary_at(sim::Duration::millis(1700));
+      sc.inject(harness::Fault::Crash(harness::Node::kPrimary).at(sim::Duration::millis(1700)));
       sc.run_for(sim::Duration::seconds(30));
       t.row(period.str(), client.max_stall().to_millis(),
             ok(!client.corrupt() && !client.closed()));

@@ -74,7 +74,7 @@ void run() {
                           2000, 8);
       client.start();
       if (at_backup) {
-        sc.drop_backup_frames_at(sim::Duration::millis(300), 10);
+        sc.inject(harness::Fault::FrameLoss(harness::Node::kBackup, 10).at(sim::Duration::millis(300)));
       } else {
         sc.world().loop().schedule_after(sim::Duration::millis(300),
                                          [&sc] { sc.primary_link().drop_next(10); });

@@ -4,6 +4,7 @@
 
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "app/client.h"
@@ -33,6 +34,9 @@ struct DownloadRun {
   double takeover_ms = -1;    // crash -> takeover
   std::uint64_t hb_sent = 0;
   std::string outcome;        // takeover / non_ft / none
+  /// Full registry dump (counters, histogram summaries, failover timeline)
+  /// when cfg.enable_metrics was set; "{}" otherwise.
+  std::string metrics_json = "{}";
 };
 
 struct DownloadSpec {
@@ -74,45 +78,51 @@ inline DownloadRun run_download(ScenarioConfig cfg, const DownloadSpec& spec) {
   DownloadClient client(sc.client_stack(), sc.client_ip(), servers, opt);
   client.start();
 
+  // App-level faults wrap a server method in Fault::Custom so every failure
+  // kind stamps the same fault_injected trace event and timeline milestone.
   using FK = DownloadSpec::FailureKind;
+  using harness::Fault;
+  using harness::Node;
+  std::optional<Fault> fault;
   switch (spec.failure) {
     case FK::kNone:
       break;
     case FK::kHwCrashPrimary:
-      sc.crash_primary_at(spec.crash_at);
+      fault = Fault::Crash(Node::kPrimary);
       break;
     case FK::kHwCrashBackup:
-      sc.crash_backup_at(spec.crash_at);
+      fault = Fault::Crash(Node::kBackup);
       break;
     case FK::kAppHangPrimary:
-      sc.world().loop().schedule_after(spec.crash_at, [&p_app] { p_app.hang(); });
+      fault = Fault::Custom("app_hang:primary", [&p_app](Scenario&) { p_app.hang(); });
       break;
     case FK::kAppHangBackup:
-      sc.world().loop().schedule_after(spec.crash_at, [&b_app] { b_app.hang(); });
+      fault = Fault::Custom("app_hang:backup", [&b_app](Scenario&) { b_app.hang(); });
       break;
     case FK::kAppFinPrimary:
-      sc.world().loop().schedule_after(spec.crash_at,
-                                       [&p_app] { p_app.crash_clean(); });
+      fault = Fault::Custom("app_fin_crash:primary",
+                            [&p_app](Scenario&) { p_app.crash_clean(); });
       break;
     case FK::kAppFinBackup:
-      sc.world().loop().schedule_after(spec.crash_at,
-                                       [&b_app] { b_app.crash_clean(); });
+      fault = Fault::Custom("app_fin_crash:backup",
+                            [&b_app](Scenario&) { b_app.crash_clean(); });
       break;
     case FK::kAppRstPrimary:
-      sc.world().loop().schedule_after(spec.crash_at,
-                                       [&p_app] { p_app.crash_abort(); });
+      fault = Fault::Custom("app_rst_crash:primary",
+                            [&p_app](Scenario&) { p_app.crash_abort(); });
       break;
     case FK::kAppRstBackup:
-      sc.world().loop().schedule_after(spec.crash_at,
-                                       [&b_app] { b_app.crash_abort(); });
+      fault = Fault::Custom("app_rst_crash:backup",
+                            [&b_app](Scenario&) { b_app.crash_abort(); });
       break;
     case FK::kNicPrimary:
-      sc.fail_primary_nic_at(spec.crash_at);
+      fault = Fault::NicFailure(Node::kPrimary);
       break;
     case FK::kNicBackup:
-      sc.fail_backup_nic_at(spec.crash_at);
+      fault = Fault::NicFailure(Node::kBackup);
       break;
   }
+  if (fault.has_value()) sc.inject(fault->at(spec.crash_at));
 
   sc.run_for(spec.run_limit);
 
@@ -144,6 +154,7 @@ inline DownloadRun run_download(ScenarioConfig cfg, const DownloadSpec& spec) {
     out.outcome = "none";
   }
   if (auto* ep = sc.primary_endpoint()) out.hb_sent = ep->stats().hb_sent;
+  if (sc.metrics() != nullptr) out.metrics_json = sc.metrics_json();
   return out;
 }
 

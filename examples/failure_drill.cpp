@@ -12,14 +12,18 @@
 
 namespace app = sttcp::app;
 namespace sim = sttcp::sim;
+using sttcp::harness::Fault;
+using sttcp::harness::Node;
 using sttcp::harness::Scenario;
 using sttcp::harness::ScenarioConfig;
 
 namespace {
 
+/// Each drill builds its Fault once the servers exist (app-level faults wrap
+/// a server method in Fault::Custom); Scenario::inject() arms it.
 void drill(const char* title, const char* expectation,
-           const std::function<void(Scenario&, app::StreamServer&,
-                                    app::StreamServer&)>& inject) {
+           const std::function<Fault(app::StreamServer& primary_app,
+                                     app::StreamServer& backup_app)>& make_fault) {
   std::printf("\n=== %s ===\n    expectation: %s\n", title, expectation);
 
   ScenarioConfig cfg;
@@ -33,7 +37,7 @@ void drill(const char* title, const char* expectation,
   world.run_for(sim::Duration::millis(500));
   const std::uint64_t before = client.records_completed();
 
-  inject(world, primary_app, backup_app);
+  world.inject(make_fault(primary_app, backup_app));
   world.run_for(sim::Duration::seconds(15));
 
   const auto& trace = world.world().trace();
@@ -68,48 +72,52 @@ int main() {
 
   drill("row 1: primary HW/OS crash",
         "both heartbeat channels die; backup takes over",
-        [](Scenario& w, app::StreamServer&, app::StreamServer&) {
-          w.crash_primary_at(sim::Duration::zero());
+        [](app::StreamServer&, app::StreamServer&) {
+          return Fault::Crash(Node::kPrimary);
         });
 
   drill("row 1: backup HW/OS crash",
         "primary shuts the backup down and continues alone",
-        [](Scenario& w, app::StreamServer&, app::StreamServer&) {
-          w.crash_backup_at(sim::Duration::zero());
+        [](app::StreamServer&, app::StreamServer&) {
+          return Fault::Crash(Node::kBackup);
         });
 
   drill("row 2: primary application hang (no FIN)",
         "AppMaxLag detection on the heartbeat counters; takeover",
-        [](Scenario&, app::StreamServer& p, app::StreamServer&) { p.hang(); });
+        [](app::StreamServer& p, app::StreamServer&) {
+          return Fault::Custom("app_hang:primary", [&p](Scenario&) { p.hang(); });
+        });
 
   drill("row 3: primary application crash, OS closes socket (FIN)",
         "the FIN is withheld (MaxDelayFIN); lag detection convicts; takeover",
-        [](Scenario&, app::StreamServer& p, app::StreamServer&) {
-          p.crash_clean();
+        [](app::StreamServer& p, app::StreamServer&) {
+          return Fault::Custom("app_fin_crash:primary",
+                               [&p](Scenario&) { p.crash_clean(); });
         });
 
   drill("row 3: backup application crash (FIN)",
         "the backup's FIN is discarded; primary goes non-fault-tolerant",
-        [](Scenario&, app::StreamServer&, app::StreamServer& b) {
-          b.crash_clean();
+        [](app::StreamServer&, app::StreamServer& b) {
+          return Fault::Custom("app_fin_crash:backup",
+                               [&b](Scenario&) { b.crash_clean(); });
         });
 
   drill("row 4: primary NIC failure",
         "IP heartbeat dies, serial survives; gateway-ping arbitration; takeover",
-        [](Scenario& w, app::StreamServer&, app::StreamServer&) {
-          w.fail_primary_nic_at(sim::Duration::zero());
+        [](app::StreamServer&, app::StreamServer&) {
+          return Fault::NicFailure(Node::kPrimary);
         });
 
   drill("row 4: backup NIC failure",
         "byte-count comparison over the serial heartbeat convicts the backup",
-        [](Scenario& w, app::StreamServer&, app::StreamServer&) {
-          w.fail_backup_nic_at(sim::Duration::zero());
+        [](app::StreamServer&, app::StreamServer&) {
+          return Fault::NicFailure(Node::kBackup);
         });
 
   drill("row 5: temporary loss toward the backup",
         "missed bytes fetched from the primary's hold buffer; NO failover",
-        [](Scenario& w, app::StreamServer&, app::StreamServer&) {
-          w.drop_backup_frames_at(sim::Duration::zero(), 12);
+        [](app::StreamServer&, app::StreamServer&) {
+          return Fault::FrameLoss(Node::kBackup, 12);
         });
 
   std::printf("\nDrill complete.\n");

@@ -14,6 +14,8 @@
 
 namespace app = sttcp::app;
 namespace sim = sttcp::sim;
+using sttcp::harness::Fault;
+using sttcp::harness::Node;
 using sttcp::harness::Scenario;
 using sttcp::harness::ScenarioConfig;
 
@@ -42,7 +44,7 @@ int main() {
               world.serial().queue_delay(0).str().c_str());
 
   std::printf("\ncrashing the primary...\n");
-  world.crash_primary_at(sim::Duration::zero());
+  world.inject(Fault::Crash(Node::kPrimary).at(sim::Duration::zero()));
   world.run_for(sim::Duration::seconds(60));
 
   int complete = 0;

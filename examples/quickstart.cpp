@@ -14,6 +14,8 @@
 
 namespace app = sttcp::app;
 namespace sim = sttcp::sim;
+using sttcp::harness::Fault;
+using sttcp::harness::Node;
 using sttcp::harness::Scenario;
 using sttcp::harness::ScenarioConfig;
 
@@ -38,7 +40,7 @@ int main() {
   client.start();
 
   // 4. Halfway through: the primary suffers a hardware crash.
-  world.crash_primary_at(sim::Duration::seconds(1));
+  world.inject(Fault::Crash(Node::kPrimary).at(sim::Duration::seconds(1)));
 
   // 5. Run the simulation.
   world.run_for(sim::Duration::seconds(30));

@@ -17,6 +17,8 @@
 
 namespace app = sttcp::app;
 namespace sim = sttcp::sim;
+using sttcp::harness::Fault;
+using sttcp::harness::Node;
 using sttcp::harness::Scenario;
 using sttcp::harness::ScenarioConfig;
 
@@ -121,9 +123,9 @@ int main(int argc, char** argv) {
   const auto at = sim::Duration::millis(opt.crash_ms);
   if (opt.failure == "none") {
   } else if (opt.failure == "primary-crash") {
-    sc.crash_primary_at(at);
+    sc.inject(Fault::Crash(Node::kPrimary).at(at));
   } else if (opt.failure == "backup-crash") {
-    sc.crash_backup_at(at);
+    sc.inject(Fault::Crash(Node::kBackup).at(at));
   } else if (opt.failure == "primary-app-hang") {
     sc.world().loop().schedule_after(at, [&] { p_app.hang(); });
   } else if (opt.failure == "backup-app-hang") {
@@ -133,13 +135,13 @@ int main(int argc, char** argv) {
   } else if (opt.failure == "backup-app-fin") {
     sc.world().loop().schedule_after(at, [&] { b_app.crash_clean(); });
   } else if (opt.failure == "primary-nic") {
-    sc.fail_primary_nic_at(at);
+    sc.inject(Fault::NicFailure(Node::kPrimary).at(at));
   } else if (opt.failure == "backup-nic") {
-    sc.fail_backup_nic_at(at);
+    sc.inject(Fault::NicFailure(Node::kBackup).at(at));
   } else if (opt.failure == "serial-cut") {
-    sc.fail_serial_at(at);
+    sc.inject(Fault::SerialCut().at(at));
   } else if (opt.failure == "backup-loss") {
-    sc.drop_backup_frames_at(at, 12);
+    sc.inject(Fault::FrameLoss(Node::kBackup, 12).at(at));
   } else {
     std::fprintf(stderr, "unknown failure kind '%s' (see --list)\n",
                  opt.failure.c_str());

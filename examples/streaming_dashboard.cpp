@@ -16,6 +16,8 @@
 
 namespace app = sttcp::app;
 namespace sim = sttcp::sim;
+using sttcp::harness::Fault;
+using sttcp::harness::Node;
 using sttcp::harness::Scenario;
 using sttcp::harness::ScenarioConfig;
 
@@ -39,6 +41,7 @@ void run(bool with_sttcp) {
                                       "connection dies)");
   ScenarioConfig cfg;
   cfg.enable_sttcp = with_sttcp;
+  cfg.enable_metrics = true;  // drive the dashboard footer off the registry
   Scenario world(std::move(cfg));
   app::FileServer primary_app(world.primary_stack(), world.service_port(), kFileSize);
   app::FileServer backup_app(world.backup_stack(), world.service_port(), kFileSize);
@@ -54,7 +57,7 @@ void run(bool with_sttcp) {
   }
   app::DownloadClient client(world.client_stack(), world.client_ip(), servers, opt);
   client.start();
-  world.crash_primary_at(sim::Duration::millis(1500));
+  world.inject(Fault::Crash(Node::kPrimary).at(sim::Duration::millis(1500)));
 
   std::uint64_t last = 0;
   bool crash_reported = false;
@@ -76,6 +79,22 @@ void run(bool with_sttcp) {
   std::printf("  result: %s, %d connection failure(s), longest stall %s\n",
               client.complete() ? "complete" : "INCOMPLETE",
               client.connection_failures(), client.max_stall().str().c_str());
+
+  // Telemetry footer, straight from the obs::MetricsRegistry.
+  auto& reg = *world.metrics();
+  world.export_metrics();
+  std::printf("  telemetry: %llu frames on the client link, "
+              "%llu client-side TCP retransmissions\n",
+              static_cast<unsigned long long>(
+                  reg.counter("net.link.client.frames_delivered").value()),
+              static_cast<unsigned long long>(
+                  reg.counter("tcp.client.retransmissions").value()));
+  if (const auto seg = reg.timeline().segments()) {
+    std::printf("  failover:  detection %.1f ms + takeover %.1f ms + "
+                "retransmission wait %.1f ms = %.1f ms total\n",
+                seg->detection_ms, seg->takeover_ms, seg->retransmission_ms,
+                seg->total_ms);
+  }
 }
 
 }  // namespace

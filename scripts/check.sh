@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, run the full test suite. With --asan, also
+# build the ASan+UBSan configuration and run the sttcp + obs subset under it
+# (the full suite under ASan is slow; the ST-TCP engine and the telemetry
+# layer are where the pointer-heavy code lives).
+#
+#   scripts/check.sh           # build + full ctest
+#   scripts/check.sh --asan    # additionally: sanitizer lane
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B build -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${1:-}" == "--asan" ]]; then
+  cmake -B build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSTTCP_SANITIZE=ON >/dev/null
+  cmake --build build-asan -j "$JOBS"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" -R 'sttcp|obs'
+fi
+
+echo "check.sh: all green"

@@ -8,6 +8,7 @@ DownloadClient::DownloadClient(tcp::TcpStack& stack, net::Ipv4Addr local_ip,
   if (!opt_.stall_timeout.is_zero()) {
     stall_timer_ = std::make_unique<sim::OneShotTimer>(stack_.world().loop());
   }
+  if (auto* reg = stack_.world().metrics()) failover_timeline_ = &reg->timeline();
 }
 
 DownloadClient::~DownloadClient() = default;
@@ -57,6 +58,7 @@ void DownloadClient::on_readable() {
   if (!pattern_verify(conn_received_, data)) corrupt_ = true;
   conn_received_ += data.size();
   received_ += data.size();
+  if (failover_timeline_ != nullptr) failover_timeline_->client_byte(stack_.world().now());
   timeline_.push_back(Sample{stack_.world().now(), received_});
   if (received_ >= opt_.expected_bytes && !complete_) {
     complete_ = true;
@@ -114,7 +116,9 @@ StreamClient::StreamClient(tcp::TcpStack& stack, net::Ipv4Addr local_ip,
       local_ip_(local_ip),
       server_(server),
       record_size_(record_size),
-      pipeline_(static_cast<std::uint64_t>(pipeline)) {}
+      pipeline_(static_cast<std::uint64_t>(pipeline)) {
+  if (auto* reg = stack_.world().metrics()) failover_timeline_ = &reg->timeline();
+}
 
 void StreamClient::start() {
   tcp::TcpConnection::Callbacks cb;
@@ -148,6 +152,7 @@ void StreamClient::on_readable() {
   if (data.empty()) return;
   if (!pattern_verify(received_, data)) corrupt_ = true;
   received_ += data.size();
+  if (failover_timeline_ != nullptr) failover_timeline_->client_byte(stack_.world().now());
   rx_times_.push_back(stack_.world().now());
   maybe_request();
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "app/pattern.h"
+#include "obs/metrics.h"
 #include "tcp/stack.h"
 
 namespace sttcp::app {
@@ -84,6 +85,7 @@ class DownloadClient {
   sim::SimTime completed_at_;
   std::vector<Sample> timeline_;
   std::unique_ptr<sim::OneShotTimer> stall_timer_;
+  obs::FailoverTimeline* failover_timeline_ = nullptr;  // null = telemetry off
 };
 
 /// Drives a StreamServer: sends a request byte whenever fewer than
@@ -118,6 +120,7 @@ class StreamClient {
   bool closed_ = false;
   bool stopping_ = false;
   std::vector<sim::SimTime> rx_times_;
+  obs::FailoverTimeline* failover_timeline_ = nullptr;  // null = telemetry off
 };
 
 }  // namespace sttcp::app

@@ -1,0 +1,152 @@
+#include "harness/fault.h"
+
+#include "harness/scenario.h"
+
+namespace sttcp::harness {
+
+namespace {
+
+net::Host& host_of(Scenario& s, Node n) {
+  switch (n) {
+    case Node::kClient: return s.client();
+    case Node::kPrimary: return s.primary();
+    case Node::kBackup: return s.backup();
+    case Node::kGateway: return s.gateway();
+  }
+  return s.primary();  // unreachable
+}
+
+net::Link& link_of(Scenario& s, Node n) {
+  switch (n) {
+    case Node::kClient: return s.client_link();
+    case Node::kPrimary: return s.primary_link();
+    case Node::kBackup: return s.backup_link();
+    case Node::kGateway: return s.gateway_link();
+  }
+  return s.primary_link();  // unreachable
+}
+
+}  // namespace
+
+const char* to_string(Node n) {
+  switch (n) {
+    case Node::kClient: return "client";
+    case Node::kPrimary: return "primary";
+    case Node::kBackup: return "backup";
+    case Node::kGateway: return "gateway";
+  }
+  return "?";
+}
+
+Fault Fault::Crash(Node n) {
+  Fault f;
+  f.label_ = std::string("crash:") + to_string(n);
+  f.action_ = [n](Scenario& s) { host_of(s, n).crash("injected HW/OS crash"); };
+  return f;
+}
+
+Fault Fault::NicFailure(Node n) {
+  Fault f;
+  f.label_ = std::string("nic_failure:") + to_string(n);
+  f.action_ = [n](Scenario& s) {
+    s.world().trace().record(to_string(n), "nic_failed");
+    host_of(s, n).nic().fail();
+  };
+  return f;
+}
+
+Fault Fault::NicRestore(Node n) {
+  Fault f;
+  f.label_ = std::string("nic_restore:") + to_string(n);
+  f.action_ = [n](Scenario& s) {
+    s.world().trace().record(to_string(n), "nic_restored");
+    host_of(s, n).nic().heal();
+  };
+  return f;
+}
+
+Fault Fault::SerialCut() {
+  Fault f;
+  f.label_ = "serial_cut";
+  f.action_ = [](Scenario& s) {
+    s.world().trace().record("serial", "serial_failed");
+    s.serial().fail();
+  };
+  return f;
+}
+
+Fault Fault::SerialRestore() {
+  Fault f;
+  f.label_ = "serial_restore";
+  f.action_ = [](Scenario& s) {
+    s.world().trace().record("serial", "serial_restored");
+    s.serial().heal();
+  };
+  return f;
+}
+
+Fault Fault::FrameLoss(Node n, int frames) {
+  Fault f;
+  f.label_ = std::string("frame_loss:") + to_string(n);
+  f.action_ = [n, frames](Scenario& s) {
+    s.world().trace().record(to_string(n), "frame_drop_burst", "", frames);
+    link_of(s, n).drop_next(frames);
+  };
+  return f;
+}
+
+Fault Fault::LinkDown(Node n) {
+  Fault f;
+  f.label_ = std::string("link_down:") + to_string(n);
+  f.action_ = [n](Scenario& s) {
+    s.world().trace().record(to_string(n), "link_down");
+    link_of(s, n).fail();
+  };
+  return f;
+}
+
+Fault Fault::LinkUp(Node n) {
+  Fault f;
+  f.label_ = std::string("link_up:") + to_string(n);
+  f.action_ = [n](Scenario& s) {
+    s.world().trace().record(to_string(n), "link_up");
+    link_of(s, n).heal();
+  };
+  return f;
+}
+
+Fault Fault::LinkFlap(Node n, sim::Duration down_for) {
+  Fault f;
+  f.label_ = std::string("link_flap:") + to_string(n);
+  f.action_ = [n, down_for](Scenario& s) {
+    s.world().trace().record(to_string(n), "link_down");
+    link_of(s, n).fail();
+    s.world().loop().schedule_after(down_for, [&s, n] {
+      s.world().trace().record(to_string(n), "link_up");
+      link_of(s, n).heal();
+    });
+  };
+  return f;
+}
+
+Fault Fault::Custom(std::string label, std::function<void(Scenario&)> action) {
+  Fault f;
+  f.label_ = std::move(label);
+  f.action_ = std::move(action);
+  return f;
+}
+
+Fault Fault::at(sim::Duration t) const {
+  Fault f = *this;
+  f.at_ = t;
+  return f;
+}
+
+Fault Fault::repeat(int times, sim::Duration interval) const {
+  Fault f = *this;
+  f.times_ = times;
+  f.interval_ = interval;
+  return f;
+}
+
+}  // namespace sttcp::harness

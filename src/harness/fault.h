@@ -1,0 +1,96 @@
+// Composable fault injection for Scenario.
+//
+// Faults are values: a factory names WHAT fails, builders say WHEN and how
+// often, and Scenario::inject() arms it against the live topology:
+//
+//   using namespace sttcp::sim::literals;
+//   scenario.inject(Fault::Crash(Node::kPrimary).at(2_s));
+//   scenario.inject(Fault::FrameLoss(Node::kBackup, 40).at(1_s).repeat(3, 500_ms));
+//   scenario.inject(Fault::LinkFlap(Node::kClient, 200_ms).at(4_s));
+//
+// Every injection stamps the fault_injected trace event and (when telemetry
+// is enabled) the obs::FailoverTimeline kFaultInjected milestone, so the
+// failover decomposition starts at the true fault time regardless of which
+// fault class fired. A FaultPlan bundles several faults so a whole drill can
+// be passed around as one object.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace sttcp::harness {
+
+class Scenario;
+
+/// The four machines of the Figure-2 topology (the serial cable is addressed
+/// by the Serial* faults; the optional logger host is not a fault target).
+enum class Node { kClient, kPrimary, kBackup, kGateway };
+
+const char* to_string(Node n);
+
+class Fault {
+ public:
+  /// HW/OS crash: the host stops entirely (Table 1 row 1).
+  static Fault Crash(Node n);
+  /// NIC/cable failure: the NIC goes down, the host keeps running (row 4).
+  static Fault NicFailure(Node n);
+  static Fault NicRestore(Node n);
+  /// Cut / restore the RS-232 heartbeat cable.
+  static Fault SerialCut();
+  static Fault SerialRestore();
+  /// Drop the next `frames` frames in each direction of the node's switch
+  /// link (temporary loss; drives the missed-byte recovery path).
+  static Fault FrameLoss(Node n, int frames);
+  /// Take the node's switch link down / up (both directions, silent loss).
+  static Fault LinkDown(Node n);
+  static Fault LinkUp(Node n);
+  /// LinkDown immediately followed by LinkUp after `down_for`.
+  static Fault LinkFlap(Node n, sim::Duration down_for);
+  /// Escape hatch: run an arbitrary action against the scenario. The label
+  /// appears in the trace; used by the bench harness for app-level faults
+  /// (hang, clean close, abort) that are not topology events.
+  static Fault Custom(std::string label, std::function<void(Scenario&)> action);
+
+  /// Fire at `t` (relative to injection time; default: immediately).
+  Fault at(sim::Duration t) const;
+  /// Fire `times` times in total, `interval` apart (default: once).
+  Fault repeat(int times, sim::Duration interval) const;
+
+  const std::string& label() const { return label_; }
+  sim::Duration when() const { return at_; }
+  int times() const { return times_; }
+  sim::Duration interval() const { return interval_; }
+
+ private:
+  friend class Scenario;
+  Fault() = default;
+
+  std::string label_;
+  std::function<void(Scenario&)> action_;
+  sim::Duration at_ = sim::Duration::zero();
+  int times_ = 1;
+  sim::Duration interval_ = sim::Duration::zero();
+};
+
+/// An ordered bundle of faults; injected as one unit.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  FaultPlan(std::initializer_list<Fault> faults) : faults_(faults) {}
+
+  FaultPlan& add(Fault f) {
+    faults_.push_back(std::move(f));
+    return *this;
+  }
+
+  const std::vector<Fault>& faults() const { return faults_; }
+  bool empty() const { return faults_.empty(); }
+
+ private:
+  std::vector<Fault> faults_;
+};
+
+}  // namespace sttcp::harness

@@ -1,5 +1,7 @@
 #include "harness/scenario.h"
 
+#include <iterator>
+
 namespace sttcp::harness {
 
 namespace {
@@ -11,9 +13,39 @@ const net::MacAddr kLoggerMac = net::MacAddr::from_u64(0x020000000009ull);
 const net::MacAddr kMultiEa = net::MacAddr::multicast_group(0x57);
 }  // namespace
 
+ScenarioConfig ScenarioConfig::Paper2005() {
+  ScenarioConfig cfg;
+  cfg.link_latency = sim::Duration::micros(50);
+  cfg.link_bandwidth_bps = 100'000'000;  // Fast Ethernet
+  cfg.serial_baud = 115200;
+  cfg.sttcp.hb_period = sim::Duration::millis(200);
+  cfg.sttcp.hb_miss_threshold = 3;
+  return cfg;
+}
+
+ScenarioConfig ScenarioConfig::FastNet() {
+  ScenarioConfig cfg;
+  cfg.link_latency = sim::Duration::micros(5);
+  cfg.link_bandwidth_bps = 1'000'000'000;  // gigabit
+  cfg.serial_baud = 1'000'000;
+  cfg.sttcp.hb_period = sim::Duration::millis(50);
+  cfg.sttcp.hb_miss_threshold = 3;
+  return cfg;
+}
+
 Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)) {
   world_ = std::make_unique<sim::World>(cfg_.seed, cfg_.log_out, cfg_.log_level);
+  if (cfg_.enable_metrics) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    world_->set_metrics(metrics_.get());  // components bind as they construct
+  }
   switch_ = std::make_unique<net::EthernetSwitch>(*world_, "switch");
+  if (!cfg_.pcap_path.empty()) {
+    pcap_ = std::make_unique<obs::PcapWriter>(cfg_.pcap_path);
+    switch_->set_frame_tap([this](sim::SimTime at, const net::Bytes& frame) {
+      pcap_->record(at, frame);
+    });
+  }
   power_ = std::make_unique<net::PowerController>(*world_);
 
   client_ = std::make_unique<net::Host>(*world_, "client");
@@ -42,6 +74,9 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)) {
       bw = cfg_.backup_link_bandwidth_bps;
     }
     auto link = std::make_unique<net::Link>(*world_, cfg_.link_latency, bw);
+    if (metrics_ != nullptr) {
+      link->bind_metrics(*metrics_, "net.link." + w.host->name());
+    }
     nic.attach(link->port(0));
     const int port = switch_->add_port(link->port(1));
     if (w.host == primary_.get() || w.host == backup_.get()) {
@@ -87,6 +122,7 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)) {
     logger_host_->add_ip(service_ip());
     auto llink = std::make_unique<net::Link>(*world_, cfg_.link_latency,
                                              cfg_.link_bandwidth_bps);
+    if (metrics_ != nullptr) llink->bind_metrics(*metrics_, "net.link.logger");
     lnic.attach(llink->port(0));
     const int lport = switch_->add_port(llink->port(1));
     links_.push_back(std::move(llink));
@@ -141,40 +177,101 @@ void Scenario::emulate_old_design_tap() {
   backup_->nic().set_promiscuous(true);
 }
 
+void Scenario::inject(Fault fault) {
+  const int times = fault.times_ < 1 ? 1 : fault.times_;
+  for (int i = 0; i < times; ++i) {
+    const sim::Duration when = fault.at_ + fault.interval_ * i;
+    world_->loop().schedule_after(when, [this, fault] {
+      world_->trace().record("harness", "fault_injected", fault.label_);
+      if (metrics_ != nullptr) {
+        metrics_->timeline().mark(obs::Milestone::kFaultInjected, world_->now());
+      }
+      fault.action_(*this);
+    });
+  }
+}
+
+void Scenario::inject(const FaultPlan& plan) {
+  for (const Fault& f : plan.faults()) inject(f);
+}
+
 void Scenario::crash_primary_at(sim::Duration t) {
-  world_->loop().schedule_after(t, [this] { primary_->crash("injected HW/OS crash"); });
+  inject(Fault::Crash(Node::kPrimary).at(t));
 }
 
 void Scenario::crash_backup_at(sim::Duration t) {
-  world_->loop().schedule_after(t, [this] { backup_->crash("injected HW/OS crash"); });
+  inject(Fault::Crash(Node::kBackup).at(t));
 }
 
 void Scenario::fail_primary_nic_at(sim::Duration t) {
-  world_->loop().schedule_after(t, [this] {
-    world_->trace().record("primary", "nic_failed");
-    primary_->nic().fail();
-  });
+  inject(Fault::NicFailure(Node::kPrimary).at(t));
 }
 
 void Scenario::fail_backup_nic_at(sim::Duration t) {
-  world_->loop().schedule_after(t, [this] {
-    world_->trace().record("backup", "nic_failed");
-    backup_->nic().fail();
-  });
+  inject(Fault::NicFailure(Node::kBackup).at(t));
 }
 
 void Scenario::fail_serial_at(sim::Duration t) {
-  world_->loop().schedule_after(t, [this] {
-    world_->trace().record("serial", "serial_failed");
-    serial_->fail();
-  });
+  inject(Fault::SerialCut().at(t));
 }
 
 void Scenario::drop_backup_frames_at(sim::Duration t, int n) {
-  world_->loop().schedule_after(t, [this, n] {
-    world_->trace().record("backup", "frame_drop_burst", "", n);
-    backup_link().drop_next(n);
-  });
+  inject(Fault::FrameLoss(Node::kBackup, n).at(t));
+}
+
+void Scenario::export_metrics() {
+  if (metrics_ == nullptr) return;
+  obs::MetricsRegistry& reg = *metrics_;
+
+  static constexpr const char* kLinkNames[] = {"client", "primary", "backup",
+                                               "gateway", "logger"};
+  for (std::size_t i = 0; i < links_.size() && i < std::size(kLinkNames); ++i) {
+    const net::Link::Stats& s = links_[i]->stats();
+    const std::string p = std::string("net.link.") + kLinkNames[i];
+    reg.counter(p + ".frames_sent").set(s.frames_sent);
+    reg.counter(p + ".frames_delivered").set(s.frames_delivered);
+    reg.counter(p + ".frames_dropped").set(s.frames_dropped);
+    reg.counter(p + ".bytes_delivered").set(s.bytes_delivered);
+  }
+
+  const net::EthernetSwitch::Stats& sw = switch_->stats();
+  reg.counter("net.switch.forwarded").set(sw.forwarded);
+  reg.counter("net.switch.flooded").set(sw.flooded);
+  reg.counter("net.switch.multicast").set(sw.multicast);
+
+  const net::SerialLink::Stats& se = serial_->stats();
+  reg.counter("net.serial.messages_sent").set(se.messages_sent);
+  reg.counter("net.serial.messages_delivered").set(se.messages_delivered);
+  reg.counter("net.serial.messages_dropped").set(se.messages_dropped);
+  reg.counter("net.serial.bytes_delivered").set(se.bytes_delivered);
+
+  struct EpRow {
+    const sttcp::StTcpEndpoint* ep;
+    const char* host;
+  };
+  const EpRow eps[] = {{primary_ep_.get(), "primary"}, {backup_ep_.get(), "backup"}};
+  for (const EpRow& row : eps) {
+    if (row.ep == nullptr) continue;
+    const sttcp::StTcpEndpoint::Stats& s = row.ep->stats();
+    const std::string p = std::string("sttcp.") + row.host;
+    reg.counter(p + ".hb_sent").set(s.hb_sent);
+    reg.counter(p + ".hb_received_ip").set(s.hb_received_ip);
+    reg.counter(p + ".hb_received_serial").set(s.hb_received_serial);
+    reg.counter(p + ".replicas_created").set(s.replicas_created);
+    reg.counter(p + ".missed_bytes_injected").set(s.missed_bytes_injected);
+    reg.counter(p + ".logger_bytes_injected").set(s.logger_bytes_injected);
+    reg.counter(p + ".takeovers").set(s.takeovers);
+  }
+
+  if (pcap_ != nullptr) {
+    reg.counter("obs.pcap.frames_written").set(pcap_->frames_written());
+  }
+}
+
+std::string Scenario::metrics_json() {
+  if (metrics_ == nullptr) return "{}";
+  export_metrics();
+  return metrics_->json();
 }
 
 }  // namespace sttcp::harness

@@ -20,11 +20,15 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
+#include "harness/fault.h"
 #include "net/host.h"
 #include "net/link.h"
 #include "net/serial_link.h"
 #include "net/switch.h"
+#include "obs/metrics.h"
+#include "obs/pcap.h"
 #include "sttcp/endpoint.h"
 #include "sttcp/logger.h"
 #include "tcp/stack.h"
@@ -58,6 +62,20 @@ struct ScenarioConfig {
 
   std::ostream* log_out = nullptr;
   sim::LogLevel log_level = sim::LogLevel::kOff;
+
+  // Telemetry (src/obs). Off by default: instruments stay unbound and every
+  // component pays only a null-pointer check.
+  bool enable_metrics = false;
+  /// Write every LAN frame (tapped at switch ingress) to this libpcap file;
+  /// empty disables the capture. Readable by Wireshark/tshark.
+  std::string pcap_path;
+
+  /// The paper's 2005 testbed: Fast Ethernet, 115.2 kbps serial heartbeat
+  /// cable, 200 ms heartbeat period (the demos' default).
+  static ScenarioConfig Paper2005();
+  /// A modern fabric: gigabit links, 5 µs latency, 1 Mbps serial, 50 ms
+  /// heartbeats — shows how failover scales when detection is cheap.
+  static ScenarioConfig FastNet();
 };
 
 class Scenario {
@@ -82,6 +100,7 @@ class Scenario {
   net::Link& client_link() { return *links_[0]; }
   net::Link& primary_link() { return *links_[1]; }
   net::Link& backup_link() { return *links_[2]; }
+  net::Link& gateway_link() { return *links_[3]; }
 
   tcp::TcpStack& client_stack() { return *client_stack_; }
   tcp::TcpStack& primary_stack() { return *primary_stack_; }
@@ -117,18 +136,42 @@ class Scenario {
   void emulate_old_design_tap();
 
   // --- failure injection ----------------------------------------------------------
+  /// Arm a fault (see harness/fault.h). Each firing stamps the
+  /// "fault_injected" trace event and the kFaultInjected timeline milestone.
+  void inject(Fault fault);
+  void inject(const FaultPlan& plan);
+
+  /// \deprecated Wrappers over inject(); use the Fault factories instead,
+  /// e.g. inject(Fault::Crash(Node::kPrimary).at(t)).
   void crash_primary_at(sim::Duration t);
+  /// \deprecated See crash_primary_at.
   void crash_backup_at(sim::Duration t);
+  /// \deprecated See crash_primary_at.
   void fail_primary_nic_at(sim::Duration t);
+  /// \deprecated See crash_primary_at.
   void fail_backup_nic_at(sim::Duration t);
+  /// \deprecated See crash_primary_at.
   void fail_serial_at(sim::Duration t);
-  /// Drop the next n frames on the backup's switch link (temporary loss).
+  /// \deprecated See crash_primary_at.
   void drop_backup_frames_at(sim::Duration t, int n);
+
+  // --- telemetry ------------------------------------------------------------------
+  /// Null unless cfg.enable_metrics.
+  obs::MetricsRegistry* metrics() { return metrics_.get(); }
+  obs::PcapWriter* pcap() { return pcap_.get(); }
+  /// Snapshot the cumulative Stats counters (links, switch, serial, stacks,
+  /// endpoints) into the registry; live instruments are already there.
+  void export_metrics();
+  /// export_metrics() then serialise the whole registry (counters, gauges,
+  /// histogram summaries, failover timeline) as one JSON object.
+  std::string metrics_json();
 
   void run_for(sim::Duration d) { world_->loop().run_for(d); }
 
  private:
   ScenarioConfig cfg_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;  // before world_: outlives it
+  std::unique_ptr<obs::PcapWriter> pcap_;
   std::unique_ptr<sim::World> world_;
   std::unique_ptr<net::EthernetSwitch> switch_;
   std::unique_ptr<net::Host> client_, primary_, backup_, gateway_;

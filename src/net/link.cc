@@ -15,6 +15,11 @@ Link::Link(sim::World& world, sim::Duration latency, std::uint64_t bandwidth_bps
   }
 }
 
+void Link::bind_metrics(obs::MetricsRegistry& registry, const std::string& prefix) {
+  queue_delay_us_ = &registry.histogram(prefix + ".queue_delay_us");
+  in_flight_ = &registry.gauge(prefix + ".in_flight_frames");
+}
+
 void Link::transmit(int from_port, Bytes frame) {
   ++stats_.frames_sent;
   if (failed_) {
@@ -48,8 +53,15 @@ void Link::transmit(int from_port, Bytes frame) {
   busy_until_[from_port] = start + tx_time;
   const sim::SimTime arrive = busy_until_[from_port] + latency_;
 
+  if (queue_delay_us_ != nullptr) {
+    queue_delay_us_->record(
+        static_cast<std::uint64_t>((start - world_.now()).us()));
+  }
+  if (in_flight_ != nullptr) in_flight_->set(++in_flight_count_);
+
   const int to_port = 1 - from_port;
   world_.loop().schedule_at(arrive, [this, to_port, frame = std::move(frame)]() mutable {
+    if (in_flight_ != nullptr) in_flight_->set(--in_flight_count_);
     // A failure while the frame was in flight kills it: a dead cable
     // delivers nothing.
     if (failed_) {

@@ -8,8 +8,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "net/bytes.h"
+#include "obs/metrics.h"
 #include "sim/world.h"
 
 namespace sttcp::net {
@@ -69,6 +71,12 @@ class Link {
   sim::Duration latency() const { return latency_; }
   const Stats& stats() const { return stats_; }
 
+  /// Bind live telemetry under `prefix` (e.g. "net.link.client"): a
+  /// serialization-queue delay histogram and an in-flight depth gauge.
+  /// Cumulative frame/byte/drop counters are exported from Stats by the
+  /// harness snapshot instead. No-op cost when never called.
+  void bind_metrics(obs::MetricsRegistry& registry, const std::string& prefix);
+
  private:
   void transmit(int from_port, Bytes frame);
 
@@ -83,6 +91,11 @@ class Link {
   DropFilter drop_filter_;
   bool failed_ = false;
   Stats stats_;
+
+  // Telemetry (null unless bind_metrics was called).
+  obs::Histogram* queue_delay_us_ = nullptr;
+  obs::Gauge* in_flight_ = nullptr;
+  int in_flight_count_ = 0;
 };
 
 }  // namespace sttcp::net

@@ -25,6 +25,7 @@ void EthernetSwitch::add_egress_mirror(int src_port, int dst_port) {
 
 void EthernetSwitch::on_frame(int ingress, Bytes frame) {
   if (frame.size() < 12) return;  // runt; silently discarded
+  if (frame_tap_) frame_tap_(world_.now(), frame);
   std::array<std::uint8_t, 6> b{};
   std::copy(frame.begin(), frame.begin() + 6, b.begin());
   const MacAddr dst{b};

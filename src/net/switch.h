@@ -42,6 +42,12 @@ class EthernetSwitch {
   /// Forget a learned MAC (used by failure tests to force flooding).
   void flush_fdb() { fdb_.clear(); }
 
+  /// Observe every frame at switch ingress — each LAN frame traverses the
+  /// switch exactly once, so this is the natural capture point for the PCAP
+  /// export (obs::PcapWriter) and any diagnostic tap.
+  using FrameTap = std::function<void(sim::SimTime at, const Bytes& frame)>;
+  void set_frame_tap(FrameTap tap) { frame_tap_ = std::move(tap); }
+
   const Stats& stats() const { return stats_; }
   const std::string& name() const { return name_; }
 
@@ -63,6 +69,7 @@ class EthernetSwitch {
   std::unordered_map<MacAddr, int> fdb_;  // learned source MAC -> port
   std::unordered_map<MacAddr, std::vector<int>> multicast_groups_;
   std::unordered_map<int, int> egress_mirrors_;  // src egress port -> mirror port
+  FrameTap frame_tap_;
   Stats stats_;
 };
 

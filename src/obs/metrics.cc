@@ -1,0 +1,111 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace sttcp::obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+int Histogram::bucket_index(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  // Octave o = floor(log2(value)) >= 3; the 3 bits after the leading one
+  // select the linear sub-bucket. For o == 3 the result equals `value`, so
+  // the linear and log-linear regions meet without a gap.
+  const int o = 63 - std::countl_zero(value);
+  const int sub = static_cast<int>((value >> (o - 3)) & (kSubBuckets - 1));
+  return kSubBuckets * (o - 3) + kSubBuckets + sub;
+}
+
+std::uint64_t Histogram::bucket_lower_bound(int index) {
+  if (index < kSubBuckets) return static_cast<std::uint64_t>(index);
+  const int oct = (index - kSubBuckets) / kSubBuckets + 3;
+  const int sub = (index - kSubBuckets) % kSubBuckets;
+  return (std::uint64_t{1} << oct) +
+         static_cast<std::uint64_t>(sub) * (std::uint64_t{1} << (oct - 3));
+}
+
+void Histogram::record(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  if (buckets_.empty()) buckets_.assign(kBucketCount, 0);
+  buckets_[static_cast<std::size_t>(bucket_index(value))] += count;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  count_ += count;
+  sum_ += value * count;
+}
+
+std::uint64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample (1-based, ceil), clamped into [1, count].
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.5));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen >= rank) {
+      return std::min(std::max(bucket_lower_bound(i), min_), max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (buckets_.empty()) buckets_.assign(kBucketCount, 0);
+  for (int i = 0; i < kBucketCount; ++i) {
+    buckets_[static_cast<std::size_t>(i)] += other.buckets_[static_cast<std::size_t>(i)];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << c.value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":{\"value\":" << g.value() << ",\"max\":" << g.max()
+        << ",\"min\":" << g.min() << "}";
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":{\"count\":" << h.count() << ",\"sum\":" << h.sum()
+        << ",\"min\":" << h.min() << ",\"max\":" << h.max()
+        << ",\"mean\":" << h.mean() << ",\"p50\":" << h.percentile(0.50)
+        << ",\"p90\":" << h.percentile(0.90) << ",\"p99\":" << h.percentile(0.99)
+        << "}";
+  }
+  out << "},\"timeline\":";
+  timeline_.write_json(out);
+  out << "}";
+}
+
+std::string MetricsRegistry::json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+}  // namespace sttcp::obs

@@ -1,0 +1,127 @@
+// Metrics: a zero-overhead-when-off observability registry.
+//
+// Components bind named instruments once (at construction / start), keeping a
+// nullable pointer; with no registry attached to the World every hot-path
+// update is a single null check. With a registry attached:
+//  * Counter    — monotonically increasing event count;
+//  * Gauge      — instantaneous level with max tracking (queue depths,
+//                 hold-buffer occupancy);
+//  * Histogram  — log-linear buckets (8 linear sub-buckets per octave, the
+//                 HdrHistogram scheme) for latency / size distributions with
+//                 constant-time record and cheap merge.
+//
+// Instruments live as long as the registry; references handed out by
+// counter()/gauge()/histogram() are stable (node-based map storage). The
+// whole registry serialises to JSON for the benches' structured output.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/timeline.h"
+
+namespace sttcp::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_ += n; }
+  std::uint64_t value() const { return v_; }
+  void set(std::uint64_t v) { v_ = v; }  // snapshot import from a Stats struct
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    v_ = v;
+    if (samples_ == 0 || v > max_) max_ = v;
+    if (samples_ == 0 || v < min_) min_ = v;
+    ++samples_;
+  }
+  void add(std::int64_t delta) { set(v_ + delta); }
+
+  std::int64_t value() const { return v_; }
+  std::int64_t max() const { return max_; }
+  std::int64_t min() const { return min_; }
+  std::uint64_t samples() const { return samples_; }
+
+ private:
+  std::int64_t v_ = 0;
+  std::int64_t max_ = 0;
+  std::int64_t min_ = 0;
+  std::uint64_t samples_ = 0;
+};
+
+/// Log-linear histogram of non-negative integer values. Values < 8 get exact
+/// unit buckets; above that, each power-of-two octave is split into 8 linear
+/// sub-buckets, bounding the relative bucket width at 12.5% across the full
+/// 64-bit range (496 buckets total).
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 8;  // per octave; also the linear cutoff
+  static constexpr int kBucketCount = 8 * 61 + kSubBuckets;  // octaves 3..63
+
+  void record(std::uint64_t value, std::uint64_t count = 1);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Value at quantile q in [0,1] (lower bound of the containing bucket;
+  /// exact for values < 8).
+  std::uint64_t percentile(double q) const;
+
+  /// Pointwise sum of two histograms (e.g. per-connection -> per-host).
+  void merge(const Histogram& other);
+
+  /// Bucket index for a value, and the smallest value mapping to a bucket.
+  static int bucket_index(std::uint64_t value);
+  static std::uint64_t bucket_lower_bound(int index);
+
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<std::uint64_t> buckets_;  // allocated on first record
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Look up or create. Returned references remain valid for the registry's
+  /// lifetime.
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  /// The scenario-wide failover timeline (see obs/timeline.h).
+  FailoverTimeline& timeline() { return timeline_; }
+  const FailoverTimeline& timeline() const { return timeline_; }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...},"timeline":{...}}
+  void write_json(std::ostream& out) const;
+  std::string json() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  FailoverTimeline timeline_;
+};
+
+}  // namespace sttcp::obs

@@ -1,0 +1,139 @@
+#include "obs/pcap.h"
+
+#include <algorithm>
+#include <iterator>
+
+namespace sttcp::obs {
+
+namespace {
+
+// The pcap format is native-endian: the magic tells readers which. We write
+// little-endian explicitly so the files are byte-identical across hosts.
+void put_u16(std::vector<std::uint8_t>& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  put_u16(b, static_cast<std::uint16_t>(v));
+  put_u16(b, static_cast<std::uint16_t>(v >> 16));
+}
+
+class LeReader {
+ public:
+  explicit LeReader(std::span<const std::uint8_t> data) : data_(data) {}
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        data_[pos_] | (std::uint16_t{data_[pos_ + 1]} << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    const std::uint32_t lo = u16();
+    const std::uint32_t hi = u16();
+    return lo | (hi << 16);
+  }
+  std::vector<std::uint8_t> bytes(std::size_t n) {
+    if (!need(n)) return {};
+    std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+ private:
+  bool need(std::size_t n) {
+    if (pos_ + n > data_.size()) ok_ = false;
+    return ok_;
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path, std::ios::binary | std::ios::trunc)) {
+  out_ = owned_.get();
+  if (ok()) write_file_header();
+}
+
+PcapWriter::PcapWriter(std::ostream& out) : out_(&out) { write_file_header(); }
+
+PcapWriter::~PcapWriter() { flush(); }
+
+void PcapWriter::write_file_header() {
+  std::vector<std::uint8_t> h;
+  h.reserve(24);
+  put_u32(h, kPcapMagic);
+  put_u16(h, kPcapVersionMajor);
+  put_u16(h, kPcapVersionMinor);
+  put_u32(h, 0);  // thiszone
+  put_u32(h, 0);  // sigfigs
+  put_u32(h, kPcapSnapLen);
+  put_u32(h, kLinkTypeEthernet);
+  out_->write(reinterpret_cast<const char*>(h.data()),
+              static_cast<std::streamsize>(h.size()));
+}
+
+void PcapWriter::record(sim::SimTime at, std::span<const std::uint8_t> frame) {
+  if (!ok()) return;
+  const std::int64_t ns = at.ns();
+  const auto incl = static_cast<std::uint32_t>(
+      std::min<std::size_t>(frame.size(), kPcapSnapLen));
+  std::vector<std::uint8_t> h;
+  h.reserve(16 + incl);
+  put_u32(h, static_cast<std::uint32_t>(ns / 1'000'000'000));
+  put_u32(h, static_cast<std::uint32_t>((ns % 1'000'000'000) / 1'000));
+  put_u32(h, incl);
+  put_u32(h, static_cast<std::uint32_t>(frame.size()));
+  h.insert(h.end(), frame.begin(), frame.begin() + incl);
+  out_->write(reinterpret_cast<const char*>(h.data()),
+              static_cast<std::streamsize>(h.size()));
+  ++frames_;
+}
+
+void PcapWriter::flush() {
+  if (out_ != nullptr) out_->flush();
+}
+
+std::optional<PcapFile> PcapReader::parse(std::span<const std::uint8_t> data) {
+  LeReader r(data);
+  PcapFile f;
+  f.magic = r.u32();
+  f.version_major = r.u16();
+  f.version_minor = r.u16();
+  r.u32();  // thiszone
+  r.u32();  // sigfigs
+  f.snaplen = r.u32();
+  f.linktype = r.u32();
+  if (!r.ok() || f.magic != kPcapMagic) return std::nullopt;
+  while (r.remaining() > 0) {
+    const std::uint32_t ts_sec = r.u32();
+    const std::uint32_t ts_usec = r.u32();
+    const std::uint32_t incl = r.u32();
+    const std::uint32_t orig = r.u32();
+    if (!r.ok() || incl > f.snaplen || incl > orig) return std::nullopt;
+    PcapRecord rec;
+    rec.ts_ns = std::int64_t{ts_sec} * 1'000'000'000 + std::int64_t{ts_usec} * 1'000;
+    rec.frame = r.bytes(incl);
+    if (!r.ok()) return std::nullopt;
+    f.records.push_back(std::move(rec));
+  }
+  return f;
+}
+
+std::optional<PcapFile> PcapReader::parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::vector<std::uint8_t> data((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+  return parse(data);
+}
+
+}  // namespace sttcp::obs

@@ -1,0 +1,78 @@
+// PcapWriter: serialise simulated Ethernet frames into a real libpcap
+// capture file (the classic 24-byte-header format, LINKTYPE_ETHERNET),
+// readable by Wireshark / tshark / tcpdump. Simulated nanoseconds map onto
+// the epoch, so a capture of a scenario starts at 1970-01-01 00:00:00 and
+// the timestamps ARE the simulation clock.
+//
+// PcapReader re-parses the format — the golden tests' (and, where tshark is
+// unavailable, the acceptance check's) independent decoder.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace sttcp::obs {
+
+inline constexpr std::uint32_t kPcapMagic = 0xa1b2c3d4;  // microsecond stamps
+inline constexpr std::uint16_t kPcapVersionMajor = 2;
+inline constexpr std::uint16_t kPcapVersionMinor = 4;
+inline constexpr std::uint32_t kPcapSnapLen = 65535;
+inline constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+class PcapWriter {
+ public:
+  /// Write to a file (created/truncated). Check ok() afterwards.
+  explicit PcapWriter(const std::string& path);
+  /// Write to an externally-owned stream (tests); caller keeps it alive.
+  explicit PcapWriter(std::ostream& out);
+  ~PcapWriter();
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  bool ok() const { return out_ != nullptr && out_->good(); }
+
+  /// Append one frame, stamped with the simulation clock.
+  void record(sim::SimTime at, std::span<const std::uint8_t> frame);
+
+  std::uint64_t frames_written() const { return frames_; }
+  void flush();
+
+ private:
+  void write_file_header();
+
+  std::unique_ptr<std::ofstream> owned_;  // set for the path constructor
+  std::ostream* out_ = nullptr;
+  std::uint64_t frames_ = 0;
+};
+
+struct PcapRecord {
+  std::int64_t ts_ns = 0;  // microsecond precision (the format's limit)
+  std::vector<std::uint8_t> frame;
+};
+
+struct PcapFile {
+  std::uint32_t magic = 0;
+  std::uint16_t version_major = 0;
+  std::uint16_t version_minor = 0;
+  std::uint32_t snaplen = 0;
+  std::uint32_t linktype = 0;
+  std::vector<PcapRecord> records;
+};
+
+class PcapReader {
+ public:
+  /// Parse an entire capture. nullopt on a malformed header or truncated
+  /// record.
+  static std::optional<PcapFile> parse(std::span<const std::uint8_t> data);
+  static std::optional<PcapFile> parse_file(const std::string& path);
+};
+
+}  // namespace sttcp::obs

@@ -1,0 +1,93 @@
+#include "obs/timeline.h"
+
+#include <sstream>
+
+namespace sttcp::obs {
+
+namespace {
+std::size_t idx(Milestone m) { return static_cast<std::size_t>(m); }
+}  // namespace
+
+const char* to_string(Milestone m) {
+  switch (m) {
+    case Milestone::kFaultInjected: return "fault_injected";
+    case Milestone::kLastHeartbeat: return "last_heartbeat";
+    case Milestone::kChannelDead: return "channel_dead";
+    case Milestone::kStonith: return "stonith";
+    case Milestone::kTakeover: return "takeover";
+    case Milestone::kFirstByteAfterTakeover: return "first_byte_after_takeover";
+    case Milestone::kCount: break;
+  }
+  return "?";
+}
+
+void FailoverTimeline::mark(Milestone m, sim::SimTime at) {
+  if (m == Milestone::kCount) return;
+  if (!marks_[idx(m)].has_value()) marks_[idx(m)] = at;
+}
+
+void FailoverTimeline::heartbeat_seen(sim::SimTime at) {
+  if (marks_[idx(Milestone::kChannelDead)].has_value()) return;  // frozen
+  marks_[idx(Milestone::kLastHeartbeat)] = at;
+}
+
+void FailoverTimeline::client_byte(sim::SimTime at) {
+  if (!marks_[idx(Milestone::kTakeover)].has_value()) return;
+  mark(Milestone::kFirstByteAfterTakeover, at);
+}
+
+std::optional<sim::SimTime> FailoverTimeline::at(Milestone m) const {
+  if (m == Milestone::kCount) return std::nullopt;
+  return marks_[idx(m)];
+}
+
+bool FailoverTimeline::complete() const {
+  return at(Milestone::kFaultInjected) && at(Milestone::kChannelDead) &&
+         at(Milestone::kTakeover) && at(Milestone::kFirstByteAfterTakeover);
+}
+
+std::optional<FailoverTimeline::Segments> FailoverTimeline::segments() const {
+  if (!complete()) return std::nullopt;
+  const sim::SimTime fault = *at(Milestone::kFaultInjected);
+  const sim::SimTime dead = *at(Milestone::kChannelDead);
+  const sim::SimTime took = *at(Milestone::kTakeover);
+  const sim::SimTime byte = *at(Milestone::kFirstByteAfterTakeover);
+  Segments s;
+  s.detection_ms = (dead - fault).to_millis();
+  s.takeover_ms = (took - dead).to_millis();
+  s.retransmission_ms = (byte - took).to_millis();
+  s.total_ms = (byte - fault).to_millis();
+  return s;
+}
+
+void FailoverTimeline::reset() {
+  for (auto& m : marks_) m.reset();
+}
+
+void FailoverTimeline::write_json(std::ostream& out) const {
+  out << "{\"milestones_ms\":{";
+  bool first = true;
+  for (std::size_t i = 0; i < marks_.size(); ++i) {
+    if (!marks_[i].has_value()) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << to_string(static_cast<Milestone>(i))
+        << "\":" << marks_[i]->to_millis();
+  }
+  out << "}";
+  if (const auto s = segments()) {
+    out << ",\"segments_ms\":{\"detection\":" << s->detection_ms
+        << ",\"takeover\":" << s->takeover_ms
+        << ",\"retransmission\":" << s->retransmission_ms
+        << ",\"total\":" << s->total_ms << "}";
+  }
+  out << "}";
+}
+
+std::string FailoverTimeline::json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+}  // namespace sttcp::obs

@@ -1,0 +1,80 @@
+// FailoverTimeline: the canonical ST-TCP failover milestones, stamped once
+// per scenario so failover latency decomposes into its components:
+//
+//   fault ──────────► channel dead ───► takeover ───► first byte at client
+//          detection               STONITH+switch   TCP retransmission wait
+//
+// Components stamp milestones as they happen (the endpoint on detection /
+// STONITH / takeover, the client application on the first post-takeover
+// byte); every mark is first-wins, so the record describes THE failover of
+// the run. kLastHeartbeat is the exception: it tracks the most recent
+// heartbeat arrival continuously and freezes when a channel is declared
+// dead — the gap between it and kChannelDead is the raw detection latency
+// the miss-threshold logic added.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "sim/time.h"
+
+namespace sttcp::obs {
+
+enum class Milestone {
+  kFaultInjected,           // the harness fired the fault
+  kLastHeartbeat,           // last heartbeat received before conviction
+  kChannelDead,             // detector declared the peer failed
+  kStonith,                 // power-off command issued
+  kTakeover,                // backup assumed the connections (or primary
+                            // entered non-FT mode)
+  kFirstByteAfterTakeover,  // first payload byte reached the client again
+  kCount,
+};
+
+const char* to_string(Milestone m);
+
+class FailoverTimeline {
+ public:
+  /// Stamp a milestone (first occurrence wins).
+  void mark(Milestone m, sim::SimTime at);
+
+  /// Heartbeat arrivals overwrite kLastHeartbeat until kChannelDead is
+  /// marked, after which the value freezes.
+  void heartbeat_seen(sim::SimTime at);
+
+  /// Client data arrival: stamps kFirstByteAfterTakeover on the first byte
+  /// observed once kTakeover is marked; a no-op before the takeover.
+  void client_byte(sim::SimTime at);
+
+  std::optional<sim::SimTime> at(Milestone m) const;
+
+  /// All of fault / dead / takeover / first-byte are stamped.
+  bool complete() const;
+
+  /// The failover decomposition, available once complete():
+  ///   detection      = channel dead − fault injected
+  ///   takeover       = takeover − channel dead
+  ///   retransmission = first client byte − takeover
+  ///   total          = first client byte − fault injected (== the sum)
+  struct Segments {
+    double detection_ms = 0;
+    double takeover_ms = 0;
+    double retransmission_ms = 0;
+    double total_ms = 0;
+  };
+  std::optional<Segments> segments() const;
+
+  void reset();
+
+  /// {"milestones_ms":{...},"segments_ms":{...}} (segments when complete).
+  void write_json(std::ostream& out) const;
+  std::string json() const;
+
+ private:
+  std::array<std::optional<sim::SimTime>, static_cast<std::size_t>(Milestone::kCount)>
+      marks_;
+};
+
+}  // namespace sttcp::obs

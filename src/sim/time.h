@@ -83,4 +83,19 @@ class SimTime {
   std::int64_t ns_ = 0;
 };
 
+/// Duration literals: `2_s`, `500_ms`, `50_us`. Opt-in via
+/// `using namespace sttcp::sim::literals;` (the fault-injection DSL's
+/// natural spelling: `Fault::Crash(Node::kPrimary).at(2_s)`).
+namespace literals {
+constexpr Duration operator""_s(unsigned long long n) {
+  return Duration::seconds(static_cast<std::int64_t>(n));
+}
+constexpr Duration operator""_ms(unsigned long long n) {
+  return Duration::millis(static_cast<std::int64_t>(n));
+}
+constexpr Duration operator""_us(unsigned long long n) {
+  return Duration::micros(static_cast<std::int64_t>(n));
+}
+}  // namespace literals
+
 }  // namespace sttcp::sim

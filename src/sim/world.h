@@ -11,6 +11,10 @@
 #include "sim/random.h"
 #include "sim/trace.h"
 
+namespace sttcp::obs {
+class MetricsRegistry;
+}  // namespace sttcp::obs
+
 namespace sttcp::sim {
 
 class World {
@@ -30,11 +34,18 @@ class World {
 
   Logger logger(const std::string& component) { return Logger(&sink_, component); }
 
+  /// Optional telemetry (src/obs/). Null by default: components bind their
+  /// instruments only when a registry is attached, so an un-instrumented
+  /// world pays nothing. Attach BEFORE constructing instrumented components.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
  private:
   EventLoop loop_;
   Rng rng_;
   LogSink sink_;
   TraceRecorder trace_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace sttcp::sim

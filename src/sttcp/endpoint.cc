@@ -28,6 +28,15 @@ void StTcpEndpoint::start() {
   last_rx_ip_ = world_.now();
   last_rx_serial_ = world_.now();
 
+  if (auto* reg = world_.metrics()) {
+    const std::string prefix = "sttcp." + host_.name();
+    m_hb_gap_ip_us_ = &reg->histogram(prefix + ".hb_interarrival_us.ip");
+    m_hb_gap_serial_us_ = &reg->histogram(prefix + ".hb_interarrival_us.serial");
+    m_hold_bytes_ = &reg->gauge(prefix + ".hold_buffer_bytes");
+    m_recovery_bytes_ = &reg->counter(prefix + ".recovery_bytes");
+    timeline_ = &reg->timeline();
+  }
+
   stack_.set_observer(this);
   if (role_ == Role::kBackup) {
     stack_.set_replica_mode(true);
@@ -131,12 +140,21 @@ void StTcpEndpoint::on_hb_datagram(net::BytesView payload, bool via_serial) {
 void StTcpEndpoint::on_heartbeat(const HeartbeatMsg& msg, bool via_serial) {
   if (msg.role == role_) return;  // our own reflection; should not happen
   if (via_serial) {
+    if (m_hb_gap_serial_us_ != nullptr) {
+      m_hb_gap_serial_us_->record(
+          static_cast<std::uint64_t>((world_.now() - last_rx_serial_).us()));
+    }
     last_rx_serial_ = world_.now();
     ++stats_.hb_received_serial;
   } else {
+    if (m_hb_gap_ip_us_ != nullptr) {
+      m_hb_gap_ip_us_->record(
+          static_cast<std::uint64_t>((world_.now() - last_rx_ip_).us()));
+    }
     last_rx_ip_ = world_.now();
     ++stats_.hb_received_ip;
   }
+  if (timeline_ != nullptr) timeline_->heartbeat_seen(world_.now());
   if (mode_ != Mode::kReplicating) return;
 
   if (msg.ping_valid) {
@@ -183,6 +201,7 @@ void StTcpEndpoint::process_record(const HbRecord& rec) {
   // the hold buffer below that point.
   if (role_ == Role::kPrimary) {
     rc->hold.release_to(rc->p_received);
+    update_hold_gauge();
   }
 
   // FIN arbitration: the peer generated a FIN/RST.
@@ -345,6 +364,7 @@ void StTcpEndpoint::register_primary_conn(tcp::TcpConnection& conn) {
     ReplConn* r = by_id(id);
     if (r == nullptr || mode_ != Mode::kReplicating) return;
     r->hold.append(off, data);
+    update_hold_gauge();
     // Overflow is handled (deferred) by detector_tick: reacting here would
     // tear down hooks while this very callback executes.
   });
@@ -628,6 +648,7 @@ void StTcpEndpoint::apply_missed(const MissedBytesReply& rep) {
   if (rc == nullptr || rc->conn == nullptr) return;
   const std::size_t injected = rc->conn->inject_stream_bytes(rep.offset, rep.data);
   stats_.missed_bytes_injected += injected;
+  if (m_recovery_bytes_ != nullptr) m_recovery_bytes_->inc(injected);
   if (injected > 0) {
     world_.trace().record(host_.name(), "missed_bytes_injected", rc->tuple.str(),
                           static_cast<std::int64_t>(injected));
@@ -644,6 +665,7 @@ void StTcpEndpoint::apply_missed(const MissedBytesReply& rep) {
 
 void StTcpEndpoint::peer_failed(const std::string& reason, const char* trace_event) {
   if (!active()) return;
+  if (timeline_ != nullptr) timeline_->mark(obs::Milestone::kChannelDead, world_.now());
   world_.trace().record(host_.name(), trace_event, reason);
   log_.warn("peer declared failed: ", reason);
   if (role_ == Role::kBackup) {
@@ -667,6 +689,7 @@ void StTcpEndpoint::takeover(const std::string& reason) {
   }
   hb_timer_.stop();
   ping_timer_.cancel();
+  if (timeline_ != nullptr) timeline_->mark(obs::Milestone::kTakeover, world_.now());
   world_.trace().record(host_.name(), "takeover", reason);
   log_.warn("TOOK OVER as active server: ", reason);
   // Output-commit fallback: any receive gap whose bytes the dead primary
@@ -724,13 +747,16 @@ void StTcpEndpoint::go_non_ft(const std::string& reason) {
     rc->fin_delay_timer.cancel();
     rc->peer_fin_timer.cancel();
   }
+  update_hold_gauge();
   hb_timer_.stop();
   ping_timer_.cancel();
+  if (timeline_ != nullptr) timeline_->mark(obs::Milestone::kTakeover, world_.now());
   world_.trace().record(host_.name(), "non_ft_mode", reason);
   log_.warn("running NON-FAULT-TOLERANT: ", reason);
 }
 
 void StTcpEndpoint::stonith_peer() {
+  if (timeline_ != nullptr) timeline_->mark(obs::Milestone::kStonith, world_.now());
   world_.trace().record(host_.name(), "stonith", cfg_.peer_name);
   if (!power_.power_off(cfg_.peer_name)) {
     log_.warn("STONITH of ", cfg_.peer_name, " failed (power controller)");
@@ -740,6 +766,13 @@ void StTcpEndpoint::stonith_peer() {
 // ---------------------------------------------------------------------------
 // Bookkeeping
 // ---------------------------------------------------------------------------
+
+void StTcpEndpoint::update_hold_gauge() {
+  if (m_hold_bytes_ == nullptr) return;
+  std::uint64_t total = 0;
+  for (const auto& [id, rc] : conns_) total += rc->hold.size();
+  m_hold_bytes_->set(static_cast<std::int64_t>(total));
+}
 
 StTcpEndpoint::ReplConn* StTcpEndpoint::by_id(std::uint16_t id) {
   auto it = conns_.find(id);

@@ -32,6 +32,7 @@
 
 #include "net/host.h"
 #include "net/serial_link.h"
+#include "obs/metrics.h"
 #include "sttcp/config.h"
 #include "sttcp/hold_buffer.h"
 #include "sttcp/lag.h"
@@ -240,6 +241,14 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
   /// Inferred (un-announced) replicas use a disjoint id range; they are
   /// remapped to the primary's id when its announce arrives.
   std::uint16_t next_inferred_id_ = 0x8000;
+
+  // Observability (bound in start() when World::metrics() is set; null = off).
+  void update_hold_gauge();
+  obs::Histogram* m_hb_gap_ip_us_ = nullptr;
+  obs::Histogram* m_hb_gap_serial_us_ = nullptr;
+  obs::Gauge* m_hold_bytes_ = nullptr;
+  obs::Counter* m_recovery_bytes_ = nullptr;
+  obs::FailoverTimeline* timeline_ = nullptr;
 
   Stats stats_;
 };

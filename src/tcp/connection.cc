@@ -50,6 +50,20 @@ TcpConnection::TcpConnection(TcpStack& stack, FourTuple tuple, const TcpConfig& 
   reasm_.set_deliver_tap([this](std::uint64_t off, net::BytesView data) {
     if (rx_tap_) rx_tap_(off, data);
   });
+  if (obs::MetricsRegistry* m = stack.world().metrics()) {
+    const std::string prefix = "tcp." + stack.host().name();
+    m_retransmissions_ = &m->counter(prefix + ".retransmissions");
+    m_rto_expiries_ = &m->counter(prefix + ".rto_expiries");
+    m_fast_retransmissions_ = &m->counter(prefix + ".fast_retransmissions");
+    m_srtt_us_ = &m->histogram(prefix + ".srtt_us");
+    m_cwnd_bytes_ = &m->histogram(prefix + ".cwnd_bytes");
+  }
+}
+
+void TcpConnection::record_cwnd() {
+  const std::uint64_t w = cc_.cwnd();
+  // cwnd() reports "infinite" when congestion control is disabled.
+  if (m_cwnd_bytes_ != nullptr && w != ~std::uint64_t{0}) m_cwnd_bytes_->record(w);
 }
 
 TcpConnection::~TcpConnection() = default;
@@ -247,6 +261,7 @@ void TcpConnection::emit_data_segment(std::uint64_t seq_abs, std::size_t len,
   }
   if (retransmit) {
     ++stats_.retransmissions;
+    if (m_retransmissions_ != nullptr) m_retransmissions_->inc();
     rtt_pending_ = false;  // Karn: never sample a retransmitted range
   } else if (!rtt_pending_ && seq_abs >= highest_sent_) {
     // Karn's rule also covers go-back-N rewinds: bytes at or below the
@@ -424,6 +439,7 @@ void TcpConnection::process_ack(const TcpSegment& seg) {
       const std::uint64_t acked_po = payload_end - iss_ - 1;
       if (acked_po > payload_acked_) {
         cc_.on_ack(acked_po - payload_acked_);
+        record_cwnd();
         payload_acked_ = acked_po;
         send_buf_.ack_to(acked_po);
       }
@@ -436,6 +452,10 @@ void TcpConnection::process_ack(const TcpSegment& seg) {
     if (rtt_pending_ && ack_abs > rtt_seq_) {
       rto_.sample(stack_.world().now() - rtt_sent_at_);
       rtt_pending_ = false;
+      if (m_srtt_us_ != nullptr) {
+        m_srtt_us_->record(static_cast<std::uint64_t>(rto_.srtt().us()));
+      }
+      record_cwnd();
     }
     // Restart (or clear) the retransmission timer for remaining flight.
     retrans_timer_.cancel();
@@ -473,7 +493,9 @@ void TcpConnection::process_ack(const TcpSegment& seg) {
     ++stats_.dup_acks_received;
     if (dup_acks_ == 3) {
       ++stats_.fast_retransmissions;
+      if (m_fast_retransmissions_ != nullptr) m_fast_retransmissions_->inc();
       cc_.on_fast_retransmit(flight_size());
+      record_cwnd();
       if (fin_seq_.has_value() && snd_una_ == *fin_seq_) {
         emit_control(TcpFlags{.ack = true, .fin = true}, wire(*fin_seq_));
       } else {
@@ -612,6 +634,7 @@ void TcpConnection::arm_retransmit() {
 void TcpConnection::on_retransmit_timeout() {
   if (!stack_.alive() || state_ == TcpState::kClosed) return;
   if (flight_size() == 0) return;
+  if (m_rto_expiries_ != nullptr) m_rto_expiries_->inc();
 
   const bool handshake =
       state_ == TcpState::kSynSent || state_ == TcpState::kSynRcvd;
@@ -632,20 +655,25 @@ void TcpConnection::on_retransmit_timeout() {
   if (state_ == TcpState::kSynSent) {
     emit_control(TcpFlags{.syn = true}, wire(iss_));
     ++stats_.retransmissions;
+    if (m_retransmissions_ != nullptr) m_retransmissions_->inc();
   } else if (state_ == TcpState::kSynRcvd) {
     emit_control(TcpFlags{.syn = true, .ack = true}, wire(iss_));
     ++stats_.retransmissions;
+    if (m_retransmissions_ != nullptr) m_retransmissions_->inc();
   } else if (fin_seq_.has_value() && snd_una_ == *fin_seq_) {
     emit_control(TcpFlags{.ack = true, .fin = true}, wire(*fin_seq_));
     ++stats_.retransmissions;
+    if (m_retransmissions_ != nullptr) m_retransmissions_->inc();
   } else {
     cc_.on_rto(flight_size());
+    record_cwnd();
     // Go-back-N: everything beyond snd_una_ is presumed lost. Rewind
     // snd_nxt_ so the normal output engine resends the whole range under
     // the post-loss congestion window (one segment now, ramping with the
     // returning ACKs). Without this, recovery after a long outage would
     // crawl at one segment per timeout.
     ++stats_.retransmissions;
+    if (m_retransmissions_ != nullptr) m_retransmissions_->inc();
     if (fin_seq_.has_value() && !fin_acked_) {
       // The FIN (never acknowledged) rides behind the resent data again;
       // undo its emission bookkeeping and the close-progress transition.

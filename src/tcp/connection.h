@@ -29,6 +29,7 @@
 #include <string>
 
 #include "net/addr.h"
+#include "obs/metrics.h"
 #include "sim/world.h"
 #include "tcp/config.h"
 #include "tcp/congestion.h"
@@ -316,6 +317,15 @@ class TcpConnection {
   sim::SimTime rtt_sent_at_;
 
   Stats stats_;
+
+  // Telemetry (bound per host in the constructor when the World carries a
+  // registry; all null otherwise — a single branch per event when off).
+  void record_cwnd();
+  obs::Counter* m_retransmissions_ = nullptr;
+  obs::Counter* m_rto_expiries_ = nullptr;
+  obs::Counter* m_fast_retransmissions_ = nullptr;
+  obs::Histogram* m_srtt_us_ = nullptr;
+  obs::Histogram* m_cwnd_bytes_ = nullptr;
 };
 
 }  // namespace sttcp::tcp

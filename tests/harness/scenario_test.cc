@@ -76,10 +76,10 @@ TEST(ScenarioTest, GatewayAnswersPingsFromBothServers) {
 
 TEST(ScenarioTest, FailureInjectionHooksFire) {
   Scenario sc{ScenarioConfig{}};
-  sc.fail_primary_nic_at(sim::Duration::millis(10));
-  sc.fail_serial_at(sim::Duration::millis(20));
-  sc.drop_backup_frames_at(sim::Duration::millis(30), 5);
-  sc.crash_backup_at(sim::Duration::millis(40));
+  sc.inject(Fault::NicFailure(Node::kPrimary).at(sim::Duration::millis(10)));
+  sc.inject(Fault::SerialCut().at(sim::Duration::millis(20)));
+  sc.inject(Fault::FrameLoss(Node::kBackup, 5).at(sim::Duration::millis(30)));
+  sc.inject(Fault::Crash(Node::kBackup).at(sim::Duration::millis(40)));
   sc.run_for(sim::Duration::millis(100));
   EXPECT_TRUE(sc.primary().nic().failed());
   EXPECT_TRUE(sc.serial().failed());
@@ -104,7 +104,7 @@ TEST(ScenarioTest, DeterministicAcrossRuns) {
     app::DownloadClient c(sc.client_stack(), sc.client_ip(), {sc.connect_addr()},
                           opt);
     c.start();
-    sc.crash_primary_at(sim::Duration::millis(40));
+    sc.inject(Fault::Crash(Node::kPrimary).at(sim::Duration::millis(40)));
     sc.run_for(sim::Duration::seconds(20));
     return sc.world().trace().dump() + (c.complete() ? "C" : "I") +
            std::to_string(c.max_stall().ns());

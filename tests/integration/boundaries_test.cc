@@ -64,8 +64,8 @@ TEST(BoundariesTest, DoubleCrashIsNotMasked) {
   app::DownloadClient client(sc.client_stack(), sc.client_ip(),
                              {sc.connect_addr()}, opt);
   client.start();
-  sc.crash_primary_at(sim::Duration::millis(400));
-  sc.crash_backup_at(sim::Duration::millis(450));
+  sc.inject(Fault::Crash(Node::kPrimary).at(sim::Duration::millis(400)));
+  sc.inject(Fault::Crash(Node::kBackup).at(sim::Duration::millis(450)));
   sc.run_for(sim::Duration::seconds(60));
   EXPECT_FALSE(client.complete());
   EXPECT_GE(client.connection_failures(), 1);

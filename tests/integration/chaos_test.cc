@@ -34,45 +34,36 @@ TEST_P(ChaosTest, AnySingleFailureIsMasked) {
                              {sc.connect_addr()}, opt);
   client.start();
 
-  // Random injection: kind and time drawn from the seed.
+  // Random injection: kind and time drawn from the seed. App-level faults
+  // (hang, FIN/RST crash) ride through Fault::Custom so they stamp the same
+  // fault_injected trace/timeline mark as the topology faults.
   const auto at = sim::Duration::millis(dice.range(50, 3000));
   const int kind = static_cast<int>(dice.below(8));
-  std::string desc;
+  Fault fault = Fault::Crash(Node::kPrimary);
   switch (kind) {
-    case 0:
-      desc = "primary HW crash";
-      sc.crash_primary_at(at);
-      break;
-    case 1:
-      desc = "backup HW crash";
-      sc.crash_backup_at(at);
-      break;
+    case 0: fault = Fault::Crash(Node::kPrimary); break;
+    case 1: fault = Fault::Crash(Node::kBackup); break;
     case 2:
-      desc = "primary app hang";
-      sc.world().loop().schedule_after(at, [&] { p_app.hang(); });
+      fault = Fault::Custom("app_hang:primary", [&](Scenario&) { p_app.hang(); });
       break;
     case 3:
-      desc = "backup app hang";
-      sc.world().loop().schedule_after(at, [&] { b_app.hang(); });
+      fault = Fault::Custom("app_hang:backup", [&](Scenario&) { b_app.hang(); });
       break;
     case 4:
-      desc = "primary app FIN crash";
-      sc.world().loop().schedule_after(at, [&] { p_app.crash_clean(); });
+      fault = Fault::Custom("app_fin_crash:primary",
+                            [&](Scenario&) { p_app.crash_clean(); });
       break;
     case 5:
-      desc = "backup app RST crash";
-      sc.world().loop().schedule_after(at, [&] { b_app.crash_abort(); });
+      fault = Fault::Custom("app_rst_crash:backup",
+                            [&](Scenario&) { b_app.crash_abort(); });
       break;
-    case 6:
-      desc = "primary NIC failure";
-      sc.fail_primary_nic_at(at);
-      break;
+    case 6: fault = Fault::NicFailure(Node::kPrimary); break;
     default:
-      desc = "backup loss burst";
-      sc.drop_backup_frames_at(at, static_cast<int>(dice.range(1, 40)));
+      fault = Fault::FrameLoss(Node::kBackup, static_cast<int>(dice.range(1, 40)));
       break;
   }
-  SCOPED_TRACE(desc + " at " + at.str() + ", seed " + std::to_string(seed));
+  SCOPED_TRACE(fault.label() + " at " + at.str() + ", seed " + std::to_string(seed));
+  sc.inject(fault.at(at));
 
   sc.run_for(sim::Duration::seconds(120));
 
@@ -108,7 +99,7 @@ TEST_P(LossyFailoverTest, CrashMaskedDespiteRandomLoss) {
   app::DownloadClient client(sc.client_stack(), sc.client_ip(),
                              {sc.connect_addr()}, opt);
   client.start();
-  sc.crash_primary_at(sim::Duration::millis(500));
+  sc.inject(Fault::Crash(Node::kPrimary).at(sim::Duration::millis(500)));
   sc.run_for(sim::Duration::seconds(240));
   EXPECT_TRUE(client.complete()) << "seed " << seed;
   EXPECT_FALSE(client.corrupt());

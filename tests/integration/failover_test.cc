@@ -77,7 +77,7 @@ TEST(FailoverTest, PrimaryCrashMidTransferIsMaskedFromClient) {
   const std::uint64_t size = 20'000'000;  // long enough to straddle the crash
   rig.start_file_service(size);
   rig.start_download(size);
-  rig.scenario.crash_primary_at(sim::Duration::millis(500));
+  rig.scenario.inject(Fault::Crash(Node::kPrimary).at(sim::Duration::millis(500)));
   rig.scenario.run_for(sim::Duration::seconds(60));
 
   // The client finished the download with zero connection failures: the
@@ -124,7 +124,7 @@ TEST(FailoverTest, WithoutStTcpClientMustReconnect) {
                                    rig.scenario.backup_addr()},
       opt);
   rig.client->start();
-  rig.scenario.crash_primary_at(sim::Duration::millis(500));
+  rig.scenario.inject(Fault::Crash(Node::kPrimary).at(sim::Duration::millis(500)));
   rig.scenario.run_for(sim::Duration::seconds(120));
 
   // The download ultimately completes (against the hot backup), but the
@@ -149,7 +149,7 @@ TEST(FailoverTest, StreamContinuityAcrossTakeover) {
   const std::uint64_t size = 30'000'000;
   rig.start_file_service(size);
   rig.start_download(size);
-  rig.scenario.crash_primary_at(sim::Duration::seconds(1));
+  rig.scenario.inject(Fault::Crash(Node::kPrimary).at(sim::Duration::seconds(1)));
   rig.scenario.run_for(sim::Duration::seconds(60));
   ASSERT_TRUE(rig.client->complete());
   EXPECT_FALSE(rig.client->corrupt());
@@ -175,7 +175,7 @@ TEST(FailoverTest, BackupCrashLeavesPrimaryServingNonFt) {
   const std::uint64_t size = 20'000'000;
   rig.start_file_service(size);
   rig.start_download(size);
-  rig.scenario.crash_backup_at(sim::Duration::millis(500));
+  rig.scenario.inject(Fault::Crash(Node::kBackup).at(sim::Duration::millis(500)));
   rig.scenario.run_for(sim::Duration::seconds(60));
 
   EXPECT_TRUE(rig.client->complete());
@@ -193,7 +193,7 @@ TEST(FailoverTest, CrashBeforeAnyConnectionStillFailsOver) {
   Rig rig;
   rig.start_file_service(1'000'000);
   // Crash the primary before the client ever connects.
-  rig.scenario.crash_primary_at(sim::Duration::millis(100));
+  rig.scenario.inject(Fault::Crash(Node::kPrimary).at(sim::Duration::millis(100)));
   rig.scenario.run_for(sim::Duration::seconds(2));
   EXPECT_EQ(rig.scenario.world().trace().count("backup", "takeover"), 1u);
   // A client connecting afterwards is served by the (now active) backup
@@ -219,7 +219,7 @@ TEST(FailoverTest, IdleConnectionSurvivesFailover) {
   rig.scenario.run_for(sim::Duration::seconds(1));
   const std::uint64_t before = client.records_completed();
   EXPECT_GT(before, 0u);
-  rig.scenario.crash_primary_at(sim::Duration::millis(100));
+  rig.scenario.inject(Fault::Crash(Node::kPrimary).at(sim::Duration::millis(100)));
   rig.scenario.run_for(sim::Duration::seconds(5));
   EXPECT_EQ(rig.scenario.world().trace().count("backup", "takeover"), 1u);
   rig.scenario.run_for(sim::Duration::seconds(5));

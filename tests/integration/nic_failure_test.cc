@@ -44,7 +44,7 @@ TEST(NicFailureTest, PrimaryNicFailureTriggersTakeoverViaPingArbitration) {
   const std::uint64_t size = 40'000'000;
   rig.start_file_service(size);
   rig.start_download(size);
-  rig.scenario.fail_primary_nic_at(sim::Duration::millis(500));
+  rig.scenario.inject(Fault::NicFailure(Node::kPrimary).at(sim::Duration::millis(500)));
   rig.scenario.run_for(sim::Duration::seconds(60));
 
   EXPECT_TRUE(rig.client->complete());
@@ -64,7 +64,7 @@ TEST(NicFailureTest, BackupNicFailureShutsBackupDown) {
   const std::uint64_t size = 40'000'000;
   rig.start_file_service(size);
   rig.start_download(size);
-  rig.scenario.fail_backup_nic_at(sim::Duration::millis(500));
+  rig.scenario.inject(Fault::NicFailure(Node::kBackup).at(sim::Duration::millis(500)));
   rig.scenario.run_for(sim::Duration::seconds(60));
 
   EXPECT_TRUE(rig.client->complete());
@@ -86,7 +86,7 @@ TEST(NicFailureTest, SerialFailureAloneIsHarmless) {
   const std::uint64_t size = 10'000'000;
   rig.start_file_service(size);
   rig.start_download(size);
-  rig.scenario.fail_serial_at(sim::Duration::millis(300));
+  rig.scenario.inject(Fault::SerialCut().at(sim::Duration::millis(300)));
   rig.scenario.run_for(sim::Duration::seconds(30));
 
   EXPECT_TRUE(rig.client->complete());
@@ -108,7 +108,7 @@ TEST(NicFailureTest, SingleHeartbeatChannelWouldMisfire) {
   const std::uint64_t size = 40'000'000;
   rig.start_file_service(size);
   rig.start_download(size);
-  rig.scenario.fail_backup_nic_at(sim::Duration::millis(500));
+  rig.scenario.inject(Fault::NicFailure(Node::kBackup).at(sim::Duration::millis(500)));
   rig.scenario.run_for(sim::Duration::seconds(5));
   // The backup never declared the primary dead, because the serial channel
   // stayed up.
@@ -138,7 +138,7 @@ TEST(NicFailureTest, TemporaryLossAtBackupIsRecoveredFromPrimary) {
                            rig.scenario.connect_addr(), 2000, /*pipeline=*/8);
   client.start();
   // Drop a burst of frames on the backup's link only.
-  rig.scenario.drop_backup_frames_at(sim::Duration::millis(300), 12);
+  rig.scenario.inject(Fault::FrameLoss(Node::kBackup, 12).at(sim::Duration::millis(300)));
   rig.scenario.run_for(sim::Duration::seconds(20));
 
   const auto& trace = rig.scenario.world().trace();
@@ -150,7 +150,7 @@ TEST(NicFailureTest, TemporaryLossAtBackupIsRecoveredFromPrimary) {
   EXPECT_FALSE(client.corrupt());
   EXPECT_GT(client.records_completed(), 100u);
   // And the system can still fail over afterwards (backup state is intact).
-  rig.scenario.crash_primary_at(sim::Duration::zero());
+  rig.scenario.inject(Fault::Crash(Node::kPrimary).at(sim::Duration::zero()));
   rig.scenario.run_for(sim::Duration::seconds(10));
   EXPECT_EQ(trace.count("backup", "takeover"), 1u);
   rig.scenario.run_for(sim::Duration::seconds(5));

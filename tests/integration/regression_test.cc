@@ -35,7 +35,7 @@ TEST(RegressionTest, ReplicaSurvivesLostHandshakeAckOnTap) {
   app::DownloadClient client(sc.client_stack(), sc.client_ip(),
                              {sc.connect_addr()}, opt);
   client.start();
-  sc.crash_primary_at(sim::Duration::millis(500));
+  sc.inject(Fault::Crash(Node::kPrimary).at(sim::Duration::millis(500)));
   sc.run_for(sim::Duration::seconds(60));
 
   EXPECT_TRUE(client.complete());
@@ -60,7 +60,7 @@ TEST(RegressionTest, GoBackNAfterLongOutage) {
   app::DownloadClient client(sc.client_stack(), sc.client_ip(),
                              {sc.connect_addr()}, opt);
   client.start();
-  sc.crash_primary_at(sim::Duration::seconds(1));
+  sc.inject(Fault::Crash(Node::kPrimary).at(sim::Duration::seconds(1)));
   sc.run_for(sim::Duration::seconds(60));
   ASSERT_TRUE(client.complete());
   // 40 MB at ~90 Mbps ≈ 3.6 s + ~1.4 s failover; the crawl made this > 12 s.
@@ -80,7 +80,7 @@ TEST(RegressionTest, ReplicaWritableReentrancyDoesNotOverServe) {
   client.start();
   // A loss burst on the backup's tap triggers the missed-byte catch-up that
   // exposed the re-entrancy.
-  sc.drop_backup_frames_at(sim::Duration::millis(300), 12);
+  sc.inject(Fault::FrameLoss(Node::kBackup, 12).at(sim::Duration::millis(300)));
   sc.run_for(sim::Duration::seconds(10));
   // Both apps must track each other byte-for-byte after recovery.
   EXPECT_EQ(p_app.stats().bytes_written, b_app.stats().bytes_written);
@@ -133,7 +133,7 @@ TEST(RegressionTest, ConnectionChurnDuringCrashAllClientsEventuallyServed) {
       clients.back()->start();
     });
   }
-  sc.crash_primary_at(sim::Duration::millis(250));  // mid-churn
+  sc.inject(Fault::Crash(Node::kPrimary).at(sim::Duration::millis(250)));  // mid-churn
   sc.run_for(sim::Duration::seconds(90));
   EXPECT_EQ(sc.world().trace().count("backup", "takeover"), 1u);
   int complete = 0;

@@ -74,9 +74,9 @@ Outcome run_case(const Table1Case& c, std::uint64_t seed = 1) {
   switch (c.failure) {
     case Failure::kHwOsCrash:
       if (c.location == Location::kPrimary) {
-        sc.crash_primary_at(inject_at);
+        sc.inject(Fault::Crash(Node::kPrimary).at(inject_at));
       } else {
-        sc.crash_backup_at(inject_at);
+        sc.inject(Fault::Crash(Node::kBackup).at(inject_at));
       }
       break;
     case Failure::kAppHang:
@@ -96,9 +96,9 @@ Outcome run_case(const Table1Case& c, std::uint64_t seed = 1) {
       break;
     case Failure::kNic:
       if (c.location == Location::kPrimary) {
-        sc.fail_primary_nic_at(inject_at);
+        sc.inject(Fault::NicFailure(Node::kPrimary).at(inject_at));
       } else {
-        sc.fail_backup_nic_at(inject_at);
+        sc.inject(Fault::NicFailure(Node::kBackup).at(inject_at));
       }
       break;
     case Failure::kTemporaryLoss:
@@ -108,7 +108,7 @@ Outcome run_case(const Table1Case& c, std::uint64_t seed = 1) {
         sc.world().loop().schedule_after(inject_at,
                                          [&] { sc.primary_link().drop_next(10); });
       } else {
-        sc.drop_backup_frames_at(inject_at, 10);
+        sc.inject(Fault::FrameLoss(Node::kBackup, 10).at(inject_at));
       }
       break;
   }

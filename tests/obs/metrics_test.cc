@@ -1,0 +1,137 @@
+// Unit tests for the obs instruments: log-linear histogram bucketing and
+// merge, gauge extremes, counter snapshots, registry JSON shape.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+namespace sttcp::obs {
+namespace {
+
+TEST(HistogramTest, LinearRegionIsExact) {
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), static_cast<int>(v)) << "v=" << v;
+    EXPECT_EQ(Histogram::bucket_lower_bound(static_cast<int>(v)), v);
+  }
+}
+
+TEST(HistogramTest, BucketIndexIsMonotonicAndSelfConsistent) {
+  int prev = -1;
+  // Sweep powers of two and their neighbours across the full range.
+  for (int oct = 3; oct < 63; ++oct) {
+    for (std::uint64_t v :
+         {(1ull << oct) - 1, 1ull << oct, (1ull << oct) + 1,
+          (1ull << oct) + (1ull << (oct - 1))}) {
+      const int i = Histogram::bucket_index(v);
+      ASSERT_GE(i, prev - 1);  // non-decreasing over increasing values
+      ASSERT_LT(i, Histogram::kBucketCount);
+      // The bucket's lower bound maps back to the same bucket, and the
+      // value is not below the lower bound.
+      EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lower_bound(i)), i);
+      EXPECT_GE(v, Histogram::bucket_lower_bound(i));
+      prev = i;
+    }
+  }
+}
+
+TEST(HistogramTest, OctaveSplitsIntoEightLinearSubBuckets) {
+  // Octave [64, 128): sub-bucket width 8.
+  EXPECT_EQ(Histogram::bucket_index(64), Histogram::bucket_index(71));
+  EXPECT_NE(Histogram::bucket_index(71), Histogram::bucket_index(72));
+  EXPECT_EQ(Histogram::bucket_index(127),
+            Histogram::bucket_index(120));
+  EXPECT_EQ(Histogram::bucket_index(128), Histogram::bucket_index(127) + 1);
+}
+
+TEST(HistogramTest, RelativeErrorBoundedByOneEighth) {
+  for (std::uint64_t v : {100ull, 1'000ull, 123'456ull, 987'654'321ull,
+                          (1ull << 40) + 12345}) {
+    const std::uint64_t lb =
+        Histogram::bucket_lower_bound(Histogram::bucket_index(v));
+    EXPECT_LE(lb, v);
+    EXPECT_GT(lb, v - v / 8 - 1) << "v=" << v;  // width <= 12.5%
+  }
+}
+
+TEST(HistogramTest, RecordsAndSummarises) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 5050u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  // p50 lands within a bucket width of the true median.
+  const std::uint64_t p50 = h.percentile(0.5);
+  EXPECT_GE(p50, 44u);
+  EXPECT_LE(p50, 56u);
+  EXPECT_EQ(h.percentile(0.0), 1u);
+  EXPECT_LE(h.percentile(1.0), 100u);
+}
+
+TEST(HistogramTest, MergeIsPointwiseSum) {
+  Histogram a, b;
+  for (int i = 0; i < 50; ++i) a.record(10);
+  for (int i = 0; i < 50; ++i) b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_EQ(a.sum(), 50u * 10 + 50u * 1000);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+  // Median sits between the two modes; p90 in the upper mode.
+  EXPECT_GE(a.percentile(0.9), 900u);
+  EXPECT_LE(a.percentile(0.25), 10u);
+}
+
+TEST(HistogramTest, MergeIntoEmpty) {
+  Histogram a, b;
+  b.record(42);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 42u);
+  EXPECT_EQ(a.max(), 42u);
+}
+
+TEST(GaugeTest, TracksExtremes) {
+  Gauge g;
+  g.set(5);
+  g.add(-8);
+  g.set(12);
+  EXPECT_EQ(g.value(), 12);
+  EXPECT_EQ(g.max(), 12);
+  EXPECT_EQ(g.min(), -3);
+  EXPECT_EQ(g.samples(), 3u);
+}
+
+TEST(CounterTest, IncAndSnapshot) {
+  Counter c;
+  c.inc();
+  c.inc(9);
+  EXPECT_EQ(c.value(), 10u);
+  c.set(123);  // snapshot import overwrites
+  EXPECT_EQ(c.value(), 123u);
+}
+
+TEST(MetricsRegistryTest, StableReferencesAndJson) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("a.count");
+  reg.counter("b.count").inc(7);
+  c.inc(3);  // reference taken before the second insertion stays valid
+  reg.gauge("q.depth").set(4);
+  reg.histogram("lat_us").record(100);
+  EXPECT_EQ(reg.counter("a.count").value(), 3u);
+
+  const std::string js = reg.json();
+  EXPECT_NE(js.find("\"a.count\":3"), std::string::npos) << js;
+  EXPECT_NE(js.find("\"b.count\":7"), std::string::npos) << js;
+  EXPECT_NE(js.find("\"q.depth\""), std::string::npos) << js;
+  EXPECT_NE(js.find("\"lat_us\""), std::string::npos) << js;
+  EXPECT_NE(js.find("\"timeline\""), std::string::npos) << js;
+}
+
+}  // namespace
+}  // namespace sttcp::obs

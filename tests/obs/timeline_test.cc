@@ -1,0 +1,111 @@
+// FailoverTimeline: milestone ordering, first-wins semantics, heartbeat
+// freeze, client-byte gating, and the segment decomposition.
+#include "obs/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace sttcp::obs {
+namespace {
+
+sim::SimTime at_ms(std::int64_t ms) {
+  return sim::SimTime::zero() + sim::Duration::millis(ms);
+}
+
+TEST(FailoverTimelineTest, MarksAreFirstWins) {
+  FailoverTimeline tl;
+  tl.mark(Milestone::kFaultInjected, at_ms(100));
+  tl.mark(Milestone::kFaultInjected, at_ms(200));  // ignored
+  ASSERT_TRUE(tl.at(Milestone::kFaultInjected).has_value());
+  EXPECT_EQ(*tl.at(Milestone::kFaultInjected), at_ms(100));
+}
+
+TEST(FailoverTimelineTest, HeartbeatFreezesAtChannelDead) {
+  FailoverTimeline tl;
+  tl.heartbeat_seen(at_ms(10));
+  tl.heartbeat_seen(at_ms(20));  // overwrites while channel alive
+  EXPECT_EQ(*tl.at(Milestone::kLastHeartbeat), at_ms(20));
+  tl.mark(Milestone::kChannelDead, at_ms(50));
+  tl.heartbeat_seen(at_ms(60));  // frozen: stale beat after conviction
+  EXPECT_EQ(*tl.at(Milestone::kLastHeartbeat), at_ms(20));
+}
+
+TEST(FailoverTimelineTest, ClientByteGatedOnTakeover) {
+  FailoverTimeline tl;
+  tl.client_byte(at_ms(5));  // before takeover: ignored
+  EXPECT_FALSE(tl.at(Milestone::kFirstByteAfterTakeover).has_value());
+  tl.mark(Milestone::kTakeover, at_ms(100));
+  tl.client_byte(at_ms(150));
+  tl.client_byte(at_ms(160));  // first wins
+  EXPECT_EQ(*tl.at(Milestone::kFirstByteAfterTakeover), at_ms(150));
+}
+
+TEST(FailoverTimelineTest, SegmentsDecomposeAndSum) {
+  FailoverTimeline tl;
+  EXPECT_FALSE(tl.complete());
+  EXPECT_FALSE(tl.segments().has_value());
+
+  tl.mark(Milestone::kFaultInjected, at_ms(1000));
+  tl.mark(Milestone::kChannelDead, at_ms(1600));
+  tl.mark(Milestone::kStonith, at_ms(1601));
+  tl.mark(Milestone::kTakeover, at_ms(1650));
+  EXPECT_FALSE(tl.complete());
+  tl.client_byte(at_ms(1900));
+  ASSERT_TRUE(tl.complete());
+
+  const auto seg = tl.segments();
+  ASSERT_TRUE(seg.has_value());
+  EXPECT_DOUBLE_EQ(seg->detection_ms, 600.0);
+  EXPECT_DOUBLE_EQ(seg->takeover_ms, 50.0);
+  EXPECT_DOUBLE_EQ(seg->retransmission_ms, 250.0);
+  EXPECT_DOUBLE_EQ(seg->total_ms, 900.0);
+  EXPECT_DOUBLE_EQ(seg->detection_ms + seg->takeover_ms + seg->retransmission_ms,
+                   seg->total_ms);
+}
+
+TEST(FailoverTimelineTest, MilestonesAppearInCausalOrder) {
+  // The marks a real failover produces satisfy fault <= last_hb+period <=
+  // dead <= stonith <= takeover <= first_byte; segments() relies on it.
+  FailoverTimeline tl;
+  tl.mark(Milestone::kFaultInjected, at_ms(10));
+  tl.heartbeat_seen(at_ms(12));
+  tl.mark(Milestone::kChannelDead, at_ms(40));
+  tl.mark(Milestone::kStonith, at_ms(41));
+  tl.mark(Milestone::kTakeover, at_ms(42));
+  tl.client_byte(at_ms(60));
+  sim::SimTime prev = sim::SimTime::zero();
+  for (Milestone m : {Milestone::kFaultInjected, Milestone::kChannelDead,
+                      Milestone::kStonith, Milestone::kTakeover,
+                      Milestone::kFirstByteAfterTakeover}) {
+    ASSERT_TRUE(tl.at(m).has_value()) << to_string(m);
+    EXPECT_GE(*tl.at(m), prev) << to_string(m);
+    prev = *tl.at(m);
+  }
+}
+
+TEST(FailoverTimelineTest, ResetClearsEverything) {
+  FailoverTimeline tl;
+  tl.mark(Milestone::kFaultInjected, at_ms(1));
+  tl.mark(Milestone::kTakeover, at_ms(2));
+  tl.reset();
+  for (int i = 0; i < static_cast<int>(Milestone::kCount); ++i) {
+    EXPECT_FALSE(tl.at(static_cast<Milestone>(i)).has_value());
+  }
+}
+
+TEST(FailoverTimelineTest, JsonCarriesMilestonesAndSegments) {
+  FailoverTimeline tl;
+  tl.mark(Milestone::kFaultInjected, at_ms(1000));
+  std::string js = tl.json();
+  EXPECT_NE(js.find("\"fault_injected\":1000"), std::string::npos) << js;
+  EXPECT_EQ(js.find("segments_ms"), std::string::npos) << js;  // incomplete
+
+  tl.mark(Milestone::kChannelDead, at_ms(1500));
+  tl.mark(Milestone::kTakeover, at_ms(1550));
+  tl.client_byte(at_ms(1800));
+  js = tl.json();
+  EXPECT_NE(js.find("\"segments_ms\""), std::string::npos) << js;
+  EXPECT_NE(js.find("\"total\":800"), std::string::npos) << js;
+}
+
+}  // namespace
+}  // namespace sttcp::obs

@@ -91,7 +91,7 @@ TEST(EndpointTest, ConcurrentConnectionsAllReplicatedAndFailedOver) {
         std::vector<net::SocketAddr>{sc.connect_addr()}, opt));
     clients.back()->start();
   }
-  sc.crash_primary_at(sim::Duration::millis(400));
+  sc.inject(harness::Fault::Crash(harness::Node::kPrimary).at(sim::Duration::millis(400)));
   sc.run_for(sim::Duration::seconds(60));
   EXPECT_EQ(sc.world().trace().count("backup", "takeover"), 1u);
   for (auto& c : clients) {
@@ -148,7 +148,7 @@ TEST(EndpointTest, InferredReplicaSurvivesPrimaryDeathBeforeAnnounce) {
   // the IPv4 protocol byte sits at Ethernet(14) + 9.
   sc.primary_link().set_drop_filter(
       [](const net::Bytes& f) { return f.size() > 23 && f[23] == 17; });
-  sc.crash_primary_at(sim::Duration::millis(50));
+  sc.inject(harness::Fault::Crash(harness::Node::kPrimary).at(sim::Duration::millis(50)));
   sc.run_for(sim::Duration::seconds(60));
   EXPECT_TRUE(client.complete());
   EXPECT_FALSE(client.corrupt());
@@ -176,7 +176,7 @@ TEST(EndpointTest, FailoverTimeGrowsWithHbPeriod) {
     app::DownloadClient client(sc.client_stack(), sc.client_ip(),
                                {sc.connect_addr()}, opt);
     client.start();
-    sc.crash_primary_at(sim::Duration::millis(700));
+    sc.inject(harness::Fault::Crash(harness::Node::kPrimary).at(sim::Duration::millis(700)));
     sc.run_for(sim::Duration::seconds(120));
     ASSERT_TRUE(client.complete()) << "period " << periods[i].str();
     stalls[i] = client.max_stall();
@@ -228,7 +228,7 @@ TEST(EndpointTest, ImmediateRetransmitShortensFailover) {
     app::DownloadClient client(sc.client_stack(), sc.client_ip(),
                                {sc.connect_addr()}, opt);
     client.start();
-    sc.crash_primary_at(sim::Duration::millis(700));
+    sc.inject(harness::Fault::Crash(harness::Node::kPrimary).at(sim::Duration::millis(700)));
     sc.run_for(sim::Duration::seconds(120));
     ASSERT_TRUE(client.complete());
     stall[pass] = client.max_stall();
@@ -251,7 +251,7 @@ TEST(EndpointTest, TakeoverWithoutPowerControlStillProceeds) {
   app::DownloadClient client(sc.client_stack(), sc.client_ip(),
                              {sc.connect_addr()}, opt);
   client.start();
-  sc.crash_primary_at(sim::Duration::millis(400));
+  sc.inject(harness::Fault::Crash(harness::Node::kPrimary).at(sim::Duration::millis(400)));
   sc.run_for(sim::Duration::seconds(60));
   EXPECT_EQ(sc.world().trace().count("backup", "takeover"), 1u);
   EXPECT_TRUE(client.complete());

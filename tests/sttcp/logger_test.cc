@@ -179,7 +179,7 @@ TEST(LoggerTest, NormalTakeoverDoesNotNeedLogger) {
   ScenarioConfig cfg;
   cfg.enable_logger = true;
   UploadRig rig(cfg);
-  rig.sc.crash_primary_at(sim::Duration::millis(500));
+  rig.sc.inject(harness::Fault::Crash(harness::Node::kPrimary).at(sim::Duration::millis(500)));
   rig.sc.run_for(sim::Duration::seconds(10));
   EXPECT_EQ(rig.sc.world().trace().count("backup", "takeover"), 1u);
   EXPECT_EQ(rig.sc.world().trace().count("backup", "logger_injected"), 0u);

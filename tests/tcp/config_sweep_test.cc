@@ -114,7 +114,7 @@ TEST_P(SttcpConfigSweepTest, FailoverIntact) {
   app::DownloadClient client(sc.client_stack(), sc.client_ip(),
                              {sc.connect_addr()}, opt);
   client.start();
-  sc.crash_primary_at(sim::Duration::millis(300));
+  sc.inject(harness::Fault::Crash(harness::Node::kPrimary).at(sim::Duration::millis(300)));
   sc.run_for(sim::Duration::seconds(120));
   EXPECT_TRUE(client.complete()) << p.name;
   EXPECT_FALSE(client.corrupt()) << p.name;
