@@ -11,6 +11,9 @@
 //
 // (ii) Missed-byte recovery cost: how long the backup takes to re-converge
 //      after a loss burst, vs. the burst size.
+//
+// Every ablation point is its own world; the grids run through
+// harness::SweepRunner with index-ordered results.
 #include "bench/bench_util.h"
 
 namespace sttcp::bench {
@@ -49,32 +52,39 @@ TapRun run_tap(bool old_design, sim::Duration backup_cpu,
   return out;
 }
 
-void run() {
+void run(JsonSink& json) {
   print_header("Ablation: §3 design changes",
                "paper §3 (old tap architecture vs counters-in-heartbeat; "
                "temporary-loss recovery)");
+  const SweepRunner pool;
 
   std::cout << "-- (i) backup NIC load: old tap vs new design --\n\n";
   {
+    struct TapCase {
+      const char* arch;
+      const char* port;
+      bool old_design;
+      std::uint64_t backup_bw;
+    };
+    const TapCase cases[] = {
+        {"new (HB counters)", "100 Mbps", false, 0},
+        {"old (backup taps srv->cli)", "100 Mbps", true, 0},
+        // The prototype's mitigation: "adding an additional NIC and CPU".
+        {"old + extra NIC (250 Mbps)", "250 Mbps", true, 250'000'000},
+    };
+    const auto runs = pool.map(std::size(cases), [&cases](std::size_t i) {
+      return run_tap(cases[i].old_design, sim::Duration::zero(),
+                     cases[i].backup_bw);
+    });
     Table t({"architecture", "backup port", "backup NIC rx (MB)",
              "primary NIC rx (MB)", "false failover", "transfer ok"});
-    {
-      const TapRun r = run_tap(false, sim::Duration::zero());
-      t.row("new (HB counters)", "100 Mbps", r.backup_rx_mb, r.primary_rx_mb,
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const TapRun& r = runs[i];
+      t.row(cases[i].arch, cases[i].port, r.backup_rx_mb, r.primary_rx_mb,
             r.false_failover ? "YES" : "no", ok(r.complete));
     }
-    {
-      const TapRun r = run_tap(true, sim::Duration::zero());
-      t.row("old (backup taps srv->cli)", "100 Mbps", r.backup_rx_mb,
-            r.primary_rx_mb, r.false_failover ? "YES" : "no", ok(r.complete));
-    }
-    {
-      // The prototype's mitigation: "adding an additional NIC and CPU".
-      const TapRun r = run_tap(true, sim::Duration::zero(), 250'000'000);
-      t.row("old + extra NIC (250 Mbps)", "250 Mbps", r.backup_rx_mb,
-            r.primary_rx_mb, r.false_failover ? "YES" : "no", ok(r.complete));
-    }
     t.print();
+    json.table(t, "tap_architecture");
     std::cout << "\nThe old design doubles the backup's receive load — at line\n"
                  "rate the tap saturates the backup's port, delays the client\n"
                  "ACKs behind mirrored data, the backup's app lags, and the\n"
@@ -88,9 +98,14 @@ void run() {
                "   (recovery volume tracks detection latency x request rate,\n"
                "    not burst size: bytes behind the gap buffer out-of-order)\n\n";
   {
-    Table t({"burst (frames)", "requests", "bytes injected", "failover",
-             "stream intact"});
-    for (const int burst : {2, 8, 32, 64}) {
+    struct BurstRun {
+      std::size_t requests = 0;
+      std::uint64_t injected = 0;
+      bool failover = false;
+      bool intact = false;
+    };
+    const int bursts[] = {2, 8, 32, 64};
+    const auto runs = pool.map(std::size(bursts), [&bursts](std::size_t i) {
       ScenarioConfig cfg;
       Scenario sc(std::move(cfg));
       StreamServer p_app(sc.primary_stack(), sc.service_port(), 2000);
@@ -98,27 +113,40 @@ void run() {
       StreamClient client(sc.client_stack(), sc.client_ip(), sc.connect_addr(),
                           2000, 8);
       client.start();
-      sc.inject(harness::Fault::FrameLoss(harness::Node::kBackup, burst).at(sim::Duration::millis(300)));
+      sc.inject(harness::Fault::FrameLoss(harness::Node::kBackup, bursts[i]).at(sim::Duration::millis(300)));
       sc.run_for(sim::Duration::seconds(15));
       const auto& tr = sc.world().trace();
-      std::uint64_t injected = 0;
+      BurstRun out;
+      out.requests = tr.count("missed_bytes_request");
       for (const auto& e : tr.all("missed_bytes_injected")) {
-        injected += static_cast<std::uint64_t>(e.value);
+        out.injected += static_cast<std::uint64_t>(e.value);
       }
-      t.row(burst, tr.count("missed_bytes_request"), injected,
-            tr.count("takeover") + tr.count("non_ft_mode") == 0 ? "none" : "YES?",
-            ok(!client.corrupt() && client.records_completed() > 1000));
+      out.failover = tr.count("takeover") + tr.count("non_ft_mode") != 0;
+      out.intact = !client.corrupt() && client.records_completed() > 1000;
+      return out;
+    });
+    Table t({"burst (frames)", "requests", "bytes injected", "failover",
+             "stream intact"});
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const BurstRun& r = runs[i];
+      t.row(bursts[i], r.requests, r.injected, r.failover ? "YES?" : "none",
+            ok(r.intact));
     }
     t.print();
+    json.table(t, "missed_byte_recovery");
   }
 
   std::cout << "\n-- (iii) hold-buffer sizing: min capacity that avoids non-FT --\n\n";
   {
-    Table t({"hold buffer", "result", "upload ok"});
-    for (const std::size_t cap : {std::size_t{1} << 20, std::size_t{4} << 20,
-                                  std::size_t{16} << 20}) {
+    struct HoldRun {
+      const char* result = "";
+      bool upload_ok = false;
+    };
+    const std::size_t caps[] = {std::size_t{1} << 20, std::size_t{4} << 20,
+                                std::size_t{16} << 20};
+    const auto runs = pool.map(std::size(caps), [&caps](std::size_t i) {
       ScenarioConfig cfg;
-      cfg.sttcp.hold_buffer_capacity = cap;
+      cfg.sttcp.hold_buffer_capacity = caps[i];
       Scenario sc(std::move(cfg));
       app::SinkServer p_app(sc.primary_stack(), sc.service_port());
       app::SinkServer b_app(sc.backup_stack(), sc.service_port());
@@ -141,19 +169,27 @@ void run() {
       // upload is ~90 KB to recover): it must catch up from the hold buffer.
       sc.world().loop().schedule_after(sim::Duration::millis(300), [&sc] {
         sc.backup_link().set_drop_filter(
-            [](const net::Bytes& f) { return f.size() > 300; });
+            [](const net::Frame& f) { return f.size() > 300; });
       });
       sc.world().loop().schedule_after(sim::Duration::millis(308), [&sc] {
         sc.backup_link().set_drop_filter(nullptr);
       });
       sc.run_for(sim::Duration::seconds(10));
       const auto& tr = sc.world().trace();
-      const char* result = tr.count("hold_overflow") > 0  ? "overflow -> non-FT"
-                           : tr.count("non_ft_mode") > 0  ? "non-FT (lag)"
-                                                          : "recovered";
-      t.row(std::to_string(cap >> 20) + " MB", result, ok(sent > 5'000'000));
+      HoldRun out;
+      out.result = tr.count("hold_overflow") > 0  ? "overflow -> non-FT"
+                   : tr.count("non_ft_mode") > 0  ? "non-FT (lag)"
+                                                  : "recovered";
+      out.upload_ok = sent > 5'000'000;
+      return out;
+    });
+    Table t({"hold buffer", "result", "upload ok"});
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      t.row(std::to_string(caps[i] >> 20) + " MB", runs[i].result,
+            ok(runs[i].upload_ok));
     }
     t.print();
+    json.table(t, "hold_buffer_sizing");
     std::cout << "\nSizing law: the backup confirms receipt once per heartbeat,\n"
                  "so the hold buffer holds ~bandwidth x hb_period (~2.5 MB at\n"
                  "100 Mbps / 200 ms) in STEADY STATE under sustained upload,\n"
@@ -164,8 +200,13 @@ void run() {
 
   std::cout << "\n-- (iv) output-commit logger (§4.3 extension) --\n\n";
   {
-    Table t({"configuration", "takeover", "stream resumed", "logger bytes"});
-    for (const bool with_logger : {false, true}) {
+    struct LoggerRun {
+      bool takeover = false;
+      bool resumed = false;
+      std::uint64_t logger_bytes = 0;
+    };
+    const auto runs = pool.map(2, [](std::size_t i) {
+      const bool with_logger = i == 1;
       ScenarioConfig cfg;
       cfg.enable_logger = with_logger;
       Scenario sc(std::move(cfg));
@@ -190,7 +231,7 @@ void run() {
       // catch-up: the classic output-commit hole.
       sc.world().loop().schedule_after(sim::Duration::millis(300), [&sc] {
         sc.backup_link().set_drop_filter(
-            [](const net::Bytes& f) { return f.size() > 300; });
+            [](const net::Frame& f) { return f.size() > 300; });
       });
       sc.world().loop().schedule_after(sim::Duration::millis(320), [&sc] {
         sc.backup_link().set_drop_filter(nullptr);
@@ -202,16 +243,23 @@ void run() {
       }();
       sc.run_for(sim::Duration::seconds(8));
       const auto& tr = sc.world().trace();
-      std::uint64_t logger_bytes = 0;
+      LoggerRun out;
+      out.takeover = tr.count("takeover") > 0;
+      out.resumed = sent > mark + 5'000'000;
       for (const auto& e : tr.all("logger_injected")) {
-        logger_bytes += static_cast<std::uint64_t>(e.value);
+        out.logger_bytes += static_cast<std::uint64_t>(e.value);
       }
-      t.row(with_logger ? "with stream logger" : "without (paper default)",
-            tr.count("takeover") > 0 ? "yes" : "no",
-            sent > mark + 5'000'000 ? "yes" : "WEDGED (unrecoverable)",
-            logger_bytes);
+      return out;
+    });
+    Table t({"configuration", "takeover", "stream resumed", "logger bytes"});
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const LoggerRun& r = runs[i];
+      t.row(i == 1 ? "with stream logger" : "without (paper default)",
+            r.takeover ? "yes" : "no",
+            r.resumed ? "yes" : "WEDGED (unrecoverable)", r.logger_bytes);
     }
     t.print();
+    json.table(t, "output_commit_logger");
     std::cout << "\nWithout the logger, a primary death during the backup's\n"
                  "catch-up window leaves a hole the client will never\n"
                  "retransmit (the dead primary acked those bytes): the paper\n"
@@ -223,7 +271,8 @@ void run() {
 }  // namespace
 }  // namespace sttcp::bench
 
-int main() {
-  sttcp::bench::run();
+int main(int argc, char** argv) {
+  sttcp::bench::JsonSink json(argc, argv);
+  sttcp::bench::run(json);
   return 0;
 }

@@ -5,6 +5,10 @@
 // exponentially while the primary is silent). The paper demos 200 ms,
 // 500 ms and 1 s heartbeat periods; we sweep those plus the miss threshold
 // and the takeover retransmission policy.
+//
+// Every sweep point is an independent single-threaded world, so the sweeps
+// run through harness::SweepRunner (STTCP_SWEEP_THREADS controls the pool);
+// results are ordered by sweep index regardless of thread count.
 #include "bench/bench_util.h"
 
 namespace sttcp::bench {
@@ -24,52 +28,67 @@ DownloadRun one(sim::Duration hb_period, int miss_threshold, bool immediate_rtx,
   return run_download(std::move(cfg), spec);
 }
 
-void run() {
+const sim::Duration kPeriods[] = {sim::Duration::millis(200),
+                                  sim::Duration::millis(500),
+                                  sim::Duration::seconds(1)};
+
+void run(JsonSink& json) {
   print_header("Demo 2: failover time vs heartbeat frequency",
                "paper §5 Demo 2 (HB periods 200ms / 500ms / 1s)");
+  const SweepRunner pool;
 
   {
+    const auto runs = pool.map(std::size(kPeriods), [](std::size_t i) {
+      return one(kPeriods[i], 3, false);
+    });
     Table t({"HB period", "detect (ms)", "takeover (ms)", "client glitch (ms)",
              "completed", "intact"});
-    for (const auto period : {sim::Duration::millis(200), sim::Duration::millis(500),
-                              sim::Duration::seconds(1)}) {
-      const DownloadRun r = one(period, 3, false);
-      t.row(period.str(), r.detection_ms, r.takeover_ms, r.max_stall_ms,
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const DownloadRun& r = runs[i];
+      t.row(kPeriods[i].str(), r.detection_ms, r.takeover_ms, r.max_stall_ms,
             ok(r.complete), ok(!r.corrupt));
     }
     t.print();
+    json.table(t, "hb_period");
   }
 
   std::cout << "\n-- sweep: miss threshold (HB period 200ms) --\n\n";
   {
+    const auto runs = pool.map(5, [](std::size_t i) {
+      return one(sim::Duration::millis(200), static_cast<int>(i) + 2, false);
+    });
     Table t({"miss threshold", "detect (ms)", "client glitch (ms)"});
-    for (int miss = 2; miss <= 6; ++miss) {
-      const DownloadRun r = one(sim::Duration::millis(200), miss, false);
-      t.row(miss, r.detection_ms, r.max_stall_ms);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      t.row(i + 2, runs[i].detection_ms, runs[i].max_stall_ms);
     }
     t.print();
+    json.table(t, "miss_threshold");
   }
 
   std::cout << "\n-- ablation: immediate retransmit on takeover (beyond-paper) --\n\n";
   {
+    // Jobs 2i / 2i+1 are the wait/immediate pair for period i.
+    const auto runs = pool.map(2 * std::size(kPeriods), [](std::size_t i) {
+      return one(kPeriods[i / 2], 3, i % 2 == 1);
+    });
     Table t({"HB period", "policy", "client glitch (ms)"});
-    for (const auto period : {sim::Duration::millis(200), sim::Duration::millis(500),
-                              sim::Duration::seconds(1)}) {
-      const DownloadRun wait = one(period, 3, false);
-      const DownloadRun imm = one(period, 3, true);
-      t.row(period.str(), "wait for timer (paper)", wait.max_stall_ms);
-      t.row(period.str(), "immediate retransmit", imm.max_stall_ms);
+    for (std::size_t i = 0; i < std::size(kPeriods); ++i) {
+      t.row(kPeriods[i].str(), "wait for timer (paper)", runs[2 * i].max_stall_ms);
+      t.row(kPeriods[i].str(), "immediate retransmit", runs[2 * i + 1].max_stall_ms);
     }
     t.print();
+    json.table(t, "immediate_retransmit");
   }
 
   std::cout << "\n-- bidirectional traffic (client also sending, per the paper) --\n\n";
   {
-    Table t({"HB period", "stream stall (ms)", "stream intact"});
-    for (const auto period : {sim::Duration::millis(200), sim::Duration::millis(500),
-                              sim::Duration::seconds(1)}) {
+    struct BidiRun {
+      double stall_ms = 0;
+      bool intact = false;
+    };
+    const auto runs = pool.map(std::size(kPeriods), [](std::size_t i) {
       ScenarioConfig cfg;
-      cfg.sttcp.hb_period = period;
+      cfg.sttcp.hb_period = kPeriods[i];
       Scenario sc(std::move(cfg));
       StreamServer p_app(sc.primary_stack(), sc.service_port(), 4000);
       StreamServer b_app(sc.backup_stack(), sc.service_port(), 4000);
@@ -78,10 +97,15 @@ void run() {
       client.start();
       sc.inject(harness::Fault::Crash(harness::Node::kPrimary).at(sim::Duration::millis(1700)));
       sc.run_for(sim::Duration::seconds(30));
-      t.row(period.str(), client.max_stall().to_millis(),
-            ok(!client.corrupt() && !client.closed()));
+      return BidiRun{client.max_stall().to_millis(),
+                     !client.corrupt() && !client.closed()};
+    });
+    Table t({"HB period", "stream stall (ms)", "stream intact"});
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      t.row(kPeriods[i].str(), runs[i].stall_ms, ok(runs[i].intact));
     }
     t.print();
+    json.table(t, "bidirectional");
   }
 
   std::cout << "\nExpected shape (paper): failover time grows with the HB\n"
@@ -93,7 +117,8 @@ void run() {
 }  // namespace
 }  // namespace sttcp::bench
 
-int main() {
-  sttcp::bench::run();
+int main(int argc, char** argv) {
+  sttcp::bench::JsonSink json(argc, argv);
+  sttcp::bench::run(json);
   return 0;
 }

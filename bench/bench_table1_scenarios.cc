@@ -1,6 +1,9 @@
 // Table 1: Single Failure Scenarios — the full matrix, reproduced row by
 // row: failure class x location, with the observed symptom (detection
 // event) and recovery action, exactly as the paper tabulates them.
+//
+// Each row is an independent world; the matrix runs through
+// harness::SweepRunner with results in row order regardless of thread count.
 #include "bench/bench_util.h"
 
 namespace sttcp::bench {
@@ -14,9 +17,10 @@ struct Row {
   const char* paper_recovery;
 };
 
-void run() {
+void run(JsonSink& json) {
   print_header("Table 1: single failure scenarios",
                "paper Table 1 (all rows; symptom observed & recovery action)");
+  const SweepRunner pool;
 
   using FK = DownloadSpec::FailureKind;
   const Row rows[] = {
@@ -38,16 +42,21 @@ void run() {
        "primary non-FT, shuts backup down"},
   };
 
-  Table t({"row", "failure", "location", "symptom (detection)", "recovery",
-           "detect (ms)", "client ok"});
-  for (const Row& row : rows) {
+  const auto runs = pool.map(std::size(rows), [&rows](std::size_t i) {
     ScenarioConfig cfg;
     cfg.sttcp.max_delay_fin = sim::Duration::seconds(30);
     DownloadSpec spec;
     spec.file_size = 60'000'000;
-    spec.failure = row.kind;
+    spec.failure = rows[i].kind;
     spec.crash_at = sim::Duration::millis(1500);
-    const DownloadRun r = run_download(std::move(cfg), spec);
+    return run_download(std::move(cfg), spec);
+  });
+
+  Table t({"row", "failure", "location", "symptom (detection)", "recovery",
+           "detect (ms)", "client ok"});
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Row& row = rows[i];
+    const DownloadRun& r = runs[i];
     std::string symptom;
     if (r.detection_ms >= 0) {
       symptom = r.outcome == "takeover" ? "backup convicted primary"
@@ -58,14 +67,21 @@ void run() {
           r.detection_ms, ok(r.complete && !r.corrupt));
   }
   t.print();
+  json.table(t, "table1");
 
   // Row 5 needs a bidirectional workload (the backup recovers missed CLIENT
   // bytes); run it separately with the record-stream service.
   std::cout << "\n-- row 5: temporary network failure --\n\n";
   {
-    Table t5({"location", "mechanism", "requests", "served", "injected",
-              "failover", "stream intact"});
-    for (const bool at_backup : {true, false}) {
+    struct Row5Run {
+      std::size_t requests = 0;
+      std::size_t served = 0;
+      std::size_t injected = 0;
+      bool failover = false;
+      bool intact = false;
+    };
+    const auto runs5 = pool.map(2, [](std::size_t i) {
+      const bool at_backup = i == 0;
       ScenarioConfig cfg;
       Scenario sc(std::move(cfg));
       StreamServer p_app(sc.primary_stack(), sc.service_port(), 2000);
@@ -81,15 +97,25 @@ void run() {
       }
       sc.run_for(sim::Duration::seconds(20));
       const auto& tr = sc.world().trace();
+      return Row5Run{tr.count("missed_bytes_request"),
+                     tr.count("missed_bytes_served"),
+                     tr.count("missed_bytes_injected"),
+                     tr.count("takeover") + tr.count("non_ft_mode") != 0,
+                     !client.corrupt() && client.records_completed() > 1000};
+    });
+    Table t5({"location", "mechanism", "requests", "served", "injected",
+              "failover", "stream intact"});
+    for (std::size_t i = 0; i < runs5.size(); ++i) {
+      const bool at_backup = i == 0;
+      const Row5Run& r = runs5[i];
       t5.row(at_backup ? "backup" : "primary",
              at_backup ? "missed bytes fetched from primary's hold buffer"
                        : "normal TCP retransmission (client resends)",
-             tr.count("missed_bytes_request"), tr.count("missed_bytes_served"),
-             tr.count("missed_bytes_injected"),
-             tr.count("takeover") + tr.count("non_ft_mode") == 0 ? "none" : "YES?",
-             ok(!client.corrupt() && client.records_completed() > 1000));
+             r.requests, r.served, r.injected, r.failover ? "YES?" : "none",
+             ok(r.intact));
     }
     t5.print();
+    json.table(t5, "table1_row5");
   }
 
   std::cout << "\nExpected shape (paper Table 1): every row detected; primary\n"
@@ -100,7 +126,8 @@ void run() {
 }  // namespace
 }  // namespace sttcp::bench
 
-int main() {
-  sttcp::bench::run();
+int main(int argc, char** argv) {
+  sttcp::bench::JsonSink json(argc, argv);
+  sttcp::bench::run(json);
   return 0;
 }

@@ -2,6 +2,9 @@
 // Figure-2 scenario, returning the client-side metrics each table reports.
 #pragma once
 
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -10,6 +13,7 @@
 #include "app/client.h"
 #include "app/server.h"
 #include "harness/scenario.h"
+#include "harness/sweep.h"
 #include "harness/table.h"
 
 namespace sttcp::bench {
@@ -20,7 +24,35 @@ using app::StreamClient;
 using app::StreamServer;
 using harness::Scenario;
 using harness::ScenarioConfig;
+using harness::SweepRunner;
 using harness::Table;
+
+/// Machine-readable bench output: pass `--json=PATH` (or set
+/// STTCP_BENCH_JSON=PATH) and every table is appended to PATH as one JSON
+/// object per line, alongside the human-readable print.
+class JsonSink {
+ public:
+  JsonSink(int argc, char** argv) {
+    const char* path = std::getenv("STTCP_BENCH_JSON");
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--json=", 7) == 0) path = argv[i] + 7;
+    }
+    if (path != nullptr && *path != '\0') {
+      out_ = std::make_unique<std::ofstream>(path);
+    }
+  }
+
+  /// Emit `t` under `name` when JSON output is enabled; always a no-op cost
+  /// otherwise.
+  void table(const Table& t, const std::string& name) {
+    if (out_ != nullptr) t.write_json(*out_, name);
+  }
+
+  explicit operator bool() const { return out_ != nullptr; }
+
+ private:
+  std::unique_ptr<std::ofstream> out_;
+};
 
 struct DownloadRun {
   bool complete = false;

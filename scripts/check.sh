@@ -2,10 +2,13 @@
 # Tier-1 gate: configure, build, run the full test suite. With --asan, also
 # build the ASan+UBSan configuration and run the sttcp + obs subset under it
 # (the full suite under ASan is slow; the ST-TCP engine and the telemetry
-# layer are where the pointer-heavy code lives).
+# layer are where the pointer-heavy code lives). With --release, also build
+# the optimized lane the benchmarks are measured in and smoke-run bench_micro
+# (see docs/PERFORMANCE.md).
 #
-#   scripts/check.sh           # build + full ctest
-#   scripts/check.sh --asan    # additionally: sanitizer lane
+#   scripts/check.sh             # build + full ctest
+#   scripts/check.sh --asan      # additionally: sanitizer lane
+#   scripts/check.sh --release   # additionally: -O2 lane + bench smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,10 +18,27 @@ cmake -B build -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-if [[ "${1:-}" == "--asan" ]]; then
-  cmake -B build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSTTCP_SANITIZE=ON >/dev/null
-  cmake --build build-asan -j "$JOBS"
-  ctest --test-dir build-asan --output-on-failure -j "$JOBS" -R 'sttcp|obs'
-fi
+for arg in "$@"; do
+  case "$arg" in
+    --asan)
+      cmake -B build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSTTCP_SANITIZE=ON >/dev/null
+      cmake --build build-asan -j "$JOBS"
+      ctest --test-dir build-asan --output-on-failure -j "$JOBS" -R 'sttcp|obs'
+      ;;
+    --release)
+      cmake -B build-release -DCMAKE_BUILD_TYPE=Release >/dev/null
+      cmake --build build-release -j "$JOBS"
+      # Quick sanity pass over the hot-path microbenchmarks; the committed
+      # numbers in BENCH_micro.json use --benchmark_min_time=0.2.
+      ./build-release/bench/bench_micro \
+        --benchmark_filter='BM_SwitchMulticastFanout/2|BM_InternetChecksum/1460|BM_EventLoopScheduleRun' \
+        --benchmark_min_time=0.05
+      ;;
+    *)
+      echo "unknown option: $arg" >&2
+      exit 2
+      ;;
+  esac
+done
 
 echo "check.sh: all green"

@@ -42,8 +42,8 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)) {
   switch_ = std::make_unique<net::EthernetSwitch>(*world_, "switch");
   if (!cfg_.pcap_path.empty()) {
     pcap_ = std::make_unique<obs::PcapWriter>(cfg_.pcap_path);
-    switch_->set_frame_tap([this](sim::SimTime at, const net::Bytes& frame) {
-      pcap_->record(at, frame);
+    switch_->set_frame_tap([this](sim::SimTime at, const net::Frame& frame) {
+      pcap_->record(at, frame.view());
     });
   }
   power_ = std::make_unique<net::PowerController>(*world_);

@@ -1,0 +1,64 @@
+#include "harness/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+namespace sttcp::harness {
+
+namespace {
+
+unsigned default_threads() {
+  if (const char* env = std::getenv("STTCP_SWEEP_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(unsigned threads)
+    : threads_(threads != 0 ? threads : default_threads()) {}
+
+void SweepRunner::run_indexed(std::size_t count,
+                              const std::function<void(std::size_t)>& job) const {
+  if (count == 0) return;
+
+  // Per-job exception slots: rethrowing the lowest failing index keeps error
+  // behavior independent of which worker hit it first.
+  std::vector<std::exception_ptr> errors(count);
+
+  const auto worker = [&](std::atomic<std::size_t>& next) {
+    for (std::size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+      try {
+        job(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  std::atomic<std::size_t> next{0};
+  const std::size_t pool =
+      std::min<std::size_t>(threads_, count);
+  if (pool <= 1) {
+    worker(next);  // inline: no thread spawn for serial sweeps
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(pool);
+    for (std::size_t t = 0; t < pool; ++t) {
+      workers.emplace_back([&] { worker(next); });
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  for (auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+}  // namespace sttcp::harness

@@ -1,0 +1,59 @@
+// Parallel scenario sweep runner.
+//
+// Each sim::World is strictly single-threaded, but a parameter sweep (the
+// Table-1 scenario grid, heartbeat-frequency curves, ablations, config
+// sweeps) is embarrassingly parallel: every job builds its own World from a
+// config and runs it to completion, sharing nothing. SweepRunner maps such
+// jobs across a small thread pool.
+//
+// Determinism contract: results are returned indexed by job, never by
+// completion order, and each job's World is seeded from its own config — so
+// the output is bit-identical whether the sweep ran on 1 thread or N.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace sttcp::harness {
+
+class SweepRunner {
+ public:
+  /// `threads` == 0 picks a default: the STTCP_SWEEP_THREADS environment
+  /// variable if set, else the hardware concurrency (at least 1).
+  explicit SweepRunner(unsigned threads = 0);
+
+  unsigned threads() const { return threads_; }
+
+  /// Run fn(0) .. fn(count-1) across the pool and return the results in job
+  /// order. Blocks until every job finishes. If any job throws, the
+  /// exception from the lowest-indexed failing job is rethrown (after all
+  /// jobs have been allowed to finish), regardless of thread count.
+  template <typename Fn>
+  auto map(std::size_t count, Fn&& fn) const
+      -> std::vector<decltype(fn(std::size_t{}))> {
+    using R = decltype(fn(std::size_t{}));
+    std::vector<R> results(count);
+    run_indexed(count, [&](std::size_t i) { results[i] = fn(i); });
+    return results;
+  }
+
+  /// Convenience: one job per element of `items`, passing the element.
+  template <typename T, typename Fn>
+  auto map_items(const std::vector<T>& items, Fn&& fn) const
+      -> std::vector<decltype(fn(std::declval<const T&>()))> {
+    return map(items.size(), [&](std::size_t i) { return fn(items[i]); });
+  }
+
+  /// Untyped core: invoke job(i) for every i in [0, count). Jobs are claimed
+  /// from an atomic counter, so scheduling is dynamic but the index space —
+  /// and therefore which job computes which result — is fixed.
+  void run_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& job) const;
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace sttcp::harness

@@ -2,6 +2,7 @@
 // prints rows shaped like the paper's demo results.
 #pragma once
 
+#include <cstdlib>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -39,7 +40,39 @@ class Table {
     for (const auto& r : rows_) print_row(os, r, widths);
   }
 
+  /// Machine-readable form: a JSON array of row objects keyed by header.
+  /// Cells that parse as numbers are emitted bare; everything else is a
+  /// string. `name` labels the table in the enclosing object.
+  void write_json(std::ostream& os, const std::string& name) const {
+    os << "{\"table\": " << json_string(name) << ", \"rows\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      os << (r == 0 ? "" : ", ") << "{";
+      for (std::size_t i = 0; i < headers_.size(); ++i) {
+        const std::string& cell = i < rows_[r].size() ? rows_[r][i] : "";
+        os << (i == 0 ? "" : ", ") << json_string(headers_[i]) << ": "
+           << (is_number(cell) ? cell : json_string(cell));
+      }
+      os << "}";
+    }
+    os << "]}\n";
+  }
+
  private:
+  static std::string json_string(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out + "\"";
+  }
+
+  static bool is_number(const std::string& s) {
+    if (s.empty()) return false;
+    char* end = nullptr;
+    std::strtod(s.c_str(), &end);
+    return end != nullptr && *end == '\0';
+  }
   template <typename T>
   static std::string to_cell(const T& v) {
     if constexpr (std::is_convertible_v<T, std::string>) {

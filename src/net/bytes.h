@@ -18,6 +18,9 @@ class ByteWriter {
  public:
   explicit ByteWriter(Bytes& out) : out_(out) {}
 
+  /// Pre-size the buffer for `n` more bytes (one allocation up front).
+  void reserve(std::size_t n) { out_.reserve(out_.size() + n); }
+
   void u8(std::uint8_t v) { out_.push_back(v); }
   void u16(std::uint16_t v) {
     out_.push_back(static_cast<std::uint8_t>(v >> 8));

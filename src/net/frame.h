@@ -1,0 +1,77 @@
+// Ref-counted immutable Ethernet frame.
+//
+// A Frame is a view (offset + length) into a shared, immutable byte buffer.
+// Copying a Frame bumps a reference count instead of copying the payload, so
+// the switch's multicast/flood fan-out, the egress mirror, and the backup's
+// multicast tap all share the single buffer the sender serialized into.
+//
+// Ownership contract:
+//  - The underlying buffer is immutable from the moment a Frame wraps it.
+//    Anyone holding a Frame (links in flight, the pcap tap, a host's CPU
+//    queue, test sinks) may keep it indefinitely; nobody may mutate it.
+//  - Parsing works on `view()` (a BytesView into the shared buffer); no
+//    per-hop copies are made. Code that needs a mutable or outliving copy
+//    takes one explicitly via `clone()`.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "net/bytes.h"
+
+namespace sttcp::net {
+
+class Frame {
+ public:
+  /// Empty frame (no buffer).
+  Frame() = default;
+
+  /// Take ownership of `bytes` as the shared immutable buffer. Implicit on
+  /// purpose: handing a Bytes to a send path reads as "materialize one frame
+  /// from these bytes" — the single copy happens here, at the source.
+  Frame(Bytes bytes)  // NOLINT(google-explicit-constructor)
+      : buf_(std::make_shared<const Bytes>(std::move(bytes))), len_(buf_->size()) {}
+
+  /// Copy `v` into a fresh shared buffer.
+  static Frame copy_of(BytesView v) { return Frame(to_bytes(v)); }
+
+  const std::uint8_t* data() const { return buf_ ? buf_->data() + off_ : nullptr; }
+  std::size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  std::uint8_t operator[](std::size_t i) const { return (*buf_)[off_ + i]; }
+  const std::uint8_t* begin() const { return data(); }
+  const std::uint8_t* end() const { return data() + len_; }
+
+  /// View into the shared buffer; valid as long as any Frame referencing the
+  /// buffer is alive.
+  BytesView view() const { return buf_ ? BytesView(data(), len_) : BytesView(); }
+
+  /// Sub-view sharing the same buffer (no copy).
+  Frame subframe(std::size_t off, std::size_t n) const {
+    Frame f(*this);
+    if (off > len_) off = len_;
+    if (n > len_ - off) n = len_ - off;
+    f.off_ += off;
+    f.len_ = n;
+    return f;
+  }
+
+  /// Detached mutable copy (the only way to get mutable bytes back out).
+  Bytes clone() const { return to_bytes(view()); }
+
+  /// Number of Frames sharing this buffer (diagnostics / tests).
+  long use_count() const { return buf_.use_count(); }
+
+  friend bool operator==(const Frame& a, const Frame& b) {
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  std::shared_ptr<const Bytes> buf_;
+  std::size_t off_ = 0;
+  std::size_t len_ = 0;
+};
+
+}  // namespace sttcp::net

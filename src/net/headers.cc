@@ -99,6 +99,7 @@ UdpHeader UdpHeader::read(ByteReader& r) {
 Bytes IcmpEcho::serialize() const {
   Bytes out;
   ByteWriter w(out);
+  w.reserve(8);
   w.u8(static_cast<std::uint8_t>(type));
   w.u8(0);  // code
   w.u16(0);  // checksum placeholder

@@ -14,7 +14,7 @@ Host::~Host() = default;
 Nic& Host::add_nic(MacAddr mac) {
   auto n = std::make_unique<Nic>(world_, name_ + "/nic" + std::to_string(nics_.size()),
                                  mac);
-  n->set_host_sink([this](Bytes frame) { on_nic_frame(std::move(frame)); });
+  n->set_host_sink([this](Frame frame) { on_nic_frame(std::move(frame)); });
   nics_.push_back(std::move(n));
   return *nics_.back();
 }
@@ -104,14 +104,15 @@ void Host::set_l4_handler(std::uint8_t protocol, L4Handler handler) {
   l4_handlers_[protocol] = std::move(handler);
 }
 
-void Host::on_nic_frame(Bytes frame) {
+void Host::on_nic_frame(Frame frame) {
   if (!alive_) return;
   if (cpu_packet_time_.is_zero()) {
     process_frame(frame);
     return;
   }
   // Model a busy CPU: packets are processed serially, each costing
-  // cpu_packet_time_ — a slower host falls behind under load.
+  // cpu_packet_time_ — a slower host falls behind under load. Queueing the
+  // Frame keeps the shared buffer alive without copying it.
   sim::SimTime start = world_.now();
   if (cpu_busy_until_ > start) start = cpu_busy_until_;
   cpu_busy_until_ = start + cpu_packet_time_;
@@ -120,10 +121,10 @@ void Host::on_nic_frame(Bytes frame) {
   });
 }
 
-void Host::process_frame(const Bytes& frame) {
+void Host::process_frame(const Frame& frame) {
   ParsedFrame p;
   try {
-    p = parse_frame(frame);
+    p = parse_frame(frame.view());
   } catch (const std::exception& e) {
     log_.warn("malformed frame: ", e.what());
     return;

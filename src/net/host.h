@@ -103,8 +103,8 @@ class Host {
   const Stats& stats() const { return stats_; }
 
  private:
-  void on_nic_frame(Bytes frame);
-  void process_frame(const Bytes& frame);
+  void on_nic_frame(Frame frame);
+  void process_frame(const Frame& frame);
   void handle_icmp(const Ipv4Header& ip, BytesView l4);
   void handle_udp(const Ipv4Header& ip, BytesView l4);
 

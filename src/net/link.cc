@@ -20,7 +20,7 @@ void Link::bind_metrics(obs::MetricsRegistry& registry, const std::string& prefi
   in_flight_ = &registry.gauge(prefix + ".in_flight_frames");
 }
 
-void Link::transmit(int from_port, Bytes frame) {
+void Link::transmit(int from_port, Frame frame) {
   ++stats_.frames_sent;
   if (failed_) {
     ++stats_.frames_dropped;

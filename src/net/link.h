@@ -11,16 +11,18 @@
 #include <string>
 
 #include "net/bytes.h"
+#include "net/frame.h"
 #include "obs/metrics.h"
 #include "sim/world.h"
 
 namespace sttcp::net {
 
-/// Anything that can receive an Ethernet frame from a link.
+/// Anything that can receive an Ethernet frame from a link. The Frame shares
+/// its buffer with every other holder; sinks must not assume exclusivity.
 class FrameSink {
  public:
   virtual ~FrameSink() = default;
-  virtual void deliver_frame(Bytes frame) = 0;
+  virtual void deliver_frame(Frame frame) = 0;
 };
 
 class Link {
@@ -39,8 +41,9 @@ class Link {
   class Port {
    public:
     void set_sink(FrameSink* sink) { sink_ = sink; }
-    /// Transmit a frame toward the other side of the link.
-    void send(Bytes frame) { link_->transmit(index_, std::move(frame)); }
+    /// Transmit a frame toward the other side of the link. Sending the same
+    /// Frame out several ports shares one buffer (refcount, not copy).
+    void send(Frame frame) { link_->transmit(index_, std::move(frame)); }
 
    private:
     friend class Link;
@@ -65,7 +68,7 @@ class Link {
   /// Selective fault injection: frames matching the predicate are dropped
   /// (e.g. "frames longer than 200 bytes" models a fault that loses bulk
   /// data while small control traffic survives). nullptr clears it.
-  using DropFilter = std::function<bool(const Bytes& frame)>;
+  using DropFilter = std::function<bool(const Frame& frame)>;
   void set_drop_filter(DropFilter filter) { drop_filter_ = std::move(filter); }
 
   sim::Duration latency() const { return latency_; }
@@ -78,7 +81,7 @@ class Link {
   void bind_metrics(obs::MetricsRegistry& registry, const std::string& prefix);
 
  private:
-  void transmit(int from_port, Bytes frame);
+  void transmit(int from_port, Frame frame);
 
   sim::World& world_;
   sim::Duration latency_;

@@ -12,7 +12,7 @@ void Nic::attach(Link::Port& port) {
   port.set_sink(this);
 }
 
-bool Nic::send(Bytes frame) {
+bool Nic::send(Frame frame) {
   if (failed_ || port_ == nullptr) {
     ++stats_.dropped_down;
     return false;
@@ -23,7 +23,7 @@ bool Nic::send(Bytes frame) {
   return true;
 }
 
-void Nic::deliver_frame(Bytes frame) {
+void Nic::deliver_frame(Frame frame) {
   if (failed_) {
     ++stats_.dropped_down;
     return;

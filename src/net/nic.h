@@ -29,7 +29,7 @@ class Nic final : public FrameSink {
     std::uint64_t dropped_down = 0;  // tx or rx attempted while failed
   };
 
-  using HostSink = std::function<void(Bytes frame)>;
+  using HostSink = std::function<void(Frame frame)>;
 
   Nic(sim::World& world, std::string name, MacAddr mac);
 
@@ -50,8 +50,9 @@ class Nic final : public FrameSink {
   void set_promiscuous(bool on) { promiscuous_ = on; }
 
   /// Transmit a frame. Returns false (and counts a drop) when failed or
-  /// unattached.
-  bool send(Bytes frame);
+  /// unattached. A Bytes argument converts implicitly — that conversion is
+  /// the single per-frame buffer allocation; every hop after it shares it.
+  bool send(Frame frame);
 
   void fail() { failed_ = true; }
   void heal() { failed_ = false; }
@@ -60,7 +61,7 @@ class Nic final : public FrameSink {
   const Stats& stats() const { return stats_; }
 
   // FrameSink: frame arriving from the link.
-  void deliver_frame(Bytes frame) override;
+  void deliver_frame(Frame frame) override;
 
  private:
   sim::World& world_;

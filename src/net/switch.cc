@@ -23,7 +23,7 @@ void EthernetSwitch::add_egress_mirror(int src_port, int dst_port) {
   egress_mirrors_[src_port] = dst_port;
 }
 
-void EthernetSwitch::on_frame(int ingress, Bytes frame) {
+void EthernetSwitch::on_frame(int ingress, Frame frame) {
   if (frame.size() < 12) return;  // runt; silently discarded
   if (frame_tap_) frame_tap_(world_.now(), frame);
   std::array<std::uint8_t, 6> b{};
@@ -65,7 +65,9 @@ void EthernetSwitch::on_frame(int ingress, Bytes frame) {
   }
 }
 
-void EthernetSwitch::send_out(int port, const Bytes& frame) {
+void EthernetSwitch::send_out(int port, const Frame& frame) {
+  // Each egress (and the mirror) shares the ingress buffer: a Frame copy is
+  // a refcount bump, never a payload copy.
   ports_[static_cast<std::size_t>(port)]->out->send(frame);
   auto m = egress_mirrors_.find(port);
   if (m != egress_mirrors_.end()) {

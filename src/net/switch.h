@@ -44,8 +44,10 @@ class EthernetSwitch {
 
   /// Observe every frame at switch ingress — each LAN frame traverses the
   /// switch exactly once, so this is the natural capture point for the PCAP
-  /// export (obs::PcapWriter) and any diagnostic tap.
-  using FrameTap = std::function<void(sim::SimTime at, const Bytes& frame)>;
+  /// export (obs::PcapWriter) and any diagnostic tap. The tap sees the same
+  /// shared buffer the egress ports forward; it may retain the Frame but
+  /// must not assume the bytes are private.
+  using FrameTap = std::function<void(sim::SimTime at, const Frame& frame)>;
   void set_frame_tap(FrameTap tap) { frame_tap_ = std::move(tap); }
 
   const Stats& stats() const { return stats_; }
@@ -56,11 +58,11 @@ class EthernetSwitch {
     EthernetSwitch* sw = nullptr;
     int index = 0;
     Link::Port* out = nullptr;
-    void deliver_frame(Bytes frame) override { sw->on_frame(index, std::move(frame)); }
+    void deliver_frame(Frame frame) override { sw->on_frame(index, std::move(frame)); }
   };
 
-  void on_frame(int ingress, Bytes frame);
-  void send_out(int port, const Bytes& frame);
+  void on_frame(int ingress, Frame frame);
+  void send_out(int port, const Frame& frame);
 
   sim::World& world_;
   std::string name_;

@@ -1,5 +1,6 @@
 #include "sim/event_loop.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -8,32 +9,62 @@ namespace sttcp::sim {
 
 TimerId EventLoop::schedule_at(SimTime t, Callback cb) {
   if (t < now_) t = now_;
-  const TimerId id = next_id_++;
-  queue_.push(Entry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
-  return id;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    cbs_[slot] = std::move(cb);
+  } else {
+    slot = static_cast<std::uint32_t>(gens_.size());
+    gens_.push_back(1);  // generation 0 is never issued, so no TimerId is 0
+    cbs_.push_back(std::move(cb));
+  }
+  const std::uint32_t gen = gens_[slot];
+  heap_.push_back(Entry{t, next_seq_++, slot, gen});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
+  return (static_cast<TimerId>(slot) << 32) | gen;
 }
 
 bool EventLoop::cancel(TimerId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  cancelled_.insert(id);
+  const auto slot = static_cast<std::uint32_t>(id >> 32);
+  const auto gen = static_cast<std::uint32_t>(id);
+  if (slot >= gens_.size() || gens_[slot] != gen || gen == 0) return false;
+  // Invalidate: the heap entry (still queued) no longer matches and will be
+  // discarded when it surfaces; the slot is recycled at that point.
+  if (++gens_[slot] == 0) gens_[slot] = 1;
+  --live_;
   return true;
 }
 
+EventLoop::Entry EventLoop::pop_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const Entry e = heap_.back();
+  heap_.pop_back();
+  // The slot's only heap entry is gone: retire the generation (so the
+  // original TimerId can no longer cancel anything) and free the slot.
+  if (gens_[e.slot] == e.gen) {
+    if (++gens_[e.slot] == 0) gens_[e.slot] = 1;
+  }
+  free_slots_.push_back(e.slot);
+  return e;
+}
+
+void EventLoop::drop_stale_top() {
+  while (!heap_.empty() && gens_[heap_.front().slot] != heap_.front().gen) {
+    const Entry e = pop_top();
+    cbs_[e.slot] = nullptr;  // destroy the cancelled callback's captures now
+  }
+}
+
 bool EventLoop::step() {
-  while (!queue_.empty()) {
-    Entry e = queue_.top();
-    queue_.pop();
-    auto c = cancelled_.find(e.id);
-    if (c != cancelled_.end()) {
-      cancelled_.erase(c);
-      continue;
-    }
-    auto it = callbacks_.find(e.id);
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
+  while (!heap_.empty()) {
+    const bool was_live = gens_[heap_.front().slot] == heap_.front().gen;
+    const Entry e = pop_top();
+    // Take the callback out before running it: it may reuse the freed slot.
+    const Callback cb = std::move(cbs_[e.slot]);
+    if (!was_live) continue;  // cancelled: discard silently
+    --live_;
     now_ = e.at;
     ++executed_;
     if (budget_ != 0 && executed_ > budget_) {
@@ -57,13 +88,10 @@ std::uint64_t EventLoop::run() {
 std::uint64_t EventLoop::run_until(SimTime t) {
   stopped_ = false;
   std::uint64_t n = 0;
-  while (!stopped_ && !queue_.empty()) {
+  while (!stopped_) {
     // Skip over cancelled entries to find the true next timestamp.
-    while (!queue_.empty() && cancelled_.count(queue_.top().id) != 0) {
-      cancelled_.erase(queue_.top().id);
-      queue_.pop();
-    }
-    if (queue_.empty() || queue_.top().at > t) break;
+    drop_stale_top();
+    if (heap_.empty() || heap_.front().at > t) break;
     if (step()) ++n;
   }
   if (now_ < t) now_ = t;

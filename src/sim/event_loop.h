@@ -11,10 +11,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/time.h"
@@ -22,7 +19,10 @@
 namespace sttcp::sim {
 
 /// Opaque handle to a scheduled event, usable to cancel it.
-/// Value 0 is reserved and never issued.
+/// Value 0 is reserved and never issued. Internally (slot << 32) | generation
+/// — the slot indexes a generation table, so cancellation is an array compare
+/// instead of hash-map traffic, and a stale handle can never cancel a
+/// later event that reused its slot.
 using TimerId = std::uint64_t;
 
 class EventLoop {
@@ -64,7 +64,7 @@ class EventLoop {
   void stop() { stopped_ = true; }
 
   /// Number of pending (non-cancelled) events.
-  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  std::size_t pending() const { return live_; }
 
   /// Total events executed since construction (diagnostics / runaway guard).
   std::uint64_t events_executed() const { return executed_; }
@@ -74,10 +74,17 @@ class EventLoop {
   void set_event_budget(std::uint64_t budget) { budget_ = budget; }
 
  private:
+  // Heap entries are small PODs; the callback lives in a slot-indexed side
+  // vector (sift operations move 24 bytes, not a std::function). No per-event
+  // hash traffic. Cancellation is lazy: cancel() bumps the slot's generation
+  // so the entry is recognized as stale and discarded when it reaches the
+  // top of the heap. A slot is returned to the free list only when its entry
+  // leaves the heap, so at most one heap entry ever references a slot.
   struct Entry {
     SimTime at;
     std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    TimerId id;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -86,11 +93,17 @@ class EventLoop {
     }
   };
 
+  /// Pop the top heap entry and release its slot; returns the entry.
+  Entry pop_top();
+  /// Discard stale (cancelled) entries sitting on top of the heap.
+  void drop_stale_top();
+
   SimTime now_;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_map<TimerId, Callback> callbacks_;
-  std::unordered_set<TimerId> cancelled_;
-  TimerId next_id_ = 1;
+  std::vector<Entry> heap_;        // binary min-heap on (at, seq)
+  std::vector<std::uint32_t> gens_;  // slot -> current live generation
+  std::vector<Callback> cbs_;        // slot -> pending callback
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t budget_ = 0;

@@ -111,6 +111,7 @@ std::uint64_t unwrap_counter(std::uint32_t wire_value, std::uint64_t previous) {
 net::Bytes MissedBytesRequest::serialize() const {
   net::Bytes out;
   net::ByteWriter w(out);
+  w.reserve(15);
   w.u8(static_cast<std::uint8_t>(ControlType::kMissedBytesRequest));
   w.u16(repl_id);
   w.u64(offset);

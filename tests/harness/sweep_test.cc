@@ -1,0 +1,103 @@
+// SweepRunner: index-ordered results, thread-count independence, and
+// deterministic exception propagation.
+#include "harness/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sttcp::harness {
+namespace {
+
+TEST(SweepRunnerTest, ResultsAreIndexedByJob) {
+  const SweepRunner pool(4);
+  const auto r = pool.map(100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(r.size(), 100u);
+  for (std::size_t i = 0; i < r.size(); ++i) EXPECT_EQ(r[i], i * i);
+}
+
+TEST(SweepRunnerTest, SingleThreadRunsInline) {
+  const SweepRunner pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  const auto r = pool.map(10, [](std::size_t i) { return i + 1; });
+  for (std::size_t i = 0; i < r.size(); ++i) EXPECT_EQ(r[i], i + 1);
+}
+
+TEST(SweepRunnerTest, OneVsManyThreadsIdenticalResults) {
+  const auto job = [](std::size_t i) {
+    // Deterministic per-index computation with some state.
+    std::uint64_t h = 1469598103934665603ull ^ i;
+    for (int k = 0; k < 1000; ++k) h = (h ^ (h >> 7)) * 1099511628211ull + i;
+    return h;
+  };
+  const auto serial = SweepRunner(1).map(64, job);
+  const auto parallel = SweepRunner(8).map(64, job);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(SweepRunnerTest, EveryJobRunsExactlyOnce) {
+  std::vector<std::atomic<int>> hits(256);
+  const SweepRunner pool(4);
+  pool.run_indexed(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(SweepRunnerTest, MoreThreadsThanJobs) {
+  const SweepRunner pool(16);
+  const auto r = pool.map(3, [](std::size_t i) { return i; });
+  EXPECT_EQ(r, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(SweepRunnerTest, ZeroJobsIsANoOp) {
+  const SweepRunner pool(4);
+  EXPECT_TRUE(pool.map(0, [](std::size_t i) { return i; }).empty());
+}
+
+TEST(SweepRunnerTest, LowestIndexedExceptionWins) {
+  // Jobs 3 and 7 both throw; the contract is that the lowest failing index's
+  // exception is rethrown regardless of which thread hit it first.
+  for (const unsigned threads : {1u, 8u}) {
+    const SweepRunner pool(threads);
+    try {
+      pool.run_indexed(16, [](std::size_t i) {
+        if (i == 3) throw std::runtime_error("job 3 failed");
+        if (i == 7) throw std::runtime_error("job 7 failed");
+      });
+      FAIL() << "expected an exception (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "job 3 failed") << "threads=" << threads;
+    }
+  }
+}
+
+TEST(SweepRunnerTest, AllJobsFinishDespiteEarlyThrow) {
+  // A throwing job must not stop the remaining jobs from running.
+  std::vector<std::atomic<int>> hits(32);
+  const SweepRunner pool(4);
+  EXPECT_THROW(pool.run_indexed(hits.size(),
+                                [&](std::size_t i) {
+                                  if (i == 0) throw std::runtime_error("x");
+                                  ++hits[i];
+                                }),
+               std::runtime_error);
+  for (std::size_t i = 1; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(SweepRunnerTest, MapItemsPassesElements) {
+  const std::vector<std::string> items{"a", "bb", "ccc"};
+  const SweepRunner pool(2);
+  const auto r =
+      pool.map_items(items, [](const std::string& s) { return s.size(); });
+  EXPECT_EQ(r, (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(SweepRunnerTest, DefaultThreadsAtLeastOne) {
+  const SweepRunner pool;
+  EXPECT_GE(pool.threads(), 1u);
+}
+
+}  // namespace
+}  // namespace sttcp::harness

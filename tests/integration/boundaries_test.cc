@@ -31,7 +31,7 @@ TEST(BoundariesTest, BothHeartbeatLinksDeadIsSplitBrainButOneSurvives) {
   // link dies entirely. Data to/from the client keeps flowing.
   sc.world().loop().schedule_after(sim::Duration::millis(500), [&sc] {
     sc.serial().fail();
-    auto hb_only = [](const net::Bytes& frame) {
+    auto hb_only = [](const net::Frame& frame) {
       // UDP heartbeats are small frames; TCP data/acks pass.
       return frame.size() < 300 && frame.size() > 60;
     };

@@ -1,0 +1,114 @@
+// Determinism regression: a fixed-seed scenario must be bit-identical run
+// to run — the full event trace, every frame on the LAN, and the exact byte
+// stream the client observes. This pins down the zero-copy frame path and
+// the event-loop rewrite: any ordering change in the switch fan-out or the
+// timer heap shows up here as a trace diff.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "app/client.h"
+#include "app/server.h"
+#include "harness/scenario.h"
+#include "harness/sweep.h"
+#include "net/frame.h"
+#include "tcp/connection.h"
+
+namespace sttcp {
+namespace {
+
+struct RunRecord {
+  std::string trace;          // full trace dump, line per event
+  net::Bytes client_bytes;    // exact byte stream the client read
+  std::uint64_t frame_hash = 0;  // FNV-1a over (time, frame bytes) at the switch
+  std::uint64_t frames = 0;
+
+  bool operator==(const RunRecord&) const = default;
+};
+
+// One fixed-seed failover run: replicated download, primary crashes
+// mid-flight, backup takes over, client keeps reading.
+RunRecord failover_run(std::uint64_t seed) {
+  harness::ScenarioConfig cfg;
+  cfg.seed = seed;
+  harness::Scenario sc(std::move(cfg));
+  // Seeded loss makes the run exercise retransmission and makes distinct
+  // seeds observably different (the link RNGs fork from the world seed).
+  sc.client_link().set_drop_probability(0.02);
+
+  RunRecord out;
+  sc.ethernet_switch().set_frame_tap(
+      [&out](sim::SimTime at, const net::Frame& f) {
+        std::uint64_t h = out.frame_hash ^ static_cast<std::uint64_t>(at.ns());
+        for (const std::uint8_t b : f) h = (h ^ b) * 1099511628211ull;
+        out.frame_hash = h;
+        ++out.frames;
+      });
+
+  const std::uint64_t size = 2'000'000;
+  app::FileServer p_app(sc.primary_stack(), sc.service_port(), size);
+  app::FileServer b_app(sc.backup_stack(), sc.service_port(), size);
+
+  tcp::TcpConnection* conn = nullptr;
+  tcp::TcpConnection::Callbacks cb;
+  cb.on_readable = [&] {
+    const net::Bytes chunk = conn->read(1 << 20);
+    out.client_bytes.insert(out.client_bytes.end(), chunk.begin(), chunk.end());
+  };
+  cb.on_peer_closed = [&] { conn->close(); };
+  conn = &sc.client_stack().connect(sc.client_ip(), sc.connect_addr(),
+                                    std::move(cb));
+
+  sc.inject(harness::Fault::Crash(harness::Node::kPrimary)
+                .at(sim::Duration::millis(400)));
+  sc.run_for(sim::Duration::seconds(60));
+
+  out.trace = sc.world().trace().dump();
+  return out;
+}
+
+TEST(DeterminismTest, FixedSeedFailoverIsBitIdentical) {
+  const RunRecord a = failover_run(42);
+  const RunRecord b = failover_run(42);
+
+  // The run must actually exercise the interesting machinery.
+  ASSERT_EQ(a.client_bytes.size(), 2'000'000u);
+  ASSERT_GT(a.frames, 1000u);
+  ASSERT_NE(a.trace.find("takeover"), std::string::npos);
+
+  EXPECT_EQ(a.client_bytes, b.client_bytes);
+  EXPECT_EQ(a.frames, b.frames);
+  EXPECT_EQ(a.frame_hash, b.frame_hash);
+  // Compare sizes first so a mismatch doesn't dump two full traces.
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  EXPECT_EQ(a.trace, b.trace);
+}
+
+TEST(DeterminismTest, DifferentSeedsDiverge) {
+  // Sanity check that the seed actually feeds the world: otherwise the
+  // fixed-seed test above would pass vacuously. The protocol-milestone
+  // trace is loss-insensitive; the seed shows up in the frame flow (which
+  // frames drop, and hence which get retransmitted and when).
+  const RunRecord a = failover_run(1);
+  const RunRecord b = failover_run(2);
+  EXPECT_EQ(a.client_bytes, b.client_bytes);  // payload is seed-independent
+  EXPECT_NE(a.frame_hash, b.frame_hash);
+}
+
+TEST(DeterminismTest, SweepRunnerThreadCountInvariant) {
+  // The same seed sweep through 1 thread and through a pool must produce
+  // identical per-job results, in the same order.
+  const auto job = [](std::size_t i) { return failover_run(100 + i); };
+  const auto serial = harness::SweepRunner(1).map(4, job);
+  const auto pooled = harness::SweepRunner(4).map(4, job);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].trace, pooled[i].trace) << "job " << i;
+    EXPECT_EQ(serial[i].client_bytes, pooled[i].client_bytes) << "job " << i;
+    EXPECT_EQ(serial[i].frame_hash, pooled[i].frame_hash) << "job " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sttcp

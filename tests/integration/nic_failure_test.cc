@@ -201,7 +201,7 @@ TEST(NicFailureTest, HoldBufferOverflowForcesNonFt) {
   // and ACK-sized frames survive, so the dual HB stays up.
   rig.scenario.world().loop().schedule_after(sim::Duration::millis(200), [&rig] {
     rig.scenario.backup_link().set_drop_filter(
-        [](const net::Bytes& frame) { return frame.size() > 300; });
+        [](const net::Frame& frame) { return frame.size() > 300; });
   });
   rig.scenario.run_for(sim::Duration::seconds(30));
 

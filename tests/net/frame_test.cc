@@ -1,0 +1,106 @@
+// net::Frame: ref-counted immutable frame buffer semantics.
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+namespace sttcp::net {
+namespace {
+
+Bytes make_bytes(std::size_t n) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<std::uint8_t>(i);
+  return b;
+}
+
+TEST(FrameTest, DefaultIsEmpty) {
+  const Frame f;
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.size(), 0u);
+  EXPECT_EQ(f.data(), nullptr);
+  EXPECT_TRUE(f.view().empty());
+}
+
+TEST(FrameTest, WrapsBytesWithoutChangingContent) {
+  const Frame f(make_bytes(64));
+  ASSERT_EQ(f.size(), 64u);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_EQ(f[i], static_cast<std::uint8_t>(i));
+  }
+  EXPECT_EQ(f.view().size(), 64u);
+  EXPECT_EQ(f.view().data(), f.data());
+}
+
+TEST(FrameTest, CopySharesTheBuffer) {
+  const Frame a(make_bytes(1500));
+  EXPECT_EQ(a.use_count(), 1);
+  const Frame b = a;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(a.use_count(), 2);
+  EXPECT_EQ(b.use_count(), 2);
+  // Same underlying storage: fan-out is a refcount bump, not a copy.
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(a, b);
+}
+
+TEST(FrameTest, MoveTransfersOwnership) {
+  Frame a(make_bytes(32));
+  const std::uint8_t* p = a.data();
+  const Frame b = std::move(a);
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b.use_count(), 1);
+}
+
+TEST(FrameTest, CopyOfDetachesFromSource) {
+  Bytes src = make_bytes(16);
+  const Frame f = Frame::copy_of(BytesView(src.data(), src.size()));
+  src[0] = 0xff;  // must not be visible through the frame
+  EXPECT_EQ(f[0], 0x00);
+  EXPECT_EQ(f.size(), 16u);
+}
+
+TEST(FrameTest, SubframeSharesBuffer) {
+  const Frame f(make_bytes(100));
+  const Frame sub = f.subframe(10, 20);
+  EXPECT_EQ(sub.size(), 20u);
+  EXPECT_EQ(sub.data(), f.data() + 10);
+  EXPECT_EQ(sub[0], 10);
+  EXPECT_EQ(f.use_count(), 2);  // no new allocation
+}
+
+TEST(FrameTest, SubframeClampsOutOfRange) {
+  const Frame f(make_bytes(10));
+  EXPECT_EQ(f.subframe(4, 100).size(), 6u);
+  EXPECT_EQ(f.subframe(100, 5).size(), 0u);
+  EXPECT_TRUE(f.subframe(10, 0).empty());
+}
+
+TEST(FrameTest, CloneIsDetachedAndMutable) {
+  const Frame f(make_bytes(8));
+  Bytes copy = f.clone();
+  copy[0] = 0xaa;
+  EXPECT_EQ(f[0], 0x00);
+  EXPECT_EQ(copy.size(), f.size());
+  EXPECT_EQ(f.use_count(), 1);  // clone did not retain the buffer
+}
+
+TEST(FrameTest, EqualityIsContentBased) {
+  const Frame a(make_bytes(32));
+  const Frame b(make_bytes(32));   // distinct buffer, same content
+  const Frame c(make_bytes(31));
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  Bytes other = make_bytes(32);
+  other[5] ^= 1;
+  EXPECT_FALSE(a == Frame(std::move(other)));
+}
+
+TEST(FrameTest, SubframeOfSubframeComposesOffsets) {
+  const Frame f(make_bytes(100));
+  const Frame inner = f.subframe(20, 60).subframe(10, 5);
+  EXPECT_EQ(inner.size(), 5u);
+  EXPECT_EQ(inner[0], 30);
+}
+
+}  // namespace
+}  // namespace sttcp::net

@@ -12,11 +12,11 @@ namespace {
 class CollectSink final : public FrameSink {
  public:
   explicit CollectSink(sim::World& world) : world_(world) {}
-  void deliver_frame(Bytes frame) override {
+  void deliver_frame(Frame frame) override {
     frames.push_back(std::move(frame));
     times.push_back(world_.now());
   }
-  std::vector<Bytes> frames;
+  std::vector<Frame> frames;
   std::vector<sim::SimTime> times;
 
  private:

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+
 #include "net/headers.h"
 #include "net/nic.h"
 #include "sim/world.h"
@@ -22,7 +24,7 @@ class SwitchTest : public ::testing::Test {
       sw_.add_port(links_[i]->port(1));
       received_.emplace_back();
       auto* bucket = &received_.back();
-      nics_[i]->set_host_sink([bucket](Bytes f) { bucket->push_back(std::move(f)); });
+      nics_[i]->set_host_sink([bucket](Frame f) { bucket->push_back(std::move(f)); });
     }
   }
 
@@ -41,7 +43,7 @@ class SwitchTest : public ::testing::Test {
   MacAddr macs_[3];
   std::vector<std::unique_ptr<Nic>> nics_;
   std::vector<std::unique_ptr<Link>> links_;
-  std::deque<std::vector<Bytes>> received_;
+  std::deque<std::vector<Frame>> received_;
 };
 
 TEST_F(SwitchTest, FloodsUnknownDestinationExceptIngress) {

@@ -147,7 +147,7 @@ TEST(EndpointTest, InferredReplicaSurvivesPrimaryDeathBeforeAnnounce) {
   // UDP frames (heartbeats/control), leaving its TCP traffic untouched:
   // the IPv4 protocol byte sits at Ethernet(14) + 9.
   sc.primary_link().set_drop_filter(
-      [](const net::Bytes& f) { return f.size() > 23 && f[23] == 17; });
+      [](const net::Frame& f) { return f.size() > 23 && f[23] == 17; });
   sc.inject(harness::Fault::Crash(harness::Node::kPrimary).at(sim::Duration::millis(50)));
   sc.run_for(sim::Duration::seconds(60));
   EXPECT_TRUE(client.complete());

@@ -106,7 +106,7 @@ TEST(LoggerTest, PassiveCaptureTracksClientStream) {
 void run_gap_then_crash(UploadRig& rig) {
   rig.sc.world().loop().schedule_after(sim::Duration::millis(300), [&rig] {
     rig.sc.backup_link().set_drop_filter(
-        [](const net::Bytes& f) { return f.size() > 300; });
+        [](const net::Frame& f) { return f.size() > 300; });
   });
   rig.sc.world().loop().schedule_after(sim::Duration::millis(320), [&rig] {
     rig.sc.backup_link().set_drop_filter(nullptr);

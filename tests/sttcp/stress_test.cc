@@ -1,0 +1,78 @@
+// Stress: 64 concurrent replicated connections through a tapped switch,
+// crashed primary, under an event budget. Exercises the zero-copy frame
+// fan-out (multicast tap + 64-flow interleave) and the event-loop timer
+// churn at a scale the unit tests don't reach; runs in the sanitizer lane.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "app/client.h"
+#include "app/server.h"
+#include "harness/scenario.h"
+#include "net/frame.h"
+
+namespace sttcp {
+namespace {
+
+TEST(SttcpStressTest, SixtyFourConnectionsSurviveFailover) {
+  constexpr int kConnections = 64;
+  constexpr std::uint64_t kFileSize = 1'000'000;
+
+  harness::Scenario sc{harness::ScenarioConfig{}};
+  // Runaway guard: the whole run (64 x 1 MB replicated downloads plus a
+  // failover) must fit a bounded number of events or something is looping.
+  sc.world().loop().set_event_budget(80'000'000);
+
+  // Tap every LAN frame, as the pcap writer would: each tapped frame is a
+  // refcount on the sender's buffer, and must stay readable here.
+  std::uint64_t tapped_frames = 0;
+  std::uint64_t tapped_bytes = 0;
+  sc.ethernet_switch().set_frame_tap(
+      [&](sim::SimTime, const net::Frame& f) {
+        ++tapped_frames;
+        tapped_bytes += f.size();
+        ASSERT_FALSE(f.empty());
+      });
+
+  app::FileServer p_app(sc.primary_stack(), sc.service_port(), kFileSize);
+  app::FileServer b_app(sc.backup_stack(), sc.service_port(), kFileSize);
+
+  std::vector<std::unique_ptr<app::DownloadClient>> clients;
+  clients.reserve(kConnections);
+  for (int i = 0; i < kConnections; ++i) {
+    app::DownloadClient::Options opt;
+    opt.expected_bytes = kFileSize;
+    clients.push_back(std::make_unique<app::DownloadClient>(
+        sc.client_stack(), sc.client_ip(),
+        std::vector<net::SocketAddr>{sc.connect_addr()}, opt));
+    clients.back()->start();
+  }
+
+  sc.run_for(sim::Duration::millis(600));
+  EXPECT_EQ(sc.backup_endpoint()->replicated_connections(),
+            static_cast<std::size_t>(kConnections));
+
+  sc.inject(harness::Fault::Crash(harness::Node::kPrimary)
+                .at(sim::Duration::zero()));
+  sc.run_for(sim::Duration::seconds(120));
+
+  int complete = 0, intact = 0, failures = 0;
+  for (const auto& c : clients) {
+    if (c->complete()) ++complete;
+    if (!c->corrupt()) ++intact;
+    failures += c->connection_failures();
+  }
+  EXPECT_EQ(complete, kConnections);
+  EXPECT_EQ(intact, kConnections);
+  EXPECT_EQ(failures, 0);
+  EXPECT_EQ(sc.world().trace().count("takeover"), 1u);
+
+  // The tap must have seen the whole transfer: at least the payload volume
+  // once (client->multicast frames are tapped once at ingress).
+  EXPECT_GT(tapped_frames, 64u * 100u);
+  EXPECT_GT(tapped_bytes, kConnections * kFileSize);
+}
+
+}  // namespace
+}  // namespace sttcp

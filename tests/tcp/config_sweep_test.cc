@@ -3,9 +3,12 @@
 // combinations the demo benches use.
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "app/client.h"
 #include "app/server.h"
 #include "harness/scenario.h"
+#include "harness/sweep.h"
 #include "tests/tcp/tcp_fixture.h"
 
 namespace sttcp::tcp {
@@ -126,6 +129,41 @@ INSTANTIATE_TEST_SUITE_P(Configs, SttcpConfigSweepTest,
                          [](const ::testing::TestParamInfo<SweepParam>& info) {
                            return info.param.name;
                          });
+
+// The demo benches run this grid through harness::SweepRunner; the pooled
+// sweep must reproduce the serial one exactly (each job owns its World).
+TEST(ConfigSweepRunnerTest, PooledSweepMatchesSerial) {
+  const auto job = [](std::size_t i) {
+    const SweepParam& p = kParams[i];
+    harness::ScenarioConfig cfg;
+    cfg.tcp.mss = p.mss;
+    cfg.tcp.send_buffer = p.send_buffer;
+    cfg.tcp.recv_buffer = p.recv_buffer;
+    cfg.tcp.min_rto = sim::Duration::millis(p.min_rto_ms);
+    cfg.tcp.congestion_control = p.congestion_control;
+    harness::Scenario sc(std::move(cfg));
+    const std::uint64_t size = 400'000;
+    app::FileServer p_app(sc.primary_stack(), sc.service_port(), size);
+    app::FileServer b_app(sc.backup_stack(), sc.service_port(), size);
+    app::DownloadClient::Options opt;
+    opt.expected_bytes = size;
+    app::DownloadClient client(sc.client_stack(), sc.client_ip(),
+                               {sc.connect_addr()}, opt);
+    client.start();
+    sc.run_for(sim::Duration::seconds(60));
+    return std::tuple(client.complete(), client.corrupt(), client.received(),
+                      sc.world().trace().entries().size());
+  };
+  // A small slice of the grid keeps this fast even under sanitizers.
+  constexpr std::size_t kJobs = 3;
+  const auto serial = harness::SweepRunner(1).map(kJobs, job);
+  const auto pooled = harness::SweepRunner(4).map(kJobs, job);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    EXPECT_TRUE(std::get<0>(serial[i])) << kParams[i].name;
+    EXPECT_FALSE(std::get<1>(serial[i])) << kParams[i].name;
+    EXPECT_EQ(serial[i], pooled[i]) << kParams[i].name;
+  }
+}
 
 }  // namespace
 }  // namespace sttcp::tcp
