@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure, build, run the full test suite. With --asan, also
-# build the ASan+UBSan configuration and run the sttcp + obs subset under it
-# (the full suite under ASan is slow; the ST-TCP engine and the telemetry
-# layer are where the pointer-heavy code lives). With --release, also build
+# build the ASan+UBSan configuration and run the sttcp + obs subset plus the
+# chaos sweeps under it (the full suite under ASan is slow; the ST-TCP engine
+# — including the reintegration snapshot path — and the telemetry layer are
+# where the pointer-heavy code lives, and the chaos/two-failure sweeps drive
+# the widest state coverage). With --release, also build
 # the optimized lane the benchmarks are measured in and smoke-run bench_micro
 # (see docs/PERFORMANCE.md).
 #
@@ -23,7 +25,7 @@ for arg in "$@"; do
     --asan)
       cmake -B build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSTTCP_SANITIZE=ON >/dev/null
       cmake --build build-asan -j "$JOBS"
-      ctest --test-dir build-asan --output-on-failure -j "$JOBS" -R 'sttcp|obs'
+      ctest --test-dir build-asan --output-on-failure -j "$JOBS" -R 'sttcp|obs|chaos'
       ;;
     --release)
       cmake -B build-release -DCMAKE_BUILD_TYPE=Release >/dev/null

@@ -33,11 +33,28 @@ ServerApp::ServerApp(tcp::TcpStack& stack, std::uint16_t port, std::string name)
       conns_.erase(ref.tcp);
     };
     conn.set_callbacks(std::move(cb));
+
+    // Reintegration: if a checkpoint is staged for this 4-tuple, this is a
+    // mid-stream adoption, not a fresh client — resume where the survivor's
+    // instance stands instead of serving from the beginning.
+    if (auto it = staged_.find(conn.tuple()); it != staged_.end()) {
+      ref.to_serve = it->second.to_serve;
+      ref.served = it->second.served;
+      ref.request_seen = it->second.request_seen;
+      ref.echo_pending = std::move(it->second.echo_pending);
+      staged_.erase(it);
+      if (active()) {
+        beat();
+        on_adopted(ref);
+      }
+      return;
+    }
     if (active()) {
       beat();
       on_accept(ref);
     }
   });
+  stack_.host().add_boot_hook([this] { reset_for_boot(); });
 }
 
 void ServerApp::hang() { hung_ = true; }
@@ -57,6 +74,59 @@ void ServerApp::crash_abort() {
   victims.reserve(conns_.size());
   for (auto& [tcp_conn, c] : conns_) victims.push_back(tcp_conn);
   for (auto* v : victims) v->abort();
+}
+
+net::Bytes ServerApp::checkpoint() const {
+  net::Bytes out;
+  net::ByteWriter w(out);
+  w.u16(static_cast<std::uint16_t>(conns_.size()));
+  for (const auto& [tcp_conn, c] : conns_) {
+    const tcp::FourTuple& t = tcp_conn->tuple();
+    w.u32(t.remote.ip.value());
+    w.u16(t.remote.port);
+    w.u32(t.local.ip.value());
+    w.u16(t.local.port);
+    w.u64(c->to_serve);
+    w.u64(c->served);
+    w.u8(c->request_seen ? 1 : 0);
+    w.u32(static_cast<std::uint32_t>(c->echo_pending.size()));
+    w.bytes(c->echo_pending);
+  }
+  return out;
+}
+
+void ServerApp::stage_restore(net::BytesView data) {
+  staged_.clear();
+  if (data.empty()) return;
+  try {
+    net::ByteReader r(data);
+    const std::uint16_t count = r.u16();
+    for (std::uint16_t i = 0; i < count; ++i) {
+      tcp::FourTuple t;
+      const net::Ipv4Addr client_ip(r.u32());
+      const std::uint16_t client_port = r.u16();
+      t.remote = net::SocketAddr{client_ip, client_port};
+      const net::Ipv4Addr local_ip(r.u32());
+      const std::uint16_t local_port = r.u16();
+      t.local = net::SocketAddr{local_ip, local_port};
+      Conn c;
+      c.to_serve = r.u64();
+      c.served = r.u64();
+      c.request_seen = r.u8() != 0;
+      const std::uint32_t echo_len = r.u32();
+      c.echo_pending = net::to_bytes(r.bytes(echo_len));
+      staged_[t] = std::move(c);
+    }
+  } catch (const std::exception&) {
+    staged_.clear();  // malformed checkpoint: adopt conservatively from zero
+  }
+}
+
+void ServerApp::reset_for_boot() {
+  conns_.clear();
+  staged_.clear();
+  hung_ = false;
+  crashed_ = false;
 }
 
 void ServerApp::on_peer_closed(Conn& c) {

@@ -51,6 +51,18 @@ class ServerApp {
   /// work while healthy.
   void set_heartbeat_hook(std::function<void()> hook) { hb_hook_ = std::move(hook); }
 
+  // --- reintegration checkpoint ---------------------------------------------
+  /// Serialize per-connection application state (serve/echo progress, keyed
+  /// by 4-tuple). Carried opaquely inside the ST-TCP rejoin snapshot.
+  net::Bytes checkpoint() const;
+  /// Stage a checkpoint received from the survivor. Applied per connection
+  /// as the corresponding replica is adopted (its accept callback fires);
+  /// adopted connections resume mid-stream instead of starting over.
+  void stage_restore(net::BytesView data);
+  /// Fresh process after a host reboot: no connections, not hung/crashed.
+  /// Registered as a Host boot hook.
+  void reset_for_boot();
+
  protected:
   struct Conn {
     tcp::TcpConnection* tcp = nullptr;
@@ -64,6 +76,10 @@ class ServerApp {
   virtual void on_data(Conn& c) = 0;
   virtual void on_writable(Conn& c) = 0;
   virtual void on_peer_closed(Conn& c);
+  /// A connection adopted mid-stream from a staged checkpoint (reintegration)
+  /// instead of freshly accepted. Default: resume writing where the
+  /// checkpoint left off — correct for every pattern-serving server here.
+  virtual void on_adopted(Conn& c) { on_writable(c); }
 
   /// Write pattern bytes [c.served, c.served+n) as buffer space allows.
   void serve_pattern(Conn& c, std::uint64_t budget);
@@ -76,6 +92,8 @@ class ServerApp {
   std::uint16_t port_;
   std::string name_;
   std::map<tcp::TcpConnection*, std::unique_ptr<Conn>> conns_;
+  /// Checkpoint state awaiting its replica, keyed by 4-tuple (stage_restore).
+  std::map<tcp::FourTuple, Conn> staged_;
   bool hung_ = false;
   bool crashed_ = false;
   std::function<void()> hb_hook_;

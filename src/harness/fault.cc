@@ -45,6 +45,16 @@ Fault Fault::Crash(Node n) {
   return f;
 }
 
+Fault Fault::PowerOn(Node n) {
+  Fault f;
+  f.label_ = std::string("power_on:") + to_string(n);
+  f.action_ = [n](Scenario& s) {
+    s.world().trace().record(to_string(n), "power_on");
+    host_of(s, n).power_on();
+  };
+  return f;
+}
+
 Fault Fault::NicFailure(Node n) {
   Fault f;
   f.label_ = std::string("nic_failure:") + to_string(n);

@@ -35,6 +35,10 @@ class Fault {
  public:
   /// HW/OS crash: the host stops entirely (Table 1 row 1).
   static Fault Crash(Node n);
+  /// Revive a crashed host: power restored, NICs healed, boot hooks run
+  /// (blank TCP stack, fresh application, ST-TCP rejoin solicitation). The
+  /// inverse of Crash; a no-op on a host that is already up.
+  static Fault PowerOn(Node n);
   /// NIC/cable failure: the NIC goes down, the host keeps running (row 4).
   static Fault NicFailure(Node n);
   static Fault NicRestore(Node n);

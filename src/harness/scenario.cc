@@ -261,6 +261,9 @@ void Scenario::export_metrics() {
     reg.counter(p + ".missed_bytes_injected").set(s.missed_bytes_injected);
     reg.counter(p + ".logger_bytes_injected").set(s.logger_bytes_injected);
     reg.counter(p + ".takeovers").set(s.takeovers);
+    reg.counter(p + ".reintegrations").set(s.reintegrations);
+    reg.counter(p + ".rejoins").set(s.rejoins);
+    reg.counter(p + ".snapshot_conns_adopted").set(s.snapshot_conns_adopted);
   }
 
   if (pcap_ != nullptr) {

@@ -38,7 +38,17 @@ void Host::crash(const std::string& reason) {
   for (auto& [id, p] : pending_pings_) world_.loop().cancel(p.timeout_timer);
   pending_pings_.clear();
   for (auto& hook : crash_hooks_) hook();
-  crash_hooks_.clear();
+}
+
+void Host::power_on() {
+  if (alive_) return;
+  alive_ = true;
+  cpu_busy_until_ = sim::SimTime();
+  pending_pings_.clear();
+  log_.info("powered on");
+  world_.trace().record(name_, "host_boot");
+  for (auto& n : nics_) n->heal();
+  for (auto& hook : boot_hooks_) hook();
 }
 
 bool Host::send_ip(Ipv4Addr src, Ipv4Addr dst, std::uint8_t protocol, BytesView l4) {

@@ -67,10 +67,20 @@ class Host {
   // --- lifecycle ----------------------------------------------------------
   bool alive() const { return alive_; }
   /// Hard stop: HW/OS crash or external power-off. All NICs go down, all
-  /// pending received packets are lost, crash hooks fire once.
+  /// pending received packets are lost, crash hooks fire.
   void crash(const std::string& reason);
-  /// Invoked exactly once on crash (lets bound services cancel timers).
+  /// Bring a crashed host back up: NICs heal, the CPU queue is empty, and
+  /// boot hooks fire in registration order so bound services can reinitialise
+  /// (the simulated machine reboots with blank RAM but its software
+  /// reinstalls itself). No-op on a live host.
+  void power_on();
+  /// Invoked on every crash (lets bound services cancel timers). Hooks are
+  /// persistent: a host that crashes, reboots, and crashes again fires them
+  /// each time.
   void add_crash_hook(CrashHook hook) { crash_hooks_.push_back(std::move(hook)); }
+  /// Invoked on every power_on(), in registration order (services register at
+  /// construction, so lower layers reset before the ones stacked on them).
+  void add_boot_hook(CrashHook hook) { boot_hooks_.push_back(std::move(hook)); }
 
   // --- sending ------------------------------------------------------------
   /// Route + ARP + frame + transmit an IP packet. Returns false if the host
@@ -117,6 +127,7 @@ class Host {
   std::unordered_map<std::uint16_t, UdpHandler> udp_handlers_;
   std::unordered_map<std::uint8_t, L4Handler> l4_handlers_;
   std::vector<CrashHook> crash_hooks_;
+  std::vector<CrashHook> boot_hooks_;
 
   struct PendingPing {
     PingCallback cb;

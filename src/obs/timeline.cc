@@ -16,6 +16,8 @@ const char* to_string(Milestone m) {
     case Milestone::kStonith: return "stonith";
     case Milestone::kTakeover: return "takeover";
     case Milestone::kFirstByteAfterTakeover: return "first_byte_after_takeover";
+    case Milestone::kReintegrationStart: return "reintegration_start";
+    case Milestone::kReintegrationComplete: return "reintegration_complete";
     case Milestone::kCount: break;
   }
   return "?";

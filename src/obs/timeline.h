@@ -30,6 +30,9 @@ enum class Milestone {
   kTakeover,                // backup assumed the connections (or primary
                             // entered non-FT mode)
   kFirstByteAfterTakeover,  // first payload byte reached the client again
+  kReintegrationStart,      // survivor accepted a rejoin request and began
+                            // streaming its snapshot
+  kReintegrationComplete,   // pair back in FT mode (replication resumed)
   kCount,
 };
 

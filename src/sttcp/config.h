@@ -83,6 +83,14 @@ struct StTcpConfig {
   /// extension; quantified by the ablation bench).
   bool immediate_retransmit_on_takeover = false;
 
+  // --- reintegration (beyond the paper) ----------------------------------------
+  /// Survivor: how long to wait for the rejoiner's "ready" before re-sending
+  /// the snapshot (snapshot datagrams are unreliable UDP).
+  sim::Duration reintegration_retry = sim::Duration::millis(400);
+  /// Survivor: snapshot attempts before abandoning the reintegration and
+  /// falling back to unprotected single-server operation.
+  int reintegration_max_attempts = 25;
+
   // --- housekeeping -----------------------------------------------------------
   /// Closed connections linger in heartbeat records this long (lets the peer
   /// observe the closed flag before the record disappears).

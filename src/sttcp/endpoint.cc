@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sttcp/logger.h"
+#include "sttcp/reintegration.h"
 
 namespace sttcp::sttcp {
 
@@ -19,7 +20,9 @@ StTcpEndpoint::StTcpEndpoint(net::Host& host, tcp::TcpStack& stack,
       world_(host.world()),
       hb_timer_(host.world().loop()),
       ping_timer_(host.world().loop()),
-      logger_timer_(host.world().loop()) {}
+      logger_timer_(host.world().loop()) {
+  reintegrator_ = std::make_unique<Reintegrator>(*this);
+}
 
 StTcpEndpoint::~StTcpEndpoint() = default;
 
@@ -38,13 +41,7 @@ void StTcpEndpoint::start() {
   }
 
   stack_.set_observer(this);
-  if (role_ == Role::kBackup) {
-    stack_.set_replica_mode(true);
-    stack_.set_replica_inference(
-        [this](const tcp::FourTuple& t, tcp::SeqWire iss, tcp::SeqWire irs) {
-          create_replica_inferred(t, iss, irs);
-        });
-  }
+  if (role_ == Role::kBackup) install_replica_seams();
 
   host_.udp_bind(cfg_.hb_port, [this](net::Ipv4Addr, std::uint16_t,
                                       net::BytesView payload) {
@@ -64,12 +61,26 @@ void StTcpEndpoint::start() {
     hb_timer_.stop();
     ping_timer_.cancel();
   });
+  // Reintegration: a powered-on host re-enters the pair as a rejoining
+  // backup. Runs after the stack's own boot hook (registered in the stack
+  // ctor, before this endpoint existed), so the stack is already blank.
+  host_.add_boot_hook([this] {
+    if (started_) reintegrator_->enter_rejoin();
+  });
 
   hb_timer_.start(cfg_.hb_period, [this] {
     send_heartbeat();
     detector_tick();
   });
   log_.info("ST-TCP ", to_string(role_), " started (hb=", cfg_.hb_period.str(), ")");
+}
+
+void StTcpEndpoint::install_replica_seams() {
+  stack_.set_replica_mode(true);
+  stack_.set_replica_inference(
+      [this](const tcp::FourTuple& t, tcp::SeqWire iss, tcp::SeqWire irs) {
+        create_replica_inferred(t, iss, irs);
+      });
 }
 
 bool StTcpEndpoint::ip_channel_alive() const {
@@ -98,6 +109,9 @@ void StTcpEndpoint::send_heartbeat(bool include_serial) {
   msg.ping_valid = my_ping_valid_;
   msg.ping_ok = my_ping_ok_;
   msg.app_suspect = local_app_suspect_;
+  msg.rejoin_request = reintegrator_->rejoin_request_flag();
+  msg.rejoin_ready = reintegrator_->rejoin_ready_flag();
+  msg.rejoin_epoch = reintegrator_->epoch();
   msg.records.reserve(conns_.size());
   for (auto& [id, rc] : conns_) {
     HbRecord rec;
@@ -138,6 +152,17 @@ void StTcpEndpoint::on_hb_datagram(net::BytesView payload, bool via_serial) {
 }
 
 void StTcpEndpoint::on_heartbeat(const HeartbeatMsg& msg, bool via_serial) {
+  // Rejoin solicitations are handled BEFORE the role-reflection guard: a
+  // former backup that survived a takeover still calls itself backup, and so
+  // does the rejoiner — identical roles must not drop the request. A
+  // replicating backup ignores it (the detector promotes us first; the
+  // requesting peer is by definition not heartbeating normally).
+  if (msg.rejoin_request &&
+      (mode_ == Mode::kTakenOver || mode_ == Mode::kNonFaultTolerant ||
+       mode_ == Mode::kReintegrating ||
+       (mode_ == Mode::kReplicating && role_ == Role::kPrimary))) {
+    reintegrator_->on_rejoin_request(msg.rejoin_epoch);
+  }
   if (msg.role == role_) return;  // our own reflection; should not happen
   if (via_serial) {
     if (m_hb_gap_serial_us_ != nullptr) {
@@ -155,15 +180,24 @@ void StTcpEndpoint::on_heartbeat(const HeartbeatMsg& msg, bool via_serial) {
     ++stats_.hb_received_ip;
   }
   if (timeline_ != nullptr) timeline_->heartbeat_seen(world_.now());
-  if (mode_ != Mode::kReplicating) return;
+  if (msg.rejoin_ready) reintegrator_->on_rejoin_ready(msg.rejoin_epoch);
+  if (!replicating_or_reintegrating()) return;
 
   if (msg.ping_valid) {
     peer_ping_fail_streak_ = msg.ping_ok ? 0 : peer_ping_fail_streak_ + 1;
   }
-  if (msg.app_suspect) peer_app_suspect_ = true;
+  // A suspicion raised mid-reintegration must not convict the peer the
+  // instant replication resumes; only assimilate it in steady state.
+  if (msg.app_suspect && mode_ == Mode::kReplicating) peer_app_suspect_ = true;
+
+  // A rejoiner that has not yet applied the snapshot cannot interpret
+  // records (it has no connections, and an announce would cold-start a
+  // from-scratch replica for a mid-stream connection).
+  if (mode_ == Mode::kRejoining && !reintegrator_->snapshot_applied()) return;
 
   for (const HbRecord& rec : msg.records) {
-    if (!active()) break;  // a record may have triggered a failover action
+    // A record may have triggered a failover action.
+    if (!replicating_or_reintegrating()) break;
     process_record(rec);
   }
 }
@@ -228,7 +262,10 @@ void StTcpEndpoint::process_record(const HbRecord& rec) {
   // has had a couple of heartbeats to land.
   const bool recovering_peer =
       rc->ever_served && now - rc->last_served_at < cfg_.hb_period * 3;
-  const bool detection_eligible = rc->conn != nullptr && !rc->local_closed &&
+  // No lag conviction while a reintegration is in flight: the rejoiner is
+  // still catching up by design. Trackers are reset when FT resumes.
+  const bool detection_eligible = mode_ == Mode::kReplicating &&
+                                  rc->conn != nullptr && !rc->local_closed &&
                                   !(local_closing && peer_closing) &&
                                   !recovering_peer && ip_channel_alive();
   if (detection_eligible) {
@@ -248,8 +285,9 @@ void StTcpEndpoint::process_record(const HbRecord& rec) {
   // NIC-failure detection via LastByteReceived / LastAckReceived comparison
   // (§4.3) — only meaningful while the IP channel is dead and the serial
   // channel carries the heartbeat.
-  if (!ip_channel_alive() && serial_channel_alive() && rc->conn != nullptr &&
-      !rc->local_closed && !rc->p_closed) {
+  if (mode_ == Mode::kReplicating && !ip_channel_alive() &&
+      serial_channel_alive() && rc->conn != nullptr && !rc->local_closed &&
+      !rc->p_closed) {
     const auto v_rx = rc->lag_received.update(rc->received(), rc->p_received, now);
     const auto v_ack = rc->lag_acked.update(rc->acked(), rc->p_acked, now);
     if (v_rx.failed || v_ack.failed) {
@@ -323,7 +361,10 @@ void StTcpEndpoint::detector_tick() {
 // ---------------------------------------------------------------------------
 
 void StTcpEndpoint::on_accepted(tcp::TcpConnection& conn) {
-  if (mode_ != Mode::kReplicating) return;
+  // A reintegrating survivor keeps registering (and announcing) new
+  // connections; the rejoiner adopts them via the snapshot retry or, once
+  // applied, via the ordinary announce path.
+  if (mode_ != Mode::kReplicating && mode_ != Mode::kReintegrating) return;
   if (conn.tuple().local.ip != cfg_.service_ip ||
       conn.tuple().local.port != cfg_.service_port) {
     return;  // not the replicated service
@@ -360,20 +401,30 @@ void StTcpEndpoint::register_primary_conn(tcp::TcpConnection& conn) {
   conns_.emplace(id, std::move(rc));
   id_by_tuple_[conn.tuple()] = id;
 
+  install_primary_seams(conn, id);
+
+  world_.trace().record(host_.name(), "conn_registered", conn.tuple().str(), id);
+  // Announce immediately rather than waiting out the period (IP channel
+  // only: the periodic beat carries it on serial).
+  send_heartbeat(/*include_serial=*/false);
+}
+
+void StTcpEndpoint::install_primary_seams(tcp::TcpConnection& conn,
+                                          std::uint16_t id) {
   conn.set_rx_tap([this, id](std::uint64_t off, net::BytesView data) {
     ReplConn* r = by_id(id);
-    if (r == nullptr || mode_ != Mode::kReplicating) return;
+    // The hold buffer also feeds the rejoiner during a reintegration — a
+    // gap at adoption is recovered against it.
+    if (r == nullptr ||
+        (mode_ != Mode::kReplicating && mode_ != Mode::kReintegrating)) {
+      return;
+    }
     r->hold.append(off, data);
     update_hold_gauge();
     // Overflow is handled (deferred) by detector_tick: reacting here would
     // tear down hooks while this very callback executes.
   });
   conn.set_close_gate([this, id](bool is_rst) { return close_gate(id, is_rst); });
-
-  world_.trace().record(host_.name(), "conn_registered", conn.tuple().str(), id);
-  // Announce immediately rather than waiting out the period (IP channel
-  // only: the periodic beat carries it on serial).
-  send_heartbeat(/*include_serial=*/false);
 }
 
 void StTcpEndpoint::create_replica_from(const HbRecord& rec) {
@@ -419,7 +470,10 @@ void StTcpEndpoint::create_replica_from(const HbRecord& rec) {
 
 void StTcpEndpoint::create_replica_inferred(const tcp::FourTuple& tuple,
                                             tcp::SeqWire iss, tcp::SeqWire irs) {
-  if (mode_ != Mode::kReplicating) return;
+  // kRejoining: a connection OPENING during the rejoin window is fully
+  // observable from the tap (SYN + handshake ACK) — adopt it directly; the
+  // snapshot only has to carry connections older than the rejoiner's boot.
+  if (mode_ != Mode::kReplicating && mode_ != Mode::kRejoining) return;
   if (tuple.local.ip != cfg_.service_ip || tuple.local.port != cfg_.service_port) {
     return;  // only the replicated service is adopted
   }
@@ -579,6 +633,14 @@ void StTcpEndpoint::maybe_request_missed(ReplConn& rc) {
 void StTcpEndpoint::on_control_datagram(net::Ipv4Addr src, net::BytesView payload) {
   if (!host_.alive() || mode_ == Mode::kDead) return;
   if (src == cfg_.peer_ip) {
+    // Snapshot-transfer datagrams (reintegration) are routed before
+    // ControlMsg::parse, which only understands the recovery messages.
+    if (!payload.empty() &&
+        payload[0] >= static_cast<std::uint8_t>(ControlType::kSnapshotBegin) &&
+        payload[0] <= static_cast<std::uint8_t>(ControlType::kRejoinCommit)) {
+      reintegrator_->on_control(payload);
+      return;
+    }
     auto msg = ControlMsg::parse(payload);
     if (!msg.has_value()) return;
     switch (msg->type) {
@@ -587,6 +649,8 @@ void StTcpEndpoint::on_control_datagram(net::Ipv4Addr src, net::BytesView payloa
         break;
       case ControlType::kMissedBytesReply:
         apply_missed(msg->reply);
+        break;
+      default:  // snapshot types are routed above, never parsed here
         break;
     }
     return;

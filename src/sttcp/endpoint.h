@@ -41,12 +41,16 @@
 
 namespace sttcp::sttcp {
 
+class Reintegrator;
+
 class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
  public:
   enum class Mode {
     kReplicating,       // normal operation, peer believed healthy
     kNonFaultTolerant,  // primary continuing alone (backup declared failed)
     kTakenOver,         // backup now owns the client connections
+    kReintegrating,     // survivor: streaming its snapshot to a rejoiner
+    kRejoining,         // freshly booted: asking the survivor for a snapshot
     kDead,              // this host crashed
   };
 
@@ -64,6 +68,10 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
     std::uint64_t fin_delayed = 0;
     std::uint64_t fin_agreed = 0;
     std::uint64_t takeovers = 0;
+    std::uint64_t reintegrations = 0;        // survivor side: completed
+    std::uint64_t rejoins = 0;               // rejoiner side: completed
+    std::uint64_t snapshot_conns_sent = 0;
+    std::uint64_t snapshot_conns_adopted = 0;
   };
 
   StTcpEndpoint(net::Host& host, tcp::TcpStack& stack, net::PowerController& power,
@@ -89,6 +97,19 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
   /// Watchdog extension: the application layer reports a suspicion that the
   /// LOCAL application has failed; relayed to the peer via the heartbeat.
   void report_local_app_suspect() { local_app_suspect_ = true; }
+
+  // --- reintegration (beyond the paper) --------------------------------------
+  /// The application's checkpoint: serialized by the survivor into the
+  /// rejoin snapshot, staged on the rejoiner before replica adoption. The
+  /// endpoint is application-agnostic — these are opaque bytes.
+  using CheckpointProvider = std::function<net::Bytes()>;
+  using CheckpointRestorer = std::function<void(net::BytesView)>;
+  void set_checkpoint_provider(CheckpointProvider fn) {
+    checkpoint_provider_ = std::move(fn);
+  }
+  void set_checkpoint_restorer(CheckpointRestorer fn) {
+    checkpoint_restorer_ = std::move(fn);
+  }
 
   // --- tcp::TcpStack::ConnectionObserver -------------------------------------
   void on_accepted(tcp::TcpConnection& conn) override;
@@ -173,6 +194,10 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
 
   // Registration.
   void register_primary_conn(tcp::TcpConnection& conn);
+  /// Install the primary-side per-connection seams (rx tap feeding the hold
+  /// buffer, close gate for FIN arbitration); used at registration and again
+  /// when a reintegrating survivor re-arms a former backup's connections.
+  void install_primary_seams(tcp::TcpConnection& conn, std::uint16_t id);
   void create_replica_from(const HbRecord& rec);
   void create_replica_inferred(const tcp::FourTuple& tuple, tcp::SeqWire iss,
                                tcp::SeqWire irs);
@@ -204,6 +229,15 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
   ReplConn* by_tuple(const tcp::FourTuple& t);
   void gc_closed_conns();
   bool active() const { return mode_ == Mode::kReplicating && host_.alive(); }
+  /// Replication plumbing (taps, records, heartbeats) also runs while a
+  /// reintegration is in flight on either side.
+  bool replicating_or_reintegrating() const {
+    return mode_ == Mode::kReplicating || mode_ == Mode::kReintegrating ||
+           mode_ == Mode::kRejoining;
+  }
+  /// Install the backup-side stack seams (replica mode + ISN inference);
+  /// used at start() and again when this node reboots into a rejoin.
+  void install_replica_seams();
 
   net::Host& host_;
   tcp::TcpStack& stack_;
@@ -249,6 +283,13 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
   obs::Gauge* m_hold_bytes_ = nullptr;
   obs::Counter* m_recovery_bytes_ = nullptr;
   obs::FailoverTimeline* timeline_ = nullptr;
+
+  // Reintegration engine (reintegration.cc); owns the rejoin protocol state
+  // on both sides and reaches into this endpoint as a friend.
+  friend class Reintegrator;
+  std::unique_ptr<Reintegrator> reintegrator_;
+  CheckpointProvider checkpoint_provider_;
+  CheckpointRestorer checkpoint_restorer_;
 
   Stats stats_;
 };

@@ -14,6 +14,8 @@ constexpr std::uint8_t kFlagEstablished = 0x10;
 constexpr std::uint8_t kHdrPingValid = 0x01;
 constexpr std::uint8_t kHdrPingOk = 0x02;
 constexpr std::uint8_t kHdrAppSuspect = 0x04;
+constexpr std::uint8_t kHdrRejoinRequest = 0x08;
+constexpr std::uint8_t kHdrRejoinReady = 0x10;
 }  // namespace
 
 const char* to_string(Role r) {
@@ -31,7 +33,12 @@ net::Bytes HeartbeatMsg::serialize() const {
   if (ping_valid) hf |= kHdrPingValid;
   if (ping_ok) hf |= kHdrPingOk;
   if (app_suspect) hf |= kHdrAppSuspect;
+  if (rejoin_request) hf |= kHdrRejoinRequest;
+  if (rejoin_ready) hf |= kHdrRejoinReady;
   w.u8(hf);
+  // The epoch rides only on rejoin-flagged heartbeats, so the steady-state
+  // record math ("<20 bytes per connection") is untouched.
+  if (rejoin_request || rejoin_ready) w.u32(rejoin_epoch);
   w.u16(static_cast<std::uint16_t>(records.size()));
   for (const HbRecord& r : records) {
     w.u16(r.repl_id);
@@ -68,6 +75,9 @@ std::optional<HeartbeatMsg> HeartbeatMsg::parse(net::BytesView data) {
     m.ping_valid = (hf & kHdrPingValid) != 0;
     m.ping_ok = (hf & kHdrPingOk) != 0;
     m.app_suspect = (hf & kHdrAppSuspect) != 0;
+    m.rejoin_request = (hf & kHdrRejoinRequest) != 0;
+    m.rejoin_ready = (hf & kHdrRejoinReady) != 0;
+    if (m.rejoin_request || m.rejoin_ready) m.rejoin_epoch = r.u32();
     const std::uint16_t count = r.u16();
     m.records.reserve(count);
     for (std::uint16_t i = 0; i < count; ++i) {

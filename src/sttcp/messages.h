@@ -72,6 +72,15 @@ struct HeartbeatMsg {
   /// watchdog suspects the local application has failed.
   bool app_suspect = false;
 
+  /// Reintegration (beyond the paper): a freshly-booted node asks to rejoin
+  /// as backup (rejoin_request); a rejoiner that has applied the survivor's
+  /// snapshot and caught up signals readiness (rejoin_ready). `rejoin_epoch`
+  /// travels only when one of the flags is set (the steady-state heartbeat
+  /// keeps its paper-sized wire format) and makes retries idempotent.
+  bool rejoin_request = false;
+  bool rejoin_ready = false;
+  std::uint32_t rejoin_epoch = 0;
+
   std::vector<HbRecord> records;
 
   net::Bytes serialize() const;
@@ -87,6 +96,13 @@ std::uint64_t unwrap_counter(std::uint32_t wire_value, std::uint64_t previous);
 enum class ControlType : std::uint8_t {
   kMissedBytesRequest = 1,
   kMissedBytesReply = 2,
+  // Reintegration snapshot stream (serialized/parsed in reintegration.cc;
+  // the endpoint routes types >= kSnapshotBegin to the Reintegrator).
+  kSnapshotBegin = 3,   // epoch, connection count, application checkpoint
+  kSnapshotConn = 4,    // one connection's identity, sequence basis, counters
+  kSnapshotData = 5,    // a chunk of a connection's unacked/unread bytes
+  kSnapshotEnd = 6,     // snapshot complete; rejoiner applies atomically
+  kRejoinCommit = 7,    // survivor saw rejoin_ready: both re-enter FT mode
 };
 
 struct MissedBytesRequest {

@@ -155,6 +155,39 @@ void TcpConnection::start_replica(const ReplicaInit& init) {
   suppressed_ = true;
   iss_ = init.iss;
   irs_ = init.irs;
+  if (init.midstream) {
+    // Warm start from a survivor's snapshot (reintegration). The sequence
+    // pointers resume exactly where the survivor's connection stands: the
+    // unacked tail refills the send buffer (a later takeover retransmits it
+    // from here), the unread tail refills the receive queue (application
+    // reads stay byte-exact), and everything below those tails is treated as
+    // already delivered. All of this must be in place before on_established
+    // fires — the adopting application may write immediately.
+    state_ = TcpState::kEstablished;
+    payload_acked_ = init.acked;
+    send_buf_.reset_to(init.acked);
+    send_buf_.append(init.tx_data);
+    app_written_ = send_buf_.end_offset();
+    snd_una_ = iss_ + 1 + init.acked;
+    snd_nxt_ = iss_ + 1 + send_buf_.end_offset();
+    highest_sent_ = snd_nxt_;
+    snd_wnd_ = 65535;  // refreshed by the first tapped client ACK
+    reasm_.reset_to(init.read);
+    app_read_ = init.read;
+    if (!init.rx_data.empty()) reasm_.insert(init.read, init.rx_data);
+    rcv_nxt_ = irs_ + 1 + reasm_.next_expected();
+    if (init.peer_fin && !peer_fin_offset_.has_value()) {
+      peer_fin_offset_ = init.peer_fin_offset;
+      maybe_consume_peer_fin();
+    }
+    last_rx_at_ = stack_.world().now();
+    arm_keepalive();
+    log_.debug("replica adopted mid-stream at acked=", init.acked,
+               " written=", app_written_, " read=", init.read,
+               " received=", reasm_.next_expected());
+    if (cb_.on_established) cb_.on_established();
+    return;
+  }
   rcv_nxt_ = irs_ + 1;
   snd_nxt_ = iss_ + 1;
   if (init.established) {

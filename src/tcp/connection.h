@@ -103,6 +103,17 @@ class TcpConnection {
     /// True when the connection is known established (announce arrived after
     /// the handshake); false when seeded from a tapped client SYN.
     bool established = false;
+
+    /// Mid-stream adoption (ST-TCP reintegration): a rejoining backup warm-
+    /// starts the replica from the survivor's snapshot instead of from the
+    /// connection's beginning. All offsets are absolute payload offsets.
+    bool midstream = false;
+    std::uint64_t acked = 0;   // payload bytes the client has acknowledged
+    std::uint64_t read = 0;    // payload bytes the application has read
+    net::Bytes tx_data;        // sent-but-unacked bytes [acked, written)
+    net::Bytes rx_data;        // received-but-unread bytes [read, received)
+    bool peer_fin = false;     // client FIN already received by the survivor
+    std::uint64_t peer_fin_offset = 0;  // its payload offset when peer_fin
   };
 
   TcpConnection(TcpStack& stack, FourTuple tuple, const TcpConfig& cfg,
@@ -181,6 +192,20 @@ class TcpConnection {
   /// Initialize as a replica (see ReplicaInit). Called by the stack instead
   /// of a handshake.
   void start_replica(const ReplicaInit& init);
+
+  // --- reintegration snapshot accessors --------------------------------------
+  /// Sent-but-unacknowledged payload bytes [acked, written); the survivor
+  /// ships these so a later takeover by the rejoiner can retransmit them.
+  net::Bytes unacked_send_data() const {
+    return send_buf_.slice(send_buf_.una_offset(), send_buf_.size());
+  }
+  /// Received-but-unread payload bytes [read, received); the rejoiner's
+  /// application resumes reading exactly where the survivor's stands.
+  net::Bytes unread_recv_data() const { return reasm_.peek(); }
+  /// Payload offset of the client's FIN, if one has been received.
+  std::optional<std::uint64_t> peer_fin_payload_offset() const {
+    return peer_fin_offset_;
+  }
 
   /// Receive-side gap introspection (ST-TCP recovery): true when
   /// out-of-order data is buffered beyond a hole; rx_gap_end() is the

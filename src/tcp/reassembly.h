@@ -26,6 +26,20 @@ class ReassemblyBuffer {
   /// Read up to `max` in-order bytes (application recv()).
   net::Bytes read(std::size_t max);
 
+  /// Copy the in-order readable bytes without consuming them. A connection
+  /// snapshot (ST-TCP reintegration) ships these to the rejoining replica so
+  /// its buffer matches ours byte for byte.
+  net::Bytes peek() const { return net::Bytes(ready_.begin(), ready_.end()); }
+
+  /// Re-base an empty buffer so the next expected absolute offset is
+  /// `offset`: a replica adopted mid-stream starts counting where the
+  /// snapshot left off instead of at zero. Only valid while nothing is
+  /// buffered.
+  void reset_to(std::uint64_t offset) {
+    if (!ready_.empty() || !ooo_.empty()) return;
+    next_ = offset;
+  }
+
   /// Bytes available for the application right now.
   std::size_t readable() const { return ready_.size(); }
 

@@ -31,6 +31,14 @@ class SendBuffer {
   /// One past the newest byte written by the application.
   std::uint64_t end_offset() const { return una_ + data_.size(); }
 
+  /// Re-base an empty buffer so the oldest unacknowledged offset is `offset`
+  /// (mid-stream replica adoption: the snapshot's acked prefix is not
+  /// re-buffered). Only valid while the buffer holds no data.
+  void reset_to(std::uint64_t offset) {
+    if (!data_.empty()) return;
+    una_ = offset;
+  }
+
   std::size_t size() const { return data_.size(); }
   std::size_t free_space() const { return capacity_ - data_.size(); }
   bool empty() const { return data_.empty(); }

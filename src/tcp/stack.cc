@@ -11,6 +11,14 @@ TcpStack::TcpStack(net::Host& host, TcpConfig config)
                        [this](const net::Ipv4Header& ip, net::BytesView l4) {
                          on_packet(ip, l4);
                        });
+  host_.add_boot_hook([this] { reset_for_boot(); });
+}
+
+void TcpStack::reset_for_boot() {
+  conns_.clear();
+  pending_.clear();
+  pending_syn_time_.clear();
+  replica_mode_ = false;
 }
 
 TcpStack::~TcpStack() = default;

@@ -81,6 +81,11 @@ class TcpStack {
 
   void set_observer(ConnectionObserver* obs) { observer_ = obs; }
 
+  /// Forget all connection state (a crashed host rebooted with blank RAM).
+  /// Listeners survive — the boot re-runs the same software, so the same
+  /// services are listening again. Registered as a Host boot hook.
+  void reset_for_boot();
+
   // --- lookup ------------------------------------------------------------------
   TcpConnection* find(const FourTuple& tuple);
   void for_each(const std::function<void(TcpConnection&)>& fn);

@@ -110,5 +110,73 @@ TEST_P(LossyFailoverTest, CrashMaskedDespiteRandomLoss) {
 INSTANTIATE_TEST_SUITE_P(Seeds, LossyFailoverTest,
                          ::testing::Range<std::uint64_t>(1, 9));
 
+// Sequential-two-failure sweep: a random server crashes mid-transfer, comes
+// back, reintegrates — and then the OTHER server (the survivor that carried
+// the stream through the first failure) crashes too. With reintegration both
+// failures must be masked: the stream is never corrupt, the client never
+// reconnects, and the transfer completes on the twice-failed-over pair.
+class TwoFailureChaosTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TwoFailureChaosTest, SequentialFailuresAreBothMasked) {
+  const std::uint64_t seed = GetParam();
+  sim::Rng dice(seed * 104729 + 7);
+
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.enable_metrics = true;
+  cfg.sttcp.max_delay_fin = sim::Duration::seconds(20);
+  Scenario sc(std::move(cfg));
+  const std::uint64_t size = 100'000'000;  // ~8.5 s: both faults land mid-stream
+  app::FileServer p_app(sc.primary_stack(), sc.service_port(), size);
+  app::FileServer b_app(sc.backup_stack(), sc.service_port(), size);
+  sc.primary_endpoint()->set_checkpoint_provider([&] { return p_app.checkpoint(); });
+  sc.primary_endpoint()->set_checkpoint_restorer(
+      [&](net::BytesView d) { p_app.stage_restore(d); });
+  sc.backup_endpoint()->set_checkpoint_provider([&] { return b_app.checkpoint(); });
+  sc.backup_endpoint()->set_checkpoint_restorer(
+      [&](net::BytesView d) { b_app.stage_restore(d); });
+  app::DownloadClient::Options opt;
+  opt.expected_bytes = size;
+  app::DownloadClient client(sc.client_stack(), sc.client_ip(),
+                             {sc.connect_addr()}, opt);
+  client.start();
+
+  // First failure: a random server, at a random time. The other one survives.
+  const Node first = dice.below(2) == 0 ? Node::kPrimary : Node::kBackup;
+  const Node survivor = first == Node::kPrimary ? Node::kBackup : Node::kPrimary;
+  const auto t1 = sim::Duration::millis(dice.range(300, 1500));
+  SCOPED_TRACE(std::string("first crash ") + to_string(first) + " at " +
+               t1.str() + ", seed " + std::to_string(seed));
+  sc.inject(Fault::Crash(first).at(t1));
+  sc.inject(Fault::PowerOn(first).at(t1 + sim::Duration::millis(2500)));
+
+  const auto& tr = sc.world().trace();
+  const sim::SimTime limit = sc.world().now() + sim::Duration::seconds(12);
+  while (tr.count("reintegration_complete") == 0 && sc.world().now() < limit) {
+    sc.run_for(sim::Duration::millis(100));
+  }
+  ASSERT_EQ(tr.count("reintegration_complete"), 1u) << tr.dump();
+  // Both reintegration milestones made it into the exported timeline.
+  const std::string json = sc.metrics_json();
+  EXPECT_NE(json.find("reintegration_start"), std::string::npos) << json;
+  EXPECT_NE(json.find("reintegration_complete"), std::string::npos) << json;
+
+  // Second failure: the node that carried the stream through the first one.
+  // Fresh timeline so the second failover decomposition stands alone.
+  sc.metrics()->timeline().reset();
+  sc.inject(Fault::Crash(survivor).at(sim::Duration::millis(dice.range(200, 1200))));
+  sc.run_for(sim::Duration::seconds(120));
+
+  EXPECT_TRUE(client.complete()) << tr.dump();
+  EXPECT_FALSE(client.corrupt());
+  EXPECT_EQ(client.connection_failures(), 0);
+  EXPECT_EQ(client.received(), size);
+  // Exactly two failover actions across the whole run, zero client resets.
+  EXPECT_EQ(tr.count("takeover") + tr.count("non_ft_mode"), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoFailureChaosTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
 }  // namespace
 }  // namespace sttcp::harness

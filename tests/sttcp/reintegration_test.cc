@@ -1,0 +1,185 @@
+// Reintegration: a failed-over pair returns to full fault tolerance while
+// client transfers stay in flight.
+//
+//   crash one server ─► survivor runs alone (takeover / non-FT)
+//   Fault::PowerOn    ─► rejoiner solicits a snapshot over the heartbeat
+//   snapshot transfer ─► app checkpoint staged + replicas adopted mid-stream
+//   ready/commit      ─► both endpoints back in kReplicating
+//
+// Covers: the happy path on an idle pair, mid-transfer revival with a second
+// crash afterwards (the pair must survive it), snapshot retry under frame
+// loss, PowerOn as a no-op on a live host, and checkpoint codec robustness.
+#include <gtest/gtest.h>
+
+#include "app/client.h"
+#include "app/server.h"
+#include "harness/scenario.h"
+
+namespace sttcp::harness {
+namespace {
+
+using Mode = sttcp::StTcpEndpoint::Mode;
+
+void wire_checkpoints(Scenario& sc, app::ServerApp& p_app, app::ServerApp& b_app) {
+  sc.primary_endpoint()->set_checkpoint_provider(
+      [&p_app] { return p_app.checkpoint(); });
+  sc.primary_endpoint()->set_checkpoint_restorer(
+      [&p_app](net::BytesView d) { p_app.stage_restore(d); });
+  sc.backup_endpoint()->set_checkpoint_provider(
+      [&b_app] { return b_app.checkpoint(); });
+  sc.backup_endpoint()->set_checkpoint_restorer(
+      [&b_app](net::BytesView d) { b_app.stage_restore(d); });
+}
+
+TEST(ReintegrationTest, RebootedBackupRejoinsIdlePair) {
+  ScenarioConfig cfg;
+  cfg.seed = 1;
+  cfg.enable_metrics = true;
+  Scenario sc(std::move(cfg));
+  app::FileServer p_app(sc.primary_stack(), sc.service_port(), 1'000'000);
+  app::FileServer b_app(sc.backup_stack(), sc.service_port(), 1'000'000);
+  wire_checkpoints(sc, p_app, b_app);
+
+  sc.inject(Fault::Crash(Node::kBackup).at(sim::Duration::millis(500)));
+  sc.inject(Fault::PowerOn(Node::kBackup).at(sim::Duration::seconds(3)));
+  sc.run_for(sim::Duration::seconds(6));
+
+  const auto& tr = sc.world().trace();
+  EXPECT_EQ(tr.count("primary", "non_ft_mode"), 1u) << tr.dump();
+  EXPECT_EQ(tr.count("backup", "rejoin_start"), 1u);
+  EXPECT_EQ(tr.count("primary", "reintegration_start"), 1u);
+  EXPECT_EQ(tr.count("primary", "reintegration_complete"), 1u);
+  EXPECT_EQ(tr.count("backup", "rejoin_complete"), 1u);
+  EXPECT_TRUE(tr.strictly_before("reintegration_start", "reintegration_complete"));
+
+  ASSERT_NE(sc.primary_endpoint(), nullptr);
+  ASSERT_NE(sc.backup_endpoint(), nullptr);
+  EXPECT_EQ(sc.primary_endpoint()->mode(), Mode::kReplicating);
+  EXPECT_EQ(sc.backup_endpoint()->mode(), Mode::kReplicating);
+  EXPECT_EQ(sc.primary_endpoint()->stats().reintegrations, 1u);
+  EXPECT_EQ(sc.backup_endpoint()->stats().rejoins, 1u);
+
+  // The timeline milestones ride along in the JSON export.
+  const std::string json = sc.metrics_json();
+  EXPECT_NE(json.find("reintegration_start"), std::string::npos) << json;
+  EXPECT_NE(json.find("reintegration_complete"), std::string::npos) << json;
+}
+
+TEST(ReintegrationTest, RevivedPrimaryRejoinsMidTransferAndSurvivesSecondCrash) {
+  ScenarioConfig cfg;
+  cfg.seed = 2;
+  Scenario sc(std::move(cfg));
+  const std::uint64_t size = 80'000'000;  // ~7 s at Fast Ethernet
+  app::FileServer p_app(sc.primary_stack(), sc.service_port(), size);
+  app::FileServer b_app(sc.backup_stack(), sc.service_port(), size);
+  wire_checkpoints(sc, p_app, b_app);
+  app::DownloadClient::Options opt;
+  opt.expected_bytes = size;
+  app::DownloadClient client(sc.client_stack(), sc.client_ip(),
+                             {sc.connect_addr()}, opt);
+  client.start();
+
+  // First failure: the primary dies mid-transfer; the backup takes over.
+  sc.inject(Fault::Crash(Node::kPrimary).at(sim::Duration::millis(800)));
+  // Revival: the old primary returns with blank RAM and rejoins as backup —
+  // while the (now much further along) transfer keeps flowing.
+  sc.inject(Fault::PowerOn(Node::kPrimary).at(sim::Duration::seconds(3)));
+
+  const auto& tr = sc.world().trace();
+  const sim::SimTime deadline = sc.world().now() + sim::Duration::seconds(8);
+  while (tr.count("reintegration_complete") == 0 && sc.world().now() < deadline) {
+    sc.run_for(sim::Duration::millis(100));
+  }
+  ASSERT_EQ(tr.count("backup", "reintegration_complete"), 1u) << tr.dump();
+  ASSERT_EQ(tr.count("primary", "rejoin_complete"), 1u);
+  EXPECT_FALSE(client.complete());  // the transfer really was still in flight
+  // The mid-stream connection travelled in the snapshot and was adopted.
+  EXPECT_GE(sc.primary_endpoint()->stats().snapshot_conns_adopted, 1u);
+  EXPECT_EQ(sc.backup_endpoint()->mode(), Mode::kReplicating);
+  EXPECT_EQ(sc.primary_endpoint()->mode(), Mode::kReplicating);
+
+  // Second failure: the survivor of the first crash dies. The rejoined
+  // ex-primary must take over and finish the transfer.
+  sc.inject(Fault::Crash(Node::kBackup).at(sim::Duration::millis(300)));
+  sc.run_for(sim::Duration::seconds(120));
+
+  EXPECT_TRUE(client.complete()) << tr.dump();
+  EXPECT_FALSE(client.corrupt());
+  EXPECT_EQ(client.connection_failures(), 0);
+  EXPECT_EQ(client.received(), size);
+  EXPECT_EQ(tr.count("backup", "takeover"), 1u);
+  EXPECT_EQ(tr.count("primary", "takeover"), 1u);
+  EXPECT_EQ(sc.primary_endpoint()->mode(), Mode::kTakenOver);
+}
+
+TEST(ReintegrationTest, SnapshotRetrySurvivesFrameLoss) {
+  ScenarioConfig cfg;
+  cfg.seed = 3;
+  cfg.sttcp.reintegration_retry = sim::Duration::millis(150);
+  Scenario sc(std::move(cfg));
+  app::FileServer p_app(sc.primary_stack(), sc.service_port(), 1'000'000);
+  app::FileServer b_app(sc.backup_stack(), sc.service_port(), 1'000'000);
+  wire_checkpoints(sc, p_app, b_app);
+
+  sc.inject(Fault::Crash(Node::kBackup).at(sim::Duration::millis(500)));
+  // Burn the survivor's Ethernet frames exactly when the rejoiner comes
+  // back: the rejoin request still arrives (serial heartbeat), but the
+  // UDP snapshot is lost and must be re-sent until one lands.
+  sc.inject(Fault::FrameLoss(Node::kPrimary, 30).at(sim::Duration::seconds(3)));
+  sc.inject(Fault::PowerOn(Node::kBackup).at(sim::Duration::seconds(3)));
+  sc.run_for(sim::Duration::seconds(15));
+
+  const auto& tr = sc.world().trace();
+  EXPECT_EQ(tr.count("primary", "reintegration_complete"), 1u) << tr.dump();
+  EXPECT_GE(tr.count("primary", "snapshot_sent"), 2u);  // at least one retry
+  EXPECT_EQ(sc.primary_endpoint()->mode(), Mode::kReplicating);
+  EXPECT_EQ(sc.backup_endpoint()->mode(), Mode::kReplicating);
+}
+
+TEST(ReintegrationTest, PowerOnIsNoOpOnLiveHost) {
+  ScenarioConfig cfg;
+  cfg.seed = 4;
+  Scenario sc(std::move(cfg));
+  app::FileServer p_app(sc.primary_stack(), sc.service_port(), 1'000'000);
+  app::FileServer b_app(sc.backup_stack(), sc.service_port(), 1'000'000);
+  wire_checkpoints(sc, p_app, b_app);
+
+  sc.inject(Fault::PowerOn(Node::kBackup).at(sim::Duration::millis(100)));
+  sc.run_for(sim::Duration::seconds(2));
+
+  const auto& tr = sc.world().trace();
+  EXPECT_EQ(tr.count("rejoin_start"), 0u) << tr.dump();
+  EXPECT_EQ(tr.count("host_boot"), 0u);
+  EXPECT_EQ(sc.primary_endpoint()->mode(), Mode::kReplicating);
+  EXPECT_EQ(sc.backup_endpoint()->mode(), Mode::kReplicating);
+}
+
+TEST(ReintegrationTest, CheckpointCodecIsRobust) {
+  ScenarioConfig cfg;
+  cfg.seed = 5;
+  Scenario sc(std::move(cfg));
+  const std::uint64_t size = 20'000'000;
+  app::FileServer p_app(sc.primary_stack(), sc.service_port(), size);
+  app::FileServer b_app(sc.backup_stack(), sc.service_port(), size);
+  app::DownloadClient::Options opt;
+  opt.expected_bytes = size;
+  app::DownloadClient client(sc.client_stack(), sc.client_ip(),
+                             {sc.connect_addr()}, opt);
+  client.start();
+  sc.run_for(sim::Duration::seconds(1));
+
+  // Mid-transfer checkpoint carries the live connection's serve state.
+  const net::Bytes snap = p_app.checkpoint();
+  EXPECT_GT(snap.size(), 2u);
+
+  // A valid checkpoint stages cleanly; garbage is rejected without throwing.
+  b_app.stage_restore(snap);
+  b_app.stage_restore(net::Bytes{0xff, 0x01, 0x02});
+  b_app.stage_restore(net::Bytes{});
+  sc.run_for(sim::Duration::seconds(5));
+  EXPECT_TRUE(client.complete());
+  EXPECT_FALSE(client.corrupt());
+}
+
+}  // namespace
+}  // namespace sttcp::harness
