@@ -1,0 +1,74 @@
+// Chaos fuzz bench: adversarial multi-fault schedules at a glance.
+//
+// Runs FaultPlan::Adversarial(seed) schedules through run_chaos_seed() (the
+// same unit the chaos fuzzer asserts on) across a SweepRunner pool and
+// prints one row per seed: what the network did to the stream (corruption,
+// duplication, reordering, burst loss, checksum drops) and what ST-TCP did
+// about it (takeovers, non-FT transitions, completion, verdict). The footer
+// aggregates the sweep. Any violating seed prints its full report, including
+// the one-command replay line.
+//
+//   bench_chaos [seeds] [--json=PATH]     default 40 seeds
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "harness/chaos.h"
+
+namespace sttcp::bench {
+namespace {
+
+void run(int argc, char** argv) {
+  JsonSink json(argc, argv);
+  std::size_t seeds = 40;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') seeds = static_cast<std::size_t>(std::atoll(argv[i]));
+  }
+
+  print_header("Chaos fuzz sweep",
+               "robustness: adversarial link impairments + invariant checks");
+
+  SweepRunner runner;
+  const auto verdicts = runner.map(seeds, [](std::size_t i) {
+    return harness::run_chaos_seed(static_cast<std::uint64_t>(i) + 1);
+  });
+
+  Table t({"seed", "faults", "verdict", "complete", "corrupted", "dup",
+           "reordered", "burst_drop", "cksum_drop", "takeover", "non_ft",
+           "sim (s)"});
+  std::size_t violations = 0, completed = 0, takeovers = 0;
+  std::uint64_t corrupted = 0, cksum = 0;
+  for (const harness::ChaosVerdict& v : verdicts) {
+    t.row(v.seed, static_cast<std::uint64_t>(v.plan.empty() ? 0 : 1 +
+              std::count(v.plan.begin(), v.plan.end(), ';')),
+          v.ok() ? "ok" : "VIOLATED", ok(v.complete), v.corrupted, v.duplicated,
+          v.reordered, v.burst_dropped, v.checksum_drops, v.takeovers, v.non_ft,
+          static_cast<double>(v.sim_ns) * 1e-9);
+    if (!v.ok()) ++violations;
+    if (v.complete) ++completed;
+    takeovers += v.takeovers;
+    corrupted += v.corrupted;
+    cksum += v.checksum_drops;
+  }
+  t.print();
+  json.table(t, "chaos_fuzz");
+
+  std::cout << "\n" << seeds << " seeds: " << completed << " complete, "
+            << violations << " invariant violations, " << takeovers
+            << " takeovers, " << corrupted << " frames corrupted, " << cksum
+            << " checksum drops\n";
+  for (const harness::ChaosVerdict& v : verdicts) {
+    if (!v.ok()) std::cout << "\n" << v.report();
+  }
+  if (violations != 0) std::exit(1);
+}
+
+}  // namespace
+}  // namespace sttcp::bench
+
+int main(int argc, char** argv) {
+  sttcp::bench::run(argc, argv);
+  return 0;
+}

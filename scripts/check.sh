@@ -6,11 +6,13 @@
 # where the pointer-heavy code lives, and the chaos/two-failure sweeps drive
 # the widest state coverage). With --release, also build
 # the optimized lane the benchmarks are measured in and smoke-run bench_micro
-# (see docs/PERFORMANCE.md).
+# (see docs/PERFORMANCE.md). With --chaos, run the adversarial multi-fault
+# fuzzer (docs/CHAOS.md) over a fixed seed budget in the Release lane.
 #
 #   scripts/check.sh             # build + full ctest
 #   scripts/check.sh --asan      # additionally: sanitizer lane
 #   scripts/check.sh --release   # additionally: -O2 lane + bench smoke
+#   scripts/check.sh --chaos     # additionally: 64-seed adversarial fuzz lane
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,7 +27,11 @@ for arg in "$@"; do
     --asan)
       cmake -B build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSTTCP_SANITIZE=ON >/dev/null
       cmake --build build-asan -j "$JOBS"
-      ctest --test-dir build-asan --output-on-failure -j "$JOBS" -R 'sttcp|obs|chaos'
+      # Impairment engine (COW corruption, reorder hold queue) is included:
+      # it is the newest pointer-heavy code. The chaos fuzzer runs a reduced
+      # seed budget under ASan — each seed is ~5x slower instrumented.
+      STTCP_CHAOS_SEEDS=12 ctest --test-dir build-asan --output-on-failure \
+        -j "$JOBS" -R 'sttcp|obs|chaos|impairment'
       ;;
     --release)
       cmake -B build-release -DCMAKE_BUILD_TYPE=Release >/dev/null
@@ -35,6 +41,14 @@ for arg in "$@"; do
       ./build-release/bench/bench_micro \
         --benchmark_filter='BM_SwitchMulticastFanout/2|BM_InternetChecksum/1460|BM_EventLoopScheduleRun' \
         --benchmark_min_time=0.05
+      ;;
+    --chaos)
+      cmake -B build-release -DCMAKE_BUILD_TYPE=Release >/dev/null
+      cmake --build build-release -j "$JOBS"
+      # Adversarial multi-fault fuzz lane: every seed derives a fresh 2-4
+      # fault schedule; any invariant violation prints the exact seed + plan
+      # and a one-command replay line (see docs/CHAOS.md), and fails the lane.
+      ./build-release/bench/bench_chaos 64
       ;;
     *)
       echo "unknown option: $arg" >&2

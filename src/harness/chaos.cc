@@ -1,0 +1,144 @@
+#include "harness/chaos.h"
+
+#include <cstdio>
+
+#include "app/client.h"
+#include "app/server.h"
+#include "harness/scenario.h"
+#include "net/impairment.h"
+
+namespace sttcp::harness {
+
+namespace {
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv_mix(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+ChaosVerdict run_chaos_seed(std::uint64_t seed, const ChaosOptions& opts) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  // Chaos runs MUST verify TCP checksums: the checksum-drop invariant is
+  // what turns wire corruption into accounted drops instead of silent
+  // stream damage. The config default is already true; this is the audit.
+  cfg.tcp.verify_checksums = true;
+  // Crash schedules can leave one side's FIN arbitration waiting on a dead
+  // peer; same allowance the existing chaos sweep makes.
+  cfg.sttcp.max_delay_fin = sim::Duration::seconds(20);
+  Scenario sc(std::move(cfg));
+
+  app::FileServer p_app(sc.primary_stack(), sc.service_port(), opts.file_size);
+  app::FileServer b_app(sc.backup_stack(), sc.service_port(), opts.file_size);
+  app::DownloadClient::Options copt;
+  copt.expected_bytes = opts.file_size;
+  app::DownloadClient client(sc.client_stack(), sc.client_ip(),
+                             {sc.connect_addr()}, copt);
+
+  InvariantChecker::Options iopt;
+  iopt.expected_bytes = opts.file_size;
+  iopt.expect_masked = opts.expect_masked;
+  InvariantChecker checker(sc, iopt);
+
+  const FaultPlan plan = FaultPlan::Adversarial(seed);
+  sc.inject(plan);
+  client.start();
+
+  const sim::SimTime deadline = sc.world().now() + opts.run_cap;
+  while (!client.complete() && sc.world().now() < deadline) {
+    sc.run_for(sim::Duration::millis(250));
+  }
+  // Drain: FIN arbitration, hold-buffer release and replica GC settle before
+  // the bounded-memory checks read their final state.
+  sc.run_for(sim::Duration::seconds(1));
+
+  ChaosVerdict v;
+  v.seed = seed;
+  v.plan = plan.str();
+  v.violations = checker.check(client);
+  v.complete = client.complete();
+  v.received = client.received();
+  const net::Link* links[4] = {&sc.client_link(), &sc.primary_link(),
+                               &sc.backup_link(), &sc.gateway_link()};
+  for (const net::Link* l : links) {
+    if (const net::Impairment* imp = l->impairment_ptr()) {
+      v.corrupted += imp->stats().corrupted;
+      v.duplicated += imp->stats().duplicated;
+      v.reordered += imp->stats().reordered;
+      v.burst_dropped += imp->stats().burst_dropped;
+    }
+  }
+  v.checksum_drops = sc.client_stack().stats().bad_checksum +
+                     sc.primary_stack().stats().bad_checksum +
+                     sc.backup_stack().stats().bad_checksum;
+  v.takeovers = sc.world().trace().count("takeover");
+  v.non_ft = sc.world().trace().count("non_ft_mode");
+  v.sim_ns = (sc.world().now() - sim::SimTime::zero()).ns();
+
+  std::uint64_t h = 1469598103934665603ull;
+  h = fnv_mix(h, v.seed);
+  h = fnv_mix(h, v.plan);
+  for (const Violation& viol : v.violations) h = fnv_mix(h, viol.str());
+  h = fnv_mix(h, v.complete ? 1 : 0);
+  h = fnv_mix(h, v.received);
+  h = fnv_mix(h, v.corrupted);
+  h = fnv_mix(h, v.duplicated);
+  h = fnv_mix(h, v.reordered);
+  h = fnv_mix(h, v.burst_dropped);
+  h = fnv_mix(h, v.checksum_drops);
+  h = fnv_mix(h, v.takeovers);
+  h = fnv_mix(h, v.non_ft);
+  h = fnv_mix(h, static_cast<std::uint64_t>(v.sim_ns));
+  v.digest = h;
+  return v;
+}
+
+std::string ChaosVerdict::report() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "chaos seed %llu: %s\n",
+                static_cast<unsigned long long>(seed),
+                ok() ? "all invariants held" : "INVARIANT VIOLATION");
+  out += line;
+  out += "  plan: " + plan + "\n";
+  std::snprintf(line, sizeof(line),
+                "  outcome: %s, %llu bytes; corrupted=%llu dup=%llu "
+                "reordered=%llu burst_dropped=%llu checksum_drops=%llu "
+                "takeovers=%llu non_ft=%llu sim=%.3fs\n",
+                complete ? "complete" : "INCOMPLETE",
+                static_cast<unsigned long long>(received),
+                static_cast<unsigned long long>(corrupted),
+                static_cast<unsigned long long>(duplicated),
+                static_cast<unsigned long long>(reordered),
+                static_cast<unsigned long long>(burst_dropped),
+                static_cast<unsigned long long>(checksum_drops),
+                static_cast<unsigned long long>(takeovers),
+                static_cast<unsigned long long>(non_ft),
+                static_cast<double>(sim_ns) * 1e-9);
+  out += line;
+  for (const Violation& v : violations) out += "  violated " + v.str() + "\n";
+  if (!ok()) {
+    std::snprintf(line, sizeof(line),
+                  "  replay: STTCP_CHAOS_SEED=%llu "
+                  "./build/tests/integration_chaos_fuzz_test "
+                  "--gtest_filter='*ReplaySeed*'\n",
+                  static_cast<unsigned long long>(seed));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace sttcp::harness

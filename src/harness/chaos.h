@@ -1,0 +1,64 @@
+// One chaos trial: adversarial multi-fault schedule + invariant verdict.
+//
+// run_chaos_seed(seed) is the unit the fuzzer, the replay path and the bench
+// all share: build the Figure-2 scenario from `seed`, draw the 2–4-fault
+// FaultPlan::Adversarial(seed) schedule, run the transfer under an
+// InvariantChecker, and fold everything observable into a ChaosVerdict. The
+// verdict carries a fingerprint of every outcome-relevant quantity, so
+// "same seed => bit-identical verdict" is a testable property, and
+// ChaosVerdict::report() prints the exact seed + schedule + replay command
+// when anything is violated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/invariants.h"
+#include "sim/time.h"
+
+namespace sttcp::harness {
+
+struct ChaosOptions {
+  /// Transfer size. Big enough that every fault window in an adversarial
+  /// schedule (faults land by 0.8 s, windows run up to 1.5 s) overlaps the
+  /// live stream; small enough to keep 200 seeds cheap.
+  std::uint64_t file_size = 8'000'000;
+  /// Wall on simulated time; generous next to the ~1 s healthy transfer so
+  /// retransmission storms and failovers have room to resolve.
+  sim::Duration run_cap = sim::Duration::seconds(90);
+  /// Passed through to InvariantChecker: adversarial plans are survivable by
+  /// construction, so completion is part of the verdict.
+  bool expect_masked = true;
+};
+
+struct ChaosVerdict {
+  std::uint64_t seed = 0;
+  std::string plan;
+  std::vector<Violation> violations;
+
+  // Outcome + impairment accounting (for reports and the bench table).
+  bool complete = false;
+  std::uint64_t received = 0;
+  std::uint64_t corrupted = 0;      // frames corrupted on the wire
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t burst_dropped = 0;
+  std::uint64_t checksum_drops = 0;  // stack-level drops across all hosts
+  std::uint64_t takeovers = 0;
+  std::uint64_t non_ft = 0;
+  std::int64_t sim_ns = 0;  // simulated time consumed
+
+  /// FNV-1a fold of every field above (violations included): two runs of the
+  /// same seed must produce equal digests.
+  std::uint64_t digest = 0;
+
+  bool ok() const { return violations.empty(); }
+  /// Multi-line failure report: seed, schedule, violations, and the
+  /// one-command replay line.
+  std::string report() const;
+};
+
+ChaosVerdict run_chaos_seed(std::uint64_t seed, const ChaosOptions& opts = {});
+
+}  // namespace sttcp::harness

@@ -1,10 +1,23 @@
 #include "harness/fault.h"
 
+#include <cstdarg>
+#include <cstdio>
+
 #include "harness/scenario.h"
+#include "sim/random.h"
 
 namespace sttcp::harness {
 
 namespace {
+
+std::string fmt(const char* format, ...) {
+  char buf[128];
+  va_list ap;
+  va_start(ap, format);
+  std::vsnprintf(buf, sizeof(buf), format, ap);
+  va_end(ap);
+  return buf;
+}
 
 net::Host& host_of(Scenario& s, Node n) {
   switch (n) {
@@ -139,6 +152,114 @@ Fault Fault::LinkFlap(Node n, sim::Duration down_for) {
   return f;
 }
 
+namespace {
+
+// Shared skeleton for the impairment builders: arm one knob on the node's
+// switch link now, stamp paired trace events, and (for window > 0) schedule
+// the disarm. `set` assigns the armed value, `clear` restores the idle one —
+// both run against the same lazily-created Impairment, so a plan that arms
+// several knobs on one link composes naturally.
+Fault impairment_fault(std::string label, Node n, sim::Duration window,
+                       std::function<void(net::Impairment&)> set,
+                       std::function<void(net::Impairment&)> clear) {
+  Fault f = Fault::Custom(
+      std::move(label),
+      [n, window, set = std::move(set), clear = std::move(clear)](Scenario& s) {
+        s.world().trace().record(to_string(n), "impair_on", "",
+                                 static_cast<std::int64_t>(window.ms()));
+        set(link_of(s, n).impairment());
+        if (!window.is_zero()) {
+          s.world().loop().schedule_after(window, [&s, n, clear] {
+            s.world().trace().record(to_string(n), "impair_off");
+            clear(link_of(s, n).impairment());
+          });
+        }
+      });
+  return f;
+}
+
+}  // namespace
+
+Fault Fault::Corrupt(Node n, double p, sim::Duration window) {
+  return impairment_fault(
+      fmt("corrupt:%s(p=%.4f,%s)", to_string(n), p, window.str().c_str()), n,
+      window,
+      [p](net::Impairment& i) { i.config().corrupt_probability = p; },
+      [](net::Impairment& i) { i.config().corrupt_probability = 0.0; });
+}
+
+Fault Fault::Duplicate(Node n, double p, sim::Duration window) {
+  return impairment_fault(
+      fmt("duplicate:%s(p=%.4f,%s)", to_string(n), p, window.str().c_str()), n,
+      window,
+      [p](net::Impairment& i) { i.config().duplicate_probability = p; },
+      [](net::Impairment& i) { i.config().duplicate_probability = 0.0; });
+}
+
+Fault Fault::Reorder(Node n, double p, sim::Duration delay,
+                     sim::Duration window) {
+  return impairment_fault(
+      fmt("reorder:%s(p=%.4f,d=%s,%s)", to_string(n), p, delay.str().c_str(),
+          window.str().c_str()),
+      n, window,
+      [p, delay](net::Impairment& i) {
+        i.config().reorder_probability = p;
+        i.config().reorder_delay = delay;
+      },
+      [](net::Impairment& i) {
+        i.config().reorder_probability = 0.0;
+        i.config().reorder_delay = sim::Duration::zero();
+      });
+}
+
+Fault Fault::BurstLoss(Node n, double p_enter, double p_exit,
+                       sim::Duration window) {
+  return impairment_fault(
+      fmt("burst_loss:%s(in=%.4f,out=%.3f,%s)", to_string(n), p_enter, p_exit,
+          window.str().c_str()),
+      n, window,
+      [p_enter, p_exit](net::Impairment& i) {
+        i.config().burst_p_enter = p_enter;
+        i.config().burst_p_exit = p_exit;
+        i.config().burst_loss = 1.0;
+      },
+      [](net::Impairment& i) {
+        i.config().burst_p_enter = 0.0;
+        i.config().burst_p_exit = 0.0;
+        // A window may close mid-burst; a stuck Bad state would silently keep
+        // losing frames with no armed knob to explain it.
+        i.reset_burst_state();
+      });
+}
+
+Fault Fault::Jitter(Node n, sim::Duration max_jitter, sim::Duration window) {
+  return impairment_fault(
+      fmt("jitter:%s(max=%s,%s)", to_string(n), max_jitter.str().c_str(),
+          window.str().c_str()),
+      n, window,
+      [max_jitter](net::Impairment& i) { i.config().jitter_max = max_jitter; },
+      [](net::Impairment& i) { i.config().jitter_max = sim::Duration::zero(); });
+}
+
+Fault Fault::SerialCorrupt(double corrupt_p, double truncate_p,
+                           sim::Duration window) {
+  Fault f;
+  f.label_ = fmt("serial_corrupt(c=%.3f,t=%.3f,%s)", corrupt_p, truncate_p,
+                 window.str().c_str());
+  f.action_ = [corrupt_p, truncate_p, window](Scenario& s) {
+    s.world().trace().record("serial", "impair_on", "",
+                             static_cast<std::int64_t>(window.ms()));
+    s.serial().set_noise(corrupt_p, truncate_p);
+    if (!window.is_zero()) {
+      s.world().loop().schedule_after(window, [&s] {
+        s.world().trace().record("serial", "impair_off");
+        s.serial().set_noise(0.0, 0.0);
+      });
+    }
+  };
+  return f;
+}
+
 Fault Fault::Custom(std::string label, std::function<void(Scenario&)> action) {
   Fault f;
   f.label_ = std::move(label);
@@ -157,6 +278,102 @@ Fault Fault::repeat(int times, sim::Duration interval) const {
   f.times_ = times;
   f.interval_ = interval;
   return f;
+}
+
+FaultPlan FaultPlan::Adversarial(std::uint64_t seed) {
+  // Own stream, decorrelated from the scenario world rng (which is usually
+  // seeded with the same value): the plan must not shift when the scenario's
+  // own draw order evolves.
+  sim::Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  FaultPlan plan;
+  int slots = 2 + static_cast<int>(rng.below(3));  // 2..4 faults
+
+  // At most one fatal server fault. Two of these at once (or a fatal fault on
+  // both servers) is outside ST-TCP's single-failure model, so such a plan
+  // could legitimately stall and would teach the fuzzer nothing.
+  bool nic_major = false;
+  if (rng.chance(0.6)) {
+    const auto when = sim::Duration::millis(static_cast<std::int64_t>(rng.range(120, 600)));
+    switch (rng.below(5)) {
+      case 0: plan.add(Fault::Crash(Node::kPrimary).at(when)); break;
+      case 1: plan.add(Fault::Crash(Node::kBackup).at(when)); break;
+      case 2:
+        plan.add(Fault::NicFailure(Node::kPrimary).at(when));
+        nic_major = true;
+        break;
+      case 3:
+        plan.add(Fault::NicFailure(Node::kBackup).at(when));
+        nic_major = true;
+        break;
+      case 4: plan.add(Fault::SerialCut().at(when)); break;
+    }
+    --slots;
+  }
+
+  constexpr Node kNodes[] = {Node::kClient, Node::kPrimary, Node::kBackup,
+                             Node::kGateway};
+  bool corrupt_used = false;
+  for (int i = 0; i < slots; ++i) {
+    const Node n = kNodes[rng.below(4)];
+    const auto at = sim::Duration::millis(static_cast<std::int64_t>(rng.range(50, 800)));
+    const auto window =
+        sim::Duration::millis(static_cast<std::int64_t>(rng.range(200, 1500)));
+    std::uint64_t kind = rng.below(6);
+    // A NIC-failure major already removes one heartbeat channel; noising the
+    // serial channel on top would be a second simultaneous failure.
+    if (kind == 5 && nic_major) kind = rng.below(5);
+    // Corruption flips exactly one bit per frame, which the 16-bit Internet
+    // checksum always catches — but flips on two different links can land in
+    // the same frame and cancel. One corrupting link per plan keeps every
+    // accepted-despite-corrupt frame a true invariant violation.
+    if (kind == 0 && corrupt_used) kind = 1 + rng.below(4);
+    switch (kind) {
+      case 0:
+        plan.add(Fault::Corrupt(n, 0.002 + 0.03 * rng.uniform01(), window).at(at));
+        corrupt_used = true;
+        break;
+      case 1:
+        plan.add(Fault::BurstLoss(n, 0.001 + 0.01 * rng.uniform01(),
+                                  0.2 + 0.3 * rng.uniform01(), window)
+                     .at(at));
+        break;
+      case 2:
+        plan.add(Fault::Duplicate(n, 0.02 + 0.15 * rng.uniform01(), window).at(at));
+        break;
+      case 3:
+        plan.add(Fault::Reorder(
+                     n, 0.05 + 0.25 * rng.uniform01(),
+                     sim::Duration::millis(static_cast<std::int64_t>(rng.range(1, 8))),
+                     window)
+                     .at(at));
+        break;
+      case 4:
+        plan.add(Fault::Jitter(
+                     n, sim::Duration::millis(static_cast<std::int64_t>(rng.range(1, 5))),
+                     window)
+                     .at(at));
+        break;
+      case 5:
+        plan.add(Fault::SerialCorrupt(0.05 + 0.35 * rng.uniform01(),
+                                      0.15 * rng.uniform01(), window)
+                     .at(at));
+        break;
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::str() const {
+  std::string out;
+  for (const Fault& f : faults_) {
+    if (!out.empty()) out += "; ";
+    out += f.label();
+    out += " @" + f.when().str();
+    if (f.times() > 1) {
+      out += fmt(" x%d/%s", f.times(), f.interval().str().c_str());
+    }
+  }
+  return out.empty() ? "(none)" : out;
 }
 
 }  // namespace sttcp::harness

@@ -53,6 +53,24 @@ class Fault {
   static Fault LinkUp(Node n);
   /// LinkDown immediately followed by LinkUp after `down_for`.
   static Fault LinkFlap(Node n, sim::Duration down_for);
+
+  // --- adversarial impairments (net::Impairment on the node's switch link,
+  // both directions). `window` bounds the impairment: the knob resets after
+  // that long; zero means it stays armed until cleared by hand. ------------
+  /// Single-bit frame corruption with probability `p` per frame.
+  static Fault Corrupt(Node n, double p, sim::Duration window);
+  /// Frame duplication with probability `p` per frame.
+  static Fault Duplicate(Node n, double p, sim::Duration window);
+  /// Bounded reordering: with probability `p` a frame is delayed `delay`
+  /// extra and allowed to arrive behind its successors.
+  static Fault Reorder(Node n, double p, sim::Duration delay, sim::Duration window);
+  /// Gilbert–Elliott burst loss: per-frame P(enter Bad) / P(exit Bad); every
+  /// frame offered while Bad is lost.
+  static Fault BurstLoss(Node n, double p_enter, double p_exit, sim::Duration window);
+  /// Uniform latency jitter in [0, max_jitter); never reorders by itself.
+  static Fault Jitter(Node n, sim::Duration max_jitter, sim::Duration window);
+  /// RS-232 line noise: per-message bit-flip / mid-message-cut probabilities.
+  static Fault SerialCorrupt(double corrupt_p, double truncate_p, sim::Duration window);
   /// Escape hatch: run an arbitrary action against the scenario. The label
   /// appears in the trace; used by the bench harness for app-level faults
   /// (hang, clean close, abort) that are not topology events.
@@ -90,8 +108,22 @@ class FaultPlan {
     return *this;
   }
 
+  /// Draw a 2–4-fault adversarial schedule from `seed`: at most one fatal
+  /// server fault (crash / NIC failure / serial cut), the rest bounded-window
+  /// link and serial impairments. Schedules are survivable by construction —
+  /// combinations that amount to a simultaneous double failure (e.g. a NIC
+  /// failure plus serial noise, which can blind both channels at once) are
+  /// excluded, so every generated plan must be masked and the chaos fuzzer
+  /// can assert completion. Same seed, same plan.
+  static FaultPlan Adversarial(std::uint64_t seed);
+
   const std::vector<Fault>& faults() const { return faults_; }
   bool empty() const { return faults_.empty(); }
+  std::size_t size() const { return faults_.size(); }
+
+  /// Human-readable schedule ("corrupt:client(p=0.012,1.20s) @0.30s; ...")
+  /// — printed next to the seed when a chaos run violates an invariant.
+  std::string str() const;
 
  private:
   std::vector<Fault> faults_;

@@ -1,0 +1,215 @@
+#include "harness/invariants.h"
+
+#include <cstdio>
+
+#include "app/client.h"
+#include "harness/scenario.h"
+#include "net/headers.h"
+#include "tcp/segment.h"
+
+namespace sttcp::harness {
+
+namespace {
+
+// Per-invariant detail cap: a systemic failure (e.g. split-brain for the rest
+// of the run) would otherwise bury the verdict in thousands of identical
+// lines. The total count is always reported.
+constexpr int kMaxDetailsPerInvariant = 3;
+
+std::string fmt_u64(const char* format, std::uint64_t a, std::uint64_t b) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), format, static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(b));
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t InvariantChecker::fnv1a(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+InvariantChecker::InvariantChecker(Scenario& sc, Options opt)
+    : sc_(sc), opt_(opt) {
+  // Create every link's impairment engine up front, in fixed link order. Each
+  // creation forks the world rng, so leaving it to the faults would make the
+  // fork order (and every later draw) depend on which faults the plan arms.
+  net::Link* links[4] = {&sc.client_link(), &sc.primary_link(),
+                         &sc.backup_link(), &sc.gateway_link()};
+  for (net::Link* l : links) {
+    l->impairment().set_corrupt_tap(
+        [this](const net::Frame& f, std::size_t off) {
+          ++corrupt_events_;
+          corrupted_[fnv1a(f.data(), f.size())] = off;
+        });
+  }
+
+  // Chain in front of whatever tap is already installed (pcap).
+  prev_tap_ = sc.ethernet_switch().frame_tap();
+  sc.ethernet_switch().set_frame_tap(
+      [this](sim::SimTime at, const net::Frame& frame) {
+        on_switch_frame(at, frame);
+      });
+
+  net::Host* hosts[3] = {&sc.client(), &sc.primary(), &sc.backup()};
+  for (int i = 0; i < 3; ++i) {
+    hosts[i]->set_rx_tap(
+        [this, i](const net::Frame& frame) { on_host_rx(i, frame); });
+  }
+}
+
+void InvariantChecker::add_streamed(const std::string& invariant,
+                                    const std::string& detail) {
+  int& n = streamed_counts_[invariant];
+  ++n;
+  if (n <= kMaxDetailsPerInvariant) streamed_.push_back({invariant, detail});
+}
+
+void InvariantChecker::on_switch_frame(sim::SimTime at,
+                                       const net::Frame& frame) {
+  if (prev_tap_) prev_tap_(at, frame);
+
+  net::ParsedFrame p;
+  try {
+    p = net::parse_frame(frame.view());
+  } catch (const std::exception&) {
+    return;  // wire-corrupted IP header: every receiver drops it at parse
+  }
+  if (!p.ip.has_value() || p.ip->protocol != net::kIpProtoTcp) return;
+
+  // No client-visible RST: a RST the client's own checksum verification
+  // would accept must never be on the wire toward it. (A RST bit set by wire
+  // corruption fails the checksum and is invisible — parse with verify.)
+  if (p.ip->dst == sc_.client_ip()) {
+    const auto seg =
+        tcp::TcpSegment::parse(p.ip->src, p.ip->dst, p.l4, /*verify=*/true);
+    if (seg.has_value() && seg->flags.rst) {
+      add_streamed("no-client-rst",
+                   "RST toward client from " + p.ip->src.str() + " at " + at.str());
+    }
+  }
+
+  // Split-brain audit over service->client traffic: once the backup has
+  // spoken on the service connection (it only does so after STONITH +
+  // takeover), the primary must stay silent, modulo frames already in
+  // flight. Source MAC tells the two apart; the service IP does not.
+  if (p.ip->src == sc_.service_ip() && p.ip->dst == sc_.client_ip()) {
+    if (p.eth.src == sc_.backup().nic().mac()) {
+      if (first_backup_tx_.is_never()) first_backup_tx_ = at;
+    } else if (p.eth.src == sc_.primary().nic().mac() &&
+               !first_backup_tx_.is_never() &&
+               at > first_backup_tx_ + opt_.split_brain_grace) {
+      add_streamed("split-brain",
+                   "primary transmitted to client at " + at.str() +
+                       ", backup took over at " + first_backup_tx_.str());
+    }
+  }
+}
+
+void InvariantChecker::on_host_rx(int host_idx, const net::Frame& frame) {
+  if (corrupted_.empty()) return;
+  const auto it = corrupted_.find(fnv1a(frame.data(), frame.size()));
+  if (it == corrupted_.end()) return;
+
+  // A corrupted frame reached a host. Only a flip inside a TCP segment must
+  // surface as a stack checksum drop: an IP-header flip dies at IP parse and
+  // a UDP flip at the UDP checksum, before any TCP accounting.
+  constexpr std::size_t kL4Off =
+      net::EthernetHeader::kSize + net::Ipv4Header::kSize;
+  const net::BytesView v = frame.view();
+  if (it->second < kL4Off || v.size() <= kL4Off) return;
+  if (v[net::EthernetHeader::kSize + 9] != net::kIpProtoTcp) return;
+  ++expected_bad_checksum_[host_idx];
+}
+
+std::uint64_t InvariantChecker::expected_checksum_drops() const {
+  return expected_bad_checksum_[0] + expected_bad_checksum_[1] +
+         expected_bad_checksum_[2];
+}
+
+std::vector<Violation> InvariantChecker::check(
+    const app::DownloadClient& client) {
+  std::vector<Violation> out = streamed_;
+  for (const auto& [inv, n] : streamed_counts_) {
+    if (n > kMaxDetailsPerInvariant) {
+      out.push_back({inv, fmt_u64("%llu occurrences in total (first %llu shown)",
+                                  static_cast<std::uint64_t>(n),
+                                  kMaxDetailsPerInvariant)});
+    }
+  }
+
+  // Stream bit-exactness. Corruption or a reset is a violation regardless of
+  // the plan; completion is only demanded of survivable (masked) plans.
+  if (client.corrupt()) {
+    out.push_back({"stream-exact", "client observed corrupt payload bytes"});
+  }
+  if (opt_.expect_masked) {
+    if (client.connection_failures() != 0) {
+      out.push_back({"stream-exact",
+                     "client connection failures: " +
+                         std::to_string(client.connection_failures())});
+    }
+    if (!client.complete()) {
+      out.push_back({"stream-exact",
+                     fmt_u64("download incomplete: %llu of %llu bytes",
+                             client.received(), opt_.expected_bytes)});
+    } else if (opt_.expected_bytes != 0 &&
+               client.received() != opt_.expected_bytes) {
+      out.push_back({"stream-exact",
+                     fmt_u64("byte count mismatch: received %llu, expected %llu",
+                             client.received(), opt_.expected_bytes)});
+    }
+  }
+
+  // Checksum-drop accounting: per stack, exactly the corrupted TCP frames we
+  // delivered to that host were dropped for bad checksum. Fewer = a corrupt
+  // segment was accepted (and possibly ACKed); more = a clean one rejected.
+  tcp::TcpStack* stacks[3] = {&sc_.client_stack(), &sc_.primary_stack(),
+                              &sc_.backup_stack()};
+  const char* names[3] = {"client", "primary", "backup"};
+  for (int i = 0; i < 3; ++i) {
+    const std::uint64_t got = stacks[i]->stats().bad_checksum;
+    if (got != expected_bad_checksum_[i]) {
+      out.push_back({"checksum-drop",
+                     std::string(names[i]) + ": " +
+                         fmt_u64("%llu checksum drops, expected %llu", got,
+                                 expected_bad_checksum_[i])});
+    }
+  }
+
+  // Bounded memory: hold buffers honour their configured cap, replica
+  // pending queues honour the per-tuple cap, connection tables stay small.
+  const std::size_t hold_cap = sc_.config().sttcp.hold_buffer_capacity;
+  sttcp::StTcpEndpoint* eps[2] = {sc_.primary_endpoint(), sc_.backup_endpoint()};
+  for (int i = 0; i < 2; ++i) {
+    if (eps[i] != nullptr && eps[i]->hold_peak_bytes() > hold_cap) {
+      out.push_back({"bounded-memory",
+                     std::string(names[i + 1]) + ": " +
+                         fmt_u64("hold buffer peak %llu exceeds cap %llu",
+                                 eps[i]->hold_peak_bytes(), hold_cap)});
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    const std::size_t pending = stacks[i]->pending_segments();
+    const std::size_t cap = tcp::TcpStack::max_buffered_segments() * 8;
+    if (pending > cap) {
+      out.push_back({"bounded-memory",
+                     std::string(names[i]) + ": " +
+                         fmt_u64("%llu replica-buffered segments (cap %llu)",
+                                 pending, cap)});
+    }
+    if (stacks[i]->connection_count() > 8) {
+      out.push_back({"bounded-memory",
+                     std::string(names[i]) + ": connection table grew to " +
+                         std::to_string(stacks[i]->connection_count())});
+    }
+  }
+  return out;
+}
+
+}  // namespace sttcp::harness

@@ -1,0 +1,111 @@
+// Runtime invariant checking for chaos scenarios.
+//
+// An InvariantChecker wires itself into a Scenario's observation points (the
+// switch frame tap, per-host receive taps, the impairment corrupt taps) and
+// watches the whole run, then renders a verdict. The invariants are the
+// properties ST-TCP claims regardless of what the network does to it:
+//
+//   stream-exact     the byte stream the client observes is bit-identical to
+//                    what the service wrote (complete, never corrupt, no
+//                    connection failures) — when the plan is survivable;
+//   no-client-rst    the client is never shown a RST that passes its own
+//                    checksum verification;
+//   checksum-drop    every wire-corrupted frame whose flip landed in the TCP
+//                    segment is dropped by the receiving stack's checksum
+//                    verification, and nothing else is: per host,
+//                    stack.bad_checksum == frames we corrupted toward it.
+//                    Fewer means a corrupted segment was ACCEPTED; more means
+//                    an uncorrupted segment was rejected;
+//   split-brain      at most one unsuppressed server talks to the client:
+//                    once the backup transmits on the service connection, the
+//                    primary must stay silent (beyond an in-flight grace);
+//   bounded-memory   hold buffers and replica pending queues never exceed
+//                    their configured caps, connection tables stay small.
+//
+// The checker is pure observation: it never mutates traffic, draws no
+// randomness, and adds no events, so a scenario behaves bit-identically with
+// and without it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/switch.h"
+#include "sim/time.h"
+
+namespace sttcp::app {
+class DownloadClient;
+}
+
+namespace sttcp::harness {
+
+class Scenario;
+
+struct Violation {
+  std::string invariant;  // e.g. "split-brain"
+  std::string detail;
+
+  std::string str() const { return invariant + ": " + detail; }
+};
+
+class InvariantChecker {
+ public:
+  struct Options {
+    /// Bytes the workload intends to transfer (stream-exact invariant).
+    std::uint64_t expected_bytes = 0;
+    /// Assert the transfer completed. True for every FaultPlan::Adversarial
+    /// schedule (survivable by construction); set false when deliberately
+    /// injecting unsurvivable plans to exercise the checker itself.
+    bool expect_masked = true;
+    /// Frames from the suppressed server may still be in flight (or queued on
+    /// a busy link) when the survivor first transmits; within this window
+    /// they are not split-brain.
+    sim::Duration split_brain_grace = sim::Duration::millis(25);
+  };
+
+  /// Installs taps. Must be constructed before traffic starts and outlive the
+  /// run. Pre-creates each link's Impairment (in fixed link order) so the
+  /// rng fork order is independent of which faults a plan happens to arm.
+  InvariantChecker(Scenario& sc, Options opt);
+
+  /// Evaluate end-of-run invariants and return everything that failed (the
+  /// streaming ones — RST, split-brain — are folded in). Empty = clean run.
+  std::vector<Violation> check(const app::DownloadClient& client);
+
+  // --- accounting (for reports / tests) ----------------------------------
+  std::uint64_t corrupted_frames() const { return corrupt_events_; }
+  std::uint64_t expected_checksum_drops() const;
+
+ private:
+  void on_switch_frame(sim::SimTime at, const net::Frame& frame);
+  void on_host_rx(int host_idx, const net::Frame& frame);
+  void add_streamed(const std::string& invariant, const std::string& detail);
+
+  static std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n);
+
+  Scenario& sc_;
+  Options opt_;
+  net::EthernetSwitch::FrameTap prev_tap_;
+
+  // Corrupted-frame identity: FNV-1a of the post-flip bytes -> flip offset.
+  // Multicast fan-out delivers one corrupted buffer to several hosts; each
+  // delivery is recognised by hash on the host rx tap.
+  std::unordered_map<std::uint64_t, std::size_t> corrupted_;
+  std::uint64_t corrupt_events_ = 0;
+
+  // Per-host (client=0, primary=1, backup=2) deliveries of corrupted frames
+  // whose flip landed inside the TCP segment — each must become exactly one
+  // stack bad_checksum increment.
+  std::uint64_t expected_bad_checksum_[3] = {0, 0, 0};
+
+  // Split-brain bookkeeping over service->client TCP frames.
+  sim::SimTime first_backup_tx_ = sim::SimTime::never();
+
+  std::vector<Violation> streamed_;
+  std::unordered_map<std::string, int> streamed_counts_;
+};
+
+}  // namespace sttcp::harness

@@ -232,6 +232,14 @@ void Scenario::export_metrics() {
     reg.counter(p + ".frames_delivered").set(s.frames_delivered);
     reg.counter(p + ".frames_dropped").set(s.frames_dropped);
     reg.counter(p + ".bytes_delivered").set(s.bytes_delivered);
+    // Impairment engines exist only on links a fault (or checker) touched.
+    if (const net::Impairment* imp = links_[i]->impairment_ptr()) {
+      const net::Impairment::Stats& is = imp->stats();
+      reg.counter(p + ".impair.burst_dropped").set(is.burst_dropped);
+      reg.counter(p + ".impair.corrupted").set(is.corrupted);
+      reg.counter(p + ".impair.duplicated").set(is.duplicated);
+      reg.counter(p + ".impair.reordered").set(is.reordered);
+    }
   }
 
   const net::EthernetSwitch::Stats& sw = switch_->stats();
@@ -244,6 +252,28 @@ void Scenario::export_metrics() {
   reg.counter("net.serial.messages_delivered").set(se.messages_delivered);
   reg.counter("net.serial.messages_dropped").set(se.messages_dropped);
   reg.counter("net.serial.bytes_delivered").set(se.bytes_delivered);
+  reg.counter("net.serial.messages_corrupted").set(se.messages_corrupted);
+  reg.counter("net.serial.messages_truncated").set(se.messages_truncated);
+
+  struct StackRow {
+    const tcp::TcpStack* stack;
+    const char* host;
+  };
+  const StackRow stacks[] = {{client_stack_.get(), "client"},
+                             {primary_stack_.get(), "primary"},
+                             {backup_stack_.get(), "backup"}};
+  for (const StackRow& row : stacks) {
+    if (row.stack == nullptr) continue;
+    const tcp::TcpStack::Stats& s = row.stack->stats();
+    const std::string p = std::string("tcp.") + row.host;
+    reg.counter(p + ".segments_in").set(s.segments_in);
+    reg.counter(p + ".segments_demuxed").set(s.segments_demuxed);
+    reg.counter(p + ".segments_buffered").set(s.segments_buffered);
+    reg.counter(p + ".bad_checksum").set(s.bad_checksum);
+    reg.counter(p + ".rst_sent").set(s.rst_sent);
+    reg.counter(p + ".connections_accepted").set(s.connections_accepted);
+    reg.counter(p + ".replicas_created").set(s.replicas_created);
+  }
 
   struct EpRow {
     const sttcp::StTcpEndpoint* ep;
@@ -264,6 +294,10 @@ void Scenario::export_metrics() {
     reg.counter(p + ".reintegrations").set(s.reintegrations);
     reg.counter(p + ".rejoins").set(s.rejoins);
     reg.counter(p + ".snapshot_conns_adopted").set(s.snapshot_conns_adopted);
+    reg.counter(p + ".hb_malformed").set(s.hb_malformed);
+    reg.counter(p + ".hb_stale").set(s.hb_stale);
+    reg.counter(p + ".control_malformed").set(s.control_malformed);
+    reg.counter(p + ".hold_peak_bytes").set(row.ep->hold_peak_bytes());
   }
 
   if (pcap_ != nullptr) {

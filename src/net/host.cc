@@ -132,6 +132,7 @@ void Host::on_nic_frame(Frame frame) {
 }
 
 void Host::process_frame(const Frame& frame) {
+  if (rx_tap_) rx_tap_(frame);
   ParsedFrame p;
   try {
     p = parse_frame(frame.view());

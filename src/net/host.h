@@ -36,6 +36,7 @@ class Host {
   using L4Handler = std::function<void(const Ipv4Header& ip, BytesView l4)>;
   using PingCallback = std::function<void(bool success, sim::Duration rtt)>;
   using CrashHook = std::function<void()>;
+  using RxTap = std::function<void(const Frame& frame)>;
 
   Host(sim::World& world, std::string name);
   ~Host();
@@ -63,6 +64,11 @@ class Host {
   void arp_set(Ipv4Addr ip, MacAddr mac);
   /// Per-received-packet CPU time; zero (default) processes inline.
   void set_cpu_packet_time(sim::Duration d) { cpu_packet_time_ = d; }
+  /// Observe every frame this host actually processes (after the NIC filter,
+  /// the CPU queue, and the alive check — i.e. exactly the frames the
+  /// protocol layers see). Diagnostics/invariant accounting; one null check
+  /// when unset.
+  void set_rx_tap(RxTap tap) { rx_tap_ = std::move(tap); }
 
   // --- lifecycle ----------------------------------------------------------
   bool alive() const { return alive_; }
@@ -128,6 +134,7 @@ class Host {
   std::unordered_map<std::uint8_t, L4Handler> l4_handlers_;
   std::vector<CrashHook> crash_hooks_;
   std::vector<CrashHook> boot_hooks_;
+  RxTap rx_tap_;
 
   struct PendingPing {
     PingCallback cb;

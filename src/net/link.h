@@ -8,10 +8,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "net/bytes.h"
 #include "net/frame.h"
+#include "net/impairment.h"
 #include "obs/metrics.h"
 #include "sim/world.h"
 
@@ -71,6 +73,15 @@ class Link {
   using DropFilter = std::function<bool(const Frame& frame)>;
   void set_drop_filter(DropFilter filter) { drop_filter_ = std::move(filter); }
 
+  /// Adversarial impairment engine (burst loss, corruption, duplication,
+  /// reordering, jitter — see net/impairment.h). Created on first access
+  /// with an Rng forked from the world; a link that never asks for it pays
+  /// one null check per frame and consumes no randomness, so pre-existing
+  /// seed-tuned scenarios stay bit-identical.
+  Impairment& impairment();
+  /// The engine if it was ever created, else null (stats export).
+  const Impairment* impairment_ptr() const { return impairment_.get(); }
+
   sim::Duration latency() const { return latency_; }
   const Stats& stats() const { return stats_; }
 
@@ -90,6 +101,8 @@ class Link {
   sim::Rng rng_;
   Port ports_[2];
   sim::SimTime busy_until_[2];  // per-direction serialization queue tail
+  sim::SimTime last_arrival_[2];  // order-preserving clamp for jittered frames
+  std::unique_ptr<Impairment> impairment_;
   int burst_drop_ = 0;
   DropFilter drop_filter_;
   bool failed_ = false;

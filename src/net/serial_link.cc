@@ -22,11 +22,33 @@ sim::Duration SerialLink::queue_delay(int from_port) const {
   return b - world_.now();
 }
 
+void SerialLink::set_noise(double corrupt_p, double truncate_p) {
+  corrupt_p_ = corrupt_p;
+  truncate_p_ = truncate_p;
+  if ((corrupt_p_ > 0.0 || truncate_p_ > 0.0) && !noise_rng_armed_) {
+    noise_rng_armed_ = true;
+    noise_rng_ = world_.rng().fork();
+  }
+}
+
 void SerialLink::transmit(int from_port, Bytes message) {
   ++stats_.messages_sent;
   if (failed_) {
     ++stats_.messages_dropped;
     return;
+  }
+  if (noise_rng_armed_ && !message.empty()) {
+    if (truncate_p_ > 0.0 && noise_rng_.chance(truncate_p_)) {
+      // Mid-message cut: the receiver's framing resynchronizes on the next
+      // message, so only a (possibly empty) prefix of this one arrives.
+      message.resize(static_cast<std::size_t>(noise_rng_.below(message.size())));
+      ++stats_.messages_truncated;
+    }
+    if (corrupt_p_ > 0.0 && !message.empty() && noise_rng_.chance(corrupt_p_)) {
+      message[noise_rng_.below(message.size())] ^=
+          static_cast<std::uint8_t>(1u << noise_rng_.below(8));
+      ++stats_.messages_corrupted;
+    }
   }
   sim::SimTime start = world_.now();
   if (busy_until_[from_port] > start) start = busy_until_[from_port];

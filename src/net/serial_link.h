@@ -12,6 +12,7 @@
 #include <functional>
 
 #include "net/bytes.h"
+#include "sim/random.h"
 #include "sim/world.h"
 
 namespace sttcp::net {
@@ -42,6 +43,8 @@ class SerialLink {
     std::uint64_t messages_delivered = 0;
     std::uint64_t messages_dropped = 0;
     std::uint64_t bytes_delivered = 0;
+    std::uint64_t messages_corrupted = 0;  // line-noise bit flips
+    std::uint64_t messages_truncated = 0;  // mid-message cuts
   };
 
   static constexpr std::uint64_t kDefaultBaud = 115200;
@@ -57,6 +60,14 @@ class SerialLink {
   void fail() { failed_ = true; }
   void heal() { failed_ = false; }
   bool failed() const { return failed_; }
+
+  /// Line noise: each message is independently bit-flipped with probability
+  /// `corrupt_p` and cut mid-message (a random-length prefix is delivered,
+  /// possibly empty) with probability `truncate_p`. RS-232 has no FCS, so
+  /// damaged messages reach the receiver — the heartbeat codec's own
+  /// checksum is what must reject them. The noise Rng is forked from the
+  /// world lazily on first arming, so unarmed scenarios draw nothing.
+  void set_noise(double corrupt_p, double truncate_p);
 
   /// Transmission queue depth in bytes for one direction — lets tests verify
   /// the channel saturates beyond ~100 connections as the paper predicts.
@@ -74,6 +85,10 @@ class SerialLink {
   SerialPort ports_[2];
   sim::SimTime busy_until_[2];
   bool failed_ = false;
+  double corrupt_p_ = 0.0;
+  double truncate_p_ = 0.0;
+  bool noise_rng_armed_ = false;
+  sim::Rng noise_rng_;
   Stats stats_;
 };
 

@@ -49,6 +49,9 @@ class EthernetSwitch {
   /// must not assume the bytes are private.
   using FrameTap = std::function<void(sim::SimTime at, const Frame& frame)>;
   void set_frame_tap(FrameTap tap) { frame_tap_ = std::move(tap); }
+  /// The installed tap (empty if none) — lets a second observer chain itself
+  /// in front of an existing one (e.g. the invariant checker alongside pcap).
+  const FrameTap& frame_tap() const { return frame_tap_; }
 
   const Stats& stats() const { return stats_; }
   const std::string& name() const { return name_; }

@@ -145,6 +145,9 @@ void StTcpEndpoint::on_hb_datagram(net::BytesView payload, bool via_serial) {
   if (!host_.alive() || mode_ == Mode::kDead) return;
   auto msg = HeartbeatMsg::parse(payload);
   if (!msg.has_value()) {
+    ++stats_.hb_malformed;
+    world_.trace().record(host_.name(), "hb_malformed",
+                          via_serial ? "serial" : "ip");
     log_.warn("malformed heartbeat (", via_serial ? "serial" : "ip", ")");
     return;
   }
@@ -180,6 +183,19 @@ void StTcpEndpoint::on_heartbeat(const HeartbeatMsg& msg, bool via_serial) {
     ++stats_.hb_received_ip;
   }
   if (timeline_ != nullptr) timeline_->heartbeat_seen(world_.now());
+  // Bounded-reorder guard: a duplicated or link-reordered heartbeat still
+  // proves the channel is alive (counted above), but its state must not
+  // rewind newer arbitration input (ping streaks, rejoin handshakes). A
+  // small backward sequence jump is a stale copy; a large one is a rebooted
+  // peer restarting its sequence and is accepted as a fresh stream.
+  const auto seq_delta =
+      static_cast<std::int32_t>(msg.hb_seq - last_peer_hb_seq_);
+  if (seen_peer_hb_ && seq_delta < 0 && seq_delta > -4096) {
+    ++stats_.hb_stale;
+    return;
+  }
+  seen_peer_hb_ = true;
+  last_peer_hb_seq_ = msg.hb_seq;
   if (msg.rejoin_ready) reintegrator_->on_rejoin_ready(msg.rejoin_epoch);
   if (!replicating_or_reintegrating()) return;
 
@@ -420,6 +436,7 @@ void StTcpEndpoint::install_primary_seams(tcp::TcpConnection& conn,
       return;
     }
     r->hold.append(off, data);
+    if (r->hold.size() > hold_peak_bytes_) hold_peak_bytes_ = r->hold.size();
     update_hold_gauge();
     // Overflow is handled (deferred) by detector_tick: reacting here would
     // tear down hooks while this very callback executes.
@@ -642,7 +659,10 @@ void StTcpEndpoint::on_control_datagram(net::Ipv4Addr src, net::BytesView payloa
       return;
     }
     auto msg = ControlMsg::parse(payload);
-    if (!msg.has_value()) return;
+    if (!msg.has_value()) {
+      ++stats_.control_malformed;
+      return;
+    }
     switch (msg->type) {
       case ControlType::kMissedBytesRequest:
         serve_missed(msg->request);

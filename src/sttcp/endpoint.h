@@ -58,6 +58,9 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
     std::uint64_t hb_sent = 0;
     std::uint64_t hb_received_ip = 0;
     std::uint64_t hb_received_serial = 0;
+    std::uint64_t hb_malformed = 0;       // rejected by the codec (noise/garbage)
+    std::uint64_t hb_stale = 0;           // reordered/duplicated old heartbeats
+    std::uint64_t control_malformed = 0;  // control datagrams the codec rejected
     std::uint64_t announces_confirmed = 0;
     std::uint64_t replicas_created = 0;
     std::uint64_t missed_requests_sent = 0;
@@ -93,6 +96,9 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
   bool serial_channel_alive() const;
   /// Replicated connections currently tracked.
   std::size_t replicated_connections() const { return conns_.size(); }
+  /// High-water mark of any single connection's hold buffer, in bytes —
+  /// the chaos invariants assert this never exceeds the configured capacity.
+  std::size_t hold_peak_bytes() const { return hold_peak_bytes_; }
 
   /// Watchdog extension: the application layer reports a suspicion that the
   /// LOCAL application has failed; relayed to the peer via the heartbeat.
@@ -256,6 +262,13 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
   sim::SimTime last_rx_ip_;
   sim::SimTime last_rx_serial_;
   bool started_ = false;
+
+  // Bounded-reorder guard over the peer's heartbeat sequence (see
+  // on_heartbeat). A large backward jump is a rebooted peer, not staleness.
+  std::uint32_t last_peer_hb_seq_ = 0;
+  bool seen_peer_hb_ = false;
+
+  std::size_t hold_peak_bytes_ = 0;
 
   // Gateway-ping arbitration.
   sim::OneShotTimer ping_timer_;

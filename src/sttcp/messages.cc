@@ -1,9 +1,13 @@
 #include "sttcp/messages.h"
 
+#include "net/checksum.h"
+
 namespace sttcp::sttcp {
 
 namespace {
 constexpr std::uint8_t kHbMagic = 0x48;  // 'H'
+// magic(1) + checksum(2): offset of the checksum field within the message.
+constexpr std::size_t kHbChecksumOffset = 1;
 
 constexpr std::uint8_t kFlagFin = 0x01;
 constexpr std::uint8_t kFlagRst = 0x02;
@@ -24,9 +28,14 @@ const char* to_string(Role r) {
 
 net::Bytes HeartbeatMsg::serialize() const {
   net::Bytes out;
-  out.reserve(9 + records.size() * 19);
+  out.reserve(11 + records.size() * 19);
   net::ByteWriter w(out);
   w.u8(kHbMagic);
+  // Internet checksum over the whole message (field zeroed while summing),
+  // patched below. The serial channel has no FCS: without this, a line-noise
+  // bit flip in a counter field would parse "successfully" and feed garbage
+  // progress counters into failover arbitration.
+  w.u16(0);
   w.u8(static_cast<std::uint8_t>(role));
   w.u32(hb_seq);
   std::uint8_t hf = 0;
@@ -61,6 +70,14 @@ net::Bytes HeartbeatMsg::serialize() const {
       w.u32(r.irs);
     }
   }
+  // Summed from the checksum field onward so the field sits word-aligned in
+  // the summed region (at its natural offset 1 it would straddle two 16-bit
+  // words and the complement trick would not cancel). The magic byte is
+  // excluded but checked by value on parse.
+  const std::uint16_t c = net::internet_checksum(
+      net::BytesView(out).subspan(kHbChecksumOffset));
+  out[kHbChecksumOffset] = static_cast<std::uint8_t>(c >> 8);
+  out[kHbChecksumOffset + 1] = static_cast<std::uint8_t>(c);
   return out;
 }
 
@@ -68,8 +85,16 @@ std::optional<HeartbeatMsg> HeartbeatMsg::parse(net::BytesView data) {
   try {
     net::ByteReader r(data);
     if (r.u8() != kHbMagic) return std::nullopt;
+    // A valid message checksums to zero from the field onward (the stored
+    // field complements the rest). Rejects bit flips AND truncations.
+    if (net::internet_checksum(data.subspan(kHbChecksumOffset)) != 0) {
+      return std::nullopt;
+    }
     HeartbeatMsg m;
-    m.role = static_cast<Role>(r.u8());
+    r.u16();  // checksum, verified above
+    const std::uint8_t role_byte = r.u8();
+    if (role_byte > static_cast<std::uint8_t>(Role::kBackup)) return std::nullopt;
+    m.role = static_cast<Role>(role_byte);
     m.hb_seq = r.u32();
     const std::uint8_t hf = r.u8();
     m.ping_valid = (hf & kHdrPingValid) != 0;
@@ -79,6 +104,9 @@ std::optional<HeartbeatMsg> HeartbeatMsg::parse(net::BytesView data) {
     m.rejoin_ready = (hf & kHdrRejoinReady) != 0;
     if (m.rejoin_request || m.rejoin_ready) m.rejoin_epoch = r.u32();
     const std::uint16_t count = r.u16();
+    // Reject an impossible record count before reserving for it: each record
+    // is at least 19 wire bytes, so count is bounded by what is left.
+    if (static_cast<std::size_t>(count) * 19 > r.remaining()) return std::nullopt;
     m.records.reserve(count);
     for (std::uint16_t i = 0; i < count; ++i) {
       HbRecord rec;

@@ -90,6 +90,8 @@ void TcpStack::on_packet(const net::Ipv4Header& ip, net::BytesView l4) {
   auto seg = TcpSegment::parse(ip.src, ip.dst, l4, cfg_.verify_checksums);
   if (!seg.has_value()) {
     ++stats_.bad_checksum;
+    world().trace().record(host_.name(), "checksum_drop", ip.src.str(),
+                           static_cast<std::int64_t>(l4.size()));
     log_.warn("dropping malformed/corrupt TCP segment from ", ip.src.str());
     return;
   }

@@ -90,6 +90,15 @@ class TcpStack {
   TcpConnection* find(const FourTuple& tuple);
   void for_each(const std::function<void(TcpConnection&)>& fn);
   std::size_t connection_count() const { return conns_.size(); }
+  /// Replica-mode segments currently held awaiting an announce (per-tuple
+  /// occupancy, capped at max_buffered_segments() each) — lets the chaos
+  /// invariants assert replica memory stays bounded.
+  std::size_t pending_segments() const {
+    std::size_t n = 0;
+    for (const auto& [t, q] : pending_) n += q.size();
+    return n;
+  }
+  static constexpr std::size_t max_buffered_segments() { return kMaxBufferedSegments; }
 
   // --- plumbing (used by TcpConnection) ----------------------------------------
   sim::World& world() { return host_.world(); }

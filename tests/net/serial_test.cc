@@ -94,6 +94,51 @@ TEST_F(SerialTest, QueueDelayReflectsBacklog) {
   EXPECT_EQ(link_.queue_delay(0), sim::Duration::millis(200));
 }
 
+TEST_F(SerialTest, NoiseCorruptsSingleBitsAndCounts) {
+  link_.set_noise(/*corrupt_p=*/1.0, /*truncate_p=*/0.0);
+  const Bytes original = to_bytes("heartbeat-payload");
+  const int n = 50;
+  for (int i = 0; i < n; ++i) link_.port(0).send(Bytes(original));
+  world_.loop().run();
+  ASSERT_EQ(at_b_.size(), static_cast<std::size_t>(n));
+  for (const Bytes& got : at_b_) {
+    ASSERT_EQ(got.size(), original.size());
+    int bits = 0;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      bits += __builtin_popcount(static_cast<unsigned>(got[i] ^ original[i]));
+    }
+    EXPECT_EQ(bits, 1);  // line noise model: one flipped bit per hit
+  }
+  EXPECT_EQ(link_.stats().messages_corrupted, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(link_.stats().messages_truncated, 0u);
+}
+
+TEST_F(SerialTest, NoiseCutsMessagesMidStream) {
+  link_.set_noise(/*corrupt_p=*/0.0, /*truncate_p=*/1.0);
+  const Bytes original = to_bytes("a-longer-heartbeat-message");
+  const int n = 50;
+  for (int i = 0; i < n; ++i) link_.port(0).send(Bytes(original));
+  world_.loop().run();
+  ASSERT_EQ(at_b_.size(), static_cast<std::size_t>(n));
+  for (const Bytes& got : at_b_) EXPECT_LT(got.size(), original.size());
+  EXPECT_EQ(link_.stats().messages_truncated, static_cast<std::uint64_t>(n));
+}
+
+TEST_F(SerialTest, NoiseIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::World w(seed);
+    SerialLink link(w);
+    std::vector<Bytes> got;
+    link.port(1).set_handler([&](Bytes m) { got.push_back(std::move(m)); });
+    link.set_noise(0.5, 0.3);
+    for (int i = 0; i < 100; ++i) link.port(0).send(Bytes(40, 0x5a));
+    w.loop().run();
+    return got;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
 TEST_F(SerialTest, CustomBaud) {
   SerialLink fast(world_, 1'152'000);  // 10x the default
   std::vector<sim::SimTime> t;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "net/checksum.h"
+#include "sim/random.h"
+
 namespace sttcp::sttcp {
 namespace {
 
@@ -107,6 +110,83 @@ TEST(HeartbeatMsgTest, GarbageRejected) {
   net::Bytes w = m.serialize();
   w.resize(w.size() - 5);
   EXPECT_FALSE(HeartbeatMsg::parse(w).has_value());
+}
+
+TEST(HeartbeatMsgTest, EveryTruncationIsRejected) {
+  // The RS-232 line can cut a message anywhere; no prefix of a valid
+  // heartbeat may parse (the trailing checksum covers the full length).
+  HeartbeatMsg m;
+  m.role = Role::kPrimary;
+  m.hb_seq = 7;
+  m.records.push_back(sample_record(1));
+  HbRecord ann = sample_record(2);
+  ann.announce = true;
+  m.records.push_back(ann);
+  const net::Bytes full = m.serialize();
+  ASSERT_TRUE(HeartbeatMsg::parse(full).has_value());
+  for (std::size_t n = 0; n < full.size(); ++n) {
+    net::Bytes cut(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(n));
+    EXPECT_FALSE(HeartbeatMsg::parse(cut).has_value()) << "prefix length " << n;
+  }
+}
+
+TEST(HeartbeatMsgTest, EverySingleBitFlipIsRejected) {
+  // A serial line has no FCS, so the codec's own checksum is the only thing
+  // between line noise and garbage progress counters reaching arbitration.
+  HeartbeatMsg m;
+  m.role = Role::kBackup;
+  m.hb_seq = 12345;
+  m.ping_valid = true;
+  m.records.push_back(sample_record(3));
+  const net::Bytes full = m.serialize();
+  for (std::size_t byte = 0; byte < full.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      net::Bytes flipped = full;
+      flipped[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      const auto p = HeartbeatMsg::parse(flipped);
+      EXPECT_FALSE(p.has_value()) << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(HeartbeatMsgTest, RandomGarbageNeverParsesOrThrows) {
+  // Pure fuzz: no byte string that is not a well-formed heartbeat may crash,
+  // throw, or (modulo the 1-in-2^16 checksum odds, which the fixed seed
+  // pins) be accepted.
+  sim::Rng rng(2026);
+  for (int trial = 0; trial < 5000; ++trial) {
+    net::Bytes junk(rng.below(64), 0);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
+    ASSERT_NO_THROW({
+      const auto p = HeartbeatMsg::parse(junk);
+      EXPECT_FALSE(p.has_value()) << "trial " << trial;
+    });
+  }
+}
+
+TEST(HeartbeatMsgTest, ImpossibleRecordCountRejected) {
+  // A count field promising more records than the remaining bytes could ever
+  // hold must be rejected before any allocation happens. The checksum is
+  // re-patched so this exercises the count guard, not the checksum guard.
+  HeartbeatMsg m;
+  net::Bytes w = m.serialize();
+  w[w.size() - 2] = 0xff;  // count = 0xff00
+  w[w.size() - 1] = 0x00;
+  w[1] = 0;
+  w[2] = 0;
+  const std::uint16_t c = net::internet_checksum(net::BytesView(w).subspan(1));
+  w[1] = static_cast<std::uint8_t>(c >> 8);
+  w[2] = static_cast<std::uint8_t>(c);
+  EXPECT_FALSE(HeartbeatMsg::parse(w).has_value());
+}
+
+TEST(ControlMsgTest, RandomGarbageNeverParsesOrThrows) {
+  sim::Rng rng(4242);
+  for (int trial = 0; trial < 5000; ++trial) {
+    net::Bytes junk(rng.below(64), 0);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
+    ASSERT_NO_THROW({ (void)ControlMsg::parse(junk); });
+  }
 }
 
 TEST(CounterUnwrapTest, MonotonicAndWrapping) {
