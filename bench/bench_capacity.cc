@@ -1,0 +1,217 @@
+// Capacity under churn: where is the knee, and does failover hold at scale?
+//
+// Part 1 sweeps offered load (open-loop Poisson arrivals of heavy-tailed
+// flows against SizedServer) with a primary crash mid-run at every point,
+// and reports the flow-completion-time distribution per load. The knee is
+// the highest load whose p99 FCT still meets the failover SLO — the
+// heartbeat detection budget plus takeover and retransmission glitch.
+//
+// Part 2 is the churn acceptance run: a closed-loop population of thousands
+// of clients cycling connect -> transfer -> close -> think, primary crashed
+// mid-churn. Every in-flight and subsequently-opened connection must finish
+// byte-exact with zero client-visible resets, under the full
+// InvariantChecker (stream-exact, no-client-rst, split-brain,
+// bounded-memory). A violation makes the binary exit non-zero.
+//
+// Flags: --json=PATH   append every table as JSONL (see EXPERIMENTS.md)
+//        --quick       reduced loads / population (the check.sh smoke lane)
+//        --conns=N     override the acceptance-run population (default 2000)
+//        --debug       mirror scenario logs to stderr (debugging a failure)
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "harness/invariants.h"
+#include "harness/workload.h"
+
+namespace sttcp::bench {
+namespace {
+
+using harness::InvariantChecker;
+using harness::Violation;
+using harness::Workload;
+using harness::WorkloadConfig;
+
+struct ChurnSpec {
+  WorkloadConfig wl;
+  std::uint64_t seed = 1;
+  sim::Duration crash_at = sim::Duration::zero();  // zero = no crash
+  /// Post-drain quiet margin: lets TIME_WAIT (2 x MSL) and the endpoint's
+  /// closed-connection linger empty the tables before bounded-memory runs.
+  sim::Duration quiet = sim::Duration::seconds(3);
+};
+
+struct ChurnResult {
+  Workload::Stats stats;
+  double fct_p50_ms = 0, fct_p99_ms = 0, fct_p999_ms = 0;
+  double takeover_ms = -1;
+  bool drained = false;
+  std::vector<Violation> violations;
+};
+
+bool g_debug = false;  // --debug: stream stack debug logs to stderr
+
+ScenarioConfig churn_scenario_config(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  if (g_debug) {
+    cfg.log_out = &std::cerr;
+    cfg.log_level = sim::LogLevel::kDebug;
+  }
+  // Thousands of connections hold more in-flight server->client data per
+  // heartbeat period than the single-download default cap; the serial copy
+  // of the heartbeat must not serialise the whole table over 115.2 kbps.
+  cfg.sttcp.hold_buffer_capacity = 32 * 1024 * 1024;
+  cfg.sttcp.serial_max_records = 32;
+  return cfg;
+}
+
+ChurnResult run_churn(const ChurnSpec& spec) {
+  Scenario sc(churn_scenario_config(spec.seed));
+  app::SizedServer p_app(sc.primary_stack(), sc.service_port());
+  app::SizedServer b_app(sc.backup_stack(), sc.service_port());
+
+  InvariantChecker::Options iopt;
+  iopt.expect_masked = true;
+  InvariantChecker checker(sc, iopt);
+
+  Workload wl(sc, spec.wl);
+  if (!spec.crash_at.is_zero()) {
+    sc.inject(harness::Fault::Crash(harness::Node::kPrimary).at(spec.crash_at));
+  }
+  wl.start();
+
+  sc.run_for(spec.wl.duration);
+  // Drain: generation has stopped; let in-flight flows finish (bounded).
+  for (int i = 0; i < 600 && !wl.drained(); ++i) {
+    sc.run_for(sim::Duration::millis(100));
+  }
+  sc.run_for(spec.quiet);
+
+  ChurnResult out;
+  out.stats = wl.stats();
+  out.drained = wl.drained();
+  out.fct_p50_ms = static_cast<double>(wl.fct_us().percentile(0.50)) / 1000.0;
+  out.fct_p99_ms = static_cast<double>(wl.fct_us().percentile(0.99)) / 1000.0;
+  out.fct_p999_ms = static_cast<double>(wl.fct_us().percentile(0.999)) / 1000.0;
+  if (!spec.crash_at.is_zero()) {
+    if (auto t = sc.world().trace().first_time("takeover")) {
+      out.takeover_ms = (*t - (sim::SimTime::zero() + spec.crash_at)).to_millis();
+    }
+  }
+  out.violations = checker.check(wl);
+  return out;
+}
+
+/// p99-FCT SLO for a load point to count as "within capacity": the failover
+/// glitch budget — heartbeat detection (miss_threshold + 1 periods) plus
+/// takeover and client retransmission slack.
+double failover_slo_ms(const ScenarioConfig& cfg) {
+  return cfg.sttcp.hb_period.to_millis() *
+             static_cast<double>(cfg.sttcp.hb_miss_threshold + 1) +
+         1200.0;
+}
+
+int run(int argc, char** argv) {
+  JsonSink json(argc, argv);
+  bool quick = false;
+  std::size_t conns = 2000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--debug") == 0) g_debug = true;
+    if (std::strncmp(argv[i], "--conns=", 8) == 0) {
+      conns = static_cast<std::size_t>(std::strtoull(argv[i] + 8, nullptr, 10));
+    }
+  }
+  if (quick) conns = std::min<std::size_t>(conns, 400);
+
+  // --- Part 1: offered-load sweep, crash at every point ---------------------
+  print_header("Capacity sweep: churning connections vs the failover SLO",
+               "scale validation — open-loop Poisson arrivals, bounded-Pareto "
+               "flow sizes, primary crashed mid-run at every load point");
+
+  const std::vector<double> loads =
+      quick ? std::vector<double>{100, 400, 1200}
+            : std::vector<double>{100, 200, 400, 800, 1200, 1600};
+  const sim::Duration sweep_duration =
+      quick ? sim::Duration::millis(1500) : sim::Duration::seconds(4);
+  const double slo_ms = failover_slo_ms(churn_scenario_config(1));
+
+  SweepRunner runner;
+  const std::vector<ChurnResult> results =
+      runner.map(loads.size(), [&](std::size_t i) {
+        ChurnSpec spec;
+        spec.seed = 1000 + i;
+        spec.wl.arrivals = WorkloadConfig::Arrivals::kPoisson;
+        spec.wl.arrival_rate_cps = loads[i];
+        spec.wl.flow_min_bytes = 2 * 1024;
+        spec.wl.flow_max_bytes = 256 * 1024;
+        spec.wl.duration = sweep_duration;
+        spec.crash_at = sweep_duration / 2;
+        return run_churn(spec);
+      });
+
+  Table sweep({"load_cps", "conns_peak", "offered", "started", "shed",
+               "completed", "failed", "resets", "fct_p50_ms", "fct_p99_ms",
+               "fct_p999_ms", "takeover_ms", "violations"});
+  double knee_cps = 0;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const ChurnResult& r = results[i];
+    sweep.row(loads[i], r.stats.peak_concurrent, r.stats.offered,
+              r.stats.started, r.stats.shed, r.stats.completed, r.stats.failed,
+              r.stats.resets, r.fct_p50_ms, r.fct_p99_ms, r.fct_p999_ms,
+              r.takeover_ms, r.violations.size());
+    if (r.fct_p99_ms <= slo_ms && r.stats.shed == 0 && loads[i] > knee_cps) {
+      knee_cps = loads[i];
+    }
+  }
+  sweep.print();
+  json.table(sweep, "capacity_sweep");
+  std::cout << "\nfailover SLO (p99 FCT): " << slo_ms << " ms"
+            << "\nknee: " << knee_cps
+            << " conn/s (highest load meeting the SLO with nothing shed)\n";
+
+  // --- Part 2: closed-loop churn acceptance with a mid-churn crash ----------
+  print_header("Churn acceptance: " + std::to_string(conns) +
+                   " closed-loop clients, primary crashed mid-churn",
+               "scale validation — every flow must finish byte-exact with "
+               "zero client-visible resets (full InvariantChecker)");
+
+  ChurnSpec spec;
+  spec.seed = 42;
+  spec.wl.arrivals = WorkloadConfig::Arrivals::kClosedLoop;
+  spec.wl.closed_clients = conns;
+  spec.wl.think_mean = sim::Duration::millis(20);
+  spec.wl.flow_min_bytes = 4 * 1024;
+  spec.wl.flow_max_bytes = 64 * 1024;
+  spec.wl.max_concurrent = conns;
+  spec.wl.duration = quick ? sim::Duration::seconds(2) : sim::Duration::seconds(4);
+  spec.crash_at = spec.wl.duration / 2;
+  const ChurnResult r = run_churn(spec);
+
+  Table accept({"conns", "offered", "started", "completed", "failed", "resets",
+                "corrupt", "conns_peak", "fct_p50_ms", "fct_p99_ms",
+                "fct_p999_ms", "takeover_ms", "drained", "violations"});
+  accept.row(conns, r.stats.offered, r.stats.started, r.stats.completed,
+             r.stats.failed, r.stats.resets, r.stats.corrupt,
+             r.stats.peak_concurrent, r.fct_p50_ms, r.fct_p99_ms,
+             r.fct_p999_ms, r.takeover_ms, ok(r.drained),
+             r.violations.size());
+  accept.print();
+  json.table(accept, "churn_acceptance");
+
+  if (!r.violations.empty()) {
+    std::cout << "\nINVARIANT VIOLATIONS:\n";
+    for (const Violation& v : r.violations) std::cout << "  " << v.str() << "\n";
+    return 1;
+  }
+  std::cout << "\nAll invariants held: the crash was masked for every one of "
+            << r.stats.started << " flows.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace sttcp::bench
+
+int main(int argc, char** argv) { return sttcp::bench::run(argc, argv); }

@@ -7,16 +7,22 @@
 # the widest state coverage). With --release, also build
 # the optimized lane the benchmarks are measured in and smoke-run bench_micro
 # (see docs/PERFORMANCE.md). With --chaos, run the adversarial multi-fault
-# fuzzer (docs/CHAOS.md) over a fixed seed budget in the Release lane.
+# fuzzer (docs/CHAOS.md) over a fixed seed budget in the Release lane. With
+# --scale, run the churn capacity bench's quick mode in the Release lane —
+# the invariant-checked mid-churn failover acceptance (see EXPERIMENTS.md,
+# "Capacity and churn"). The default lane also runs the doc link checker.
 #
-#   scripts/check.sh             # build + full ctest
+#   scripts/check.sh             # build + full ctest + doc link check
 #   scripts/check.sh --asan      # additionally: sanitizer lane
 #   scripts/check.sh --release   # additionally: -O2 lane + bench smoke
 #   scripts/check.sh --chaos     # additionally: 64-seed adversarial fuzz lane
+#   scripts/check.sh --scale     # additionally: churn capacity smoke lane
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
+
+scripts/check_docs.sh
 
 cmake -B build -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build -j "$JOBS"
@@ -49,6 +55,14 @@ for arg in "$@"; do
       # fault schedule; any invariant violation prints the exact seed + plan
       # and a one-command replay line (see docs/CHAOS.md), and fails the lane.
       ./build-release/bench/bench_chaos 64
+      ;;
+    --scale)
+      cmake -B build-release -DCMAKE_BUILD_TYPE=Release >/dev/null
+      cmake --build build-release -j "$JOBS"
+      # Churn smoke: reduced load sweep + a 400-client closed-loop churn
+      # with a mid-run primary crash; exits non-zero on any invariant
+      # violation (client-visible RST, corrupt stream, memory bound).
+      ./build-release/bench/bench_capacity --quick
       ;;
     *)
       echo "unknown option: $arg" >&2

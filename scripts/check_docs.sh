@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Doc link checker: every relative markdown link and every backtick-quoted
+# repo path referenced from *.md must exist. External links (http/https),
+# anchors, and mailto are skipped. Run from anywhere; checks the whole repo.
+#
+#   scripts/check_docs.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# Markdown files outside build trees and third-party material.
+mapfile -t MD_FILES < <(find . -name '*.md' \
+  -not -path './build*' -not -path './.git/*' | sort)
+
+for md in "${MD_FILES[@]}"; do
+  dir="$(dirname "$md")"
+  # [text](target) style links, one per line even when a line holds several.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"          # strip an anchor suffix
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN LINK: $md -> $target" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs.sh: broken links found" >&2
+  exit 1
+fi
+echo "check_docs.sh: ${#MD_FILES[@]} markdown files, all links resolve"

@@ -214,6 +214,38 @@ void SinkServer::on_data(Conn& c) {
 
 void SinkServer::on_writable(Conn&) {}
 
+// --- SizedServer -------------------------------------------------------------
+
+SizedServer::SizedServer(tcp::TcpStack& stack, std::uint16_t port)
+    : ServerApp(stack, port, "sized_server") {}
+
+void SizedServer::on_data(Conn& c) {
+  net::Bytes in = c.tcp->read(1 << 20);
+  stats_.bytes_read += in.size();
+  if (c.request_seen) return;  // trailing client bytes are ignored
+  // Accumulate the 8-byte request; it may straddle segments. echo_pending is
+  // reused as the accumulator so the reintegration checkpoint carries a
+  // partial request across a snapshot without new fields.
+  c.echo_pending.insert(c.echo_pending.end(), in.begin(), in.end());
+  if (c.echo_pending.size() < kRequestBytes) return;
+  std::uint64_t size = 0;
+  for (std::size_t i = 0; i < kRequestBytes; ++i) {
+    size = (size << 8) | c.echo_pending[i];
+  }
+  c.echo_pending.clear();
+  c.request_seen = true;
+  c.to_serve = size;
+  on_writable(c);
+}
+
+void SizedServer::on_writable(Conn& c) {
+  if (!c.request_seen) return;
+  const std::uint64_t before = c.served;
+  serve_pattern(c, c.to_serve);
+  c.to_serve -= c.served - before;
+  if (c.to_serve == 0) c.tcp->close();
+}
+
 // --- EchoServer --------------------------------------------------------------
 
 EchoServer::EchoServer(tcp::TcpStack& stack, std::uint16_t port)

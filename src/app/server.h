@@ -150,6 +150,24 @@ class SinkServer : public ServerApp {
   bool corrupt_ = false;
 };
 
+/// Serves exactly the byte count named in the client's fixed 8-byte
+/// big-endian request, then closes. The churn workload's server: per-flow
+/// heavy-tailed sizes need a per-connection length the replica derives from
+/// the replicated input stream alone (keeping primary and backup instances
+/// byte-identical), unlike FileServer's constructor-fixed size.
+class SizedServer : public ServerApp {
+ public:
+  SizedServer(tcp::TcpStack& stack, std::uint16_t port);
+
+  /// Wire size of the client's size request.
+  static constexpr std::size_t kRequestBytes = 8;
+
+ protected:
+  void on_accept(Conn&) override {}
+  void on_data(Conn& c) override;
+  void on_writable(Conn& c) override;
+};
+
 /// Echoes everything it reads. The simplest deterministic app.
 class EchoServer : public ServerApp {
  public:

@@ -4,6 +4,7 @@
 
 #include "app/client.h"
 #include "harness/scenario.h"
+#include "harness/workload.h"
 #include "net/headers.h"
 #include "tcp/segment.h"
 
@@ -132,9 +133,8 @@ std::uint64_t InvariantChecker::expected_checksum_drops() const {
          expected_bad_checksum_[2];
 }
 
-std::vector<Violation> InvariantChecker::check(
-    const app::DownloadClient& client) {
-  std::vector<Violation> out = streamed_;
+void InvariantChecker::collect_streamed(std::vector<Violation>& out) const {
+  out.insert(out.end(), streamed_.begin(), streamed_.end());
   for (const auto& [inv, n] : streamed_counts_) {
     if (n > kMaxDetailsPerInvariant) {
       out.push_back({inv, fmt_u64("%llu occurrences in total (first %llu shown)",
@@ -142,6 +142,82 @@ std::vector<Violation> InvariantChecker::check(
                                   kMaxDetailsPerInvariant)});
     }
   }
+}
+
+void InvariantChecker::check_checksums(std::vector<Violation>& out) const {
+  // Checksum-drop accounting: per stack, exactly the corrupted TCP frames we
+  // delivered to that host were dropped for bad checksum. Fewer = a corrupt
+  // segment was accepted (and possibly ACKed); more = a clean one rejected.
+  tcp::TcpStack* stacks[3] = {&sc_.client_stack(), &sc_.primary_stack(),
+                              &sc_.backup_stack()};
+  const char* names[3] = {"client", "primary", "backup"};
+  for (int i = 0; i < 3; ++i) {
+    const std::uint64_t got = stacks[i]->stats().bad_checksum;
+    if (got != expected_bad_checksum_[i]) {
+      out.push_back({"checksum-drop",
+                     std::string(names[i]) + ": " +
+                         fmt_u64("%llu checksum drops, expected %llu", got,
+                                 expected_bad_checksum_[i])});
+    }
+  }
+}
+
+void InvariantChecker::check_memory(std::vector<Violation>& out,
+                                    std::size_t conn_table_cap) const {
+  // Bounded memory: hold buffers honour their configured cap, replica
+  // pending queues honour the per-tuple cap, connection tables stay within
+  // the workload's configured concurrency, and total connection heap stays
+  // inside the per-connection socket-buffer budget (no per-flow leak).
+  const char* names[3] = {"client", "primary", "backup"};
+  const std::size_t hold_cap = sc_.config().sttcp.hold_buffer_capacity;
+  sttcp::StTcpEndpoint* eps[2] = {sc_.primary_endpoint(), sc_.backup_endpoint()};
+  for (int i = 0; i < 2; ++i) {
+    if (eps[i] != nullptr && eps[i]->hold_peak_bytes() > hold_cap) {
+      out.push_back({"bounded-memory",
+                     std::string(names[i + 1]) + ": " +
+                         fmt_u64("hold buffer peak %llu exceeds cap %llu",
+                                 eps[i]->hold_peak_bytes(), hold_cap)});
+    }
+  }
+  const tcp::TcpConfig& tc = sc_.config().tcp;
+  // Send buffer at its cap, receive side counted twice (in-order ready bytes
+  // plus a window's worth of out-of-order segments), plus fixed-struct slack.
+  const std::size_t per_conn =
+      tc.send_buffer + 2 * tc.recv_buffer + 4096;
+  tcp::TcpStack* stacks[3] = {&sc_.client_stack(), &sc_.primary_stack(),
+                              &sc_.backup_stack()};
+  for (int i = 0; i < 3; ++i) {
+    const std::size_t pending = stacks[i]->pending_segments();
+    const std::size_t cap = tcp::TcpStack::max_buffered_segments() * 8;
+    if (pending > cap) {
+      out.push_back({"bounded-memory",
+                     std::string(names[i]) + ": " +
+                         fmt_u64("%llu replica-buffered segments (cap %llu)",
+                                 pending, cap)});
+    }
+    if (stacks[i]->connection_count() > conn_table_cap) {
+      out.push_back({"bounded-memory",
+                     std::string(names[i]) + ": " +
+                         fmt_u64("connection table grew to %llu (cap %llu)",
+                                 stacks[i]->connection_count(), conn_table_cap)});
+    }
+    const std::size_t mem = stacks[i]->memory_bytes();
+    const std::size_t budget =
+        (stacks[i]->connection_count() + 1) * per_conn +
+        pending * (sizeof(tcp::TcpSegment) + tc.mss);
+    if (mem > budget) {
+      out.push_back({"bounded-memory",
+                     std::string(names[i]) + ": " +
+                         fmt_u64("stack heap %llu exceeds budget %llu", mem,
+                                 budget)});
+    }
+  }
+}
+
+std::vector<Violation> InvariantChecker::check(
+    const app::DownloadClient& client) {
+  std::vector<Violation> out;
+  collect_streamed(out);
 
   // Stream bit-exactness. Corruption or a reset is a violation regardless of
   // the plan; completion is only demanded of survivable (masked) plans.
@@ -166,49 +242,57 @@ std::vector<Violation> InvariantChecker::check(
     }
   }
 
-  // Checksum-drop accounting: per stack, exactly the corrupted TCP frames we
-  // delivered to that host were dropped for bad checksum. Fewer = a corrupt
-  // segment was accepted (and possibly ACKed); more = a clean one rejected.
-  tcp::TcpStack* stacks[3] = {&sc_.client_stack(), &sc_.primary_stack(),
-                              &sc_.backup_stack()};
-  const char* names[3] = {"client", "primary", "backup"};
-  for (int i = 0; i < 3; ++i) {
-    const std::uint64_t got = stacks[i]->stats().bad_checksum;
-    if (got != expected_bad_checksum_[i]) {
-      out.push_back({"checksum-drop",
-                     std::string(names[i]) + ": " +
-                         fmt_u64("%llu checksum drops, expected %llu", got,
-                                 expected_bad_checksum_[i])});
+  check_checksums(out);
+  check_memory(out, /*conn_table_cap=*/8);
+  return out;
+}
+
+std::vector<Violation> InvariantChecker::check(const Workload& workload) {
+  std::vector<Violation> out;
+  collect_streamed(out);
+
+  // Every generated flow must have run to completion byte-exact. Corruption
+  // is a violation regardless of the plan; completion and no-reset are only
+  // demanded of survivable (masked) plans — an unsurvivable crash is allowed
+  // to fail flows, just never to hand the client corrupt bytes.
+  const Workload::Stats& s = workload.stats();
+  if (!workload.drained()) {
+    out.push_back({"stream-exact",
+                   std::to_string(workload.active_flows()) +
+                       " flows still open at end of run (not drained)"});
+  }
+  if (s.corrupt != 0) {
+    out.push_back({"stream-exact",
+                   fmt_u64("%llu of %llu started flows observed corrupt "
+                           "payload bytes",
+                           s.corrupt, s.started)});
+  }
+  if (opt_.expect_masked) {
+    if (s.resets != 0) {
+      out.push_back({"no-client-rst",
+                     fmt_u64("%llu of %llu started flows were closed by a "
+                             "client-visible reset",
+                             s.resets, s.started)});
+    }
+    if (s.failed != 0) {
+      out.push_back({"stream-exact",
+                     fmt_u64("%llu of %llu started flows failed (short, "
+                             "corrupt, or reset)",
+                             s.failed, s.started)});
+    }
+    if (workload.drained() && s.completed + s.failed != s.started) {
+      out.push_back({"stream-exact",
+                     fmt_u64("flow accounting leak: completed+failed = %llu "
+                             "of %llu started",
+                             s.completed + s.failed, s.started)});
     }
   }
 
-  // Bounded memory: hold buffers honour their configured cap, replica
-  // pending queues honour the per-tuple cap, connection tables stay small.
-  const std::size_t hold_cap = sc_.config().sttcp.hold_buffer_capacity;
-  sttcp::StTcpEndpoint* eps[2] = {sc_.primary_endpoint(), sc_.backup_endpoint()};
-  for (int i = 0; i < 2; ++i) {
-    if (eps[i] != nullptr && eps[i]->hold_peak_bytes() > hold_cap) {
-      out.push_back({"bounded-memory",
-                     std::string(names[i + 1]) + ": " +
-                         fmt_u64("hold buffer peak %llu exceeds cap %llu",
-                                 eps[i]->hold_peak_bytes(), hold_cap)});
-    }
-  }
-  for (int i = 0; i < 3; ++i) {
-    const std::size_t pending = stacks[i]->pending_segments();
-    const std::size_t cap = tcp::TcpStack::max_buffered_segments() * 8;
-    if (pending > cap) {
-      out.push_back({"bounded-memory",
-                     std::string(names[i]) + ": " +
-                         fmt_u64("%llu replica-buffered segments (cap %llu)",
-                                 pending, cap)});
-    }
-    if (stacks[i]->connection_count() > 8) {
-      out.push_back({"bounded-memory",
-                     std::string(names[i]) + ": connection table grew to " +
-                         std::to_string(stacks[i]->connection_count())});
-    }
-  }
+  check_checksums(out);
+  // Under churn the table legitimately holds up to the configured concurrency
+  // (plus a straggler margin for connections mid-teardown when the caller's
+  // quiet period was tight).
+  check_memory(out, /*conn_table_cap=*/workload.config().max_concurrent + 64);
   return out;
 }
 

@@ -20,7 +20,10 @@
 //                    once the backup transmits on the service connection, the
 //                    primary must stay silent (beyond an in-flight grace);
 //   bounded-memory   hold buffers and replica pending queues never exceed
-//                    their configured caps, connection tables stay small.
+//                    their configured caps, connection tables stay small —
+//                    or, for a churn Workload, proportional to the
+//                    configured concurrency with per-connection heap
+//                    footprints inside the socket-buffer budget.
 //
 // The checker is pure observation: it never mutates traffic, draws no
 // randomness, and adds no events, so a scenario behaves bit-identically with
@@ -43,6 +46,7 @@ class DownloadClient;
 namespace sttcp::harness {
 
 class Scenario;
+class Workload;
 
 struct Violation {
   std::string invariant;  // e.g. "split-brain"
@@ -75,6 +79,14 @@ class InvariantChecker {
   /// streaming ones — RST, split-brain — are folded in). Empty = clean run.
   std::vector<Violation> check(const app::DownloadClient& client);
 
+  /// Churn-workload variant: every flow a Workload generated must have
+  /// drained byte-exact with no client-visible reset (when expect_masked),
+  /// and memory must have stayed proportional to the live connection count
+  /// instead of the single-download bound. Call after the workload reports
+  /// drained() plus a quiet margin of at least 2 x MSL, so TIME_WAIT
+  /// connections have left the tables.
+  std::vector<Violation> check(const Workload& workload);
+
   // --- accounting (for reports / tests) ----------------------------------
   std::uint64_t corrupted_frames() const { return corrupt_events_; }
   std::uint64_t expected_checksum_drops() const;
@@ -83,6 +95,11 @@ class InvariantChecker {
   void on_switch_frame(sim::SimTime at, const net::Frame& frame);
   void on_host_rx(int host_idx, const net::Frame& frame);
   void add_streamed(const std::string& invariant, const std::string& detail);
+
+  // Shared between the two check() overloads.
+  void collect_streamed(std::vector<Violation>& out) const;
+  void check_checksums(std::vector<Violation>& out) const;
+  void check_memory(std::vector<Violation>& out, std::size_t conn_table_cap) const;
 
   static std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n);
 

@@ -34,7 +34,24 @@ bool EventLoop::cancel(TimerId id) {
   // discarded when it surfaces; the slot is recycled at that point.
   if (++gens_[slot] == 0) gens_[slot] = 1;
   --live_;
+  // Bound the dead-entry backlog: when stale entries dominate the heap,
+  // sweep them out instead of waiting for each to surface at the top.
+  if (heap_.size() >= 64 && heap_.size() > 2 * (live_ + 32)) compact();
   return true;
+}
+
+void EventLoop::compact() {
+  std::size_t kept = 0;
+  for (const Entry& e : heap_) {
+    if (gens_[e.slot] == e.gen) {
+      heap_[kept++] = e;
+    } else {
+      cbs_[e.slot] = nullptr;  // destroy the cancelled callback's captures
+      free_slots_.push_back(e.slot);
+    }
+  }
+  heap_.resize(kept);
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 EventLoop::Entry EventLoop::pop_top() {

@@ -97,6 +97,13 @@ class EventLoop {
   Entry pop_top();
   /// Discard stale (cancelled) entries sitting on top of the heap.
   void drop_stale_top();
+  /// Remove every stale entry from the heap in one pass and rebuild it.
+  /// Lazy cancellation leaves one dead entry per cancel until it surfaces;
+  /// workloads that re-arm timers constantly (an RTO re-armed on every ACK
+  /// across thousands of churning connections) would otherwise grow the heap
+  /// far past the live event count. Rebuilding cannot change execution order:
+  /// (at, seq) is a total order, so pop order is independent of heap shape.
+  void compact();
 
   SimTime now_;
   std::vector<Entry> heap_;        // binary min-heap on (at, seq)

@@ -41,6 +41,17 @@ void StTcpEndpoint::start() {
   }
 
   stack_.set_observer(this);
+  if (cfg_.deterministic_isn) {
+    // Both roles install the same keyed ISN function: the primary uses it to
+    // pick the ISS in its SYN-ACK, the backup to reconstruct that ISS from a
+    // tapped SYN, and a promoted backup keeps using it for fresh accepts.
+    stack_.set_accept_isn_fn([this](const tcp::FourTuple& t) {
+      if (t.local.ip == cfg_.service_ip && t.local.port == cfg_.service_port) {
+        return service_isn(t);
+      }
+      return stack_.choose_isn();  // non-service listeners: random as before
+    });
+  }
   if (role_ == Role::kBackup) install_replica_seams();
 
   host_.udp_bind(cfg_.hb_port, [this](net::Ipv4Addr, std::uint16_t,
@@ -77,10 +88,10 @@ void StTcpEndpoint::start() {
 
 void StTcpEndpoint::install_replica_seams() {
   stack_.set_replica_mode(true);
-  stack_.set_replica_inference(
-      [this](const tcp::FourTuple& t, tcp::SeqWire iss, tcp::SeqWire irs) {
-        create_replica_inferred(t, iss, irs);
-      });
+  stack_.set_replica_inference([this](const tcp::FourTuple& t, tcp::SeqWire iss,
+                                      tcp::SeqWire irs, bool established) {
+    create_replica_inferred(t, iss, irs, established);
+  });
 }
 
 bool StTcpEndpoint::ip_channel_alive() const {
@@ -99,10 +110,7 @@ bool StTcpEndpoint::serial_channel_alive() const {
 // Heartbeat
 // ---------------------------------------------------------------------------
 
-void StTcpEndpoint::send_heartbeat(bool include_serial) {
-  if (!host_.alive() || mode_ == Mode::kDead) return;
-  if (mode_ == Mode::kTakenOver || mode_ == Mode::kNonFaultTolerant) return;
-
+HeartbeatMsg StTcpEndpoint::make_hb_header() {
   HeartbeatMsg msg;
   msg.role = role_;
   msg.hb_seq = hb_seq_++;
@@ -112,32 +120,84 @@ void StTcpEndpoint::send_heartbeat(bool include_serial) {
   msg.rejoin_request = reintegrator_->rejoin_request_flag();
   msg.rejoin_ready = reintegrator_->rejoin_ready_flag();
   msg.rejoin_epoch = reintegrator_->epoch();
-  msg.records.reserve(conns_.size());
-  for (auto& [id, rc] : conns_) {
-    HbRecord rec;
-    rec.repl_id = id;
-    rec.fin_generated = rc->fin();
-    rec.rst_generated = rc->rst();
-    rec.closed = rc->local_closed;
-    rec.bytes_received = rc->received();
-    rec.acked_by_peer = rc->acked();
-    rec.app_written = rc->written();
-    rec.app_read = rc->read();
-    if (role_ == Role::kPrimary && !rc->announce_confirmed && rc->conn != nullptr) {
-      rec.announce = true;
-      rec.established = true;
-      rec.client_ip = rc->tuple.remote.ip;
-      rec.client_port = rc->tuple.remote.port;
-      rec.local_port = rc->tuple.local.port;
-      rec.iss = rc->conn->iss();
-      rec.irs = rc->conn->irs();
-    }
-    msg.records.push_back(rec);
+  return msg;
+}
+
+HbRecord StTcpEndpoint::make_record(std::uint16_t id, const ReplConn& rc) const {
+  HbRecord rec;
+  rec.repl_id = id;
+  rec.fin_generated = rc.fin();
+  rec.rst_generated = rc.rst();
+  rec.closed = rc.local_closed;
+  rec.bytes_received = rc.received();
+  rec.acked_by_peer = rc.acked();
+  rec.app_written = rc.written();
+  rec.app_read = rc.read();
+  if (role_ == Role::kPrimary && !rc.announce_confirmed && rc.conn != nullptr) {
+    rec.announce = true;
+    rec.established = true;
+    rec.client_ip = rc.tuple.remote.ip;
+    rec.client_port = rc.tuple.remote.port;
+    rec.local_port = rc.tuple.local.port;
+    rec.iss = rc.conn->iss();
+    rec.irs = rc.conn->irs();
   }
+  if (role_ == Role::kBackup && id >= 0x8000 && rc.conn != nullptr) {
+    // A replica still under an inferred id: the primary cannot match the
+    // record by id, so carry the tuple (announce extension) and let it match
+    // by connection identity. Under load the primary's own announce can sit
+    // behind seconds of queued client data on its uplink — this leg rides
+    // the backup's idle uplink, so "peer never replicated" stays quiet.
+    rec.announce = true;
+    rec.established = rc.conn->state() != tcp::TcpState::kSynRcvd;
+    rec.client_ip = rc.tuple.remote.ip;
+    rec.client_port = rc.tuple.remote.port;
+    rec.local_port = rc.tuple.local.port;
+    rec.iss = rc.conn->iss();
+    rec.irs = rc.conn->irs();
+  }
+  return rec;
+}
+
+void StTcpEndpoint::send_heartbeat(bool include_serial) {
+  if (!host_.alive() || mode_ == Mode::kDead) return;
+  if (mode_ == Mode::kTakenOver || mode_ == Mode::kNonFaultTolerant) return;
+
+  HeartbeatMsg msg = make_hb_header();
+  msg.records.reserve(conns_.size());
+  for (auto& [id, rc] : conns_) msg.records.push_back(make_record(id, *rc));
 
   const net::Bytes wire_msg = msg.serialize();
   host_.udp_send(cfg_.my_ip, cfg_.hb_port, cfg_.peer_ip, cfg_.hb_port, wire_msg);
-  if (include_serial && serial_ != nullptr) serial_->send(wire_msg);
+  if (include_serial && serial_ != nullptr) {
+    const std::size_t cap = cfg_.serial_max_records;
+    if (cap == 0 || msg.records.size() <= cap) {
+      serial_->send(wire_msg);
+    } else {
+      // Serial copy carries a rotating window of `cap` records (same header
+      // and hb_seq), so every connection's counters ride the line within
+      // ceil(n/cap) periods while the channel-liveness beat stays on time.
+      HeartbeatMsg smsg = msg;
+      smsg.records.clear();
+      if (serial_rr_pos_ >= msg.records.size()) serial_rr_pos_ = 0;
+      for (std::size_t k = 0; k < cap; ++k) {
+        smsg.records.push_back(
+            msg.records[(serial_rr_pos_ + k) % msg.records.size()]);
+      }
+      serial_rr_pos_ = (serial_rr_pos_ + cap) % msg.records.size();
+      serial_->send(smsg.serialize());
+    }
+  }
+  ++stats_.hb_sent;
+}
+
+void StTcpEndpoint::send_event_heartbeat(std::uint16_t id) {
+  if (!host_.alive() || mode_ == Mode::kDead) return;
+  if (mode_ == Mode::kTakenOver || mode_ == Mode::kNonFaultTolerant) return;
+  HeartbeatMsg msg = make_hb_header();
+  if (const ReplConn* rc = by_id(id)) msg.records.push_back(make_record(id, *rc));
+  host_.udp_send(cfg_.my_ip, cfg_.hb_port, cfg_.peer_ip, cfg_.hb_port,
+                 msg.serialize());
   ++stats_.hb_sent;
 }
 
@@ -220,15 +280,30 @@ void StTcpEndpoint::on_heartbeat(const HeartbeatMsg& msg, bool via_serial) {
 
 void StTcpEndpoint::process_record(const HbRecord& rec) {
   ReplConn* rc = by_id(rec.repl_id);
+  bool matched_by_id = rc != nullptr;
   if (rc == nullptr) {
     if (role_ == Role::kBackup && rec.announce) {
       create_replica_from(rec);
       rc = by_id(rec.repl_id);
+      matched_by_id = rc != nullptr;
+    } else if (role_ == Role::kPrimary && rec.announce &&
+               rec.repl_id >= 0x8000) {
+      // The backup built this replica on its own (deterministic accept ISN)
+      // and has not yet adopted our id — our announce is still queued behind
+      // client data on the uplink. Its record carries the tuple instead:
+      // match by connection identity so its progress counters count and the
+      // replica-setup grace timer does not convict a healthy backup.
+      tcp::FourTuple t;
+      t.local = net::SocketAddr{cfg_.service_ip, rec.local_port};
+      t.remote = net::SocketAddr{rec.client_ip, rec.client_port};
+      rc = by_tuple(t);
     }
     if (rc == nullptr) return;
   }
 
-  if (role_ == Role::kPrimary && !rc->announce_confirmed) {
+  // Only an id echo confirms the announce: a tuple-matched record means the
+  // backup still does not know our id, so the announce must keep flowing.
+  if (role_ == Role::kPrimary && matched_by_id && !rc->announce_confirmed) {
     rc->announce_confirmed = true;
     ++stats_.announces_confirmed;
     world_.trace().record(host_.name(), "announce_confirmed", rc->tuple.str());
@@ -250,8 +325,9 @@ void StTcpEndpoint::process_record(const HbRecord& rec) {
   // Primary: the backup has confirmed receipt through p_received — release
   // the hold buffer below that point.
   if (role_ == Role::kPrimary) {
+    const std::size_t before = rc->hold.size();
     rc->hold.release_to(rc->p_received);
-    update_hold_gauge();
+    note_hold_change(before, rc->hold.size());
   }
 
   // FIN arbitration: the peer generated a FIN/RST.
@@ -407,8 +483,28 @@ void StTcpEndpoint::on_finished(tcp::TcpConnection& conn, tcp::CloseReason) {
   rc->peer_fin_timer.cancel();
 }
 
+std::uint16_t StTcpEndpoint::alloc_primary_id() {
+  for (int guard = 0; guard < 0x8000; ++guard) {
+    const std::uint16_t id = next_id_;
+    next_id_ = next_id_ >= 0x7fff ? 1 : static_cast<std::uint16_t>(next_id_ + 1);
+    if (conns_.find(id) == conns_.end()) return id;
+  }
+  return 0;  // unreachable: would need 32k live replicated connections
+}
+
+std::uint16_t StTcpEndpoint::alloc_inferred_id() {
+  for (int guard = 0; guard < 0x8000; ++guard) {
+    const std::uint16_t id = next_inferred_id_;
+    next_inferred_id_ = next_inferred_id_ == 0xffff
+                            ? 0x8000
+                            : static_cast<std::uint16_t>(next_inferred_id_ + 1);
+    if (conns_.find(id) == conns_.end()) return id;
+  }
+  return 0;
+}
+
 void StTcpEndpoint::register_primary_conn(tcp::TcpConnection& conn) {
-  const std::uint16_t id = next_id_++;
+  const std::uint16_t id = alloc_primary_id();
   auto rc = std::make_unique<ReplConn>(world_.loop(), cfg_);
   rc->id = id;
   rc->tuple = conn.tuple();
@@ -421,8 +517,9 @@ void StTcpEndpoint::register_primary_conn(tcp::TcpConnection& conn) {
 
   world_.trace().record(host_.name(), "conn_registered", conn.tuple().str(), id);
   // Announce immediately rather than waiting out the period (IP channel
-  // only: the periodic beat carries it on serial).
-  send_heartbeat(/*include_serial=*/false);
+  // only, and only this connection's record: the periodic beat carries the
+  // full list, on serial too).
+  send_event_heartbeat(id);
 }
 
 void StTcpEndpoint::install_primary_seams(tcp::TcpConnection& conn,
@@ -435,9 +532,10 @@ void StTcpEndpoint::install_primary_seams(tcp::TcpConnection& conn,
         (mode_ != Mode::kReplicating && mode_ != Mode::kReintegrating)) {
       return;
     }
+    const std::size_t before = r->hold.size();
     r->hold.append(off, data);
     if (r->hold.size() > hold_peak_bytes_) hold_peak_bytes_ = r->hold.size();
-    update_hold_gauge();
+    note_hold_change(before, r->hold.size());
     // Overflow is handled (deferred) by detector_tick: reacting here would
     // tear down hooks while this very callback executes.
   });
@@ -485,8 +583,23 @@ void StTcpEndpoint::create_replica_from(const HbRecord& rec) {
   world_.trace().record(host_.name(), "replica_created", tuple.str(), rec.repl_id);
 }
 
+tcp::SeqWire StTcpEndpoint::service_isn(const tcp::FourTuple& t) const {
+  // FNV-1a over the 4-tuple under a fixed key. A deployment would key this
+  // with a boot-time secret shared between the pair (RFC 6528 adds a clock
+  // component against cross-incarnation reuse); in the simulation the tuple
+  // space is guarded by the client's own TIME_WAIT.
+  std::uint64_t h = 0x53545443'50495346ull;  // "STTCPISF"
+  const auto mix = [&h](std::uint64_t v) { h = (h ^ v) * 1099511628211ull; };
+  mix(t.remote.ip.value());
+  mix(t.remote.port);
+  mix(t.local.ip.value());
+  mix(t.local.port);
+  return static_cast<tcp::SeqWire>(h ^ (h >> 32));
+}
+
 void StTcpEndpoint::create_replica_inferred(const tcp::FourTuple& tuple,
-                                            tcp::SeqWire iss, tcp::SeqWire irs) {
+                                            tcp::SeqWire iss, tcp::SeqWire irs,
+                                            bool established) {
   // kRejoining: a connection OPENING during the rejoin window is fully
   // observable from the tap (SYN + handshake ACK) — adopt it directly; the
   // snapshot only has to carry connections older than the rejoiner's boot.
@@ -495,7 +608,7 @@ void StTcpEndpoint::create_replica_inferred(const tcp::FourTuple& tuple,
     return;  // only the replicated service is adopted
   }
   if (id_by_tuple_.count(tuple) != 0) return;
-  const std::uint16_t id = next_inferred_id_++;
+  const std::uint16_t id = alloc_inferred_id();
   auto rc = std::make_unique<ReplConn>(world_.loop(), cfg_);
   rc->id = id;
   rc->tuple = tuple;
@@ -509,7 +622,7 @@ void StTcpEndpoint::create_replica_inferred(const tcp::FourTuple& tuple,
   tcp::TcpConnection::ReplicaInit init;
   init.iss = iss;
   init.irs = irs;
-  init.established = true;
+  init.established = established;
   tcp::TcpConnection& conn = stack_.create_replica(tuple, init);
   conns_[id]->conn = &conn;
   ++stats_.replicas_created;
@@ -555,7 +668,7 @@ bool StTcpEndpoint::close_gate(std::uint16_t id, bool is_rst) {
     });
     // Tell the peer about our FIN right away ("...should immediately
     // communicate the FIN to the other server through the HB").
-    send_heartbeat(/*include_serial=*/false);
+    send_event_heartbeat(id);
   }
   return false;
 }
@@ -831,7 +944,7 @@ void StTcpEndpoint::go_non_ft(const std::string& reason) {
     rc->fin_delay_timer.cancel();
     rc->peer_fin_timer.cancel();
   }
-  update_hold_gauge();
+  recompute_hold_total();
   hb_timer_.stop();
   ping_timer_.cancel();
   if (timeline_ != nullptr) timeline_->mark(obs::Milestone::kTakeover, world_.now());
@@ -853,9 +966,21 @@ void StTcpEndpoint::stonith_peer() {
 
 void StTcpEndpoint::update_hold_gauge() {
   if (m_hold_bytes_ == nullptr) return;
-  std::uint64_t total = 0;
-  for (const auto& [id, rc] : conns_) total += rc->hold.size();
-  m_hold_bytes_->set(static_cast<std::int64_t>(total));
+  m_hold_bytes_->set(static_cast<std::int64_t>(hold_total_bytes_));
+}
+
+void StTcpEndpoint::note_hold_change(std::size_t before, std::size_t after) {
+  hold_total_bytes_ += after;
+  hold_total_bytes_ -= before;
+  update_hold_gauge();
+}
+
+void StTcpEndpoint::recompute_hold_total() {
+  // Cold-path resync after bulk clears (non-FT fallback, reintegration
+  // re-arm/abandon); the hot paths adjust incrementally.
+  hold_total_bytes_ = 0;
+  for (const auto& [id, rc] : conns_) hold_total_bytes_ += rc->hold.size();
+  update_hold_gauge();
 }
 
 StTcpEndpoint::ReplConn* StTcpEndpoint::by_id(std::uint16_t id) {
@@ -874,6 +999,7 @@ void StTcpEndpoint::gc_closed_conns() {
     const bool expired = rc.local_closed &&
                          (rc.p_closed || world_.now() - rc.closed_at > cfg_.closed_linger);
     if (expired) {
+      note_hold_change(rc.hold.size(), 0);
       id_by_tuple_.erase(rc.tuple);
       it = conns_.erase(it);
     } else {

@@ -99,6 +99,9 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
   /// High-water mark of any single connection's hold buffer, in bytes —
   /// the chaos invariants assert this never exceeds the configured capacity.
   std::size_t hold_peak_bytes() const { return hold_peak_bytes_; }
+  /// Current total bytes across all hold buffers (maintained incrementally;
+  /// the churn invariants audit it against the per-connection capacity sum).
+  std::uint64_t hold_total_bytes() const { return hold_total_bytes_; }
 
   /// Watchdog extension: the application layer reports a suspicion that the
   /// LOCAL application has failed; relayed to the peer via the heartbeat.
@@ -192,21 +195,38 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
   // beats (connection announce, FIN notice) go out on the IP channel only —
   // a full heartbeat costs milliseconds of serial wire time, and a burst of
   // events (e.g. 100 connections arriving) must not back the serial link up.
+  // Event beats carry ONLY the affected connection's record: a full record
+  // scan per accept/FIN is O(n) serialization per event, which at thousands
+  // of churning connections turns every accept into a 40 KB datagram.
+  // The serial copy of the periodic beat can additionally be capped to
+  // cfg_.serial_max_records records, rotated round-robin across periods
+  // (the 115.2 kbps line cannot carry thousands of records per period).
   void send_heartbeat(bool include_serial = true);
+  void send_event_heartbeat(std::uint16_t id);
+  HeartbeatMsg make_hb_header();
+  HbRecord make_record(std::uint16_t id, const ReplConn& rc) const;
   void on_hb_datagram(net::BytesView payload, bool via_serial);
   void on_heartbeat(const HeartbeatMsg& msg, bool via_serial);
   void process_record(const HbRecord& rec);
   void detector_tick();
 
-  // Registration.
+  // Registration. Replica ids wrap within their range (primary [1, 0x8000),
+  // inferred [0x8000, 0xffff]) and skip ids still tracked — a long churn run
+  // cycles the 15-bit space many times over.
+  std::uint16_t alloc_primary_id();
+  std::uint16_t alloc_inferred_id();
   void register_primary_conn(tcp::TcpConnection& conn);
   /// Install the primary-side per-connection seams (rx tap feeding the hold
   /// buffer, close gate for FIN arbitration); used at registration and again
   /// when a reintegrating survivor re-arms a former backup's connections.
   void install_primary_seams(tcp::TcpConnection& conn, std::uint16_t id);
   void create_replica_from(const HbRecord& rec);
+  /// `established` false = seeded from the tapped SYN via the deterministic
+  /// accept-ISN function; the replica finishes the handshake passively.
   void create_replica_inferred(const tcp::FourTuple& tuple, tcp::SeqWire iss,
-                               tcp::SeqWire irs);
+                               tcp::SeqWire irs, bool established);
+  /// Keyed accept-side ISN for the service (cfg.deterministic_isn).
+  tcp::SeqWire service_isn(const tcp::FourTuple& t) const;
 
   // FIN arbitration.
   bool close_gate(std::uint16_t id, bool is_rst);
@@ -269,6 +289,14 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
   bool seen_peer_hb_ = false;
 
   std::size_t hold_peak_bytes_ = 0;
+  // Running total across all hold buffers; adjusted at every mutation site
+  // (rx tap, release, clear, GC) so the gauge update is O(1) per event, not
+  // an O(n) rescan per heartbeat record (O(n²) per heartbeat at scale).
+  std::uint64_t hold_total_bytes_ = 0;
+  void note_hold_change(std::size_t before, std::size_t after);
+  void recompute_hold_total();
+  // Round-robin cursor for the capped serial record window.
+  std::size_t serial_rr_pos_ = 0;
 
   // Gateway-ping arbitration.
   sim::OneShotTimer ping_timer_;

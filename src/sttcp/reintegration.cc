@@ -321,7 +321,7 @@ void Reintegrator::begin_reintegration() {
       rc->peer_valid = false;
       if (rc->conn != nullptr) ep_.install_primary_seams(*rc->conn, id);
     }
-    ep_.update_hold_gauge();
+    ep_.recompute_hold_total();
 
     ep_.hb_timer_.start(ep_.cfg_.hb_period, [&ep = ep_] {
       ep.send_heartbeat();
@@ -488,7 +488,7 @@ void Reintegrator::abandon() {
   ep_.mode_ = StTcpEndpoint::Mode::kTakenOver;
   ep_.hb_timer_.stop();
   for (auto& [id, rc] : ep_.conns_) rc->hold.clear();
-  ep_.update_hold_gauge();
+  ep_.recompute_hold_total();
   // A fresh rejoin_request starts the whole protocol over.
 }
 

@@ -142,7 +142,7 @@ void TcpConnection::start_connect() {
 void TcpConnection::start_accept(SeqWire client_isn) {
   irs_ = client_isn;
   rcv_nxt_ = irs_ + 1;
-  iss_ = stack_.choose_isn();
+  iss_ = stack_.choose_accept_isn(tuple_);
   snd_una_ = iss_;
   snd_nxt_ = iss_ + 1;
   state_ = TcpState::kSynRcvd;
@@ -453,6 +453,16 @@ void TcpConnection::process_ack(const TcpSegment& seg) {
         snd_wnd_ = seg.window;
         snd_wl1_ = seq_abs;
         snd_wl2_ = ack_abs;
+      }
+      if (state_ == TcpState::kSynRcvd && ack_abs > iss_ + 1) {
+        // A replica seeded from the tapped SYN whose handshake ACK was lost
+        // on the tap: the client acking past ISS+1 proves the primary's
+        // handshake completed, so establish now — otherwise every later ACK
+        // lands here and the replica is stuck in SYN_RCVD for good.
+        snd_una_ = iss_ + 1;
+        retries_ = 0;
+        retrans_timer_.cancel();
+        become_established();
       }
       transmit_pending();
     } else {

@@ -60,6 +60,10 @@ class ReassemblyBuffer {
 
   std::size_t capacity() const { return capacity_; }
 
+  /// Total payload currently buffered: in-order unread + out-of-order
+  /// fragments. Feeds the per-connection memory audit under churn.
+  std::size_t buffered_bytes() const { return ready_.size() + ooo_bytes(); }
+
   /// Observe every byte the moment it becomes in-order readable
   /// (absolute offset of the first byte + the data). ST-TCP's primary feeds
   /// its hold buffer from this tap.

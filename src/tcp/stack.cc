@@ -1,5 +1,7 @@
 #include "tcp/stack.h"
 
+#include <algorithm>
+
 namespace sttcp::tcp {
 
 TcpStack::TcpStack(net::Host& host, TcpConfig config)
@@ -30,8 +32,18 @@ void TcpStack::listen(std::uint16_t port, AcceptHandler handler) {
 TcpConnection& TcpStack::connect(net::Ipv4Addr local_ip, net::SocketAddr remote,
                                  TcpConnection::Callbacks callbacks) {
   FourTuple t;
-  t.local = net::SocketAddr{local_ip, next_ephemeral_++};
   t.remote = remote;
+  // Allocate an ephemeral port within [49152, 65535], wrapping and skipping
+  // tuples still in use — long churn runs cycle the range many times, and a
+  // port can linger in TIME_WAIT from an earlier connection to the same
+  // server. The guard bound equals the range size; exhausting it would need
+  // 16,384 live connections to one remote address.
+  for (int guard = 0; guard < 16384; ++guard) {
+    t.local = net::SocketAddr{local_ip, next_ephemeral_};
+    next_ephemeral_ =
+        next_ephemeral_ == 65535 ? 49152 : static_cast<std::uint16_t>(next_ephemeral_ + 1);
+    if (conns_.find(t) == conns_.end()) break;
+  }
   TcpConnection& conn = create_connection(t);
   conn.set_callbacks(std::move(callbacks));
   ++stats_.connections_initiated;
@@ -70,7 +82,36 @@ TcpConnection* TcpStack::find(const FourTuple& tuple) {
 }
 
 void TcpStack::for_each(const std::function<void(TcpConnection&)>& fn) {
-  for (auto& [t, c] : conns_) fn(*c);
+  // The demux table is unordered; visit in 4-tuple order so callers (the
+  // reintegration snapshot sweep in particular) see a deterministic sequence.
+  std::vector<TcpConnection*> ordered;
+  ordered.reserve(conns_.size());
+  for (auto& [t, c] : conns_) ordered.push_back(c.get());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const TcpConnection* a, const TcpConnection* b) {
+              return a->tuple() < b->tuple();
+            });
+  for (TcpConnection* c : ordered) fn(*c);
+}
+
+void TcpStack::set_replica_mode(bool on) {
+  replica_mode_ = on;
+  if (!on) {
+    // Segments buffered for tuples that were never announced are useless
+    // after takeover: no replica exists to replay them into, and the client
+    // retransmits its SYN anyway, reaching the listener directly.
+    pending_.clear();
+    pending_syn_time_.clear();
+  }
+}
+
+std::size_t TcpStack::memory_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [t, c] : conns_) total += c->memory_bytes();
+  for (const auto& [t, q] : pending_) {
+    for (const TcpSegment& s : q) total += sizeof(TcpSegment) + s.payload.size();
+  }
+  return total;
 }
 
 bool TcpStack::emit(const FourTuple& tuple, const TcpSegment& seg) {
@@ -114,6 +155,13 @@ void TcpStack::on_packet(const net::Ipv4Header& ip, net::BytesView l4) {
     }
     if (seg->flags.syn && !seg->flags.ack) {
       pending_syn_time_[t] = world().now();
+      if (inference_ && accept_isn_fn_) {
+        // Deterministic accept ISN: the primary's ISS is a pure function of
+        // the tuple, so the replica can be seeded from the SYN alone and
+        // complete the handshake passively — even if the primary dies before
+        // either its SYN-ACK or its announce leaves the machine.
+        inference_(t, accept_isn_fn_(t), seg->seq, /*established=*/false);
+      }
     } else if (inference_ && seg->flags.ack && !seg->flags.rst &&
                seg->payload.empty()) {
       // ISN inference: the first pure ACK tapped hard on the heels of the
@@ -131,7 +179,7 @@ void TcpStack::on_packet(const net::Ipv4Header& ip, net::BytesView l4) {
           }
         }
         pending_syn_time_.erase(st);
-        inference_(t, seg->ack - 1, irs);
+        inference_(t, seg->ack - 1, irs, /*established=*/true);
       } else if (st != pending_syn_time_.end()) {
         pending_syn_time_.erase(st);  // window expired: never infer
       }

@@ -7,6 +7,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "net/host.h"
@@ -59,8 +60,10 @@ class TcpStack {
 
   // --- ST-TCP seams -----------------------------------------------------------
   /// In replica mode the stack never answers SYNs or unknown segments; it
-  /// buffers them per 4-tuple until ST-TCP announces the connection.
-  void set_replica_mode(bool on) { replica_mode_ = on; }
+  /// buffers them per 4-tuple until ST-TCP announces the connection. Leaving
+  /// replica mode (takeover) discards segments buffered for never-announced
+  /// tuples — new SYNs take the normal listener path from then on.
+  void set_replica_mode(bool on);
   bool replica_mode() const { return replica_mode_; }
 
   /// Create a replica connection from the primary's announcement. Buffered
@@ -75,9 +78,23 @@ class TcpStack {
   /// (yielding IRS) and its handshake ACK (whose ack field is ISS+1), the
   /// stack can reconstruct the primary's ISN without any announcement —
   /// which also covers a primary that dies before its announce arrives.
-  using ReplicaInference =
-      std::function<void(const FourTuple& tuple, SeqWire iss, SeqWire irs)>;
+  /// `established` is true when inference came from the handshake ACK (the
+  /// primary's connection is established by then) and false when it came
+  /// from the SYN alone via the deterministic accept-ISN function (the
+  /// replica completes the handshake passively, like the primary does).
+  using ReplicaInference = std::function<void(
+      const FourTuple& tuple, SeqWire iss, SeqWire irs, bool established)>;
   void set_replica_inference(ReplicaInference fn) { inference_ = std::move(fn); }
+
+  /// Deterministic accept-side ISN (RFC 6528 shape: a keyed function of the
+  /// 4-tuple). When primary and backup share this function, a replica can
+  /// reconstruct the primary's ISS from the tapped client SYN alone — no
+  /// announcement, no handshake-ACK race — which closes the masking hole for
+  /// connections the primary accepts in its last moments under load, when
+  /// both the announce heartbeat and the SYN-ACK can die in a backlogged
+  /// egress queue. isn_override still wins (tests pin exact ISNs with it).
+  using AcceptIsnFn = std::function<SeqWire(const FourTuple&)>;
+  void set_accept_isn_fn(AcceptIsnFn fn) { accept_isn_fn_ = std::move(fn); }
 
   void set_observer(ConnectionObserver* obs) { observer_ = obs; }
 
@@ -88,8 +105,14 @@ class TcpStack {
 
   // --- lookup ------------------------------------------------------------------
   TcpConnection* find(const FourTuple& tuple);
+  /// Visit every connection in 4-tuple order. The order is part of the
+  /// deterministic contract: reintegration's snapshot sweep derives replica
+  /// id assignment from it.
   void for_each(const std::function<void(TcpConnection&)>& fn);
   std::size_t connection_count() const { return conns_.size(); }
+  /// Total heap footprint of all connections plus replica-mode buffered
+  /// segments (see TcpConnection::memory_bytes). Churn-scale memory audit.
+  std::size_t memory_bytes() const;
   /// Replica-mode segments currently held awaiting an announce (per-tuple
   /// occupancy, capped at max_buffered_segments() each) — lets the chaos
   /// invariants assert replica memory stays bounded.
@@ -106,6 +129,13 @@ class TcpStack {
   const TcpConfig& config() const { return cfg_; }
   SeqWire choose_isn() {
     if (cfg_.isn_override.has_value()) return *cfg_.isn_override;
+    return static_cast<SeqWire>(isn_rng_.next_u64());
+  }
+  /// ISN for a passively-opened (accepted) connection: the deterministic
+  /// accept function when installed, the random draw otherwise.
+  SeqWire choose_accept_isn(const FourTuple& t) {
+    if (cfg_.isn_override.has_value()) return *cfg_.isn_override;
+    if (accept_isn_fn_) return accept_isn_fn_(t);
     return static_cast<SeqWire>(isn_rng_.next_u64());
   }
   bool emit(const FourTuple& tuple, const TcpSegment& seg);
@@ -125,16 +155,20 @@ class TcpStack {
   TcpConfig cfg_;
   sim::Logger log_;
   sim::Rng isn_rng_;
-  std::map<FourTuple, std::unique_ptr<TcpConnection>> conns_;
+  // Unordered: demux is one hash lookup per segment regardless of the
+  // connection count (a red-black tree walk costs ~15 tuple comparisons at
+  // 2,000+ churning connections). All ordered iteration goes via for_each.
+  std::unordered_map<FourTuple, std::unique_ptr<TcpConnection>> conns_;
   std::map<std::uint16_t, AcceptHandler> listeners_;
   ConnectionObserver* observer_ = nullptr;
 
   // Replica mode: segments seen before the primary's announcement.
   static constexpr std::size_t kMaxBufferedSegments = 256;
-  std::map<FourTuple, std::vector<TcpSegment>> pending_;
-  std::map<FourTuple, sim::SimTime> pending_syn_time_;
+  std::unordered_map<FourTuple, std::vector<TcpSegment>> pending_;
+  std::unordered_map<FourTuple, sim::SimTime> pending_syn_time_;
 
   ReplicaInference inference_;
+  AcceptIsnFn accept_isn_fn_;
   bool replica_mode_ = false;
   std::uint16_t next_ephemeral_ = 49152;
   Stats stats_;
