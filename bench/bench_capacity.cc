@@ -13,22 +13,40 @@
 // InvariantChecker (stream-exact, no-client-rst, split-brain,
 // bounded-memory). A violation makes the binary exit non-zero.
 //
+// Part 3 shards the service: N independent ST-TCP cells behind an IP
+// router, a consistent-hash ShardDirector spreading the closed-loop
+// population across them. Capacity must scale with the shard count, and
+// failure must stay shard-local: crashing one shard's primary mid-churn
+// must cost zero client RSTs anywhere and leave the other shards' FCT
+// within noise of a crash-free baseline.
+//
+// All three parts build their worlds with TopologyBuilder (Part 1/2 the
+// classic flat LAN, Part 3 the routed fabric).
+//
 // Flags: --json=PATH   append every table as JSONL (see EXPERIMENTS.md)
 //        --quick       reduced loads / population (the check.sh smoke lane)
 //        --conns=N     override the acceptance-run population (default 2000)
 //        --debug       mirror scenario logs to stderr (debugging a failure)
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "harness/invariants.h"
+#include "harness/topology.h"
 #include "harness/workload.h"
 
 namespace sttcp::bench {
 namespace {
 
+using harness::CellConfig;
+using harness::HostOptions;
 using harness::InvariantChecker;
+using harness::ShardDirector;
+using harness::Topology;
+using harness::TopologyBuilder;
+using harness::TopologyConfig;
 using harness::Violation;
 using harness::Workload;
 using harness::WorkloadConfig;
@@ -52,42 +70,59 @@ struct ChurnResult {
 
 bool g_debug = false;  // --debug: stream stack debug logs to stderr
 
-ScenarioConfig churn_scenario_config(std::uint64_t seed) {
-  ScenarioConfig cfg;
-  cfg.seed = seed;
+TopologyConfig churn_topology_config(std::uint64_t seed) {
+  TopologyConfig tc;
+  tc.seed = seed;
   if (g_debug) {
-    cfg.log_out = &std::cerr;
-    cfg.log_level = sim::LogLevel::kDebug;
+    tc.log_out = &std::cerr;
+    tc.log_level = sim::LogLevel::kDebug;
   }
   // Thousands of connections hold more in-flight server->client data per
   // heartbeat period than the single-download default cap; the serial copy
   // of the heartbeat must not serialise the whole table over 115.2 kbps.
-  cfg.sttcp.hold_buffer_capacity = 32 * 1024 * 1024;
-  cfg.sttcp.serial_max_records = 32;
-  return cfg;
+  tc.sttcp.hold_buffer_capacity = 32 * 1024 * 1024;
+  tc.sttcp.serial_max_records = 32;
+  return tc;
+}
+
+/// The classic Figure-2 LAN, explicitly: switch, client, one cell, gateway.
+std::unique_ptr<Topology> build_flat(std::uint64_t seed) {
+  TopologyBuilder b(churn_topology_config(seed));
+  const int lan = b.add_switch("switch");
+  HostOptions client_opt;
+  client_opt.with_stack = true;
+  b.add_host("client", {10, 0, 0, 1}, lan, client_opt);
+  b.add_cell(lan, {});
+  b.add_host("gateway", {10, 0, 0, 254}, lan);
+  return b.build();
 }
 
 ChurnResult run_churn(const ChurnSpec& spec) {
-  Scenario sc(churn_scenario_config(spec.seed));
-  app::SizedServer p_app(sc.primary_stack(), sc.service_port());
-  app::SizedServer b_app(sc.backup_stack(), sc.service_port());
+  auto topo = build_flat(spec.seed);
+  harness::Cell& cell = topo->cell(0);
+  app::SizedServer p_app(cell.primary_stack(), cell.service_port());
+  app::SizedServer b_app(cell.backup_stack(), cell.service_port());
 
   InvariantChecker::Options iopt;
   iopt.expect_masked = true;
-  InvariantChecker checker(sc, iopt);
+  InvariantChecker checker(*topo, iopt);
 
-  Workload wl(sc, spec.wl);
+  Workload wl(topo->world(), *topo->host(0).stack, {10, 0, 0, 1},
+              cell.connect_addr(), spec.wl);
   if (!spec.crash_at.is_zero()) {
-    sc.inject(harness::Fault::Crash(harness::Node::kPrimary).at(spec.crash_at));
+    topo->world().loop().schedule_after(spec.crash_at, [&topo] {
+      topo->world().trace().record("harness", "fault_injected", "crash:primary");
+      topo->cell(0).primary().crash("injected HW/OS crash");
+    });
   }
   wl.start();
 
-  sc.run_for(spec.wl.duration);
+  topo->run_for(spec.wl.duration);
   // Drain: generation has stopped; let in-flight flows finish (bounded).
   for (int i = 0; i < 600 && !wl.drained(); ++i) {
-    sc.run_for(sim::Duration::millis(100));
+    topo->run_for(sim::Duration::millis(100));
   }
-  sc.run_for(spec.quiet);
+  topo->run_for(spec.quiet);
 
   ChurnResult out;
   out.stats = wl.stats();
@@ -96,7 +131,7 @@ ChurnResult run_churn(const ChurnSpec& spec) {
   out.fct_p99_ms = static_cast<double>(wl.fct_us().percentile(0.99)) / 1000.0;
   out.fct_p999_ms = static_cast<double>(wl.fct_us().percentile(0.999)) / 1000.0;
   if (!spec.crash_at.is_zero()) {
-    if (auto t = sc.world().trace().first_time("takeover")) {
+    if (auto t = topo->world().trace().first_time("takeover")) {
       out.takeover_ms = (*t - (sim::SimTime::zero() + spec.crash_at)).to_millis();
     }
   }
@@ -107,10 +142,128 @@ ChurnResult run_churn(const ChurnSpec& spec) {
 /// p99-FCT SLO for a load point to count as "within capacity": the failover
 /// glitch budget — heartbeat detection (miss_threshold + 1 periods) plus
 /// takeover and client retransmission slack.
-double failover_slo_ms(const ScenarioConfig& cfg) {
-  return cfg.sttcp.hb_period.to_millis() *
-             static_cast<double>(cfg.sttcp.hb_miss_threshold + 1) +
+double failover_slo_ms(const TopologyConfig& tc) {
+  return tc.sttcp.hb_period.to_millis() *
+             static_cast<double>(tc.sttcp.hb_miss_threshold + 1) +
          1200.0;
+}
+
+// --- Part 3: the sharded fabric ---------------------------------------------
+
+/// Client LAN + N cells on their own LANs behind one router. Gigabit links:
+/// the shared client uplink carries every shard's traffic.
+std::unique_ptr<Topology> build_fabric(std::uint64_t seed, int shards) {
+  TopologyConfig tc = churn_topology_config(seed);
+  tc.link_bandwidth_bps = 1'000'000'000;
+  TopologyBuilder b(tc);
+  const int lan0 = b.add_switch("clientlan");
+  HostOptions client_opt;
+  client_opt.with_stack = true;
+  b.add_host("client", {10, 0, 0, 1}, lan0, client_opt);
+  std::vector<int> lans;
+  for (int k = 0; k < shards; ++k) {
+    const int lan = b.add_switch("shard" + std::to_string(k) + "lan");
+    lans.push_back(lan);
+    CellConfig cc;
+    cc.name = "s" + std::to_string(k);
+    const auto subnet = static_cast<std::uint8_t>(k + 1);
+    cc.primary_ip = {10, subnet, 0, 2};
+    cc.backup_ip = {10, subnet, 0, 3};
+    cc.service_ip = {10, subnet, 0, 100};
+    cc.gateway_ip = {10, subnet, 0, 254};
+    cc.power_controller = b.add_power_controller();
+    b.add_cell(lan, cc);
+  }
+  const int r = b.add_router("core");
+  b.connect_router(r, lan0, {10, 0, 0, 254});
+  for (int k = 0; k < shards; ++k) {
+    b.connect_router(r, lans[k], {10, static_cast<std::uint8_t>(k + 1), 0, 254});
+  }
+  return b.build();
+}
+
+struct FabricResult {
+  Workload::Stats stats;
+  bool drained = false;
+  double fct_p50_ms = 0, fct_p99_ms = 0;
+  double takeover_ms = -1;
+  std::vector<double> shard_p99_ms;            // per shard
+  std::vector<std::uint64_t> shard_resets;
+  std::vector<std::uint64_t> shard_completed;
+  std::vector<Violation> violations;
+};
+
+FabricResult run_fabric(int shards, std::size_t conns, std::uint64_t seed,
+                        bool crash_shard0, sim::Duration duration) {
+  auto topo = build_fabric(seed, shards);
+  std::vector<std::unique_ptr<app::SizedServer>> servers;
+  for (int k = 0; k < shards; ++k) {
+    harness::Cell& cell = topo->cell(static_cast<std::size_t>(k));
+    servers.emplace_back(std::make_unique<app::SizedServer>(
+        cell.primary_stack(), cell.service_port()));
+    servers.emplace_back(std::make_unique<app::SizedServer>(
+        cell.backup_stack(), cell.service_port()));
+  }
+  const ShardDirector director(*topo);
+
+  // The checker watches cell 0 — the one the crash run kills.
+  InvariantChecker::Options iopt;
+  iopt.expect_masked = true;
+  InvariantChecker checker(*topo, iopt);
+
+  WorkloadConfig wc;
+  wc.arrivals = WorkloadConfig::Arrivals::kClosedLoop;
+  wc.closed_clients = conns;
+  wc.max_concurrent = conns;
+  wc.think_mean = sim::Duration::millis(20);
+  wc.flow_min_bytes = 4 * 1024;
+  wc.flow_max_bytes = 64 * 1024;
+  wc.duration = duration;
+  wc.target_for = [&director](std::uint64_t flow_id, std::size_t) {
+    return director.target_for(flow_id);
+  };
+  Workload wl(topo->world(), *topo->host(0).stack, {10, 0, 0, 1},
+              director.target(0), wc);
+
+  if (crash_shard0) {
+    topo->world().loop().schedule_after(duration / 2, [&topo] {
+      topo->world().trace().record("harness", "fault_injected", "crash:s0.primary");
+      topo->cell(0).primary().crash("injected HW/OS crash");
+    });
+  }
+  wl.start();
+
+  topo->run_for(duration);
+  for (int i = 0; i < 600 && !wl.drained(); ++i) {
+    topo->run_for(sim::Duration::millis(100));
+  }
+  topo->run_for(sim::Duration::seconds(3));
+
+  FabricResult out;
+  out.stats = wl.stats();
+  out.drained = wl.drained();
+  out.fct_p50_ms = static_cast<double>(wl.fct_us().percentile(0.50)) / 1000.0;
+  out.fct_p99_ms = static_cast<double>(wl.fct_us().percentile(0.99)) / 1000.0;
+  if (crash_shard0) {
+    if (auto t = topo->world().trace().first_time("takeover")) {
+      out.takeover_ms = (*t - (sim::SimTime::zero() + duration / 2)).to_millis();
+    }
+  }
+  for (int k = 0; k < shards; ++k) {
+    const auto it = wl.per_target().find(director.target(static_cast<std::size_t>(k)));
+    if (it == wl.per_target().end()) {
+      out.shard_p99_ms.push_back(0);
+      out.shard_resets.push_back(0);
+      out.shard_completed.push_back(0);
+      continue;
+    }
+    out.shard_p99_ms.push_back(
+        static_cast<double>(it->second.fct_us.percentile(0.99)) / 1000.0);
+    out.shard_resets.push_back(it->second.resets);
+    out.shard_completed.push_back(it->second.completed);
+  }
+  out.violations = checker.check(wl);
+  return out;
 }
 
 int run(int argc, char** argv) {
@@ -136,7 +289,7 @@ int run(int argc, char** argv) {
             : std::vector<double>{100, 200, 400, 800, 1200, 1600};
   const sim::Duration sweep_duration =
       quick ? sim::Duration::millis(1500) : sim::Duration::seconds(4);
-  const double slo_ms = failover_slo_ms(churn_scenario_config(1));
+  const double slo_ms = failover_slo_ms(churn_topology_config(1));
 
   SweepRunner runner;
   const std::vector<ChurnResult> results =
@@ -201,14 +354,79 @@ int run(int argc, char** argv) {
   accept.print();
   json.table(accept, "churn_acceptance");
 
+  bool failed = false;
   if (!r.violations.empty()) {
     std::cout << "\nINVARIANT VIOLATIONS:\n";
     for (const Violation& v : r.violations) std::cout << "  " << v.str() << "\n";
-    return 1;
+    failed = true;
+  } else {
+    std::cout << "\nAll invariants held: the crash was masked for every one of "
+              << r.stats.started << " flows.\n";
   }
-  std::cout << "\nAll invariants held: the crash was masked for every one of "
-            << r.stats.started << " flows.\n";
-  return 0;
+
+  // --- Part 3: knee vs shard count, per-shard failover independence ---------
+  const std::size_t per_shard = quick ? 128 : 2048;
+  const sim::Duration fabric_duration =
+      quick ? sim::Duration::millis(1500) : sim::Duration::seconds(4);
+  print_header(
+      "Shard scaling: closed-loop churn across N ST-TCP cells behind a "
+      "router, shard 0's primary crashed mid-churn",
+      "fabric validation — capacity scales with shards; a crash is "
+      "shard-local: zero RSTs anywhere, other shards' FCT within noise");
+
+  const std::vector<int> shard_counts =
+      quick ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4};
+  Table fabric({"shards", "conns", "offered", "completed", "failed", "resets",
+                "conns_peak", "fct_p50_ms", "fct_p99_ms", "takeover_ms",
+                "s0_resets", "unaff_p99_x", "drained", "violations"});
+  for (const int shards : shard_counts) {
+    const std::size_t n = per_shard * static_cast<std::size_t>(shards);
+    // Crash-free baseline first: the noise reference for the other shards.
+    const FabricResult base =
+        run_fabric(shards, n, 4200 + static_cast<std::uint64_t>(shards), false,
+                   fabric_duration);
+    const FabricResult res =
+        run_fabric(shards, n, 4200 + static_cast<std::uint64_t>(shards), true,
+                   fabric_duration);
+
+    // Worst unaffected-shard degradation vs the baseline. Floor the
+    // denominator so an idle shard's tiny p99 can't manufacture a ratio.
+    double worst_ratio = 1.0;
+    for (int k = 1; k < shards; ++k) {
+      const double b = std::max(base.shard_p99_ms[static_cast<std::size_t>(k)], 10.0);
+      const double c = res.shard_p99_ms[static_cast<std::size_t>(k)];
+      worst_ratio = std::max(worst_ratio, c / b);
+    }
+    std::uint64_t resets_total = res.stats.resets;
+    fabric.row(shards, n, res.stats.offered, res.stats.completed,
+               res.stats.failed, resets_total, res.stats.peak_concurrent,
+               res.fct_p50_ms, res.fct_p99_ms, res.takeover_ms,
+               res.shard_resets[0], worst_ratio, ok(res.drained),
+               res.violations.size());
+
+    if (resets_total != 0 || !res.drained || res.stats.failed != 0) failed = true;
+    if (!res.violations.empty()) {
+      std::cout << "\nINVARIANT VIOLATIONS (" << shards << " shards):\n";
+      for (const Violation& v : res.violations) {
+        std::cout << "  " << v.str() << "\n";
+      }
+      failed = true;
+    }
+    // "Within noise": the unaffected shards' p99 may wobble with scheduling
+    // but must not absorb the takeover glitch (which is ~hb_period * miss).
+    if (shards > 1 && worst_ratio > 2.0) {
+      std::cout << "\nFAIL: unaffected shards degraded " << worst_ratio
+                << "x vs crash-free baseline (" << shards << " shards)\n";
+      failed = true;
+    }
+  }
+  fabric.print();
+  json.table(fabric, "shard_scaling");
+  if (!failed) {
+    std::cout << "\nShard independence held: one dead primary, zero client "
+                 "RSTs, neighbours within noise.\n";
+  }
+  return failed ? 1 : 0;
 }
 
 }  // namespace

@@ -2,25 +2,35 @@
 // single-failure scenario with chosen parameters and get a report. The tool
 // an operator would use to explore configurations before deployment.
 //
+// Built on TopologyBuilder (the composable topology API): the default is
+// the classic Figure-2 LAN, --routed moves the client behind an IP router
+// onto its own subnet — the one-cell slice of the sharded fabric.
+//
 //   $ ./examples/scenario_cli --failure=primary-crash --hb-ms=500 --size-mb=50
 //   $ ./examples/scenario_cli --failure=backup-nic --seed=7 --logger
+//   $ ./examples/scenario_cli --failure=router-crash --routed
 //   $ ./examples/scenario_cli --list
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 
 #include "app/client.h"
 #include "app/server.h"
-#include "harness/scenario.h"
+#include "harness/topology.h"
+#include "sttcp/logger.h"
 
 namespace app = sttcp::app;
+namespace net = sttcp::net;
 namespace sim = sttcp::sim;
-using sttcp::harness::Fault;
-using sttcp::harness::Node;
-using sttcp::harness::Scenario;
-using sttcp::harness::ScenarioConfig;
+using sttcp::harness::Cell;
+using sttcp::harness::CellConfig;
+using sttcp::harness::HostOptions;
+using sttcp::harness::Topology;
+using sttcp::harness::TopologyBuilder;
+using sttcp::harness::TopologyConfig;
 
 namespace {
 
@@ -33,13 +43,14 @@ struct Options {
   int crash_ms = 1000;
   bool logger = false;
   bool no_sttcp = false;
+  bool routed = false;
   bool trace = false;
 };
 
 const char* const kFailures[] = {
     "none",         "primary-crash", "backup-crash",  "primary-app-hang",
     "backup-app-hang", "primary-app-fin", "backup-app-fin", "primary-nic",
-    "backup-nic",   "serial-cut",    "backup-loss",
+    "backup-nic",   "serial-cut",    "backup-loss",   "router-crash",
 };
 
 void usage() {
@@ -53,6 +64,7 @@ void usage() {
       "  --seed=<n>         simulation seed (default 1)\n"
       "  --logger           add the stream-logger host\n"
       "  --no-sttcp         plain TCP baseline (no replication)\n"
+      "  --routed           client behind an IP router (separate subnets)\n"
       "  --trace            dump the full event trace at the end\n"
       "  --list             list failure kinds and exit\n");
 }
@@ -64,6 +76,75 @@ bool parse_flag(const char* arg, const char* name, std::string& out) {
     return true;
   }
   return false;
+}
+
+/// Everything the report needs from the built world.
+struct World {
+  std::unique_ptr<Topology> topo;
+  std::unique_ptr<sttcp::sttcp::StreamLogger> logger;
+  Cell* cell = nullptr;
+  net::Ipv4Addr client_ip;
+};
+
+/// Classic flat LAN (Figure 2) or the routed one-cell fabric. The logger
+/// host, when requested, joins the cell's multicast group on the cell's LAN
+/// exactly like the Scenario facade wires it.
+World build_world(const Options& opt) {
+  World w;
+  const bool routed = opt.routed;
+  const std::uint8_t subnet = routed ? 1 : 0;
+  const net::Ipv4Addr service{10, subnet, 0, 100};
+  const net::Ipv4Addr logger_ip{10, subnet, 0, 9};
+
+  TopologyConfig tc;
+  tc.seed = opt.seed;
+  tc.enable_sttcp = !opt.no_sttcp;
+  tc.sttcp.hb_period = sim::Duration::millis(opt.hb_ms);
+  tc.sttcp.hb_miss_threshold = opt.miss;
+  if (opt.logger) tc.logger_ip = logger_ip;
+
+  TopologyBuilder b(tc);
+  const int client_lan = b.add_switch(routed ? "clientlan" : "switch");
+  const int server_lan = routed ? b.add_switch("serverlan") : client_lan;
+
+  HostOptions client_opt;
+  client_opt.with_stack = true;
+  w.client_ip = net::Ipv4Addr{10, 0, 0, 1};
+  b.add_host("client", w.client_ip, client_lan, client_opt);
+
+  CellConfig cc;
+  cc.primary_ip = {10, subnet, 0, 2};
+  cc.backup_ip = {10, subnet, 0, 3};
+  cc.service_ip = service;
+  cc.gateway_ip = {10, subnet, 0, 254};
+  b.add_cell(server_lan, cc);
+
+  int logger_idx = -1;
+  if (!routed) b.add_host("gateway", {10, 0, 0, 254}, client_lan);
+  if (opt.logger) {
+    logger_idx = b.add_host("logger", logger_ip, server_lan);
+    Topology::HostEntry& lh = b.topology().host(static_cast<std::size_t>(logger_idx));
+    lh.host->add_ip(service);
+    Cell& c = b.topology().cell(0);
+    lh.host->nic().subscribe_multicast(c.multicast_mac());
+    b.topology().ethernet_switch(static_cast<std::size_t>(server_lan))
+        .add_multicast_group(c.multicast_mac(),
+                             {c.primary_port(), c.backup_port(), lh.port});
+  }
+  if (routed) {
+    const int r = b.add_router("core");
+    b.connect_router(r, client_lan, {10, 0, 0, 254});
+    b.connect_router(r, server_lan, {10, 1, 0, 254});
+  }
+  w.topo = b.build();
+  w.cell = &w.topo->cell(0);
+  if (logger_idx >= 0) {
+    sttcp::sttcp::StreamLogger::Config lc;
+    lc.service_ip = service;
+    w.logger = std::make_unique<sttcp::sttcp::StreamLogger>(
+        *w.topo->host(static_cast<std::size_t>(logger_idx)).host, lc);
+  }
+  return w;
 }
 
 }  // namespace
@@ -82,6 +163,8 @@ int main(int argc, char** argv) {
       opt.logger = true;
     } else if (std::strcmp(argv[i], "--no-sttcp") == 0) {
       opt.no_sttcp = true;
+    } else if (std::strcmp(argv[i], "--routed") == 0) {
+      opt.routed = true;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       opt.trace = true;
     } else if (parse_flag(argv[i], "--failure", v)) {
@@ -102,58 +185,83 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (opt.failure == "router-crash" && !opt.routed) {
+    std::fprintf(stderr, "--failure=router-crash requires --routed\n");
+    return 2;
+  }
 
-  ScenarioConfig cfg;
-  cfg.seed = opt.seed;
-  cfg.enable_sttcp = !opt.no_sttcp;
-  cfg.enable_logger = opt.logger;
-  cfg.sttcp.hb_period = sim::Duration::millis(opt.hb_ms);
-  cfg.sttcp.hb_miss_threshold = opt.miss;
-  Scenario sc(std::move(cfg));
+  World w = build_world(opt);
+  Topology& topo = *w.topo;
+  Cell& cell = *w.cell;
 
   const std::uint64_t size = opt.size_mb * 1'000'000;
-  app::FileServer p_app(sc.primary_stack(), sc.service_port(), size);
-  app::FileServer b_app(sc.backup_stack(), sc.service_port(), size);
+  app::FileServer p_app(cell.primary_stack(), cell.service_port(), size);
+  app::FileServer b_app(cell.backup_stack(), cell.service_port(), size);
   app::DownloadClient::Options copt;
   copt.expected_bytes = size;
-  app::DownloadClient client(sc.client_stack(), sc.client_ip(),
-                             {sc.connect_addr()}, copt);
+  app::DownloadClient client(*topo.host(0).stack, w.client_ip,
+                             {cell.connect_addr()}, copt);
   client.start();
 
+  // Faults act on the topology directly; each stamps the same
+  // "fault_injected" trace marker the Scenario facade's Fault machinery
+  // emits, so report tooling sees one vocabulary.
   const auto at = sim::Duration::millis(opt.crash_ms);
+  const auto inject = [&](const std::string& label, std::function<void()> fn) {
+    topo.world().loop().schedule_after(at, [&, label, fn = std::move(fn)] {
+      topo.world().trace().record("harness", "fault_injected", label);
+      fn();
+    });
+  };
   if (opt.failure == "none") {
   } else if (opt.failure == "primary-crash") {
-    sc.inject(Fault::Crash(Node::kPrimary).at(at));
+    inject("crash:primary", [&] { cell.primary().crash("injected HW/OS crash"); });
   } else if (opt.failure == "backup-crash") {
-    sc.inject(Fault::Crash(Node::kBackup).at(at));
+    inject("crash:backup", [&] { cell.backup().crash("injected HW/OS crash"); });
   } else if (opt.failure == "primary-app-hang") {
-    sc.world().loop().schedule_after(at, [&] { p_app.hang(); });
+    inject("app_hang:primary", [&] { p_app.hang(); });
   } else if (opt.failure == "backup-app-hang") {
-    sc.world().loop().schedule_after(at, [&] { b_app.hang(); });
+    inject("app_hang:backup", [&] { b_app.hang(); });
   } else if (opt.failure == "primary-app-fin") {
-    sc.world().loop().schedule_after(at, [&] { p_app.crash_clean(); });
+    inject("app_fin:primary", [&] { p_app.crash_clean(); });
   } else if (opt.failure == "backup-app-fin") {
-    sc.world().loop().schedule_after(at, [&] { b_app.crash_clean(); });
+    inject("app_fin:backup", [&] { b_app.crash_clean(); });
   } else if (opt.failure == "primary-nic") {
-    sc.inject(Fault::NicFailure(Node::kPrimary).at(at));
+    inject("nic_failure:primary", [&] {
+      topo.world().trace().record("primary", "nic_failed");
+      cell.primary().nic().fail();
+    });
   } else if (opt.failure == "backup-nic") {
-    sc.inject(Fault::NicFailure(Node::kBackup).at(at));
+    inject("nic_failure:backup", [&] {
+      topo.world().trace().record("backup", "nic_failed");
+      cell.backup().nic().fail();
+    });
   } else if (opt.failure == "serial-cut") {
-    sc.inject(Fault::SerialCut().at(at));
+    inject("serial_cut", [&] {
+      topo.world().trace().record("serial", "serial_failed");
+      cell.serial().fail();
+    });
   } else if (opt.failure == "backup-loss") {
-    sc.inject(Fault::FrameLoss(Node::kBackup, 12).at(at));
+    inject("frame_loss:backup", [&] { cell.backup_link().drop_next(12); });
+  } else if (opt.failure == "router-crash") {
+    inject("router_crash:core", [&] { topo.router().crash(); });
+    // A dead router is forever without repair; bring it back after 2 s so
+    // the download can finish and the report shows the stall.
+    topo.world().loop().schedule_after(at + sim::Duration::seconds(2),
+                                       [&] { topo.router().restore(); });
   } else {
     std::fprintf(stderr, "unknown failure kind '%s' (see --list)\n",
                  opt.failure.c_str());
     return 2;
   }
 
-  sc.run_for(sim::Duration::seconds(240));
+  topo.run_for(sim::Duration::seconds(240));
 
-  std::printf("scenario:    %s (hb=%dms, miss=%d, seed=%llu%s%s)\n",
+  std::printf("scenario:    %s (hb=%dms, miss=%d, seed=%llu%s%s%s)\n",
               opt.failure.c_str(), opt.hb_ms, opt.miss,
               static_cast<unsigned long long>(opt.seed),
-              opt.no_sttcp ? ", plain TCP" : "", opt.logger ? ", +logger" : "");
+              opt.no_sttcp ? ", plain TCP" : "", opt.logger ? ", +logger" : "",
+              opt.routed ? ", routed" : "");
   std::printf("download:    %s (%llu / %llu bytes, %s)\n",
               client.complete() ? "complete" : "INCOMPLETE",
               static_cast<unsigned long long>(client.received()),
@@ -165,7 +273,7 @@ int main(int argc, char** argv) {
   }
   std::printf("client view: %d connection failure(s), longest stall %s\n",
               client.connection_failures(), client.max_stall().str().c_str());
-  const auto& tr = sc.world().trace();
+  const auto& tr = topo.world().trace();
   for (const char* ev :
        {"peer_dead", "app_failure_detected", "nic_failure_detected",
         "hold_overflow", "watchdog_failure"}) {

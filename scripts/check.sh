@@ -10,13 +10,16 @@
 # fuzzer (docs/CHAOS.md) over a fixed seed budget in the Release lane. With
 # --scale, run the churn capacity bench's quick mode in the Release lane —
 # the invariant-checked mid-churn failover acceptance (see EXPERIMENTS.md,
-# "Capacity and churn"). The default lane also runs the doc link checker.
+# "Capacity and churn"). With --shard, run the 4-shard routed-fabric smoke
+# (router death + inter-subnet partition under churn, docs/ROUTING.md) in
+# the Release lane. The default lane also runs the doc link checker.
 #
 #   scripts/check.sh             # build + full ctest + doc link check
 #   scripts/check.sh --asan      # additionally: sanitizer lane
 #   scripts/check.sh --release   # additionally: -O2 lane + bench smoke
 #   scripts/check.sh --chaos     # additionally: 64-seed adversarial fuzz lane
 #   scripts/check.sh --scale     # additionally: churn capacity smoke lane
+#   scripts/check.sh --shard     # additionally: 4-shard fabric chaos smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -63,6 +66,14 @@ for arg in "$@"; do
       # with a mid-run primary crash; exits non-zero on any invariant
       # violation (client-visible RST, corrupt stream, memory bound).
       ./build-release/bench/bench_capacity --quick
+      ;;
+    --shard)
+      cmake -B build-release -DCMAKE_BUILD_TYPE=Release >/dev/null
+      cmake --build build-release -j "$JOBS"
+      # Fabric smoke: 4 ST-TCP cells behind one router, closed-loop churn,
+      # router killed and one shard partitioned mid-run. Exits non-zero on
+      # any client-visible reset, corrupt stream, or spurious takeover.
+      ./build-release/bench/bench_fabric --quick
       ;;
     *)
       echo "unknown option: $arg" >&2

@@ -1,0 +1,121 @@
+#include "harness/cell.h"
+
+#include "harness/topology.h"
+
+namespace sttcp::harness {
+
+namespace {
+
+/// Derived member MACs: cell 0 gets the classic 02:00:00:00:00:02/03, cell k
+/// shifts the fourth octet so stamped cells never collide.
+net::MacAddr derived_mac(int cell_index, bool backup) {
+  return net::MacAddr::from_u64(0x020000000002ull +
+                                (static_cast<std::uint64_t>(cell_index) << 16) +
+                                (backup ? 1 : 0));
+}
+
+std::string member_name(const std::string& prefix, const char* role) {
+  return prefix.empty() ? role : prefix + "." + role;
+}
+
+}  // namespace
+
+Cell::Cell(Topology& topo, int index, int switch_id, CellConfig cfg)
+    : topo_(topo),
+      cfg_(std::move(cfg)),
+      index_(index),
+      switch_id_(switch_id),
+      sttcp_enabled_(cfg_.enable_sttcp && topo.config().enable_sttcp) {
+  const TopologyConfig& tc = topo_.config();
+  if (cfg_.primary_mac == net::MacAddr()) cfg_.primary_mac = derived_mac(index_, false);
+  if (cfg_.backup_mac == net::MacAddr()) cfg_.backup_mac = derived_mac(index_, true);
+  multicast_mac_ = cfg_.multicast_group == net::MacAddr()
+                       ? net::MacAddr::multicast_group(0x57 + static_cast<std::uint32_t>(index_))
+                       : cfg_.multicast_group;
+
+  sim::World& world = topo_.world();
+  net::EthernetSwitch& sw = topo_.ethernet_switch(static_cast<std::size_t>(switch_id_));
+  net::PowerController& power =
+      topo_.power(static_cast<std::size_t>(cfg_.power_controller));
+
+  const std::string pname = member_name(cfg_.name, "primary");
+  const std::string bname = member_name(cfg_.name, "backup");
+  const std::uint64_t pbw =
+      cfg_.link_bandwidth_bps != 0 ? cfg_.link_bandwidth_bps : tc.link_bandwidth_bps;
+  const std::uint64_t bbw =
+      cfg_.backup_link_bandwidth_bps != 0 ? cfg_.backup_link_bandwidth_bps : pbw;
+
+  primary_ = std::make_unique<net::Host>(world, pname);
+  net::Nic& pnic = primary_->add_nic(cfg_.primary_mac);
+  primary_->add_ip(cfg_.primary_ip);
+  primary_link_ = topo_.make_link(pname, pbw);
+  pnic.attach(primary_link_->port(0));
+  primary_port_ = sw.add_port(primary_link_->port(1));
+  power.register_host(*primary_);
+
+  backup_ = std::make_unique<net::Host>(world, bname);
+  net::Nic& bnic = backup_->add_nic(cfg_.backup_mac);
+  backup_->add_ip(cfg_.backup_ip);
+  backup_link_ = topo_.make_link(bname, bbw);
+  bnic.attach(backup_link_->port(0));
+  backup_port_ = sw.add_port(backup_link_->port(1));
+  power.register_host(*backup_);
+
+  // The ST-TCP service address: an alias on both servers, reached through
+  // the multicast group so both taps see every client packet.
+  primary_->add_ip(cfg_.service_ip);
+  backup_->add_ip(cfg_.service_ip);
+  pnic.subscribe_multicast(multicast_mac_);
+  bnic.subscribe_multicast(multicast_mac_);
+  sw.add_multicast_group(multicast_mac_, {primary_port_, backup_port_});
+
+  primary_->set_cpu_packet_time(cfg_.primary_cpu_packet_time);
+  backup_->set_cpu_packet_time(cfg_.backup_cpu_packet_time);
+}
+
+Cell::~Cell() = default;
+
+void Cell::start() {
+  const TopologyConfig& tc = topo_.config();
+  // Serial null-modem cable between the servers (port 0 = primary).
+  serial_ = std::make_unique<net::SerialLink>(topo_.world(), tc.serial_baud);
+
+  primary_stack_ = std::make_unique<tcp::TcpStack>(*primary_, tc.tcp);
+  backup_stack_ = std::make_unique<tcp::TcpStack>(*backup_, tc.tcp);
+
+  if (!sttcp_enabled_) return;
+
+  net::PowerController& power =
+      topo_.power(static_cast<std::size_t>(cfg_.power_controller));
+  sttcp::StTcpConfig pc = tc.sttcp;
+  pc.service_ip = cfg_.service_ip;
+  pc.my_ip = cfg_.primary_ip;
+  pc.peer_ip = cfg_.backup_ip;
+  pc.peer_name = backup_->name();
+  pc.gateway_ip = cfg_.gateway_ip;
+  if (!tc.logger_ip.is_zero()) pc.logger_ip = tc.logger_ip;
+  sttcp::StTcpConfig bc = pc;
+  bc.my_ip = cfg_.backup_ip;
+  bc.peer_ip = cfg_.primary_ip;
+  bc.peer_name = primary_->name();
+
+  primary_ep_ = std::make_unique<sttcp::StTcpEndpoint>(
+      *primary_, *primary_stack_, power, &serial_->port(0), sttcp::Role::kPrimary, pc);
+  backup_ep_ = std::make_unique<sttcp::StTcpEndpoint>(
+      *backup_, *backup_stack_, power, &serial_->port(1), sttcp::Role::kBackup, bc);
+  primary_ep_->start();
+  backup_ep_->start();
+}
+
+std::uint16_t Cell::service_port() const { return topo_.config().sttcp.service_port; }
+
+net::SocketAddr Cell::connect_addr() const {
+  return sttcp_enabled_ ? net::SocketAddr{cfg_.service_ip, service_port()}
+                        : net::SocketAddr{cfg_.primary_ip, service_port()};
+}
+
+net::SocketAddr Cell::backup_addr() const {
+  return net::SocketAddr{cfg_.backup_ip, service_port()};
+}
+
+}  // namespace sttcp::harness

@@ -1,9 +1,11 @@
 #include "harness/invariants.h"
 
 #include <cstdio>
+#include <stdexcept>
 
 #include "app/client.h"
 #include "harness/scenario.h"
+#include "harness/topology.h"
 #include "harness/workload.h"
 #include "net/headers.h"
 #include "tcp/segment.h"
@@ -35,14 +37,59 @@ std::uint64_t InvariantChecker::fnv1a(const std::uint8_t* data, std::size_t n) {
   return h;
 }
 
+InvariantChecker::Scope InvariantChecker::scope_from(Topology& topo) {
+  if (topo.cell_count() == 0) {
+    throw std::logic_error("InvariantChecker: topology has no cell");
+  }
+  Scope s;
+  Cell& cell = topo.cell(0);
+  Topology::HostEntry* client = nullptr;
+  for (std::size_t i = 0; i < topo.host_count(); ++i) {
+    if (topo.host(i).with_stack) {
+      client = &topo.host(i);
+      break;
+    }
+  }
+  if (client == nullptr) {
+    throw std::logic_error("InvariantChecker: no stack-bearing (client) host");
+  }
+  s.client_ip = client->ip;
+  s.service_ip = cell.service_ip();
+  s.client = client->host.get();
+  s.primary = &cell.primary();
+  s.backup = &cell.backup();
+  s.client_stack = client->stack.get();
+  s.primary_stack = &cell.primary_stack();
+  s.backup_stack = &cell.backup_stack();
+  s.primary_ep = cell.primary_endpoint();
+  s.backup_ep = cell.backup_endpoint();
+  s.sw = &topo.ethernet_switch(static_cast<std::size_t>(cell.switch_id()));
+  // Every link except a logger host's, in creation order: for the classic
+  // facade shape that is client, primary, backup, gateway — the historical
+  // impairment pre-fork order the 200-seed chaos suite depends on.
+  Topology::HostEntry* logger = topo.host_by_name("logger");
+  for (std::size_t i = 0; i < topo.link_count(); ++i) {
+    net::Link* l = &topo.link(i);
+    if (logger != nullptr && l == logger->link) continue;
+    s.links.push_back(l);
+  }
+  s.hold_cap = topo.config().sttcp.hold_buffer_capacity;
+  s.tcp = topo.config().tcp;
+  return s;
+}
+
 InvariantChecker::InvariantChecker(Scenario& sc, Options opt)
-    : sc_(sc), opt_(opt) {
+    : InvariantChecker(scope_from(sc.topology()), opt) {}
+
+InvariantChecker::InvariantChecker(Topology& topo, Options opt)
+    : InvariantChecker(scope_from(topo), opt) {}
+
+InvariantChecker::InvariantChecker(Scope scope, Options opt)
+    : scope_(std::move(scope)), opt_(opt) {
   // Create every link's impairment engine up front, in fixed link order. Each
   // creation forks the world rng, so leaving it to the faults would make the
   // fork order (and every later draw) depend on which faults the plan arms.
-  net::Link* links[4] = {&sc.client_link(), &sc.primary_link(),
-                         &sc.backup_link(), &sc.gateway_link()};
-  for (net::Link* l : links) {
+  for (net::Link* l : scope_.links) {
     l->impairment().set_corrupt_tap(
         [this](const net::Frame& f, std::size_t off) {
           ++corrupt_events_;
@@ -51,13 +98,13 @@ InvariantChecker::InvariantChecker(Scenario& sc, Options opt)
   }
 
   // Chain in front of whatever tap is already installed (pcap).
-  prev_tap_ = sc.ethernet_switch().frame_tap();
-  sc.ethernet_switch().set_frame_tap(
+  prev_tap_ = scope_.sw->frame_tap();
+  scope_.sw->set_frame_tap(
       [this](sim::SimTime at, const net::Frame& frame) {
         on_switch_frame(at, frame);
       });
 
-  net::Host* hosts[3] = {&sc.client(), &sc.primary(), &sc.backup()};
+  net::Host* hosts[3] = {scope_.client, scope_.primary, scope_.backup};
   for (int i = 0; i < 3; ++i) {
     hosts[i]->set_rx_tap(
         [this, i](const net::Frame& frame) { on_host_rx(i, frame); });
@@ -86,7 +133,7 @@ void InvariantChecker::on_switch_frame(sim::SimTime at,
   // No client-visible RST: a RST the client's own checksum verification
   // would accept must never be on the wire toward it. (A RST bit set by wire
   // corruption fails the checksum and is invisible — parse with verify.)
-  if (p.ip->dst == sc_.client_ip()) {
+  if (p.ip->dst == scope_.client_ip) {
     const auto seg =
         tcp::TcpSegment::parse(p.ip->src, p.ip->dst, p.l4, /*verify=*/true);
     if (seg.has_value() && seg->flags.rst) {
@@ -99,10 +146,10 @@ void InvariantChecker::on_switch_frame(sim::SimTime at,
   // spoken on the service connection (it only does so after STONITH +
   // takeover), the primary must stay silent, modulo frames already in
   // flight. Source MAC tells the two apart; the service IP does not.
-  if (p.ip->src == sc_.service_ip() && p.ip->dst == sc_.client_ip()) {
-    if (p.eth.src == sc_.backup().nic().mac()) {
+  if (p.ip->src == scope_.service_ip && p.ip->dst == scope_.client_ip) {
+    if (p.eth.src == scope_.backup->nic().mac()) {
       if (first_backup_tx_.is_never()) first_backup_tx_ = at;
-    } else if (p.eth.src == sc_.primary().nic().mac() &&
+    } else if (p.eth.src == scope_.primary->nic().mac() &&
                !first_backup_tx_.is_never() &&
                at > first_backup_tx_ + opt_.split_brain_grace) {
       add_streamed("split-brain",
@@ -148,8 +195,8 @@ void InvariantChecker::check_checksums(std::vector<Violation>& out) const {
   // Checksum-drop accounting: per stack, exactly the corrupted TCP frames we
   // delivered to that host were dropped for bad checksum. Fewer = a corrupt
   // segment was accepted (and possibly ACKed); more = a clean one rejected.
-  tcp::TcpStack* stacks[3] = {&sc_.client_stack(), &sc_.primary_stack(),
-                              &sc_.backup_stack()};
+  tcp::TcpStack* stacks[3] = {scope_.client_stack, scope_.primary_stack,
+                              scope_.backup_stack};
   const char* names[3] = {"client", "primary", "backup"};
   for (int i = 0; i < 3; ++i) {
     const std::uint64_t got = stacks[i]->stats().bad_checksum;
@@ -169,8 +216,8 @@ void InvariantChecker::check_memory(std::vector<Violation>& out,
   // the workload's configured concurrency, and total connection heap stays
   // inside the per-connection socket-buffer budget (no per-flow leak).
   const char* names[3] = {"client", "primary", "backup"};
-  const std::size_t hold_cap = sc_.config().sttcp.hold_buffer_capacity;
-  sttcp::StTcpEndpoint* eps[2] = {sc_.primary_endpoint(), sc_.backup_endpoint()};
+  const std::size_t hold_cap = scope_.hold_cap;
+  sttcp::StTcpEndpoint* eps[2] = {scope_.primary_ep, scope_.backup_ep};
   for (int i = 0; i < 2; ++i) {
     if (eps[i] != nullptr && eps[i]->hold_peak_bytes() > hold_cap) {
       out.push_back({"bounded-memory",
@@ -179,13 +226,13 @@ void InvariantChecker::check_memory(std::vector<Violation>& out,
                                  eps[i]->hold_peak_bytes(), hold_cap)});
     }
   }
-  const tcp::TcpConfig& tc = sc_.config().tcp;
+  const tcp::TcpConfig& tc = scope_.tcp;
   // Send buffer at its cap, receive side counted twice (in-order ready bytes
   // plus a window's worth of out-of-order segments), plus fixed-struct slack.
   const std::size_t per_conn =
       tc.send_buffer + 2 * tc.recv_buffer + 4096;
-  tcp::TcpStack* stacks[3] = {&sc_.client_stack(), &sc_.primary_stack(),
-                              &sc_.backup_stack()};
+  tcp::TcpStack* stacks[3] = {scope_.client_stack, scope_.primary_stack,
+                              scope_.backup_stack};
   for (int i = 0; i < 3; ++i) {
     const std::size_t pending = stacks[i]->pending_segments();
     const std::size_t cap = tcp::TcpStack::max_buffered_segments() * 8;

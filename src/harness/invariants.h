@@ -36,8 +36,12 @@
 #include <vector>
 
 #include "net/frame.h"
+#include "net/host.h"
+#include "net/link.h"
 #include "net/switch.h"
 #include "sim/time.h"
+#include "sttcp/endpoint.h"
+#include "tcp/stack.h"
 
 namespace sttcp::app {
 class DownloadClient;
@@ -46,6 +50,7 @@ class DownloadClient;
 namespace sttcp::harness {
 
 class Scenario;
+class Topology;
 class Workload;
 
 struct Violation {
@@ -75,6 +80,15 @@ class InvariantChecker {
   /// rng fork order is independent of which faults a plan happens to arm.
   InvariantChecker(Scenario& sc, Options opt);
 
+  /// Same checker against a one-cell Topology (the unit the invariants are
+  /// stated over): the first stack-bearing plain host is taken as the
+  /// client, cell 0 as the watched pair. Impairments are pre-created on
+  /// every link except a "logger" host's, in creation order — for a
+  /// facade-shaped topology that is the classic client/primary/backup/
+  /// gateway sequence. Throws std::logic_error if the topology has no cell
+  /// or no stack-bearing host.
+  InvariantChecker(Topology& topo, Options opt);
+
   /// Evaluate end-of-run invariants and return everything that failed (the
   /// streaming ones — RST, split-brain — are folded in). Empty = clean run.
   std::vector<Violation> check(const app::DownloadClient& client);
@@ -92,6 +106,28 @@ class InvariantChecker {
   std::uint64_t expected_checksum_drops() const;
 
  private:
+  /// Everything the checker watches, resolved once at construction so the
+  /// checking logic is independent of how the topology was built.
+  struct Scope {
+    net::Ipv4Addr client_ip;
+    net::Ipv4Addr service_ip;
+    net::Host* client = nullptr;
+    net::Host* primary = nullptr;
+    net::Host* backup = nullptr;
+    tcp::TcpStack* client_stack = nullptr;
+    tcp::TcpStack* primary_stack = nullptr;
+    tcp::TcpStack* backup_stack = nullptr;
+    sttcp::StTcpEndpoint* primary_ep = nullptr;  // null without ST-TCP
+    sttcp::StTcpEndpoint* backup_ep = nullptr;
+    net::EthernetSwitch* sw = nullptr;
+    std::vector<net::Link*> links;  // impairment pre-fork order
+    std::size_t hold_cap = 0;
+    tcp::TcpConfig tcp;
+  };
+  static Scope scope_from(Topology& topo);
+
+  InvariantChecker(Scope scope, Options opt);
+
   void on_switch_frame(sim::SimTime at, const net::Frame& frame);
   void on_host_rx(int host_idx, const net::Frame& frame);
   void add_streamed(const std::string& invariant, const std::string& detail);
@@ -103,7 +139,7 @@ class InvariantChecker {
 
   static std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n);
 
-  Scenario& sc_;
+  Scope scope_;
   Options opt_;
   net::EthernetSwitch::FrameTap prev_tap_;
 

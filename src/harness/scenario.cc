@@ -1,7 +1,5 @@
 #include "harness/scenario.h"
 
-#include <iterator>
-
 namespace sttcp::harness {
 
 namespace {
@@ -33,139 +31,76 @@ ScenarioConfig ScenarioConfig::FastNet() {
   return cfg;
 }
 
+TopologyConfig ScenarioConfig::topology_config() const {
+  TopologyConfig tc;
+  tc.seed = seed;
+  tc.link_latency = link_latency;
+  tc.link_bandwidth_bps = link_bandwidth_bps;
+  tc.serial_baud = serial_baud;
+  tc.tcp = tcp;
+  tc.sttcp = sttcp;
+  tc.enable_sttcp = enable_sttcp;
+  if (enable_logger) tc.logger_ip = net::Ipv4Addr{10, 0, 0, 9};
+  tc.log_out = log_out;
+  tc.log_level = log_level;
+  tc.enable_metrics = enable_metrics;
+  tc.pcap_path = pcap_path;
+  return tc;
+}
+
 Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)) {
-  world_ = std::make_unique<sim::World>(cfg_.seed, cfg_.log_out, cfg_.log_level);
-  if (cfg_.enable_metrics) {
-    metrics_ = std::make_unique<obs::MetricsRegistry>();
-    world_->set_metrics(metrics_.get());  // components bind as they construct
-  }
-  switch_ = std::make_unique<net::EthernetSwitch>(*world_, "switch");
-  if (!cfg_.pcap_path.empty()) {
-    pcap_ = std::make_unique<obs::PcapWriter>(cfg_.pcap_path);
-    switch_->set_frame_tap([this](sim::SimTime at, const net::Frame& frame) {
-      pcap_->record(at, frame.view());
-    });
-  }
-  power_ = std::make_unique<net::PowerController>(*world_);
+  // Stamp the classic Figure-2 LAN as a one-cell topology. Call order
+  // matters: it reproduces the pre-facade harness construction (and RNG
+  // fork) sequence exactly — links client, primary, backup, gateway,
+  // [logger], then stacks client, primary, backup, then endpoint start.
+  TopologyBuilder b(cfg_.topology_config());
+  const int lan = b.add_switch("switch");
 
-  client_ = std::make_unique<net::Host>(*world_, "client");
-  primary_ = std::make_unique<net::Host>(*world_, "primary");
-  backup_ = std::make_unique<net::Host>(*world_, "backup");
-  gateway_ = std::make_unique<net::Host>(*world_, "gateway");
+  HostOptions client_opt;
+  client_opt.mac = kClientMac;
+  client_opt.with_stack = true;
+  b.add_host("client", client_ip(), lan, client_opt);
 
-  struct Wiring {
-    net::Host* host;
-    net::MacAddr mac;
-    net::Ipv4Addr ip;
-  };
-  const Wiring wiring[] = {
-      {client_.get(), kClientMac, client_ip()},
-      {primary_.get(), kPrimaryMac, primary_ip()},
-      {backup_.get(), kBackupMac, backup_ip()},
-      {gateway_.get(), kGatewayMac, gateway_ip()},
-  };
+  CellConfig cc;
+  cc.primary_ip = primary_ip();
+  cc.backup_ip = backup_ip();
+  cc.service_ip = service_ip();
+  cc.gateway_ip = gateway_ip();
+  cc.primary_mac = kPrimaryMac;
+  cc.backup_mac = kBackupMac;
+  cc.multicast_group = kMultiEa;
+  cc.backup_link_bandwidth_bps = cfg_.backup_link_bandwidth_bps;
+  cc.primary_cpu_packet_time = cfg_.primary_cpu_packet_time;
+  cc.backup_cpu_packet_time = cfg_.backup_cpu_packet_time;
+  b.add_cell(lan, cc);
 
-  std::vector<int> server_ports;
-  for (const Wiring& w : wiring) {
-    net::Nic& nic = w.host->add_nic(w.mac);
-    w.host->add_ip(w.ip);
-    std::uint64_t bw = cfg_.link_bandwidth_bps;
-    if (w.host == backup_.get() && cfg_.backup_link_bandwidth_bps != 0) {
-      bw = cfg_.backup_link_bandwidth_bps;
-    }
-    auto link = std::make_unique<net::Link>(*world_, cfg_.link_latency, bw);
-    if (metrics_ != nullptr) {
-      link->bind_metrics(*metrics_, "net.link." + w.host->name());
-    }
-    nic.attach(link->port(0));
-    const int port = switch_->add_port(link->port(1));
-    if (w.host == primary_.get() || w.host == backup_.get()) {
-      server_ports.push_back(port);
-    }
-    links_.push_back(std::move(link));
-    power_->register_host(*w.host);
-  }
-
-  // Full static ARP mesh between the four real addresses.
-  for (const Wiring& a : wiring) {
-    for (const Wiring& b : wiring) {
-      if (a.host != b.host) a.host->arp_set(b.ip, b.mac);
-    }
-  }
-
-  // The ST-TCP service address: an alias on both servers, reached through
-  // the multicast group so both taps see every client packet.
-  primary_->add_ip(service_ip());
-  backup_->add_ip(service_ip());
-  primary_->nic().subscribe_multicast(kMultiEa);
-  backup_->nic().subscribe_multicast(kMultiEa);
-  switch_->add_multicast_group(kMultiEa, server_ports);
-  client_->arp_set(service_ip(), kMultiEa);
-  gateway_->arp_set(service_ip(), kMultiEa);
-  // The servers answer the client directly (its unicast MAC), with the
-  // service IP as the source address.
-  primary_->arp_set(client_ip(), kClientMac);
-  backup_->arp_set(client_ip(), kClientMac);
-
-  primary_->set_cpu_packet_time(cfg_.primary_cpu_packet_time);
-  backup_->set_cpu_packet_time(cfg_.backup_cpu_packet_time);
+  HostOptions gw_opt;
+  gw_opt.mac = kGatewayMac;
+  b.add_host("gateway", gateway_ip(), lan, gw_opt);
 
   // Optional stream logger host (§4.3 output-commit extension): joins the
   // multicast group so it taps the same client traffic as the servers.
   if (cfg_.enable_logger) {
-    logger_host_ = std::make_unique<net::Host>(*world_, "logger");
-    net::Nic& lnic = logger_host_->add_nic(kLoggerMac);
-    logger_host_->add_ip(logger_ip());
+    HostOptions lg_opt;
+    lg_opt.mac = kLoggerMac;
+    const int idx = b.add_host("logger", logger_ip(), lan, lg_opt);
+    Topology::HostEntry& lh = b.topology().host(static_cast<std::size_t>(idx));
     // The logger owns the service alias too, so tapped client->service
     // packets pass its host's IP filter (a real tap would capture
     // promiscuously; the alias is the simulator's equivalent).
-    logger_host_->add_ip(service_ip());
-    auto llink = std::make_unique<net::Link>(*world_, cfg_.link_latency,
-                                             cfg_.link_bandwidth_bps);
-    if (metrics_ != nullptr) llink->bind_metrics(*metrics_, "net.link.logger");
-    lnic.attach(llink->port(0));
-    const int lport = switch_->add_port(llink->port(1));
-    links_.push_back(std::move(llink));
-    lnic.subscribe_multicast(kMultiEa);
-    server_ports.push_back(lport);
-    switch_->add_multicast_group(kMultiEa, server_ports);  // re-install w/ logger
-    for (const Wiring& w : wiring) {
-      logger_host_->arp_set(w.ip, w.mac);
-      w.host->arp_set(logger_ip(), kLoggerMac);
-    }
-    sttcp::StreamLogger::Config lc;
-    lc.service_ip = service_ip();
-    logger_ = std::make_unique<sttcp::StreamLogger>(*logger_host_, lc);
+    lh.host->add_ip(service_ip());
+    lh.host->nic().subscribe_multicast(kMultiEa);
+    Cell& c = b.topology().cell(0);
+    b.topology().ethernet_switch().add_multicast_group(
+        kMultiEa, {c.primary_port(), c.backup_port(), lh.port});
   }
 
-  // Serial null-modem cable between the servers (port 0 = primary).
-  serial_ = std::make_unique<net::SerialLink>(*world_, cfg_.serial_baud);
+  topo_ = b.build();
 
-  client_stack_ = std::make_unique<tcp::TcpStack>(*client_, cfg_.tcp);
-  primary_stack_ = std::make_unique<tcp::TcpStack>(*primary_, cfg_.tcp);
-  backup_stack_ = std::make_unique<tcp::TcpStack>(*backup_, cfg_.tcp);
-
-  if (cfg_.enable_sttcp) {
-    sttcp::StTcpConfig pc = cfg_.sttcp;
-    pc.service_ip = service_ip();
-    pc.my_ip = primary_ip();
-    pc.peer_ip = backup_ip();
-    pc.peer_name = backup_->name();
-    pc.gateway_ip = gateway_ip();
-    if (cfg_.enable_logger) pc.logger_ip = logger_ip();
-    sttcp::StTcpConfig bc = pc;
-    bc.my_ip = backup_ip();
-    bc.peer_ip = primary_ip();
-    bc.peer_name = primary_->name();
-
-    primary_ep_ = std::make_unique<sttcp::StTcpEndpoint>(
-        *primary_, *primary_stack_, *power_, &serial_->port(0),
-        sttcp::Role::kPrimary, pc);
-    backup_ep_ = std::make_unique<sttcp::StTcpEndpoint>(
-        *backup_, *backup_stack_, *power_, &serial_->port(1),
-        sttcp::Role::kBackup, bc);
-    primary_ep_->start();
-    backup_ep_->start();
+  if (cfg_.enable_logger) {
+    sttcp::StreamLogger::Config lc;
+    lc.service_ip = service_ip();
+    logger_ = std::make_unique<sttcp::StreamLogger>(*topo_->host(2).host, lc);
   }
 }
 
@@ -173,18 +108,18 @@ Scenario::~Scenario() = default;
 
 void Scenario::emulate_old_design_tap() {
   // Port order of construction: client=0, primary=1, backup=2, gateway=3.
-  switch_->add_egress_mirror(/*src_port=*/0, /*dst_port=*/2);
-  backup_->nic().set_promiscuous(true);
+  ethernet_switch().add_egress_mirror(topo_->host(0).port, cell().backup_port());
+  backup().nic().set_promiscuous(true);
 }
 
 void Scenario::inject(Fault fault) {
   const int times = fault.times_ < 1 ? 1 : fault.times_;
   for (int i = 0; i < times; ++i) {
     const sim::Duration when = fault.at_ + fault.interval_ * i;
-    world_->loop().schedule_after(when, [this, fault] {
-      world_->trace().record("harness", "fault_injected", fault.label_);
-      if (metrics_ != nullptr) {
-        metrics_->timeline().mark(obs::Milestone::kFaultInjected, world_->now());
+    world().loop().schedule_after(when, [this, fault] {
+      world().trace().record("harness", "fault_injected", fault.label_);
+      if (metrics() != nullptr) {
+        metrics()->timeline().mark(obs::Milestone::kFaultInjected, world().now());
       }
       fault.action_(*this);
     });
@@ -217,98 +152,6 @@ void Scenario::fail_serial_at(sim::Duration t) {
 
 void Scenario::drop_backup_frames_at(sim::Duration t, int n) {
   inject(Fault::FrameLoss(Node::kBackup, n).at(t));
-}
-
-void Scenario::export_metrics() {
-  if (metrics_ == nullptr) return;
-  obs::MetricsRegistry& reg = *metrics_;
-
-  static constexpr const char* kLinkNames[] = {"client", "primary", "backup",
-                                               "gateway", "logger"};
-  for (std::size_t i = 0; i < links_.size() && i < std::size(kLinkNames); ++i) {
-    const net::Link::Stats& s = links_[i]->stats();
-    const std::string p = std::string("net.link.") + kLinkNames[i];
-    reg.counter(p + ".frames_sent").set(s.frames_sent);
-    reg.counter(p + ".frames_delivered").set(s.frames_delivered);
-    reg.counter(p + ".frames_dropped").set(s.frames_dropped);
-    reg.counter(p + ".bytes_delivered").set(s.bytes_delivered);
-    // Impairment engines exist only on links a fault (or checker) touched.
-    if (const net::Impairment* imp = links_[i]->impairment_ptr()) {
-      const net::Impairment::Stats& is = imp->stats();
-      reg.counter(p + ".impair.burst_dropped").set(is.burst_dropped);
-      reg.counter(p + ".impair.corrupted").set(is.corrupted);
-      reg.counter(p + ".impair.duplicated").set(is.duplicated);
-      reg.counter(p + ".impair.reordered").set(is.reordered);
-    }
-  }
-
-  const net::EthernetSwitch::Stats& sw = switch_->stats();
-  reg.counter("net.switch.forwarded").set(sw.forwarded);
-  reg.counter("net.switch.flooded").set(sw.flooded);
-  reg.counter("net.switch.multicast").set(sw.multicast);
-
-  const net::SerialLink::Stats& se = serial_->stats();
-  reg.counter("net.serial.messages_sent").set(se.messages_sent);
-  reg.counter("net.serial.messages_delivered").set(se.messages_delivered);
-  reg.counter("net.serial.messages_dropped").set(se.messages_dropped);
-  reg.counter("net.serial.bytes_delivered").set(se.bytes_delivered);
-  reg.counter("net.serial.messages_corrupted").set(se.messages_corrupted);
-  reg.counter("net.serial.messages_truncated").set(se.messages_truncated);
-
-  struct StackRow {
-    const tcp::TcpStack* stack;
-    const char* host;
-  };
-  const StackRow stacks[] = {{client_stack_.get(), "client"},
-                             {primary_stack_.get(), "primary"},
-                             {backup_stack_.get(), "backup"}};
-  for (const StackRow& row : stacks) {
-    if (row.stack == nullptr) continue;
-    const tcp::TcpStack::Stats& s = row.stack->stats();
-    const std::string p = std::string("tcp.") + row.host;
-    reg.counter(p + ".segments_in").set(s.segments_in);
-    reg.counter(p + ".segments_demuxed").set(s.segments_demuxed);
-    reg.counter(p + ".segments_buffered").set(s.segments_buffered);
-    reg.counter(p + ".bad_checksum").set(s.bad_checksum);
-    reg.counter(p + ".rst_sent").set(s.rst_sent);
-    reg.counter(p + ".connections_accepted").set(s.connections_accepted);
-    reg.counter(p + ".replicas_created").set(s.replicas_created);
-  }
-
-  struct EpRow {
-    const sttcp::StTcpEndpoint* ep;
-    const char* host;
-  };
-  const EpRow eps[] = {{primary_ep_.get(), "primary"}, {backup_ep_.get(), "backup"}};
-  for (const EpRow& row : eps) {
-    if (row.ep == nullptr) continue;
-    const sttcp::StTcpEndpoint::Stats& s = row.ep->stats();
-    const std::string p = std::string("sttcp.") + row.host;
-    reg.counter(p + ".hb_sent").set(s.hb_sent);
-    reg.counter(p + ".hb_received_ip").set(s.hb_received_ip);
-    reg.counter(p + ".hb_received_serial").set(s.hb_received_serial);
-    reg.counter(p + ".replicas_created").set(s.replicas_created);
-    reg.counter(p + ".missed_bytes_injected").set(s.missed_bytes_injected);
-    reg.counter(p + ".logger_bytes_injected").set(s.logger_bytes_injected);
-    reg.counter(p + ".takeovers").set(s.takeovers);
-    reg.counter(p + ".reintegrations").set(s.reintegrations);
-    reg.counter(p + ".rejoins").set(s.rejoins);
-    reg.counter(p + ".snapshot_conns_adopted").set(s.snapshot_conns_adopted);
-    reg.counter(p + ".hb_malformed").set(s.hb_malformed);
-    reg.counter(p + ".hb_stale").set(s.hb_stale);
-    reg.counter(p + ".control_malformed").set(s.control_malformed);
-    reg.counter(p + ".hold_peak_bytes").set(row.ep->hold_peak_bytes());
-  }
-
-  if (pcap_ != nullptr) {
-    reg.counter("obs.pcap.frames_written").set(pcap_->frames_written());
-  }
-}
-
-std::string Scenario::metrics_json() {
-  if (metrics_ == nullptr) return "{}";
-  export_metrics();
-  return metrics_->json();
 }
 
 }  // namespace sttcp::harness

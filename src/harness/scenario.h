@@ -17,21 +17,22 @@
 // neither taps nor replicates, and the client addresses the primary's own
 // IP — the Demo 1 baseline ("even if a hot backup is available…") and the
 // Demo 3 overhead comparison.
+//
+// \deprecated Scenario is now a thin compatibility facade over a one-cell
+// Topology (harness/topology.h): it stamps the classic single-pair LAN with
+// TopologyBuilder and forwards every accessor. Existing tests and benches
+// keep working unchanged — construction order (and therefore every RNG
+// fork) is bit-identical to the pre-facade harness, which
+// tests/harness/topology_test.cc asserts. New code that needs more than one
+// pair, routers, or custom wiring should use TopologyBuilder directly.
 #pragma once
 
 #include <memory>
 #include <string>
 
 #include "harness/fault.h"
-#include "net/host.h"
-#include "net/link.h"
-#include "net/serial_link.h"
-#include "net/switch.h"
-#include "obs/metrics.h"
-#include "obs/pcap.h"
-#include "sttcp/endpoint.h"
+#include "harness/topology.h"
 #include "sttcp/logger.h"
-#include "tcp/stack.h"
 
 namespace sttcp::harness {
 
@@ -76,6 +77,10 @@ struct ScenarioConfig {
   /// A modern fabric: gigabit links, 5 µs latency, 1 Mbps serial, 50 ms
   /// heartbeats — shows how failover scales when detection is cheap.
   static ScenarioConfig FastNet();
+
+  /// The equivalent topology-level config (everything but the logger host
+  /// and CPU/bandwidth knobs, which are per-host/cell).
+  TopologyConfig topology_config() const;
 };
 
 class Scenario {
@@ -86,27 +91,31 @@ class Scenario {
   Scenario& operator=(const Scenario&) = delete;
 
   // --- topology access ---------------------------------------------------------
-  sim::World& world() { return *world_; }
-  net::Host& client() { return *client_; }
-  net::Host& primary() { return *primary_; }
-  net::Host& backup() { return *backup_; }
-  net::Host& gateway() { return *gateway_; }
-  net::Host* logger_host() { return logger_host_.get(); }
+  sim::World& world() { return topo_->world(); }
+  /// The one-cell Topology behind the facade.
+  Topology& topology() { return *topo_; }
+  net::Host& client() { return *topo_->host(0).host; }
+  net::Host& primary() { return cell().primary(); }
+  net::Host& backup() { return cell().backup(); }
+  net::Host& gateway() { return *topo_->host(1).host; }
+  net::Host* logger_host() {
+    return cfg_.enable_logger ? topo_->host(2).host.get() : nullptr;
+  }
   sttcp::StreamLogger* logger() { return logger_.get(); }
   net::Ipv4Addr logger_ip() const { return {10, 0, 0, 9}; }
-  net::EthernetSwitch& ethernet_switch() { return *switch_; }
-  net::PowerController& power() { return *power_; }
-  net::SerialLink& serial() { return *serial_; }
-  net::Link& client_link() { return *links_[0]; }
-  net::Link& primary_link() { return *links_[1]; }
-  net::Link& backup_link() { return *links_[2]; }
-  net::Link& gateway_link() { return *links_[3]; }
+  net::EthernetSwitch& ethernet_switch() { return topo_->ethernet_switch(); }
+  net::PowerController& power() { return topo_->power(); }
+  net::SerialLink& serial() { return cell().serial(); }
+  net::Link& client_link() { return *topo_->host(0).link; }
+  net::Link& primary_link() { return cell().primary_link(); }
+  net::Link& backup_link() { return cell().backup_link(); }
+  net::Link& gateway_link() { return *topo_->host(1).link; }
 
-  tcp::TcpStack& client_stack() { return *client_stack_; }
-  tcp::TcpStack& primary_stack() { return *primary_stack_; }
-  tcp::TcpStack& backup_stack() { return *backup_stack_; }
-  sttcp::StTcpEndpoint* primary_endpoint() { return primary_ep_.get(); }
-  sttcp::StTcpEndpoint* backup_endpoint() { return backup_ep_.get(); }
+  tcp::TcpStack& client_stack() { return *topo_->host(0).stack; }
+  tcp::TcpStack& primary_stack() { return cell().primary_stack(); }
+  tcp::TcpStack& backup_stack() { return cell().backup_stack(); }
+  sttcp::StTcpEndpoint* primary_endpoint() { return cell().primary_endpoint(); }
+  sttcp::StTcpEndpoint* backup_endpoint() { return cell().backup_endpoint(); }
 
   const ScenarioConfig& config() const { return cfg_; }
 
@@ -157,31 +166,24 @@ class Scenario {
 
   // --- telemetry ------------------------------------------------------------------
   /// Null unless cfg.enable_metrics.
-  obs::MetricsRegistry* metrics() { return metrics_.get(); }
-  obs::PcapWriter* pcap() { return pcap_.get(); }
+  obs::MetricsRegistry* metrics() { return topo_->metrics(); }
+  obs::PcapWriter* pcap() { return topo_->pcap(); }
   /// Snapshot the cumulative Stats counters (links, switch, serial, stacks,
   /// endpoints) into the registry; live instruments are already there.
-  void export_metrics();
+  void export_metrics() { topo_->export_metrics(); }
   /// export_metrics() then serialise the whole registry (counters, gauges,
   /// histogram summaries, failover timeline) as one JSON object.
-  std::string metrics_json();
+  std::string metrics_json() { return topo_->metrics_json(); }
 
-  void run_for(sim::Duration d) { world_->loop().run_for(d); }
+  void run_for(sim::Duration d) { topo_->run_for(d); }
 
  private:
+  Cell& cell() { return topo_->cell(0); }
+  const Cell& cell() const { return const_cast<Scenario*>(this)->topo_->cell(0); }
+
   ScenarioConfig cfg_;
-  std::unique_ptr<obs::MetricsRegistry> metrics_;  // before world_: outlives it
-  std::unique_ptr<obs::PcapWriter> pcap_;
-  std::unique_ptr<sim::World> world_;
-  std::unique_ptr<net::EthernetSwitch> switch_;
-  std::unique_ptr<net::Host> client_, primary_, backup_, gateway_;
-  std::unique_ptr<net::Host> logger_host_;
+  std::unique_ptr<Topology> topo_;
   std::unique_ptr<sttcp::StreamLogger> logger_;
-  std::vector<std::unique_ptr<net::Link>> links_;  // client, primary, backup, gateway
-  std::unique_ptr<net::SerialLink> serial_;
-  std::unique_ptr<net::PowerController> power_;
-  std::unique_ptr<tcp::TcpStack> client_stack_, primary_stack_, backup_stack_;
-  std::unique_ptr<sttcp::StTcpEndpoint> primary_ep_, backup_ep_;
 };
 
 }  // namespace sttcp::harness

@@ -1,0 +1,247 @@
+// Composable topology: the harness layer that turns one Figure-2 cell into
+// a routed, sharded fabric.
+//
+//   TopologyBuilder b(cfg);
+//   int lan  = b.add_switch("lan");
+//   b.add_host("client", {10,0,0,1}, lan, {.with_stack = true});
+//   b.add_cell(lan, {});                       // a classic Figure-2 pair
+//   b.add_host("gateway", {10,0,0,254}, lan);
+//   auto topo = b.build();                     // ARP, routes, stacks, start
+//
+// Layering (docs/ARCHITECTURE.md):
+//
+//   Scenario (compat facade)      <- existing tests/benches, unchanged
+//        |
+//   TopologyBuilder / Topology    <- this file: switches, routers, cells
+//        |
+//   Cell (harness/cell.h)         <- one ST-TCP pair, stamped N times
+//        |
+//   net/ (switch, link, router, host), tcp/, sttcp/
+//
+// The builder constructs eagerly (hosts/links exist as soon as they are
+// added, in call order — RNG fork order is therefore explicit and stable);
+// build() then finalizes what needs global knowledge:
+//
+//   * a full static ARP mesh per switch (hosts + cell members);
+//   * service-IP -> multicast-MAC ARP entries for every non-member on the
+//     cell's subnet;
+//   * default-gateway wiring + router-side ARP where a router port sits on
+//     the subnet (including service-IP -> multicast MAC on the router's
+//     egress port — how the ST-TCP tap crosses subnets, see
+//     docs/ROUTING.md);
+//   * TCP stacks for stack-bearing hosts, then Cell::start() per cell, in
+//     creation order — reproducing the classic Scenario fork order for a
+//     1-cell build.
+//
+// ShardDirector is the front end: a consistent-hash ring mapping client
+// flows onto the cells' service addresses. It is control-plane only — the
+// simulated packets just use the address it returns.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/cell.h"
+#include "net/host.h"
+#include "net/link.h"
+#include "net/router.h"
+#include "net/switch.h"
+#include "obs/metrics.h"
+#include "obs/pcap.h"
+#include "tcp/stack.h"
+
+namespace sttcp::harness {
+
+struct TopologyConfig {
+  std::uint64_t seed = 1;
+
+  // Fabric defaults (cells and hosts may override per-link bandwidth).
+  sim::Duration link_latency = sim::Duration::micros(50);
+  std::uint64_t link_bandwidth_bps = 100'000'000;
+  std::uint64_t serial_baud = net::SerialLink::kDefaultBaud;
+
+  tcp::TcpConfig tcp;
+  /// Template for every cell's endpoints; per-cell addressing (service,
+  /// my/peer IPs, gateway, peer name) is filled in by the Cell.
+  sttcp::StTcpConfig sttcp;
+  bool enable_sttcp = true;
+  /// Stream-logger address cells should replay from (zero = no logger; the
+  /// logger host itself is wired by the owner — see Scenario).
+  net::Ipv4Addr logger_ip;
+
+  std::ostream* log_out = nullptr;
+  sim::LogLevel log_level = sim::LogLevel::kOff;
+
+  bool enable_metrics = false;
+  /// Write every frame crossing switch 0 to this libpcap file.
+  std::string pcap_path;
+};
+
+/// Options for TopologyBuilder::add_host.
+struct HostOptions {
+  net::MacAddr mac;              // zero -> derived (0x02:00:00:00:a0:xx)
+  /// Create a TcpStack for this host at build() (clients need one; passive
+  /// boxes like the paper's gateway do not).
+  bool with_stack = false;
+  std::uint64_t link_bandwidth_bps = 0;  // 0 -> topology default
+  int power_controller = 0;
+};
+
+class TopologyBuilder;
+
+class Topology {
+ public:
+  struct HostEntry {
+    std::string name;
+    net::Ipv4Addr ip;
+    std::unique_ptr<net::Host> host;
+    std::unique_ptr<tcp::TcpStack> stack;  // null unless with_stack
+    net::Link* link = nullptr;
+    int switch_id = 0;
+    int port = 0;  // switch port index
+    bool with_stack = false;
+  };
+  struct RouterPortEntry {
+    int router = 0;
+    int port = 0;  // port index within the router
+    int switch_id = 0;
+    int prefix_len = 24;
+  };
+
+  ~Topology();
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  sim::World& world() { return *world_; }
+  void run_for(sim::Duration d) { world_->loop().run_for(d); }
+  const TopologyConfig& config() const { return cfg_; }
+
+  net::EthernetSwitch& ethernet_switch(std::size_t i = 0) { return *switches_.at(i); }
+  std::size_t switch_count() const { return switches_.size(); }
+
+  net::Router& router(std::size_t i = 0) { return *routers_.at(i); }
+  std::size_t router_count() const { return routers_.size(); }
+  const std::vector<RouterPortEntry>& router_ports() const { return router_ports_; }
+
+  Cell& cell(std::size_t i = 0) { return *cells_.at(i); }
+  std::size_t cell_count() const { return cells_.size(); }
+
+  net::PowerController& power(std::size_t i = 0) { return *power_.at(i); }
+  std::size_t power_count() const { return power_.size(); }
+
+  HostEntry& host(std::size_t i) { return hosts_.at(i); }
+  std::size_t host_count() const { return hosts_.size(); }
+  /// nullptr when no plain host has that name (cell members don't count).
+  HostEntry* host_by_name(const std::string& name);
+
+  /// Every link in creation order — host links and cell links interleaved
+  /// exactly as the builder calls ran (this order is what deterministic
+  /// impairment pre-forking keys on).
+  net::Link& link(std::size_t i) { return *links_.at(i); }
+  const std::string& link_name(std::size_t i) const { return link_names_.at(i); }
+  std::size_t link_count() const { return links_.size(); }
+
+  // --- telemetry ----------------------------------------------------------
+  obs::MetricsRegistry* metrics() { return metrics_.get(); }
+  obs::PcapWriter* pcap() { return pcap_.get(); }
+  /// Snapshot cumulative Stats (links, switches, routers, serials, stacks,
+  /// endpoints) into the registry. Names match the classic Scenario for a
+  /// 1-cell topology ("net.link.primary", "net.switch.forwarded", ...);
+  /// extra switches/cells/routers get name-qualified prefixes.
+  void export_metrics();
+  std::string metrics_json();
+
+  /// Create a Link with topology defaults, bind its metrics, take ownership
+  /// and return it. Builder/Cell plumbing — not for use after build().
+  net::Link* make_link(const std::string& name, std::uint64_t bandwidth_bps);
+
+ private:
+  friend class TopologyBuilder;
+  friend class Cell;
+  explicit Topology(TopologyConfig cfg);
+
+  TopologyConfig cfg_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;  // before world_: outlives it
+  std::unique_ptr<obs::PcapWriter> pcap_;
+  std::unique_ptr<sim::World> world_;
+  std::vector<std::unique_ptr<net::EthernetSwitch>> switches_;
+  std::vector<std::string> switch_names_;
+  std::vector<std::unique_ptr<net::PowerController>> power_;
+  std::vector<std::unique_ptr<net::Router>> routers_;
+  std::vector<std::unique_ptr<net::Link>> links_;
+  std::vector<std::string> link_names_;
+  std::vector<HostEntry> hosts_;
+  std::vector<RouterPortEntry> router_ports_;
+  std::vector<std::unique_ptr<Cell>> cells_;  // last: reference all the above
+};
+
+/// Eager builder: components exist (and fork the world RNG) in call order.
+/// build() finalizes ARP/routes/stacks and returns the Topology; the
+/// builder is then spent.
+class TopologyBuilder {
+ public:
+  explicit TopologyBuilder(TopologyConfig cfg);
+
+  int add_switch(std::string name);
+
+  /// Plain host (client, gateway, logger...): host + NIC + link + switch
+  /// port + STONITH registration. Returns the host index.
+  int add_host(std::string name, net::Ipv4Addr ip, int switch_id,
+               HostOptions opt = {});
+
+  /// Stamp one ST-TCP pair onto `switch_id`. Returns the cell index.
+  int add_cell(int switch_id, CellConfig cfg = {});
+
+  /// Extra STONITH controller (index 0 always exists). Sharded fabrics give
+  /// each cell its own so a controller fault stays cell-local.
+  int add_power_controller();
+
+  int add_router(std::string name);
+  /// Attach a router port to a switch (new link + switch port) and install
+  /// the connected route for port_ip/prefix_len. Returns the router port
+  /// index. The first router port on a switch becomes the default gateway
+  /// of every host on that switch.
+  int connect_router(int router_id, int switch_id, net::Ipv4Addr port_ip,
+                     int prefix_len = 24, net::MacAddr mac = net::MacAddr());
+
+  /// Peek during build (addressing, world). The reference stays valid after
+  /// build() — the Topology is heap-allocated from the start.
+  Topology& topology() { return *topo_; }
+
+  std::unique_ptr<Topology> build();
+
+ private:
+  std::unique_ptr<Topology> topo_;
+  int auto_host_macs_ = 0;
+  bool built_ = false;
+};
+
+/// Consistent-hash front end: maps a flow identifier onto one of N cells'
+/// service addresses. Control-plane only — this is the piece of the "shard
+/// director" a client-side load balancer would run; the simulated network
+/// just uses the address it returns. Virtual nodes smooth the split; the
+/// ring is deterministic in (cell set, vnodes), never in iteration order.
+class ShardDirector {
+ public:
+  /// One ring point per (cell, vnode). 64 vnodes keeps the max/min load
+  /// ratio within ~20% for small N.
+  explicit ShardDirector(Topology& topo, int vnodes = 64);
+
+  /// The cell index a flow lands on (FNV-1a of the flow id on the ring).
+  std::size_t shard_for(std::uint64_t flow_id) const;
+  net::SocketAddr target_for(std::uint64_t flow_id) const;
+  std::size_t shard_count() const { return targets_.size(); }
+  net::SocketAddr target(std::size_t shard) const { return targets_.at(shard); }
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::size_t shard;
+  };
+  std::vector<Point> ring_;
+  std::vector<net::SocketAddr> targets_;
+};
+
+}  // namespace sttcp::harness

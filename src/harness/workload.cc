@@ -10,13 +10,17 @@
 namespace sttcp::harness {
 
 Workload::Workload(Scenario& sc, WorkloadConfig cfg)
-    : sc_(sc),
-      cfg_(cfg),
-      stack_(sc.client_stack()),
-      loop_(sc.world().loop()),
-      client_ip_(sc.client_ip()),
-      server_(sc.connect_addr()),
-      rng_(sc.world().rng().fork()),
+    : Workload(sc.world(), sc.client_stack(), sc.client_ip(), sc.connect_addr(),
+               std::move(cfg)) {}
+
+Workload::Workload(sim::World& world, tcp::TcpStack& stack, net::Ipv4Addr client_ip,
+                   net::SocketAddr server, WorkloadConfig cfg)
+    : cfg_(std::move(cfg)),
+      stack_(stack),
+      loop_(world.loop()),
+      client_ip_(client_ip),
+      server_(server),
+      rng_(world.rng().fork()),
       arrival_timer_(loop_),
       phase_timer_(loop_) {}
 
@@ -112,10 +116,12 @@ void Workload::launch_flow(std::size_t slot) {
   fl->id = id;
   fl->size = size;
   fl->slot = slot;
+  fl->target = cfg_.target_for ? cfg_.target_for(id, slot) : server_;
   fl->started = now();
   Flow& f = *fl;
   active_.emplace(id, std::move(fl));
   ++stats_.started;
+  ++per_target_[f.target].started;
   stats_.peak_concurrent = std::max(stats_.peak_concurrent, active_.size());
 
   // Callbacks capture the flow id, never the Flow pointer: on_closed erases
@@ -132,7 +138,7 @@ void Workload::launch_flow(std::size_t slot) {
     }
   };
   cb.on_closed = [this, id](tcp::CloseReason r) { on_flow_closed(id, r); };
-  f.conn = &stack_.connect(client_ip_, server_, std::move(cb));
+  f.conn = &stack_.connect(client_ip_, f.target, std::move(cb));
 }
 
 void Workload::arm_respawn(std::size_t slot) {
@@ -164,7 +170,9 @@ void Workload::on_flow_readable(std::uint64_t id) {
   f.received += in.size();
   if (!f.fct_recorded && f.received >= f.size) {
     f.fct_recorded = true;
-    fct_us_.record(static_cast<std::uint64_t>((now() - f.started).us()));
+    const auto us = static_cast<std::uint64_t>((now() - f.started).us());
+    fct_us_.record(us);
+    per_target_[f.target].fct_us.record(us);
   }
 }
 
@@ -175,14 +183,21 @@ void Workload::on_flow_closed(std::uint64_t id, tcp::CloseReason reason) {
   f.conn = nullptr;
   const bool ok = reason == tcp::CloseReason::kGraceful && !f.corrupt &&
                   f.received == f.size;
+  TargetStats& ts = per_target_[f.target];
   if (ok) {
     ++stats_.completed;
+    ++ts.completed;
   } else {
     ++stats_.failed;
+    ++ts.failed;
   }
   if (f.corrupt) ++stats_.corrupt;
-  if (reason == tcp::CloseReason::kReset) ++stats_.resets;
+  if (reason == tcp::CloseReason::kReset) {
+    ++stats_.resets;
+    ++ts.resets;
+  }
   stats_.bytes_received += f.received;
+  ts.bytes_received += f.received;
   fold(f.id);
   fold(f.size);
   fold(f.received);

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -69,6 +70,12 @@ struct WorkloadConfig {
   /// Generation window: no new flows start after start() + duration.
   /// In-flight flows run to completion (see drained()).
   sim::Duration duration = sim::Duration::seconds(10);
+
+  /// Per-flow connect target (a sharded fabric's front end — typically
+  /// ShardDirector::target_for). Null connects every flow to the
+  /// constructor's default address. The resolver must be deterministic in
+  /// its arguments: it is part of the reproducible run.
+  std::function<net::SocketAddr(std::uint64_t flow_id, std::size_t slot)> target_for;
 };
 
 class Workload {
@@ -85,7 +92,22 @@ class Workload {
     std::size_t peak_concurrent = 0;
   };
 
+  /// Flows for one target-per-flow, distinguishable per shard.
+  struct TargetStats {
+    std::uint64_t started = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t resets = 0;
+    std::uint64_t bytes_received = 0;
+    obs::Histogram fct_us;
+  };
+
   Workload(Scenario& sc, WorkloadConfig cfg);
+  /// Scenario-free form for TopologyBuilder fabrics: drive `stack` from
+  /// `client_ip`, defaulting every flow to `server` unless cfg.target_for
+  /// redirects it.
+  Workload(sim::World& world, tcp::TcpStack& stack, net::Ipv4Addr client_ip,
+           net::SocketAddr server, WorkloadConfig cfg);
   ~Workload();
   Workload(const Workload&) = delete;
   Workload& operator=(const Workload&) = delete;
@@ -107,6 +129,11 @@ class Workload {
   const obs::Histogram& fct_us() const { return fct_us_; }
   /// Connection setup time (connect() to ESTABLISHED), microseconds.
   const obs::Histogram& connect_us() const { return connect_us_; }
+  /// Per-connect-target breakdown (one entry per shard in a fabric run;
+  /// a single entry when no resolver is set). Ordered by address.
+  const std::map<net::SocketAddr, TargetStats>& per_target() const {
+    return per_target_;
+  }
 
   /// Order-sensitive fold of every finished flow's (id, size, bytes
   /// received, close reason, corrupt flag, finish time) plus the final
@@ -118,6 +145,7 @@ class Workload {
     std::uint64_t id = 0;
     std::uint64_t size = 0;
     std::size_t slot = 0;  // closed-loop population slot
+    net::SocketAddr target;
     tcp::TcpConnection* conn = nullptr;
     std::uint64_t received = 0;
     sim::SimTime started;
@@ -142,7 +170,6 @@ class Workload {
   void on_flow_closed(std::uint64_t id, tcp::CloseReason reason);
   void fold(std::uint64_t v) { digest_ = (digest_ ^ v) * 0x100000001b3ULL; }
 
-  Scenario& sc_;
   WorkloadConfig cfg_;
   tcp::TcpStack& stack_;
   sim::EventLoop& loop_;
@@ -162,6 +189,7 @@ class Workload {
   Stats stats_;
   obs::Histogram fct_us_;
   obs::Histogram connect_us_;
+  std::map<net::SocketAddr, TargetStats> per_target_;
   std::uint64_t digest_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
 };
 

@@ -54,13 +54,18 @@ void Host::power_on() {
 bool Host::send_ip(Ipv4Addr src, Ipv4Addr dst, std::uint8_t protocol, BytesView l4) {
   if (!alive_ || nics_.empty()) return false;
   auto a = arp_.find(dst);
-  if (a == arp_.end()) {
+  MacAddr dst_mac;
+  if (a != arp_.end()) {
+    dst_mac = a->second;
+  } else if (has_gateway_) {
+    dst_mac = gateway_mac_;
+  } else {
     ++stats_.arp_misses;
     log_.warn("no ARP entry for ", dst.str());
     return false;
   }
   Nic& out = *nics_.front();
-  Bytes frame = build_ip_frame(a->second, out.mac(), src, dst, protocol, l4);
+  Bytes frame = build_ip_frame(dst_mac, out.mac(), src, dst, protocol, l4);
   ++stats_.packets_out;
   return out.send(std::move(frame));
 }
@@ -75,13 +80,18 @@ bool Host::udp_send(Ipv4Addr src, std::uint16_t src_port, Ipv4Addr dst,
                     std::uint16_t dst_port, BytesView payload) {
   if (!alive_ || nics_.empty()) return false;
   auto a = arp_.find(dst);
-  if (a == arp_.end()) {
+  MacAddr dst_mac;
+  if (a != arp_.end()) {
+    dst_mac = a->second;
+  } else if (has_gateway_) {
+    dst_mac = gateway_mac_;
+  } else {
     ++stats_.arp_misses;
     return false;
   }
   Nic& out = *nics_.front();
   Bytes frame =
-      build_udp_frame(a->second, out.mac(), src, dst, src_port, dst_port, payload);
+      build_udp_frame(dst_mac, out.mac(), src, dst, src_port, dst_port, payload);
   ++stats_.packets_out;
   return out.send(std::move(frame));
 }
@@ -190,6 +200,7 @@ void Host::handle_udp(const Ipv4Header& ip, BytesView l4) {
   }
   if (uh.checksum != 0) {
     if (transport_checksum(ip.src, ip.dst, kIpProtoUdp, l4) != 0) {
+      ++stats_.udp_checksum_drops;
       log_.warn("bad UDP checksum from ", ip.src.str());
       return;
     }

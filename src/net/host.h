@@ -62,6 +62,14 @@ class Host {
   /// Static ARP entry (the demo setup maps serviceIP to the multicast EA on
   /// the client/gateway).
   void arp_set(Ipv4Addr ip, MacAddr mac);
+  /// Default route: destinations with no ARP entry are framed toward this
+  /// MAC (the subnet's router port) instead of being dropped. Hosts keep no
+  /// routing table — same-subnet peers get explicit ARP entries, everything
+  /// else goes to the gateway. Unset keeps the strict single-subnet model.
+  void set_default_gateway(MacAddr mac) {
+    gateway_mac_ = mac;
+    has_gateway_ = true;
+  }
   /// Per-received-packet CPU time; zero (default) processes inline.
   void set_cpu_packet_time(sim::Duration d) { cpu_packet_time_ = d; }
   /// Observe every frame this host actually processes (after the NIC filter,
@@ -115,6 +123,7 @@ class Host {
     std::uint64_t packets_out = 0;
     std::uint64_t arp_misses = 0;
     std::uint64_t not_local = 0;  // IP packets for addresses we do not own
+    std::uint64_t udp_checksum_drops = 0;  // incl. truncated oversize datagrams
   };
   const Stats& stats() const { return stats_; }
 
@@ -130,6 +139,8 @@ class Host {
   std::vector<std::unique_ptr<Nic>> nics_;
   std::vector<Ipv4Addr> local_ips_;
   std::unordered_map<Ipv4Addr, MacAddr> arp_;
+  MacAddr gateway_mac_;
+  bool has_gateway_ = false;
   std::unordered_map<std::uint16_t, UdpHandler> udp_handlers_;
   std::unordered_map<std::uint8_t, L4Handler> l4_handlers_;
   std::vector<CrashHook> crash_hooks_;

@@ -1,0 +1,133 @@
+// IP router: the box that turns one ST-TCP cell into a routed fabric.
+//
+// A Router owns N ports, each attached to one side of a Link (so it plugs
+// into a switch exactly like a host does). Each port has its own MAC and an
+// interface IP — the subnet's gateway address. Forwarding is classic IPv4:
+//
+//   * frames addressed to a port's MAC (or broadcast) are accepted;
+//   * packets for one of the router's own interface IPs are delivered
+//     locally (ICMP echo is answered, so ST-TCP's NIC-failure arbitration
+//     can ping its gateway across the fabric);
+//   * everything else is looked up in the routing table by longest-prefix
+//     match, TTL is decremented (expired packets are dropped and counted —
+//     no ICMP time-exceeded is generated, matching the drop-accounting
+//     style of the rest of the simulator), the IP header checksum is
+//     rewritten, and the frame is re-framed with the egress port's source
+//     MAC and the next hop's destination MAC.
+//
+// The next-hop MAC comes from a per-port static ARP table. This is also how
+// the ST-TCP multicast tap crosses subnets: the egress port's ARP entry for
+// a cell's service IP maps to the cell's multicast group address, so a
+// client->service packet travels unicast to the router and is re-expanded
+// into the L2 multicast fan-out on the final hop (see docs/ROUTING.md).
+//
+// Failure model: crash() drops everything until restore() — the "router
+// death" scenario class. Individual ports can also fail via their links.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/addr.h"
+#include "net/link.h"
+#include "sim/world.h"
+
+namespace sttcp::net {
+
+/// One routing-table entry: destination prefix -> egress port (+ optional
+/// next-hop gateway; zero means the destination is directly connected and
+/// the packet is ARP'd for its own destination IP).
+struct Route {
+  Ipv4Addr prefix;
+  int prefix_len = 0;  // 0..32; 0 is the default route
+  int port = 0;
+  Ipv4Addr next_hop;  // zero = directly connected
+};
+
+/// Longest-prefix-match routing table, separable from the Router so the
+/// match logic is unit-testable without any topology.
+class RoutingTable {
+ public:
+  void add(Route route);
+  void clear() { routes_.clear(); }
+
+  /// Longest-prefix match; nullptr when no route (not even a default)
+  /// covers `dst`. Among equal-length prefixes the first added wins.
+  const Route* lookup(Ipv4Addr dst) const;
+
+  std::size_t size() const { return routes_.size(); }
+
+ private:
+  std::vector<Route> routes_;  // kept sorted by descending prefix_len
+};
+
+class Router {
+ public:
+  struct Stats {
+    std::uint64_t forwarded = 0;      // routed and re-framed out a port
+    std::uint64_t delivered_local = 0;  // for one of our interface IPs
+    std::uint64_t no_route = 0;       // LPM found nothing (dropped)
+    std::uint64_t ttl_expired = 0;    // TTL hit zero in transit (dropped)
+    std::uint64_t arp_miss = 0;       // no MAC for the next hop (dropped)
+    std::uint64_t not_ip = 0;         // non-IPv4 ethertype (ignored)
+    std::uint64_t dropped_down = 0;   // received while crashed
+  };
+
+  Router(sim::World& world, std::string name);
+
+  /// Create a port with its own MAC and interface IP, attached to one side
+  /// of a link. Returns the port index (dense, starting at 0).
+  int add_port(Link::Port& link_port, MacAddr mac, Ipv4Addr ip);
+
+  /// Install a route (see RoutingTable).
+  void add_route(Route route);
+  /// Convenience: directly-connected subnet out `port`.
+  void add_connected(Ipv4Addr prefix, int prefix_len, int port);
+  RoutingTable& table() { return table_; }
+
+  /// Static ARP on a port's subnet. Mapping a service IP to a multicast
+  /// group MAC here is what carries the ST-TCP tap across the router.
+  void arp_set(int port, Ipv4Addr ip, MacAddr mac);
+
+  /// Router death / repair (the fabric's new failure class).
+  void crash();
+  void restore();
+  bool alive() const { return alive_; }
+
+  int port_count() const { return static_cast<int>(ports_.size()); }
+  MacAddr port_mac(int port) const { return ports_[port]->mac; }
+  Ipv4Addr port_ip(int port) const { return ports_[port]->ip; }
+
+  const Stats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct RouterPort final : FrameSink {
+    Router* router = nullptr;
+    int index = 0;
+    MacAddr mac;
+    Ipv4Addr ip;
+    Link::Port* out = nullptr;
+    std::unordered_map<Ipv4Addr, MacAddr> arp;
+    void deliver_frame(Frame frame) override {
+      router->on_frame(index, std::move(frame));
+    }
+  };
+
+  void on_frame(int ingress, Frame frame);
+  void deliver_local(int ingress, const Frame& frame);
+  bool has_ip(Ipv4Addr ip) const;
+
+  sim::World& world_;
+  std::string name_;
+  sim::Logger log_;
+  std::vector<std::unique_ptr<RouterPort>> ports_;
+  RoutingTable table_;
+  bool alive_ = true;
+  Stats stats_;
+};
+
+}  // namespace sttcp::net

@@ -167,24 +167,71 @@ void StTcpEndpoint::send_heartbeat(bool include_serial) {
   msg.records.reserve(conns_.size());
   for (auto& [id, rc] : conns_) msg.records.push_back(make_record(id, *rc));
 
-  const net::Bytes wire_msg = msg.serialize();
+  // An IPv4 datagram caps at 65,535 bytes; with every record carrying an
+  // announce (35 B) that is ~1,870 connections. Past it the 16-bit
+  // total_length wraps silently and the peer drops the frame on UDP
+  // checksum — the IP heartbeat channel goes dead exactly when the pair is
+  // busiest, and the peer falsely convicts ("never replicated"). Budget the
+  // UDP copy well under the limit with a rotating window, so every record
+  // still crosses within ceil(total/budget) periods. Urgent records never
+  // wait for the window: announces and FIN/RST notices also travel as
+  // single-record event heartbeats the moment they happen.
+  constexpr std::size_t kUdpRecordBudget = 60'000;
+  std::size_t total = 0;
+  for (const auto& r : msg.records) total += r.wire_size();
+
+  // Rotation cursors are connection ids, not vector positions: conns_ is
+  // id-ordered, so records[] is sorted by repl_id, and an id survives the
+  // churn of inserts/erases between beats. A positional cursor drifts when
+  // the vector recomposes and can starve a record indefinitely — exactly
+  // long enough for the peer's replica-setup grace timer to convict.
+  const auto start_index = [&](std::uint16_t next_id) -> std::size_t {
+    auto it = std::lower_bound(
+        msg.records.begin(), msg.records.end(), next_id,
+        [](const HbRecord& r, std::uint16_t id) { return r.repl_id < id; });
+    return it == msg.records.end() ? 0 : static_cast<std::size_t>(it - msg.records.begin());
+  };
+
+  net::Bytes wire_msg;
+  if (total <= kUdpRecordBudget) {
+    wire_msg = msg.serialize();
+  } else {
+    HeartbeatMsg umsg = make_hb_header();
+    umsg.records.reserve(msg.records.size());
+    const std::size_t start = start_index(udp_rr_next_id_);
+    std::size_t used = 0;
+    for (std::size_t k = 0; k < msg.records.size(); ++k) {
+      const std::size_t i = (start + k) % msg.records.size();
+      const HbRecord& r = msg.records[i];
+      if (used + r.wire_size() > kUdpRecordBudget) {
+        udp_rr_next_id_ = r.repl_id;
+        break;
+      }
+      used += r.wire_size();
+      umsg.records.push_back(r);
+    }
+    wire_msg = umsg.serialize();
+  }
   host_.udp_send(cfg_.my_ip, cfg_.hb_port, cfg_.peer_ip, cfg_.hb_port, wire_msg);
   if (include_serial && serial_ != nullptr) {
     const std::size_t cap = cfg_.serial_max_records;
     if (cap == 0 || msg.records.size() <= cap) {
-      serial_->send(wire_msg);
+      // Under the cap the UDP copy was not truncated either (the serial cap
+      // is far below the UDP byte budget), so the bytes can be shared.
+      serial_->send(total <= kUdpRecordBudget ? wire_msg : msg.serialize());
     } else {
       // Serial copy carries a rotating window of `cap` records (same header
       // and hb_seq), so every connection's counters ride the line within
       // ceil(n/cap) periods while the channel-liveness beat stays on time.
       HeartbeatMsg smsg = msg;
       smsg.records.clear();
-      if (serial_rr_pos_ >= msg.records.size()) serial_rr_pos_ = 0;
+      const std::size_t start = start_index(serial_rr_next_id_);
       for (std::size_t k = 0; k < cap; ++k) {
-        smsg.records.push_back(
-            msg.records[(serial_rr_pos_ + k) % msg.records.size()]);
+        smsg.records.push_back(msg.records[(start + k) % msg.records.size()]);
       }
-      serial_rr_pos_ = (serial_rr_pos_ + cap) % msg.records.size();
+      serial_rr_next_id_ =
+          static_cast<std::uint16_t>(
+              msg.records[(start + cap) % msg.records.size()].repl_id);
       serial_->send(smsg.serialize());
     }
   }
@@ -553,17 +600,35 @@ void StTcpEndpoint::create_replica_from(const HbRecord& rec) {
   auto existing = id_by_tuple_.find(tuple);
   if (existing != id_by_tuple_.end()) {
     const std::uint16_t old_id = existing->second;
-    if (old_id == rec.repl_id) return;
-    auto node = conns_.extract(old_id);
-    if (!node.empty()) {
-      node.key() = rec.repl_id;
-      node.mapped()->id = rec.repl_id;
-      conns_.insert(std::move(node));
-      existing->second = rec.repl_id;
-      world_.trace().record(host_.name(), "replica_id_remapped", tuple.str(),
-                            rec.repl_id);
+    ReplConn* old = by_id(old_id);
+    if (old != nullptr && old->local_closed) {
+      // Not the same connection: the client recycled its ephemeral port
+      // while the closed record lingered for final counter exchange. The
+      // announce is for a NEW incarnation of the tuple — displace the stale
+      // record entirely (it may even share the announced id) and build a
+      // fresh replica below.
+      note_hold_change(old->hold.size(), 0);
+      conns_.erase(old_id);
+      id_by_tuple_.erase(existing);
+      world_.trace().record(host_.name(), "replica_displaced_stale",
+                            tuple.str(), old_id);
+    } else {
+      if (old_id == rec.repl_id) return;
+      auto node = conns_.extract(old_id);
+      if (!node.empty()) {
+        node.key() = rec.repl_id;
+        node.mapped()->id = rec.repl_id;
+        conns_.insert(std::move(node));
+        existing->second = rec.repl_id;
+        world_.trace().record(host_.name(), "replica_id_remapped", tuple.str(),
+                              rec.repl_id);
+        // Echo the adopted id right away. The periodic heartbeat may be
+        // rotating under load, and the primary's replica-setup grace timer
+        // is running until it sees a record under its own id.
+        send_event_heartbeat(rec.repl_id);
+      }
+      return;
     }
-    return;
   }
 
   auto rc = std::make_unique<ReplConn>(world_.loop(), cfg_);
@@ -581,6 +646,11 @@ void StTcpEndpoint::create_replica_from(const HbRecord& rec) {
   conns_[rec.repl_id]->conn = &conn;
   ++stats_.replicas_created;
   world_.trace().record(host_.name(), "replica_created", tuple.str(), rec.repl_id);
+  // Mirror the primary's announce-immediately behaviour: confirm the new
+  // replica with a single-record event heartbeat instead of waiting for the
+  // periodic beat (which may be a rotating window under high connection
+  // counts — the grace timer must not race the rotation).
+  send_event_heartbeat(rec.repl_id);
 }
 
 tcp::SeqWire StTcpEndpoint::service_isn(const tcp::FourTuple& t) const {
@@ -607,7 +677,18 @@ void StTcpEndpoint::create_replica_inferred(const tcp::FourTuple& tuple,
   if (tuple.local.ip != cfg_.service_ip || tuple.local.port != cfg_.service_port) {
     return;  // only the replicated service is adopted
   }
-  if (id_by_tuple_.count(tuple) != 0) return;
+  auto existing = id_by_tuple_.find(tuple);
+  if (existing != id_by_tuple_.end()) {
+    // A live replica on this tuple means the SYN is a retransmit — nothing
+    // to do. A closed, lingering record means the client recycled the
+    // ephemeral port: displace the stale incarnation and adopt the new one.
+    ReplConn* old = by_id(existing->second);
+    if (old == nullptr || !old->local_closed) return;
+    note_hold_change(old->hold.size(), 0);
+    conns_.erase(existing->second);
+    id_by_tuple_.erase(existing);
+    world_.trace().record(host_.name(), "replica_displaced_stale", tuple.str());
+  }
   const std::uint16_t id = alloc_inferred_id();
   auto rc = std::make_unique<ReplConn>(world_.loop(), cfg_);
   rc->id = id;
@@ -1000,7 +1081,14 @@ void StTcpEndpoint::gc_closed_conns() {
                          (rc.p_closed || world_.now() - rc.closed_at > cfg_.closed_linger);
     if (expired) {
       note_hold_change(rc.hold.size(), 0);
-      id_by_tuple_.erase(rc.tuple);
+      // Only drop the tuple mapping if it still points at THIS record. Under
+      // heavy churn the client's ephemeral ports recycle, and a new
+      // incarnation of the tuple may have been registered while this closed
+      // record lingered — erasing its mapping would orphan the live
+      // connection (on_finished could no longer find it to clear conn,
+      // leaving a dangling pointer once the stack frees the connection).
+      auto t = id_by_tuple_.find(rc.tuple);
+      if (t != id_by_tuple_.end() && t->second == it->first) id_by_tuple_.erase(t);
       it = conns_.erase(it);
     } else {
       ++it;

@@ -295,8 +295,13 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
   std::uint64_t hold_total_bytes_ = 0;
   void note_hold_change(std::size_t before, std::size_t after);
   void recompute_hold_total();
-  // Round-robin cursor for the capped serial record window.
-  std::size_t serial_rr_pos_ = 0;
+  // Round-robin cursors for the truncated record windows (serial record cap
+  // and UDP byte budget — the IPv4 64 KB datagram limit; see
+  // send_heartbeat). Cursors hold the next connection id to send, not a
+  // vector position: ids survive the churn of connections opening and
+  // closing between beats, so no record can be starved by recomposition.
+  std::uint16_t serial_rr_next_id_ = 0;
+  std::uint16_t udp_rr_next_id_ = 0;
 
   // Gateway-ping arbitration.
   sim::OneShotTimer ping_timer_;

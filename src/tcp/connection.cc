@@ -824,6 +824,18 @@ void TcpConnection::finish(CloseReason reason) {
 
 void TcpConnection::on_takeover(bool immediate_retransmit) {
   suppressed_ = false;
+  if (state_ == TcpState::kTimeWait) {
+    // Not gated on immediate_retransmit — this is masking, not an
+    // optimization. The peer's FIN may have been consumed silently while we
+    // were a suppressed replica: the dying primary never ACKed it, and the
+    // peer is still retransmitting its FIN from LAST_ACK. Complete the
+    // close handshake now, and restart the 2*MSL clock so that if this ACK
+    // is lost the retransmitted FIN still finds a connection to re-answer
+    // it (expiring on the pre-takeover schedule would greet it with a RST).
+    emit_ack();
+    enter_time_wait();
+    return;
+  }
   if (!immediate_retransmit) return;
   // Optimization beyond the paper's prototype: do not wait for the next
   // retransmission timer — resync the client immediately.

@@ -1,0 +1,305 @@
+// TopologyBuilder / Cell / ShardDirector coverage, and the facade contract:
+// a Scenario and the equivalent explicit one-cell builder recipe must be
+// BIT-IDENTICAL — same trace, same frames, same client bytes — because the
+// facade's whole claim is that it changed nothing but the wiring code.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "app/server.h"
+#include "harness/scenario.h"
+#include "harness/topology.h"
+#include "net/frame.h"
+#include "tcp/connection.h"
+
+namespace sttcp {
+namespace {
+
+using harness::CellConfig;
+using harness::ShardDirector;
+using harness::Topology;
+using harness::TopologyBuilder;
+using harness::TopologyConfig;
+
+struct RunRecord {
+  std::string trace;
+  net::Bytes client_bytes;
+  std::uint64_t frame_hash = 0;
+  std::uint64_t frames = 0;
+};
+
+/// Drives one fixed download-with-failover against an already-built world.
+/// Identical machinery for the facade and the builder run, so any divergence
+/// is the topology construction itself.
+RunRecord drive(sim::World& world, net::EthernetSwitch& sw,
+                tcp::TcpStack& client_stack, tcp::TcpStack& primary_stack,
+                tcp::TcpStack& backup_stack, net::Host& primary,
+                net::Ipv4Addr client_ip, net::SocketAddr service,
+                std::uint16_t port) {
+  RunRecord out;
+  sw.set_frame_tap([&out](sim::SimTime at, const net::Frame& f) {
+    std::uint64_t h = out.frame_hash ^ static_cast<std::uint64_t>(at.ns());
+    for (const std::uint8_t b : f) h = (h ^ b) * 1099511628211ull;
+    out.frame_hash = h;
+    ++out.frames;
+  });
+
+  const std::uint64_t size = 500'000;
+  app::FileServer p_app(primary_stack, port, size);
+  app::FileServer b_app(backup_stack, port, size);
+
+  tcp::TcpConnection* conn = nullptr;
+  tcp::TcpConnection::Callbacks cb;
+  cb.on_readable = [&] {
+    const net::Bytes chunk = conn->read(1 << 20);
+    out.client_bytes.insert(out.client_bytes.end(), chunk.begin(), chunk.end());
+  };
+  cb.on_peer_closed = [&] { conn->close(); };
+  conn = &client_stack.connect(client_ip, service, std::move(cb));
+
+  // Same crash mechanism on both sides of the comparison (not Scenario's
+  // Fault machinery, which only the facade has).
+  world.loop().schedule_after(sim::Duration::millis(400),
+                              [&primary] { primary.crash("topology test"); });
+  world.loop().run_for(sim::Duration::seconds(30));
+
+  out.trace = world.trace().dump();
+  return out;
+}
+
+RunRecord facade_run(std::uint64_t seed) {
+  harness::ScenarioConfig cfg;
+  cfg.seed = seed;
+  harness::Scenario sc(std::move(cfg));
+  return drive(sc.world(), sc.ethernet_switch(), sc.client_stack(),
+               sc.primary_stack(), sc.backup_stack(), sc.primary(),
+               sc.client_ip(), sc.connect_addr(), sc.service_port());
+}
+
+RunRecord builder_run(std::uint64_t seed) {
+  // The explicit recipe the facade's constructor documents: switch, client,
+  // cell, gateway — classic MACs via cell-index derivation (cell 0 derives
+  // the classic 02:00:00:00:00:02/03) and the default addressing plan.
+  harness::ScenarioConfig legacy;  // only for the equivalent TopologyConfig
+  legacy.seed = seed;
+  TopologyBuilder b(legacy.topology_config());
+  const int lan = b.add_switch("switch");
+  harness::HostOptions client_opt;
+  client_opt.mac = net::MacAddr::from_u64(0x020000000001ull);
+  client_opt.with_stack = true;
+  b.add_host("client", {10, 0, 0, 1}, lan, client_opt);
+  b.add_cell(lan, {});
+  harness::HostOptions gw_opt;
+  gw_opt.mac = net::MacAddr::from_u64(0x0200000000feull);
+  b.add_host("gateway", {10, 0, 0, 254}, lan, gw_opt);
+  auto topo = b.build();
+
+  harness::Cell& cell = topo->cell(0);
+  return drive(topo->world(), topo->ethernet_switch(), *topo->host(0).stack,
+               cell.primary_stack(), cell.backup_stack(), cell.primary(),
+               {10, 0, 0, 1}, cell.connect_addr(), cell.service_port());
+}
+
+TEST(TopologyFacade, FacadeAndOneCellBuilderAreBitIdentical) {
+  const RunRecord facade = facade_run(42);
+  const RunRecord built = builder_run(42);
+
+  // Both runs must exercise the real machinery (download + takeover).
+  ASSERT_EQ(facade.client_bytes.size(), 500'000u);
+  ASSERT_GT(facade.frames, 500u);
+  ASSERT_NE(facade.trace.find("takeover"), std::string::npos);
+
+  EXPECT_EQ(facade.client_bytes, built.client_bytes);
+  EXPECT_EQ(facade.frames, built.frames);
+  EXPECT_EQ(facade.frame_hash, built.frame_hash);
+  ASSERT_EQ(facade.trace.size(), built.trace.size());
+  EXPECT_EQ(facade.trace, built.trace);
+}
+
+TEST(TopologyFacade, CellZeroDerivesClassicAddressing) {
+  harness::Scenario sc(harness::ScenarioConfig{});
+  harness::Cell& c = sc.topology().cell(0);
+  EXPECT_EQ(c.primary().nic().mac(), net::MacAddr::from_u64(0x020000000002ull));
+  EXPECT_EQ(c.backup().nic().mac(), net::MacAddr::from_u64(0x020000000003ull));
+  EXPECT_EQ(c.multicast_mac(), net::MacAddr::multicast_group(0x57));
+  EXPECT_EQ(c.service_ip(), (net::Ipv4Addr{10, 0, 0, 100}));
+}
+
+/// Four cells on one LAN, distinct subaddressing — the flat-fabric variant.
+std::unique_ptr<Topology> four_cell_lan(std::uint64_t seed) {
+  TopologyConfig tc;
+  tc.seed = seed;
+  TopologyBuilder b(tc);
+  const int lan = b.add_switch("lan");
+  harness::HostOptions client_opt;
+  client_opt.with_stack = true;
+  b.add_host("client", {10, 0, 0, 1}, lan, client_opt);
+  for (int k = 0; k < 4; ++k) {
+    CellConfig cc;
+    cc.name = "s" + std::to_string(k);
+    cc.primary_ip = {10, 0, 0, static_cast<std::uint8_t>(10 + 3 * k)};
+    cc.backup_ip = {10, 0, 0, static_cast<std::uint8_t>(11 + 3 * k)};
+    cc.service_ip = {10, 0, 0, static_cast<std::uint8_t>(100 + k)};
+    cc.power_controller = b.add_power_controller();
+    b.add_cell(lan, cc);
+  }
+  return b.build();
+}
+
+TEST(ShardDirectorTest, DeterministicCoversAllShardsAndMapsToCells) {
+  auto topo = four_cell_lan(7);
+  const ShardDirector d(*topo);
+  ASSERT_EQ(d.shard_count(), 4u);
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(d.target(k), topo->cell(k).connect_addr());
+  }
+
+  std::set<std::size_t> hit;
+  std::size_t per_shard[4] = {0, 0, 0, 0};
+  for (std::uint64_t id = 0; id < 4000; ++id) {
+    const std::size_t s = d.shard_for(id);
+    ASSERT_LT(s, 4u);
+    hit.insert(s);
+    ++per_shard[s];
+    EXPECT_EQ(d.target_for(id), topo->cell(s).connect_addr());
+    EXPECT_EQ(d.shard_for(id), s);  // stable
+  }
+  EXPECT_EQ(hit.size(), 4u);
+  for (const std::size_t n : per_shard) {
+    // Consistent hashing with 64 vnodes: no shard should be starved or
+    // receive the bulk of the keys.
+    EXPECT_GT(n, 400u);
+    EXPECT_LT(n, 2000u);
+  }
+
+  // Same topology shape, fresh build: the ring must not depend on pointer
+  // values or iteration order.
+  auto topo2 = four_cell_lan(7);
+  const ShardDirector d2(*topo2);
+  for (std::uint64_t id = 0; id < 4000; ++id) {
+    EXPECT_EQ(d.shard_for(id), d2.shard_for(id));
+  }
+}
+
+TEST(ShardDirectorTest, CellMacsAndMulticastGroupsAreDistinctPerCell) {
+  auto topo = four_cell_lan(7);
+  std::set<std::uint64_t> macs;
+  std::set<std::string> groups;
+  for (std::size_t k = 0; k < 4; ++k) {
+    harness::Cell& c = topo->cell(k);
+    macs.insert(c.primary().nic().mac().to_u64());
+    macs.insert(c.backup().nic().mac().to_u64());
+    groups.insert(c.multicast_mac().str());
+  }
+  EXPECT_EQ(macs.size(), 8u);
+  EXPECT_EQ(groups.size(), 4u);
+}
+
+/// Client LAN and server LAN joined by one router; the cell lives across
+/// the router from the client.
+struct RoutedWorld {
+  explicit RoutedWorld(std::uint64_t seed) {
+    TopologyConfig tc;
+    tc.seed = seed;
+    TopologyBuilder b(tc);
+    const int lan0 = b.add_switch("clientlan");
+    const int lan1 = b.add_switch("serverlan");
+    harness::HostOptions client_opt;
+    client_opt.with_stack = true;
+    b.add_host("client", {10, 0, 0, 1}, lan0, client_opt);
+    CellConfig cc;
+    cc.primary_ip = {10, 1, 0, 2};
+    cc.backup_ip = {10, 1, 0, 3};
+    cc.service_ip = {10, 1, 0, 100};
+    cc.gateway_ip = {10, 1, 0, 254};  // the router's serverlan port
+    b.add_cell(lan1, cc);
+    const int r = b.add_router("core");
+    b.connect_router(r, lan0, {10, 0, 0, 254});
+    b.connect_router(r, lan1, {10, 1, 0, 254});
+    topo = b.build();
+  }
+
+  /// Download `size` bytes from the service; returns bytes the client read.
+  std::uint64_t received = 0;
+  bool reset = false;
+  void download(std::uint64_t size) {
+    harness::Cell& cell = topo->cell(0);
+    const std::uint16_t port = cell.service_port();
+    servers.emplace_back(
+        std::make_unique<app::FileServer>(cell.primary_stack(), port, size));
+    servers.emplace_back(
+        std::make_unique<app::FileServer>(cell.backup_stack(), port, size));
+    tcp::TcpConnection::Callbacks cb;
+    cb.on_readable = [this] { received += conn->read(1 << 20).size(); };
+    cb.on_peer_closed = [this] { conn->close(); };
+    cb.on_closed = [this](tcp::CloseReason r) {
+      if (r == tcp::CloseReason::kReset) reset = true;
+    };
+    conn = &topo->host(0).stack->connect({10, 0, 0, 1}, cell.connect_addr(),
+                                         std::move(cb));
+  }
+
+  std::unique_ptr<Topology> topo;
+  std::vector<std::unique_ptr<app::FileServer>> servers;
+  tcp::TcpConnection* conn = nullptr;
+};
+
+TEST(RoutedTopology, RouterDeathStallsClientsButDoesNotFailOver) {
+  RoutedWorld w(11);
+  // 10 MB ≈ 840 ms of wire time at 100 Mbps, so the 300 ms crash lands
+  // mid-transfer with the stream still in flight.
+  w.download(10'000'000);
+  // Kill the router mid-transfer, revive it a second later: the client
+  // stalls and retransmits, but the pair's heartbeats (same LAN + serial)
+  // never cross the router — takeover must NOT trigger.
+  w.topo->world().loop().schedule_after(sim::Duration::millis(300),
+                                        [&w] { w.topo->router().crash(); });
+  w.topo->world().loop().schedule_after(sim::Duration::millis(1300),
+                                        [&w] { w.topo->router().restore(); });
+  w.topo->run_for(sim::Duration::seconds(30));
+
+  EXPECT_EQ(w.received, 10'000'000u);
+  EXPECT_FALSE(w.reset);
+  EXPECT_EQ(w.topo->cell(0).primary_endpoint()->stats().takeovers, 0u);
+  EXPECT_EQ(w.topo->cell(0).backup_endpoint()->stats().takeovers, 0u);
+  EXPECT_EQ(w.topo->world().trace().count("router_crash"), 1u);
+  EXPECT_GT(w.topo->router().stats().dropped_down, 0u);
+}
+
+TEST(RoutedTopology, InterSubnetPartitionIsMaskedFromThePair) {
+  RoutedWorld w(12);
+  // Big enough that the 300 ms cut hits a stream still in flight.
+  w.download(10'000'000);
+  // Sever the client-side router uplink (an inter-subnet partition): the
+  // server LAN — heartbeats, serial, STONITH — is untouched, so the pair
+  // must not react at all while the client retransmits into the void.
+  net::Link& uplink = w.topo->link(3);  // client, primary, backup, core.p0
+  w.topo->world().loop().schedule_after(sim::Duration::millis(300),
+                                        [&uplink] { uplink.fail(); });
+  w.topo->world().loop().schedule_after(sim::Duration::millis(1500),
+                                        [&uplink] { uplink.heal(); });
+  w.topo->run_for(sim::Duration::seconds(30));
+
+  EXPECT_EQ(w.received, 10'000'000u);
+  EXPECT_FALSE(w.reset);
+  EXPECT_EQ(w.topo->cell(0).primary_endpoint()->stats().takeovers, 0u);
+  EXPECT_EQ(w.topo->cell(0).backup_endpoint()->stats().takeovers, 0u);
+}
+
+TEST(RoutedTopology, LinkOrderMatchesBuilderCallOrder) {
+  RoutedWorld w(13);
+  // Impairment pre-forking and metrics naming key on this order.
+  EXPECT_EQ(w.topo->link_name(0), "client");
+  EXPECT_EQ(w.topo->link_name(1), "primary");
+  EXPECT_EQ(w.topo->link_name(2), "backup");
+  EXPECT_EQ(w.topo->link_name(3), "core.p0");
+  EXPECT_EQ(w.topo->link_name(4), "core.p1");
+  EXPECT_EQ(w.topo->link_count(), 5u);
+}
+
+}  // namespace
+}  // namespace sttcp
