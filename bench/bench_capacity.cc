@@ -20,16 +20,29 @@
 // must cost zero client RSTs anywhere and leave the other shards' FCT
 // within noise of a crash-free baseline.
 //
-// All three parts build their worlds with TopologyBuilder (Part 1/2 the
-// classic flat LAN, Part 3 the routed fabric).
+// Part 4 runs the conservative parallel engine: a self-contained 4-shard
+// ring (each shard its own world with a client, a cell and a router; ring
+// trunks between neighbours) driven by per-shard closed-loop churn, executed
+// with 1, 2 and 4 worker threads from the same seed. The per-shard digests
+// (workload fold + switch-frame FNV) must be bit-identical at every thread
+// count — a digest mismatch or any client-visible reset fails the binary —
+// and the wall-clock column reports the measured speedup next to the
+// machine's core count (on a single-core host the windowed threaded runs
+// can only add overhead; the digest identity is the acceptance bar, the
+// speedup is reporting).
+//
+// All parts build their worlds with TopologyBuilder (Part 1/2 the classic
+// flat LAN, Part 3 the routed fabric, Part 4 the sharded ring).
 //
 // Flags: --json=PATH   append every table as JSONL (see EXPERIMENTS.md)
 //        --quick       reduced loads / population (the check.sh smoke lane)
 //        --conns=N     override the acceptance-run population (default 2000)
 //        --debug       mirror scenario logs to stderr (debugging a failure)
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -266,6 +279,141 @@ FabricResult run_fabric(int shards, std::size_t conns, std::uint64_t seed,
   return out;
 }
 
+// --- Part 4: the parallel shard engine --------------------------------------
+
+struct ParallelResult {
+  std::vector<std::uint64_t> digests;  // per shard: workload fold ^ frame FNV
+  std::uint64_t completed = 0;
+  std::uint64_t resets = 0;
+  bool drained = false;
+  double wall_s = 0;  // run_for portion only (build excluded)
+};
+
+/// A ring of self-contained shards: each has its own world with one client,
+/// one ST-TCP cell and one router; neighbours are cabled with trunks. Each
+/// shard's closed-loop population mostly churns against its own cell, with
+/// every fourth flow crossing the trunk to the next shard — enough traffic
+/// on every inter-shard edge that a window-protocol mistake would corrupt
+/// the digests.
+ParallelResult run_parallel_fabric(int shards, std::size_t per_shard,
+                                   std::uint64_t seed, int threads,
+                                   sim::Duration duration) {
+  TopologyConfig tc = churn_topology_config(seed);
+  tc.link_bandwidth_bps = 1'000'000'000;
+  TopologyBuilder b(tc);
+  std::vector<int> routers;
+  for (int k = 0; k < shards; ++k) {
+    if (k > 0) b.begin_shard();
+    const auto sub = static_cast<std::uint8_t>(k + 1);
+    const int lan = b.add_switch("shard" + std::to_string(k) + "lan");
+    HostOptions copt;
+    copt.with_stack = true;
+    if (k > 0) copt.power_controller = b.add_power_controller();
+    b.add_host("c" + std::to_string(k), {10, sub, 0, 1}, lan, copt);
+    CellConfig cc;
+    cc.name = "s" + std::to_string(k);
+    cc.primary_ip = {10, sub, 0, 2};
+    cc.backup_ip = {10, sub, 0, 3};
+    cc.service_ip = {10, sub, 0, 100};
+    cc.gateway_ip = {10, sub, 0, 254};
+    cc.power_controller = copt.power_controller;
+    b.add_cell(lan, cc);
+    routers.push_back(b.add_router("r" + std::to_string(k)));
+    b.connect_router(routers.back(), lan, {10, sub, 0, 254});
+  }
+  // Ring trunks k -> (k+1)%N on /30s; 2 shards need a single cable.
+  struct TrunkPorts {
+    int a = 0, b = 0;
+  };
+  std::vector<TrunkPorts> tp;
+  const int ntrunks = shards == 2 ? 1 : shards;
+  for (int k = 0; k < ntrunks; ++k) {
+    const auto tsub = static_cast<std::uint8_t>(200 + k);
+    const auto [pa, pb] =
+        b.add_trunk(routers[static_cast<std::size_t>(k)],
+                    routers[static_cast<std::size_t>((k + 1) % shards)],
+                    {10, tsub, 0, 1}, {10, tsub, 0, 2});
+    tp.push_back({pa, pb});
+  }
+  auto topo = b.build();
+  for (int k = 0; k < ntrunks; ++k) {
+    const int nk = (k + 1) % shards;
+    const auto tsub = static_cast<std::uint8_t>(200 + k);
+    topo->router(static_cast<std::size_t>(k))
+        .add_route({{10, static_cast<std::uint8_t>(nk + 1), 0, 0}, 24,
+                    tp[static_cast<std::size_t>(k)].a, {10, tsub, 0, 2}});
+    topo->router(static_cast<std::size_t>(nk))
+        .add_route({{10, static_cast<std::uint8_t>(k + 1), 0, 0}, 24,
+                    tp[static_cast<std::size_t>(k)].b, {10, tsub, 0, 1}});
+  }
+  topo->set_threads(threads);
+
+  // Per-shard frame digests; each tap runs only on its shard's worker.
+  std::vector<std::uint64_t> frame_digest(static_cast<std::size_t>(shards),
+                                          1469598103934665603ull);
+  for (int k = 0; k < shards; ++k) {
+    topo->ethernet_switch(static_cast<std::size_t>(k))
+        .set_frame_tap([&frame_digest, k](sim::SimTime at, const net::Frame& f) {
+          std::uint64_t h = frame_digest[static_cast<std::size_t>(k)] ^
+                            static_cast<std::uint64_t>(at.ns());
+          for (const std::uint8_t byte : f) h = (h ^ byte) * 1099511628211ull;
+          frame_digest[static_cast<std::size_t>(k)] = h;
+        });
+  }
+
+  std::vector<std::unique_ptr<app::SizedServer>> servers;
+  std::vector<std::unique_ptr<Workload>> loads;
+  for (int k = 0; k < shards; ++k) {
+    harness::Cell& cell = topo->cell(static_cast<std::size_t>(k));
+    servers.emplace_back(std::make_unique<app::SizedServer>(
+        cell.primary_stack(), cell.service_port()));
+    servers.emplace_back(std::make_unique<app::SizedServer>(
+        cell.backup_stack(), cell.service_port()));
+    WorkloadConfig wc;
+    wc.arrivals = WorkloadConfig::Arrivals::kClosedLoop;
+    wc.closed_clients = per_shard;
+    wc.max_concurrent = per_shard;
+    wc.think_mean = sim::Duration::millis(20);
+    wc.flow_min_bytes = 4 * 1024;
+    wc.flow_max_bytes = 64 * 1024;
+    wc.duration = duration;
+    const net::SocketAddr own = cell.connect_addr();
+    const net::SocketAddr next =
+        topo->cell(static_cast<std::size_t>((k + 1) % shards)).connect_addr();
+    wc.target_for = [own, next](std::uint64_t flow_id, std::size_t) {
+      return flow_id % 4 == 3 ? next : own;
+    };
+    Topology::HostEntry& client = topo->host(static_cast<std::size_t>(k));
+    loads.emplace_back(std::make_unique<Workload>(
+        topo->world(static_cast<std::size_t>(k)), *client.stack, client.ip,
+        own, wc));
+    loads.back()->start();
+  }
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  topo->run_for(duration);
+  for (int i = 0; i < 600; ++i) {
+    bool done = true;
+    for (const auto& wl : loads) done = done && wl->drained();
+    if (done) break;
+    topo->run_for(sim::Duration::millis(100));
+  }
+  const auto wall1 = std::chrono::steady_clock::now();
+
+  ParallelResult out;
+  out.wall_s = std::chrono::duration<double>(wall1 - wall0).count();
+  out.drained = true;
+  for (int k = 0; k < shards; ++k) {
+    const auto& wl = *loads[static_cast<std::size_t>(k)];
+    out.digests.push_back(wl.digest() ^
+                          frame_digest[static_cast<std::size_t>(k)]);
+    out.completed += wl.stats().completed;
+    out.resets += wl.stats().resets;
+    out.drained = out.drained && wl.drained();
+  }
+  return out;
+}
+
 int run(int argc, char** argv) {
   JsonSink json(argc, argv);
   bool quick = false;
@@ -425,6 +573,46 @@ int run(int argc, char** argv) {
   if (!failed) {
     std::cout << "\nShard independence held: one dead primary, zero client "
                  "RSTs, neighbours within noise.\n";
+  }
+
+  // --- Part 4: parallel engine — digest identity + wall-clock speedup -------
+  print_header(
+      "Parallel engine: 4-shard ring, same seed at 1/2/4 worker threads",
+      "conservative windowed executor — per-shard digests must be "
+      "bit-identical at every thread count; wall-clock speedup is hardware-"
+      "bound reporting, not an acceptance bar");
+
+  const int pshards = 4;
+  const std::size_t pclients = quick ? 128 : 2048;
+  const sim::Duration pduration =
+      quick ? sim::Duration::seconds(1) : sim::Duration::seconds(3);
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  Table par({"threads", "hw_cores", "shards", "conns", "completed", "resets",
+             "wall_s", "speedup", "digests_match", "drained"});
+  ParallelResult serial;
+  for (const int threads : {1, 2, 4}) {
+    const ParallelResult res = run_parallel_fabric(
+        pshards, pclients, 7700, threads, pduration);
+    bool match = true;
+    if (threads == 1) {
+      serial = res;
+    } else {
+      match = res.digests == serial.digests;
+    }
+    par.row(threads, hw, pshards,
+            pclients * static_cast<std::size_t>(pshards), res.completed,
+            res.resets, res.wall_s, serial.wall_s / res.wall_s, ok(match),
+            ok(res.drained));
+    if (!match || res.resets != 0 || !res.drained) failed = true;
+  }
+  par.print();
+  json.table(par, "parallel_engine");
+  if (hw < 4) {
+    std::cout << "\nNOTE: " << hw << " hardware core(s) — the threaded runs "
+                 "time-slice one core, so speedup <= 1 is the expected "
+                 "result here; the digest columns are the correctness "
+                 "claim.\n";
   }
   return failed ? 1 : 0;
 }

@@ -3,15 +3,20 @@
 // transfer (simulated seconds per wall second).
 #include <benchmark/benchmark.h>
 
+#include <queue>
+
 #include "app/client.h"
 #include "app/server.h"
 #include "harness/scenario.h"
 #include "net/checksum.h"
 #include "net/nic.h"
 #include "net/switch.h"
+#include "sim/random.h"
+#include "sim/timer_wheel.h"
 #include "sttcp/messages.h"
 #include "tcp/reassembly.h"
 #include "tcp/segment.h"
+#include "tcp/stack.h"
 
 namespace sttcp {
 namespace {
@@ -181,6 +186,154 @@ void BM_EventLoopScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
 }
 BENCHMARK(BM_EventLoopScheduleRun);
+
+void BM_TcpSegmentSerializeRetransmit(benchmark::State& state) {
+  // The RFC 1624 retransmit fast path: same byte range re-serialized with a
+  // warm ChecksumMemo — two incremental word updates instead of re-summing
+  // 1460 payload bytes. Compare against BM_TcpSegmentSerialize.
+  tcp::TcpSegment seg;
+  seg.payload = net::Bytes(1460, 0x5a);
+  seg.flags.ack = true;
+  const net::Ipv4Addr a(10, 0, 0, 1), b(10, 0, 0, 2);
+  tcp::TcpSegment::ChecksumMemo memo;
+  benchmark::DoNotOptimize(seg.serialize(a, b, memo));  // warm the memo
+  std::uint32_t ack = 0;
+  for (auto _ : state) {
+    seg.ack = ++ack;  // each retransmission carries a moved ACK field
+    benchmark::DoNotOptimize(seg.serialize(a, b, memo));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1480);
+}
+BENCHMARK(BM_TcpSegmentSerializeRetransmit);
+
+void BM_ChecksumUpdate(benchmark::State& state) {
+  // The raw RFC 1624 word update (the unit the fast path is built from).
+  std::uint16_t hc = 0xdd2f;
+  std::uint16_t w = 0;
+  for (auto _ : state) {
+    hc = net::checksum_update(hc, w, static_cast<std::uint16_t>(w + 1));
+    ++w;
+    benchmark::DoNotOptimize(hc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChecksumUpdate);
+
+// Demux rig: a stack with `conns` active connections on a NIC-less host
+// (SYNs are dropped at send_ip, which is fine — the connection table is
+// what the benchmark needs). Lookups replay the tuples round-robin, the
+// pattern a busy receive path sees.
+struct DemuxRig {
+  DemuxRig(int conns) : host(world, "h") {
+    host.add_ip(net::Ipv4Addr(10, 0, 0, 1));
+    stack = std::make_unique<tcp::TcpStack>(host, tcp::TcpConfig{});
+    for (int i = 0; i < conns; ++i) {
+      net::SocketAddr remote{
+          net::Ipv4Addr(10, 1, static_cast<std::uint8_t>(i >> 8),
+                        static_cast<std::uint8_t>(i)),
+          80};
+      tcp::TcpConnection& c =
+          stack->connect(net::Ipv4Addr(10, 0, 0, 1), remote, {});
+      tuples.push_back(c.tuple());
+    }
+  }
+  sim::World world;
+  net::Host host;
+  std::unique_ptr<tcp::TcpStack> stack;
+  std::vector<tcp::FourTuple> tuples;
+};
+
+void BM_Demux(benchmark::State& state) {
+  // Per-segment connection demux through the flat slot cache (steady state:
+  // every lookup after the first per tuple is a cache hit unless two tuples
+  // collide on a slot).
+  DemuxRig rig(static_cast<int>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.stack->find(rig.tuples[i]));
+    if (++i == rig.tuples.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Demux)->Arg(1)->Arg(256)->Arg(2048);
+
+void BM_DemuxMapBaseline(benchmark::State& state) {
+  // What every lookup cost before the cache: the unordered_map probe
+  // (std::hash<FourTuple> + bucket walk + full tuple compare).
+  DemuxRig rig(static_cast<int>(state.range(0)));
+  std::unordered_map<tcp::FourTuple, tcp::TcpConnection*> map;
+  for (const auto& t : rig.tuples) map.emplace(t, rig.stack->find(t));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(rig.tuples[i]));
+    if (++i == rig.tuples.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DemuxMapBaseline)->Arg(1)->Arg(256)->Arg(2048);
+
+// ---------------------------------------------------------------------------
+// Timer churn: the hierarchical wheel vs the binary heap it replaced.
+// Workload: `armed` timers stay armed; each operation pops the earliest and
+// re-arms it a pseudo-random RTO-ish interval later — the ACK-clock pattern
+// a loaded TCP stack drives (every ACK cancels + re-arms the connection's
+// retransmission timer).
+// ---------------------------------------------------------------------------
+
+/// The pre-wheel EventLoop queue, preserved as a baseline: a std::push_heap/
+/// pop_heap binary heap over (at, seq).
+struct BaselineSlotHeap {
+  struct Order {
+    bool operator()(const sim::WheelEntry& x, const sim::WheelEntry& y) const {
+      if (x.at.ns() != y.at.ns()) return x.at.ns() > y.at.ns();
+      return x.seq > y.seq;
+    }
+  };
+  void push(sim::WheelEntry e) {
+    v.push_back(e);
+    std::push_heap(v.begin(), v.end(), Order{});
+  }
+  sim::WheelEntry pop_min() {
+    std::pop_heap(v.begin(), v.end(), Order{});
+    sim::WheelEntry e = v.back();
+    v.pop_back();
+    return e;
+  }
+  std::vector<sim::WheelEntry> v;
+};
+
+template <typename Queue>
+void timer_churn(benchmark::State& state, Queue& q) {
+  const int armed = static_cast<int>(state.range(0));
+  sim::Rng rng(42);
+  std::uint64_t seq = 0;
+  sim::SimTime now = sim::SimTime::zero();
+  const auto next_deadline = [&] {
+    // 1 us .. ~64 ms ahead: spans wheel levels 0-5 like real RTO/keepalive
+    // timer mixes do.
+    return now + sim::Duration::nanos(
+                     1024 + static_cast<std::int64_t>(rng.below(1 << 26)));
+  };
+  for (int i = 0; i < armed; ++i) q.push({next_deadline(), seq++, 0, 0});
+  for (auto _ : state) {
+    sim::WheelEntry e = q.pop_min();
+    now = e.at;
+    q.push({next_deadline(), seq++, 0, 0});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_TimerWheelChurn(benchmark::State& state) {
+  sim::TimerWheel wheel;
+  timer_churn(state, wheel);
+}
+BENCHMARK(BM_TimerWheelChurn)->Arg(100)->Arg(10000);
+
+void BM_TimerHeapChurnBaseline(benchmark::State& state) {
+  BaselineSlotHeap heap;
+  timer_churn(state, heap);
+}
+BENCHMARK(BM_TimerHeapChurnBaseline)->Arg(100)->Arg(10000);
 
 void BM_SimulatedTransferThroughput(benchmark::State& state) {
   // How much simulated work one wall-clock second buys: a full 10 MB

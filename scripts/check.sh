@@ -14,8 +14,13 @@
 # (router death + inter-subnet partition under churn, docs/ROUTING.md) in
 # the Release lane. The default lane also runs the doc link checker.
 #
+# With --tsan, build the ThreadSanitizer configuration and run the parallel
+# shard-executor and determinism tests under it — the proof that the
+# conservative window/barrier protocol has no data races.
+#
 #   scripts/check.sh             # build + full ctest + doc link check
 #   scripts/check.sh --asan      # additionally: sanitizer lane
+#   scripts/check.sh --tsan      # additionally: TSan parallel-engine lane
 #   scripts/check.sh --release   # additionally: -O2 lane + bench smoke
 #   scripts/check.sh --chaos     # additionally: 64-seed adversarial fuzz lane
 #   scripts/check.sh --scale     # additionally: churn capacity smoke lane
@@ -41,6 +46,14 @@ for arg in "$@"; do
       # seed budget under ASan — each seed is ~5x slower instrumented.
       STTCP_CHAOS_SEEDS=12 ctest --test-dir build-asan --output-on-failure \
         -j "$JOBS" -R 'sttcp|obs|chaos|impairment'
+      ;;
+    --tsan)
+      cmake -B build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSTTCP_SANITIZE=thread >/dev/null
+      cmake --build build-tsan -j "$JOBS"
+      # Everything that spawns worker threads: the shard executor, the
+      # sharded determinism digests, and the sweep-runner pool.
+      ctest --test-dir build-tsan --output-on-failure \
+        -j "$JOBS" -R 'parallel|determinism'
       ;;
     --release)
       cmake -B build-release -DCMAKE_BUILD_TYPE=Release >/dev/null

@@ -22,9 +22,11 @@ std::string member_name(const std::string& prefix, const char* role) {
 
 Cell::Cell(Topology& topo, int index, int switch_id, CellConfig cfg)
     : topo_(topo),
+      world_(&topo.build_world()),
       cfg_(std::move(cfg)),
       index_(index),
       switch_id_(switch_id),
+      shard_(topo.build_shard()),
       sttcp_enabled_(cfg_.enable_sttcp && topo.config().enable_sttcp) {
   const TopologyConfig& tc = topo_.config();
   if (cfg_.primary_mac == net::MacAddr()) cfg_.primary_mac = derived_mac(index_, false);
@@ -33,7 +35,7 @@ Cell::Cell(Topology& topo, int index, int switch_id, CellConfig cfg)
                        ? net::MacAddr::multicast_group(0x57 + static_cast<std::uint32_t>(index_))
                        : cfg_.multicast_group;
 
-  sim::World& world = topo_.world();
+  sim::World& world = *world_;
   net::EthernetSwitch& sw = topo_.ethernet_switch(static_cast<std::size_t>(switch_id_));
   net::PowerController& power =
       topo_.power(static_cast<std::size_t>(cfg_.power_controller));
@@ -78,7 +80,7 @@ Cell::~Cell() = default;
 void Cell::start() {
   const TopologyConfig& tc = topo_.config();
   // Serial null-modem cable between the servers (port 0 = primary).
-  serial_ = std::make_unique<net::SerialLink>(topo_.world(), tc.serial_baud);
+  serial_ = std::make_unique<net::SerialLink>(*world_, tc.serial_baud);
 
   primary_stack_ = std::make_unique<tcp::TcpStack>(*primary_, tc.tcp);
   backup_stack_ = std::make_unique<tcp::TcpStack>(*backup_, tc.tcp);

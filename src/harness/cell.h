@@ -84,6 +84,8 @@ class Cell {
   const CellConfig& config() const { return cfg_; }
   int index() const { return index_; }
   int switch_id() const { return switch_id_; }
+  /// The shard (world index) this cell was built into; 0 in a flat harness.
+  int shard() const { return shard_; }
   const std::string& name() const { return cfg_.name; }
 
   net::Host& primary() { return *primary_; }
@@ -116,9 +118,11 @@ class Cell {
 
  private:
   Topology& topo_;
+  sim::World* world_;  // the owning shard's world, captured at construction
   CellConfig cfg_;
   int index_;
   int switch_id_;
+  int shard_;
   bool sttcp_enabled_;
   net::MacAddr multicast_mac_;
 

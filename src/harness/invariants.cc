@@ -37,15 +37,18 @@ std::uint64_t InvariantChecker::fnv1a(const std::uint8_t* data, std::size_t n) {
   return h;
 }
 
-InvariantChecker::Scope InvariantChecker::scope_from(Topology& topo) {
-  if (topo.cell_count() == 0) {
-    throw std::logic_error("InvariantChecker: topology has no cell");
+InvariantChecker::Scope InvariantChecker::scope_from(Topology& topo,
+                                                     const Options& opt) {
+  if (static_cast<std::size_t>(opt.cell) >= topo.cell_count()) {
+    throw std::logic_error("InvariantChecker: topology has no such cell");
   }
   Scope s;
-  Cell& cell = topo.cell(0);
+  Cell& cell = topo.cell(static_cast<std::size_t>(opt.cell));
+  // The watched client: first stack-bearing host in the cell's own shard
+  // (for a flat topology that is simply the first stack-bearing host).
   Topology::HostEntry* client = nullptr;
   for (std::size_t i = 0; i < topo.host_count(); ++i) {
-    if (topo.host(i).with_stack) {
+    if (topo.host(i).with_stack && topo.host(i).shard == cell.shard()) {
       client = &topo.host(i);
       break;
     }
@@ -64,11 +67,15 @@ InvariantChecker::Scope InvariantChecker::scope_from(Topology& topo) {
   s.primary_ep = cell.primary_endpoint();
   s.backup_ep = cell.backup_endpoint();
   s.sw = &topo.ethernet_switch(static_cast<std::size_t>(cell.switch_id()));
-  // Every link except a logger host's, in creation order: for the classic
-  // facade shape that is client, primary, backup, gateway — the historical
-  // impairment pre-fork order the 200-seed chaos suite depends on.
+  // Every link in the cell's shard except a logger host's, in creation
+  // order: for the classic facade shape that is client, primary, backup,
+  // gateway — the historical impairment pre-fork order the 200-seed chaos
+  // suite depends on. Shard-locality matters twice: impairment creation
+  // forks that shard's RNG, and the corrupt taps must only ever fire on the
+  // shard's own thread.
   Topology::HostEntry* logger = topo.host_by_name("logger");
   for (std::size_t i = 0; i < topo.link_count(); ++i) {
+    if (topo.link_shard(i) != cell.shard()) continue;
     net::Link* l = &topo.link(i);
     if (logger != nullptr && l == logger->link) continue;
     s.links.push_back(l);
@@ -79,10 +86,10 @@ InvariantChecker::Scope InvariantChecker::scope_from(Topology& topo) {
 }
 
 InvariantChecker::InvariantChecker(Scenario& sc, Options opt)
-    : InvariantChecker(scope_from(sc.topology()), opt) {}
+    : InvariantChecker(scope_from(sc.topology(), opt), opt) {}
 
 InvariantChecker::InvariantChecker(Topology& topo, Options opt)
-    : InvariantChecker(scope_from(topo), opt) {}
+    : InvariantChecker(scope_from(topo, opt), opt) {}
 
 InvariantChecker::InvariantChecker(Scope scope, Options opt)
     : scope_(std::move(scope)), opt_(opt) {

@@ -73,6 +73,11 @@ class InvariantChecker {
     /// a busy link) when the survivor first transmits; within this window
     /// they are not split-brain.
     sim::Duration split_brain_grace = sim::Duration::millis(25);
+    /// Which cell the invariants are stated over. In a sharded fabric each
+    /// shard gets its own checker (cell k, watching only shard-k links and
+    /// the first stack-bearing client in that shard) — the checkers then run
+    /// safely on the shard's own executor thread.
+    int cell = 0;
   };
 
   /// Installs taps. Must be constructed before traffic starts and outlive the
@@ -80,13 +85,13 @@ class InvariantChecker {
   /// rng fork order is independent of which faults a plan happens to arm.
   InvariantChecker(Scenario& sc, Options opt);
 
-  /// Same checker against a one-cell Topology (the unit the invariants are
-  /// stated over): the first stack-bearing plain host is taken as the
-  /// client, cell 0 as the watched pair. Impairments are pre-created on
-  /// every link except a "logger" host's, in creation order — for a
-  /// facade-shaped topology that is the classic client/primary/backup/
-  /// gateway sequence. Throws std::logic_error if the topology has no cell
-  /// or no stack-bearing host.
+  /// Same checker against a Topology cell (the unit the invariants are
+  /// stated over): the first stack-bearing plain host in the cell's shard is
+  /// taken as the client, cell opt.cell as the watched pair. Impairments are
+  /// pre-created on every shard-local link except a "logger" host's, in
+  /// creation order — for a facade-shaped topology that is the classic
+  /// client/primary/backup/gateway sequence. Throws std::logic_error if the
+  /// topology has no such cell or no stack-bearing host in its shard.
   InvariantChecker(Topology& topo, Options opt);
 
   /// Evaluate end-of-run invariants and return everything that failed (the
@@ -124,7 +129,7 @@ class InvariantChecker {
     std::size_t hold_cap = 0;
     tcp::TcpConfig tcp;
   };
-  static Scope scope_from(Topology& topo);
+  static Scope scope_from(Topology& topo, const Options& opt);
 
   InvariantChecker(Scope scope, Options opt);
 

@@ -8,15 +8,62 @@ namespace sttcp::harness {
 // --- Topology ---------------------------------------------------------------
 
 Topology::Topology(TopologyConfig cfg) : cfg_(std::move(cfg)) {
-  world_ = std::make_unique<sim::World>(cfg_.seed, cfg_.log_out, cfg_.log_level);
+  worlds_.push_back(
+      std::make_unique<sim::World>(cfg_.seed, cfg_.log_out, cfg_.log_level));
   if (cfg_.enable_metrics) {
     metrics_ = std::make_unique<obs::MetricsRegistry>();
-    world_->set_metrics(metrics_.get());  // components bind as they construct
+    worlds_[0]->set_metrics(metrics_.get());  // components bind as they construct
   }
-  power_.push_back(std::make_unique<net::PowerController>(*world_));
+  power_.push_back(std::make_unique<net::PowerController>(*worlds_[0]));
+  power_shards_.push_back(0);
 }
 
 Topology::~Topology() = default;
+
+void Topology::run_for(sim::Duration d) {
+  if (worlds_.size() == 1) {
+    worlds_[0]->loop().run_for(d);
+    return;
+  }
+  ensure_executor();
+  executor_->run_until(worlds_[0]->loop().now() + d);
+}
+
+void Topology::set_threads(int n) {
+  threads_ = n < 1 ? 1 : n;
+  executor_.reset();  // rebuilt with the new pool on the next run_for
+}
+
+sim::Duration Topology::lookahead() const {
+  sim::Duration la = sim::Duration::zero();
+  for (const TrunkEntry& t : trunks_) {
+    if (la == sim::Duration::zero() || t.latency < la) la = t.latency;
+  }
+  // Trunkless multi-shard fabrics never exchange messages; any positive
+  // window works, so reuse the default link latency.
+  return la == sim::Duration::zero() ? cfg_.link_latency : la;
+}
+
+void Topology::ensure_executor() {
+  if (executor_ != nullptr) return;
+  std::vector<sim::ParallelExecutor::Shard> shards;
+  shards.reserve(worlds_.size());
+  for (std::size_t k = 0; k < worlds_.size(); ++k) {
+    sim::ParallelExecutor::Shard s;
+    s.loop = &worlds_[k]->loop();
+    // Drain every trunk ending in shard k, in trunk creation order — a fixed
+    // injection order is part of the determinism contract.
+    s.drain = [this, k](sim::SimTime horizon) {
+      for (TrunkEntry& t : trunks_) {
+        if (t.shard_a == static_cast<int>(k)) t.channel->drain_into_a(horizon);
+        if (t.shard_b == static_cast<int>(k)) t.channel->drain_into_b(horizon);
+      }
+    };
+    shards.push_back(std::move(s));
+  }
+  executor_ = std::make_unique<sim::ParallelExecutor>(std::move(shards),
+                                                      lookahead(), threads_);
+}
 
 Topology::HostEntry* Topology::host_by_name(const std::string& name) {
   for (HostEntry& h : hosts_) {
@@ -26,10 +73,15 @@ Topology::HostEntry* Topology::host_by_name(const std::string& name) {
 }
 
 net::Link* Topology::make_link(const std::string& name, std::uint64_t bandwidth_bps) {
-  auto link = std::make_unique<net::Link>(*world_, cfg_.link_latency, bandwidth_bps);
-  if (metrics_ != nullptr) link->bind_metrics(*metrics_, "net.link." + name);
+  auto link = std::make_unique<net::Link>(build_world(), cfg_.link_latency, bandwidth_bps);
+  // The registry is single-threaded; only shard 0's components bind live
+  // instruments (export_metrics still reads every shard's stats at rest).
+  if (metrics_ != nullptr && build_shard_ == 0) {
+    link->bind_metrics(*metrics_, "net.link." + name);
+  }
   links_.push_back(std::move(link));
   link_names_.push_back(name);
+  link_shards_.push_back(build_shard_);
   return links_.back().get();
 }
 
@@ -149,8 +201,9 @@ TopologyBuilder::TopologyBuilder(TopologyConfig cfg)
 int TopologyBuilder::add_switch(std::string name) {
   const int id = static_cast<int>(topo_->switches_.size());
   topo_->switches_.push_back(
-      std::make_unique<net::EthernetSwitch>(*topo_->world_, name));
+      std::make_unique<net::EthernetSwitch>(topo_->build_world(), name));
   topo_->switch_names_.push_back(std::move(name));
+  topo_->switch_shards_.push_back(topo_->build_shard_);
   if (id == 0 && !topo_->cfg_.pcap_path.empty()) {
     topo_->pcap_ = std::make_unique<obs::PcapWriter>(topo_->cfg_.pcap_path);
     topo_->switches_[0]->set_frame_tap(
@@ -168,11 +221,12 @@ int TopologyBuilder::add_host(std::string name, net::Ipv4Addr ip, int switch_id,
   e.ip = ip;
   e.switch_id = switch_id;
   e.with_stack = opt.with_stack;
+  e.shard = topo_->build_shard_;
   if (opt.mac == net::MacAddr()) {
     opt.mac = net::MacAddr::from_u64(0x02000000a001ull +
                                      static_cast<std::uint64_t>(auto_host_macs_++));
   }
-  e.host = std::make_unique<net::Host>(*topo_->world_, e.name);
+  e.host = std::make_unique<net::Host>(topo_->build_world(), e.name);
   net::Nic& nic = e.host->add_nic(opt.mac);
   e.host->add_ip(ip);
   const std::uint64_t bw = opt.link_bandwidth_bps != 0 ? opt.link_bandwidth_bps
@@ -195,14 +249,86 @@ int TopologyBuilder::add_cell(int switch_id, CellConfig cfg) {
 }
 
 int TopologyBuilder::add_power_controller() {
-  topo_->power_.push_back(std::make_unique<net::PowerController>(*topo_->world_));
+  topo_->power_.push_back(
+      std::make_unique<net::PowerController>(topo_->build_world()));
+  topo_->power_shards_.push_back(topo_->build_shard_);
   return static_cast<int>(topo_->power_.size() - 1);
 }
 
 int TopologyBuilder::add_router(std::string name) {
   topo_->routers_.push_back(
-      std::make_unique<net::Router>(*topo_->world_, std::move(name)));
+      std::make_unique<net::Router>(topo_->build_world(), std::move(name)));
+  topo_->router_shards_.push_back(topo_->build_shard_);
   return static_cast<int>(topo_->routers_.size() - 1);
+}
+
+int TopologyBuilder::begin_shard() {
+  const int k = static_cast<int>(topo_->worlds_.size());
+  // Golden-ratio spread keeps derived seeds distinct for any base seed while
+  // staying a pure function of (seed, shard) — reruns are reproducible.
+  const std::uint64_t seed =
+      topo_->cfg_.seed ^ (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(k));
+  topo_->worlds_.push_back(std::make_unique<sim::World>(
+      seed, topo_->cfg_.log_out, topo_->cfg_.log_level));
+  topo_->build_shard_ = k;
+  return k;
+}
+
+std::pair<int, int> TopologyBuilder::add_trunk(int router_a, int router_b,
+                                               net::Ipv4Addr ip_a,
+                                               net::Ipv4Addr ip_b,
+                                               TrunkOptions opt) {
+  Topology& t = *topo_;
+  const int shard_a = t.router_shards_.at(static_cast<std::size_t>(router_a));
+  const int shard_b = t.router_shards_.at(static_cast<std::size_t>(router_b));
+  if (shard_a == shard_b) {
+    throw std::logic_error("add_trunk: routers are in the same shard");
+  }
+  net::Router& ra = *t.routers_.at(static_cast<std::size_t>(router_a));
+  net::Router& rb = *t.routers_.at(static_cast<std::size_t>(router_b));
+  const std::uint64_t bw =
+      opt.bandwidth_bps != 0 ? opt.bandwidth_bps : t.cfg_.link_bandwidth_bps;
+
+  // One real Link per side, each owned by its own world (the ShardChannel
+  // claims port 1 of both; the routers attach to port 0). The side links
+  // carry bandwidth serialization only; the propagation latency lives in
+  // the channel itself so frames are queued a full lookahead ahead of their
+  // arrival timestamps (see net/shard_link.h).
+  const auto side_link = [&](net::Router& r, int shard) {
+    auto link = std::make_unique<net::Link>(*t.worlds_[static_cast<std::size_t>(shard)],
+                                            sim::Duration::zero(), bw);
+    const std::string name = r.name() + ".t" + std::to_string(r.port_count());
+    if (t.metrics_ != nullptr && shard == 0) {
+      link->bind_metrics(*t.metrics_, "net.link." + name);
+    }
+    t.links_.push_back(std::move(link));
+    t.link_names_.push_back(name);
+    t.link_shards_.push_back(shard);
+    return t.links_.back().get();
+  };
+  net::Link* la = side_link(ra, shard_a);
+  net::Link* lb = side_link(rb, shard_b);
+
+  auto channel = std::make_unique<net::ShardChannel>(
+      *t.worlds_[static_cast<std::size_t>(shard_a)],
+      *t.worlds_[static_cast<std::size_t>(shard_b)], la, lb, opt.latency);
+
+  const auto trunk_mac = [](net::Router& r, int router_id) {
+    return net::MacAddr::from_u64(0x0200000f0001ull +
+                                  (static_cast<std::uint64_t>(router_id) << 8) +
+                                  static_cast<std::uint64_t>(r.port_count()));
+  };
+  const net::MacAddr mac_a = trunk_mac(ra, router_a);
+  const int rport_a = ra.add_port(channel->port_a(), mac_a, ip_a);
+  const net::MacAddr mac_b = trunk_mac(rb, router_b);
+  const int rport_b = rb.add_port(channel->port_b(), mac_b, ip_b);
+  ra.add_connected(ip_a, opt.prefix_len, rport_a);
+  rb.add_connected(ip_b, opt.prefix_len, rport_b);
+  ra.arp_set(rport_a, ip_b, mac_b);
+  rb.arp_set(rport_b, ip_a, mac_a);
+
+  t.trunks_.push_back({shard_a, shard_b, std::move(channel), opt.latency});
+  return {rport_a, rport_b};
 }
 
 int TopologyBuilder::connect_router(int router_id, int switch_id,

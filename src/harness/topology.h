@@ -41,15 +41,18 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/cell.h"
 #include "net/host.h"
 #include "net/link.h"
 #include "net/router.h"
+#include "net/shard_link.h"
 #include "net/switch.h"
 #include "obs/metrics.h"
 #include "obs/pcap.h"
+#include "sim/parallel.h"
 #include "tcp/stack.h"
 
 namespace sttcp::harness {
@@ -86,7 +89,18 @@ struct HostOptions {
   /// boxes like the paper's gateway do not).
   bool with_stack = false;
   std::uint64_t link_bandwidth_bps = 0;  // 0 -> topology default
+  /// Must reference a controller in the host's own shard.
   int power_controller = 0;
+};
+
+/// Options for TopologyBuilder::add_trunk (a cross-shard router cable).
+struct TrunkOptions {
+  /// One-way latency per direction. This is what the parallel engine's
+  /// lookahead is derived from: the smallest trunk latency bounds the
+  /// conservative window, so longer trunks = fewer barriers.
+  sim::Duration latency = sim::Duration::micros(200);
+  std::uint64_t bandwidth_bps = 0;  // 0 -> topology default
+  int prefix_len = 30;              // the /30 point-to-point convention
 };
 
 class TopologyBuilder;
@@ -102,6 +116,7 @@ class Topology {
     int switch_id = 0;
     int port = 0;  // switch port index
     bool with_stack = false;
+    int shard = 0;
   };
   struct RouterPortEntry {
     int router = 0;
@@ -114,8 +129,24 @@ class Topology {
   Topology(const Topology&) = delete;
   Topology& operator=(const Topology&) = delete;
 
-  sim::World& world() { return *world_; }
-  void run_for(sim::Duration d) { world_->loop().run_for(d); }
+  /// Shard 0's world — the only world of a classic unsharded topology.
+  sim::World& world() { return *worlds_.front(); }
+  sim::World& world(std::size_t shard) { return *worlds_.at(shard); }
+  std::size_t shard_count() const { return worlds_.size(); }
+
+  /// Advance simulated time. One shard: the classic serial run. Multiple
+  /// shards: the conservative ParallelExecutor advances every shard's loop
+  /// in lockstep windows of the trunk-derived lookahead, draining the
+  /// cross-shard queues at each boundary — bit-identical results for any
+  /// thread count (see src/sim/parallel.h).
+  void run_for(sim::Duration d);
+  /// Worker threads for sharded runs (clamped to the shard count); call
+  /// before the first run_for, or between runs. Default 1.
+  void set_threads(int n);
+  int threads() const { return threads_; }
+  /// The conservative window width (minimum trunk latency).
+  sim::Duration lookahead() const;
+
   const TopologyConfig& config() const { return cfg_; }
 
   net::EthernetSwitch& ethernet_switch(std::size_t i = 0) { return *switches_.at(i); }
@@ -142,6 +173,10 @@ class Topology {
   net::Link& link(std::size_t i) { return *links_.at(i); }
   const std::string& link_name(std::size_t i) const { return link_names_.at(i); }
   std::size_t link_count() const { return links_.size(); }
+  int link_shard(std::size_t i) const { return link_shards_.at(i); }
+
+  net::ShardChannel& trunk(std::size_t i) { return *trunks_.at(i).channel; }
+  std::size_t trunk_count() const { return trunks_.size(); }
 
   // --- telemetry ----------------------------------------------------------
   obs::MetricsRegistry* metrics() { return metrics_.get(); }
@@ -153,28 +188,50 @@ class Topology {
   void export_metrics();
   std::string metrics_json();
 
-  /// Create a Link with topology defaults, bind its metrics, take ownership
-  /// and return it. Builder/Cell plumbing — not for use after build().
+  /// Create a Link with topology defaults in the build-current shard's
+  /// world, bind its metrics (shard 0 only), take ownership and return it.
+  /// Builder/Cell plumbing — not for use after build().
   net::Link* make_link(const std::string& name, std::uint64_t bandwidth_bps);
+
+  /// The world components under construction belong to (worlds_[build_shard_]).
+  sim::World& build_world() { return *worlds_.at(static_cast<std::size_t>(build_shard_)); }
+  int build_shard() const { return build_shard_; }
 
  private:
   friend class TopologyBuilder;
   friend class Cell;
   explicit Topology(TopologyConfig cfg);
 
+  void ensure_executor();
+
+  struct TrunkEntry {
+    int shard_a = 0;
+    int shard_b = 0;
+    std::unique_ptr<net::ShardChannel> channel;
+    sim::Duration latency;
+  };
+
   TopologyConfig cfg_;
-  std::unique_ptr<obs::MetricsRegistry> metrics_;  // before world_: outlives it
+  std::unique_ptr<obs::MetricsRegistry> metrics_;  // before worlds_: outlives them
   std::unique_ptr<obs::PcapWriter> pcap_;
-  std::unique_ptr<sim::World> world_;
+  std::vector<std::unique_ptr<sim::World>> worlds_;  // [0] = the classic world
+  int build_shard_ = 0;
   std::vector<std::unique_ptr<net::EthernetSwitch>> switches_;
   std::vector<std::string> switch_names_;
+  std::vector<int> switch_shards_;
   std::vector<std::unique_ptr<net::PowerController>> power_;
+  std::vector<int> power_shards_;
   std::vector<std::unique_ptr<net::Router>> routers_;
+  std::vector<int> router_shards_;
   std::vector<std::unique_ptr<net::Link>> links_;
   std::vector<std::string> link_names_;
+  std::vector<int> link_shards_;
   std::vector<HostEntry> hosts_;
   std::vector<RouterPortEntry> router_ports_;
-  std::vector<std::unique_ptr<Cell>> cells_;  // last: reference all the above
+  std::vector<TrunkEntry> trunks_;                 // reference links_ + worlds_
+  std::vector<std::unique_ptr<Cell>> cells_;       // last: reference all the above
+  int threads_ = 1;
+  std::unique_ptr<sim::ParallelExecutor> executor_;  // built on first sharded run
 };
 
 /// Eager builder: components exist (and fork the world RNG) in call order.
@@ -205,6 +262,26 @@ class TopologyBuilder {
   /// of every host on that switch.
   int connect_router(int router_id, int switch_id, net::Ipv4Addr port_ip,
                      int prefix_len = 24, net::MacAddr mac = net::MacAddr());
+
+  /// Open a new shard: a fresh World (derived seed) that every subsequent
+  /// add_* call builds into, running on its own thread under the parallel
+  /// executor. A shard is an island — its switches, hosts, cells, routers
+  /// and STONITH controllers must all be created inside it (add one with
+  /// add_power_controller(); controller 0 belongs to shard 0) — connected to
+  /// the rest of the fabric only through add_trunk. Returns the shard index.
+  int begin_shard();
+
+  /// Point-to-point cable between two routers in *different* shards: one
+  /// net::Link per side (latency/bandwidth/stats as usual) bridged by a
+  /// ShardChannel (net/shard_link.h). Installs both router ports, their
+  /// connected /30 routes and the peer ARP entries; remote prefixes still
+  /// need add_route(..., next_hop) like any router cable. The trunk carries
+  /// the fabric's lookahead: opt.latency must stay >= the executor window
+  /// you want, and trunk links must never get reorder/jitter impairments.
+  /// Returns {port index on a, port index on b}.
+  std::pair<int, int> add_trunk(int router_a, int router_b,
+                                net::Ipv4Addr ip_a, net::Ipv4Addr ip_b,
+                                TrunkOptions opt = {});
 
   /// Peek during build (addressing, world). The reference stays valid after
   /// build() — the Topology is heap-allocated from the start.

@@ -43,6 +43,10 @@ class Link {
   class Port {
    public:
     void set_sink(FrameSink* sink) { sink_ = sink; }
+    /// Whatever is attached to this port (null before attachment). The
+    /// cross-shard channel uses this to inject frames into the attachee as
+    /// if they had crossed the link in-world.
+    FrameSink* sink() const { return sink_; }
     /// Transmit a frame toward the other side of the link. Sending the same
     /// Frame out several ports shares one buffer (refcount, not copy).
     void send(Frame frame) { link_->transmit(index_, std::move(frame)); }

@@ -1,0 +1,41 @@
+#include "net/shard_link.h"
+
+namespace sttcp::net {
+
+ShardChannel::ShardChannel(sim::World& world_a, sim::World& world_b,
+                           Link* link_a, Link* link_b, sim::Duration latency)
+    : world_a_(world_a), world_b_(world_b), link_a_(link_a), link_b_(link_b) {
+  sink_to_b_.world = &world_a_;
+  sink_to_b_.queue = &to_b_;
+  sink_to_b_.latency = latency;
+  link_a_->port(1).set_sink(&sink_to_b_);
+  sink_to_a_.world = &world_b_;
+  sink_to_a_.queue = &to_a_;
+  sink_to_a_.latency = latency;
+  link_b_->port(1).set_sink(&sink_to_a_);
+}
+
+void ShardChannel::drain(sim::SpscQueue<Timestamped>& queue, sim::World& world,
+                         Link::Port& deliver_port, sim::SimTime horizon) {
+  while (Timestamped* head = queue.front()) {
+    if (head->at >= horizon) break;  // monotone queue: nothing earlier behind
+    FrameSink* sink = deliver_port.sink();
+    if (sink != nullptr) {
+      world.loop().schedule_at(
+          head->at, [sink, frame = std::move(head->frame)]() mutable {
+            sink->deliver_frame(std::move(frame));
+          });
+    }
+    queue.pop();
+  }
+}
+
+void ShardChannel::drain_into_a(sim::SimTime horizon) {
+  drain(to_a_, world_a_, link_a_->port(0), horizon);
+}
+
+void ShardChannel::drain_into_b(sim::SimTime horizon) {
+  drain(to_b_, world_b_, link_b_->port(0), horizon);
+}
+
+}  // namespace sttcp::net

@@ -1,0 +1,102 @@
+// Cross-shard link endpoints: the only place two simulated worlds touch.
+//
+// A ShardChannel models one point-to-point cable whose two ends live in
+// different shards (worlds) of a partitioned topology. Each end is a real
+// net::Link owned by its own world — bandwidth serialization, drop
+// probability and stats all behave exactly as on an in-world link — but
+// instead of delivering inline to the far port's sink, the delivery event
+// pushes the frame stamped `now + latency` onto a single-producer/
+// single-consumer queue. The destination shard's drain step (run by the
+// parallel executor at every window boundary, or inline in a 1-thread run)
+// pops everything below the window horizon and schedules it into the
+// destination loop at the recorded arrival time, delivering to whatever is
+// attached to the far link's port — the receiver cannot tell the frame
+// crossed a thread boundary.
+//
+// The cable's propagation latency is applied HERE, not on the member links
+// (which are built with zero latency and model serialization only). That
+// split is what makes the conservative window protocol sound: a frame is
+// pushed at its producer-side transmit-completion time and stamped
+// `latency` later, so every queue entry is visible at least one full
+// lookahead before its timestamp. Any entry stamped inside window w was
+// therefore pushed before window w-1's end-of-window barrier, and the drain
+// at w's start deterministically sees it — independent of how worker
+// threads interleave. (If the latency rode on the producer link instead,
+// the push would happen AT the arrival timestamp and the drain would see a
+// frame stamped inside the current window only if its producer shard
+// happened to have run first — a thread-timing-dependent result.)
+//
+// Constraints the conservative engine relies on:
+//   * each direction's latency must be >= the executor lookahead (the
+//     lookahead is derived as the minimum trunk latency);
+//   * arrival timestamps per direction are monotone — so the reordering /
+//     jitter impairments must never be armed on a trunk link (the drain
+//     consumes a timestamp-prefix of the queue).
+#pragma once
+
+#include <memory>
+
+#include "net/frame.h"
+#include "net/link.h"
+#include "sim/spsc.h"
+#include "sim/time.h"
+#include "sim/world.h"
+
+namespace sttcp::net {
+
+class ShardChannel {
+ public:
+  /// `link_a` lives in `world_a` (shard A), `link_b` in `world_b`; both
+  /// must be zero-latency (serialization-only) — `latency` is the one-way
+  /// propagation delay the channel adds per direction. Side A attaches its
+  /// device (router port, NIC, switch) to link_a->port(0) and transmits
+  /// through it; deliveries pop out of link_b->port(0)'s sink in shard B,
+  /// and vice versa. The channel claims port(1) of both links.
+  ShardChannel(sim::World& world_a, sim::World& world_b, Link* link_a,
+               Link* link_b, sim::Duration latency);
+
+  /// The ports devices attach to (exactly like an in-world link).
+  Link::Port& port_a() { return link_a_->port(0); }
+  Link::Port& port_b() { return link_b_->port(0); }
+
+  Link& link_a() { return *link_a_; }
+  Link& link_b() { return *link_b_; }
+
+  /// Inject every queued frame with arrival time < horizon into the
+  /// destination shard's loop. Must be called from the thread that owns the
+  /// destination shard, with no concurrent access to that shard.
+  void drain_into_a(sim::SimTime horizon);
+  void drain_into_b(sim::SimTime horizon);
+
+ private:
+  struct Timestamped {
+    sim::SimTime at;
+    Frame frame;
+  };
+  /// The far-port sink of the producer-side link: stamps the frame with
+  /// `transmit completion + propagation latency` and hands it to the queue.
+  /// Pushing at completion time (not arrival time) is the lookahead margin
+  /// the executor's windows depend on — see the file comment.
+  struct QueueSink final : FrameSink {
+    sim::World* world = nullptr;
+    sim::SpscQueue<Timestamped>* queue = nullptr;
+    sim::Duration latency;
+    void deliver_frame(Frame frame) override {
+      queue->push({world->now() + latency, std::move(frame)});
+    }
+  };
+
+  static void drain(sim::SpscQueue<Timestamped>& queue, sim::World& world,
+                    Link::Port& deliver_port, sim::SimTime horizon);
+
+  sim::World& world_a_;
+  sim::World& world_b_;
+  Link* link_a_;
+  Link* link_b_;
+  sim::SpscQueue<Timestamped> to_b_;  // produced by shard A, consumed by B
+  sim::SpscQueue<Timestamped> to_a_;
+  QueueSink sink_to_b_;  // attached to link_a_->port(1)
+  QueueSink sink_to_a_;  // attached to link_b_->port(1)
+};
+
+}  // namespace sttcp::net

@@ -1,6 +1,5 @@
 #include "sim/event_loop.h"
 
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -20,8 +19,7 @@ TimerId EventLoop::schedule_at(SimTime t, Callback cb) {
     cbs_.push_back(std::move(cb));
   }
   const std::uint32_t gen = gens_[slot];
-  heap_.push_back(Entry{t, next_seq_++, slot, gen});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  wheel_.push(WheelEntry{t, next_seq_++, slot, gen});
   ++live_;
   return (static_cast<TimerId>(slot) << 32) | gen;
 }
@@ -30,35 +28,28 @@ bool EventLoop::cancel(TimerId id) {
   const auto slot = static_cast<std::uint32_t>(id >> 32);
   const auto gen = static_cast<std::uint32_t>(id);
   if (slot >= gens_.size() || gens_[slot] != gen || gen == 0) return false;
-  // Invalidate: the heap entry (still queued) no longer matches and will be
-  // discarded when it surfaces; the slot is recycled at that point.
+  // Invalidate: the wheel entry (still bucketed) no longer matches and will
+  // be discarded when it surfaces; the slot is recycled at that point.
   if (++gens_[slot] == 0) gens_[slot] = 1;
   --live_;
-  // Bound the dead-entry backlog: when stale entries dominate the heap,
-  // sweep them out instead of waiting for each to surface at the top.
-  if (heap_.size() >= 64 && heap_.size() > 2 * (live_ + 32)) compact();
+  // Bound the dead-entry backlog: when stale entries dominate the wheel,
+  // sweep them out instead of waiting for each to surface.
+  if (wheel_.size() >= 64 && wheel_.size() > 2 * (live_ + 32)) compact();
   return true;
 }
 
 void EventLoop::compact() {
-  std::size_t kept = 0;
-  for (const Entry& e : heap_) {
-    if (gens_[e.slot] == e.gen) {
-      heap_[kept++] = e;
-    } else {
-      cbs_[e.slot] = nullptr;  // destroy the cancelled callback's captures
-      free_slots_.push_back(e.slot);
-    }
-  }
-  heap_.resize(kept);
-  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  wheel_.sweep(
+      [this](const WheelEntry& e) { return gens_[e.slot] != e.gen; },
+      [this](const WheelEntry& e) {
+        cbs_[e.slot] = nullptr;  // destroy the cancelled callback's captures
+        free_slots_.push_back(e.slot);
+      });
 }
 
-EventLoop::Entry EventLoop::pop_top() {
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  const Entry e = heap_.back();
-  heap_.pop_back();
-  // The slot's only heap entry is gone: retire the generation (so the
+WheelEntry EventLoop::pop_top() {
+  const WheelEntry e = wheel_.pop_min();
+  // The slot's only wheel entry is gone: retire the generation (so the
   // original TimerId can no longer cancel anything) and free the slot.
   if (gens_[e.slot] == e.gen) {
     if (++gens_[e.slot] == 0) gens_[e.slot] = 1;
@@ -68,16 +59,19 @@ EventLoop::Entry EventLoop::pop_top() {
 }
 
 void EventLoop::drop_stale_top() {
-  while (!heap_.empty() && gens_[heap_.front().slot] != heap_.front().gen) {
-    const Entry e = pop_top();
+  while (!wheel_.empty()) {
+    const WheelEntry& top = wheel_.peek_min();
+    if (gens_[top.slot] == top.gen) break;
+    const WheelEntry e = pop_top();
     cbs_[e.slot] = nullptr;  // destroy the cancelled callback's captures now
   }
 }
 
 bool EventLoop::step() {
-  while (!heap_.empty()) {
-    const bool was_live = gens_[heap_.front().slot] == heap_.front().gen;
-    const Entry e = pop_top();
+  while (!wheel_.empty()) {
+    const WheelEntry& top = wheel_.peek_min();
+    const bool was_live = gens_[top.slot] == top.gen;
+    const WheelEntry e = pop_top();
     // Take the callback out before running it: it may reuse the freed slot.
     const Callback cb = std::move(cbs_[e.slot]);
     if (!was_live) continue;  // cancelled: discard silently
@@ -108,7 +102,19 @@ std::uint64_t EventLoop::run_until(SimTime t) {
   while (!stopped_) {
     // Skip over cancelled entries to find the true next timestamp.
     drop_stale_top();
-    if (heap_.empty() || heap_.front().at > t) break;
+    if (wheel_.empty() || wheel_.peek_min().at > t) break;
+    if (step()) ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+std::uint64_t EventLoop::run_before(SimTime t) {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_) {
+    drop_stale_top();
+    if (wheel_.empty() || wheel_.peek_min().at >= t) break;
     if (step()) ++n;
   }
   if (now_ < t) now_ = t;

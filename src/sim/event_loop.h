@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "sim/timer_wheel.h"
 
 namespace sttcp::sim {
 
@@ -57,6 +58,13 @@ class EventLoop {
   /// Run all events with timestamp <= t, then set the clock to exactly t.
   std::uint64_t run_until(SimTime t);
 
+  /// Run all events with timestamp strictly < t, then set the clock to
+  /// exactly t. Events at t itself stay pending (they run first on the next
+  /// call). This is the conservative parallel executor's window primitive:
+  /// a window [a, b) must not execute boundary events that could still
+  /// receive same-timestamp cross-shard injections at b.
+  std::uint64_t run_before(SimTime t);
+
   /// Run all events within the next `d` of virtual time.
   std::uint64_t run_for(Duration d) { return run_until(now_ + d); }
 
@@ -74,39 +82,29 @@ class EventLoop {
   void set_event_budget(std::uint64_t budget) { budget_ = budget; }
 
  private:
-  // Heap entries are small PODs; the callback lives in a slot-indexed side
-  // vector (sift operations move 24 bytes, not a std::function). No per-event
-  // hash traffic. Cancellation is lazy: cancel() bumps the slot's generation
-  // so the entry is recognized as stale and discarded when it reaches the
-  // top of the heap. A slot is returned to the free list only when its entry
-  // leaves the heap, so at most one heap entry ever references a slot.
-  struct Entry {
-    SimTime at;
-    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    std::uint32_t slot;
-    std::uint32_t gen;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+  // Pending events live in a hierarchical timing wheel (sim/timer_wheel.h)
+  // as small POD entries; the callback lives in a slot-indexed side vector.
+  // Arm and cancel are O(1): cancel() bumps the slot's generation so the
+  // wheel entry is recognized as stale and discarded when it surfaces. A
+  // slot is returned to the free list only when its entry leaves the wheel,
+  // so at most one wheel entry ever references a slot. The wheel pops in
+  // strict (at, seq) order — the same total order the old binary heap used,
+  // so scenarios are bit-identical across the swap.
 
-  /// Pop the top heap entry and release its slot; returns the entry.
-  Entry pop_top();
-  /// Discard stale (cancelled) entries sitting on top of the heap.
+  /// Pop the earliest wheel entry and release its slot; returns the entry.
+  WheelEntry pop_top();
+  /// Discard stale (cancelled) entries at the front of the wheel.
   void drop_stale_top();
-  /// Remove every stale entry from the heap in one pass and rebuild it.
-  /// Lazy cancellation leaves one dead entry per cancel until it surfaces;
-  /// workloads that re-arm timers constantly (an RTO re-armed on every ACK
-  /// across thousands of churning connections) would otherwise grow the heap
-  /// far past the live event count. Rebuilding cannot change execution order:
-  /// (at, seq) is a total order, so pop order is independent of heap shape.
+  /// Remove every stale entry from the wheel in one pass. Lazy cancellation
+  /// leaves one dead entry per cancel until it surfaces; workloads that
+  /// re-arm timers constantly (an RTO re-armed on every ACK across thousands
+  /// of churning connections) would otherwise grow the wheel far past the
+  /// live event count. Sweeping cannot change execution order: (at, seq) is
+  /// a total order, so pop order is independent of bucket contents.
   void compact();
 
   SimTime now_;
-  std::vector<Entry> heap_;        // binary min-heap on (at, seq)
+  TimerWheel wheel_;
   std::vector<std::uint32_t> gens_;  // slot -> current live generation
   std::vector<Callback> cbs_;        // slot -> pending callback
   std::vector<std::uint32_t> free_slots_;

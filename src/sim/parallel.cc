@@ -1,0 +1,71 @@
+#include "sim/parallel.h"
+
+#include <barrier>
+#include <stdexcept>
+#include <thread>
+
+namespace sttcp::sim {
+
+ParallelExecutor::ParallelExecutor(std::vector<Shard> shards, Duration lookahead,
+                                   int threads)
+    : shards_(std::move(shards)), lookahead_(lookahead) {
+  if (shards_.empty()) throw std::logic_error("ParallelExecutor: no shards");
+  if (lookahead_ <= Duration::zero()) {
+    throw std::logic_error("ParallelExecutor: lookahead must be positive");
+  }
+  threads_ = threads < 1 ? 1 : threads;
+  if (threads_ > static_cast<int>(shards_.size())) {
+    threads_ = static_cast<int>(shards_.size());
+  }
+}
+
+void ParallelExecutor::worker(int index, SimTime start, SimTime t, void* barrier) {
+  auto* bar = static_cast<std::barrier<>*>(barrier);
+  SimTime end = start;
+  while (end < t) {
+    SimTime next = end + lookahead_;
+    if (next > t) next = t;
+    const bool final_window = next == t;
+    // The drain horizon is always exclusive: an arrival stamped exactly at a
+    // window boundary may still be racing out of its producer (sent at the
+    // first instant of the same window), so taking it now would depend on
+    // thread timing. It is injected by the next window's (or next call's)
+    // drain instead, still at its own timestamp.
+    for (std::size_t i = static_cast<std::size_t>(index); i < shards_.size();
+         i += static_cast<std::size_t>(threads_)) {
+      Shard& s = shards_[i];
+      if (s.drain) s.drain(next);
+      if (final_window) {
+        s.loop->run_until(t);
+      } else {
+        s.loop->run_before(next);
+      }
+    }
+    if (bar != nullptr) bar->arrive_and_wait();
+    end = next;
+  }
+}
+
+void ParallelExecutor::run_until(SimTime t) {
+  SimTime start = shards_.front().loop->now();
+  for (const Shard& s : shards_) {
+    if (s.loop->now() != start) {
+      throw std::logic_error("ParallelExecutor: shard clocks out of lockstep");
+    }
+  }
+  if (t <= start) return;
+  if (threads_ == 1) {
+    worker(0, start, t, nullptr);
+    return;
+  }
+  std::barrier<> bar(threads_);
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int w = 1; w < threads_; ++w) {
+    pool.emplace_back([this, w, start, t, &bar] { worker(w, start, t, &bar); });
+  }
+  worker(0, start, t, &bar);
+  for (std::thread& th : pool) th.join();
+}
+
+}  // namespace sttcp::sim

@@ -1,0 +1,77 @@
+// Conservative parallel discrete-event executor.
+//
+// Runs N independent EventLoops ("shards") side by side, each advancing
+// through fixed windows of `lookahead` virtual time with one barrier per
+// window:
+//
+//   window k = [T0 + k*L, T0 + (k+1)*L)
+//
+//   per window, every shard:  1. drain  — inject cross-shard arrivals with
+//                                         timestamp < window end;
+//                             2. run    — execute its own events with
+//                                         timestamp < window end
+//                                         (EventLoop::run_before);
+//                             3. barrier.
+//
+// Safety (why one barrier per window suffices): every cross-shard message
+// sent at time s arrives no earlier than s + L (the lookahead is the minimum
+// cross-shard link latency). A message arriving inside window k+1 therefore
+// left its producer strictly before the end of window k — i.e. before the
+// producer passed barrier k — so the consumer's drain at the start of window
+// k+1 observes it. No shard can receive an event in its past.
+//
+// Determinism (why thread count cannot change results): window boundaries
+// are a pure function of (T0, L, t) — never of thread timing — so each
+// shard executes exactly the same event prefix per window regardless of how
+// windows interleave across threads, and each drain injects exactly the same
+// arrivals in the same queue order. Within a shard the EventLoop's strict
+// (timestamp, seq) order does the rest: a 1-thread run and an N-thread run
+// are bit-identical, which determinism_test enforces.
+//
+// The final window is inclusive (EventLoop::run_until), matching the
+// classic serial `run_for` contract at the call boundary; arrivals stamped
+// exactly at the final boundary whose producer ran inside the last window
+// stay queued and are injected by the next call's first drain (still at
+// their correct timestamp — the clock is exactly there).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/time.h"
+
+namespace sttcp::sim {
+
+class ParallelExecutor {
+ public:
+  struct Shard {
+    EventLoop* loop = nullptr;
+    /// Inject every queued cross-shard arrival with timestamp < horizon into
+    /// `loop` (in fixed channel order). Called once per window on the thread
+    /// that owns the shard for that window; null when the shard has no
+    /// inbound channels.
+    std::function<void(SimTime horizon)> drain;
+  };
+
+  /// `lookahead` must be positive and no larger than the minimum cross-shard
+  /// link latency. `threads` is clamped to [1, shards.size()]; shard i is
+  /// owned by thread (i % threads) for the whole run.
+  ParallelExecutor(std::vector<Shard> shards, Duration lookahead, int threads);
+
+  /// Advance every shard to exactly `t`. All loops must share the same
+  /// current time (the executor keeps them in lockstep between calls).
+  void run_until(SimTime t);
+
+  int threads() const { return threads_; }
+  Duration lookahead() const { return lookahead_; }
+
+ private:
+  void worker(int index, SimTime start, SimTime t, void* barrier);
+
+  std::vector<Shard> shards_;
+  Duration lookahead_;
+  int threads_;
+};
+
+}  // namespace sttcp::sim

@@ -1,0 +1,68 @@
+// Unbounded single-producer/single-consumer queue (Vyukov-style linked
+// list). The cross-shard frame channels of the parallel executor are SPSC by
+// construction: exactly one shard's worker thread transmits into a channel
+// and exactly one drains it, and the executor's window barrier bounds how
+// stale the consumer's view may be — so two relaxed ends with one
+// release/acquire edge per node are all the synchronization needed.
+//
+// Producer calls push(); consumer calls front()/pop(). No other sharing.
+#pragma once
+
+#include <atomic>
+#include <utility>
+
+namespace sttcp::sim {
+
+template <typename T>
+class SpscQueue {
+ public:
+  SpscQueue() : head_(new Node), tail_(head_) {}
+  ~SpscQueue() {
+    Node* n = tail_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side: enqueue a value.
+  void push(T value) {
+    Node* n = new Node;
+    n->value = std::move(value);
+    // Publish: the consumer's acquire load of `next` sees the fully
+    // constructed node.
+    head_->next.store(n, std::memory_order_release);
+    head_ = n;
+  }
+
+  /// Consumer side: the oldest value, or nullptr when the queue looks empty
+  /// (a concurrent push may be in flight; the executor's barrier decides
+  /// when emptiness is authoritative).
+  T* front() {
+    Node* next = tail_->next.load(std::memory_order_acquire);
+    return next != nullptr ? &next->value : nullptr;
+  }
+
+  /// Consumer side: discard the value front() exposed. Precondition: a
+  /// preceding front() returned non-null.
+  void pop() {
+    Node* next = tail_->next.load(std::memory_order_acquire);
+    Node* old = tail_;
+    tail_ = next;
+    delete old;
+  }
+
+ private:
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  Node* head_;  // producer-owned (points at the most recently pushed node)
+  Node* tail_;  // consumer-owned (stub; tail_->next is the oldest value)
+};
+
+}  // namespace sttcp::sim

@@ -1,0 +1,130 @@
+#include "sim/timer_wheel.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace sttcp::sim {
+
+TimerWheel::TimerWheel() = default;
+
+void TimerWheel::push(WheelEntry e) {
+  ++size_;
+  place(std::move(e));
+}
+
+void TimerWheel::place(WheelEntry e) {
+  const std::int64_t tick = tick_of(e.at);
+  if (tick <= cursor_) {
+    // Current granule (or the sub-granule remainder of it): ordered by the
+    // explicit (at, seq) heap.
+    due_.push_back(std::move(e));
+    std::push_heap(due_.begin(), due_.end(), DueOrder{});
+    return;
+  }
+  // Level = the highest 6-bit group where tick and cursor differ. All higher
+  // groups agree, so the slot is in the cursor's current frame at this
+  // level; tick > cursor_ makes its index strictly ahead of the cursor's.
+  // When the cursor later enters this slot, re-placed entries differ from it
+  // only in lower groups — every cascade strictly decreases the level.
+  const std::uint64_t diff =
+      static_cast<std::uint64_t>(tick) ^ static_cast<std::uint64_t>(cursor_);
+  const int level = (63 - std::countl_zero(diff)) / kLevelBits;
+  const auto index = static_cast<int>(
+      (static_cast<std::uint64_t>(tick) >> (kLevelBits * level)) & kSlotMask);
+  levels_[level][index].push_back(std::move(e));
+  occupancy_[level] |= std::uint64_t{1} << index;
+}
+
+std::int64_t TimerWheel::slot_floor_tick(int level, int index) const {
+  const int shift = kLevelBits * level;
+  const std::int64_t frame = cursor_ >> (shift + kLevelBits);
+  const std::int64_t start = ((frame << kLevelBits) | index) << shift;
+  // The slot containing the cursor starts before it, but every entry obeys
+  // tick >= cursor_ (push clamps to now).
+  return start > cursor_ ? start : cursor_;
+}
+
+void TimerWheel::fill_due() {
+  while (due_.empty()) {
+    int best_level = -1;
+    int best_index = -1;
+    std::int64_t best_tick = std::numeric_limits<std::int64_t>::max();
+    for (int level = 0; level < kLevels; ++level) {
+      const std::uint64_t occ = occupancy_[level];
+      if (occ == 0) continue;
+      // Occupied slots all sit at or ahead of the cursor's index in the
+      // current frame (place() guarantees it), so the first set bit from the
+      // cursor's position is this level's earliest slot.
+      const auto c = static_cast<int>((cursor_ >> (kLevelBits * level)) & kSlotMask);
+      const std::uint64_t upper = occ >> c;
+      const int index = upper != 0 ? c + std::countr_zero(upper)
+                                   : std::countr_zero(occ);
+      const std::int64_t floor = slot_floor_tick(level, index);
+      if (floor < best_tick) {
+        best_tick = floor;
+        best_level = level;
+        best_index = index;
+      }
+    }
+    if (best_level < 0) return;  // nothing anywhere (size_ == 0)
+    std::vector<WheelEntry>& bucket = levels_[best_level][best_index];
+    occupancy_[best_level] &= ~(std::uint64_t{1} << best_index);
+    cursor_ = best_tick;
+    if (best_level == 0) {
+      // One granule of entries: order them by (at, seq).
+      due_.swap(bucket);
+      std::make_heap(due_.begin(), due_.end(), DueOrder{});
+    } else {
+      // Cascade: redistribute into strictly lower levels.
+      std::vector<WheelEntry> moved;
+      moved.swap(bucket);
+      for (WheelEntry& e : moved) place(std::move(e));
+    }
+  }
+}
+
+const WheelEntry& TimerWheel::peek_min() {
+  fill_due();
+  return due_.front();
+}
+
+WheelEntry TimerWheel::pop_min() {
+  fill_due();
+  std::pop_heap(due_.begin(), due_.end(), DueOrder{});
+  WheelEntry e = std::move(due_.back());
+  due_.pop_back();
+  --size_;
+  return e;
+}
+
+void TimerWheel::sweep(const std::function<bool(const WheelEntry&)>& stale,
+                       const std::function<void(const WheelEntry&)>& reclaim) {
+  const auto filter = [&](std::vector<WheelEntry>& v, bool heap) {
+    std::size_t kept = 0;
+    for (WheelEntry& e : v) {
+      if (stale(e)) {
+        reclaim(e);
+        --size_;
+      } else {
+        v[kept++] = std::move(e);
+      }
+    }
+    const bool changed = kept != v.size();
+    v.resize(kept);
+    if (heap && changed) std::make_heap(v.begin(), v.end(), DueOrder{});
+  };
+  filter(due_, /*heap=*/true);
+  for (int level = 0; level < kLevels; ++level) {
+    if (occupancy_[level] == 0) continue;
+    for (std::uint64_t occ = occupancy_[level]; occ != 0; occ &= occ - 1) {
+      const int index = std::countr_zero(occ);
+      filter(levels_[level][index], /*heap=*/false);
+      if (levels_[level][index].empty()) {
+        occupancy_[level] &= ~(std::uint64_t{1} << index);
+      }
+    }
+  }
+}
+
+}  // namespace sttcp::sim

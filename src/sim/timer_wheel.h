@@ -1,0 +1,114 @@
+// Hierarchical timing wheel: the EventLoop's priority queue.
+//
+// The capacity workloads arm, cancel, and re-arm timers at enormous rates —
+// every ACK re-arms an RTO, every delivered segment may touch a delayed-ACK
+// or persist timer, and 10k+ churning connections keep 10k+ timers armed at
+// once. A binary heap pays O(log n) per arm and a periodic O(n) sweep to
+// shed lazily-cancelled entries; the wheel makes arm O(1) (a bucket append)
+// and cancel O(1) (the EventLoop's generation bump), while preserving the
+// loop's total execution order exactly.
+//
+// Structure (a classic hashed hierarchical wheel, Varghese & Lauck style):
+//
+//   * time is bucketed into granules of 2^10 ns (1.024 us);
+//   * nine levels of 64 slots cover 54 bits of granules — the entire
+//     representable simulation time, so there is no overflow path;
+//   * an entry's level is the highest 6-bit granule-index group in which it
+//     differs from the cursor (NOT its raw delta: a delta-based rule can map
+//     an entry into the slot the cursor currently occupies, and then cascade
+//     it back into that same slot forever). With the XOR rule the target
+//     slot is always in the cursor's current frame, strictly ahead of it,
+//     and every cascade strictly decreases the level;
+//   * per-level occupancy bitmaps make "earliest non-empty slot" a couple of
+//     ctz instructions, so idle gaps are skipped without scanning granules;
+//   * expiring a higher-level slot cascades its entries into lower levels;
+//     each entry cascades at most (levels-1) times over its lifetime;
+//   * entries within the current granule are ordered by an explicit little
+//     (at, seq) heap ("due heap", at most a granule's worth of events), which
+//     is what keeps execution order bit-identical to the old global heap:
+//     (at, seq) is a total order, so pop order is independent of bucketing.
+//
+// The wheel stores entries by value and knows nothing about cancellation:
+// the EventLoop's slot/generation table decides staleness when an entry
+// surfaces (pop) or when the loop asks for a sweep (compaction).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace sttcp::sim {
+
+/// One scheduled event as the wheel sees it: when, the FIFO tie-break, and
+/// the owning EventLoop's callback-slot coordinates.
+struct WheelEntry {
+  SimTime at;
+  std::uint64_t seq = 0;   // tie-break: FIFO among equal timestamps
+  std::uint32_t slot = 0;  // EventLoop callback slot
+  std::uint32_t gen = 0;   // generation the slot had when scheduled
+};
+
+class TimerWheel {
+ public:
+  TimerWheel();
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Insert an entry. `e.at` must be >= the `at` of the most recently popped
+  /// entry's granule (the EventLoop clamps past times to now(), which
+  /// guarantees this).
+  void push(WheelEntry e);
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// The earliest entry in (at, seq) order, stale or not. May cascade
+  /// internally (amortized O(1)); the reference is valid until the next
+  /// mutating call. Precondition: !empty().
+  const WheelEntry& peek_min();
+
+  /// Remove and return the earliest entry in (at, seq) order.
+  WheelEntry pop_min();
+
+  /// Remove every entry for which `stale` returns true, invoking `reclaim`
+  /// on each removed entry (the EventLoop frees the callback slot there).
+  /// O(total entries); called only when stale entries dominate.
+  void sweep(const std::function<bool(const WheelEntry&)>& stale,
+             const std::function<void(const WheelEntry&)>& reclaim);
+
+ private:
+  static constexpr int kGranuleBits = 10;  // 1.024 us granules
+  static constexpr int kLevelBits = 6;     // 64 slots per level
+  static constexpr int kLevels = 9;        // 9*6 = 54 bits: all of sim time
+  static constexpr std::uint64_t kSlotsPerLevel = std::uint64_t{1} << kLevelBits;
+  static constexpr std::uint64_t kSlotMask = kSlotsPerLevel - 1;
+
+  static std::int64_t tick_of(SimTime t) { return t.ns() >> kGranuleBits; }
+
+  /// Bucket an entry relative to cursor_: due heap (current granule or
+  /// earlier) or a wheel slot picked by the XOR level rule.
+  void place(WheelEntry e);
+  /// Make the due heap non-empty by advancing the cursor to the earliest
+  /// occupied granule, cascading higher-level slots as needed.
+  void fill_due();
+  /// Earliest possibly-occupied absolute tick covered by `level`'s slot at
+  /// `index`, given the cursor (handles the level frame wrapping).
+  std::int64_t slot_floor_tick(int level, int index) const;
+
+  struct DueOrder {
+    bool operator()(const WheelEntry& a, const WheelEntry& b) const {
+      if (a.at != b.at) return a.at > b.at;  // min-heap via std::*_heap
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<WheelEntry> due_;  // (at, seq) min-heap: current granule
+  std::vector<WheelEntry> levels_[kLevels][kSlotsPerLevel];
+  std::uint64_t occupancy_[kLevels] = {};  // bit s set = slot s non-empty
+  std::int64_t cursor_ = 0;      // granule the due heap corresponds to
+  std::size_t size_ = 0;
+};
+
+}  // namespace sttcp::sim

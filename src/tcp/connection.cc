@@ -46,7 +46,8 @@ TcpConnection::TcpConnection(TcpStack& stack, FourTuple tuple, const TcpConfig& 
       persist_timer_(stack.world().loop()),
       time_wait_timer_(stack.world().loop()),
       writable_notify_timer_(stack.world().loop()),
-      keepalive_timer_(stack.world().loop()) {
+      keepalive_timer_(stack.world().loop()),
+      ack_flush_timer_(stack.world().loop()) {
   reasm_.set_deliver_tap([this](std::uint64_t off, net::BytesView data) {
     if (rx_tap_) rx_tap_(off, data);
   });
@@ -306,7 +307,8 @@ void TcpConnection::emit_data_segment(std::uint64_t seq_abs, std::size_t len,
   if (seq_abs + seg.payload.size() > highest_sent_) {
     highest_sent_ = seq_abs + seg.payload.size();
   }
-  send_segment(std::move(seg), /*counts_payload=*/true);
+  send_segment(std::move(seg), /*counts_payload=*/true,
+               retransmit ? &retrans_memo_ : nullptr);
 }
 
 void TcpConnection::emit_control(TcpFlags flags, SeqWire seq_wire) {
@@ -321,17 +323,35 @@ void TcpConnection::emit_ack() {
   emit_control(TcpFlags{.ack = true}, wire(snd_nxt_));
 }
 
-void TcpConnection::send_segment(TcpSegment&& seg, bool counts_payload) {
+void TcpConnection::schedule_ack() {
+  if (ack_pending_) return;
+  ack_pending_ = true;
+  ack_flush_timer_.arm(sim::Duration::zero(), [this] {
+    if (!ack_pending_) return;  // superseded by an ACK-bearing segment
+    ack_pending_ = false;
+    if (state_ == TcpState::kClosed) return;
+    emit_ack();
+  });
+}
+
+void TcpConnection::send_segment(TcpSegment&& seg, bool counts_payload,
+                                 TcpSegment::ChecksumMemo* memo) {
   seg.src_port = tuple_.local.port;
   seg.dst_port = tuple_.remote.port;
   seg.window = advertised_window();
+  if (seg.flags.ack && ack_pending_) {
+    // This segment carries the cumulative ACK; the deferred pure ACK would
+    // be a duplicate.
+    ack_pending_ = false;
+    ack_flush_timer_.cancel();
+  }
   if (counts_payload) stats_.bytes_sent += seg.payload.size();
   if (suppressed_) {
     ++stats_.segments_suppressed;
     return;
   }
   ++stats_.segments_sent;
-  stack_.emit(tuple_, seg);
+  stack_.emit(tuple_, seg, memo);
 }
 
 // ---------------------------------------------------------------------------
@@ -381,6 +401,7 @@ void TcpConnection::on_segment(const TcpSegment& seg) {
   process_ack(seg);
   if (state_ == TcpState::kClosed) return;  // RST/finish during ACK processing
 
+  const SeqAbs rcv_before = rcv_nxt_;
   bool want_ack = false;
   if (!seg.payload.empty()) {
     process_payload(seg);
@@ -404,7 +425,18 @@ void TcpConnection::on_segment(const TcpSegment& seg) {
   }
   maybe_consume_peer_fin();
 
-  if (want_ack && state_ != TcpState::kClosed) emit_ack();
+  if (want_ack && state_ != TcpState::kClosed) {
+    // In-order data that advanced rcv_nxt_ coalesces into one end-of-tick
+    // cumulative ACK (see schedule_ack). Everything else — out-of-order or
+    // duplicate payload, probes, a FIN — keeps the classic per-segment ACK,
+    // so the sender's duplicate-ACK accounting and close handshake see
+    // exactly the segments they did before.
+    if (rcv_nxt_ > rcv_before && !seg.flags.fin) {
+      schedule_ack();
+    } else {
+      emit_ack();
+    }
+  }
 }
 
 void TcpConnection::on_segment_synsent(const TcpSegment& seg) {

@@ -243,7 +243,17 @@ class TcpConnection {
   void emit_data_segment(std::uint64_t seq_abs, std::size_t len, bool retransmit);
   void emit_control(TcpFlags flags, SeqWire seq_wire);
   void emit_ack();
-  void send_segment(TcpSegment&& seg, bool counts_payload);
+  /// Defer a cumulative ACK to the end of the current event-loop tick: every
+  /// in-order segment processed in the same tick is covered by one ACK, and
+  /// any ACK-bearing segment sent meanwhile (a piggybacked data segment, an
+  /// immediate ACK) cancels the pending pure ACK outright. Out-of-order and
+  /// probe segments never take this path — their duplicate ACKs stay
+  /// per-segment so the sender's fast-retransmit counting (RFC 5681) is
+  /// unaffected. The flush runs at the same simulated instant the segments
+  /// arrived, so no delayed-ACK timer semantics are introduced.
+  void schedule_ack();
+  void send_segment(TcpSegment&& seg, bool counts_payload,
+                    TcpSegment::ChecksumMemo* memo = nullptr);
 
   // Input processing.
   void on_segment_synsent(const TcpSegment& seg);
@@ -341,6 +351,15 @@ class TcpConnection {
   sim::OneShotTimer keepalive_timer_;
   sim::SimTime last_rx_at_;
   int keepalive_unanswered_ = 0;
+
+  // ACK coalescing (see schedule_ack).
+  sim::OneShotTimer ack_flush_timer_;
+  bool ack_pending_ = false;
+
+  // RFC 1624 retransmit checksum memo: retransmissions of the same byte
+  // range reuse the previous serialization's checksum (see
+  // TcpSegment::ChecksumMemo).
+  TcpSegment::ChecksumMemo retrans_memo_;
 
   // RTT sampling (one in-flight sample, Karn's rule).
   bool rtt_pending_ = false;

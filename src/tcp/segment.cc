@@ -21,6 +21,20 @@ std::string TcpFlags::str() const {
   return s;
 }
 
+namespace {
+
+std::uint16_t pack_off_flags(const TcpFlags& flags) {
+  std::uint16_t off_flags = std::uint16_t{5} << 12;  // data offset = 5 words
+  if (flags.fin) off_flags |= 0x001;
+  if (flags.syn) off_flags |= 0x002;
+  if (flags.rst) off_flags |= 0x004;
+  if (flags.psh) off_flags |= 0x008;
+  if (flags.ack) off_flags |= 0x010;
+  return off_flags;
+}
+
+}  // namespace
+
 net::Bytes TcpSegment::serialize(net::Ipv4Addr src_ip, net::Ipv4Addr dst_ip) const {
   net::Bytes out;
   out.reserve(kHeaderSize + payload.size());
@@ -29,19 +43,44 @@ net::Bytes TcpSegment::serialize(net::Ipv4Addr src_ip, net::Ipv4Addr dst_ip) con
   w.u16(dst_port);
   w.u32(seq);
   w.u32(ack);
-  std::uint16_t off_flags = std::uint16_t{5} << 12;  // data offset = 5 words
-  if (flags.fin) off_flags |= 0x001;
-  if (flags.syn) off_flags |= 0x002;
-  if (flags.rst) off_flags |= 0x004;
-  if (flags.psh) off_flags |= 0x008;
-  if (flags.ack) off_flags |= 0x010;
-  w.u16(off_flags);
+  w.u16(pack_off_flags(flags));
   w.u16(window);
   const std::size_t ck_at = w.size();
   w.u16(0);  // checksum placeholder
   w.u16(0);  // urgent pointer
   w.bytes(payload);
   w.patch_u16(ck_at, net::transport_checksum(src_ip, dst_ip, net::kIpProtoTcp, out));
+  return out;
+}
+
+net::Bytes TcpSegment::serialize(net::Ipv4Addr src_ip, net::Ipv4Addr dst_ip,
+                                 ChecksumMemo& memo) const {
+  net::Bytes out;
+  out.reserve(kHeaderSize + payload.size());
+  net::ByteWriter w(out);
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
+  const std::uint16_t off_flags = pack_off_flags(flags);
+  w.u16(off_flags);
+  w.u16(window);
+  const std::size_t ck_at = w.size();
+  w.u16(0);  // checksum placeholder
+  w.u16(0);  // urgent pointer
+  w.bytes(payload);
+
+  std::uint16_t ck;
+  if (memo.valid && memo.seq == seq && memo.off_flags == off_flags &&
+      memo.payload_len == payload.size()) {
+    // Same byte range, same shape: only ack and window can have moved.
+    ck = net::checksum_update32(memo.sum, memo.ack, ack);
+    ck = net::checksum_update(ck, memo.window, window);
+  } else {
+    ck = net::transport_checksum(src_ip, dst_ip, net::kIpProtoTcp, out);
+  }
+  memo = ChecksumMemo{true, seq, ack, window, off_flags, payload.size(), ck};
+  w.patch_u16(ck_at, ck);
   return out;
 }
 

@@ -39,8 +39,32 @@ struct TcpSegment {
            (flags.fin ? 1 : 0);
   }
 
+  /// Memo of the last full serialization of a retransmitted byte range.
+  /// Between two retransmissions of the same (seq, payload) the only header
+  /// words that may differ are ack and window, so a memo hit derives the new
+  /// checksum from the remembered one with two RFC 1624 incremental updates
+  /// instead of re-summing the payload. The caller owns one memo per
+  /// retransmit stream (the connection); a mismatch on seq, flags, or length
+  /// falls back to the full sum and refreshes the memo.
+  struct ChecksumMemo {
+    bool valid = false;
+    SeqWire seq = 0;
+    SeqWire ack = 0;
+    std::uint16_t window = 0;
+    std::uint16_t off_flags = 0;
+    std::size_t payload_len = 0;
+    std::uint16_t sum = 0;
+  };
+
   /// Serialize header+payload with a valid checksum.
   net::Bytes serialize(net::Ipv4Addr src_ip, net::Ipv4Addr dst_ip) const;
+
+  /// Serialize with the RFC 1624 retransmit fast path. Produces bytes
+  /// identical to the plain overload; `memo` must describe the same payload
+  /// bytes whenever (seq, flags, length) match — true for TCP retransmits,
+  /// where a sequence range's bytes are immutable.
+  net::Bytes serialize(net::Ipv4Addr src_ip, net::Ipv4Addr dst_ip,
+                       ChecksumMemo& memo) const;
 
   /// Parse and (optionally) verify the checksum. Returns nullopt on a
   /// malformed or corrupt segment.

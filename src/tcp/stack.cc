@@ -18,6 +18,7 @@ TcpStack::TcpStack(net::Host& host, TcpConfig config)
 
 void TcpStack::reset_for_boot() {
   conns_.clear();
+  std::fill(demux_.begin(), demux_.end(), DemuxSlot{});
   pending_.clear();
   pending_syn_time_.clear();
   replica_mode_ = false;
@@ -77,8 +78,15 @@ TcpConnection& TcpStack::create_replica(const FourTuple& tuple,
 }
 
 TcpConnection* TcpStack::find(const FourTuple& tuple) {
+  DemuxSlot& slot = demux_[demux_slot_index(tuple)];
+  if (slot.conn != nullptr && slot.key == tuple) {
+    ++stats_.demux_cache_hits;
+    return slot.conn;
+  }
   auto it = conns_.find(tuple);
-  return it == conns_.end() ? nullptr : it->second.get();
+  if (it == conns_.end()) return nullptr;
+  slot = DemuxSlot{tuple, it->second.get()};
+  return it->second.get();
 }
 
 void TcpStack::for_each(const std::function<void(TcpConnection&)>& fn) {
@@ -114,9 +122,12 @@ std::size_t TcpStack::memory_bytes() const {
   return total;
 }
 
-bool TcpStack::emit(const FourTuple& tuple, const TcpSegment& seg) {
+bool TcpStack::emit(const FourTuple& tuple, const TcpSegment& seg,
+                    TcpSegment::ChecksumMemo* memo) {
   if (!alive()) return false;
-  net::Bytes l4 = seg.serialize(tuple.local.ip, tuple.remote.ip);
+  net::Bytes l4 = memo != nullptr
+                      ? seg.serialize(tuple.local.ip, tuple.remote.ip, *memo)
+                      : seg.serialize(tuple.local.ip, tuple.remote.ip);
   return host_.send_ip(tuple.local.ip, tuple.remote.ip, net::kIpProtoTcp, l4);
 }
 
@@ -244,6 +255,7 @@ void TcpStack::schedule_gc(const FourTuple& tuple) {
   world().loop().schedule_after(sim::Duration::zero(), [this, tuple] {
     auto it = conns_.find(tuple);
     if (it != conns_.end() && it->second->state() == TcpState::kClosed) {
+      demux_invalidate(tuple);
       conns_.erase(it);
     }
   });

@@ -43,6 +43,7 @@ class TcpStack {
     std::uint64_t connections_accepted = 0;
     std::uint64_t connections_initiated = 0;
     std::uint64_t replicas_created = 0;
+    std::uint64_t demux_cache_hits = 0;    // served from the flat slot array
   };
 
   TcpStack(net::Host& host, TcpConfig config);
@@ -138,7 +139,12 @@ class TcpStack {
     if (accept_isn_fn_) return accept_isn_fn_(t);
     return static_cast<SeqWire>(isn_rng_.next_u64());
   }
-  bool emit(const FourTuple& tuple, const TcpSegment& seg);
+  /// Serialize and hand the segment to the host's IP layer. `memo`, when
+  /// non-null, enables the RFC 1624 retransmit fast path (see
+  /// TcpSegment::ChecksumMemo) — the connection passes its own memo for
+  /// retransmissions and null for first transmissions.
+  bool emit(const FourTuple& tuple, const TcpSegment& seg,
+            TcpSegment::ChecksumMemo* memo = nullptr);
   void on_connection_finished(TcpConnection& conn, CloseReason reason);
 
   const Stats& stats() const { return stats_; }
@@ -159,6 +165,29 @@ class TcpStack {
   // connection count (a red-black tree walk costs ~15 tuple comparisons at
   // 2,000+ churning connections). All ordered iteration goes via for_each.
   std::unordered_map<FourTuple, std::unique_ptr<TcpConnection>> conns_;
+
+  // Flat direct-mapped demux cache in front of conns_: the steady-state
+  // receive path (data/ACK on an established connection) resolves with one
+  // cheap multiplicative hash and one tuple compare, no hash-table probe.
+  // Filled on a find() miss, invalidated slot-wise when a connection is
+  // GC-erased and wholesale on boot; a stale or colliding slot fails the
+  // full-tuple compare and falls through to the map.
+  struct DemuxSlot {
+    FourTuple key{};
+    TcpConnection* conn = nullptr;
+  };
+  static constexpr std::size_t kDemuxSlots = 2048;  // power of two
+  static std::size_t demux_slot_index(const FourTuple& t) {
+    std::uint64_t h = (std::uint64_t{t.remote.ip.value()} << 32) ^
+                      (std::uint64_t{t.remote.port} << 16) ^ t.local.port;
+    h *= 0x9e3779b97f4a7c15ull;
+    return static_cast<std::size_t>(h >> 53);  // top 11 bits
+  }
+  void demux_invalidate(const FourTuple& t) {
+    DemuxSlot& s = demux_[demux_slot_index(t)];
+    if (s.conn != nullptr && s.key == t) s = DemuxSlot{};
+  }
+  std::vector<DemuxSlot> demux_ = std::vector<DemuxSlot>(kDemuxSlots);
   std::map<std::uint16_t, AcceptHandler> listeners_;
   ConnectionObserver* observer_ = nullptr;
 

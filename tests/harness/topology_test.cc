@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -288,6 +289,113 @@ TEST(RoutedTopology, InterSubnetPartitionIsMaskedFromThePair) {
   EXPECT_FALSE(w.reset);
   EXPECT_EQ(w.topo->cell(0).primary_endpoint()->stats().takeovers, 0u);
   EXPECT_EQ(w.topo->cell(0).backup_endpoint()->stats().takeovers, 0u);
+}
+
+/// Client in shard 0, cell in shard 1, routers joined by one trunk — the
+/// minimal fabric whose every data frame crosses the shard boundary.
+struct ShardedWorld {
+  explicit ShardedWorld(std::uint64_t seed,
+                        sim::Duration trunk_latency = sim::Duration::micros(300)) {
+    TopologyConfig tc;
+    tc.seed = seed;
+    TopologyBuilder b(tc);
+    const int lan0 = b.add_switch("clientlan");
+    harness::HostOptions client_opt;
+    client_opt.with_stack = true;
+    b.add_host("client", {10, 0, 0, 1}, lan0, client_opt);
+    const int r0 = b.add_router("edge");
+    b.connect_router(r0, lan0, {10, 0, 0, 254});
+
+    b.begin_shard();
+    const int lan1 = b.add_switch("serverlan");
+    CellConfig cc;
+    cc.primary_ip = {10, 1, 0, 2};
+    cc.backup_ip = {10, 1, 0, 3};
+    cc.service_ip = {10, 1, 0, 100};
+    cc.gateway_ip = {10, 1, 0, 254};
+    cc.power_controller = b.add_power_controller();
+    b.add_cell(lan1, cc);
+    const int r1 = b.add_router("core");
+    b.connect_router(r1, lan1, {10, 1, 0, 254});
+
+    harness::TrunkOptions trunk;
+    trunk.latency = trunk_latency;
+    const auto [p0, p1] =
+        b.add_trunk(r0, r1, {10, 200, 0, 1}, {10, 200, 0, 2}, trunk);
+    topo = b.build();
+    topo->router(0).add_route({{10, 1, 0, 0}, 24, p0, {10, 200, 0, 2}});
+    topo->router(1).add_route({{10, 0, 0, 0}, 24, p1, {10, 200, 0, 1}});
+  }
+
+  std::uint64_t received = 0;
+  bool reset = false;
+  void download(std::uint64_t size) {
+    harness::Cell& cell = topo->cell(0);
+    const std::uint16_t port = cell.service_port();
+    servers.emplace_back(
+        std::make_unique<app::FileServer>(cell.primary_stack(), port, size));
+    servers.emplace_back(
+        std::make_unique<app::FileServer>(cell.backup_stack(), port, size));
+    tcp::TcpConnection::Callbacks cb;
+    cb.on_readable = [this] { received += conn->read(1 << 20).size(); };
+    cb.on_peer_closed = [this] { conn->close(); };
+    cb.on_closed = [this](tcp::CloseReason r) {
+      if (r == tcp::CloseReason::kReset) reset = true;
+    };
+    conn = &topo->host(0).stack->connect({10, 0, 0, 1}, cell.connect_addr(),
+                                         std::move(cb));
+  }
+
+  std::unique_ptr<Topology> topo;
+  std::vector<std::unique_ptr<app::FileServer>> servers;
+  tcp::TcpConnection* conn = nullptr;
+};
+
+TEST(ShardedTopology, CrossShardDownloadCompletes) {
+  ShardedWorld w(21);
+  ASSERT_EQ(w.topo->shard_count(), 2u);
+  w.download(2'000'000);
+  w.topo->run_for(sim::Duration::seconds(10));
+  EXPECT_EQ(w.received, 2'000'000u);
+  EXPECT_FALSE(w.reset);
+  // Every data frame crossed the trunk, in both directions.
+  EXPECT_GT(w.topo->router(0).stats().forwarded, 500u);
+  EXPECT_GT(w.topo->router(1).stats().forwarded, 500u);
+}
+
+TEST(ShardedTopology, CrossShardDownloadMatchesAcrossThreadCounts) {
+  // The same sharded download must finish with identical byte counts and
+  // trunk-forward totals whether the two shards share one worker or not.
+  std::uint64_t fwd[2][2];
+  for (const int threads : {1, 2}) {
+    ShardedWorld w(22);
+    w.topo->set_threads(threads);
+    w.download(1'000'000);
+    w.topo->run_for(sim::Duration::seconds(10));
+    EXPECT_EQ(w.received, 1'000'000u) << threads;
+    EXPECT_FALSE(w.reset) << threads;
+    fwd[threads - 1][0] = w.topo->router(0).stats().forwarded;
+    fwd[threads - 1][1] = w.topo->router(1).stats().forwarded;
+  }
+  EXPECT_EQ(fwd[0][0], fwd[1][0]);
+  EXPECT_EQ(fwd[0][1], fwd[1][1]);
+}
+
+TEST(ShardedTopology, LookaheadIsTheMinimumTrunkLatency) {
+  ShardedWorld w(23, sim::Duration::micros(450));
+  EXPECT_EQ(w.topo->lookahead(), sim::Duration::micros(450));
+  EXPECT_EQ(w.topo->trunk_count(), 1u);
+}
+
+TEST(ShardedTopology, SameShardTrunkIsRejected) {
+  TopologyConfig tc;
+  TopologyBuilder b(tc);
+  const int lan = b.add_switch("lan");
+  (void)lan;
+  const int r0 = b.add_router("a");
+  const int r1 = b.add_router("b");
+  EXPECT_THROW(b.add_trunk(r0, r1, {10, 200, 0, 1}, {10, 200, 0, 2}),
+               std::logic_error);
 }
 
 TEST(RoutedTopology, LinkOrderMatchesBuilderCallOrder) {

@@ -8,10 +8,15 @@
 #include <cstdint>
 #include <string>
 
+#include <memory>
+#include <vector>
+
 #include "app/client.h"
 #include "app/server.h"
 #include "harness/scenario.h"
 #include "harness/sweep.h"
+#include "harness/topology.h"
+#include "harness/workload.h"
 #include "net/frame.h"
 #include "tcp/connection.h"
 
@@ -94,6 +99,150 @@ TEST(DeterminismTest, DifferentSeedsDiverge) {
   const RunRecord b = failover_run(2);
   EXPECT_EQ(a.client_bytes, b.client_bytes);  // payload is seed-independent
   EXPECT_NE(a.frame_hash, b.frame_hash);
+}
+
+// --- Sharded parallel engine -----------------------------------------------
+//
+// The conservative executor's contract (src/sim/parallel.h): a fixed-seed
+// sharded run produces bit-identical per-shard event streams for ANY worker
+// thread count, because windows never let a shard run past the earliest
+// frame a neighbour could still send it. We fingerprint each shard with an
+// FNV fold over every (time, frame) crossing its switch — the same digest
+// the flat determinism test uses — plus each workload's behavioural digest.
+
+struct ShardedRecord {
+  std::vector<std::uint64_t> frame_digests;  // per-shard switch-frame FNV
+  std::vector<std::uint64_t> wl_digests;     // per-shard workload fold
+  std::vector<std::uint64_t> completed;
+  std::uint64_t resets = 0;
+
+  bool operator==(const ShardedRecord&) const = default;
+};
+
+// Two ST-TCP cells in separate shards, each with its own client, joined by
+// a router trunk. Each shard's closed-loop workload keeps 12 clients
+// churning small flows, every 4th flow crossing the trunk to the *other*
+// shard's service address — so the digests cover both local traffic and the
+// cross-shard handoff path.
+ShardedRecord sharded_churn_run(std::uint64_t seed, int threads) {
+  constexpr int kShards = 2;
+  harness::TopologyConfig tc;
+  tc.seed = seed;
+  harness::TopologyBuilder b(tc);
+
+  std::vector<int> routers;
+  for (int k = 0; k < kShards; ++k) {
+    if (k > 0) b.begin_shard();
+    const auto sub = static_cast<std::uint8_t>(k + 1);
+    const int lan = b.add_switch("s" + std::to_string(k) + ".lan");
+    harness::HostOptions copt;
+    copt.with_stack = true;
+    if (k > 0) copt.power_controller = b.add_power_controller();
+    b.add_host("s" + std::to_string(k) + ".client", {10, sub, 0, 1}, lan, copt);
+    harness::CellConfig cc;
+    cc.name = "s" + std::to_string(k);
+    cc.primary_ip = {10, sub, 0, 2};
+    cc.backup_ip = {10, sub, 0, 3};
+    cc.service_ip = {10, sub, 0, 100};
+    cc.gateway_ip = {10, sub, 0, 254};
+    cc.power_controller = copt.power_controller;
+    b.add_cell(lan, cc);
+    routers.push_back(b.add_router("s" + std::to_string(k) + ".r"));
+    b.connect_router(routers.back(), lan, {10, sub, 0, 254});
+  }
+  const auto [p01, p10] =
+      b.add_trunk(routers[0], routers[1], {10, 200, 0, 1}, {10, 200, 0, 2});
+  auto topo = b.build();
+  // Remote prefixes across the trunk (add_trunk only installs the /30s).
+  topo->router(0).add_route({{10, 2, 0, 0}, 24, p01, {10, 200, 0, 2}});
+  topo->router(1).add_route({{10, 1, 0, 0}, 24, p10, {10, 200, 0, 1}});
+  topo->set_threads(threads);
+
+  ShardedRecord out;
+  out.frame_digests.assign(kShards, 1469598103934665603ull);
+  for (int k = 0; k < kShards; ++k) {
+    // Each tap fires only on its own shard's worker thread and touches only
+    // its own vector element — no cross-thread sharing.
+    topo->ethernet_switch(static_cast<std::size_t>(k))
+        .set_frame_tap([&out, k](sim::SimTime at, const net::Frame& f) {
+          std::uint64_t h =
+              out.frame_digests[static_cast<std::size_t>(k)] ^
+              static_cast<std::uint64_t>(at.ns());
+          for (const std::uint8_t byte : f) h = (h ^ byte) * 1099511628211ull;
+          out.frame_digests[static_cast<std::size_t>(k)] = h;
+        });
+  }
+
+  std::vector<std::unique_ptr<app::SizedServer>> servers;
+  std::vector<std::unique_ptr<harness::Workload>> loads;
+  for (int k = 0; k < kShards; ++k) {
+    auto& cell = topo->cell(static_cast<std::size_t>(k));
+    servers.push_back(std::make_unique<app::SizedServer>(cell.primary_stack(),
+                                                         cell.service_port()));
+    servers.push_back(std::make_unique<app::SizedServer>(cell.backup_stack(),
+                                                         cell.service_port()));
+    harness::WorkloadConfig wc;
+    wc.arrivals = harness::WorkloadConfig::Arrivals::kClosedLoop;
+    wc.closed_clients = 12;
+    wc.think_mean = sim::Duration::millis(5);
+    wc.flow_min_bytes = 2 * 1024;
+    wc.flow_max_bytes = 16 * 1024;
+    wc.duration = sim::Duration::millis(200);
+    const net::SocketAddr own = cell.connect_addr();
+    const net::SocketAddr other =
+        topo->cell(static_cast<std::size_t>((k + 1) % kShards)).connect_addr();
+    wc.target_for = [own, other](std::uint64_t flow_id, std::size_t) {
+      return flow_id % 4 == 3 ? other : own;
+    };
+    auto& client = topo->host(static_cast<std::size_t>(k));
+    loads.push_back(std::make_unique<harness::Workload>(
+        topo->world(static_cast<std::size_t>(k)), *client.stack, client.ip,
+        own, wc));
+    loads.back()->start();
+  }
+
+  topo->run_for(sim::Duration::millis(200));
+  for (int i = 0; i < 100; ++i) {
+    bool done = true;
+    for (const auto& wl : loads) done = done && wl->drained();
+    if (done) break;
+    topo->run_for(sim::Duration::millis(100));
+  }
+
+  for (const auto& wl : loads) {
+    out.wl_digests.push_back(wl->digest());
+    out.completed.push_back(wl->stats().completed);
+    out.resets += wl->stats().resets;
+  }
+  return out;
+}
+
+TEST(DeterminismTest, ShardedRunIsThreadCountInvariant) {
+  // Serial (threads=1, still windowed) vs 2- and 4-thread parallel runs of
+  // the same seed must match digest-for-digest, across three seeds.
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    const ShardedRecord serial = sharded_churn_run(seed, 1);
+
+    // The run has to be doing real work in every shard, without resets.
+    ASSERT_EQ(serial.completed.size(), 2u);
+    for (const std::uint64_t c : serial.completed) ASSERT_GT(c, 20u);
+    ASSERT_EQ(serial.resets, 0u);
+
+    const ShardedRecord two = sharded_churn_run(seed, 2);
+    const ShardedRecord four = sharded_churn_run(seed, 4);
+    for (const ShardedRecord* r : {&two, &four}) {
+      EXPECT_EQ(serial.frame_digests, r->frame_digests) << "seed " << seed;
+      EXPECT_EQ(serial.wl_digests, r->wl_digests) << "seed " << seed;
+      EXPECT_EQ(serial.completed, r->completed) << "seed " << seed;
+      EXPECT_EQ(serial.resets, r->resets) << "seed " << seed;
+    }
+  }
+}
+
+TEST(DeterminismTest, ShardedSeedsDiverge) {
+  const ShardedRecord a = sharded_churn_run(7, 2);
+  const ShardedRecord b = sharded_churn_run(8, 2);
+  EXPECT_NE(a.frame_digests, b.frame_digests);
 }
 
 TEST(DeterminismTest, SweepRunnerThreadCountInvariant) {

@@ -1,0 +1,153 @@
+// ParallelExecutor conservative-window tests, at the sim layer only: a ring
+// of synthetic shards ping-ponging timestamped messages through SPSC queues,
+// checked for (a) no event ever executing in a shard's past, (b) bit-equal
+// execution traces across 1, 2 and 4 worker threads.
+#include "sim/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/spsc.h"
+#include "sim/time.h"
+
+namespace sttcp::sim {
+namespace {
+
+constexpr Duration kLatency = Duration::micros(100);
+
+struct Msg {
+  SimTime at;
+  std::uint64_t payload = 0;
+  int hops_left = 0;
+};
+
+// N shards in a ring; each event at time t sends payload+1 to the next shard
+// arriving at t + latency, and respawns locally a little later, until its
+// hop budget runs out. Every execution folds (timestamp, payload) into a
+// per-shard FNV digest — any reordering or lost/duplicated injection changes
+// some shard's digest.
+struct Ring {
+  explicit Ring(int n) : shards(static_cast<std::size_t>(n)) {
+    for (auto& s : shards) s = std::make_unique<Shard>();
+  }
+
+  struct Shard {
+    EventLoop loop;
+    SpscQueue<Msg> inbox;
+    std::uint64_t digest = 0xcbf29ce484222325ull;
+    std::uint64_t executed = 0;
+    void fold(std::uint64_t v) { digest = (digest ^ v) * 0x100000001b3ull; }
+  };
+  std::vector<std::unique_ptr<Shard>> shards;
+
+  void bounce(std::size_t idx, std::uint64_t payload, int hops_left) {
+    Shard& s = *shards[idx];
+    const SimTime now = s.loop.now();
+    s.fold(static_cast<std::uint64_t>(now.ns()));
+    s.fold(payload);
+    ++s.executed;
+    if (hops_left <= 0) return;
+    // "Transmit": arrival stamped with the full latency, queued to the peer.
+    const std::size_t next = (idx + 1) % shards.size();
+    shards[next]->inbox.push(Msg{now + kLatency, payload + 1, hops_left - 1});
+    // Keep some local (intra-shard) churn around the same timestamps too.
+    s.loop.schedule_after(Duration::micros(7),
+                          [this, idx, payload, hops_left] {
+                            bounce(idx, payload * 3 + 1, hops_left - 1);
+                          });
+  }
+
+  std::vector<ParallelExecutor::Shard> executor_shards() {
+    std::vector<ParallelExecutor::Shard> out;
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      Shard* s = shards[i].get();
+      out.push_back(ParallelExecutor::Shard{
+          &s->loop, [this, i, s](SimTime horizon) {
+            while (Msg* m = s->inbox.front()) {
+              if (m->at >= horizon) break;
+              const std::uint64_t payload = m->payload;
+              const int hops = m->hops_left;
+              s->loop.schedule_at(m->at, [this, i, payload, hops] {
+                bounce(i, payload, hops);
+              });
+              s->inbox.pop();
+            }
+          }});
+    }
+    return out;
+  }
+};
+
+std::vector<std::uint64_t> run_ring(int n_shards, int threads) {
+  Ring ring(n_shards);
+  // Seed each shard with a few initial events; each spawns a binary tree of
+  // depth 12 (one remote + one local child per node), lasting ~1.3ms.
+  for (std::size_t i = 0; i < ring.shards.size(); ++i) {
+    for (int k = 0; k < 3; ++k) {
+      ring.shards[i]->loop.schedule_at(
+          SimTime::from_ns(k * 333 + static_cast<std::int64_t>(i) * 77),
+          [&ring, i, k] { ring.bounce(i, static_cast<std::uint64_t>(k), 12); });
+    }
+  }
+  ParallelExecutor ex(ring.executor_shards(), kLatency, threads);
+  // Several calls with boundaries inside the active burst: the executor must
+  // keep shards in lockstep across calls and pick up boundary arrivals on
+  // the next call's first drain.
+  const Duration chunk = Duration::micros(300);
+  for (int c = 1; c <= 5; ++c) {
+    ex.run_until(SimTime::from_ns(c * chunk.ns()));
+  }
+  ex.run_until(SimTime::from_ns(Duration::millis(10).ns()));  // drain fully
+  std::vector<std::uint64_t> digests;
+  for (auto& s : ring.shards) {
+    EXPECT_GT(s->executed, 0u);
+    EXPECT_EQ(s->loop.now(), SimTime::from_ns(Duration::millis(10).ns()));
+    EXPECT_EQ(s->loop.pending(), 0u);
+    digests.push_back(s->digest);
+  }
+  return digests;
+}
+
+TEST(ParallelExecutor, DigestsIdenticalAcrossThreadCounts) {
+  const auto serial = run_ring(4, 1);
+  EXPECT_EQ(run_ring(4, 2), serial);
+  EXPECT_EQ(run_ring(4, 4), serial);
+}
+
+TEST(ParallelExecutor, SingleShardMatchesPlainLoop) {
+  // A 1-shard executor is just run_until in lookahead-sized bites.
+  EventLoop plain;
+  std::vector<std::int64_t> plain_times;
+  for (int i = 0; i < 200; ++i) {
+    plain.schedule_at(SimTime::from_ns(i * 919),
+                      [&plain_times, &plain] { plain_times.push_back(plain.now().ns()); });
+  }
+  plain.run_until(SimTime::from_ns(1000000));
+
+  EventLoop sharded;
+  std::vector<std::int64_t> sharded_times;
+  for (int i = 0; i < 200; ++i) {
+    sharded.schedule_at(SimTime::from_ns(i * 919), [&sharded_times, &sharded] {
+      sharded_times.push_back(sharded.now().ns());
+    });
+  }
+  ParallelExecutor ex({ParallelExecutor::Shard{&sharded, nullptr}},
+                      Duration::micros(50), 1);
+  ex.run_until(SimTime::from_ns(1000000));
+  EXPECT_EQ(sharded_times, plain_times);
+  EXPECT_EQ(sharded.now(), plain.now());
+}
+
+TEST(ParallelExecutor, RejectsNonPositiveLookahead) {
+  EventLoop loop;
+  EXPECT_THROW(ParallelExecutor({ParallelExecutor::Shard{&loop, nullptr}},
+                                Duration::zero(), 1),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace sttcp::sim

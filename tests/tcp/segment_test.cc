@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/random.h"
+
 namespace sttcp::tcp {
 namespace {
 
@@ -87,6 +89,53 @@ TEST(SegmentTest, SeqLenCountsSynFinAndPayload) {
   EXPECT_EQ(s.seq_len(), 4u);
   s.flags.fin = true;
   EXPECT_EQ(s.seq_len(), 5u);
+}
+
+TEST(SegmentTest, ChecksumMemoMatchesFullSerialization) {
+  // The RFC 1624 retransmit fast path must be byte-identical to a full
+  // serialization across random ack/window mutations of the same payload.
+  sim::Rng rng(0xfa57);
+  for (int conn = 0; conn < 50; ++conn) {
+    TcpSegment s;
+    s.src_port = static_cast<std::uint16_t>(rng.next_u64());
+    s.dst_port = static_cast<std::uint16_t>(rng.next_u64());
+    s.seq = static_cast<SeqWire>(rng.next_u64());
+    s.flags.ack = true;
+    s.flags.psh = true;
+    s.payload.resize(1 + rng.below(1460));
+    for (auto& b : s.payload) b = static_cast<std::uint8_t>(rng.next_u64());
+
+    TcpSegment::ChecksumMemo memo;
+    for (int retx = 0; retx < 8; ++retx) {
+      s.ack = static_cast<SeqWire>(rng.next_u64());
+      s.window = static_cast<std::uint16_t>(rng.next_u64());
+      EXPECT_EQ(s.serialize(kSrc, kDst, memo), s.serialize(kSrc, kDst))
+          << "conn " << conn << " retx " << retx;
+    }
+    EXPECT_TRUE(memo.valid);
+  }
+}
+
+TEST(SegmentTest, ChecksumMemoInvalidatesOnShapeChange) {
+  TcpSegment s;
+  s.src_port = 1;
+  s.dst_port = 2;
+  s.seq = 100;
+  s.flags.ack = true;
+  s.payload = net::to_bytes("the same bytes every time");
+  TcpSegment::ChecksumMemo memo;
+  EXPECT_EQ(s.serialize(kSrc, kDst, memo), s.serialize(kSrc, kDst));
+
+  // A different sequence range or length must take the full path (and still
+  // produce correct bytes), refreshing the memo.
+  s.seq = 200;
+  s.payload = net::to_bytes("entirely different payload!");
+  EXPECT_EQ(s.serialize(kSrc, kDst, memo), s.serialize(kSrc, kDst));
+  s.flags.fin = true;
+  EXPECT_EQ(s.serialize(kSrc, kDst, memo), s.serialize(kSrc, kDst));
+  auto p = TcpSegment::parse(kSrc, kDst, s.serialize(kSrc, kDst, memo), true);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->payload, s.payload);
 }
 
 TEST(SegmentTest, StrRendering) {

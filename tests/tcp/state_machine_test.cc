@@ -184,6 +184,45 @@ TEST_F(StateMachineTest, SendAfterCloseReturnsZero) {
   EXPECT_EQ(client_conn_->send(pattern_bytes(0, 100)), 0u);
 }
 
+TEST_F(StateMachineTest, InOrderBurstInOneTickCoalescesToOneAck) {
+  // Pin both ISNs so raw segments can be crafted against known sequence
+  // numbers, then inject two in-order data segments into the server
+  // connection within a single event-loop tick: exactly one cumulative ACK
+  // (covering both) may leave, not one per segment.
+  cfg_.isn_override = 1000;
+  client_stack_ = std::make_unique<TcpStack>(net_.host(0), cfg_);
+  server_stack_ = std::make_unique<TcpStack>(net_.host(1), cfg_);
+  establish();
+
+  const std::uint64_t sent_before = server_conn_->stats().segments_sent;
+  TcpSegment a;
+  a.seq = 1001;  // client ISS+1
+  a.ack = 1001;  // server ISS+1
+  a.flags.ack = true;
+  a.window = 65535;
+  a.payload = testing::pattern_bytes(0, 4);
+  TcpSegment b = a;
+  b.seq = 1005;
+  b.payload = testing::pattern_bytes(4, 4);
+  server_conn_->on_segment(a);
+  server_conn_->on_segment(b);
+  // Nothing leaves synchronously; the flush runs in this same tick.
+  EXPECT_EQ(server_conn_->stats().segments_sent - sent_before, 0u);
+  run_for(sim::Duration::zero());
+  EXPECT_EQ(server_conn_->stats().segments_sent - sent_before, 1u);
+  EXPECT_EQ(server_conn_->readable(), 8u);
+
+  // Out-of-order segments (a gap at 1009) must keep drawing one immediate
+  // duplicate ACK each — the sender's fast-retransmit signal.
+  const std::uint64_t dup_before = server_conn_->stats().segments_sent;
+  TcpSegment o = a;
+  o.seq = 1013;
+  o.payload = testing::pattern_bytes(12, 4);
+  server_conn_->on_segment(o);
+  server_conn_->on_segment(o);
+  EXPECT_EQ(server_conn_->stats().segments_sent - dup_before, 2u);
+}
+
 TEST_F(StateMachineTest, ServerInCloseWaitCanStillSend) {
   establish();
   net::Bytes got;

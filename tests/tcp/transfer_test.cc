@@ -85,6 +85,23 @@ INSTANTIATE_TEST_SUITE_P(Sizes, TransferTest,
                          ::testing::Values(1, 1000, 1460, 1461, 65536, 1000000,
                                            10000000));
 
+TEST_F(TransferTest, DemuxCacheServesSteadyStateSegments) {
+  // Steady-state receive demux resolves from the flat slot cache: after the
+  // first segment per direction fills the slot, every further segment on the
+  // connection hits it (one cheap hash + tuple compare, no map probe).
+  const std::uint64_t total = 256 * 1024;
+  TransferResult r;
+  run_download(*this, total, r, sim::Duration::seconds(30));
+  ASSERT_TRUE(r.client_done);
+  EXPECT_EQ(r.sink.received, total);
+  const TcpStack::Stats& cs = client_stack_->stats();
+  const TcpStack::Stats& ss = server_stack_->stats();
+  EXPECT_GT(cs.demux_cache_hits, cs.segments_demuxed / 2);
+  EXPECT_GT(ss.demux_cache_hits, ss.segments_demuxed / 2);
+  EXPECT_LE(cs.demux_cache_hits, cs.segments_demuxed);
+  EXPECT_LE(ss.demux_cache_hits, ss.segments_demuxed);
+}
+
 TEST_F(TransferTest, ThroughputApproachesLineRate) {
   // 10 MB over a 100 Mbps path should take just over 0.8s once the window
   // has opened; allow generous slack for slow start.
