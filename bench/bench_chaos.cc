@@ -8,11 +8,17 @@
 // aggregates the sweep. Any violating seed prints its full report, including
 // the one-command replay line.
 //
+// A second sweep runs FaultPlan::Grey(seed) slow-not-dead schedules through
+// run_grey_seed(): per-seed conviction criterion and latency, plus a footer
+// with latency p50/p99 and the false-conviction count (must be zero — a
+// grey host never has grounds to convict its healthy peer).
+//
 //   bench_chaos [seeds] [--json=PATH]     default 40 seeds
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "harness/chaos.h"
@@ -62,7 +68,48 @@ void run(int argc, char** argv) {
   for (const harness::ChaosVerdict& v : verdicts) {
     if (!v.ok()) std::cout << "\n" << v.report();
   }
-  if (violations != 0) std::exit(1);
+
+  // Grey sweep: slow-not-dead faults (FaultPlan::Grey). Heartbeats keep
+  // flowing, so every conviction here must come from a progress-counter
+  // criterion — the verdict row shows which one fired and how fast.
+  print_header("Grey-failure sweep",
+               "slow-not-dead hosts: progress-based conviction latency");
+  const auto grey = runner.map(seeds, [](std::size_t i) {
+    return harness::run_grey_seed(static_cast<std::uint64_t>(i) + 1);
+  });
+
+  Table g({"seed", "grey_node", "verdict", "complete", "conviction",
+           "latency (ms)", "false_conv", "takeover", "non_ft", "sim (s)"});
+  std::size_t g_violations = 0, g_false = 0;
+  std::vector<double> latencies;
+  for (const harness::GreyVerdict& v : grey) {
+    g.row(v.seed, v.grey_node, v.ok() ? "ok" : "VIOLATED", ok(v.complete),
+          v.conviction_event.empty() ? "none" : v.conviction_event,
+          v.conviction_latency_ms, v.false_convictions, v.takeovers, v.non_ft,
+          static_cast<double>(v.sim_ns) * 1e-9);
+    if (!v.ok()) ++g_violations;
+    g_false += v.false_convictions;
+    if (v.conviction_latency_ms >= 0) latencies.push_back(v.conviction_latency_ms);
+  }
+  g.print();
+  json.table(g, "grey");
+
+  std::sort(latencies.begin(), latencies.end());
+  const auto pct = [&](double p) {
+    if (latencies.empty()) return 0.0;
+    const std::size_t i = static_cast<std::size_t>(
+        p * static_cast<double>(latencies.size() - 1) + 0.5);
+    return latencies[i];
+  };
+  std::cout << "\n" << seeds << " grey seeds: " << latencies.size()
+            << " convicted, conviction latency p50=" << pct(0.50)
+            << " ms p99=" << pct(0.99) << " ms, " << g_false
+            << " false convictions, " << g_violations
+            << " invariant violations\n";
+  for (const harness::GreyVerdict& v : grey) {
+    if (!v.ok()) std::cout << "\n" << v.report();
+  }
+  if (violations != 0 || g_violations != 0) std::exit(1);
 }
 
 }  // namespace

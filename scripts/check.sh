@@ -12,17 +12,23 @@
 # the invariant-checked mid-churn failover acceptance (see EXPERIMENTS.md,
 # "Capacity and churn"). With --shard, run the 4-shard routed-fabric smoke
 # (router death + inter-subnet partition under churn, docs/ROUTING.md) in
-# the Release lane. The default lane also runs the doc link checker.
+# the Release lane. With --grey, run the grey-failure lane in the Release
+# lane: the bounded-depth interleaving explorer over the failover window
+# plus a 32-seed slow-not-dead sweep convicted by progress counters
+# (docs/CHAOS.md, "Grey failures"). The default lane also runs the doc link
+# checker.
 #
 # With --tsan, build the ThreadSanitizer configuration and run the parallel
-# shard-executor and determinism tests under it — the proof that the
-# conservative window/barrier protocol has no data races.
+# shard-executor, determinism, clock-domain, and grey-sweep tests under it —
+# the proof that the conservative window/barrier protocol and the
+# sweep-runner pool have no data races.
 #
 #   scripts/check.sh             # build + full ctest + doc link check
 #   scripts/check.sh --asan      # additionally: sanitizer lane
 #   scripts/check.sh --tsan      # additionally: TSan parallel-engine lane
 #   scripts/check.sh --release   # additionally: -O2 lane + bench smoke
 #   scripts/check.sh --chaos     # additionally: 64-seed adversarial fuzz lane
+#   scripts/check.sh --grey      # additionally: explorer + grey-failure lane
 #   scripts/check.sh --scale     # additionally: churn capacity smoke lane
 #   scripts/check.sh --shard     # additionally: 4-shard fabric chaos smoke
 set -euo pipefail
@@ -51,9 +57,11 @@ for arg in "$@"; do
       cmake -B build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSTTCP_SANITIZE=thread >/dev/null
       cmake --build build-tsan -j "$JOBS"
       # Everything that spawns worker threads: the shard executor, the
-      # sharded determinism digests, and the sweep-runner pool.
-      ctest --test-dir build-tsan --output-on-failure \
-        -j "$JOBS" -R 'parallel|determinism'
+      # sharded determinism digests, and the sweep-runner pool (the grey
+      # sweep runs a reduced seed budget under TSan). Clock-domain tests
+      # ride along: virtual-clock skew under the parallel executor.
+      STTCP_GREY_SEEDS=8 ctest --test-dir build-tsan --output-on-failure \
+        -j "$JOBS" -R 'parallel|determinism|clock_domain|grey_chaos'
       ;;
     --release)
       cmake -B build-release -DCMAKE_BUILD_TYPE=Release >/dev/null
@@ -71,6 +79,18 @@ for arg in "$@"; do
       # fault schedule; any invariant violation prints the exact seed + plan
       # and a one-command replay line (see docs/CHAOS.md), and fails the lane.
       ./build-release/bench/bench_chaos 64
+      ;;
+    --grey)
+      cmake -B build-release -DCMAKE_BUILD_TYPE=Release >/dev/null
+      cmake --build build-release -j "$JOBS"
+      # Grey-failure lane (docs/CHAOS.md, "Grey failures"): exhaustively
+      # enumerate the failover window's interleavings at the default bounds,
+      # then sweep 32 slow-not-dead schedules — every grey host must be
+      # convicted by a progress-counter criterion within budget, with zero
+      # false convictions. Both exit non-zero on any violation.
+      ./build-release/bench/bench_explore 3000
+      STTCP_GREY_SEEDS=32 ./build-release/tests/integration_grey_chaos_test \
+        --gtest_filter='*GreySweepHoldsAllInvariants*'
       ;;
     --scale)
       cmake -B build-release -DCMAKE_BUILD_TYPE=Release >/dev/null

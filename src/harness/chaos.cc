@@ -106,6 +106,131 @@ ChaosVerdict run_chaos_seed(std::uint64_t seed, const ChaosOptions& opts) {
   return v;
 }
 
+Node grey_victim(const FaultPlan& plan) {
+  // By construction the convictable fault is first and names its node in the
+  // label ("app_hang:backup", "cpu_stall:primary(stall(8.00s))").
+  const std::string& l = plan.faults().front().label();
+  return l.find(":backup") != std::string::npos ? Node::kBackup
+                                                : Node::kPrimary;
+}
+
+GreyVerdict run_grey_seed(std::uint64_t seed, const GreyOptions& opts) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.tcp.verify_checksums = true;
+  // Arm the absolute-stagnation criterion: this is the only sweep that sets
+  // it, so every other suite keeps the bit-identical zero-default behaviour.
+  cfg.sttcp.progress_stall_time = opts.progress_stall_time;
+  // A convicted-then-STONITHed host can leave FIN arbitration pending on the
+  // survivor; same allowance the adversarial sweep makes.
+  cfg.sttcp.max_delay_fin = sim::Duration::seconds(20);
+  Scenario sc(std::move(cfg));
+
+  app::FileServer p_app(sc.primary_stack(), sc.service_port(), opts.file_size);
+  app::FileServer b_app(sc.backup_stack(), sc.service_port(), opts.file_size);
+  sc.register_server_app(Node::kPrimary, &p_app);
+  sc.register_server_app(Node::kBackup, &b_app);
+  app::DownloadClient::Options copt;
+  copt.expected_bytes = opts.file_size;
+  app::DownloadClient client(sc.client_stack(), sc.client_ip(),
+                             {sc.connect_addr()}, copt);
+
+  InvariantChecker::Options iopt;
+  iopt.expected_bytes = opts.file_size;
+  iopt.expect_masked = true;
+  InvariantChecker checker(sc, iopt);
+
+  const FaultPlan plan = FaultPlan::Grey(seed);
+  const Node victim = grey_victim(plan);
+  sc.inject(plan);
+  client.start();
+
+  const sim::SimTime deadline = sc.world().now() + opts.run_cap;
+  while (!client.complete() && sc.world().now() < deadline) {
+    sc.run_for(sim::Duration::millis(250));
+  }
+  sc.run_for(sim::Duration::seconds(1));
+
+  GreyVerdict v;
+  v.seed = seed;
+  v.plan = plan.str();
+  v.grey_node = to_string(victim);
+  v.violations = checker.check(client);
+  checker.check_grey(sc.world().trace(), victim, opts.conviction_budget,
+                     v.violations);
+  v.complete = client.complete();
+  v.received = client.received();
+
+  const sim::TraceRecorder& trace = sc.world().trace();
+  const std::string peer_name =
+      victim == Node::kPrimary ? "backup" : "primary";
+  const auto fault_at = trace.first_time("fault_injected");
+  for (const sim::TraceEntry& e : trace.entries()) {
+    if (e.event != "peer_convicted") continue;
+    if (e.component == peer_name && v.conviction_event.empty()) {
+      v.conviction_event = e.detail;
+      if (fault_at.has_value()) {
+        v.conviction_latency_ms = (e.at - *fault_at).to_millis();
+      }
+    } else if (e.component == to_string(victim)) {
+      ++v.false_convictions;
+    }
+  }
+  v.takeovers = trace.count("takeover");
+  v.non_ft = trace.count("non_ft_mode");
+  v.sim_ns = (sc.world().now() - sim::SimTime::zero()).ns();
+
+  std::uint64_t h = 1469598103934665603ull;
+  h = fnv_mix(h, v.seed);
+  h = fnv_mix(h, v.plan);
+  for (const Violation& viol : v.violations) h = fnv_mix(h, viol.str());
+  h = fnv_mix(h, v.complete ? 1 : 0);
+  h = fnv_mix(h, v.received);
+  h = fnv_mix(h, v.grey_node);
+  h = fnv_mix(h, v.conviction_event);
+  h = fnv_mix(h, static_cast<std::uint64_t>(
+                     static_cast<std::int64_t>(v.conviction_latency_ms * 1000)));
+  h = fnv_mix(h, v.false_convictions);
+  h = fnv_mix(h, v.takeovers);
+  h = fnv_mix(h, v.non_ft);
+  h = fnv_mix(h, static_cast<std::uint64_t>(v.sim_ns));
+  v.digest = h;
+  return v;
+}
+
+std::string GreyVerdict::report() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "grey seed %llu: %s\n",
+                static_cast<unsigned long long>(seed),
+                ok() ? "all invariants held" : "INVARIANT VIOLATION");
+  out += line;
+  out += "  plan: " + plan + "\n";
+  std::snprintf(line, sizeof(line),
+                "  outcome: %s, %llu bytes; grey=%s convicted_by=%s "
+                "latency=%.1fms false_convictions=%llu takeovers=%llu "
+                "non_ft=%llu sim=%.3fs\n",
+                complete ? "complete" : "INCOMPLETE",
+                static_cast<unsigned long long>(received), grey_node.c_str(),
+                conviction_event.empty() ? "(never)" : conviction_event.c_str(),
+                conviction_latency_ms,
+                static_cast<unsigned long long>(false_convictions),
+                static_cast<unsigned long long>(takeovers),
+                static_cast<unsigned long long>(non_ft),
+                static_cast<double>(sim_ns) * 1e-9);
+  out += line;
+  for (const Violation& v : violations) out += "  violated " + v.str() + "\n";
+  if (!ok()) {
+    std::snprintf(line, sizeof(line),
+                  "  replay: STTCP_GREY_SEED=%llu "
+                  "./build/tests/integration_grey_chaos_test "
+                  "--gtest_filter='*ReplaySeed*'\n",
+                  static_cast<unsigned long long>(seed));
+    out += line;
+  }
+  return out;
+}
+
 std::string ChaosVerdict::report() const {
   std::string out;
   char line[256];

@@ -61,4 +61,52 @@ struct ChaosVerdict {
 
 ChaosVerdict run_chaos_seed(std::uint64_t seed, const ChaosOptions& opts = {});
 
+// --- grey failures ---------------------------------------------------------
+
+struct GreyOptions {
+  /// Big enough that the transfer is still mid-stream (demand outstanding)
+  /// when the latest-landing grey fault has been convicted: the counter
+  /// criteria need unacknowledged bytes to reason about.
+  std::uint64_t file_size = 40'000'000;
+  sim::Duration run_cap = sim::Duration::seconds(90);
+  /// Absolute-stagnation conviction threshold armed on both endpoints
+  /// (StTcpConfig::progress_stall_time). Must clear the heartbeat staleness
+  /// and replica grace, and stay well under conviction_budget.
+  sim::Duration progress_stall_time = sim::Duration::millis(1200);
+  /// Fault injection -> conviction wall asserted by the grey invariants.
+  sim::Duration conviction_budget = sim::Duration::seconds(3);
+};
+
+/// One grey trial: FaultPlan::Grey(seed) under the InvariantChecker plus the
+/// grey-specific checks (counter-based conviction of the grey host within
+/// budget, no conviction BY the grey host). The transfer must still complete
+/// bit-exact — grey failures are survivable by construction.
+struct GreyVerdict {
+  std::uint64_t seed = 0;
+  std::string plan;
+  std::vector<Violation> violations;
+
+  bool complete = false;
+  std::uint64_t received = 0;
+  std::string grey_node;            // "primary" | "backup"
+  std::string conviction_event;     // criterion that convicted it ("" = none)
+  double conviction_latency_ms = -1;  // fault_injected -> conviction
+  std::uint64_t false_convictions = 0;  // convictions recorded BY the grey host
+  std::uint64_t takeovers = 0;
+  std::uint64_t non_ft = 0;
+  std::int64_t sim_ns = 0;
+
+  /// FNV-1a fold of every field above: same seed => same digest.
+  std::uint64_t digest = 0;
+
+  bool ok() const { return violations.empty(); }
+  std::string report() const;
+};
+
+GreyVerdict run_grey_seed(std::uint64_t seed, const GreyOptions& opts = {});
+
+/// The node FaultPlan::Grey(seed) greys (parsed from the plan's first,
+/// always-convictable fault).
+Node grey_victim(const FaultPlan& plan);
+
 }  // namespace sttcp::harness

@@ -3,6 +3,7 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "app/server.h"
 #include "harness/scenario.h"
 #include "sim/random.h"
 
@@ -241,6 +242,38 @@ Fault Fault::Jitter(Node n, sim::Duration max_jitter, sim::Duration window) {
       [](net::Impairment& i) { i.config().jitter_max = sim::Duration::zero(); });
 }
 
+Fault Fault::CpuStall(Node n, sim::LagProfile profile) {
+  Fault f;
+  f.label_ = fmt("cpu_stall:%s(%s)", to_string(n), profile.str().c_str());
+  f.action_ = [n, profile](Scenario& s) {
+    s.world().trace().record(to_string(n), "cpu_stall", profile.str());
+    host_of(s, n).cpu_domain().set_lag(profile);
+  };
+  return f;
+}
+
+Fault Fault::SlowNic(Node n, double p, sim::Duration window) {
+  // Direction 1 = frames transmitted from the link's switch-side port
+  // (topology wiring puts the NIC on port 0, the switch on port 1), i.e.
+  // the switch->host direction: the node's RECEIVE path degrades while its
+  // own transmissions — heartbeats included — go out clean.
+  return impairment_fault(
+      fmt("slow_nic:%s(p=%.3f,%s)", to_string(n), p, window.str().c_str()), n,
+      window,
+      [p](net::Impairment& i) { i.config().oneway_drop[1] = p; },
+      [](net::Impairment& i) { i.config().oneway_drop[1] = 0.0; });
+}
+
+Fault Fault::AppHang(Node n) {
+  Fault f;
+  f.label_ = std::string("app_hang:") + to_string(n);
+  f.action_ = [n](Scenario& s) {
+    s.world().trace().record(to_string(n), "app_hang");
+    if (app::ServerApp* a = s.server_app(n)) a->hang();
+  };
+  return f;
+}
+
 Fault Fault::SerialCorrupt(double corrupt_p, double truncate_p,
                            sim::Duration window) {
   Fault f;
@@ -356,6 +389,63 @@ FaultPlan FaultPlan::Adversarial(std::uint64_t seed) {
       case 5:
         plan.add(Fault::SerialCorrupt(0.05 + 0.35 * rng.uniform01(),
                                       0.15 * rng.uniform01(), window)
+                     .at(at));
+        break;
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::Grey(std::uint64_t seed) {
+  // Same stream decorrelation as Adversarial: the plan must not shift when
+  // the scenario's own draw order evolves.
+  sim::Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  FaultPlan plan;
+
+  // Exactly one convictable grey fault, always first in the plan. The CPU
+  // stall is HARD (6–12 s, longer than any conviction budget): a duty-cycled
+  // stutter lets counters advance between pulses, which TCP masks — that
+  // case gets its own masked-no-conviction test, not a sweep slot.
+  const Node victim = rng.chance(0.5) ? Node::kPrimary : Node::kBackup;
+  const auto when =
+      sim::Duration::millis(static_cast<std::int64_t>(rng.range(200, 800)));
+  if (rng.chance(0.5)) {
+    plan.add(Fault::AppHang(victim).at(when));
+  } else {
+    const auto stall =
+        sim::Duration::millis(static_cast<std::int64_t>(rng.range(6000, 12000)));
+    plan.add(Fault::CpuStall(victim, sim::LagProfile::stall(stall)).at(when));
+  }
+
+  // Garnish: 0–2 mild, bounded, loss-free impairments. No BurstLoss, no
+  // SlowNic, no Corrupt (a checksum drop is loss too): dropped client ACKs
+  // freeze the demand-side counters and dropped heartbeats blind a grey
+  // host's view of its healthy peer — both manufacture false convictions on
+  // a schedule this sweep asserts is clean.
+  constexpr Node kNodes[] = {Node::kClient, Node::kPrimary, Node::kBackup,
+                             Node::kGateway};
+  const int garnish = static_cast<int>(rng.below(3));
+  for (int i = 0; i < garnish; ++i) {
+    const Node n = kNodes[rng.below(4)];
+    const auto at =
+        sim::Duration::millis(static_cast<std::int64_t>(rng.range(50, 700)));
+    const auto window =
+        sim::Duration::millis(static_cast<std::int64_t>(rng.range(200, 900)));
+    switch (rng.below(3)) {
+      case 0:
+        plan.add(Fault::Jitter(
+                     n, sim::Duration::millis(static_cast<std::int64_t>(rng.range(1, 4))),
+                     window)
+                     .at(at));
+        break;
+      case 1:
+        plan.add(Fault::Duplicate(n, 0.02 + 0.08 * rng.uniform01(), window).at(at));
+        break;
+      case 2:
+        plan.add(Fault::Reorder(
+                     n, 0.05 + 0.15 * rng.uniform01(),
+                     sim::Duration::millis(static_cast<std::int64_t>(rng.range(1, 5))),
+                     window)
                      .at(at));
         break;
     }

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/clock_domain.h"
 #include "sim/time.h"
 
 namespace sttcp::harness {
@@ -71,6 +72,24 @@ class Fault {
   static Fault Jitter(Node n, sim::Duration max_jitter, sim::Duration window);
   /// RS-232 line noise: per-message bit-flip / mid-message-cut probabilities.
   static Fault SerialCorrupt(double corrupt_p, double truncate_p, sim::Duration window);
+
+  // --- grey failures: slow-not-dead, the host keeps heartbeating ----------
+  /// CPU stall: the node's TCP/application processing freezes per `profile`
+  /// (sim::ClockDomain) while interrupt-level work — the NIC, UDP/ICMP, and
+  /// the ST-TCP endpoint's real-time-priority heartbeat daemon — keeps
+  /// running. The peer keeps hearing "alive" with frozen progress counters:
+  /// conviction must come from counter stagnation, not heartbeat silence.
+  static Fault CpuStall(Node n, sim::LagProfile profile);
+  /// Degraded NIC receive path: frames travelling TOWARD the node are
+  /// dropped i.i.d. with probability `p` (the transmit side stays clean).
+  /// TCP retransmission masks this class entirely; it must never be
+  /// convicted on its own.
+  static Fault SlowNic(Node n, double p, sim::Duration window);
+  /// Application hang (paper §4.2): the node's server process stops
+  /// consuming and producing, sockets stay open, the stack and heartbeat
+  /// daemon keep running. Requires Scenario::register_server_app(n, ...);
+  /// a no-op (with a trace record) when no app is registered for the node.
+  static Fault AppHang(Node n);
   /// Escape hatch: run an arbitrary action against the scenario. The label
   /// appears in the trace; used by the bench harness for app-level faults
   /// (hang, clean close, abort) that are not topology events.
@@ -116,6 +135,19 @@ class FaultPlan {
   /// excluded, so every generated plan must be masked and the chaos fuzzer
   /// can assert completion. Same seed, same plan.
   static FaultPlan Adversarial(std::uint64_t seed);
+
+  /// Draw a grey-failure schedule from `seed`: exactly ONE convictable grey
+  /// fault — an application hang, or a hard CPU stall longer than any
+  /// conviction budget — on the primary or the backup, landing at 200–800 ms,
+  /// plus up to two mild bounded-window garnish impairments (jitter /
+  /// duplication / reordering only). Schedules are survivable by
+  /// construction: no loss of any kind is drawn, because frame loss can
+  /// freeze counters (a client whose ACKs are dropped looks exactly like a
+  /// stalled primary) or blind the grey host's own view of its healthy peer —
+  /// either way manufacturing a false conviction the sweep would then have
+  /// to tolerate. Same seed, same plan. The convictable fault is always
+  /// faults().front().
+  static FaultPlan Grey(std::uint64_t seed);
 
   const std::vector<Fault>& faults() const { return faults_; }
   bool empty() const { return faults_.empty(); }

@@ -301,6 +301,59 @@ std::vector<Violation> InvariantChecker::check(
   return out;
 }
 
+void InvariantChecker::check_grey(const sim::TraceRecorder& trace, Node grey,
+                                  sim::Duration budget,
+                                  std::vector<Violation>& out) const {
+  const bool grey_is_primary = grey == Node::kPrimary;
+  const std::string& grey_name =
+      grey_is_primary ? scope_.primary->name() : scope_.backup->name();
+  const std::string& peer_name =
+      grey_is_primary ? scope_.backup->name() : scope_.primary->name();
+
+  const auto fault_at = trace.first_time("fault_injected");
+  if (!fault_at.has_value()) {
+    out.push_back({"grey-conviction", "no fault was ever injected"});
+    return;
+  }
+
+  // The peer must have convicted the grey host, within budget, on a
+  // counter-based criterion.
+  const sim::TraceEntry* conviction = nullptr;
+  for (const sim::TraceEntry& e : trace.entries()) {
+    if (e.event == "peer_convicted" && e.component == peer_name) {
+      conviction = &e;
+      break;
+    }
+  }
+  if (conviction == nullptr) {
+    out.push_back({"grey-conviction",
+                   peer_name + " never convicted the grey " + grey_name});
+  } else {
+    if (conviction->at - *fault_at > budget) {
+      out.push_back({"grey-conviction",
+                     "conviction took " + (conviction->at - *fault_at).str() +
+                         " (budget " + budget.str() + ")"});
+    }
+    if (conviction->detail != "progress_stall_detected" &&
+        conviction->detail != "app_failure_detected") {
+      out.push_back({"grey-criterion",
+                     peer_name + " convicted via \"" + conviction->detail +
+                         "\", not a progress-counter criterion — the grey " +
+                         grey_name + " was heartbeating throughout"});
+    }
+  }
+
+  // The grey host must not have convicted its healthy peer.
+  for (const sim::TraceEntry& e : trace.entries()) {
+    if (e.event == "peer_convicted" && e.component == grey_name) {
+      out.push_back({"grey-false-conviction",
+                     grey_name + " convicted its healthy peer via \"" +
+                         e.detail + "\" at " + e.at.str()});
+      break;
+    }
+  }
+}
+
 std::vector<Violation> InvariantChecker::check(const Workload& workload) {
   std::vector<Violation> out;
   collect_streamed(out);

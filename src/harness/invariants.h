@@ -35,11 +35,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "harness/fault.h"
 #include "net/frame.h"
 #include "net/host.h"
 #include "net/link.h"
 #include "net/switch.h"
 #include "sim/time.h"
+#include "sim/trace.h"
 #include "sttcp/endpoint.h"
 #include "tcp/stack.h"
 
@@ -105,6 +107,23 @@ class InvariantChecker {
   /// drained() plus a quiet margin of at least 2 x MSL, so TIME_WAIT
   /// connections have left the tables.
   std::vector<Violation> check(const Workload& workload);
+
+  /// Grey-failure verdict, evaluated over the run's trace. The invariants a
+  /// slow-not-dead fault adds on top of the streaming ones:
+  ///
+  ///   grey-conviction        the grey node was convicted by its peer within
+  ///                          `budget` of the first fault injection;
+  ///   grey-criterion         that conviction came from a progress-counter
+  ///                          criterion ("progress_stall_detected" or
+  ///                          "app_failure_detected"), never from heartbeat
+  ///                          silence ("peer_dead") — the grey host was
+  ///                          heartbeating the whole time;
+  ///   grey-false-conviction  the grey host itself convicted nobody: slow is
+  ///                          not a licence to shoot the healthy peer.
+  ///
+  /// Appends to `out` so it composes with check().
+  void check_grey(const sim::TraceRecorder& trace, Node grey,
+                  sim::Duration budget, std::vector<Violation>& out) const;
 
   // --- accounting (for reports / tests) ----------------------------------
   std::uint64_t corrupted_frames() const { return corrupt_events_; }

@@ -27,12 +27,17 @@
 // pair, routers, or custom wiring should use TopologyBuilder directly.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 
 #include "harness/fault.h"
 #include "harness/topology.h"
 #include "sttcp/logger.h"
+
+namespace sttcp::app {
+class ServerApp;
+}
 
 namespace sttcp::harness {
 
@@ -150,6 +155,17 @@ class Scenario {
   void inject(Fault fault);
   void inject(const FaultPlan& plan);
 
+  /// Make the node's server application addressable by application-level
+  /// faults (Fault::AppHang). The caller keeps ownership; the pointer must
+  /// outlive the run. At most one app per node; re-registering replaces.
+  void register_server_app(Node n, app::ServerApp* app) {
+    server_apps_[static_cast<std::size_t>(n)] = app;
+  }
+  /// The registered app for `n`, or null.
+  app::ServerApp* server_app(Node n) {
+    return server_apps_[static_cast<std::size_t>(n)];
+  }
+
   /// \deprecated Wrappers over inject(); use the Fault factories instead,
   /// e.g. inject(Fault::Crash(Node::kPrimary).at(t)).
   void crash_primary_at(sim::Duration t);
@@ -184,6 +200,7 @@ class Scenario {
   ScenarioConfig cfg_;
   std::unique_ptr<Topology> topo_;
   std::unique_ptr<sttcp::StreamLogger> logger_;
+  std::array<app::ServerApp*, 4> server_apps_{};
 };
 
 }  // namespace sttcp::harness

@@ -6,8 +6,19 @@
 
 namespace sttcp::net {
 
+namespace {
+/// Ethertype IPv4 + protocol TCP, straight off the wire bytes — cheap enough
+/// to ask about every frame while a grey fault is active, never consulted
+/// otherwise.
+bool is_tcp_frame(const Frame& f) {
+  return f.size() >= EthernetHeader::kSize + Ipv4Header::kSize &&
+         f[12] == 0x08 && f[13] == 0x00 && f[EthernetHeader::kSize + 9] == 6;
+}
+}  // namespace
+
 Host::Host(sim::World& world, std::string name)
-    : world_(world), name_(std::move(name)), log_(world.logger(name_)) {}
+    : world_(world), name_(std::move(name)), log_(world.logger(name_)),
+      cpu_domain_(world.loop()) {}
 
 Host::~Host() = default;
 
@@ -37,6 +48,7 @@ void Host::crash(const std::string& reason) {
   for (auto& n : nics_) n->fail();
   for (auto& [id, p] : pending_pings_) world_.loop().cancel(p.timeout_timer);
   pending_pings_.clear();
+  cpu_domain_.clear();  // stalled queued work dies with the machine
   for (auto& hook : crash_hooks_) hook();
 }
 
@@ -44,6 +56,7 @@ void Host::power_on() {
   if (alive_) return;
   alive_ = true;
   cpu_busy_until_ = sim::SimTime();
+  cpu_domain_.clear();  // a fresh boot is healthy: no lag profile survives
   pending_pings_.clear();
   log_.info("powered on");
   world_.trace().record(name_, "host_boot");
@@ -126,6 +139,22 @@ void Host::set_l4_handler(std::uint8_t protocol, L4Handler handler) {
 
 void Host::on_nic_frame(Frame frame) {
   if (!alive_) return;
+  // Grey-failure CPU stall: while the domain is lagged, TCP frames wait for
+  // the CPU like the rest of the data path (they surface, in arrival order,
+  // when the stall window ends). UDP and ICMP stay inline: the heartbeat
+  // daemon runs at real-time priority (paper §3), which is exactly what
+  // makes a stalled host *grey* — it keeps heartbeating while the progress
+  // counters carried in those heartbeats freeze.
+  if (cpu_domain_.lagged() && is_tcp_frame(frame)) {
+    cpu_domain_.schedule_at(world_.now(), [this, frame = std::move(frame)] {
+      if (alive_) dispatch_frame(frame);
+    });
+    return;
+  }
+  dispatch_frame(std::move(frame));
+}
+
+void Host::dispatch_frame(Frame frame) {
   if (cpu_packet_time_.is_zero()) {
     process_frame(frame);
     return;

@@ -25,6 +25,7 @@
 #include "net/addr.h"
 #include "net/headers.h"
 #include "net/nic.h"
+#include "sim/clock_domain.h"
 #include "sim/world.h"
 
 namespace sttcp::net {
@@ -72,6 +73,13 @@ class Host {
   }
   /// Per-received-packet CPU time; zero (default) processes inline.
   void set_cpu_packet_time(sim::Duration d) { cpu_packet_time_ = d; }
+  /// This host's CPU clock domain — the grey-failure stall hook. While a
+  /// LagProfile is active, received TCP frames and every timer routed
+  /// through the domain (the TCP stack's) slide out of the stall windows;
+  /// UDP/ICMP receive and the ST-TCP daemon's own timers stay on schedule,
+  /// modeling the paper's real-time-priority heartbeat daemon. Healthy
+  /// domains are pure passthrough, so unfaulted runs are bit-identical.
+  sim::ClockDomain& cpu_domain() { return cpu_domain_; }
   /// Observe every frame this host actually processes (after the NIC filter,
   /// the CPU queue, and the alive check — i.e. exactly the frames the
   /// protocol layers see). Diagnostics/invariant accounting; one null check
@@ -129,6 +137,7 @@ class Host {
 
  private:
   void on_nic_frame(Frame frame);
+  void dispatch_frame(Frame frame);
   void process_frame(const Frame& frame);
   void handle_icmp(const Ipv4Header& ip, BytesView l4);
   void handle_udp(const Ipv4Header& ip, BytesView l4);
@@ -158,6 +167,7 @@ class Host {
 
   sim::Duration cpu_packet_time_ = sim::Duration::zero();
   sim::SimTime cpu_busy_until_;
+  sim::ClockDomain cpu_domain_;
   bool alive_ = true;
   Stats stats_;
 };

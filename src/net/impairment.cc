@@ -9,6 +9,16 @@ Impairment::Plan Impairment::plan(int direction, Frame frame) {
   p.frame = std::move(frame);
   if (!cfg_.any()) return p;
 
+  // One-way NIC loss: a single i.i.d. draw, only for directions it is armed
+  // on (an unarmed direction consumes no randomness, so arming one side
+  // leaves the other side's stream untouched).
+  if (cfg_.oneway_drop[direction & 1] > 0.0 &&
+      rng_.chance(cfg_.oneway_drop[direction & 1])) {
+    ++stats_.oneway_dropped;
+    p.drop = true;
+    return p;
+  }
+
   // Gilbert–Elliott: step the chain once per frame, then (maybe) lose the
   // frame if this direction is in the Bad state.
   bool& bad = burst_bad_[direction & 1];

@@ -43,6 +43,12 @@ struct ImpairmentConfig {
   double burst_p_exit = 0.0;   // P(Bad -> Good), stepped per frame
   double burst_loss = 1.0;     // loss probability while Bad
 
+  // One-way i.i.d. loss per direction — the "NIC whose receive (or transmit)
+  // side silently drops a fraction of frames" grey failure. Unlike burst
+  // loss this is direction-asymmetric by construction: Fault::SlowNic arms
+  // exactly one of the two (index = Link port the frames travel TOWARD).
+  double oneway_drop[2] = {0.0, 0.0};
+
   double corrupt_probability = 0.0;
   double duplicate_probability = 0.0;
   double reorder_probability = 0.0;
@@ -50,9 +56,9 @@ struct ImpairmentConfig {
   sim::Duration jitter_max;     // uniform [0, jitter_max) extra latency
 
   bool any() const {
-    return burst_p_enter > 0.0 || corrupt_probability > 0.0 ||
-           duplicate_probability > 0.0 || reorder_probability > 0.0 ||
-           !jitter_max.is_zero();
+    return burst_p_enter > 0.0 || oneway_drop[0] > 0.0 || oneway_drop[1] > 0.0 ||
+           corrupt_probability > 0.0 || duplicate_probability > 0.0 ||
+           reorder_probability > 0.0 || !jitter_max.is_zero();
   }
 };
 
@@ -60,6 +66,7 @@ class Impairment {
  public:
   struct Stats {
     std::uint64_t burst_dropped = 0;
+    std::uint64_t oneway_dropped = 0;
     std::uint64_t corrupted = 0;
     std::uint64_t duplicated = 0;
     std::uint64_t reordered = 0;

@@ -12,6 +12,7 @@ const char* to_string(Milestone m) {
   switch (m) {
     case Milestone::kFaultInjected: return "fault_injected";
     case Milestone::kLastHeartbeat: return "last_heartbeat";
+    case Milestone::kProgressStall: return "progress_stall";
     case Milestone::kChannelDead: return "channel_dead";
     case Milestone::kStonith: return "stonith";
     case Milestone::kTakeover: return "takeover";
@@ -64,6 +65,15 @@ std::optional<FailoverTimeline::Segments> FailoverTimeline::segments() const {
 
 void FailoverTimeline::reset() {
   for (auto& m : marks_) m.reset();
+  conviction_reason_.clear();
+  conviction_lag_bytes_ = 0;
+}
+
+void FailoverTimeline::set_conviction(const std::string& reason,
+                                      std::uint64_t lag_bytes) {
+  if (!conviction_reason_.empty()) return;  // first conviction wins
+  conviction_reason_ = reason;
+  conviction_lag_bytes_ = lag_bytes;
 }
 
 void FailoverTimeline::write_json(std::ostream& out) const {
@@ -77,6 +87,10 @@ void FailoverTimeline::write_json(std::ostream& out) const {
         << "\":" << marks_[i]->to_millis();
   }
   out << "}";
+  if (!conviction_reason_.empty()) {
+    out << ",\"conviction\":{\"reason\":\"" << conviction_reason_
+        << "\",\"lag_bytes\":" << conviction_lag_bytes_ << "}";
+  }
   if (const auto s = segments()) {
     out << ",\"segments_ms\":{\"detection\":" << s->detection_ms
         << ",\"takeover\":" << s->takeover_ms

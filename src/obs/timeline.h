@@ -25,6 +25,9 @@ namespace sttcp::obs {
 enum class Milestone {
   kFaultInjected,           // the harness fired the fault
   kLastHeartbeat,           // last heartbeat received before conviction
+  kProgressStall,           // grey failure: peer counters first seen frozen
+                            // under demand (stamped when the stagnation
+                            // detector fires; heartbeats were still arriving)
   kChannelDead,             // detector declared the peer failed
   kStonith,                 // power-off command issued
   kTakeover,                // backup assumed the connections (or primary
@@ -71,13 +74,23 @@ class FailoverTimeline {
 
   void reset();
 
-  /// {"milestones_ms":{...},"segments_ms":{...}} (segments when complete).
+  /// Record WHY the peer was convicted (the detector's trace event, e.g.
+  /// "progress_stall_detected") and the worst byte lag any tracker saw at
+  /// that moment. First conviction wins, like every milestone.
+  void set_conviction(const std::string& reason, std::uint64_t lag_bytes);
+  const std::string& conviction_reason() const { return conviction_reason_; }
+  std::uint64_t conviction_lag_bytes() const { return conviction_lag_bytes_; }
+
+  /// {"milestones_ms":{...},"conviction":{...},"segments_ms":{...}}
+  /// (conviction when a detector fired, segments when complete).
   void write_json(std::ostream& out) const;
   std::string json() const;
 
  private:
   std::array<std::optional<sim::SimTime>, static_cast<std::size_t>(Milestone::kCount)>
       marks_;
+  std::string conviction_reason_;
+  std::uint64_t conviction_lag_bytes_ = 0;
 };
 
 }  // namespace sttcp::obs

@@ -1,8 +1,11 @@
 #include "sim/event_loop.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
+
+#include "sim/clock_domain.h"
 
 namespace sttcp::sim {
 
@@ -16,12 +19,49 @@ TimerId EventLoop::schedule_at(SimTime t, Callback cb) {
   } else {
     slot = static_cast<std::uint32_t>(gens_.size());
     gens_.push_back(1);  // generation 0 is never issued, so no TimerId is 0
+    meta_.emplace_back();
     cbs_.push_back(std::move(cb));
   }
   const std::uint32_t gen = gens_[slot];
-  wheel_.push(WheelEntry{t, next_seq_++, slot, gen});
+  const std::uint64_t seq = next_seq_++;
+  meta_[slot] = SlotMeta{t, seq, gen};
+  wheel_.push(WheelEntry{t, seq, slot, gen});
   ++live_;
   return (static_cast<TimerId>(slot) << 32) | gen;
+}
+
+std::vector<EventLoop::ReadyEvent> EventLoop::ready_events(SimTime horizon) const {
+  std::vector<ReadyEvent> out;
+  for (std::uint32_t slot = 0; slot < gens_.size(); ++slot) {
+    const SlotMeta& m = meta_[slot];
+    if (m.gen == 0 || m.gen != gens_[slot] || m.at > horizon) continue;
+    out.push_back(ReadyEvent{(static_cast<TimerId>(slot) << 32) | m.gen, m.at, m.seq});
+  }
+  std::sort(out.begin(), out.end(), [](const ReadyEvent& a, const ReadyEvent& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+SimTime EventLoop::next_event_at() {
+  drop_stale_top();
+  return wheel_.empty() ? SimTime::never() : wheel_.peek_min().at;
+}
+
+bool EventLoop::run_event(TimerId id) {
+  const auto slot = static_cast<std::uint32_t>(id >> 32);
+  const auto gen = static_cast<std::uint32_t>(id);
+  if (slot >= gens_.size() || gens_[slot] != gen || gen == 0) return false;
+  // Consume like cancel(): bump the generation so the wheel entry is
+  // recognised as stale when it surfaces (which also recycles the slot).
+  const Callback cb = std::move(cbs_[slot]);
+  if (++gens_[slot] == 0) gens_[slot] = 1;
+  --live_;
+  if (meta_[slot].at > now_) now_ = meta_[slot].at;
+  ++executed_;
+  cb();
+  return true;
 }
 
 bool EventLoop::cancel(TimerId id) {
@@ -121,6 +161,9 @@ std::uint64_t EventLoop::run_before(SimTime t) {
   return n;
 }
 
+OneShotTimer::OneShotTimer(ClockDomain& domain)
+    : loop_(domain.loop()), domain_(&domain) {}
+
 void OneShotTimer::arm(Duration d, EventLoop::Callback cb) {
   arm_at(loop_.now() + (d.is_negative() ? Duration::zero() : d), std::move(cb));
 }
@@ -129,37 +172,56 @@ void OneShotTimer::arm_at(SimTime t, EventLoop::Callback cb) {
   cancel();
   deadline_ = t;
   // Clear id_ before invoking so the callback can re-arm this same timer.
-  id_ = loop_.schedule_at(t, [this, cb = std::move(cb)]() {
+  auto wrapped = [this, cb = std::move(cb)]() {
     id_ = 0;
     cb();
-  });
+  };
+  id_ = domain_ ? domain_->schedule_at(t, std::move(wrapped))
+                : loop_.schedule_at(t, std::move(wrapped));
 }
 
 void OneShotTimer::cancel() {
   if (id_ != 0) {
-    loop_.cancel(id_);
+    if (domain_) {
+      domain_->cancel(id_);
+    } else {
+      loop_.cancel(id_);
+    }
     id_ = 0;
   }
 }
+
+PeriodicTimer::PeriodicTimer(ClockDomain& domain)
+    : loop_(domain.loop()), domain_(&domain) {}
 
 void PeriodicTimer::start(Duration period, EventLoop::Callback cb) {
   stop();
   period_ = period;
   cb_ = std::move(cb);
-  id_ = loop_.schedule_after(period_, [this] { fire(); });
+  id_ = schedule_next();
 }
 
 void PeriodicTimer::stop() {
   if (id_ != 0) {
-    loop_.cancel(id_);
+    if (domain_) {
+      domain_->cancel(id_);
+    } else {
+      loop_.cancel(id_);
+    }
     id_ = 0;
   }
   cb_ = nullptr;
 }
 
+TimerId PeriodicTimer::schedule_next() {
+  auto shot = [this] { fire(); };
+  return domain_ ? domain_->schedule_after(period_, shot)
+                 : loop_.schedule_after(period_, shot);
+}
+
 void PeriodicTimer::fire() {
   // Reschedule first: cb_ may call stop(), which must cancel the next shot.
-  id_ = loop_.schedule_after(period_, [this] { fire(); });
+  id_ = schedule_next();
   cb_();
 }
 

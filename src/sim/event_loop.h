@@ -81,6 +81,34 @@ class EventLoop {
   /// Guards against accidental infinite event ping-pong in tests. 0 disables.
   void set_event_budget(std::uint64_t budget) { budget_ = budget; }
 
+  // --- interleaving-explorer hooks ---------------------------------------
+  // The exhaustive schedule explorer (src/harness/explore.h) needs to see
+  // the loop's ready set and force a chosen event to run out of timestamp
+  // order, modeling bounded delivery/scheduling delay. Normal runs never
+  // call these; they add two stores per schedule_at and nothing else.
+
+  /// One pending event as the explorer sees it.
+  struct ReadyEvent {
+    TimerId id;
+    SimTime at;
+    std::uint64_t seq;
+  };
+
+  /// All live pending events with `at` <= horizon, in (at, seq) order.
+  /// O(slots) — intended for tiny exploration worlds, not hot paths.
+  std::vector<ReadyEvent> ready_events(SimTime horizon) const;
+
+  /// Earliest live pending timestamp, or SimTime::never() when idle.
+  SimTime next_event_at();
+
+  /// Force the given pending event to run now, advancing the clock to
+  /// max(now, its timestamp) — an event executed *after* a later-stamped one
+  /// runs late, which is exactly the delivery-delay semantics the explorer
+  /// enumerates. Returns false if the id is stale. Execution order within a
+  /// chosen sequence of run_event calls is total, so a replayed choice
+  /// vector is bit-identical.
+  bool run_event(TimerId id);
+
  private:
   // Pending events live in a hierarchical timing wheel (sim/timer_wheel.h)
   // as small POD entries; the callback lives in a slot-indexed side vector.
@@ -103,9 +131,19 @@ class EventLoop {
   /// a total order, so pop order is independent of bucket contents.
   void compact();
 
+  /// Side metadata for the explorer hooks: what (at, seq) a slot's pending
+  /// entry carries, valid only while `gen` matches the slot's live
+  /// generation (cancel/pop bump the generation, invalidating this lazily).
+  struct SlotMeta {
+    SimTime at;
+    std::uint64_t seq = 0;
+    std::uint32_t gen = 0;  // 0 never matches a live generation
+  };
+
   SimTime now_;
   TimerWheel wheel_;
   std::vector<std::uint32_t> gens_;  // slot -> current live generation
+  std::vector<SlotMeta> meta_;       // slot -> pending (at, seq) snapshot
   std::vector<Callback> cbs_;        // slot -> pending callback
   std::vector<std::uint32_t> free_slots_;
   std::size_t live_ = 0;
@@ -119,9 +157,15 @@ class EventLoop {
 /// used by protocol state machines for retransmission / heartbeat / delay
 /// timers: re-arming implicitly cancels the previous shot, and destruction
 /// cancels any pending shot (no callbacks into destroyed objects).
+class ClockDomain;  // sim/clock_domain.h — per-host grey-failure skew
+
 class OneShotTimer {
  public:
   explicit OneShotTimer(EventLoop& loop) : loop_(loop) {}
+  /// Bind to a host's ClockDomain instead: while the domain is healthy this
+  /// is identical to the EventLoop form; under an active LagProfile the
+  /// timer's callbacks slide out of the stall windows with the host's CPU.
+  explicit OneShotTimer(ClockDomain& domain);
   ~OneShotTimer() { cancel(); }
   OneShotTimer(const OneShotTimer&) = delete;
   OneShotTimer& operator=(const OneShotTimer&) = delete;
@@ -137,6 +181,7 @@ class OneShotTimer {
 
  private:
   EventLoop& loop_;
+  ClockDomain* domain_ = nullptr;  // set iff constructed from a ClockDomain
   TimerId id_ = 0;
   SimTime deadline_;
 };
@@ -145,6 +190,8 @@ class OneShotTimer {
 class PeriodicTimer {
  public:
   explicit PeriodicTimer(EventLoop& loop) : loop_(loop) {}
+  /// ClockDomain-bound form; see OneShotTimer.
+  explicit PeriodicTimer(ClockDomain& domain);
   ~PeriodicTimer() { stop(); }
   PeriodicTimer(const PeriodicTimer&) = delete;
   PeriodicTimer& operator=(const PeriodicTimer&) = delete;
@@ -157,8 +204,10 @@ class PeriodicTimer {
 
  private:
   void fire();
+  TimerId schedule_next();
 
   EventLoop& loop_;
+  ClockDomain* domain_ = nullptr;  // set iff constructed from a ClockDomain
   TimerId id_ = 0;
   Duration period_;
   EventLoop::Callback cb_;

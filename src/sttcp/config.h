@@ -66,6 +66,14 @@ struct StTcpConfig {
   sim::Duration app_max_lag_time = sim::Duration::seconds(2);
   /// Don't evaluate app lag until the replica has had a chance to appear.
   sim::Duration replica_setup_grace = sim::Duration::seconds(1);
+  /// Grey-failure criterion (beyond the paper's §4.2.1 pair): the backup
+  /// convicts the primary when a connection's peer counter sum stays frozen
+  /// this long while heartbeats keep arriving and the backup holds
+  /// unacknowledged bytes for the client. Catches CPU stalls that freeze
+  /// BOTH sides' counters at the same value — invisible to the relative
+  /// lag trackers above. Zero (default) disables the criterion, keeping
+  /// classic deployments bit-identical; the grey chaos harness arms it.
+  sim::Duration progress_stall_time = sim::Duration::zero();
 
   // --- FIN arbitration (§4.2.2) --------------------------------------------------
   /// How long a disagreed FIN/RST is withheld before being trusted as a

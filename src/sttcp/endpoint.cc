@@ -37,6 +37,7 @@ void StTcpEndpoint::start() {
     m_hb_gap_serial_us_ = &reg->histogram(prefix + ".hb_interarrival_us.serial");
     m_hold_bytes_ = &reg->gauge(prefix + ".hold_buffer_bytes");
     m_recovery_bytes_ = &reg->counter(prefix + ".recovery_bytes");
+    m_app_lag_bytes_ = &reg->gauge(prefix + ".app_lag_bytes");
     timeline_ = &reg->timeline();
   }
 
@@ -369,6 +370,12 @@ void StTcpEndpoint::process_record(const HbRecord& rec) {
   rc->p_closed = rc->p_closed || rec.closed;
   rc->peer_valid = true;
 
+  // Grey-failure watch: note the peer's total progress. Stagnation is
+  // evaluated on the detector tick (it needs the clock even when a record's
+  // values are unchanged); here we only timestamp changes.
+  rc->progress.observe(rc->p_received + rc->p_acked + rc->p_written + rc->p_read,
+                       world_.now());
+
   // Primary: the backup has confirmed receipt through p_received — release
   // the hold buffer below that point.
   if (role_ == Role::kPrimary) {
@@ -409,11 +416,19 @@ void StTcpEndpoint::process_record(const HbRecord& rec) {
                                   !recovering_peer && ip_channel_alive();
   if (detection_eligible) {
     const auto v_read = rc->lag_read.update(rc->read(), rc->p_read, now);
+    const auto v_written = rc->lag_written.update(rc->written(), rc->p_written, now);
+    // Export the worst current byte lag before any conviction fires, so the
+    // grey benches can read how far the peer fell behind.
+    const std::uint64_t lag =
+        std::max(rc->lag_read.lag_bytes(), rc->lag_written.lag_bytes());
+    if (lag > app_lag_peak_bytes_) app_lag_peak_bytes_ = lag;
+    if (m_app_lag_bytes_ != nullptr) {
+      m_app_lag_bytes_->set(static_cast<std::int64_t>(lag));
+    }
     if (v_read.failed) {
       peer_failed(sim::cat("app read lag: ", v_read.reason), "app_failure_detected");
       return;
     }
-    const auto v_written = rc->lag_written.update(rc->written(), rc->p_written, now);
     if (v_written.failed) {
       peer_failed(sim::cat("app write lag: ", v_written.reason),
                   "app_failure_detected");
@@ -475,6 +490,38 @@ void StTcpEndpoint::detector_tick() {
   if (peer_app_suspect_) {
     peer_failed("watchdog reported peer application failure", "watchdog_failure");
     return;
+  }
+
+  // Grey-failure conviction: progress-counter stagnation (lag.h
+  // ProgressWatch). Only meaningful while heartbeats still arrive — silence
+  // is the classic detector's jurisdiction — and only evaluated by the
+  // backup: a stalled PRIMARY freezes both sides' counters at the same
+  // value, so the relative lag trackers above never trip, while a stalled
+  // backup is already caught by the primary's write-lag tracker. Gating the
+  // absolute criterion to one role also means a grey host can never convict
+  // its healthy peer with it (the healthy primary's counters freeze only
+  // when the client stops acknowledging — which the demand test requires).
+  if (role_ == Role::kBackup && ip_alive) {
+    const sim::SimTime now = world_.now();
+    for (auto& [id, rc] : conns_) {
+      if (!rc->progress.enabled()) break;  // same config for every conn
+      if (rc->conn == nullptr || rc->local_closed || !rc->peer_valid) continue;
+      if (rc->p_fin || rc->p_rst || rc->p_closed) continue;
+      if (rc->conn->fin_generated() || rc->conn->rst_generated()) continue;
+      if (now - rc->registered_at <= cfg_.replica_setup_grace) continue;
+      // Demand: this replica holds bytes the client has not acknowledged —
+      // if the primary were healthy, SOME counter would be moving.
+      const bool demand = rc->written() > rc->acked();
+      const auto v = rc->progress.check(demand, now);
+      if (v.failed) {
+        if (timeline_ != nullptr) {
+          timeline_->mark(obs::Milestone::kProgressStall, now);
+        }
+        peer_failed(sim::cat("progress stall on ", rc->tuple.str(), ": ", v.reason),
+                    "progress_stall_detected");
+        return;
+      }
+    }
   }
 
   // A connection the peer never started replicating within the grace period
@@ -943,8 +990,19 @@ void StTcpEndpoint::apply_missed(const MissedBytesReply& rep) {
 
 void StTcpEndpoint::peer_failed(const std::string& reason, const char* trace_event) {
   if (!active()) return;
-  if (timeline_ != nullptr) timeline_->mark(obs::Milestone::kChannelDead, world_.now());
+  if (timeline_ != nullptr) {
+    timeline_->mark(obs::Milestone::kChannelDead, world_.now());
+    timeline_->set_conviction(trace_event, app_lag_peak_bytes_);
+  }
+  if (auto* reg = world_.metrics()) {
+    // One counter per conviction criterion: the grey bench sums these to
+    // prove convictions came from progress counters, not heartbeat silence.
+    reg->counter("sttcp." + host_.name() + ".conviction." + trace_event).inc();
+  }
   world_.trace().record(host_.name(), trace_event, reason);
+  // Uniform marker (detail = the criterion event): the grey invariant check
+  // counts convictions without enumerating every criterion name.
+  world_.trace().record(host_.name(), "peer_convicted", trace_event);
   log_.warn("peer declared failed: ", reason);
   if (role_ == Role::kBackup) {
     takeover(reason);

@@ -150,6 +150,10 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
     LagTracker lag_written;
     LagTracker lag_received;
     LagTracker lag_acked;
+    // Grey-failure criterion: absolute stagnation of the peer counter sum
+    // under local demand (see lag.h). Disabled unless
+    // cfg.progress_stall_time > 0.
+    ProgressWatch progress;
 
     // FIN arbitration.
     bool fin_withheld = false;
@@ -179,6 +183,7 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
                       cfg.app_max_lag_time),
           lag_received(cfg.nic_lag_bytes, cfg.app_lag_bytes_grace, cfg.nic_lag_time),
           lag_acked(cfg.nic_lag_bytes, cfg.app_lag_bytes_grace, cfg.nic_lag_time),
+          progress(cfg.progress_stall_time),
           fin_delay_timer(loop),
           peer_fin_timer(loop) {}
 
@@ -328,7 +333,14 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
   obs::Histogram* m_hb_gap_serial_us_ = nullptr;
   obs::Gauge* m_hold_bytes_ = nullptr;
   obs::Counter* m_recovery_bytes_ = nullptr;
+  /// Worst current byte lag across this node's app-lag trackers — the grey
+  /// detection-latency signal, exported so bench output can graph how far a
+  /// sick peer fell behind before conviction.
+  obs::Gauge* m_app_lag_bytes_ = nullptr;
   obs::FailoverTimeline* timeline_ = nullptr;
+  /// Worst lag_bytes observed since start (survives tracker resets; stamped
+  /// into the timeline's conviction record).
+  std::uint64_t app_lag_peak_bytes_ = 0;
 
   // Reintegration engine (reintegration.cc); owns the rejoin protocol state
   // on both sides and reaches into this endpoint as a friend.

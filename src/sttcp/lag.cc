@@ -45,4 +45,44 @@ void LagTracker::reset() {
   lag_bytes_ = 0;
 }
 
+void ProgressWatch::observe(std::uint64_t counter_sum, sim::SimTime now) {
+  if (!seen_ || counter_sum != last_value_) {
+    last_value_ = counter_sum;
+    last_change_ = now;
+    seen_ = true;
+  }
+}
+
+ProgressWatch::Verdict ProgressWatch::check(bool demand, sim::SimTime now) {
+  Verdict v;
+  stalled_for_ = sim::Duration::zero();
+  if (!enabled() || !seen_) return v;
+  if (!demand) {
+    // No demand, no evidence: an idle peer is indistinguishable from a
+    // stalled one by its counters alone.
+    demand_valid_ = false;
+    return v;
+  }
+  if (!demand_valid_) {
+    demand_valid_ = true;
+    demand_since_ = now;
+  }
+  // The stall clock starts when BOTH conditions became true: counters frozen
+  // AND demand outstanding.
+  const sim::SimTime since = last_change_ > demand_since_ ? last_change_ : demand_since_;
+  stalled_for_ = now - since;
+  if (stalled_for_ > stall_time_) {
+    v.failed = true;
+    v.reason = sim::cat("peer counters frozen at ", last_value_, " for ",
+                        stalled_for_.str(), " with demand outstanding");
+  }
+  return v;
+}
+
+void ProgressWatch::reset() {
+  seen_ = false;
+  demand_valid_ = false;
+  stalled_for_ = sim::Duration::zero();
+}
+
 }  // namespace sttcp::sttcp

@@ -6,6 +6,14 @@
 //     been reached by the peer after the configured duration.
 // The same machinery, with different thresholds, drives the
 // LastByteReceived comparison used for NIC-failure arbitration (§4.3).
+//
+// ProgressWatch generalizes the idea to grey failures: instead of comparing
+// the peer against the local counter (which is blind when a CPU stall
+// freezes BOTH sides' counters at the same value — neither "lags" the
+// other), it convicts on absolute stagnation of the peer's counter sum
+// while there is demonstrable demand (unacknowledged bytes owed to the
+// client) and heartbeats are still arriving. That is the grey signature:
+// alive by heartbeat, dead by progress.
 #pragma once
 
 #include <cstdint>
@@ -54,6 +62,53 @@ class LagTracker {
   bool bytes_exceeded_ = false;
 
   std::uint64_t lag_bytes_ = 0;
+};
+
+/// Progress-counter stagnation detector (grey failures). Feed the peer's
+/// counter sum from every heartbeat record via observe(); ask check() on
+/// every detector tick. Conviction requires all three simultaneously, for
+/// longer than `stall_time`:
+///   * the peer's counters are frozen (observe() sees the same sum),
+///   * there is local demand (the caller supplies it: bytes written but not
+///     yet acknowledged — an idle connection is not evidence),
+///   * the detector keeps being called (the endpoint gates on heartbeats
+///     still arriving; silence is the classic detector's job, not ours).
+/// A zero stall_time disables the watch entirely (the default — classic
+/// deployments keep their exact seed-tuned behavior).
+class ProgressWatch {
+ public:
+  struct Verdict {
+    bool failed = false;
+    std::string reason;
+  };
+
+  explicit ProgressWatch(sim::Duration stall_time) : stall_time_(stall_time) {}
+
+  bool enabled() const { return stall_time_ > sim::Duration::zero(); }
+
+  /// Record the peer counter sum carried by a heartbeat record.
+  void observe(std::uint64_t counter_sum, sim::SimTime now);
+
+  /// Evaluate stagnation as of `now`. `demand` = this node is owed progress
+  /// (e.g. app_bytes_written > bytes_acked_by_peer).
+  Verdict check(bool demand, sim::SimTime now);
+
+  /// Forget history (role swap / reintegration resume).
+  void reset();
+
+  std::uint64_t last_value() const { return last_value_; }
+  /// How long the peer counter has been frozen under demand, as of the last
+  /// check(); zero while healthy.
+  sim::Duration stalled_for() const { return stalled_for_; }
+
+ private:
+  sim::Duration stall_time_;
+  std::uint64_t last_value_ = 0;
+  sim::SimTime last_change_;
+  bool seen_ = false;
+  sim::SimTime demand_since_;
+  bool demand_valid_ = false;
+  sim::Duration stalled_for_;
 };
 
 }  // namespace sttcp::sttcp

@@ -42,12 +42,12 @@ TcpConnection::TcpConnection(TcpStack& stack, FourTuple tuple, const TcpConfig& 
       reasm_(cfg.recv_buffer),
       rto_(cfg),
       cc_(cfg),
-      retrans_timer_(stack.world().loop()),
-      persist_timer_(stack.world().loop()),
-      time_wait_timer_(stack.world().loop()),
-      writable_notify_timer_(stack.world().loop()),
-      keepalive_timer_(stack.world().loop()),
-      ack_flush_timer_(stack.world().loop()) {
+      retrans_timer_(stack.domain()),
+      persist_timer_(stack.domain()),
+      time_wait_timer_(stack.domain()),
+      writable_notify_timer_(stack.domain()),
+      keepalive_timer_(stack.domain()),
+      ack_flush_timer_(stack.domain()) {
   reasm_.set_deliver_tap([this](std::uint64_t off, net::BytesView data) {
     if (rx_tap_) rx_tap_(off, data);
   });

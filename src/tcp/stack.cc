@@ -252,7 +252,7 @@ void TcpStack::send_rst_for(const net::Ipv4Header& ip, const TcpSegment& seg) {
 void TcpStack::schedule_gc(const FourTuple& tuple) {
   // Defer destruction: finish() may be deep inside the connection's own
   // call stack.
-  world().loop().schedule_after(sim::Duration::zero(), [this, tuple] {
+  domain().schedule_after(sim::Duration::zero(), [this, tuple] {
     auto it = conns_.find(tuple);
     if (it != conns_.end() && it->second->state() == TcpState::kClosed) {
       demux_invalidate(tuple);

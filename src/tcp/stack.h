@@ -126,6 +126,11 @@ class TcpStack {
 
   // --- plumbing (used by TcpConnection) ----------------------------------------
   sim::World& world() { return host_.world(); }
+  /// The owning host's CPU clock domain: every stack/connection timer is
+  /// scheduled through it, so a grey CPU stall (sim/clock_domain.h) slides
+  /// the whole TCP data path — RTOs, delayed ACKs, deferred accepts — while
+  /// the world clock runs on. Healthy domains forward verbatim to the loop.
+  sim::ClockDomain& domain() { return host_.cpu_domain(); }
   bool alive() const { return host_.alive(); }
   const TcpConfig& config() const { return cfg_; }
   SeqWire choose_isn() {

@@ -1,0 +1,110 @@
+// Exhaustive interleaving checker for the one-connection, two-host failover.
+//
+// The explorer (harness/explore.h) enumerates every execution order of
+// concurrent events inside the detection -> takeover window of the Figure-2
+// primary-crash scenario, bounded by a delivery quantum and a branch cap.
+// These tests assert the acceptance criteria: the enumeration terminates
+// (the schedule space is finite under the bounds), NO schedule produces a
+// dual-active pair, a client-visible RST, or an incomplete transfer, the
+// state-digest pruning actually collapses converging interleavings, and any
+// schedule replays bit-identically from its recorded choice vector.
+//
+// Knobs:
+//   STTCP_EXPLORE_MAX=<n>  schedule cap for the main enumeration (default
+//                          20000; the default config exhausts well below it).
+#include <cstdlib>
+#include <iostream>
+
+#include <gtest/gtest.h>
+
+#include "harness/explore.h"
+
+namespace sttcp::harness {
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<std::uint64_t>(std::atoll(v));
+}
+
+TEST(ExploreTest, EveryInterleavingIsSafeAndEnumerationIsExhaustive) {
+  ExploreOptions opts;
+  opts.max_schedules = env_u64("STTCP_EXPLORE_MAX", 20'000);
+  Explorer ex(opts);
+  const ExploreStats s = ex.explore();
+
+  std::cout << "[explore] schedules=" << s.schedules << " pruned=" << s.pruned
+            << " max_depth=" << s.max_depth << " events=" << s.events
+            << " digest=" << s.digest << "\n";
+  for (const std::string& r : s.violation_reports) {
+    std::cout << r << "\n";
+  }
+
+  // The bounded schedule space is fully enumerated, and it is not trivial:
+  // the window genuinely contains concurrent events to reorder.
+  EXPECT_FALSE(s.truncated) << "schedule space not exhausted; raise "
+                               "STTCP_EXPLORE_MAX or tighten the bounds";
+  EXPECT_GE(s.schedules, 50u);
+  EXPECT_GT(s.max_depth, 3u);
+  // Converging interleavings collide on the state digest; without pruning
+  // the same space costs a multiple of the schedules actually run.
+  EXPECT_GT(s.pruned, 0u);
+  // The headline invariant: across EVERY enumerated schedule the checker saw
+  // no dual-active servers, no client RST, and a complete, bit-exact
+  // transfer (violations carry the first few offending schedules' reports).
+  EXPECT_EQ(s.violations, 0u);
+  EXPECT_EQ(ex.schedules().size(), s.schedules);
+}
+
+TEST(ExploreTest, AnyScheduleReplaysBitIdentically) {
+  Explorer ex;
+  const ExploreStats s = ex.explore();
+  ASSERT_EQ(s.violations, 0u);
+  const auto& all = ex.schedules();
+  ASSERT_GE(all.size(), 3u);
+
+  // First, a middle, the last, and the deepest schedule: re-executing from
+  // the recorded choice vector must reproduce the recorded outcome digest.
+  std::size_t deepest = 0;
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    if (all[i].choices.size() > all[deepest].choices.size()) deepest = i;
+  }
+  for (const std::size_t id :
+       {std::size_t{0}, all.size() / 2, all.size() - 1, deepest}) {
+    EXPECT_EQ(ex.replay(all[id].choices), all[id].digest)
+        << "schedule " << id << " did not replay bit-identically";
+  }
+}
+
+TEST(ExploreTest, ExplorationItselfIsDeterministic) {
+  // Two fresh explorers over identical options walk the identical tree.
+  ExploreOptions opts;
+  opts.quantum = sim::Duration::micros(20);
+  opts.max_branch = 2;  // the tight config: exhausts in well under a second
+  const ExploreStats a = Explorer(opts).explore();
+  const ExploreStats b = Explorer(opts).explore();
+  EXPECT_FALSE(a.truncated);
+  EXPECT_EQ(a.schedules, b.schedules);
+  EXPECT_EQ(a.pruned, b.pruned);
+  EXPECT_EQ(a.max_depth, b.max_depth);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+TEST(ExploreTest, WiderQuantumBranchesDeeperNotUnsafe) {
+  // A coarser concurrency quantum admits more reorderings (more/deeper
+  // choice points) — and every one of them must still be safe. Capped: the
+  // wide space runs into the tens of thousands.
+  ExploreOptions opts;
+  opts.quantum = sim::Duration::micros(200);
+  opts.max_schedules = 500;
+  Explorer ex(opts);
+  const ExploreStats s = ex.explore();
+  EXPECT_EQ(s.violations, 0u);
+  EXPECT_GE(s.schedules, 500u);  // truncated: the cap, not the tree, ended it
+  EXPECT_TRUE(s.truncated);
+}
+
+}  // namespace
+}  // namespace sttcp::harness

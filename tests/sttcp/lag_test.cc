@@ -115,5 +115,113 @@ TEST(LagTrackerTest, ResetForgetsHistory) {
   EXPECT_EQ(t.lag_bytes(), 5000u);
 }
 
+TEST(LagTrackerTest, ExactThresholdLagNeverFires) {
+  // The byte criterion is strict `>`: a peer exactly max_lag_bytes behind is
+  // at the configured tolerance, not beyond it.
+  LagTracker t = make_tracker();
+  for (int i = 0; i < 50; ++i) {
+    const auto v = t.update(i * 100 + 1000, i * 100, at(i * 100));
+    EXPECT_FALSE(v.failed) << "lag == threshold must not convict (i=" << i << ")";
+    EXPECT_EQ(t.lag_bytes(), 1000u);
+  }
+  // One byte beyond the threshold starts (and eventually trips) the clock.
+  EXPECT_FALSE(t.update(6001, 5000, at(5000)).failed);
+  EXPECT_TRUE(t.update(6001, 5000, at(5501)).failed);
+}
+
+TEST(LagTrackerTest, GracePeriodBoundaryIsInclusive) {
+  // The sustain test is `elapsed >= grace`: at exactly the grace period the
+  // excess has been continuous for the configured duration, so it fires.
+  LagTracker t = make_tracker();
+  EXPECT_FALSE(t.update(5000, 0, at(0)).failed);  // excess starts the clock
+  EXPECT_FALSE(t.update(5000, 0, at(499)).failed);
+  EXPECT_TRUE(t.update(5000, 0, at(500)).failed) << "grace boundary is >=";
+}
+
+TEST(LagTrackerTest, ResetAfterFailoverRoleSwap) {
+  // A promoted backup inherits trackers whose history describes the OLD
+  // peer. After reset(), the new pairing starts from a clean slate: neither
+  // the byte-grace clock nor the time-criterion snapshot may carry over.
+  LagTracker t = make_tracker();
+  EXPECT_FALSE(t.update(100, 100, at(0)).failed);
+  EXPECT_FALSE(t.update(9000, 100, at(400)).failed);  // deep lag, mid-grace
+  t.reset();  // role swap: counters now describe the reintegrated peer
+  // The old snapshot (9000 @ 400ms) is forgotten — a peer at 200 at t=3s
+  // would have violated max_lag_time against it, but does not now.
+  EXPECT_FALSE(t.update(9000, 200, at(3000)).failed);
+  // And the byte-excess clock restarted: 400ms of pre-reset excess is gone.
+  EXPECT_FALSE(t.update(9000, 200, at(3400)).failed);
+  EXPECT_TRUE(t.update(9000, 200, at(3600)).failed);  // fresh 500ms+ of excess
+}
+
+TEST(LagTrackerTest, TimeCriterionFiresWithFrozenPeerCounter) {
+  // Time-based criterion with the peer counter completely frozen while ours
+  // advances every update — the AppHang signature as §4.2.1 sees it.
+  LagTracker t(/*max_lag_bytes=*/0, /*bytes_grace=*/Duration::millis(500),
+               /*max_lag_time=*/Duration::seconds(2));  // byte criterion off
+  EXPECT_FALSE(t.update(1000, 1000, at(0)).failed);   // snapshot 1000 @ 0
+  EXPECT_FALSE(t.update(1500, 1000, at(500)).failed); // refreshed: peer >= 1000
+  // Snapshot now (1500 @ 500ms); peer frozen at 1000 from here on.
+  EXPECT_FALSE(t.update(2000, 1000, at(1000)).failed);
+  EXPECT_FALSE(t.update(2500, 1000, at(2500)).failed);  // exactly 2s: not yet (>)
+  const auto v = t.update(3000, 1000, at(2501));
+  EXPECT_TRUE(v.failed);
+  EXPECT_NE(v.reason.find("unreached"), std::string::npos);
+}
+
+// --- ProgressWatch: the grey-failure (absolute stagnation) criterion -------
+
+TEST(ProgressWatchTest, ZeroStallTimeDisables) {
+  ProgressWatch w(Duration::zero());
+  EXPECT_FALSE(w.enabled());
+  w.observe(100, at(0));
+  EXPECT_FALSE(w.check(/*demand=*/true, at(60'000)).failed);
+}
+
+TEST(ProgressWatchTest, FrozenCounterUnderDemandConvicts) {
+  ProgressWatch w(Duration::seconds(1));
+  w.observe(500, at(0));
+  EXPECT_FALSE(w.check(true, at(0)).failed);  // demand clock starts here
+  EXPECT_FALSE(w.check(true, at(900)).failed);
+  w.observe(500, at(1000));  // same value: no change timestamp refresh
+  EXPECT_FALSE(w.check(true, at(1000)).failed);  // exactly 1s: not yet (>)
+  const auto v = w.check(true, at(1100));
+  EXPECT_TRUE(v.failed);
+  EXPECT_NE(v.reason.find("frozen"), std::string::npos);
+  EXPECT_GT(w.stalled_for(), Duration::seconds(1));
+}
+
+TEST(ProgressWatchTest, AdvancingCounterNeverConvicts) {
+  ProgressWatch w(Duration::seconds(1));
+  for (int i = 0; i < 100; ++i) {
+    w.observe(static_cast<std::uint64_t>(i), at(i * 200));
+    EXPECT_FALSE(w.check(true, at(i * 200)).failed) << i;
+  }
+}
+
+TEST(ProgressWatchTest, NoDemandMeansNoEvidence) {
+  // Idle connection: counters frozen for a minute, but nothing is owed.
+  ProgressWatch w(Duration::seconds(1));
+  w.observe(500, at(0));
+  EXPECT_FALSE(w.check(false, at(60'000)).failed);
+  // Demand appearing later starts the stall clock THEN, not retroactively.
+  EXPECT_FALSE(w.check(true, at(60'500)).failed);
+  EXPECT_FALSE(w.check(true, at(61'400)).failed);  // 0.9s of demand
+  EXPECT_TRUE(w.check(true, at(61'600)).failed);   // 1.1s of demand
+}
+
+TEST(ProgressWatchTest, ResetForgetsObservations) {
+  ProgressWatch w(Duration::seconds(1));
+  w.observe(500, at(0));
+  EXPECT_FALSE(w.check(true, at(0)).failed);
+  ASSERT_TRUE(w.check(true, at(2000)).failed);
+  w.reset();  // role swap / reintegration resume
+  EXPECT_FALSE(w.check(true, at(2100)).failed) << "no observation, no verdict";
+  w.observe(500, at(2200));
+  EXPECT_FALSE(w.check(true, at(2200)).failed);  // demand clock restarts
+  EXPECT_FALSE(w.check(true, at(3100)).failed);  // fresh 0.9s only
+  EXPECT_TRUE(w.check(true, at(3400)).failed);
+}
+
 }  // namespace
 }  // namespace sttcp::sttcp
