@@ -13,6 +13,11 @@
 // with latency p50/p99 and the false-conviction count (must be zero — a
 // grey host never has grounds to convict its healthy peer).
 //
+// A third sweep runs FaultPlan::MultiFailure(seed) simultaneous double
+// failures against an N=3 group through run_multi_failure_seed(): the
+// verdict row attributes WHO was convicted (in order) and WHO won the
+// promotion race, pulled from the group-view trace (docs/GROUPS.md).
+//
 //   bench_chaos [seeds] [--json=PATH]     default 40 seeds
 #include <algorithm>
 #include <cstdlib>
@@ -109,7 +114,42 @@ void run(int argc, char** argv) {
   for (const harness::GreyVerdict& v : grey) {
     if (!v.ok()) std::cout << "\n" << v.report();
   }
-  if (violations != 0 || g_violations != 0) std::exit(1);
+
+  // Multi-failure sweep: two members of an N=3 group crash at the same
+  // instant (FaultPlan::MultiFailure). The attribution columns come from
+  // the group view's trace: which members were convicted, and which
+  // survivor won the rank-ordered promotion.
+  print_header("Simultaneous double-failure sweep (N=3 group)",
+               "1+N groups: every two-member crash schedule masked");
+  const auto multi = runner.map(seeds, [](std::size_t i) {
+    return harness::run_multi_failure_seed(static_cast<std::uint64_t>(i) + 1);
+  });
+
+  Table m({"seed", "verdict", "complete", "leader_dies", "convicted",
+           "promotion_winner", "takeover", "non_ft", "sim (s)"});
+  std::size_t m_violations = 0, m_promoted = 0;
+  for (const harness::MultiFailureVerdict& v : multi) {
+    std::string conv;
+    for (const std::string& c : v.convicted) {
+      if (!conv.empty()) conv += ",";
+      conv += c;
+    }
+    m.row(v.seed, v.ok() ? "ok" : "VIOLATED", ok(v.complete),
+          v.leader_involved ? "yes" : "no", conv.empty() ? "-" : conv,
+          v.promotion_winner.empty() ? "-" : v.promotion_winner, v.takeovers,
+          v.non_ft, static_cast<double>(v.sim_ns) * 1e-9);
+    if (!v.ok()) ++m_violations;
+    if (!v.promotion_winner.empty()) ++m_promoted;
+  }
+  m.print();
+  json.table(m, "multi_failure");
+
+  std::cout << "\n" << seeds << " double-failure seeds: " << m_promoted
+            << " promotions, " << m_violations << " invariant violations\n";
+  for (const harness::MultiFailureVerdict& v : multi) {
+    if (!v.ok()) std::cout << "\n" << v.report();
+  }
+  if (violations != 0 || g_violations != 0 || m_violations != 0) std::exit(1);
 }
 
 }  // namespace

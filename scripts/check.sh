@@ -15,8 +15,12 @@
 # the Release lane. With --grey, run the grey-failure lane in the Release
 # lane: the bounded-depth interleaving explorer over the failover window
 # plus a 32-seed slow-not-dead sweep convicted by progress counters
-# (docs/CHAOS.md, "Grey failures"). The default lane also runs the doc link
-# checker.
+# (docs/CHAOS.md, "Grey failures"). With --group, run the 1+N replication-
+# group lane in the Release lane: the exhaustive three-host promotion-race
+# explorer (single and simultaneous-double failure windows), a 64-seed
+# simultaneous double-failure sweep at N=3, its N=2 negative control, and
+# the group reintegration tests (docs/GROUPS.md). The default lane also
+# runs the doc link checker.
 #
 # With --tsan, build the ThreadSanitizer configuration and run the parallel
 # shard-executor, determinism, clock-domain, and grey-sweep tests under it —
@@ -29,6 +33,7 @@
 #   scripts/check.sh --release   # additionally: -O2 lane + bench smoke
 #   scripts/check.sh --chaos     # additionally: 64-seed adversarial fuzz lane
 #   scripts/check.sh --grey      # additionally: explorer + grey-failure lane
+#   scripts/check.sh --group     # additionally: 1+N group double-failure lane
 #   scripts/check.sh --scale     # additionally: churn capacity smoke lane
 #   scripts/check.sh --shard     # additionally: 4-shard fabric chaos smoke
 set -euo pipefail
@@ -58,10 +63,12 @@ for arg in "$@"; do
       cmake --build build-tsan -j "$JOBS"
       # Everything that spawns worker threads: the shard executor, the
       # sharded determinism digests, and the sweep-runner pool (the grey
-      # sweep runs a reduced seed budget under TSan). Clock-domain tests
-      # ride along: virtual-clock skew under the parallel executor.
-      STTCP_GREY_SEEDS=8 ctest --test-dir build-tsan --output-on-failure \
-        -j "$JOBS" -R 'parallel|determinism|clock_domain|grey_chaos'
+      # and multi-failure sweeps run reduced seed budgets under TSan —
+      # the group sweep is the newest SweepRunner client). Clock-domain
+      # tests ride along: virtual-clock skew under the parallel executor.
+      STTCP_GREY_SEEDS=8 STTCP_MULTI_SEEDS=8 STTCP_MULTI_NEG_SEEDS=4 \
+        ctest --test-dir build-tsan --output-on-failure \
+        -j "$JOBS" -R 'parallel|determinism|clock_domain|grey_chaos|multi_failure'
       ;;
     --release)
       cmake -B build-release -DCMAKE_BUILD_TYPE=Release >/dev/null
@@ -91,6 +98,25 @@ for arg in "$@"; do
       ./build-release/bench/bench_explore 3000
       STTCP_GREY_SEEDS=32 ./build-release/tests/integration_grey_chaos_test \
         --gtest_filter='*GreySweepHoldsAllInvariants*'
+      ;;
+    --group)
+      cmake -B build-release -DCMAKE_BUILD_TYPE=Release >/dev/null
+      cmake --build build-release -j "$JOBS"
+      # 1+N group lane (docs/GROUPS.md): exhaustively enumerate the
+      # three-host promotion-race window (leader crash, and leader+rank-1
+      # crashing at the same instant), then sweep 64 simultaneous
+      # double-failure schedules at N=3 — every one must be masked — and
+      # re-run them at N=2, where every leader-involving schedule must
+      # FAIL (the negative control proves the sweep measures redundancy).
+      # Group reintegration (rejoin at lowest rank, second failure during
+      # snapshot) rides along.
+      ./build-release/tests/integration_explore_test \
+        --gtest_filter='ExploreGroupTest.*'
+      STTCP_MULTI_SEEDS=64 STTCP_MULTI_NEG_SEEDS=32 \
+        ./build-release/tests/integration_multi_failure_test \
+        --gtest_filter='*Sweep*:*NegativeControl*'
+      ./build-release/tests/sttcp_reintegration_test \
+        --gtest_filter='GroupReintegrationTest.*'
       ;;
     --scale)
       cmake -B build-release -DCMAKE_BUILD_TYPE=Release >/dev/null

@@ -7,15 +7,21 @@ namespace sttcp::harness {
 namespace {
 
 /// Derived member MACs: cell 0 gets the classic 02:00:00:00:00:02/03, cell k
-/// shifts the fourth octet so stamped cells never collide.
-net::MacAddr derived_mac(int cell_index, bool backup) {
+/// shifts the fourth octet so stamped cells never collide. Extra group
+/// backups continue the sequence (member 2 = ...:04, member 3 = ...:05).
+net::MacAddr derived_mac(int cell_index, int member) {
   return net::MacAddr::from_u64(0x020000000002ull +
                                 (static_cast<std::uint64_t>(cell_index) << 16) +
-                                (backup ? 1 : 0));
+                                static_cast<std::uint64_t>(member));
 }
 
-std::string member_name(const std::string& prefix, const char* role) {
+std::string member_name(const std::string& prefix, const std::string& role) {
   return prefix.empty() ? role : prefix + "." + role;
+}
+
+/// "backup", "backup2", "backup3", ... (i = backup index, 0-based).
+std::string backup_role(int i) {
+  return i == 0 ? "backup" : "backup" + std::to_string(i + 1);
 }
 
 }  // namespace
@@ -29,8 +35,9 @@ Cell::Cell(Topology& topo, int index, int switch_id, CellConfig cfg)
       shard_(topo.build_shard()),
       sttcp_enabled_(cfg_.enable_sttcp && topo.config().enable_sttcp) {
   const TopologyConfig& tc = topo_.config();
-  if (cfg_.primary_mac == net::MacAddr()) cfg_.primary_mac = derived_mac(index_, false);
-  if (cfg_.backup_mac == net::MacAddr()) cfg_.backup_mac = derived_mac(index_, true);
+  if (cfg_.primary_mac == net::MacAddr()) cfg_.primary_mac = derived_mac(index_, 0);
+  if (cfg_.backup_mac == net::MacAddr()) cfg_.backup_mac = derived_mac(index_, 1);
+  if (cfg_.extra_backups < 0) cfg_.extra_backups = 0;
   multicast_mac_ = cfg_.multicast_group == net::MacAddr()
                        ? net::MacAddr::multicast_group(0x57 + static_cast<std::uint32_t>(index_))
                        : cfg_.multicast_group;
@@ -69,7 +76,31 @@ Cell::Cell(Topology& topo, int index, int switch_id, CellConfig cfg)
   backup_->add_ip(cfg_.service_ip);
   pnic.subscribe_multicast(multicast_mac_);
   bnic.subscribe_multicast(multicast_mac_);
-  sw.add_multicast_group(multicast_mac_, {primary_port_, backup_port_});
+
+  // Extra group backups after the classic pair: a k=0 cell forks the world
+  // RNG exactly twice (the two Link constructors above), bit-identically to
+  // every build before replication groups existed.
+  std::vector<int> tap_ports = {primary_port_, backup_port_};
+  for (int i = 1; i < backup_count(); ++i) {
+    const std::string name = member_name(cfg_.name, backup_role(i));
+    const net::MacAddr mac = derived_mac(index_, 1 + i);
+    auto host = std::make_unique<net::Host>(world, name);
+    net::Nic& nic = host->add_nic(mac);
+    host->add_ip(backup_ip(i));
+    net::Link* link = topo_.make_link(name, bbw);
+    nic.attach(link->port(0));
+    const int port = sw.add_port(link->port(1));
+    power.register_host(*host);
+    host->add_ip(cfg_.service_ip);
+    nic.subscribe_multicast(multicast_mac_);
+    host->set_cpu_packet_time(cfg_.backup_cpu_packet_time);
+    tap_ports.push_back(port);
+    extra_hosts_.push_back(std::move(host));
+    extra_links_.push_back(link);
+    extra_ports_.push_back(port);
+    extra_macs_.push_back(mac);
+  }
+  sw.add_multicast_group(multicast_mac_, tap_ports);
 
   primary_->set_cpu_packet_time(cfg_.primary_cpu_packet_time);
   backup_->set_cpu_packet_time(cfg_.backup_cpu_packet_time);
@@ -79,11 +110,16 @@ Cell::~Cell() = default;
 
 void Cell::start() {
   const TopologyConfig& tc = topo_.config();
-  // Serial null-modem cable between the servers (port 0 = primary).
+  // Serial null-modem cable between the servers (port 0 = primary). It stays
+  // a point-to-point pair cable even in group mode: extra backups heartbeat
+  // over IP only (docs/GROUPS.md).
   serial_ = std::make_unique<net::SerialLink>(*world_, tc.serial_baud);
 
   primary_stack_ = std::make_unique<tcp::TcpStack>(*primary_, tc.tcp);
   backup_stack_ = std::make_unique<tcp::TcpStack>(*backup_, tc.tcp);
+  for (auto& h : extra_hosts_) {
+    extra_stacks_.push_back(std::make_unique<tcp::TcpStack>(*h, tc.tcp));
+  }
 
   if (!sttcp_enabled_) return;
 
@@ -96,17 +132,68 @@ void Cell::start() {
   pc.peer_name = backup_->name();
   pc.gateway_ip = cfg_.gateway_ip;
   if (!tc.logger_ip.is_zero()) pc.logger_ip = tc.logger_ip;
+  if (cfg_.extra_backups > 0) {
+    // Group mode: every member carries the same roster; ranks start in
+    // roster order (primary = rank 0).
+    pc.group.push_back({primary_->name(), cfg_.primary_ip, /*serial=*/true});
+    pc.group.push_back({backup_->name(), cfg_.backup_ip, /*serial=*/true});
+    for (int i = 1; i < backup_count(); ++i) {
+      pc.group.push_back(
+          {extra_hosts_[static_cast<std::size_t>(i - 1)]->name(), backup_ip(i),
+           /*serial=*/false});
+    }
+    pc.my_member = 0;
+  }
   sttcp::StTcpConfig bc = pc;
   bc.my_ip = cfg_.backup_ip;
   bc.peer_ip = cfg_.primary_ip;
   bc.peer_name = primary_->name();
+  bc.my_member = cfg_.extra_backups > 0 ? 1 : -1;
 
   primary_ep_ = std::make_unique<sttcp::StTcpEndpoint>(
       *primary_, *primary_stack_, power, &serial_->port(0), sttcp::Role::kPrimary, pc);
   backup_ep_ = std::make_unique<sttcp::StTcpEndpoint>(
       *backup_, *backup_stack_, power, &serial_->port(1), sttcp::Role::kBackup, bc);
+  for (int i = 1; i < backup_count(); ++i) {
+    sttcp::StTcpConfig xc = pc;
+    xc.my_ip = backup_ip(i);
+    xc.peer_ip = cfg_.primary_ip;
+    xc.peer_name = primary_->name();
+    xc.my_member = 1 + i;
+    extra_eps_.push_back(std::make_unique<sttcp::StTcpEndpoint>(
+        *extra_hosts_[static_cast<std::size_t>(i - 1)],
+        *extra_stacks_[static_cast<std::size_t>(i - 1)], power,
+        /*serial=*/nullptr, sttcp::Role::kBackup, xc));
+  }
   primary_ep_->start();
   backup_ep_->start();
+  for (auto& ep : extra_eps_) ep->start();
+}
+
+net::Host& Cell::backup_host(int i) {
+  return i == 0 ? *backup_ : *extra_hosts_.at(static_cast<std::size_t>(i - 1));
+}
+
+net::Link& Cell::backup_link(int i) {
+  return i == 0 ? *backup_link_ : *extra_links_.at(static_cast<std::size_t>(i - 1));
+}
+
+int Cell::backup_switch_port(int i) const {
+  return i == 0 ? backup_port_ : extra_ports_.at(static_cast<std::size_t>(i - 1));
+}
+
+tcp::TcpStack& Cell::backup_stack(int i) {
+  return i == 0 ? *backup_stack_ : *extra_stacks_.at(static_cast<std::size_t>(i - 1));
+}
+
+sttcp::StTcpEndpoint* Cell::backup_endpoint(int i) {
+  if (i == 0) return backup_ep_.get();
+  const auto k = static_cast<std::size_t>(i - 1);
+  return k < extra_eps_.size() ? extra_eps_[k].get() : nullptr;
+}
+
+net::MacAddr Cell::backup_mac(int i) const {
+  return i == 0 ? cfg_.backup_mac : extra_macs_.at(static_cast<std::size_t>(i - 1));
 }
 
 std::uint16_t Cell::service_port() const { return topo_.config().sttcp.service_port; }

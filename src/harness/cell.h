@@ -22,6 +22,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "net/host.h"
 #include "net/link.h"
@@ -59,6 +60,15 @@ struct CellConfig {
 
   sim::Duration primary_cpu_packet_time = sim::Duration::zero();
   sim::Duration backup_cpu_packet_time = sim::Duration::zero();
+
+  /// Backups beyond the classic one: 0 keeps the paper's 1+1 pair (and the
+  /// pair wire protocol / RNG fork order bit-exactly); k > 0 builds a 1+N
+  /// replication group with N = 1 + k backups. Extra backups ("backup2",
+  /// "backup3", ...) take backup_ip + 1, + 2, ..., tap the same multicast
+  /// group, and run IP-heartbeats only — the serial cable stays the
+  /// primary/backup point-to-point RS-232 of the paper (see
+  /// docs/GROUPS.md for why quorum-over-IP replaces serial at N > 2).
+  int extra_backups = 0;
 
   /// ANDed with TopologyConfig::enable_sttcp: a disabled cell runs plain
   /// TCP on the primary (the Demo 1/3 baseline).
@@ -103,6 +113,18 @@ class Cell {
   sttcp::StTcpEndpoint* primary_endpoint() { return primary_ep_.get(); }
   sttcp::StTcpEndpoint* backup_endpoint() { return backup_ep_.get(); }
 
+  // --- replication-group addressing (i = 0 is the classic backup) ----------
+  int backup_count() const { return 1 + cfg_.extra_backups; }
+  net::Host& backup_host(int i);
+  net::Link& backup_link(int i);
+  int backup_switch_port(int i) const;
+  tcp::TcpStack& backup_stack(int i);
+  sttcp::StTcpEndpoint* backup_endpoint(int i);
+  net::Ipv4Addr backup_ip(int i) const {
+    return net::Ipv4Addr(cfg_.backup_ip.value() + static_cast<std::uint32_t>(i));
+  }
+  net::MacAddr backup_mac(int i) const;
+
   net::Ipv4Addr primary_ip() const { return cfg_.primary_ip; }
   net::Ipv4Addr backup_ip() const { return cfg_.backup_ip; }
   net::Ipv4Addr service_ip() const { return cfg_.service_ip; }
@@ -134,6 +156,15 @@ class Cell {
   std::unique_ptr<net::SerialLink> serial_;
   std::unique_ptr<tcp::TcpStack> primary_stack_, backup_stack_;
   std::unique_ptr<sttcp::StTcpEndpoint> primary_ep_, backup_ep_;
+
+  // Extra group backups, index 0 = "backup2". Built after the classic pair
+  // so a k=0 cell's RNG fork order is untouched.
+  std::vector<std::unique_ptr<net::Host>> extra_hosts_;
+  std::vector<net::Link*> extra_links_;  // owned by the Topology
+  std::vector<int> extra_ports_;
+  std::vector<net::MacAddr> extra_macs_;
+  std::vector<std::unique_ptr<tcp::TcpStack>> extra_stacks_;
+  std::vector<std::unique_ptr<sttcp::StTcpEndpoint>> extra_eps_;
 };
 
 }  // namespace sttcp::harness

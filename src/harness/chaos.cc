@@ -1,6 +1,7 @@
 #include "harness/chaos.h"
 
 #include <cstdio>
+#include <memory>
 
 #include "app/client.h"
 #include "app/server.h"
@@ -104,6 +105,113 @@ ChaosVerdict run_chaos_seed(std::uint64_t seed, const ChaosOptions& opts) {
   h = fnv_mix(h, static_cast<std::uint64_t>(v.sim_ns));
   v.digest = h;
   return v;
+}
+
+MultiFailureVerdict run_multi_failure_seed(std::uint64_t seed,
+                                           const MultiFailureOptions& opts) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.tcp.verify_checksums = true;
+  cfg.sttcp.max_delay_fin = sim::Duration::seconds(20);
+  cfg.extra_backups = opts.backups > 1 ? opts.backups - 1 : 0;
+  Scenario sc(std::move(cfg));
+
+  app::FileServer p_app(sc.primary_stack(), sc.service_port(), opts.file_size);
+  std::vector<std::unique_ptr<app::FileServer>> b_apps;
+  for (int b = 0; b < sc.backup_count(); ++b) {
+    b_apps.push_back(std::make_unique<app::FileServer>(
+        sc.backup_member_stack(b), sc.service_port(), opts.file_size));
+  }
+  app::DownloadClient::Options copt;
+  copt.expected_bytes = opts.file_size;
+  app::DownloadClient client(sc.client_stack(), sc.client_ip(),
+                             {sc.connect_addr()}, copt);
+
+  InvariantChecker::Options iopt;
+  iopt.expected_bytes = opts.file_size;
+  iopt.expect_masked = opts.expect_masked;
+  InvariantChecker checker(sc, iopt);
+
+  const FaultPlan plan = FaultPlan::MultiFailure(seed, opts.backups);
+  sc.inject(plan);
+  client.start();
+
+  const sim::SimTime deadline = sc.world().now() + opts.run_cap;
+  while (!client.complete() && sc.world().now() < deadline) {
+    sc.run_for(sim::Duration::millis(250));
+  }
+  sc.run_for(sim::Duration::seconds(1));
+
+  MultiFailureVerdict v;
+  v.seed = seed;
+  v.plan = plan.str();
+  v.backups = opts.backups;
+  v.leader_involved = FaultPlan::MultiFailureInvolvesLeader(seed);
+  v.violations = checker.check(client);
+  v.complete = client.complete();
+  v.received = client.received();
+  const sim::TraceRecorder& trace = sc.world().trace();
+  for (const sim::TraceEntry& e : trace.entries()) {
+    if (e.event == "member_convicted") v.convicted.push_back(e.detail);
+    if (e.event == "promoted" && v.promotion_winner.empty()) {
+      v.promotion_winner = e.component;
+    }
+  }
+  v.takeovers = trace.count("takeover");
+  v.non_ft = trace.count("non_ft_mode");
+  v.sim_ns = (sc.world().now() - sim::SimTime::zero()).ns();
+
+  std::uint64_t h = 1469598103934665603ull;
+  h = fnv_mix(h, v.seed);
+  h = fnv_mix(h, v.plan);
+  for (const Violation& viol : v.violations) h = fnv_mix(h, viol.str());
+  h = fnv_mix(h, v.complete ? 1 : 0);
+  h = fnv_mix(h, v.received);
+  h = fnv_mix(h, static_cast<std::uint64_t>(v.backups));
+  h = fnv_mix(h, v.leader_involved ? 1 : 0);
+  for (const std::string& c : v.convicted) h = fnv_mix(h, c);
+  h = fnv_mix(h, v.promotion_winner);
+  h = fnv_mix(h, v.takeovers);
+  h = fnv_mix(h, v.non_ft);
+  h = fnv_mix(h, static_cast<std::uint64_t>(v.sim_ns));
+  v.digest = h;
+  return v;
+}
+
+std::string MultiFailureVerdict::report() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "multi-failure seed %llu (1+%d): %s\n",
+                static_cast<unsigned long long>(seed), backups,
+                ok() ? "all invariants held" : "INVARIANT VIOLATION");
+  out += line;
+  out += "  plan: " + plan + "\n";
+  std::string who;
+  for (const std::string& c : convicted) {
+    if (!who.empty()) who += ",";
+    who += c;
+  }
+  std::snprintf(line, sizeof(line),
+                "  outcome: %s, %llu bytes; leader_involved=%d convicted=[%s] "
+                "promoted=%s takeovers=%llu non_ft=%llu sim=%.3fs\n",
+                complete ? "complete" : "INCOMPLETE",
+                static_cast<unsigned long long>(received),
+                leader_involved ? 1 : 0, who.c_str(),
+                promotion_winner.empty() ? "(nobody)" : promotion_winner.c_str(),
+                static_cast<unsigned long long>(takeovers),
+                static_cast<unsigned long long>(non_ft),
+                static_cast<double>(sim_ns) * 1e-9);
+  out += line;
+  for (const Violation& v : violations) out += "  violated " + v.str() + "\n";
+  if (!ok()) {
+    std::snprintf(line, sizeof(line),
+                  "  replay: STTCP_MULTI_SEED=%llu "
+                  "./build/tests/integration_multi_failure_test "
+                  "--gtest_filter='*ReplaySeed*'\n",
+                  static_cast<unsigned long long>(seed));
+    out += line;
+  }
+  return out;
 }
 
 Node grey_victim(const FaultPlan& plan) {

@@ -109,4 +109,56 @@ GreyVerdict run_grey_seed(std::uint64_t seed, const GreyOptions& opts = {});
 /// always-convictable fault).
 Node grey_victim(const FaultPlan& plan);
 
+// --- simultaneous double failures (1+N groups) -----------------------------
+
+struct MultiFailureOptions {
+  /// Bigger than the chaos default: MultiFailure crashes land as late as
+  /// 1.5 s, and the double failure must hit a LIVE stream (~2 s at Fast
+  /// Ethernet) for the schedule — and the negative control — to mean
+  /// anything.
+  std::uint64_t file_size = 25'000'000;
+  sim::Duration run_cap = sim::Duration::seconds(90);
+  /// Backups in the replication group. 2 (an N=3 group) is the tentpole
+  /// claim: every MultiFailure schedule — two members crashing at the same
+  /// instant — is masked. 1 is the classic pair, run as the negative
+  /// control: the same schedules MUST fail whenever the leader is one of
+  /// the victims (MultiFailureInvolvesLeader), proving the sweep measures
+  /// redundancy rather than scheduler luck.
+  int backups = 2;
+  /// Passed to the InvariantChecker. Keep true even for the negative
+  /// control — the resulting stream-exact violation IS the expected
+  /// failure the control asserts on.
+  bool expect_masked = true;
+};
+
+/// One double-failure trial: FaultPlan::MultiFailure(seed, backups) against
+/// a 1+`backups` group, with conviction/promotion attribution pulled
+/// from the trace so reports can say WHO died and WHO won the promotion race.
+struct MultiFailureVerdict {
+  std::uint64_t seed = 0;
+  std::string plan;
+  std::vector<Violation> violations;
+
+  bool complete = false;
+  std::uint64_t received = 0;
+  int backups = 0;
+  /// The schedule names the leader as one victim (65% of seeds). At
+  /// backups == 1 these are total outages — the negative control's target.
+  bool leader_involved = false;
+  std::vector<std::string> convicted;  // member host names, conviction order
+  std::string promotion_winner;        // "" = nobody promoted
+  std::uint64_t takeovers = 0;
+  std::uint64_t non_ft = 0;
+  std::int64_t sim_ns = 0;
+
+  /// FNV-1a fold of every field above: same seed => same digest.
+  std::uint64_t digest = 0;
+
+  bool ok() const { return violations.empty(); }
+  std::string report() const;
+};
+
+MultiFailureVerdict run_multi_failure_seed(
+    std::uint64_t seed, const MultiFailureOptions& opts = {});
+
 }  // namespace sttcp::harness

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "app/client.h"
 #include "app/server.h"
@@ -46,12 +47,21 @@ std::uint64_t Explorer::state_digest(sim::EventLoop& loop, Scenario& sc,
     h = fnv_mix(h, static_cast<std::uint64_t>((e.at - now).ns()));
   }
   h = fnv_mix(h, client.received());
-  const std::uint64_t alive =
-      (sc.client().alive() ? 1u : 0u) | (sc.primary().alive() ? 2u : 0u) |
-      (sc.backup().alive() ? 4u : 0u) | (sc.gateway().alive() ? 8u : 0u);
+  // Liveness bitmap: client, primary, backups..., gateway. At one backup the
+  // layout (and every later mix) is bit-identical to the historic pair form.
+  std::uint64_t alive =
+      (sc.client().alive() ? 1u : 0u) | (sc.primary().alive() ? 2u : 0u);
+  std::uint64_t bit = 4;
+  for (int b = 0; b < sc.backup_count(); ++b, bit <<= 1) {
+    if (sc.backup_member(b).alive()) alive |= bit;
+  }
+  if (sc.gateway().alive()) alive |= bit;
   h = fnv_mix(h, alive);
-  tcp::TcpStack* stacks[3] = {&sc.client_stack(), &sc.primary_stack(),
-                              &sc.backup_stack()};
+  std::vector<tcp::TcpStack*> stacks = {&sc.client_stack(),
+                                        &sc.primary_stack()};
+  for (int b = 0; b < sc.backup_count(); ++b) {
+    stacks.push_back(&sc.backup_member_stack(b));
+  }
   for (tcp::TcpStack* s : stacks) {
     h = fnv_mix(h, s->connection_count());
     h = fnv_mix(h, s->pending_segments());
@@ -62,6 +72,13 @@ std::uint64_t Explorer::state_digest(sim::EventLoop& loop, Scenario& sc,
   h = fnv_mix(h, sc.world().trace().count("takeover"));
   h = fnv_mix(h, sc.world().trace().count("stonith"));
   h = fnv_mix(h, sc.world().trace().count("non_ft_mode"));
+  if (sc.backup_count() > 1) {
+    // Promotion-race markers (group mode only, so pair digests are
+    // unchanged): these distinguish "convicted, racing" from "promoted".
+    h = fnv_mix(h, sc.world().trace().count("member_convicted"));
+    h = fnv_mix(h, sc.world().trace().count("promoted"));
+    h = fnv_mix(h, sc.world().trace().count("view_announced"));
+  }
   return h;
 }
 
@@ -71,10 +88,15 @@ Explorer::TrialResult Explorer::run_trial(std::vector<std::uint8_t>& choices,
   ScenarioConfig cfg;
   cfg.seed = opts_.seed;
   cfg.sttcp.max_delay_fin = sim::Duration::seconds(20);
+  cfg.extra_backups = opts_.extra_backups;
   Scenario sc(std::move(cfg));
 
   app::FileServer p_app(sc.primary_stack(), sc.service_port(), opts_.file_size);
-  app::FileServer b_app(sc.backup_stack(), sc.service_port(), opts_.file_size);
+  std::vector<std::unique_ptr<app::FileServer>> b_apps;
+  for (int b = 0; b < sc.backup_count(); ++b) {
+    b_apps.push_back(std::make_unique<app::FileServer>(
+        sc.backup_member_stack(b), sc.service_port(), opts_.file_size));
+  }
   app::DownloadClient::Options copt;
   copt.expected_bytes = opts_.file_size;
   app::DownloadClient client(sc.client_stack(), sc.client_ip(),
@@ -86,6 +108,9 @@ Explorer::TrialResult Explorer::run_trial(std::vector<std::uint8_t>& choices,
   InvariantChecker checker(sc, iopt);
 
   sc.inject(Fault::Crash(Node::kPrimary).at(opts_.crash_at));
+  if (opts_.crash_rank1) {
+    sc.inject(Fault::Crash(Node::kBackup).at(opts_.crash_at));
+  }
   client.start();
 
   sim::EventLoop& loop = sc.world().loop();

@@ -64,6 +64,15 @@ struct ExploreOptions {
   std::uint64_t max_schedules = 20'000;
   /// Per-trial wall on simulated time after the choice window.
   sim::Duration run_cap = sim::Duration::seconds(30);
+  /// Backups beyond the classic one. 0 explores the paper's 1+1 pair;
+  /// 1 explores the three-host replication group, where the crash opens a
+  /// PROMOTION RACE between the two surviving backups — the enumeration then
+  /// proves no interleaving of conviction, vote and announce yields a
+  /// dual-active pair or a client-visible RST.
+  int extra_backups = 0;
+  /// Also crash the rank-1 backup at `crash_at` (simultaneous double
+  /// failure): the enumerated window must show rank-2 winning every race.
+  bool crash_rank1 = false;
 };
 
 /// One explored schedule: its choice vector (index into the ready set at

@@ -20,12 +20,22 @@ std::string fmt(const char* format, ...) {
   return buf;
 }
 
+// Group backups clamp to the highest existing one, so a group schedule
+// remains injectable on a smaller roster (the negative-control replay).
+int backup_index_of(Scenario& s, Node n) {
+  const int want = n == Node::kBackup3 ? 2 : n == Node::kBackup2 ? 1 : 0;
+  const int last = s.backup_count() - 1;
+  return want < last ? want : last;
+}
+
 net::Host& host_of(Scenario& s, Node n) {
   switch (n) {
     case Node::kClient: return s.client();
     case Node::kPrimary: return s.primary();
     case Node::kBackup: return s.backup();
     case Node::kGateway: return s.gateway();
+    case Node::kBackup2:
+    case Node::kBackup3: return s.backup_member(backup_index_of(s, n));
   }
   return s.primary();  // unreachable
 }
@@ -36,6 +46,8 @@ net::Link& link_of(Scenario& s, Node n) {
     case Node::kPrimary: return s.primary_link();
     case Node::kBackup: return s.backup_link();
     case Node::kGateway: return s.gateway_link();
+    case Node::kBackup2:
+    case Node::kBackup3: return s.backup_member_link(backup_index_of(s, n));
   }
   return s.primary_link();  // unreachable
 }
@@ -48,6 +60,8 @@ const char* to_string(Node n) {
     case Node::kPrimary: return "primary";
     case Node::kBackup: return "backup";
     case Node::kGateway: return "gateway";
+    case Node::kBackup2: return "backup2";
+    case Node::kBackup3: return "backup3";
   }
   return "?";
 }
@@ -394,6 +408,102 @@ FaultPlan FaultPlan::Adversarial(std::uint64_t seed) {
     }
   }
   return plan;
+}
+
+namespace {
+
+// One shared draw sequence for MultiFailure and MultiFailureInvolvesLeader:
+// the victims, the instant, and the garnish depend on the seed only, never
+// on the roster size — so a seed names the same schedule at every N.
+struct MultiFailureDraw {
+  bool leader_involved;
+  int victim_a;  // backup index, or -1 for the leader
+  int victim_b;  // backup index
+  sim::Duration when;
+  FaultPlan garnish;
+};
+
+MultiFailureDraw draw_multi_failure(std::uint64_t seed) {
+  sim::Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  MultiFailureDraw d;
+  // Both victims die at the SAME instant — the schedule is the simultaneous
+  // double failure the 1+1 pair cannot mask by definition.
+  d.when = sim::Duration::millis(static_cast<std::int64_t>(rng.range(300, 1500)));
+  d.leader_involved = rng.chance(0.65);
+  if (d.leader_involved) {
+    d.victim_a = -1;
+    d.victim_b = static_cast<int>(rng.below(2));  // backup or backup2
+  } else {
+    d.victim_a = 0;
+    d.victim_b = 1;
+    (void)rng.below(2);  // keep the draw count identical across branches
+  }
+
+  // Garnish: 0–2 mild loss-free impairments (same palette as Grey; loss
+  // would manufacture extra convictions the sweep asserts cannot happen).
+  constexpr Node kNodes[] = {Node::kClient, Node::kPrimary, Node::kBackup,
+                             Node::kBackup2};
+  const int garnish = static_cast<int>(rng.below(3));
+  for (int i = 0; i < garnish; ++i) {
+    const Node n = kNodes[rng.below(4)];
+    const auto at =
+        sim::Duration::millis(static_cast<std::int64_t>(rng.range(50, 700)));
+    const auto window =
+        sim::Duration::millis(static_cast<std::int64_t>(rng.range(200, 900)));
+    switch (rng.below(3)) {
+      case 0:
+        d.garnish.add(Fault::Jitter(
+                          n,
+                          sim::Duration::millis(
+                              static_cast<std::int64_t>(rng.range(1, 4))),
+                          window)
+                          .at(at));
+        break;
+      case 1:
+        d.garnish.add(
+            Fault::Duplicate(n, 0.02 + 0.08 * rng.uniform01(), window).at(at));
+        break;
+      case 2:
+        d.garnish.add(Fault::Reorder(
+                          n, 0.05 + 0.15 * rng.uniform01(),
+                          sim::Duration::millis(
+                              static_cast<std::int64_t>(rng.range(1, 5))),
+                          window)
+                          .at(at));
+        break;
+    }
+  }
+  return d;
+}
+
+Node backup_node(int index) {
+  return index >= 2   ? Node::kBackup3
+         : index == 1 ? Node::kBackup2
+                      : Node::kBackup;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::MultiFailure(std::uint64_t seed, int n_backups) {
+  if (n_backups < 1) n_backups = 1;
+  const MultiFailureDraw d = draw_multi_failure(seed);
+  // Clamp drawn backup indices to the roster; identical draws, smaller cast.
+  const auto clamp = [n_backups](int i) {
+    return i < n_backups ? i : n_backups - 1;
+  };
+  FaultPlan plan;
+  if (d.victim_a < 0) {
+    plan.add(Fault::Crash(Node::kPrimary).at(d.when));
+  } else {
+    plan.add(Fault::Crash(backup_node(clamp(d.victim_a))).at(d.when));
+  }
+  plan.add(Fault::Crash(backup_node(clamp(d.victim_b))).at(d.when));
+  for (const Fault& f : d.garnish.faults()) plan.add(f);
+  return plan;
+}
+
+bool FaultPlan::MultiFailureInvolvesLeader(std::uint64_t seed) {
+  return draw_multi_failure(seed).leader_involved;
 }
 
 FaultPlan FaultPlan::Grey(std::uint64_t seed) {

@@ -28,7 +28,10 @@ class Scenario;
 
 /// The four machines of the Figure-2 topology (the serial cable is addressed
 /// by the Serial* faults; the optional logger host is not a fault target).
-enum class Node { kClient, kPrimary, kBackup, kGateway };
+/// kBackup2/kBackup3 address the extra replication-group backups of an
+/// extra_backups > 0 scenario; on a classic pair they alias kBackup so a
+/// group schedule stays injectable as a negative control.
+enum class Node { kClient, kPrimary, kBackup, kGateway, kBackup2, kBackup3 };
 
 const char* to_string(Node n);
 
@@ -135,6 +138,23 @@ class FaultPlan {
   /// excluded, so every generated plan must be masked and the chaos fuzzer
   /// can assert completion. Same seed, same plan.
   static FaultPlan Adversarial(std::uint64_t seed);
+
+  /// Draw a SIMULTANEOUS double-failure schedule from `seed`: two distinct
+  /// replication-group members crash at the same instant in [300, 1500] ms —
+  /// leader + a backup about 2/3 of the time, backup + backup otherwise —
+  /// plus 0–2 mild loss-free garnish impairments. The RNG draw sequence is
+  /// independent of `n_backups`, so the same seed yields the same schedule
+  /// shape at every group size; member indices beyond the roster clamp to
+  /// the highest existing backup (at N = 2 a leader+backup2 schedule becomes
+  /// leader+backup — the negative control that MUST fail, while N = 3 masks
+  /// it). Survivable by construction at n_backups >= 2 under quorum
+  /// promotion: at least one member always survives. Same seed, same plan.
+  static FaultPlan MultiFailure(std::uint64_t seed, int n_backups = 2);
+
+  /// True when MultiFailure(seed, ...) draws a leader-involving schedule
+  /// (the pair crashed = leader + one backup). Re-derivable from the seed
+  /// alone so sweeps can select negative-control seeds without injecting.
+  static bool MultiFailureInvolvesLeader(std::uint64_t seed);
 
   /// Draw a grey-failure schedule from `seed`: exactly ONE convictable grey
   /// fault — an application hang, or a hard CPU stall longer than any

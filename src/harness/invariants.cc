@@ -66,6 +66,11 @@ InvariantChecker::Scope InvariantChecker::scope_from(Topology& topo,
   s.backup_stack = &cell.backup_stack();
   s.primary_ep = cell.primary_endpoint();
   s.backup_ep = cell.backup_endpoint();
+  for (int b = 0; b < cell.backup_count(); ++b) {
+    s.backups.push_back(&cell.backup_host(b));
+    s.backup_stacks.push_back(&cell.backup_stack(b));
+    s.backup_eps.push_back(cell.backup_endpoint(b));
+  }
   s.sw = &topo.ethernet_switch(static_cast<std::size_t>(cell.switch_id()));
   // Every link in the cell's shard except a logger host's, in creation
   // order: for the classic facade shape that is client, primary, backup,
@@ -111,11 +116,54 @@ InvariantChecker::InvariantChecker(Scope scope, Options opt)
         on_switch_frame(at, frame);
       });
 
-  net::Host* hosts[3] = {scope_.client, scope_.primary, scope_.backup};
-  for (int i = 0; i < 3; ++i) {
-    hosts[i]->set_rx_tap(
+  const std::vector<net::Host*> hosts = watched_hosts();
+  expected_bad_checksum_.assign(hosts.size(), 0);
+  for (int i = 0; i < static_cast<int>(hosts.size()); ++i) {
+    hosts[static_cast<std::size_t>(i)]->set_rx_tap(
         [this, i](const net::Frame& frame) { on_host_rx(i, frame); });
   }
+}
+
+std::vector<net::Host*> InvariantChecker::watched_hosts() const {
+  std::vector<net::Host*> hosts = {scope_.client, scope_.primary};
+  if (scope_.backups.empty()) {
+    hosts.push_back(scope_.backup);
+  } else {
+    hosts.insert(hosts.end(), scope_.backups.begin(), scope_.backups.end());
+  }
+  return hosts;
+}
+
+std::vector<tcp::TcpStack*> InvariantChecker::watched_stacks() const {
+  std::vector<tcp::TcpStack*> stacks = {scope_.client_stack,
+                                        scope_.primary_stack};
+  if (scope_.backup_stacks.empty()) {
+    stacks.push_back(scope_.backup_stack);
+  } else {
+    stacks.insert(stacks.end(), scope_.backup_stacks.begin(),
+                  scope_.backup_stacks.end());
+  }
+  return stacks;
+}
+
+std::string InvariantChecker::watched_name(std::size_t i) const {
+  if (i == 0) return "client";
+  if (i == 1) return "primary";
+  return i == 2 ? "backup" : "backup" + std::to_string(i - 1);
+}
+
+int InvariantChecker::member_index(const net::MacAddr& mac) const {
+  if (mac == scope_.primary->nic().mac()) return 0;
+  for (std::size_t b = 0; b < scope_.backups.size(); ++b) {
+    if (mac == scope_.backups[b]->nic().mac()) return 1 + static_cast<int>(b);
+  }
+  return -1;
+}
+
+std::string InvariantChecker::member_name(int m) const {
+  if (m == 0) return scope_.primary->name();
+  const std::size_t b = static_cast<std::size_t>(m - 1);
+  return b < scope_.backups.size() ? scope_.backups[b]->name() : "?";
 }
 
 void InvariantChecker::add_streamed(const std::string& invariant,
@@ -154,14 +202,46 @@ void InvariantChecker::on_switch_frame(sim::SimTime at,
   // takeover), the primary must stay silent, modulo frames already in
   // flight. Source MAC tells the two apart; the service IP does not.
   if (p.ip->src == scope_.service_ip && p.ip->dst == scope_.client_ip) {
-    if (p.eth.src == scope_.backup->nic().mac()) {
-      if (first_backup_tx_.is_never()) first_backup_tx_ = at;
-    } else if (p.eth.src == scope_.primary->nic().mac() &&
-               !first_backup_tx_.is_never() &&
-               at > first_backup_tx_ + opt_.split_brain_grace) {
-      add_streamed("split-brain",
-                   "primary transmitted to client at " + at.str() +
-                       ", backup took over at " + first_backup_tx_.str());
+    if (scope_.backups.size() <= 1) {
+      // Classic pair rule, unchanged.
+      if (p.eth.src == scope_.backup->nic().mac()) {
+        if (first_backup_tx_.is_never()) first_backup_tx_ = at;
+      } else if (p.eth.src == scope_.primary->nic().mac() &&
+                 !first_backup_tx_.is_never() &&
+                 at > first_backup_tx_ + opt_.split_brain_grace) {
+        add_streamed("split-brain",
+                     "primary transmitted to client at " + at.str() +
+                         ", backup took over at " + first_backup_tx_.str());
+      }
+    } else {
+      // Group speaker protocol: the member whose transmission most recently
+      // BEGAN holds the floor; each member it superseded may only drain
+      // in-flight frames for the grace, then must stay silent. A superseded
+      // member transmitting later is dual-active — two unsuppressed servers
+      // answering the same connection.
+      const int m = member_index(p.eth.src);
+      if (m >= 0) {
+        if (current_speaker_ < 0) {
+          current_speaker_ = m;
+          speaker_since_ = at;
+        } else if (m != current_speaker_) {
+          const auto it = superseded_at_.find(m);
+          if (it == superseded_at_.end()) {
+            // A fresh claimant (promotion winner): the incumbent is
+            // superseded as of now and gets the grace to drain.
+            superseded_at_[current_speaker_] = at;
+            current_speaker_ = m;
+            speaker_since_ = at;
+          } else if (at > it->second + opt_.split_brain_grace) {
+            add_streamed("split-brain",
+                         member_name(m) + " transmitted to client at " +
+                             at.str() + " after " +
+                             member_name(current_speaker_) +
+                             " took over (superseded at " +
+                             it->second.str() + ")");
+          }
+        }
+      }
     }
   }
 }
@@ -179,12 +259,13 @@ void InvariantChecker::on_host_rx(int host_idx, const net::Frame& frame) {
   const net::BytesView v = frame.view();
   if (it->second < kL4Off || v.size() <= kL4Off) return;
   if (v[net::EthernetHeader::kSize + 9] != net::kIpProtoTcp) return;
-  ++expected_bad_checksum_[host_idx];
+  ++expected_bad_checksum_[static_cast<std::size_t>(host_idx)];
 }
 
 std::uint64_t InvariantChecker::expected_checksum_drops() const {
-  return expected_bad_checksum_[0] + expected_bad_checksum_[1] +
-         expected_bad_checksum_[2];
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : expected_bad_checksum_) total += n;
+  return total;
 }
 
 void InvariantChecker::collect_streamed(std::vector<Violation>& out) const {
@@ -202,14 +283,12 @@ void InvariantChecker::check_checksums(std::vector<Violation>& out) const {
   // Checksum-drop accounting: per stack, exactly the corrupted TCP frames we
   // delivered to that host were dropped for bad checksum. Fewer = a corrupt
   // segment was accepted (and possibly ACKed); more = a clean one rejected.
-  tcp::TcpStack* stacks[3] = {scope_.client_stack, scope_.primary_stack,
-                              scope_.backup_stack};
-  const char* names[3] = {"client", "primary", "backup"};
-  for (int i = 0; i < 3; ++i) {
+  const std::vector<tcp::TcpStack*> stacks = watched_stacks();
+  for (std::size_t i = 0; i < stacks.size(); ++i) {
     const std::uint64_t got = stacks[i]->stats().bad_checksum;
     if (got != expected_bad_checksum_[i]) {
       out.push_back({"checksum-drop",
-                     std::string(names[i]) + ": " +
+                     watched_name(i) + ": " +
                          fmt_u64("%llu checksum drops, expected %llu", got,
                                  expected_bad_checksum_[i])});
     }
@@ -222,13 +301,17 @@ void InvariantChecker::check_memory(std::vector<Violation>& out,
   // pending queues honour the per-tuple cap, connection tables stay within
   // the workload's configured concurrency, and total connection heap stays
   // inside the per-connection socket-buffer budget (no per-flow leak).
-  const char* names[3] = {"client", "primary", "backup"};
   const std::size_t hold_cap = scope_.hold_cap;
-  sttcp::StTcpEndpoint* eps[2] = {scope_.primary_ep, scope_.backup_ep};
-  for (int i = 0; i < 2; ++i) {
+  std::vector<sttcp::StTcpEndpoint*> eps = {scope_.primary_ep};
+  if (scope_.backup_eps.empty()) {
+    eps.push_back(scope_.backup_ep);
+  } else {
+    eps.insert(eps.end(), scope_.backup_eps.begin(), scope_.backup_eps.end());
+  }
+  for (std::size_t i = 0; i < eps.size(); ++i) {
     if (eps[i] != nullptr && eps[i]->hold_peak_bytes() > hold_cap) {
       out.push_back({"bounded-memory",
-                     std::string(names[i + 1]) + ": " +
+                     watched_name(i + 1) + ": " +
                          fmt_u64("hold buffer peak %llu exceeds cap %llu",
                                  eps[i]->hold_peak_bytes(), hold_cap)});
     }
@@ -238,20 +321,19 @@ void InvariantChecker::check_memory(std::vector<Violation>& out,
   // plus a window's worth of out-of-order segments), plus fixed-struct slack.
   const std::size_t per_conn =
       tc.send_buffer + 2 * tc.recv_buffer + 4096;
-  tcp::TcpStack* stacks[3] = {scope_.client_stack, scope_.primary_stack,
-                              scope_.backup_stack};
-  for (int i = 0; i < 3; ++i) {
+  const std::vector<tcp::TcpStack*> stacks = watched_stacks();
+  for (std::size_t i = 0; i < stacks.size(); ++i) {
     const std::size_t pending = stacks[i]->pending_segments();
     const std::size_t cap = tcp::TcpStack::max_buffered_segments() * 8;
     if (pending > cap) {
       out.push_back({"bounded-memory",
-                     std::string(names[i]) + ": " +
+                     watched_name(i) + ": " +
                          fmt_u64("%llu replica-buffered segments (cap %llu)",
                                  pending, cap)});
     }
     if (stacks[i]->connection_count() > conn_table_cap) {
       out.push_back({"bounded-memory",
-                     std::string(names[i]) + ": " +
+                     watched_name(i) + ": " +
                          fmt_u64("connection table grew to %llu (cap %llu)",
                                  stacks[i]->connection_count(), conn_table_cap)});
     }
@@ -261,7 +343,7 @@ void InvariantChecker::check_memory(std::vector<Violation>& out,
         pending * (sizeof(tcp::TcpSegment) + tc.mss);
     if (mem > budget) {
       out.push_back({"bounded-memory",
-                     std::string(names[i]) + ": " +
+                     watched_name(i) + ": " +
                          fmt_u64("stack heap %llu exceeds budget %llu", mem,
                                  budget)});
     }

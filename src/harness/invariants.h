@@ -137,12 +137,17 @@ class InvariantChecker {
     net::Ipv4Addr service_ip;
     net::Host* client = nullptr;
     net::Host* primary = nullptr;
-    net::Host* backup = nullptr;
+    net::Host* backup = nullptr;  // == backups.front()
     tcp::TcpStack* client_stack = nullptr;
     tcp::TcpStack* primary_stack = nullptr;
-    tcp::TcpStack* backup_stack = nullptr;
+    tcp::TcpStack* backup_stack = nullptr;  // == backup_stacks.front()
     sttcp::StTcpEndpoint* primary_ep = nullptr;  // null without ST-TCP
-    sttcp::StTcpEndpoint* backup_ep = nullptr;
+    sttcp::StTcpEndpoint* backup_ep = nullptr;   // == backup_eps.front()
+    /// All the cell's backups; size > 1 switches the split-brain audit to
+    /// the group-aware speaker protocol over every tapped member MAC.
+    std::vector<net::Host*> backups;
+    std::vector<tcp::TcpStack*> backup_stacks;
+    std::vector<sttcp::StTcpEndpoint*> backup_eps;
     net::EthernetSwitch* sw = nullptr;
     std::vector<net::Link*> links;  // impairment pre-fork order
     std::size_t hold_cap = 0;
@@ -155,6 +160,14 @@ class InvariantChecker {
   void on_switch_frame(sim::SimTime at, const net::Frame& frame);
   void on_host_rx(int host_idx, const net::Frame& frame);
   void add_streamed(const std::string& invariant, const std::string& detail);
+
+  /// 0 = primary, 1.. = backups, -1 = not a member MAC.
+  int member_index(const net::MacAddr& mac) const;
+  std::string member_name(int m) const;
+  /// The watched hosts in rx-tap index order: client, primary, backups...
+  std::vector<net::Host*> watched_hosts() const;
+  std::vector<tcp::TcpStack*> watched_stacks() const;
+  std::string watched_name(std::size_t i) const;
 
   // Shared between the two check() overloads.
   void collect_streamed(std::vector<Violation>& out) const;
@@ -173,13 +186,21 @@ class InvariantChecker {
   std::unordered_map<std::uint64_t, std::size_t> corrupted_;
   std::uint64_t corrupt_events_ = 0;
 
-  // Per-host (client=0, primary=1, backup=2) deliveries of corrupted frames
-  // whose flip landed inside the TCP segment — each must become exactly one
-  // stack bad_checksum increment.
-  std::uint64_t expected_bad_checksum_[3] = {0, 0, 0};
+  // Per-host (client=0, primary=1, backups=2...) deliveries of corrupted
+  // frames whose flip landed inside the TCP segment — each must become
+  // exactly one stack bad_checksum increment.
+  std::vector<std::uint64_t> expected_bad_checksum_;
 
   // Split-brain bookkeeping over service->client TCP frames.
+  // Pair mode (one backup): the classic first-backup-transmission clock.
   sim::SimTime first_backup_tx_ = sim::SimTime::never();
+  // Group mode (> 1 backup): speaker protocol over member MACs. The member
+  // whose transmission most recently began speaks; every member it
+  // superseded must fall silent within the grace (a superseded member
+  // transmitting later is dual-active). Member 0 = primary, 1.. = backups.
+  int current_speaker_ = -1;
+  sim::SimTime speaker_since_ = sim::SimTime::never();
+  std::unordered_map<int, sim::SimTime> superseded_at_;
 
   std::vector<Violation> streamed_;
   std::unordered_map<std::string, int> streamed_counts_;

@@ -72,6 +72,7 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)) {
   cc.backup_link_bandwidth_bps = cfg_.backup_link_bandwidth_bps;
   cc.primary_cpu_packet_time = cfg_.primary_cpu_packet_time;
   cc.backup_cpu_packet_time = cfg_.backup_cpu_packet_time;
+  cc.extra_backups = cfg_.extra_backups;
   b.add_cell(lan, cc);
 
   HostOptions gw_opt;
@@ -91,8 +92,10 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)) {
     lh.host->add_ip(service_ip());
     lh.host->nic().subscribe_multicast(kMultiEa);
     Cell& c = b.topology().cell(0);
-    b.topology().ethernet_switch().add_multicast_group(
-        kMultiEa, {c.primary_port(), c.backup_port(), lh.port});
+    std::vector<int> ports = {c.primary_port()};
+    for (int i = 0; i < c.backup_count(); ++i) ports.push_back(c.backup_switch_port(i));
+    ports.push_back(lh.port);
+    b.topology().ethernet_switch().add_multicast_group(kMultiEa, ports);
   }
 
   topo_ = b.build();

@@ -59,6 +59,10 @@ struct ScenarioConfig {
   // ST-TCP (addresses are filled in by the scenario).
   sttcp::StTcpConfig sttcp;
   bool enable_sttcp = true;
+  /// Backups beyond the classic one: 0 keeps the paper's 1+1 pair
+  /// bit-exactly; k > 0 runs a 1+N replication group (N = 1 + k backups,
+  /// "backup2" at 10.0.0.4, "backup3" at 10.0.0.5, IP heartbeats only).
+  int extra_backups = 0;
   /// Add the §4.3 stream logger host (output-commit fallback).
   bool enable_logger = false;
 
@@ -121,6 +125,16 @@ class Scenario {
   tcp::TcpStack& backup_stack() { return cell().backup_stack(); }
   sttcp::StTcpEndpoint* primary_endpoint() { return cell().primary_endpoint(); }
   sttcp::StTcpEndpoint* backup_endpoint() { return cell().backup_endpoint(); }
+
+  // --- replication group (i = 0 is the classic backup) ---------------------
+  int backup_count() { return cell().backup_count(); }
+  net::Host& backup_member(int i) { return cell().backup_host(i); }
+  net::Link& backup_member_link(int i) { return cell().backup_link(i); }
+  tcp::TcpStack& backup_member_stack(int i) { return cell().backup_stack(i); }
+  sttcp::StTcpEndpoint* backup_member_endpoint(int i) {
+    return cell().backup_endpoint(i);
+  }
+  net::Ipv4Addr backup_member_ip(int i) const { return cell().backup_ip(i); }
 
   const ScenarioConfig& config() const { return cfg_; }
 
@@ -200,7 +214,7 @@ class Scenario {
   ScenarioConfig cfg_;
   std::unique_ptr<Topology> topo_;
   std::unique_ptr<sttcp::StreamLogger> logger_;
-  std::array<app::ServerApp*, 4> server_apps_{};
+  std::array<app::ServerApp*, 6> server_apps_{};  // indexed by Node
 };
 
 }  // namespace sttcp::harness

@@ -155,7 +155,9 @@ void Topology::export_metrics() {
   }
   for (const auto& c : cells_) {
     export_stack(c->primary_stack(), c->primary().name());
-    export_stack(c->backup_stack(), c->backup().name());
+    for (int b = 0; b < c->backup_count(); ++b) {
+      export_stack(c->backup_stack(b), c->backup_host(b).name());
+    }
   }
 
   const auto export_ep = [&reg](const sttcp::StTcpEndpoint* ep, const std::string& host) {
@@ -176,10 +178,18 @@ void Topology::export_metrics() {
     reg.counter(p + ".hb_stale").set(s.hb_stale);
     reg.counter(p + ".control_malformed").set(s.control_malformed);
     reg.counter(p + ".hold_peak_bytes").set(ep->hold_peak_bytes());
+    if (ep->group_mode()) {
+      reg.counter(p + ".promotions").set(s.promotions);
+      reg.counter(p + ".votes_granted").set(s.votes_granted);
+      reg.counter(p + ".votes_denied").set(s.votes_denied);
+      reg.counter(p + ".view_changes").set(s.view_changes);
+    }
   };
   for (auto& c : cells_) {
     export_ep(c->primary_endpoint(), c->primary().name());
-    export_ep(c->backup_endpoint(), c->backup().name());
+    for (int b = 0; b < c->backup_count(); ++b) {
+      export_ep(c->backup_endpoint(b), c->backup_host(b).name());
+    }
   }
 
   if (pcap_ != nullptr) {
@@ -376,8 +386,10 @@ std::unique_ptr<Topology> TopologyBuilder::build() {
       if (c->switch_id() != sid) continue;
       members.push_back({c->primary_ip(), c->config().primary_mac,
                          &c->primary(), c.get()});
-      members.push_back({c->backup_ip(), c->config().backup_mac,
-                         &c->backup(), c.get()});
+      for (int b = 0; b < c->backup_count(); ++b) {
+        members.push_back({c->backup_ip(b), c->backup_mac(b),
+                           &c->backup_host(b), c.get()});
+      }
     }
 
     // Full static ARP mesh between the subnet's real addresses.

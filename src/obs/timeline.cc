@@ -67,13 +67,27 @@ void FailoverTimeline::reset() {
   for (auto& m : marks_) m.reset();
   conviction_reason_.clear();
   conviction_lag_bytes_ = 0;
+  convicted_member_.clear();
+  promotion_winner_.clear();
+  promotion_member_ = -1;
+  promotion_epoch_ = 0;
 }
 
 void FailoverTimeline::set_conviction(const std::string& reason,
-                                      std::uint64_t lag_bytes) {
+                                      std::uint64_t lag_bytes,
+                                      const std::string& member) {
   if (!conviction_reason_.empty()) return;  // first conviction wins
   conviction_reason_ = reason;
   conviction_lag_bytes_ = lag_bytes;
+  convicted_member_ = member;
+}
+
+void FailoverTimeline::set_promotion(const std::string& winner, int member,
+                                     std::uint32_t epoch) {
+  if (!promotion_winner_.empty()) return;  // first win is THE failover's
+  promotion_winner_ = winner;
+  promotion_member_ = member;
+  promotion_epoch_ = epoch;
 }
 
 void FailoverTimeline::write_json(std::ostream& out) const {
@@ -89,7 +103,16 @@ void FailoverTimeline::write_json(std::ostream& out) const {
   out << "}";
   if (!conviction_reason_.empty()) {
     out << ",\"conviction\":{\"reason\":\"" << conviction_reason_
-        << "\",\"lag_bytes\":" << conviction_lag_bytes_ << "}";
+        << "\",\"lag_bytes\":" << conviction_lag_bytes_;
+    if (!convicted_member_.empty()) {
+      out << ",\"member\":\"" << convicted_member_ << "\"";
+    }
+    out << "}";
+  }
+  if (!promotion_winner_.empty()) {
+    out << ",\"promotion\":{\"winner\":\"" << promotion_winner_
+        << "\",\"member\":" << promotion_member_
+        << ",\"epoch\":" << promotion_epoch_ << "}";
   }
   if (const auto s = segments()) {
     out << ",\"segments_ms\":{\"detection\":" << s->detection_ms

@@ -76,10 +76,22 @@ class FailoverTimeline {
 
   /// Record WHY the peer was convicted (the detector's trace event, e.g.
   /// "progress_stall_detected") and the worst byte lag any tracker saw at
-  /// that moment. First conviction wins, like every milestone.
-  void set_conviction(const std::string& reason, std::uint64_t lag_bytes);
+  /// that moment. First conviction wins, like every milestone. Group mode
+  /// additionally names the convicted member so a multi-failure verdict can
+  /// attribute who was convicted (and, via set_promotion, who won).
+  void set_conviction(const std::string& reason, std::uint64_t lag_bytes,
+                      const std::string& member = std::string());
   const std::string& conviction_reason() const { return conviction_reason_; }
   std::uint64_t conviction_lag_bytes() const { return conviction_lag_bytes_; }
+  const std::string& convicted_member() const { return convicted_member_; }
+
+  /// Group mode: record the ranked-promotion winner (host name, its member
+  /// index, and the epoch its winning view announced). First win stamps the
+  /// failover; later reintegration-era changes do not overwrite it.
+  void set_promotion(const std::string& winner, int member, std::uint32_t epoch);
+  const std::string& promotion_winner() const { return promotion_winner_; }
+  int promotion_member() const { return promotion_member_; }
+  std::uint32_t promotion_epoch() const { return promotion_epoch_; }
 
   /// {"milestones_ms":{...},"conviction":{...},"segments_ms":{...}}
   /// (conviction when a detector fired, segments when complete).
@@ -91,6 +103,10 @@ class FailoverTimeline {
       marks_;
   std::string conviction_reason_;
   std::uint64_t conviction_lag_bytes_ = 0;
+  std::string convicted_member_;
+  std::string promotion_winner_;
+  int promotion_member_ = -1;
+  std::uint32_t promotion_epoch_ = 0;
 };
 
 }  // namespace sttcp::obs

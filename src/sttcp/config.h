@@ -5,11 +5,22 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "net/addr.h"
 #include "sim/time.h"
 
 namespace sttcp::sttcp {
+
+/// One member of a 1+N replication group, in initial-rank order (index 0 is
+/// the leader, index 1 the first backup, ...). See docs/GROUPS.md.
+struct GroupMemberCfg {
+  std::string name;     // STONITH power-off target
+  net::Ipv4Addr ip;     // management address (HB/control traffic)
+  /// Member reachable over the RS-232 channel (only the classic pair —
+  /// members 0 and 1 — share the serial cable; the rest are IP-only).
+  bool serial = false;
+};
 
 struct StTcpConfig {
   // --- identity ------------------------------------------------------------
@@ -25,6 +36,13 @@ struct StTcpConfig {
   std::string peer_name;
   /// Gateway pinged during NIC-failure arbitration (§4.3).
   net::Ipv4Addr gateway_ip;
+  /// 1+N replication group, ordered by initial promotion rank (index 0 =
+  /// leader). Empty = classic pair mode: the pair is synthesized from
+  /// my_ip/peer_ip/peer_name and every PR-before-groups behaviour is
+  /// preserved bit-for-bit. With a group, `my_member` indexes this vector.
+  std::vector<GroupMemberCfg> group;
+  /// This endpoint's index into `group` (-1 in pair mode).
+  int my_member = -1;
   /// Optional stream logger (§4.3 output-commit extension): the backup
   /// fetches client bytes the dead primary had already acknowledged from
   /// here after a takeover. Zero address disables the fallback.
@@ -107,6 +125,15 @@ struct StTcpConfig {
   /// retransmission. Enabling this retransmits immediately instead (our
   /// extension; quantified by the ablation bench).
   bool immediate_retransmit_on_takeover = false;
+
+  // --- group promotion (1+N, beyond the paper; docs/GROUPS.md) ---------------
+  /// How long a higher-ranked backup waits for the lowest-ranked live
+  /// candidate's ViewAnnounce after convicting the leader before convicting
+  /// the silent candidate too and re-evaluating. Two heartbeat periods keeps
+  /// the race window tight without tripping on ordinary jitter.
+  sim::Duration promote_defer = sim::Duration::millis(400);
+  /// Re-send cadence for unanswered PromoteRequest votes.
+  sim::Duration promote_retry = sim::Duration::millis(100);
 
   // --- reintegration (beyond the paper) ----------------------------------------
   /// Survivor: how long to wait for the rejoiner's "ready" before re-sending

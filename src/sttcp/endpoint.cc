@@ -19,6 +19,7 @@ StTcpEndpoint::StTcpEndpoint(net::Host& host, tcp::TcpStack& stack,
       log_(host.logger().child("sttcp")),
       world_(host.world()),
       hb_timer_(host.world().loop()),
+      promote_timer_(host.world().loop()),
       ping_timer_(host.world().loop()),
       logger_timer_(host.world().loop()) {
   reintegrator_ = std::make_unique<Reintegrator>(*this);
@@ -38,7 +39,32 @@ void StTcpEndpoint::start() {
     m_hold_bytes_ = &reg->gauge(prefix + ".hold_buffer_bytes");
     m_recovery_bytes_ = &reg->counter(prefix + ".recovery_bytes");
     m_app_lag_bytes_ = &reg->gauge(prefix + ".app_lag_bytes");
+    if (group_mode()) {
+      m_rank_ = &reg->gauge(prefix + ".rank");
+      m_epoch_ = &reg->gauge(prefix + ".view_epoch");
+    }
     timeline_ = &reg->timeline();
+  }
+
+  if (group_mode()) {
+    // Initial view: every configured member, in configured rank order.
+    view_.epoch = 0;
+    view_.order.clear();
+    peers_.clear();
+    for (std::size_t i = 0; i < cfg_.group.size(); ++i) {
+      view_.order.push_back(static_cast<std::uint8_t>(i));
+      if (static_cast<int>(i) == cfg_.my_member) continue;
+      GroupPeer p;
+      p.member = static_cast<std::uint8_t>(i);
+      p.ip = cfg_.group[i].ip;
+      p.name = cfg_.group[i].name;
+      p.has_serial = cfg_.group[i].serial &&
+                     cfg_.group[static_cast<std::size_t>(cfg_.my_member)].serial;
+      p.last_rx_ip = world_.now();
+      p.last_rx_serial = world_.now();
+      peers_.push_back(p);
+    }
+    update_group_gauges();
   }
 
   stack_.set_observer(this);
@@ -72,6 +98,7 @@ void StTcpEndpoint::start() {
     mode_ = Mode::kDead;
     hb_timer_.stop();
     ping_timer_.cancel();
+    promote_timer_.cancel();
   });
   // Reintegration: a powered-on host re-enters the pair as a rejoining
   // backup. Runs after the stack's own boot hook (registered in the stack
@@ -121,10 +148,17 @@ HeartbeatMsg StTcpEndpoint::make_hb_header() {
   msg.rejoin_request = reintegrator_->rejoin_request_flag();
   msg.rejoin_ready = reintegrator_->rejoin_ready_flag();
   msg.rejoin_epoch = reintegrator_->epoch();
+  if (group_mode()) {
+    msg.group_valid = true;
+    msg.member = my_member();
+    msg.view_epoch = view_.epoch;
+    msg.view_order = view_.order;
+  }
   return msg;
 }
 
-HbRecord StTcpEndpoint::make_record(std::uint16_t id, const ReplConn& rc) const {
+HbRecord StTcpEndpoint::make_record(std::uint16_t id, const ReplConn& rc,
+                                    int peer_idx) const {
   HbRecord rec;
   rec.repl_id = id;
   rec.fin_generated = rc.fin();
@@ -134,7 +168,13 @@ HbRecord StTcpEndpoint::make_record(std::uint16_t id, const ReplConn& rc) const 
   rec.acked_by_peer = rc.acked();
   rec.app_written = rc.written();
   rec.app_read = rc.read();
-  if (role_ == Role::kPrimary && !rc.announce_confirmed && rc.conn != nullptr) {
+  // Group mode announces are per-member: each member keeps seeing the
+  // announce until IT has echoed the id (pair mode keeps the shared flag).
+  const bool announce_needed =
+      peer_idx < 0 ? !rc.announce_confirmed
+                   : !(static_cast<std::size_t>(peer_idx) < rc.gp.size() &&
+                       rc.gp[static_cast<std::size_t>(peer_idx)].echoed);
+  if (role_ == Role::kPrimary && announce_needed && rc.conn != nullptr) {
     rec.announce = true;
     rec.established = true;
     rec.client_ip = rc.tuple.remote.ip;
@@ -163,11 +203,43 @@ HbRecord StTcpEndpoint::make_record(std::uint16_t id, const ReplConn& rc) const 
 void StTcpEndpoint::send_heartbeat(bool include_serial) {
   if (!host_.alive() || mode_ == Mode::kDead) return;
   if (mode_ == Mode::kTakenOver || mode_ == Mode::kNonFaultTolerant) return;
+  if (group_mode()) {
+    send_group_heartbeat(include_serial);
+    return;
+  }
 
   HeartbeatMsg msg = make_hb_header();
   msg.records.reserve(conns_.size());
   for (auto& [id, rc] : conns_) msg.records.push_back(make_record(id, *rc));
+  std::size_t total = 0;
+  for (const auto& r : msg.records) total += r.wire_size();
+  emit_heartbeat(msg, total, cfg_.peer_ip, include_serial ? serial_ : nullptr,
+                 udp_rr_next_id_, serial_rr_next_id_);
+  ++stats_.hb_sent;
+}
 
+void StTcpEndpoint::send_group_heartbeat(bool include_serial) {
+  // One copy per member, each with ITS view of the announces and ITS
+  // rotation cursors: a record's window position for member A must not
+  // advance because a copy went to member B (a shared cursor would starve
+  // every record at fan-out > 1 under budget pressure).
+  for (GroupPeer& p : peers_) {
+    const int pi = static_cast<int>(&p - peers_.data());
+    HeartbeatMsg msg = make_hb_header();
+    msg.records.reserve(conns_.size());
+    for (auto& [id, rc] : conns_) msg.records.push_back(make_record(id, *rc, pi));
+    std::size_t total = 0;
+    for (const auto& r : msg.records) total += r.wire_size();
+    net::SerialPort* sp = include_serial && p.has_serial ? serial_ : nullptr;
+    emit_heartbeat(msg, total, p.ip, sp, p.udp_rr_next_id, p.serial_rr_next_id);
+  }
+  ++stats_.hb_sent;
+}
+
+void StTcpEndpoint::emit_heartbeat(const HeartbeatMsg& msg, std::size_t total_bytes,
+                                   net::Ipv4Addr dst, net::SerialPort* serial,
+                                   std::uint16_t& udp_cursor,
+                                   std::uint16_t& serial_cursor) {
   // An IPv4 datagram caps at 65,535 bytes; with every record carrying an
   // announce (35 B) that is ~1,870 connections. Past it the 16-bit
   // total_length wraps silently and the peer drops the frame on UDP
@@ -178,8 +250,6 @@ void StTcpEndpoint::send_heartbeat(bool include_serial) {
   // wait for the window: announces and FIN/RST notices also travel as
   // single-record event heartbeats the moment they happen.
   constexpr std::size_t kUdpRecordBudget = 60'000;
-  std::size_t total = 0;
-  for (const auto& r : msg.records) total += r.wire_size();
 
   // Rotation cursors are connection ids, not vector positions: conns_ is
   // id-ordered, so records[] is sorted by repl_id, and an id survives the
@@ -194,18 +264,19 @@ void StTcpEndpoint::send_heartbeat(bool include_serial) {
   };
 
   net::Bytes wire_msg;
-  if (total <= kUdpRecordBudget) {
+  if (total_bytes <= kUdpRecordBudget) {
     wire_msg = msg.serialize();
   } else {
-    HeartbeatMsg umsg = make_hb_header();
+    HeartbeatMsg umsg = msg;
+    umsg.records.clear();
     umsg.records.reserve(msg.records.size());
-    const std::size_t start = start_index(udp_rr_next_id_);
+    const std::size_t start = start_index(udp_cursor);
     std::size_t used = 0;
     for (std::size_t k = 0; k < msg.records.size(); ++k) {
       const std::size_t i = (start + k) % msg.records.size();
       const HbRecord& r = msg.records[i];
       if (used + r.wire_size() > kUdpRecordBudget) {
-        udp_rr_next_id_ = r.repl_id;
+        udp_cursor = r.repl_id;
         break;
       }
       used += r.wire_size();
@@ -213,35 +284,46 @@ void StTcpEndpoint::send_heartbeat(bool include_serial) {
     }
     wire_msg = umsg.serialize();
   }
-  host_.udp_send(cfg_.my_ip, cfg_.hb_port, cfg_.peer_ip, cfg_.hb_port, wire_msg);
-  if (include_serial && serial_ != nullptr) {
+  host_.udp_send(cfg_.my_ip, cfg_.hb_port, dst, cfg_.hb_port, wire_msg);
+  if (serial != nullptr) {
     const std::size_t cap = cfg_.serial_max_records;
     if (cap == 0 || msg.records.size() <= cap) {
       // Under the cap the UDP copy was not truncated either (the serial cap
       // is far below the UDP byte budget), so the bytes can be shared.
-      serial_->send(total <= kUdpRecordBudget ? wire_msg : msg.serialize());
+      serial->send(total_bytes <= kUdpRecordBudget ? wire_msg : msg.serialize());
     } else {
       // Serial copy carries a rotating window of `cap` records (same header
       // and hb_seq), so every connection's counters ride the line within
       // ceil(n/cap) periods while the channel-liveness beat stays on time.
       HeartbeatMsg smsg = msg;
       smsg.records.clear();
-      const std::size_t start = start_index(serial_rr_next_id_);
+      const std::size_t start = start_index(serial_cursor);
       for (std::size_t k = 0; k < cap; ++k) {
         smsg.records.push_back(msg.records[(start + k) % msg.records.size()]);
       }
-      serial_rr_next_id_ =
+      serial_cursor =
           static_cast<std::uint16_t>(
               msg.records[(start + cap) % msg.records.size()].repl_id);
-      serial_->send(smsg.serialize());
+      serial->send(smsg.serialize());
     }
   }
-  ++stats_.hb_sent;
 }
 
 void StTcpEndpoint::send_event_heartbeat(std::uint16_t id) {
   if (!host_.alive() || mode_ == Mode::kDead) return;
   if (mode_ == Mode::kTakenOver || mode_ == Mode::kNonFaultTolerant) return;
+  if (group_mode()) {
+    for (GroupPeer& p : peers_) {
+      const int pi = static_cast<int>(&p - peers_.data());
+      HeartbeatMsg msg = make_hb_header();
+      if (const ReplConn* rc = by_id(id)) {
+        msg.records.push_back(make_record(id, *rc, pi));
+      }
+      host_.udp_send(cfg_.my_ip, cfg_.hb_port, p.ip, cfg_.hb_port, msg.serialize());
+    }
+    ++stats_.hb_sent;
+    return;
+  }
   HeartbeatMsg msg = make_hb_header();
   if (const ReplConn* rc = by_id(id)) msg.records.push_back(make_record(id, *rc));
   host_.udp_send(cfg_.my_ip, cfg_.hb_port, cfg_.peer_ip, cfg_.hb_port,
@@ -263,6 +345,10 @@ void StTcpEndpoint::on_hb_datagram(net::BytesView payload, bool via_serial) {
 }
 
 void StTcpEndpoint::on_heartbeat(const HeartbeatMsg& msg, bool via_serial) {
+  if (group_mode()) {
+    on_group_heartbeat(msg, via_serial);
+    return;
+  }
   // Rejoin solicitations are handled BEFORE the role-reflection guard: a
   // former backup that survived a takeover still calls itself backup, and so
   // does the rejoiner — identical roles must not drop the request. A
@@ -326,7 +412,7 @@ void StTcpEndpoint::on_heartbeat(const HeartbeatMsg& msg, bool via_serial) {
   }
 }
 
-void StTcpEndpoint::process_record(const HbRecord& rec) {
+void StTcpEndpoint::process_record(const HbRecord& rec, int peer_idx) {
   ReplConn* rc = by_id(rec.repl_id);
   bool matched_by_id = rc != nullptr;
   if (rc == nullptr) {
@@ -357,6 +443,23 @@ void StTcpEndpoint::process_record(const HbRecord& rec) {
     world_.trace().record(host_.name(), "announce_confirmed", rc->tuple.str());
   }
 
+  // Group mode: keep the per-member mirror the record's sender owns. The
+  // shared p_* fields below become the max across members (unwrap_counter
+  // ignores regressions), which is what the backup-side detectors want; the
+  // per-member values feed hold release and FIN agreement on the leader.
+  ReplConn::PeerProgress* g = nullptr;
+  if (group_mode() && peer_idx >= 0) {
+    ensure_group_progress(*rc);
+    g = &rc->gp[static_cast<std::size_t>(peer_idx)];
+    g->valid = true;
+    if (matched_by_id) g->echoed = true;
+    g->received = unwrap_counter(static_cast<std::uint32_t>(rec.bytes_received),
+                                 g->received);
+    g->fin = g->fin || rec.fin_generated;
+    g->rst = g->rst || rec.rst_generated;
+    g->closed = g->closed || rec.closed;
+  }
+
   // Unwrap the 32-bit wire counters against the previous values.
   rc->p_received = unwrap_counter(static_cast<std::uint32_t>(rec.bytes_received),
                                   rc->p_received);
@@ -377,15 +480,58 @@ void StTcpEndpoint::process_record(const HbRecord& rec) {
                        world_.now());
 
   // Primary: the backup has confirmed receipt through p_received — release
-  // the hold buffer below that point.
+  // the hold buffer below that point. Group leader: only below the MINIMUM
+  // confirmed across every live member; a member without a record yet pins
+  // the buffer entirely (its replica may still need every held byte).
   if (role_ == Role::kPrimary) {
+    std::uint64_t release = rc->p_received;
+    if (g != nullptr) {
+      std::size_t live = 0;
+      bool all_valid = true;
+      std::uint64_t min_rx = rc->p_received;
+      for (std::size_t i = 0; i < peers_.size(); ++i) {
+        if (!view_.contains(peers_[i].member)) continue;
+        ++live;
+        if (!rc->gp[i].valid) {
+          all_valid = false;
+          break;
+        }
+        min_rx = std::min(min_rx, rc->gp[i].received);
+      }
+      release = live == 0 ? rc->p_received : (all_valid ? min_rx : 0);
+    }
     const std::size_t before = rc->hold.size();
-    rc->hold.release_to(rc->p_received);
+    rc->hold.release_to(release);
     note_hold_change(before, rc->hold.size());
+
+    // A group leader's "peer closed" means EVERY live member closed its
+    // replica — GC must not reap the final-counter record while a slower
+    // member still reconciles against it.
+    if (g != nullptr) {
+      bool all_closed = true;
+      std::size_t live = 0;
+      for (std::size_t i = 0; i < peers_.size(); ++i) {
+        if (!view_.contains(peers_[i].member)) continue;
+        ++live;
+        if (!(rc->gp[i].valid && rc->gp[i].closed)) {
+          all_closed = false;
+          break;
+        }
+      }
+      if (live > 0) rc->p_closed = all_closed;
+    }
   }
 
-  // FIN arbitration: the peer generated a FIN/RST.
-  if ((rc->p_fin || rc->p_rst)) on_peer_fin_notice(*rc);
+  // FIN arbitration: the peer generated a FIN/RST. A group leader holding a
+  // withheld FIN settles only on full agreement (every live member FINed);
+  // a lone member's FIN with no local counterpart still arms the
+  // disagreement timer below via on_peer_fin_notice.
+  if (rc->p_fin || rc->p_rst) {
+    const bool group_leader = g != nullptr && role_ == Role::kPrimary;
+    if (!group_leader || !rc->fin_withheld || group_fins_agree(*rc)) {
+      on_peer_fin_notice(*rc);
+    }
+  }
 
   const sim::SimTime now = world_.now();
 
@@ -410,10 +556,19 @@ void StTcpEndpoint::process_record(const HbRecord& rec) {
       rc->ever_served && now - rc->last_served_at < cfg_.hb_period * 3;
   // No lag conviction while a reintegration is in flight: the rejoiner is
   // still catching up by design. Trackers are reset when FT resumes.
+  // Channel liveness is per-member in group mode: the endpoint-level stamps
+  // mix every member's beats, so a single member's dead NIC would vanish in
+  // the aggregate.
+  const bool peer_ip_ok = peer_idx < 0
+                              ? ip_channel_alive()
+                              : peer_ip_alive(peers_[static_cast<std::size_t>(peer_idx)]);
+  const bool peer_serial_ok =
+      peer_idx < 0 ? serial_channel_alive()
+                   : peer_serial_alive(peers_[static_cast<std::size_t>(peer_idx)]);
   const bool detection_eligible = mode_ == Mode::kReplicating &&
                                   rc->conn != nullptr && !rc->local_closed &&
                                   !(local_closing && peer_closing) &&
-                                  !recovering_peer && ip_channel_alive();
+                                  !recovering_peer && peer_ip_ok;
   if (detection_eligible) {
     const auto v_read = rc->lag_read.update(rc->read(), rc->p_read, now);
     const auto v_written = rc->lag_written.update(rc->written(), rc->p_written, now);
@@ -426,12 +581,13 @@ void StTcpEndpoint::process_record(const HbRecord& rec) {
       m_app_lag_bytes_->set(static_cast<std::int64_t>(lag));
     }
     if (v_read.failed) {
-      peer_failed(sim::cat("app read lag: ", v_read.reason), "app_failure_detected");
+      convict_from_record(peer_idx, sim::cat("app read lag: ", v_read.reason),
+                          "app_failure_detected");
       return;
     }
     if (v_written.failed) {
-      peer_failed(sim::cat("app write lag: ", v_written.reason),
-                  "app_failure_detected");
+      convict_from_record(peer_idx, sim::cat("app write lag: ", v_written.reason),
+                          "app_failure_detected");
       return;
     }
   }
@@ -439,15 +595,15 @@ void StTcpEndpoint::process_record(const HbRecord& rec) {
   // NIC-failure detection via LastByteReceived / LastAckReceived comparison
   // (§4.3) — only meaningful while the IP channel is dead and the serial
   // channel carries the heartbeat.
-  if (mode_ == Mode::kReplicating && !ip_channel_alive() &&
-      serial_channel_alive() && rc->conn != nullptr && !rc->local_closed &&
-      !rc->p_closed) {
+  if (mode_ == Mode::kReplicating && !peer_ip_ok && peer_serial_ok &&
+      rc->conn != nullptr && !rc->local_closed && !rc->p_closed) {
     const auto v_rx = rc->lag_received.update(rc->received(), rc->p_received, now);
     const auto v_ack = rc->lag_acked.update(rc->acked(), rc->p_acked, now);
     if (v_rx.failed || v_ack.failed) {
-      peer_failed(sim::cat("NIC failure (client-byte comparison): ",
-                           v_rx.failed ? v_rx.reason : v_ack.reason),
-                  "nic_failure_detected");
+      convict_from_record(peer_idx,
+                          sim::cat("NIC failure (client-byte comparison): ",
+                                   v_rx.failed ? v_rx.reason : v_ack.reason),
+                          "nic_failure_detected");
       return;
     }
   }
@@ -457,6 +613,10 @@ void StTcpEndpoint::process_record(const HbRecord& rec) {
 }
 
 void StTcpEndpoint::detector_tick() {
+  if (group_mode()) {
+    group_detector_tick();
+    return;
+  }
   if (!active()) return;
   gc_closed_conns();
 
@@ -606,6 +766,7 @@ void StTcpEndpoint::register_primary_conn(tcp::TcpConnection& conn) {
   rc->registered_at = world_.now();
   conns_.emplace(id, std::move(rc));
   id_by_tuple_[conn.tuple()] = id;
+  if (group_mode()) ensure_group_progress(*conns_[id]);
 
   install_primary_seams(conn, id);
 
@@ -771,8 +932,13 @@ bool StTcpEndpoint::close_gate(std::uint16_t id, bool is_rst) {
   // received a FIN from the client."
   if (rc->conn->peer_half_closed()) return true;
 
-  // Agreement: the peer generated one too => normal closure.
-  if (rc->p_fin || rc->p_rst) {
+  // Agreement: the peer generated one too => normal closure. A group leader
+  // needs EVERY live member to have produced the FIN/RST — one healthy
+  // member's silence keeps the arbitration open.
+  const bool agreed = group_mode() && role_ == Role::kPrimary
+                          ? group_fins_agree(*rc)
+                          : (rc->p_fin || rc->p_rst);
+  if (agreed) {
     ++stats_.fin_agreed;
     world_.trace().record(host_.name(), "fin_agreed", rc->tuple.str());
     return true;
@@ -829,6 +995,19 @@ void StTcpEndpoint::on_peer_fin_notice(ReplConn& rc) {
       if (r == nullptr || r->conn == nullptr) return;
       if (r->conn->fin_generated() || r->conn->rst_generated()) return;  // agreed since
       if (role_ == Role::kPrimary) {
+        if (group_mode()) {
+          // Convict the member whose lone FIN/RST started the disagreement.
+          for (std::size_t i = 0; i < peers_.size(); ++i) {
+            if (!view_.contains(peers_[i].member)) continue;
+            if (i < r->gp.size() && (r->gp[i].fin || r->gp[i].rst)) {
+              member_failed(i,
+                            "member generated FIN/RST with no local counterpart",
+                            "fin_disagreement");
+              return;
+            }
+          }
+          return;
+        }
         peer_failed("backup generated FIN/RST with no local counterpart",
                     "fin_disagreement");
       } else {
@@ -849,6 +1028,9 @@ void StTcpEndpoint::update_ping_loop() {
              [this](bool ok, sim::Duration) {
                my_ping_valid_ = true;
                my_ping_ok_ = ok;
+               // A promotion candidate's win may be gated only on this
+               // result (quorum-over-IP: votes are in, gateway pending).
+               if (ballot_.active) try_win_promotion();
              });
   ping_timer_.arm(cfg_.ping_interval, [this] { update_ping_loop(); });
 }
@@ -868,6 +1050,10 @@ void StTcpEndpoint::evaluate_nic_arbitration() {
 
 void StTcpEndpoint::maybe_request_missed(ReplConn& rc) {
   if (rc.conn == nullptr) return;
+  // Only the leader holds the bytes; a fenced-out or leaderless view has no
+  // one to ask (the promotion settles first).
+  const net::Ipv4Addr dst = group_mode() ? group_leader_ip() : cfg_.peer_ip;
+  if (dst.is_zero()) return;
   const std::uint64_t mine = rc.conn->bytes_received();
   if (rc.p_received <= mine) return;
   if (world_.now() - rc.last_request_at < cfg_.recovery_request_delay &&
@@ -884,13 +1070,13 @@ void StTcpEndpoint::maybe_request_missed(ReplConn& rc) {
   ++stats_.missed_requests_sent;
   world_.trace().record(host_.name(), "missed_bytes_request", rc.tuple.str(),
                         static_cast<std::int64_t>(req.length));
-  host_.udp_send(cfg_.my_ip, cfg_.control_port, cfg_.peer_ip, cfg_.control_port,
+  host_.udp_send(cfg_.my_ip, cfg_.control_port, dst, cfg_.control_port,
                  req.serialize());
 }
 
 void StTcpEndpoint::on_control_datagram(net::Ipv4Addr src, net::BytesView payload) {
   if (!host_.alive() || mode_ == Mode::kDead) return;
-  if (src == cfg_.peer_ip) {
+  if (src == cfg_.peer_ip || peer_index_by_ip(src) >= 0) {
     // Snapshot-transfer datagrams (reintegration) are routed before
     // ControlMsg::parse, which only understands the recovery messages.
     if (!payload.empty() &&
@@ -906,10 +1092,19 @@ void StTcpEndpoint::on_control_datagram(net::Ipv4Addr src, net::BytesView payloa
     }
     switch (msg->type) {
       case ControlType::kMissedBytesRequest:
-        serve_missed(msg->request);
+        serve_missed(msg->request, src);
         break;
       case ControlType::kMissedBytesReply:
         apply_missed(msg->reply);
+        break;
+      case ControlType::kPromoteRequest:
+        on_promote_request(src, msg->promote_request);
+        break;
+      case ControlType::kPromoteAck:
+        on_promote_ack(msg->promote_ack);
+        break;
+      case ControlType::kViewAnnounce:
+        maybe_adopt_view(msg->view_announce.epoch, msg->view_announce.order);
         break;
       default:  // snapshot types are routed above, never parsed here
         break;
@@ -936,7 +1131,8 @@ void StTcpEndpoint::on_control_datagram(net::Ipv4Addr src, net::BytesView payloa
   }
 }
 
-void StTcpEndpoint::serve_missed(const MissedBytesRequest& req) {
+void StTcpEndpoint::serve_missed(const MissedBytesRequest& req,
+                                 net::Ipv4Addr requester) {
   ReplConn* rc = by_id(req.repl_id);
   if (rc == nullptr) return;
   ++stats_.missed_requests_served;
@@ -960,7 +1156,7 @@ void StTcpEndpoint::serve_missed(const MissedBytesRequest& req) {
     world_.trace().record(host_.name(), "missed_bytes_served", rc->tuple.str(),
                           static_cast<std::int64_t>(rep.data.size()));
     const std::uint64_t served = rep.data.size();
-    host_.udp_send(cfg_.my_ip, cfg_.control_port, cfg_.peer_ip, cfg_.control_port,
+    host_.udp_send(cfg_.my_ip, cfg_.control_port, requester, cfg_.control_port,
                    rep.serialize());
     off += served;
     remaining -= std::min<std::uint64_t>(remaining, served);
@@ -1097,6 +1293,672 @@ void StTcpEndpoint::stonith_peer() {
   if (!power_.power_off(cfg_.peer_name)) {
     log_.warn("STONITH of ", cfg_.peer_name, " failed (power controller)");
   }
+}
+
+// ---------------------------------------------------------------------------
+// 1+N groups (group.h, docs/GROUPS.md)
+// ---------------------------------------------------------------------------
+
+StTcpEndpoint::GroupPeer* StTcpEndpoint::peer_by_member(std::uint8_t m) {
+  for (GroupPeer& p : peers_) {
+    if (p.member == m) return &p;
+  }
+  return nullptr;
+}
+
+int StTcpEndpoint::peer_index_by_ip(net::Ipv4Addr ip) const {
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    if (peers_[i].ip == ip) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool StTcpEndpoint::peer_ip_alive(const GroupPeer& p) const {
+  const sim::Duration deadline =
+      cfg_.hb_period * cfg_.hb_miss_threshold + cfg_.hb_period / 2;
+  return world_.now() - p.last_rx_ip <= deadline;
+}
+
+bool StTcpEndpoint::peer_serial_alive(const GroupPeer& p) const {
+  if (!p.has_serial) return false;
+  const sim::Duration deadline =
+      cfg_.hb_period * cfg_.hb_miss_threshold + cfg_.hb_period / 2;
+  return world_.now() - p.last_rx_serial <= deadline;
+}
+
+void StTcpEndpoint::ensure_group_progress(ReplConn& rc) {
+  while (rc.gp.size() < peers_.size()) {
+    ReplConn::PeerProgress g;
+    g.since = world_.now();
+    rc.gp.push_back(g);
+  }
+}
+
+void StTcpEndpoint::update_group_gauges() {
+  if (m_rank_ != nullptr) m_rank_->set(promotion_rank());
+  if (m_epoch_ != nullptr) m_epoch_->set(static_cast<std::int64_t>(view_.epoch));
+}
+
+net::Ipv4Addr StTcpEndpoint::group_leader_ip() const {
+  if (view_.order.empty() || view_.leader() == my_member()) return net::Ipv4Addr();
+  return cfg_.group[view_.leader()].ip;
+}
+
+bool StTcpEndpoint::group_fins_agree(const ReplConn& rc) const {
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    if (!view_.contains(peers_[i].member)) continue;
+    ++live;
+    if (i >= rc.gp.size()) return false;
+    if (!rc.gp[i].valid || !(rc.gp[i].fin || rc.gp[i].rst)) return false;
+  }
+  return live > 0;
+}
+
+void StTcpEndpoint::on_group_heartbeat(const HeartbeatMsg& msg, bool via_serial) {
+  if (!msg.group_valid || msg.member == my_member()) return;
+  GroupPeer* p = peer_by_member(msg.member);
+  if (p == nullptr) return;
+  const int pi = static_cast<int>(p - peers_.data());
+
+  // Rejoin solicitations: the group leader serves them while replicating; a
+  // survivor that fell out of replication (last one standing) serves them
+  // like the classic pair.
+  if (msg.rejoin_request &&
+      (mode_ == Mode::kTakenOver || mode_ == Mode::kNonFaultTolerant ||
+       mode_ == Mode::kReintegrating ||
+       (mode_ == Mode::kReplicating && view_.is_leader(my_member())))) {
+    reintegrator_->on_rejoin_request(msg.rejoin_epoch, msg.member);
+  }
+
+  if (via_serial) {
+    if (m_hb_gap_serial_us_ != nullptr) {
+      m_hb_gap_serial_us_->record(
+          static_cast<std::uint64_t>((world_.now() - p->last_rx_serial).us()));
+    }
+    p->last_rx_serial = world_.now();
+    last_rx_serial_ = world_.now();
+    ++stats_.hb_received_serial;
+  } else {
+    if (m_hb_gap_ip_us_ != nullptr) {
+      m_hb_gap_ip_us_->record(
+          static_cast<std::uint64_t>((world_.now() - p->last_rx_ip).us()));
+    }
+    p->last_rx_ip = world_.now();
+    last_rx_ip_ = world_.now();
+    ++stats_.hb_received_ip;
+  }
+  if (timeline_ != nullptr) timeline_->heartbeat_seen(world_.now());
+
+  // Per-peer bounded-reorder guard (see the pair path in on_heartbeat).
+  const auto seq_delta = static_cast<std::int32_t>(msg.hb_seq - p->last_hb_seq);
+  if (p->seen_hb && seq_delta < 0 && seq_delta > -4096) {
+    ++stats_.hb_stale;
+    return;
+  }
+  p->seen_hb = true;
+  p->last_hb_seq = msg.hb_seq;
+
+  // Conviction revert: we convicted this member, yet here it is — alive and
+  // claiming leadership with a view at least as new as ours. The conviction
+  // was wrong (a grey channel, not a dead host); reinstate it before its
+  // queued STONITH can ever fire.
+  if (awaiting_leader_ && !view_.contains(msg.member) &&
+      !msg.view_order.empty() && msg.view_order.front() == msg.member &&
+      msg.view_epoch >= view_.epoch) {
+    view_.order.insert(view_.order.begin(), msg.member);
+    stonith_pending_.erase(
+        std::remove(stonith_pending_.begin(), stonith_pending_.end(), msg.member),
+        stonith_pending_.end());
+    awaiting_leader_ = false;
+    ballot_.reset();
+    promote_timer_.cancel();
+    world_.trace().record(host_.name(), "conviction_reverted", p->name);
+  }
+
+  maybe_adopt_view(msg.view_epoch, msg.view_order);  // may fence us into rejoin
+
+  if (msg.rejoin_ready &&
+      (mode_ == Mode::kReintegrating ||
+       (mode_ == Mode::kReplicating && view_.is_leader(my_member())))) {
+    reintegrator_->on_rejoin_ready(msg.rejoin_epoch, msg.member);
+  }
+  if (!replicating_or_reintegrating()) return;
+
+  if (msg.ping_valid) {
+    p->ping_fail_streak = msg.ping_ok ? 0 : p->ping_fail_streak + 1;
+  }
+  if (msg.app_suspect && mode_ == Mode::kReplicating && view_.contains(msg.member)) {
+    p->app_suspect = true;
+  }
+
+  if (mode_ == Mode::kRejoining && !reintegrator_->snapshot_applied()) return;
+
+  // Records count only on the leader<->backup axis: a backup hears another
+  // backup's heartbeats for liveness and promotion, not for replication.
+  const bool process_records = view_.is_leader(my_member()) ||
+                               view_.is_leader(msg.member) ||
+                               mode_ == Mode::kRejoining;
+  if (!process_records) return;
+  for (const HbRecord& rec : msg.records) {
+    if (!replicating_or_reintegrating()) break;
+    process_record(rec, pi);
+  }
+}
+
+void StTcpEndpoint::group_detector_tick() {
+  if (!host_.alive()) return;
+  if (mode_ != Mode::kReplicating && mode_ != Mode::kReintegrating) return;
+  if (mode_ == Mode::kReplicating) gc_closed_conns();
+
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    GroupPeer& p = peers_[i];
+    if (!view_.contains(p.member)) continue;
+    // For a pairing without a shared RS-232 cable the IP channel is the only
+    // channel — peer_serial_alive() is constantly false there, so the
+    // classic "both links dead" collapses to IP silence as intended.
+    if (!peer_ip_alive(p) && !peer_serial_alive(p)) {
+      world_.trace().record(host_.name(), "hb_both_links_dead", p.name);
+      member_failed(i, sim::cat("heartbeat failure on all channels to ", p.name),
+                    "peer_dead");
+      return;  // one conviction per tick; the next period re-evaluates
+    }
+    if (p.app_suspect) {
+      member_failed(i, sim::cat("watchdog reported application failure on ", p.name),
+                    "watchdog_failure");
+      return;
+    }
+  }
+
+  // Gateway-ping arbitration window: a live member is IP-silent while its
+  // serial beat still arrives (Table 1 row 4, lifted to the group).
+  bool nic_window = false;
+  for (const GroupPeer& p : peers_) {
+    if (!view_.contains(p.member)) continue;
+    if (!peer_ip_alive(p) && peer_serial_alive(p)) {
+      nic_window = true;
+      break;
+    }
+  }
+  if (nic_window) {
+    if (!ping_loop_active_) {
+      ping_loop_active_ = true;
+      world_.trace().record(host_.name(), "nic_arbitration_start");
+      update_ping_loop();
+    }
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+      GroupPeer& p = peers_[i];
+      if (!view_.contains(p.member)) continue;
+      if (!peer_ip_alive(p) && peer_serial_alive(p) && my_ping_valid_ &&
+          my_ping_ok_ && p.ping_fail_streak >= cfg_.ping_fail_threshold) {
+        member_failed(i,
+                      sim::cat("gateway ping arbitration: ", p.name, " failed ",
+                               p.ping_fail_streak, " consecutive pings"),
+                      "nic_failure_detected");
+        return;
+      }
+    }
+  } else if (ping_loop_active_ && !ballot_.active) {
+    // Candidates keep the loop running — their win is gated on it.
+    ping_loop_active_ = false;
+    my_ping_valid_ = false;
+    ping_timer_.cancel();
+  }
+
+  if (mode_ != Mode::kReplicating) return;
+  const bool leader = view_.is_leader(my_member());
+
+  if (leader) {
+    for (auto& [id, rc] : conns_) {
+      if (rc->conn == nullptr || rc->local_closed) continue;
+      ensure_group_progress(*rc);
+      // Never-replicated grace, per member: the baseline restarts when the
+      // member (re)joined the tracking, not just when the connection opened.
+      for (std::size_t i = 0; i < peers_.size(); ++i) {
+        if (!view_.contains(peers_[i].member)) continue;
+        const auto& g = rc->gp[i];
+        const sim::SimTime base =
+            g.since < rc->registered_at ? rc->registered_at : g.since;
+        if (!g.valid && world_.now() - base > cfg_.replica_setup_grace) {
+          member_failed(i,
+                        sim::cat("member ", peers_[i].name,
+                                 " never replicated connection ", rc->tuple.str()),
+                        "app_failure_detected");
+          return;
+        }
+      }
+      if (rc->hold.overflowed()) {
+        // The buffer is pinned by the slowest live member: convict it.
+        int slow = -1;
+        std::uint64_t slow_rx = 0;
+        for (std::size_t i = 0; i < peers_.size(); ++i) {
+          if (!view_.contains(peers_[i].member)) continue;
+          const std::uint64_t rx = rc->gp[i].valid ? rc->gp[i].received : 0;
+          if (slow < 0 || rx < slow_rx) {
+            slow = static_cast<int>(i);
+            slow_rx = rx;
+          }
+        }
+        if (slow >= 0) {
+          member_failed(static_cast<std::size_t>(slow),
+                        "hold buffer overflow: slowest member cannot catch up",
+                        "hold_overflow");
+          return;
+        }
+      }
+    }
+  } else {
+    // Backup: grey-failure progress stall against the leader (the same
+    // criterion and gating as the pair path in detector_tick).
+    const sim::SimTime now = world_.now();
+    for (auto& [id, rc] : conns_) {
+      if (!rc->progress.enabled()) break;  // same config for every conn
+      if (rc->conn == nullptr || rc->local_closed || !rc->peer_valid) continue;
+      if (rc->p_fin || rc->p_rst || rc->p_closed) continue;
+      if (rc->conn->fin_generated() || rc->conn->rst_generated()) continue;
+      if (now - rc->registered_at <= cfg_.replica_setup_grace) continue;
+      const bool demand = rc->written() > rc->acked();
+      const auto v = rc->progress.check(demand, now);
+      if (v.failed) {
+        if (timeline_ != nullptr) {
+          timeline_->mark(obs::Milestone::kProgressStall, now);
+        }
+        GroupPeer* lp = peer_by_member(view_.leader());
+        if (lp != nullptr) {
+          member_failed(static_cast<std::size_t>(lp - peers_.data()),
+                        sim::cat("progress stall on ", rc->tuple.str(), ": ",
+                                 v.reason),
+                        "progress_stall_detected");
+        }
+        return;
+      }
+    }
+  }
+
+  if (awaiting_leader_ && mode_ == Mode::kReplicating) evaluate_promotion();
+}
+
+void StTcpEndpoint::convict_from_record(int peer_idx, const std::string& reason,
+                                        const char* trace_event) {
+  if (group_mode() && peer_idx >= 0) {
+    member_failed(static_cast<std::size_t>(peer_idx), reason, trace_event);
+  } else {
+    peer_failed(reason, trace_event);
+  }
+}
+
+void StTcpEndpoint::member_failed(std::size_t peer_idx, const std::string& reason,
+                                  const char* trace_event) {
+  if (mode_ != Mode::kReplicating && mode_ != Mode::kReintegrating) return;
+  if (peer_idx >= peers_.size()) return;
+  GroupPeer& p = peers_[peer_idx];
+  if (!view_.contains(p.member)) return;
+
+  if (timeline_ != nullptr) {
+    timeline_->mark(obs::Milestone::kChannelDead, world_.now());
+    timeline_->set_conviction(trace_event, app_lag_peak_bytes_, p.name);
+  }
+  if (auto* reg = world_.metrics()) {
+    const std::string prefix = "sttcp." + host_.name();
+    reg->counter(prefix + ".conviction." + trace_event).inc();
+    reg->counter(prefix + ".convicted_member." + p.name).inc();
+  }
+  world_.trace().record(host_.name(), trace_event, reason);
+  world_.trace().record(host_.name(), "peer_convicted", trace_event);
+  world_.trace().record(host_.name(), "member_convicted", p.name);
+  log_.warn("member ", p.name, " declared failed: ", reason);
+
+  // "Leader" here means the ESTABLISHED leader, not a front-of-view member
+  // whose promotion is still unresolved: a candidate that convicts its last
+  // surviving voter must fall through to the promotion path (its ballot just
+  // became vacuous), never to the leader's keep-serving/non-FT path.
+  const bool i_was_leader = view_.is_leader(my_member()) && !awaiting_leader_;
+  const bool victim_was_leader = view_.is_leader(p.member);
+  view_.remove(p.member);
+  if (std::find(stonith_pending_.begin(), stonith_pending_.end(), p.member) ==
+      stonith_pending_.end()) {
+    stonith_pending_.push_back(p.member);
+  }
+
+  if (i_was_leader) {
+    // The leader convicts a backup: STONITH and fence it out immediately —
+    // bump the epoch, announce the shrunk view, keep replicating with the
+    // remaining members (or continue alone, non-fault-tolerant).
+    flush_stonith_pending();
+    ++view_.epoch;
+    ++stats_.view_changes;
+    announce_view();
+    update_group_gauges();
+    for (auto& [id, rc] : conns_) {
+      if (peer_idx < rc->gp.size()) {
+        rc->gp[peer_idx] = ReplConn::PeerProgress{};
+        rc->gp[peer_idx].since = world_.now();
+      }
+    }
+    if (view_.order.size() <= 1 && mode_ == Mode::kReplicating) {
+      go_non_ft(reason);
+    }
+    return;
+  }
+
+  // A backup convicted a member. If the leader is now gone (this conviction
+  // or an earlier one), run the ranked-promotion protocol; a conviction of a
+  // fellow backup merely shrinks the local view (the leader's next announce
+  // is authoritative either way).
+  if (victim_was_leader) awaiting_leader_ = true;
+  if (ballot_.active) ballot_.reset();  // voter set changed; recompute
+  update_group_gauges();
+  if (awaiting_leader_ && mode_ == Mode::kReplicating) evaluate_promotion();
+}
+
+void StTcpEndpoint::evaluate_promotion() {
+  if (!group_mode() || mode_ != Mode::kReplicating || !awaiting_leader_) return;
+  if (view_.order.empty()) return;
+  if (view_.is_leader(my_member())) {
+    become_candidate();
+    return;
+  }
+  // A lower-ranked member should win. Defer, bounded: a dead candidate must
+  // not stall the group forever.
+  if (!promote_timer_.armed()) {
+    world_.trace().record(host_.name(), "promote_defer",
+                          sim::cat("rank ", view_.rank_of(my_member()),
+                                   " defers to member ",
+                                   static_cast<int>(view_.leader())));
+    promote_timer_.arm(cfg_.promote_defer, [this] { on_defer_expired(); });
+  }
+}
+
+void StTcpEndpoint::on_defer_expired() {
+  if (!awaiting_leader_ || mode_ != Mode::kReplicating) return;
+  if (view_.order.empty()) return;
+  if (view_.is_leader(my_member())) {
+    become_candidate();
+    return;
+  }
+  const std::uint8_t cand = view_.leader();
+  GroupPeer* p = peer_by_member(cand);
+  if (p != nullptr && (peer_ip_alive(*p) || peer_serial_alive(*p))) {
+    // The candidate is alive but has not won yet (its own quorum may still
+    // be settling). NEVER convict a live candidate — re-arm and keep waiting.
+    promote_timer_.arm(cfg_.promote_defer, [this] { on_defer_expired(); });
+    return;
+  }
+  if (p != nullptr) {
+    member_failed(static_cast<std::size_t>(p - peers_.data()),
+                  sim::cat("promotion candidate ", p->name, " silent past defer"),
+                  "promote_defer_expired");
+  }
+}
+
+void StTcpEndpoint::become_candidate() {
+  promote_timer_.cancel();
+  // One-grant-per-epoch binds our own candidacy too: having granted another
+  // still-live candidate this epoch, we wait for its announce instead.
+  if (have_granted_ && granted_epoch_ == view_.epoch &&
+      granted_candidate_ != my_member() && view_.contains(granted_candidate_)) {
+    promote_timer_.arm(cfg_.promote_retry, [this] { evaluate_promotion(); });
+    return;
+  }
+  if (!ballot_.active || ballot_.epoch != view_.epoch) {
+    ballot_.reset();
+    ballot_.active = true;
+    ballot_.epoch = view_.epoch;
+    for (const std::uint8_t m : view_.order) {
+      if (m != my_member()) ballot_.voters.push_back(m);
+    }
+    world_.trace().record(host_.name(), "promote_candidate", view_.str());
+  }
+  // Gateway reachability is part of the win condition (quorum-over-IP): a
+  // candidate whose own NIC is the real fault must not take the service.
+  if (!ping_loop_active_) {
+    ping_loop_active_ = true;
+    update_ping_loop();
+  }
+  PromoteRequest pr;
+  pr.epoch = ballot_.epoch;
+  pr.candidate = my_member();
+  for (const std::uint8_t m : ballot_.voters) {
+    if (ballot_.granted_by(m)) continue;
+    GroupPeer* p = peer_by_member(m);
+    if (p == nullptr) continue;
+    host_.udp_send(cfg_.my_ip, cfg_.control_port, p->ip, cfg_.control_port,
+                   pr.serialize());
+  }
+  // Requests and acks ride lossy UDP: keep soliciting until the ballot
+  // completes or the view changes under us.
+  promote_timer_.arm(cfg_.promote_retry, [this] {
+    if (awaiting_leader_ && mode_ == Mode::kReplicating) become_candidate();
+  });
+  try_win_promotion();
+}
+
+void StTcpEndpoint::try_win_promotion() {
+  if (!ballot_.active || !awaiting_leader_ || mode_ != Mode::kReplicating) return;
+  for (const std::uint8_t m : ballot_.voters) {
+    if (!ballot_.granted_by(m)) return;
+  }
+  // Unanimity over the live voter set (vacuous after a double failure left
+  // us alone). Last gate: our own gateway reachability — the IP network
+  // standing in as the arbiter the 2-host serial cable used to be.
+  if (!my_ping_valid_) return;  // ping in flight; its callback re-checks
+  if (!my_ping_ok_) {
+    world_.trace().record(host_.name(), "promotion_blocked_gateway");
+    return;
+  }
+  win_promotion();
+}
+
+void StTcpEndpoint::win_promotion() {
+  promote_timer_.cancel();
+  ballot_.reset();
+  awaiting_leader_ = false;
+  ping_loop_active_ = false;
+  my_ping_valid_ = false;
+  ping_timer_.cancel();
+
+  ++stats_.takeovers;
+  ++stats_.promotions;
+  // STONITH every convicted member BEFORE any replica is unsuppressed: even
+  // a mis-convicted, actually-live leader is powered off before this node
+  // can emit a single segment with the service identity (dual-active guard).
+  flush_stonith_pending();
+  ++view_.epoch;
+  ++stats_.view_changes;
+  view_.remove(my_member());
+  view_.order.insert(view_.order.begin(), my_member());
+  role_ = Role::kPrimary;
+  if (timeline_ != nullptr) {
+    timeline_->mark(obs::Milestone::kTakeover, world_.now());
+    timeline_->set_promotion(host_.name(), my_member(), view_.epoch);
+  }
+  world_.trace().record(host_.name(), "takeover",
+                        sim::cat("promoted to leader: ", view_.str()));
+  world_.trace().record(host_.name(), "promoted", view_.str());
+  log_.warn("PROMOTED to group leader: ", view_.str());
+
+  stack_.set_replica_mode(false);
+  for (auto& [id, rc] : conns_) {
+    if (rc->conn != nullptr) {
+      rc->conn->on_takeover(cfg_.immediate_retransmit_on_takeover);
+    }
+  }
+
+  if (view_.order.size() > 1) {
+    // Survivors remain: stay in replicating mode as the new leader. Fresh
+    // per-member mirrors and lag baselines (the survivors' counters restart
+    // relative to OURS now), and primary-side seams on every live replica.
+    for (auto& [id, rc] : conns_) {
+      rc->gp.clear();
+      ensure_group_progress(*rc);
+      rc->lag_read.reset();
+      rc->lag_written.reset();
+      rc->lag_received.reset();
+      rc->lag_acked.reset();
+      rc->progress.reset();
+      if (rc->conn != nullptr && !rc->local_closed) {
+        install_primary_seams(*rc->conn, id);
+      }
+    }
+    announce_view();
+    update_group_gauges();
+    send_heartbeat(/*include_serial=*/false);  // immediate beat as leader
+  } else {
+    mode_ = Mode::kTakenOver;
+    hb_timer_.stop();
+    announce_view();
+    update_group_gauges();
+  }
+  if (!cfg_.logger_ip.is_zero()) {
+    logger_attempts_ = 0;
+    logger_recovery_tick();
+  }
+}
+
+void StTcpEndpoint::on_promote_request(net::Ipv4Addr src, const PromoteRequest& pr) {
+  if (!group_mode() || mode_ != Mode::kReplicating) return;
+  PromoteAck ack;
+  ack.epoch = pr.epoch;
+  ack.candidate = pr.candidate;
+  ack.voter = my_member();
+  const int crank = view_.rank_of(pr.candidate);
+  const int myrank = view_.rank_of(my_member());
+  // One grant per epoch: free if we never granted this epoch, are re-acking
+  // the same candidate, or the prior grantee has since been convicted.
+  const bool grant_free = !have_granted_ || granted_epoch_ != view_.epoch ||
+                          granted_candidate_ == pr.candidate ||
+                          !view_.contains(granted_candidate_);
+  ack.granted = pr.epoch == view_.epoch && crank >= 0 && myrank >= 0 &&
+                crank < myrank && grant_free;
+  if (ack.granted) {
+    have_granted_ = true;
+    granted_epoch_ = view_.epoch;
+    granted_candidate_ = pr.candidate;
+    ++stats_.votes_granted;
+    world_.trace().record(host_.name(), "promote_grant",
+                          sim::cat("member ", static_cast<int>(pr.candidate),
+                                   " epoch ", pr.epoch));
+    // Granting restarts our defer: the candidate earned a fresh window to
+    // finish its quorum before we may convict it for silence.
+    if (awaiting_leader_) {
+      promote_timer_.arm(cfg_.promote_defer, [this] { on_defer_expired(); });
+    }
+  } else {
+    ++stats_.votes_denied;
+    world_.trace().record(host_.name(), "promote_deny",
+                          sim::cat("member ", static_cast<int>(pr.candidate),
+                                   " epoch ", pr.epoch, " (view ", view_.str(),
+                                   ")"));
+  }
+  host_.udp_send(cfg_.my_ip, cfg_.control_port, src, cfg_.control_port,
+                 ack.serialize());
+}
+
+void StTcpEndpoint::on_promote_ack(const PromoteAck& ack) {
+  if (!group_mode() || mode_ != Mode::kReplicating) return;
+  if (!ballot_.active || ack.candidate != my_member() ||
+      ack.epoch != ballot_.epoch) {
+    return;
+  }
+  if (!ack.granted) {
+    // A voter knows a view we do not (or granted someone else). Step back
+    // and wait for the winner's announce; the defer path retries.
+    world_.trace().record(host_.name(), "promotion_denied",
+                          sim::cat("by member ", static_cast<int>(ack.voter)));
+    ballot_.reset();
+    if (awaiting_leader_) {
+      promote_timer_.arm(cfg_.promote_defer, [this] { on_defer_expired(); });
+    }
+    return;
+  }
+  if (!ballot_.granted_by(ack.voter)) ballot_.grants.push_back(ack.voter);
+  try_win_promotion();
+}
+
+void StTcpEndpoint::announce_view() {
+  ViewAnnounce va;
+  va.epoch = view_.epoch;
+  va.order = view_.order;
+  // Every configured member hears it, including ones fenced out of the view:
+  // a mis-convicted survivor must learn its fate quickly (and rejoin).
+  for (const GroupPeer& p : peers_) {
+    host_.udp_send(cfg_.my_ip, cfg_.control_port, p.ip, cfg_.control_port,
+                   va.serialize());
+  }
+  world_.trace().record(host_.name(), "view_announced", view_.str());
+}
+
+void StTcpEndpoint::flush_stonith_pending() {
+  for (const std::uint8_t m : stonith_pending_) {
+    const std::string& name = cfg_.group[m].name;
+    if (timeline_ != nullptr) {
+      timeline_->mark(obs::Milestone::kStonith, world_.now());
+    }
+    world_.trace().record(host_.name(), "stonith", name);
+    if (!power_.power_off(name)) {
+      log_.warn("STONITH of ", name, " failed (power controller)");
+    }
+  }
+  stonith_pending_.clear();
+}
+
+void StTcpEndpoint::maybe_adopt_view(std::uint32_t epoch,
+                                     const std::vector<std::uint8_t>& order) {
+  if (!group_mode() || order.empty()) return;
+  if (static_cast<std::int32_t>(epoch - view_.epoch) <= 0) return;
+  view_.epoch = epoch;
+  view_.order = order;
+  ++stats_.view_changes;
+  // The announced view supersedes every local arbitration in flight. In
+  // particular any pending STONITH: the announcer already powered off what
+  // it convicted BEFORE announcing, and our own convictions are overruled.
+  awaiting_leader_ = false;
+  ballot_.reset();
+  promote_timer_.cancel();
+  stonith_pending_.clear();
+  if (ping_loop_active_) {
+    ping_loop_active_ = false;
+    my_ping_valid_ = false;
+    ping_timer_.cancel();
+  }
+  world_.trace().record(host_.name(), "view_adopted", view_.str());
+  if (!view_.contains(my_member())) {
+    update_group_gauges();
+    if (mode_ == Mode::kReplicating) {
+      // Fenced out: the group moved on without us (we were convicted and the
+      // STONITH missed, or our channels were grey). Re-enter from scratch.
+      world_.trace().record(host_.name(), "fenced_by_view", view_.str());
+      role_ = Role::kBackup;
+      reintegrator_->enter_rejoin();
+    }
+    return;
+  }
+  if (mode_ == Mode::kReplicating) {
+    role_ = view_.is_leader(my_member()) ? Role::kPrimary : Role::kBackup;
+  }
+  update_group_gauges();
+}
+
+void StTcpEndpoint::group_commit_rejoin(std::uint8_t member) {
+  view_.append_lowest(member);
+  ++view_.epoch;
+  ++stats_.view_changes;
+  GroupPeer* p = peer_by_member(member);
+  if (p != nullptr) {
+    const std::size_t pi = static_cast<std::size_t>(p - peers_.data());
+    p->last_rx_ip = world_.now();
+    p->last_rx_serial = world_.now();
+    p->seen_hb = false;
+    p->app_suspect = false;
+    p->ping_fail_streak = 0;
+    for (auto& [id, rc] : conns_) {
+      ensure_group_progress(*rc);
+      rc->gp[pi] = ReplConn::PeerProgress{};
+      rc->gp[pi].since = world_.now();
+    }
+  }
+  announce_view();
+  update_group_gauges();
 }
 
 // ---------------------------------------------------------------------------

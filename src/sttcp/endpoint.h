@@ -29,11 +29,13 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "net/host.h"
 #include "net/serial_link.h"
 #include "obs/metrics.h"
 #include "sttcp/config.h"
+#include "sttcp/group.h"
 #include "sttcp/hold_buffer.h"
 #include "sttcp/lag.h"
 #include "sttcp/messages.h"
@@ -71,6 +73,10 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
     std::uint64_t fin_delayed = 0;
     std::uint64_t fin_agreed = 0;
     std::uint64_t takeovers = 0;
+    std::uint64_t promotions = 0;            // group mode: promotion wins
+    std::uint64_t votes_granted = 0;         // group mode: PromoteAck grants sent
+    std::uint64_t votes_denied = 0;          // group mode: PromoteAck denials sent
+    std::uint64_t view_changes = 0;          // group mode: epochs adopted/announced
     std::uint64_t reintegrations = 0;        // survivor side: completed
     std::uint64_t rejoins = 0;               // rejoiner side: completed
     std::uint64_t snapshot_conns_sent = 0;
@@ -106,6 +112,20 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
   /// Watchdog extension: the application layer reports a suspicion that the
   /// LOCAL application has failed; relayed to the peer via the heartbeat.
   void report_local_app_suspect() { local_app_suspect_ = true; }
+
+  // --- 1+N groups (docs/GROUPS.md) -------------------------------------------
+  /// True when cfg.group names a replication group; false = classic pair
+  /// mode, whose behaviour is preserved bit-for-bit.
+  bool group_mode() const { return !cfg_.group.empty(); }
+  /// Current group view (rank-ordered member list + epoch).
+  const GroupView& view() const { return view_; }
+  /// This member's rank in its current view (0 = leader; -1 = fenced out).
+  int promotion_rank() const {
+    return group_mode() ? view_.rank_of(my_member()) : (role_ == Role::kPrimary ? 0 : 1);
+  }
+  bool is_group_leader() const {
+    return group_mode() && view_.is_leader(my_member());
+  }
 
   // --- reintegration (beyond the paper) --------------------------------------
   /// The application's checkpoint: serialized by the survivor into the
@@ -175,6 +195,19 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
 
     sim::SimTime registered_at;
 
+    // Group mode, leader side: per-member progress mirror, indexed like
+    // peers_. The shared p_* fields keep the most recent record's values
+    // (sufficient for the backup side and for lag detection); hold release
+    // and FIN agreement need the per-member minimum, which lives here.
+    struct PeerProgress {
+      bool valid = false;   // a record matched: the member's replica exists
+      bool echoed = false;  // matched by OUR id: stop announcing to this member
+      std::uint64_t received = 0;
+      bool fin = false, rst = false, closed = false;
+      sim::SimTime since;  // when tracking (re)started; setup-grace baseline
+    };
+    std::vector<PeerProgress> gp;
+
     ReplConn(sim::EventLoop& loop, const StTcpConfig& cfg)
         : hold(cfg.hold_buffer_capacity),
           lag_read(cfg.app_max_lag_bytes, cfg.app_lag_bytes_grace,
@@ -209,11 +242,22 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
   void send_heartbeat(bool include_serial = true);
   void send_event_heartbeat(std::uint16_t id);
   HeartbeatMsg make_hb_header();
-  HbRecord make_record(std::uint16_t id, const ReplConn& rc) const;
+  /// peer_idx >= 0: group mode — the announce decision is per-member (taken
+  /// from rc.gp[peer_idx].echoed instead of rc.announce_confirmed).
+  HbRecord make_record(std::uint16_t id, const ReplConn& rc, int peer_idx = -1) const;
   void on_hb_datagram(net::BytesView payload, bool via_serial);
   void on_heartbeat(const HeartbeatMsg& msg, bool via_serial);
-  void process_record(const HbRecord& rec);
+  /// peer_idx >= 0: group mode, the peers_ index the record arrived from.
+  void process_record(const HbRecord& rec, int peer_idx = -1);
   void detector_tick();
+  /// Shared tail of send_heartbeat: emit the (possibly budget-rotated) UDP
+  /// copy to `dst` and, when `serial` is non-null, the capped serial copy.
+  /// The rotation cursors are the CALLER's — per peer in group mode, the
+  /// endpoint-level pair cursors otherwise — so no peer's window is advanced
+  /// by a copy sent to a different peer.
+  void emit_heartbeat(const HeartbeatMsg& msg, std::size_t total_bytes,
+                      net::Ipv4Addr dst, net::SerialPort* serial,
+                      std::uint16_t& udp_cursor, std::uint16_t& serial_cursor);
 
   // Registration. Replica ids wrap within their range (primary [1, 0x8000),
   // inferred [0x8000, 0xffff]) and skip ids still tracked — a long churn run
@@ -244,7 +288,7 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
   // Recovery.
   void maybe_request_missed(ReplConn& rc);
   void on_control_datagram(net::Ipv4Addr src, net::BytesView payload);
-  void serve_missed(const MissedBytesRequest& req);
+  void serve_missed(const MissedBytesRequest& req, net::Ipv4Addr requester);
   // Logger fallback (§4.3 output-commit extension): after a takeover, fetch
   // client bytes the dead primary had acknowledged from the stream logger.
   void logger_recovery_tick();
@@ -255,6 +299,72 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
   void takeover(const std::string& reason);
   void go_non_ft(const std::string& reason);
   void stonith_peer();
+
+  // --- 1+N group machinery (group.h, docs/GROUPS.md) -------------------------
+  /// Liveness/arbitration state for one OTHER group member. Pair mode keeps
+  /// this vector empty and uses the endpoint-level fields instead.
+  struct GroupPeer {
+    std::uint8_t member = 0;
+    net::Ipv4Addr ip;
+    std::string name;
+    bool has_serial = false;  // shares the RS-232 cable with us (members 0/1)
+    sim::SimTime last_rx_ip;
+    sim::SimTime last_rx_serial;
+    std::uint32_t last_hb_seq = 0;
+    bool seen_hb = false;
+    bool app_suspect = false;
+    int ping_fail_streak = 0;
+    // Per-peer rotating-window cursors (serial record cap and UDP byte
+    // budget): each member's window advances only with copies sent to IT, so
+    // a record cannot be starved on one channel by traffic to another.
+    std::uint16_t serial_rr_next_id = 0;
+    std::uint16_t udp_rr_next_id = 0;
+  };
+
+  std::uint8_t my_member() const { return static_cast<std::uint8_t>(cfg_.my_member); }
+  GroupPeer* peer_by_member(std::uint8_t m);
+  int peer_index_by_ip(net::Ipv4Addr ip) const;
+  bool peer_ip_alive(const GroupPeer& p) const;
+  bool peer_serial_alive(const GroupPeer& p) const;
+  /// Lazily size rc.gp to peers_ and stamp fresh `since` baselines.
+  void ensure_group_progress(ReplConn& rc);
+  /// Group fan-out of the periodic / event heartbeat.
+  void send_group_heartbeat(bool include_serial);
+  void on_group_heartbeat(const HeartbeatMsg& msg, bool via_serial);
+  void group_detector_tick();
+  /// Adopt a strictly newer view (from a heartbeat or a ViewAnnounce). A
+  /// view that excludes this member is a fence: re-enter via rejoin.
+  void maybe_adopt_view(std::uint32_t epoch, const std::vector<std::uint8_t>& order);
+  /// Record-driven conviction dispatch: pair mode -> peer_failed, group
+  /// mode -> member_failed on the record's sender.
+  void convict_from_record(int peer_idx, const std::string& reason,
+                           const char* trace_event);
+  /// Convict one group member: remove from the view, queue its STONITH, and
+  /// either (leader) fence + announce immediately or (backup) start the
+  /// ranked-promotion protocol.
+  void member_failed(std::size_t peer_idx, const std::string& reason,
+                     const char* trace_event);
+  /// Ranked promotion: called after any view change while leaderless.
+  void evaluate_promotion();
+  void on_defer_expired();
+  void become_candidate();
+  void try_win_promotion();
+  void win_promotion();
+  void on_promote_request(net::Ipv4Addr src, const PromoteRequest& pr);
+  void on_promote_ack(const PromoteAck& ack);
+  /// Broadcast the current view to every configured member (control channel;
+  /// the next heartbeats carry it too).
+  void announce_view();
+  /// STONITH every member convicted since the last flush — always BEFORE
+  /// unsuppressing any replica (the dual-active guard).
+  void flush_stonith_pending();
+  /// Reintegration commit on the leader: re-admit `member` at the lowest
+  /// rank, bump the epoch and announce.
+  void group_commit_rejoin(std::uint8_t member);
+  /// FIN/close agreement across every live member's mirror of `rc`.
+  bool group_fins_agree(const ReplConn& rc) const;
+  void update_group_gauges();
+  net::Ipv4Addr group_leader_ip() const;
 
   ReplConn* by_id(std::uint16_t id);
   ReplConn* by_tuple(const tcp::FourTuple& t);
@@ -308,6 +418,21 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
   std::uint16_t serial_rr_next_id_ = 0;
   std::uint16_t udp_rr_next_id_ = 0;
 
+  // Group mode state (empty / idle in pair mode).
+  std::vector<GroupPeer> peers_;  // every OTHER configured member
+  GroupView view_;
+  PromotionBallot ballot_;
+  sim::OneShotTimer promote_timer_;
+  /// Convicted members awaiting STONITH (flushed before any unsuppress).
+  std::vector<std::uint8_t> stonith_pending_;
+  /// True between convicting the leader and learning (or becoming) the next
+  /// one; gates the candidacy / defer state machine.
+  bool awaiting_leader_ = false;
+  /// One-grant-per-epoch ledger (voter side).
+  bool have_granted_ = false;
+  std::uint32_t granted_epoch_ = 0;
+  std::uint8_t granted_candidate_ = 0;
+
   // Gateway-ping arbitration.
   sim::OneShotTimer ping_timer_;
   // Logger fallback.
@@ -337,6 +462,9 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
   /// detection-latency signal, exported so bench output can graph how far a
   /// sick peer fell behind before conviction.
   obs::Gauge* m_app_lag_bytes_ = nullptr;
+  /// Group mode: this member's current promotion rank and view epoch.
+  obs::Gauge* m_rank_ = nullptr;
+  obs::Gauge* m_epoch_ = nullptr;
   obs::FailoverTimeline* timeline_ = nullptr;
   /// Worst lag_bytes observed since start (survives tracker resets; stamped
   /// into the timeline's conviction record).

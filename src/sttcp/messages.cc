@@ -20,6 +20,7 @@ constexpr std::uint8_t kHdrPingOk = 0x02;
 constexpr std::uint8_t kHdrAppSuspect = 0x04;
 constexpr std::uint8_t kHdrRejoinRequest = 0x08;
 constexpr std::uint8_t kHdrRejoinReady = 0x10;
+constexpr std::uint8_t kHdrGroup = 0x20;
 }  // namespace
 
 const char* to_string(Role r) {
@@ -44,10 +45,19 @@ net::Bytes HeartbeatMsg::serialize() const {
   if (app_suspect) hf |= kHdrAppSuspect;
   if (rejoin_request) hf |= kHdrRejoinRequest;
   if (rejoin_ready) hf |= kHdrRejoinReady;
+  if (group_valid) hf |= kHdrGroup;
   w.u8(hf);
   // The epoch rides only on rejoin-flagged heartbeats, so the steady-state
   // record math ("<20 bytes per connection") is untouched.
   if (rejoin_request || rejoin_ready) w.u32(rejoin_epoch);
+  // Group-view block: sender member, view epoch, rank-ordered member list.
+  // Gated on the flag, so classic pair heartbeats stay byte-identical.
+  if (group_valid) {
+    w.u8(member);
+    w.u32(view_epoch);
+    w.u8(static_cast<std::uint8_t>(view_order.size()));
+    for (const std::uint8_t m : view_order) w.u8(m);
+  }
   w.u16(static_cast<std::uint16_t>(records.size()));
   for (const HbRecord& r : records) {
     w.u16(r.repl_id);
@@ -102,7 +112,16 @@ std::optional<HeartbeatMsg> HeartbeatMsg::parse(net::BytesView data) {
     m.app_suspect = (hf & kHdrAppSuspect) != 0;
     m.rejoin_request = (hf & kHdrRejoinRequest) != 0;
     m.rejoin_ready = (hf & kHdrRejoinReady) != 0;
+    m.group_valid = (hf & kHdrGroup) != 0;
     if (m.rejoin_request || m.rejoin_ready) m.rejoin_epoch = r.u32();
+    if (m.group_valid) {
+      m.member = r.u8();
+      m.view_epoch = r.u32();
+      const std::uint8_t n = r.u8();
+      if (n > r.remaining()) return std::nullopt;
+      m.view_order.reserve(n);
+      for (std::uint8_t i = 0; i < n; ++i) m.view_order.push_back(r.u8());
+    }
     const std::uint16_t count = r.u16();
     // Reject an impossible record count before reserving for it: each record
     // is at least 19 wire bytes, so count is bounded by what is left.
@@ -169,6 +188,39 @@ net::Bytes MissedBytesReply::serialize() const {
   return out;
 }
 
+net::Bytes PromoteRequest::serialize() const {
+  net::Bytes out;
+  net::ByteWriter w(out);
+  w.reserve(6);
+  w.u8(static_cast<std::uint8_t>(ControlType::kPromoteRequest));
+  w.u32(epoch);
+  w.u8(candidate);
+  return out;
+}
+
+net::Bytes PromoteAck::serialize() const {
+  net::Bytes out;
+  net::ByteWriter w(out);
+  w.reserve(8);
+  w.u8(static_cast<std::uint8_t>(ControlType::kPromoteAck));
+  w.u32(epoch);
+  w.u8(candidate);
+  w.u8(voter);
+  w.u8(granted ? 1 : 0);
+  return out;
+}
+
+net::Bytes ViewAnnounce::serialize() const {
+  net::Bytes out;
+  net::ByteWriter w(out);
+  w.reserve(6 + order.size());
+  w.u8(static_cast<std::uint8_t>(ControlType::kViewAnnounce));
+  w.u32(epoch);
+  w.u8(static_cast<std::uint8_t>(order.size()));
+  for (const std::uint8_t m : order) w.u8(m);
+  return out;
+}
+
 std::optional<ControlMsg> ControlMsg::parse(net::BytesView data) {
   try {
     net::ByteReader r(data);
@@ -187,6 +239,29 @@ std::optional<ControlMsg> ControlMsg::parse(net::BytesView data) {
       m.reply.offset = r.u64();
       const std::uint32_t len = r.u32();
       m.reply.data = net::to_bytes(r.bytes(len));
+      return m;
+    }
+    if (t == static_cast<std::uint8_t>(ControlType::kPromoteRequest)) {
+      m.type = ControlType::kPromoteRequest;
+      m.promote_request.epoch = r.u32();
+      m.promote_request.candidate = r.u8();
+      return m;
+    }
+    if (t == static_cast<std::uint8_t>(ControlType::kPromoteAck)) {
+      m.type = ControlType::kPromoteAck;
+      m.promote_ack.epoch = r.u32();
+      m.promote_ack.candidate = r.u8();
+      m.promote_ack.voter = r.u8();
+      m.promote_ack.granted = r.u8() != 0;
+      return m;
+    }
+    if (t == static_cast<std::uint8_t>(ControlType::kViewAnnounce)) {
+      m.type = ControlType::kViewAnnounce;
+      m.view_announce.epoch = r.u32();
+      const std::uint8_t n = r.u8();
+      if (n > r.remaining()) return std::nullopt;
+      m.view_announce.order.reserve(n);
+      for (std::uint8_t i = 0; i < n; ++i) m.view_announce.order.push_back(r.u8());
       return m;
     }
     return std::nullopt;

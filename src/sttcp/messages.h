@@ -81,6 +81,15 @@ struct HeartbeatMsg {
   bool rejoin_ready = false;
   std::uint32_t rejoin_epoch = 0;
 
+  /// Group-view extension (1+N groups, docs/GROUPS.md): the sender's member
+  /// index, its view epoch and the rank-ordered member list (order[0] is the
+  /// leader). Travels only when `group_valid` is set; classic pair endpoints
+  /// never set it, so the paper-sized wire format is byte-identical.
+  bool group_valid = false;
+  std::uint8_t member = 0;
+  std::uint32_t view_epoch = 0;
+  std::vector<std::uint8_t> view_order;
+
   std::vector<HbRecord> records;
 
   net::Bytes serialize() const;
@@ -103,6 +112,38 @@ enum class ControlType : std::uint8_t {
   kSnapshotData = 5,    // a chunk of a connection's unacked/unread bytes
   kSnapshotEnd = 6,     // snapshot complete; rejoiner applies atomically
   kRejoinCommit = 7,    // survivor saw rejoin_ready: both re-enter FT mode
+  // Group promotion (1+N, docs/GROUPS.md): quorum-over-IP arbitration.
+  kPromoteRequest = 8,  // candidate asks a live voter for its epoch's grant
+  kPromoteAck = 9,      // voter grants (or denies) one candidate per epoch
+  kViewAnnounce = 10,   // new leader installs the post-promotion view
+};
+
+/// Candidate -> voter: "I convicted everyone ranked below me in epoch
+/// `epoch`'s view; grant me the promotion."
+struct PromoteRequest {
+  std::uint32_t epoch = 0;
+  std::uint8_t candidate = 0;  // member index of the requester
+
+  net::Bytes serialize() const;
+};
+
+/// Voter -> candidate. A voter grants at most one candidate per epoch.
+struct PromoteAck {
+  std::uint32_t epoch = 0;
+  std::uint8_t candidate = 0;
+  std::uint8_t voter = 0;
+  bool granted = false;
+
+  net::Bytes serialize() const;
+};
+
+/// New leader -> every surviving member: the post-promotion (or post-
+/// conviction / post-reintegration) view. order[0] is the leader.
+struct ViewAnnounce {
+  std::uint32_t epoch = 0;
+  std::vector<std::uint8_t> order;
+
+  net::Bytes serialize() const;
 };
 
 struct MissedBytesRequest {
@@ -125,6 +166,9 @@ struct ControlMsg {
   ControlType type;
   MissedBytesRequest request;  // valid when type == kMissedBytesRequest
   MissedBytesReply reply;      // valid when type == kMissedBytesReply
+  PromoteRequest promote_request;  // valid when type == kPromoteRequest
+  PromoteAck promote_ack;          // valid when type == kPromoteAck
+  ViewAnnounce view_announce;      // valid when type == kViewAnnounce
 
   static std::optional<ControlMsg> parse(net::BytesView data);
 };

@@ -27,7 +27,10 @@ bool Reintegrator::rejoin_ready_flag() const {
 }
 
 void Reintegrator::send_control(const net::Bytes& payload) {
-  ep_.host_.udp_send(ep_.cfg_.my_ip, ep_.cfg_.control_port, ep_.cfg_.peer_ip,
+  // Pair mode: the one peer. Group mode: the member whose rejoin we serve.
+  const net::Ipv4Addr dst =
+      rejoin_ip_.value() != 0 ? rejoin_ip_ : ep_.cfg_.peer_ip;
+  ep_.host_.udp_send(ep_.cfg_.my_ip, ep_.cfg_.control_port, dst,
                      ep_.cfg_.control_port, payload);
 }
 
@@ -42,9 +45,17 @@ void Reintegrator::enter_rejoin() {
   // in the same microsecond cannot collide.
   const std::uint64_t boot_us =
       static_cast<std::uint64_t>((ep_.world_.now() - sim::SimTime()).us());
-  epoch_ = static_cast<std::uint32_t>(boot_us * 2 +
-                                      (ep_.role_ == Role::kPrimary ? 1 : 0)) |
-           1u << 31;  // never zero, disjoint from the default
+  if (ep_.group_mode()) {
+    // Any subset of a group can reboot in the same microsecond; salt with
+    // the member index instead of the (two-valued) role.
+    epoch_ = static_cast<std::uint32_t>(
+                 boot_us * 8 + static_cast<std::uint64_t>(ep_.my_member())) |
+             1u << 31;
+  } else {
+    epoch_ = static_cast<std::uint32_t>(
+                 boot_us * 2 + (ep_.role_ == Role::kPrimary ? 1 : 0)) |
+             1u << 31;  // never zero, disjoint from the default
+  }
 
   ep_.mode_ = StTcpEndpoint::Mode::kRejoining;
   ep_.role_ = Role::kBackup;
@@ -58,6 +69,21 @@ void Reintegrator::enter_rejoin() {
   ep_.peer_ping_fail_streak_ = 0;
   ep_.last_rx_ip_ = ep_.world_.now();
   ep_.last_rx_serial_ = ep_.world_.now();
+  if (ep_.group_mode()) {
+    // A crashed member's promotion/arbitration state died with it.
+    ep_.awaiting_leader_ = false;
+    ep_.ballot_.reset();
+    ep_.promote_timer_.cancel();
+    ep_.stonith_pending_.clear();
+    ep_.have_granted_ = false;
+    for (auto& p : ep_.peers_) {
+      p.last_rx_ip = ep_.world_.now();
+      p.last_rx_serial = ep_.world_.now();
+      p.seen_hb = false;
+      p.app_suspect = false;
+      p.ping_fail_streak = 0;
+    }
+  }
   applied_ = false;
   rx_active_ = false;
   rx_app_.clear();
@@ -251,12 +277,15 @@ void Reintegrator::on_commit(net::ByteReader& r) {
 // Survivor side
 // ---------------------------------------------------------------------------
 
-void Reintegrator::on_rejoin_request(std::uint32_t epoch) {
+void Reintegrator::on_rejoin_request(std::uint32_t epoch, int member) {
   using Mode = StTcpEndpoint::Mode;
   const Mode m = ep_.mode_;
   if (m == Mode::kRejoining || m == Mode::kDead) return;
   if (have_committed_ && epoch == committed_epoch_) return;  // stale retry
   if (m == Mode::kReintegrating && epoch == epoch_) return;  // in progress
+  if (m == Mode::kReintegrating && ep_.group_mode() && member != rejoin_member_) {
+    return;  // one rejoiner at a time; the other keeps soliciting
+  }
   if (m == Mode::kReplicating && ep_.role_ != Role::kPrimary) {
     // A replicating backup cannot serve a snapshot — its connections are
     // suppressed replicas. The detector will promote us first (the
@@ -265,14 +294,36 @@ void Reintegrator::on_rejoin_request(std::uint32_t epoch) {
   }
   epoch_ = epoch;
   attempts_ = 0;
+  rejoin_member_ = member;
+  rejoin_ip_ = member >= 0 ? ep_.cfg_.group[static_cast<std::size_t>(member)].ip
+                           : net::Ipv4Addr();
   begin_reintegration();
 }
 
 void Reintegrator::begin_reintegration() {
   using Mode = StTcpEndpoint::Mode;
   if (ep_.mode_ != Mode::kReintegrating) {
+    // A group leader still replicating to live backups keeps all of its
+    // per-member state: its holds, lag history and seams protect the OTHER
+    // members. Only the pair-survivor / last-man-standing path re-arms from
+    // scratch below.
+    const bool live_group_leader = ep_.group_mode() &&
+                                   ep_.mode_ == Mode::kReplicating &&
+                                   ep_.view_.order.size() > 1;
     ep_.mode_ = Mode::kReintegrating;
     ep_.role_ = Role::kPrimary;  // the survivor serves; the rejoiner taps
+    if (live_group_leader) {
+      if (ep_.timeline_ != nullptr) {
+        ep_.timeline_->mark(obs::Milestone::kReintegrationStart,
+                            ep_.world_.now());
+      }
+      ep_.world_.trace().record(ep_.host_.name(), "reintegration_start");
+      ep_.log_.info("reintegration started (epoch ", epoch_,
+                    "), still replicating to live backups");
+      capture_and_send_snapshot();
+      arm_retry();
+      return;
+    }
 
     // Fresh peer-liveness and arbitration state: the rejoiner's heartbeats
     // start the clock over.
@@ -483,6 +534,16 @@ void Reintegrator::arm_retry() {
 
 void Reintegrator::abandon() {
   ep_.world_.trace().record(ep_.host_.name(), "reintegration_abandoned");
+  rejoin_member_ = -1;
+  rejoin_ip_ = net::Ipv4Addr();
+  if (ep_.group_mode() && ep_.view_.order.size() > 1) {
+    // Other backups still replicate from us: drop back to group leadership
+    // instead of running unprotected. A fresh rejoin_request restarts.
+    ep_.log_.warn("reintegration abandoned after ", attempts_,
+                  " snapshot attempts; still replicating to live backups");
+    ep_.mode_ = StTcpEndpoint::Mode::kReplicating;
+    return;
+  }
   ep_.log_.warn("reintegration abandoned after ", attempts_,
                 " snapshot attempts; continuing unprotected");
   ep_.mode_ = StTcpEndpoint::Mode::kTakenOver;
@@ -492,8 +553,9 @@ void Reintegrator::abandon() {
   // A fresh rejoin_request starts the whole protocol over.
 }
 
-void Reintegrator::on_rejoin_ready(std::uint32_t epoch) {
+void Reintegrator::on_rejoin_ready(std::uint32_t epoch, int member) {
   using Mode = StTcpEndpoint::Mode;
+  if (ep_.group_mode() && member != rejoin_member_) return;
   if (ep_.mode_ == Mode::kReintegrating && epoch == epoch_) {
     retry_timer_.cancel();
     ep_.mode_ = Mode::kReplicating;
@@ -515,6 +577,11 @@ void Reintegrator::on_rejoin_ready(std::uint32_t epoch) {
     ep_.world_.trace().record(ep_.host_.name(), "reintegration_complete");
     ep_.log_.info("reintegration complete (epoch ", epoch, "): FT restored");
     send_commit(epoch);
+    if (ep_.group_mode() && member >= 0) {
+      // Admit the rejoiner at the lowest promotion rank and announce the
+      // widened view to every member.
+      ep_.group_commit_rejoin(static_cast<std::uint8_t>(member));
+    }
     return;
   }
   if (have_committed_ && epoch == committed_epoch_) {

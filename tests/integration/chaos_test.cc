@@ -175,6 +175,61 @@ TEST_P(TwoFailureChaosTest, SequentialFailuresAreBothMasked) {
   EXPECT_EQ(tr.count("takeover") + tr.count("non_ft_mode"), 2u);
 }
 
+// Simultaneous variant: both failures land at the SAME instant, which no
+// amount of reintegration can mask on a pair — so this one runs against a
+// 1+2 group (extra_backups = 1) where the surviving member(s) carry the
+// stream via rank-ordered promotion (docs/GROUPS.md). Two random distinct
+// members, one random crash time; the full seeded-schedule sweep lives in
+// integration_multi_failure_test.
+TEST_P(TwoFailureChaosTest, SimultaneousFailuresAreMaskedAtGroupSizeThree) {
+  const std::uint64_t seed = GetParam();
+  sim::Rng dice(seed * 104729 + 13);
+
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.extra_backups = 1;
+  cfg.sttcp.max_delay_fin = sim::Duration::seconds(20);
+  Scenario sc(std::move(cfg));
+  const std::uint64_t size = 30'000'000;  // ~2.5 s: the latest crash is mid-stream
+  app::FileServer p_app(sc.primary_stack(), sc.service_port(), size);
+  std::vector<std::unique_ptr<app::FileServer>> b_apps;
+  for (int b = 0; b < sc.backup_count(); ++b) {
+    b_apps.push_back(std::make_unique<app::FileServer>(
+        sc.backup_member_stack(b), sc.service_port(), size));
+  }
+  app::DownloadClient::Options opt;
+  opt.expected_bytes = size;
+  app::DownloadClient client(sc.client_stack(), sc.client_ip(),
+                             {sc.connect_addr()}, opt);
+  client.start();
+
+  const Node members[] = {Node::kPrimary, Node::kBackup, Node::kBackup2};
+  const std::uint64_t a = dice.below(3);
+  const std::uint64_t b = (a + 1 + dice.below(2)) % 3;
+  const auto when = sim::Duration::millis(dice.range(300, 1500));
+  SCOPED_TRACE(std::string("crash ") + to_string(members[a]) + "+" +
+               to_string(members[b]) + " at " + when.str() + ", seed " +
+               std::to_string(seed));
+  sc.inject(Fault::Crash(members[a]).at(when));
+  sc.inject(Fault::Crash(members[b]).at(when));
+  sc.run_for(sim::Duration::seconds(120));
+
+  const auto& tr = sc.world().trace();
+  EXPECT_TRUE(client.complete()) << tr.dump();
+  EXPECT_FALSE(client.corrupt());
+  EXPECT_EQ(client.connection_failures(), 0);
+  EXPECT_EQ(client.received(), size);
+  const bool leader_died = a == 0 || b == 0;
+  if (leader_died) {
+    // Some surviving member won the promotion race exactly once.
+    EXPECT_EQ(tr.count("promoted"), 1u) << tr.dump();
+  } else {
+    // Both backups died: the leader keeps serving, nobody promotes.
+    EXPECT_EQ(tr.count("promoted"), 0u);
+    EXPECT_EQ(tr.count("takeover"), 0u);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, TwoFailureChaosTest,
                          ::testing::Range<std::uint64_t>(1, 21));
 

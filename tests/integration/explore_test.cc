@@ -92,6 +92,65 @@ TEST(ExploreTest, ExplorationItselfIsDeterministic) {
   EXPECT_EQ(a.digest, b.digest);
 }
 
+// The promotion-race window, exhaustively: one connection, a three-host
+// group (leader + 2 backups), leader crashes mid-transfer. Every ordering of
+// conviction, PromoteRequest/grant and ViewAnnounce among the two surviving
+// backups is enumerated — no interleaving may produce a dual-active pair, a
+// client-visible RST, or an incomplete stream. This is the model-checked
+// version of the quorum argument in docs/GROUPS.md.
+TEST(ExploreGroupTest, PromotionRaceWindowIsExhaustedAndSafe) {
+  ExploreOptions opts;
+  opts.extra_backups = 1;
+  // Fixed-order prefix up to just before the 3rd missed heartbeat (~610 ms):
+  // the survivors' pre-conviction heartbeat orderings are not part of the
+  // race. Choices then cover conviction, the PromoteRequest/grant round
+  // trip, the rank-2 deferral and the announce, stopping shortly after the
+  // takeover.
+  opts.margin = sim::Duration::millis(550);
+  opts.window = sim::Duration::millis(800);
+  // Pairwise reorderings: the three-host window carries more near-coincident
+  // timers than the pair's, and the 3-way branch cap explodes the space
+  // without adding verdicts the pairwise cap misses.
+  opts.max_branch = 2;
+  opts.max_schedules = env_u64("STTCP_EXPLORE_GROUP_MAX", 20'000);
+  Explorer ex(opts);
+  const ExploreStats s = ex.explore();
+
+  std::cout << "[explore:group] schedules=" << s.schedules
+            << " pruned=" << s.pruned << " max_depth=" << s.max_depth
+            << " events=" << s.events << " digest=" << s.digest << "\n";
+  for (const std::string& r : s.violation_reports) {
+    std::cout << r << "\n";
+  }
+  EXPECT_FALSE(s.truncated) << "promotion-race space not exhausted; raise "
+                               "STTCP_EXPLORE_GROUP_MAX or tighten the bounds";
+  EXPECT_GE(s.schedules, 50u);
+  EXPECT_EQ(s.violations, 0u);
+}
+
+// Same window under the SIMULTANEOUS double failure: leader and the rank-1
+// backup die at the same instant, so every enumerated ordering must end with
+// rank-2 winning the race alone — still no dual-active, no RST, no loss.
+TEST(ExploreGroupTest, DoubleFailurePromotionWindowIsSafe) {
+  ExploreOptions opts;
+  opts.extra_backups = 1;
+  opts.crash_rank1 = true;
+  opts.window = sim::Duration::millis(1400);
+  opts.max_schedules = env_u64("STTCP_EXPLORE_GROUP_MAX", 20'000);
+  Explorer ex(opts);
+  const ExploreStats s = ex.explore();
+
+  std::cout << "[explore:group2] schedules=" << s.schedules
+            << " pruned=" << s.pruned << " max_depth=" << s.max_depth
+            << " events=" << s.events << " digest=" << s.digest << "\n";
+  for (const std::string& r : s.violation_reports) {
+    std::cout << r << "\n";
+  }
+  EXPECT_FALSE(s.truncated);
+  EXPECT_GE(s.schedules, 20u);
+  EXPECT_EQ(s.violations, 0u);
+}
+
 TEST(ExploreTest, WiderQuantumBranchesDeeperNotUnsafe) {
   // A coarser concurrency quantum admits more reorderings (more/deeper
   // choice points) — and every one of them must still be safe. Capped: the

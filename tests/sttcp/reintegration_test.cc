@@ -136,6 +136,109 @@ TEST(ReintegrationTest, SnapshotRetrySurvivesFrameLoss) {
   EXPECT_EQ(sc.backup_endpoint()->mode(), Mode::kReplicating);
 }
 
+// --- replication groups (N = 3) -------------------------------------------
+
+void wire_member_checkpoints(Scenario& sc, int member, app::ServerApp& app) {
+  sttcp::StTcpEndpoint* ep = member == 0 ? sc.primary_endpoint()
+                                         : sc.backup_member_endpoint(member - 1);
+  ep->set_checkpoint_provider([&app] { return app.checkpoint(); });
+  ep->set_checkpoint_restorer(
+      [&app](net::BytesView d) { app.stage_restore(d); });
+}
+
+// A convicted-and-revived leader rejoins a 1+2 group mid-transfer and
+// re-enters at the LOWEST promotion rank: the group's survivors keep their
+// seniority, the homecomer starts over at the back of the line.
+TEST(GroupReintegrationTest, RevivedLeaderRejoinsAtLowestRankMidTransfer) {
+  ScenarioConfig cfg;
+  cfg.seed = 21;
+  cfg.extra_backups = 1;
+  Scenario sc(std::move(cfg));
+  const std::uint64_t size = 80'000'000;  // ~7 s at Fast Ethernet
+  app::FileServer p_app(sc.primary_stack(), sc.service_port(), size);
+  app::FileServer b_app(sc.backup_member_stack(0), sc.service_port(), size);
+  app::FileServer b2_app(sc.backup_member_stack(1), sc.service_port(), size);
+  wire_member_checkpoints(sc, 0, p_app);
+  wire_member_checkpoints(sc, 1, b_app);
+  wire_member_checkpoints(sc, 2, b2_app);
+  app::DownloadClient::Options opt;
+  opt.expected_bytes = size;
+  app::DownloadClient client(sc.client_stack(), sc.client_ip(),
+                             {sc.connect_addr()}, opt);
+  client.start();
+
+  sc.inject(Fault::Crash(Node::kPrimary).at(sim::Duration::millis(800)));
+  sc.inject(Fault::PowerOn(Node::kPrimary).at(sim::Duration::seconds(3)));
+
+  const auto& tr = sc.world().trace();
+  const sim::SimTime deadline = sc.world().now() + sim::Duration::seconds(10);
+  while (tr.count("primary", "rejoin_complete") == 0 &&
+         sc.world().now() < deadline) {
+    sc.run_for(sim::Duration::millis(100));
+  }
+  ASSERT_EQ(tr.count("primary", "rejoin_complete"), 1u) << tr.dump();
+  EXPECT_FALSE(client.complete());  // the transfer really was still in flight
+
+  // rank-1 (backup) won the promotion; backup2 kept rank 1; the homecoming
+  // ex-leader is the junior member.
+  EXPECT_EQ(tr.count("backup", "promoted"), 1u) << tr.dump();
+  sttcp::StTcpEndpoint* leader = sc.backup_member_endpoint(0);
+  ASSERT_NE(leader, nullptr);
+  EXPECT_TRUE(leader->is_group_leader());
+  EXPECT_EQ(leader->promotion_rank(), 0);
+  EXPECT_EQ(sc.backup_member_endpoint(1)->promotion_rank(), 1);
+  EXPECT_EQ(sc.primary_endpoint()->promotion_rank(), 2);
+  EXPECT_EQ(sc.primary_endpoint()->mode(), Mode::kReplicating);
+
+  // The group is back at full strength: let the transfer finish clean.
+  sc.run_for(sim::Duration::seconds(120));
+  EXPECT_TRUE(client.complete()) << tr.dump();
+  EXPECT_FALSE(client.corrupt());
+  EXPECT_EQ(client.connection_failures(), 0);
+}
+
+// A second member dies WHILE the leader is mid-snapshot serving a rejoiner:
+// the group must keep masking — the stream never stalls past failover and
+// the client finishes bit-exact.
+TEST(GroupReintegrationTest, SecondFailureDuringSnapshotStillMasked) {
+  ScenarioConfig cfg;
+  cfg.seed = 22;
+  cfg.extra_backups = 1;
+  cfg.sttcp.reintegration_retry = sim::Duration::millis(200);
+  Scenario sc(std::move(cfg));
+  const std::uint64_t size = 80'000'000;
+  app::FileServer p_app(sc.primary_stack(), sc.service_port(), size);
+  app::FileServer b_app(sc.backup_member_stack(0), sc.service_port(), size);
+  app::FileServer b2_app(sc.backup_member_stack(1), sc.service_port(), size);
+  wire_member_checkpoints(sc, 0, p_app);
+  wire_member_checkpoints(sc, 1, b_app);
+  wire_member_checkpoints(sc, 2, b2_app);
+  app::DownloadClient::Options opt;
+  opt.expected_bytes = size;
+  app::DownloadClient client(sc.client_stack(), sc.client_ip(),
+                             {sc.connect_addr()}, opt);
+  client.start();
+
+  // backup2 dies and comes back; while its snapshot is (re)transferring, the
+  // rank-1 backup dies too. The leader keeps serving the client throughout.
+  sc.inject(Fault::Crash(Node::kBackup2).at(sim::Duration::millis(800)));
+  sc.inject(Fault::PowerOn(Node::kBackup2).at(sim::Duration::seconds(3)));
+  sc.inject(Fault::Crash(Node::kBackup).at(sim::Duration::millis(3050)));
+
+  sc.run_for(sim::Duration::seconds(120));
+  const auto& tr = sc.world().trace();
+  EXPECT_TRUE(client.complete()) << tr.dump();
+  EXPECT_FALSE(client.corrupt());
+  EXPECT_EQ(client.connection_failures(), 0);
+  EXPECT_EQ(client.received(), size);
+  // The leader never lost the connection: no takeover, no promotion.
+  EXPECT_EQ(tr.count("takeover"), 0u) << tr.dump();
+  EXPECT_TRUE(sc.primary_endpoint()->is_group_leader());
+  // backup2 made it back in (possibly after snapshot retries).
+  EXPECT_EQ(tr.count("backup2", "rejoin_complete"), 1u) << tr.dump();
+  EXPECT_EQ(sc.backup_member_endpoint(1)->mode(), Mode::kReplicating);
+}
+
 TEST(ReintegrationTest, PowerOnIsNoOpOnLiveHost) {
   ScenarioConfig cfg;
   cfg.seed = 4;
