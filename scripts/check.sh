@@ -12,7 +12,10 @@
 # the invariant-checked mid-churn failover acceptance (see EXPERIMENTS.md,
 # "Capacity and churn"). With --shard, run the 4-shard routed-fabric smoke
 # (router death + inter-subnet partition under churn, docs/ROUTING.md) in
-# the Release lane. With --grey, run the grey-failure lane in the Release
+# the Release lane. With --app, run the replicated block-store application
+# lane in the Release lane: the 200-seed crash sweep under the
+# response-exactness invariant plus the warm/cold-cache failover ablation
+# (docs/APPLICATION.md). With --grey, run the grey-failure lane in the Release
 # lane: the bounded-depth interleaving explorer over the failover window
 # plus a 32-seed slow-not-dead sweep convicted by progress counters
 # (docs/CHAOS.md, "Grey failures"). With --group, run the 1+N replication-
@@ -36,6 +39,7 @@
 #   scripts/check.sh --group     # additionally: 1+N group double-failure lane
 #   scripts/check.sh --scale     # additionally: churn capacity smoke lane
 #   scripts/check.sh --shard     # additionally: 4-shard fabric chaos smoke
+#   scripts/check.sh --app       # additionally: block-store failover lane
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -133,6 +137,19 @@ for arg in "$@"; do
       # router killed and one shard partitioned mid-run. Exits non-zero on
       # any client-visible reset, corrupt stream, or spurious takeover.
       ./build-release/bench/bench_fabric --quick
+      ;;
+    --app)
+      cmake -B build-release -DCMAKE_BUILD_TYPE=Release >/dev/null
+      cmake --build build-release -j "$JOBS"
+      # Block-store application lane (docs/APPLICATION.md): 200 seeded
+      # chaos runs crashing either node at a random point — half of the
+      # schedules aimed into the cache-writeback window — every response
+      # byte checked against the client oracles (zero RSTs, zero
+      # mismatches), then the warm/cold-cache failover latency ablation.
+      STTCP_BLOCK_SEEDS=200 \
+        ./build-release/tests/integration_block_failover_test \
+        --gtest_filter='*Sweep*'
+      ./build-release/bench/bench_blockstore --quick
       ;;
     *)
       echo "unknown option: $arg" >&2

@@ -1,0 +1,259 @@
+#include "app/block_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sttcp::app {
+
+namespace {
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+std::uint64_t fold(std::uint64_t d, std::uint64_t v) { return (d ^ v) * kFnvPrime; }
+std::uint64_t fold_bytes(std::uint64_t d, net::BytesView b) {
+  for (const std::uint8_t x : b) d = fold(d, x);
+  return d;
+}
+}  // namespace
+
+// --- BlockDevice -------------------------------------------------------------
+
+BlockDevice::BlockDevice(std::uint32_t blocks, std::uint32_t block_size)
+    : blocks_(blocks),
+      block_size_(block_size),
+      allocated_(blocks, 0),
+      data_(static_cast<std::size_t>(blocks) * block_size, 0) {}
+
+void BlockDevice::write(std::uint32_t b, net::BytesView data) {
+  std::uint8_t* dst = data_.data() + static_cast<std::size_t>(b) * block_size_;
+  const std::size_t n = std::min<std::size_t>(data.size(), block_size_);
+  std::memcpy(dst, data.data(), n);
+  std::memset(dst + n, 0, block_size_ - n);
+  allocated_[b] = 1;
+}
+
+net::BytesView BlockDevice::read(std::uint32_t b) const {
+  return net::BytesView(data_).subspan(
+      static_cast<std::size_t>(b) * block_size_, block_size_);
+}
+
+void BlockDevice::deallocate(std::uint32_t b) {
+  allocated_[b] = 0;
+  std::memset(data_.data() + static_cast<std::size_t>(b) * block_size_, 0,
+              block_size_);
+}
+
+std::uint64_t BlockDevice::digest() const {
+  std::uint64_t d = kFnvBasis;
+  d = fold(d, blocks_);
+  d = fold(d, block_size_);
+  d = fold_bytes(d, allocated_);
+  d = fold_bytes(d, data_);
+  return d;
+}
+
+void BlockDevice::serialize(net::ByteWriter& w) const {
+  w.u32(blocks_);
+  w.u32(block_size_);
+  // Sparse: only allocated blocks travel (the rest are zero by invariant).
+  std::uint32_t count = 0;
+  for (const std::uint8_t a : allocated_) count += a;
+  w.u32(count);
+  for (std::uint32_t b = 0; b < blocks_; ++b) {
+    if (!allocated_[b]) continue;
+    w.u32(b);
+    w.bytes(read(b));
+  }
+}
+
+bool BlockDevice::restore(net::ByteReader& r) {
+  const std::uint32_t blocks = r.u32();
+  const std::uint32_t bs = r.u32();
+  if (blocks != blocks_ || bs != block_size_) return false;  // geometry pinned
+  std::fill(allocated_.begin(), allocated_.end(), 0);
+  std::fill(data_.begin(), data_.end(), 0);
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t b = r.u32();
+    if (b >= blocks_) return false;
+    write(b, r.bytes(block_size_));
+  }
+  return true;
+}
+
+// --- LruBlockCache -----------------------------------------------------------
+
+LruBlockCache::LruBlockCache(std::size_t capacity, std::uint32_t block_size)
+    : capacity_(capacity), block_size_(block_size) {}
+
+void LruBlockCache::touch(std::uint32_t b, Page& p) {
+  lru_.erase(p.lru_pos);
+  lru_.push_front(b);
+  p.lru_pos = lru_.begin();
+}
+
+const net::Bytes* LruBlockCache::get(std::uint32_t b) {
+  auto it = pages_.find(b);
+  if (it == pages_.end()) return nullptr;
+  touch(b, it->second);
+  return &it->second.data;
+}
+
+void LruBlockCache::put(std::uint32_t b, net::BytesView data) {
+  auto it = pages_.find(b);
+  if (it == pages_.end()) {
+    Page p;
+    p.data.assign(block_size_, 0);
+    std::copy(data.begin(), data.end(), p.data.begin());
+    p.dirty = true;
+    lru_.push_front(b);
+    p.lru_pos = lru_.begin();
+    dirty_.push_back(b);
+    p.dirty_pos = std::prev(dirty_.end());
+    ++dirty_count_;
+    pages_.emplace(b, std::move(p));
+    return;
+  }
+  Page& p = it->second;
+  std::fill(p.data.begin(), p.data.end(), 0);
+  std::copy(data.begin(), data.end(), p.data.begin());
+  if (!p.dirty) {
+    p.dirty = true;
+    dirty_.push_back(b);
+    p.dirty_pos = std::prev(dirty_.end());
+    ++dirty_count_;
+  }
+  touch(b, p);
+}
+
+void LruBlockCache::insert_clean(std::uint32_t b, net::BytesView data) {
+  Page p;
+  p.data.assign(data.begin(), data.end());
+  p.data.resize(block_size_, 0);
+  lru_.push_front(b);
+  p.lru_pos = lru_.begin();
+  pages_.emplace(b, std::move(p));
+}
+
+void LruBlockCache::drop(std::uint32_t b) {
+  auto it = pages_.find(b);
+  if (it == pages_.end()) return;
+  lru_.erase(it->second.lru_pos);
+  if (it->second.dirty) {
+    dirty_.erase(it->second.dirty_pos);
+    --dirty_count_;
+  }
+  pages_.erase(it);
+}
+
+std::vector<std::uint32_t> LruBlockCache::victim_candidates(std::size_t k) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(std::min(k, lru_.size()));
+  for (auto it = lru_.rbegin(); it != lru_.rend() && out.size() < k; ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+void LruBlockCache::evict(std::uint32_t b, BlockDevice& dev) {
+  auto it = pages_.find(b);
+  if (it == pages_.end()) return;
+  if (it->second.dirty) dev.write(b, it->second.data);
+  drop(b);
+}
+
+std::vector<std::uint32_t> LruBlockCache::oldest_dirty(std::size_t n) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(std::min(n, dirty_.size()));
+  for (auto it = dirty_.begin(); it != dirty_.end() && out.size() < n; ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+void LruBlockCache::flush(std::uint32_t b, BlockDevice& dev) {
+  auto it = pages_.find(b);
+  if (it == pages_.end() || !it->second.dirty) return;
+  dev.write(b, it->second.data);
+  it->second.dirty = false;
+  dirty_.erase(it->second.dirty_pos);
+  --dirty_count_;
+}
+
+std::size_t LruBlockCache::flush_all(BlockDevice& dev) {
+  std::size_t n = 0;
+  while (!dirty_.empty()) {
+    flush(dirty_.front(), dev);
+    ++n;
+  }
+  return n;
+}
+
+void LruBlockCache::drop_all_clean() {
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    if (!it->second.dirty) {
+      lru_.erase(it->second.lru_pos);
+      it = pages_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::uint64_t LruBlockCache::digest() const {
+  // LRU and dirty order matter: equal digests must imply identical future
+  // candidate sets and writeback batches.
+  std::uint64_t d = kFnvBasis;
+  for (const std::uint32_t b : lru_) {
+    const Page& p = pages_.at(b);
+    d = fold(d, b);
+    d = fold(d, p.dirty ? 1 : 0);
+    d = fold_bytes(d, p.data);
+  }
+  for (const std::uint32_t b : dirty_) d = fold(d, b);
+  return d;
+}
+
+void LruBlockCache::serialize(net::ByteWriter& w) const {
+  // Pages in LRU order (most recent first) + the dirty queue: a restore
+  // rebuilds both orders exactly.
+  w.u32(static_cast<std::uint32_t>(pages_.size()));
+  for (const std::uint32_t b : lru_) {
+    const Page& p = pages_.at(b);
+    w.u32(b);
+    w.u8(p.dirty ? 1 : 0);
+    w.bytes(p.data);
+  }
+  w.u32(static_cast<std::uint32_t>(dirty_.size()));
+  for (const std::uint32_t b : dirty_) w.u32(b);
+}
+
+bool LruBlockCache::restore(net::ByteReader& r) {
+  pages_.clear();
+  lru_.clear();
+  dirty_.clear();
+  dirty_count_ = 0;
+  const std::uint32_t n = r.u32();
+  if (n > capacity_) return false;
+  // Serialized most-recent-first; inserting each at the BACK preserves it.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t b = r.u32();
+    Page p;
+    p.dirty = r.u8() != 0;
+    p.data = net::to_bytes(r.bytes(block_size_));
+    lru_.push_back(b);
+    p.lru_pos = std::prev(lru_.end());
+    pages_.emplace(b, std::move(p));
+  }
+  const std::uint32_t dn = r.u32();
+  for (std::uint32_t i = 0; i < dn; ++i) {
+    const std::uint32_t b = r.u32();
+    auto it = pages_.find(b);
+    if (it == pages_.end() || !it->second.dirty) return false;
+    dirty_.push_back(b);
+    it->second.dirty_pos = std::prev(dirty_.end());
+    ++dirty_count_;
+  }
+  return dirty_count_ == dn;
+}
+
+}  // namespace sttcp::app

@@ -1,0 +1,113 @@
+// Block-device-backed store with an LRU page cache — the stateful half of
+// app::BlockStoreServer (docs/APPLICATION.md).
+//
+// The device is a fixed array of fixed-size blocks with an allocation
+// bitmap. The cache fronts it: GET misses read a block into a page, PUT
+// dirties a page in place (write-back, not write-through), and a periodic
+// writeback pass flushes the oldest dirty pages. Eviction deliberately
+// models a nondeterministic policy — the victim is drawn at random from the
+// K least-recently-used resident pages, the way sampled-LRU policies (e.g.
+// redis) behave — so a primary and backup CANNOT stay identical by
+// construction: the victim must travel through the logged-decision channel
+// (sttcp/decision.h). Everything else here is deterministic given the same
+// operation order.
+//
+// digest() folds content, allocation, dirtiness and LRU order into one
+// value: two instances that report equal digests would also behave
+// identically on every future operation.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "net/bytes.h"
+
+namespace sttcp::app {
+
+/// Fixed-geometry block device with an allocation bitmap.
+class BlockDevice {
+ public:
+  BlockDevice(std::uint32_t blocks, std::uint32_t block_size);
+
+  std::uint32_t blocks() const { return blocks_; }
+  std::uint32_t block_size() const { return block_size_; }
+
+  bool allocated(std::uint32_t b) const { return allocated_[b]; }
+  void allocate(std::uint32_t b) { allocated_[b] = 1; }
+  /// Overwrite one block (short data is zero-padded) and mark it allocated.
+  void write(std::uint32_t b, net::BytesView data);
+  net::BytesView read(std::uint32_t b) const;
+  /// Deallocate and zero — a deleted block reads back as fresh.
+  void deallocate(std::uint32_t b);
+
+  std::uint64_t digest() const;
+  void serialize(net::ByteWriter& w) const;
+  bool restore(net::ByteReader& r);
+
+ private:
+  std::uint32_t blocks_;
+  std::uint32_t block_size_;
+  std::vector<std::uint8_t> allocated_;
+  net::Bytes data_;  // blocks_ * block_size_, flat
+};
+
+/// LRU page cache over BlockDevice, dirty-page write-back.
+class LruBlockCache {
+ public:
+  LruBlockCache(std::size_t capacity, std::uint32_t block_size);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return pages_.size(); }
+  bool full() const { return pages_.size() >= capacity_; }
+  std::size_t dirty_count() const { return dirty_count_; }
+
+  bool contains(std::uint32_t b) const { return pages_.count(b) != 0; }
+  /// Resident page data; touches LRU. nullptr on miss.
+  const net::Bytes* get(std::uint32_t b);
+  /// Overwrite/insert a page as dirty (short data zero-padded); touches LRU.
+  /// Caller guarantees a free slot (evict first when full).
+  void put(std::uint32_t b, net::BytesView data);
+  /// Insert a clean page read from the device. Caller guarantees a slot.
+  void insert_clean(std::uint32_t b, net::BytesView data);
+  /// Drop a page without writeback (DELETE path). No-op if absent.
+  void drop(std::uint32_t b);
+
+  /// The K least-recently-used resident blocks, LRU-most first — the
+  /// candidate set the primary draws its eviction victim from.
+  std::vector<std::uint32_t> victim_candidates(std::size_t k) const;
+  /// Write back if dirty, then drop. The victim came either from the local
+  /// draw (primary) or the replayed kEvict decision (backup).
+  void evict(std::uint32_t b, BlockDevice& dev);
+  /// The n oldest-dirtied blocks in dirty order — the writeback batch.
+  std::vector<std::uint32_t> oldest_dirty(std::size_t n) const;
+  /// Write one page back, keep it resident and clean. No-op if not dirty.
+  void flush(std::uint32_t b, BlockDevice& dev);
+  /// Flush everything dirty (quiesce / pre-drop), dirty order.
+  std::size_t flush_all(BlockDevice& dev);
+  /// Drop every clean page — the cold-cache takeover ablation.
+  void drop_all_clean();
+
+  std::uint64_t digest() const;
+  void serialize(net::ByteWriter& w) const;
+  bool restore(net::ByteReader& r);
+
+ private:
+  struct Page {
+    net::Bytes data;
+    bool dirty = false;
+    std::list<std::uint32_t>::iterator lru_pos;   // position in lru_
+    std::list<std::uint32_t>::iterator dirty_pos; // position in dirty_ (if dirty)
+  };
+  void touch(std::uint32_t b, Page& p);
+
+  std::size_t capacity_;
+  std::uint32_t block_size_;
+  std::map<std::uint32_t, Page> pages_;
+  std::list<std::uint32_t> lru_;    // front = most recent
+  std::list<std::uint32_t> dirty_;  // front = oldest dirtied
+  std::size_t dirty_count_ = 0;
+};
+
+}  // namespace sttcp::app

@@ -30,6 +30,7 @@ ServerApp::ServerApp(tcp::TcpStack& stack, std::uint16_t port, std::string name)
     };
     cb.on_closed = [this, &ref](tcp::CloseReason) {
       ++stats_.connections_closed;
+      on_conn_gone(ref);
       conns_.erase(ref.tcp);
     };
     conn.set_callbacks(std::move(cb));

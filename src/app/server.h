@@ -52,16 +52,17 @@ class ServerApp {
   void set_heartbeat_hook(std::function<void()> hook) { hb_hook_ = std::move(hook); }
 
   // --- reintegration checkpoint ---------------------------------------------
-  /// Serialize per-connection application state (serve/echo progress, keyed
-  /// by 4-tuple). Carried opaquely inside the ST-TCP rejoin snapshot.
-  net::Bytes checkpoint() const;
+  /// Serialize application state for the ST-TCP rejoin snapshot (carried
+  /// opaquely). Base: per-connection serve/echo progress keyed by 4-tuple.
+  /// Stateful servers (BlockStoreServer) override with their full state.
+  virtual net::Bytes checkpoint() const;
   /// Stage a checkpoint received from the survivor. Applied per connection
   /// as the corresponding replica is adopted (its accept callback fires);
   /// adopted connections resume mid-stream instead of starting over.
-  void stage_restore(net::BytesView data);
+  virtual void stage_restore(net::BytesView data);
   /// Fresh process after a host reboot: no connections, not hung/crashed.
   /// Registered as a Host boot hook.
-  void reset_for_boot();
+  virtual void reset_for_boot();
 
  protected:
   struct Conn {
@@ -76,6 +77,10 @@ class ServerApp {
   virtual void on_data(Conn& c) = 0;
   virtual void on_writable(Conn& c) = 0;
   virtual void on_peer_closed(Conn& c);
+  /// The TCP connection finished (any reason) and is about to be forgotten.
+  /// Subclasses holding per-connection side state keyed on &c drop (or
+  /// ghost) it here.
+  virtual void on_conn_gone(Conn&) {}
   /// A connection adopted mid-stream from a staged checkpoint (reintegration)
   /// instead of freshly accepted. Default: resume writing where the
   /// checkpoint left off — correct for every pattern-serving server here.

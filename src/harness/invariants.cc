@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "app/client.h"
+#include "harness/block_workload.h"
 #include "harness/scenario.h"
 #include "harness/topology.h"
 #include "harness/workload.h"
@@ -482,6 +483,67 @@ std::vector<Violation> InvariantChecker::check(const Workload& workload) {
   // (plus a straggler margin for connections mid-teardown when the caller's
   // quiet period was tight).
   check_memory(out, /*conn_table_cap=*/workload.config().max_concurrent + 64);
+  return out;
+}
+
+std::vector<Violation> InvariantChecker::check(const BlockWorkload& workload) {
+  std::vector<Violation> out;
+  collect_streamed(out);
+
+  // Response-exactness: an oracle mismatch means an acknowledged write was
+  // lost or a never-written block returned data — a violation regardless of
+  // the plan, exactly like payload corruption in the byte-stream checker.
+  const BlockWorkload::Stats& s = workload.stats();
+  if (!workload.drained()) {
+    out.push_back({"response-exact",
+                   "block-store sessions still open at end of run (not "
+                   "drained)"});
+  }
+  if (s.mismatches != 0) {
+    out.push_back({"response-exact",
+                   fmt_u64("%llu of %llu responses contradicted the client "
+                           "oracle (lost acknowledged write or phantom read)",
+                           s.mismatches, s.responses)});
+  }
+  if (s.protocol_errors != 0) {
+    out.push_back({"response-exact",
+                   fmt_u64("%llu response framing violations across %llu "
+                           "responses",
+                           s.protocol_errors, s.responses)});
+  }
+  if (opt_.expect_masked) {
+    if (s.resets != 0) {
+      out.push_back({"no-client-rst",
+                     fmt_u64("%llu of %llu block-store sessions were closed "
+                             "by a client-visible reset",
+                             s.resets, s.sessions_started)});
+    }
+    if (s.failed != 0) {
+      out.push_back({"response-exact",
+                     fmt_u64("%llu of %llu block-store sessions failed "
+                             "(short, unanswered, or reset)",
+                             s.failed, s.sessions_started)});
+    }
+    if (s.bad_status != 0) {
+      out.push_back({"response-exact",
+                     fmt_u64("%llu of %llu responses carried a status the "
+                             "oracle did not predict",
+                             s.bad_status, s.responses)});
+    }
+    if (workload.drained() &&
+        s.sessions_completed + s.failed != s.sessions_started) {
+      out.push_back({"response-exact",
+                     fmt_u64("session accounting leak: completed+failed = "
+                             "%llu of %llu started",
+                             s.sessions_completed + s.failed,
+                             s.sessions_started)});
+    }
+  }
+
+  check_checksums(out);
+  // A closed-loop population holds at most one connection per client (plus
+  // the mid-teardown straggler margin).
+  check_memory(out, /*conn_table_cap=*/workload.config().clients + 64);
   return out;
 }
 

@@ -51,6 +51,7 @@ class DownloadClient;
 
 namespace sttcp::harness {
 
+class BlockWorkload;
 class Scenario;
 class Topology;
 class Workload;
@@ -107,6 +108,12 @@ class InvariantChecker {
   /// drained() plus a quiet margin of at least 2 x MSL, so TIME_WAIT
   /// connections have left the tables.
   std::vector<Violation> check(const Workload& workload);
+
+  /// Block-store variant: response-exactness instead of stream-exactness.
+  /// Oracle mismatches (acknowledged writes lost, phantom reads) violate
+  /// regardless of the plan; masked plans additionally demand zero resets,
+  /// zero failed sessions, zero unpredicted statuses and a clean drain.
+  std::vector<Violation> check(const BlockWorkload& workload);
 
   /// Grey-failure verdict, evaluated over the run's trace. The invariants a
   /// slow-not-dead fault adds on top of the streaming ones:

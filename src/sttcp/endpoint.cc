@@ -154,6 +154,17 @@ HeartbeatMsg StTcpEndpoint::make_hb_header() {
     msg.view_epoch = view_.epoch;
     msg.view_order = view_.order;
   }
+  // Logged-decision block (pair mode only, docs/APPLICATION.md): cumulative
+  // ack of the peer's decision stream + our own unacked records, capped so
+  // a burst cannot blow the UDP byte budget — periodic beats retransmit the
+  // remainder oldest-first until acked.
+  if (decision_log_ != nullptr && !group_mode() &&
+      replicating_or_reintegrating()) {
+    constexpr std::size_t kMaxDecisionsPerBeat = 512;
+    msg.decisions_valid = true;
+    msg.decision_ack = decision_log_->rx_cursor();
+    msg.decisions = decision_log_->unacked(kMaxDecisionsPerBeat);
+  }
   return msg;
 }
 
@@ -331,6 +342,70 @@ void StTcpEndpoint::send_event_heartbeat(std::uint16_t id) {
   ++stats_.hb_sent;
 }
 
+// ---------------------------------------------------------------------------
+// Logged-decision channel (decision.h, docs/APPLICATION.md)
+// ---------------------------------------------------------------------------
+
+void StTcpEndpoint::set_decision_log(DecisionLog* log) {
+  decision_log_ = log;
+  if (log != nullptr) {
+    // The application flushed a batch of choices: put them on the wire now.
+    // Every heartbeat retransmits the unacked window, so a lost flush only
+    // costs latency, never correctness.
+    log->set_flush_hook([this] { send_decision_heartbeat(); });
+  }
+}
+
+void StTcpEndpoint::send_decision_heartbeat() {
+  if (!host_.alive() || decision_log_ == nullptr || group_mode()) return;
+  if (!replicating_or_reintegrating()) return;
+  // A records-free header still carries the decision block — the cheap
+  // event-style beat for both directions (primary: fresh records; backup:
+  // a fresh cumulative ack the primary's output gate is waiting on). Rides
+  // the IP channel only, like other event heartbeats: the serial line is
+  // too slow for per-request traffic.
+  HeartbeatMsg msg = make_hb_header();
+  host_.udp_send(cfg_.my_ip, cfg_.hb_port, cfg_.peer_ip, cfg_.hb_port,
+                 msg.serialize());
+  ++stats_.hb_sent;
+  ++stats_.decision_hb_sent;
+}
+
+void StTcpEndpoint::process_decisions(const HeartbeatMsg& msg) {
+  if (decision_log_ == nullptr || !msg.decisions_valid) return;
+  decision_log_->on_peer_ack(msg.decision_ack);
+  if (decision_log_->ingest(msg.decisions)) {
+    // Our replay cursor advanced: ack promptly instead of waiting out the
+    // heartbeat period — the primary's output-commit gate holds client
+    // responses until this ack lands. No storm: the ack beat carries no new
+    // records, so the peer's ingest cannot advance and echo back.
+    send_decision_heartbeat();
+  }
+}
+
+void StTcpEndpoint::sync_decision_log() {
+  if (decision_log_ == nullptr) return;
+  switch (mode_) {
+    case Mode::kReplicating:
+      decision_log_->set_standalone(false, /*retain=*/true);
+      break;
+    case Mode::kReintegrating:
+      // Commit without the rejoiner (clients must not stall behind a
+      // snapshot transfer) but retain every record: the rejoiner's restored
+      // cursor skips the ones its checkpoint already folds in and replays
+      // the rest.
+      decision_log_->set_standalone(true, /*retain=*/true);
+      break;
+    case Mode::kTakenOver:
+    case Mode::kNonFaultTolerant:
+      decision_log_->set_standalone(true, /*retain=*/false);
+      break;
+    case Mode::kRejoining:
+    case Mode::kDead:
+      break;
+  }
+}
+
 void StTcpEndpoint::on_hb_datagram(net::BytesView payload, bool via_serial) {
   if (!host_.alive() || mode_ == Mode::kDead) return;
   auto msg = HeartbeatMsg::parse(payload);
@@ -402,8 +477,12 @@ void StTcpEndpoint::on_heartbeat(const HeartbeatMsg& msg, bool via_serial) {
 
   // A rejoiner that has not yet applied the snapshot cannot interpret
   // records (it has no connections, and an announce would cold-start a
-  // from-scratch replica for a mid-stream connection).
+  // from-scratch replica for a mid-stream connection) nor decisions (the
+  // checkpoint it is waiting for jumps the replay cursor past them).
   if (mode_ == Mode::kRejoining && !reintegrator_->snapshot_applied()) return;
+
+  process_decisions(msg);
+  sync_decision_log();
 
   for (const HbRecord& rec : msg.records) {
     // A record may have triggered a failover action.
@@ -1214,6 +1293,10 @@ void StTcpEndpoint::takeover(const std::string& reason) {
   // Power the primary down BEFORE assuming the connection — no dual-active.
   stonith_peer();
   stack_.set_replica_mode(false);
+  // Promote the decision log BEFORE unsuppressing: the app's promote hook
+  // drains the replayed backlog, and any response it releases must see the
+  // log already in standalone-record mode.
+  if (decision_log_ != nullptr) decision_log_->promote();
   for (auto& [id, rc] : conns_) {
     if (rc->conn != nullptr) {
       rc->conn->on_takeover(cfg_.immediate_retransmit_on_takeover);
@@ -1269,6 +1352,7 @@ void StTcpEndpoint::logger_recovery_tick() {
 
 void StTcpEndpoint::go_non_ft(const std::string& reason) {
   mode_ = Mode::kNonFaultTolerant;
+  sync_decision_log();
   for (auto& [id, rc] : conns_) {
     rc->hold.clear();
     if (rc->conn != nullptr) {

@@ -70,6 +70,7 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
     std::uint64_t missed_bytes_injected = 0;
     std::uint64_t logger_requests_sent = 0;
     std::uint64_t logger_bytes_injected = 0;
+    std::uint64_t decision_hb_sent = 0;  // event-style decision/ack beats
     std::uint64_t fin_delayed = 0;
     std::uint64_t fin_agreed = 0;
     std::uint64_t takeovers = 0;
@@ -139,6 +140,20 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
   void set_checkpoint_restorer(CheckpointRestorer fn) {
     checkpoint_restorer_ = std::move(fn);
   }
+
+  // --- logged-decision channel (decision.h, docs/APPLICATION.md) -------------
+  /// Attach the application's decision log. The endpoint piggybacks its
+  /// unacked records and cumulative ack on every heartbeat (the 0x40 header
+  /// block), acks promptly when ingest advances, promotes the log at
+  /// takeover, and flips it standalone whenever the pair loses its peer.
+  /// Pair-scoped: group (1+N) endpoints ignore the log.
+  void set_decision_log(DecisionLog* log);
+  DecisionLog* decision_log() const { return decision_log_; }
+  /// Event-style decision-only heartbeat (IP channel, no connection
+  /// records): the application flushed a batch of choices, or our replay
+  /// cursor advanced and the primary is waiting on the ack to release
+  /// gated responses.
+  void send_decision_heartbeat();
 
   // --- tcp::TcpStack::ConnectionObserver -------------------------------------
   void on_accepted(tcp::TcpConnection& conn) override;
@@ -380,6 +395,14 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
   /// used at start() and again when this node reboots into a rejoin.
   void install_replica_seams();
 
+  /// Map the current mode onto the decision log's commit discipline:
+  /// replicating = peer-acked commit; reintegrating = standalone commit but
+  /// retain for the rejoiner; taken-over / non-FT = standalone, drop.
+  /// Called after every mode transition site (takeover, go_non_ft, the
+  /// reintegrator's handshakes) — idempotent.
+  void sync_decision_log();
+  void process_decisions(const HeartbeatMsg& msg);
+
   net::Host& host_;
   tcp::TcpStack& stack_;
   net::PowerController& power_;
@@ -476,6 +499,7 @@ class StTcpEndpoint final : public tcp::TcpStack::ConnectionObserver {
   std::unique_ptr<Reintegrator> reintegrator_;
   CheckpointProvider checkpoint_provider_;
   CheckpointRestorer checkpoint_restorer_;
+  DecisionLog* decision_log_ = nullptr;
 
   Stats stats_;
 };

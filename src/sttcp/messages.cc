@@ -21,6 +21,7 @@ constexpr std::uint8_t kHdrAppSuspect = 0x04;
 constexpr std::uint8_t kHdrRejoinRequest = 0x08;
 constexpr std::uint8_t kHdrRejoinReady = 0x10;
 constexpr std::uint8_t kHdrGroup = 0x20;
+constexpr std::uint8_t kHdrDecisions = 0x40;
 }  // namespace
 
 const char* to_string(Role r) {
@@ -46,6 +47,7 @@ net::Bytes HeartbeatMsg::serialize() const {
   if (rejoin_request) hf |= kHdrRejoinRequest;
   if (rejoin_ready) hf |= kHdrRejoinReady;
   if (group_valid) hf |= kHdrGroup;
+  if (decisions_valid) hf |= kHdrDecisions;
   w.u8(hf);
   // The epoch rides only on rejoin-flagged heartbeats, so the steady-state
   // record math ("<20 bytes per connection") is untouched.
@@ -57,6 +59,17 @@ net::Bytes HeartbeatMsg::serialize() const {
     w.u32(view_epoch);
     w.u8(static_cast<std::uint8_t>(view_order.size()));
     for (const std::uint8_t m : view_order) w.u8(m);
+  }
+  // Decision block: cumulative ack + the sender's unacked records. Gated on
+  // the flag like the group block, so decision-free pairs pay zero bytes.
+  if (decisions_valid) {
+    w.u64(decision_ack);
+    w.u16(static_cast<std::uint16_t>(decisions.size()));
+    for (const DecisionRecord& d : decisions) {
+      w.u64(d.seq);
+      w.u8(d.kind);
+      w.u64(d.value);
+    }
   }
   w.u16(static_cast<std::uint16_t>(records.size()));
   for (const HbRecord& r : records) {
@@ -113,6 +126,7 @@ std::optional<HeartbeatMsg> HeartbeatMsg::parse(net::BytesView data) {
     m.rejoin_request = (hf & kHdrRejoinRequest) != 0;
     m.rejoin_ready = (hf & kHdrRejoinReady) != 0;
     m.group_valid = (hf & kHdrGroup) != 0;
+    m.decisions_valid = (hf & kHdrDecisions) != 0;
     if (m.rejoin_request || m.rejoin_ready) m.rejoin_epoch = r.u32();
     if (m.group_valid) {
       m.member = r.u8();
@@ -121,6 +135,22 @@ std::optional<HeartbeatMsg> HeartbeatMsg::parse(net::BytesView data) {
       if (n > r.remaining()) return std::nullopt;
       m.view_order.reserve(n);
       for (std::uint8_t i = 0; i < n; ++i) m.view_order.push_back(r.u8());
+    }
+    if (m.decisions_valid) {
+      m.decision_ack = r.u64();
+      const std::uint16_t dn = r.u16();
+      if (static_cast<std::size_t>(dn) * DecisionRecord::kWireSize >
+          r.remaining()) {
+        return std::nullopt;
+      }
+      m.decisions.reserve(dn);
+      for (std::uint16_t i = 0; i < dn; ++i) {
+        DecisionRecord d;
+        d.seq = r.u64();
+        d.kind = r.u8();
+        d.value = r.u64();
+        m.decisions.push_back(d);
+      }
     }
     const std::uint16_t count = r.u16();
     // Reject an impossible record count before reserving for it: each record

@@ -23,6 +23,7 @@
 
 #include "net/addr.h"
 #include "net/bytes.h"
+#include "sttcp/decision.h"
 
 namespace sttcp::sttcp {
 
@@ -89,6 +90,14 @@ struct HeartbeatMsg {
   std::uint8_t member = 0;
   std::uint32_t view_epoch = 0;
   std::vector<std::uint8_t> view_order;
+
+  /// Logged-decision block (docs/APPLICATION.md): the sender's cumulative
+  /// ack of the peer's decision stream plus its own unacked records. Gated
+  /// on a header flag like the group block — endpoints without a decision
+  /// log keep the paper-sized wire format byte-identical.
+  bool decisions_valid = false;
+  std::uint64_t decision_ack = 0;
+  std::vector<DecisionRecord> decisions;
 
   std::vector<HbRecord> records;
 

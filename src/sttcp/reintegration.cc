@@ -263,6 +263,7 @@ void Reintegrator::on_commit(net::ByteReader& r) {
     return;
   }
   ep_.mode_ = StTcpEndpoint::Mode::kReplicating;
+  ep_.sync_decision_log();
   ++ep_.stats_.rejoins;
   ep_.last_rx_ip_ = ep_.world_.now();
   ep_.last_rx_serial_ = ep_.world_.now();
@@ -390,6 +391,10 @@ void Reintegrator::begin_reintegration() {
 
 void Reintegrator::capture_and_send_snapshot() {
   ++attempts_;
+  // Retention must be on BEFORE the checkpoint is cut: every decision made
+  // after the serialize point must reach the rejoiner via heartbeats (its
+  // restored cursor starts exactly there).
+  ep_.sync_decision_log();
   const net::Bytes app =
       ep_.checkpoint_provider_ ? ep_.checkpoint_provider_() : net::Bytes{};
 
@@ -547,6 +552,7 @@ void Reintegrator::abandon() {
   ep_.log_.warn("reintegration abandoned after ", attempts_,
                 " snapshot attempts; continuing unprotected");
   ep_.mode_ = StTcpEndpoint::Mode::kTakenOver;
+  ep_.sync_decision_log();
   ep_.hb_timer_.stop();
   for (auto& [id, rc] : ep_.conns_) rc->hold.clear();
   ep_.recompute_hold_total();
@@ -559,6 +565,7 @@ void Reintegrator::on_rejoin_ready(std::uint32_t epoch, int member) {
   if (ep_.mode_ == Mode::kReintegrating && epoch == epoch_) {
     retry_timer_.cancel();
     ep_.mode_ = Mode::kReplicating;
+    ep_.sync_decision_log();
     committed_epoch_ = epoch;
     have_committed_ = true;
     ++ep_.stats_.reintegrations;

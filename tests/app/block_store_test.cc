@@ -1,0 +1,226 @@
+// BlockDevice + LruBlockCache unit tests, ending in the determinism proof
+// the ISSUE demands: two caches — one drawing sampled-LRU eviction victims
+// and recording them into a DecisionLog, one replaying that log — stay
+// digest-identical through an arbitrary operation stream.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "app/block_store.h"
+#include "sim/random.h"
+#include "sttcp/decision.h"
+
+namespace sttcp::app {
+namespace {
+
+net::Bytes fill(std::size_t n, std::uint8_t seed) {
+  net::Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>(seed + i);
+  }
+  return b;
+}
+
+TEST(BlockDeviceTest, WriteReadDeallocate) {
+  BlockDevice dev(8, 32);
+  EXPECT_FALSE(dev.allocated(3));
+  const std::uint64_t empty = dev.digest();
+
+  dev.write(3, fill(10, 0x40));  // short write zero-pads
+  EXPECT_TRUE(dev.allocated(3));
+  const net::BytesView back = dev.read(3);
+  ASSERT_EQ(back.size(), 32u);
+  EXPECT_EQ(back[0], 0x40);
+  EXPECT_EQ(back[9], 0x49);
+  EXPECT_EQ(back[10], 0x00);
+  EXPECT_NE(dev.digest(), empty);
+
+  dev.deallocate(3);
+  EXPECT_FALSE(dev.allocated(3));
+  EXPECT_EQ(dev.read(3)[0], 0x00);  // deleted blocks read back fresh
+  EXPECT_EQ(dev.digest(), empty);
+}
+
+TEST(BlockDeviceTest, SerializeRestoreRoundtrip) {
+  BlockDevice dev(8, 32);
+  dev.write(1, fill(32, 0x01));
+  dev.write(7, fill(32, 0x07));
+  dev.deallocate(1);
+  net::Bytes blob;
+  net::ByteWriter w(blob);
+  dev.serialize(w);
+
+  BlockDevice other(8, 32);
+  net::ByteReader r(blob);
+  ASSERT_TRUE(other.restore(r));
+  EXPECT_EQ(other.digest(), dev.digest());
+  EXPECT_TRUE(other.allocated(7));
+  EXPECT_FALSE(other.allocated(1));
+}
+
+TEST(LruBlockCacheTest, LruOrderAndVictimCandidates) {
+  LruBlockCache cache(4, 32);
+  for (std::uint32_t b = 0; b < 4; ++b) cache.insert_clean(b, fill(32, b));
+  EXPECT_TRUE(cache.full());
+
+  // Touch 0 and 1: LRU-most are now 2, then 3.
+  cache.get(0);
+  cache.get(1);
+  const auto victims = cache.victim_candidates(2);
+  ASSERT_EQ(victims.size(), 2u);
+  EXPECT_EQ(victims[0], 2u);
+  EXPECT_EQ(victims[1], 3u);
+  // Asking for more than resident clamps.
+  EXPECT_EQ(cache.victim_candidates(10).size(), 4u);
+}
+
+TEST(LruBlockCacheTest, DirtyTrackingAndWriteback) {
+  BlockDevice dev(8, 32);
+  LruBlockCache cache(4, 32);
+  cache.put(5, fill(32, 0x55));  // dirty insert
+  cache.put(2, fill(32, 0x22));
+  cache.insert_clean(1, fill(32, 0x11));
+  EXPECT_EQ(cache.dirty_count(), 2u);
+
+  // Writeback order is dirty-age order, not LRU order.
+  const auto batch = cache.oldest_dirty(8);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0], 5u);
+  EXPECT_EQ(batch[1], 2u);
+
+  cache.flush(5, dev);
+  EXPECT_EQ(cache.dirty_count(), 1u);
+  EXPECT_TRUE(cache.contains(5));  // flush keeps the page resident
+  EXPECT_EQ(dev.read(5)[0], 0x55);
+  // Re-flushing a clean page is a no-op.
+  cache.flush(5, dev);
+  EXPECT_EQ(cache.dirty_count(), 1u);
+
+  EXPECT_EQ(cache.flush_all(dev), 1u);
+  EXPECT_EQ(cache.dirty_count(), 0u);
+  EXPECT_EQ(dev.read(2)[0], 0x22);
+}
+
+TEST(LruBlockCacheTest, EvictWritesBackDirtyVictim) {
+  BlockDevice dev(8, 32);
+  LruBlockCache cache(2, 32);
+  cache.put(0, fill(32, 0xA0));
+  cache.insert_clean(1, fill(32, 0xB0));
+
+  cache.evict(0, dev);  // dirty: must land on the device
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_EQ(dev.read(0)[0], 0xA0);
+
+  cache.evict(1, dev);  // clean: dropped, device untouched
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_FALSE(dev.allocated(1));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruBlockCacheTest, DropAllCleanKeepsDirtyPages) {
+  LruBlockCache cache(4, 32);
+  cache.put(0, fill(32, 1));
+  cache.insert_clean(1, fill(32, 2));
+  cache.insert_clean(2, fill(32, 3));
+  cache.drop_all_clean();
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_EQ(cache.dirty_count(), 1u);
+}
+
+TEST(LruBlockCacheTest, SerializeRestorePreservesLruAndDirtyOrder) {
+  LruBlockCache cache(4, 32);
+  cache.put(3, fill(32, 3));
+  cache.insert_clean(1, fill(32, 1));
+  cache.put(2, fill(32, 2));
+  cache.get(3);  // reorder LRU so order != key order
+
+  net::Bytes blob;
+  net::ByteWriter w(blob);
+  cache.serialize(w);
+  LruBlockCache other(4, 32);
+  net::ByteReader r(blob);
+  ASSERT_TRUE(other.restore(r));
+
+  EXPECT_EQ(other.digest(), cache.digest());
+  EXPECT_EQ(other.victim_candidates(4), cache.victim_candidates(4));
+  EXPECT_EQ(other.oldest_dirty(4), cache.oldest_dirty(4));
+}
+
+// The determinism proof: a recording cache and a replaying cache fed the
+// same operation stream stay identical, even though eviction is sampled-LRU
+// random — because the victim travels through the DecisionLog.
+TEST(LruBlockCacheTest, TwinCachesEvictIdenticallyFromSharedDecisionLog) {
+  constexpr std::size_t kCapacity = 8;
+  constexpr std::size_t kCandidates = 4;
+  constexpr std::uint32_t kBlocks = 64;
+  constexpr std::uint32_t kBlockSize = 64;
+
+  BlockDevice p_dev(kBlocks, kBlockSize), b_dev(kBlocks, kBlockSize);
+  LruBlockCache p_cache(kCapacity, kBlockSize), b_cache(kCapacity, kBlockSize);
+  sttcp::DecisionLog p_log(sttcp::DecisionLog::Mode::kRecord);
+  sttcp::DecisionLog b_log(sttcp::DecisionLog::Mode::kReplay);
+  sim::Rng ops(42);      // shared op stream (the replicated input)
+  sim::Rng victims(99);  // primary-only (the nondeterminism)
+
+  const auto ensure_slot = [&](BlockDevice& dev, LruBlockCache& cache,
+                               bool record) {
+    if (!cache.full()) return;
+    std::uint64_t victim = 0;
+    if (record) {
+      victim = p_log.choose(sttcp::DecisionKind::kEvict, [&] {
+        const auto cands = p_cache.victim_candidates(kCandidates);
+        return static_cast<std::uint64_t>(cands[victims.below(cands.size())]);
+      });
+    } else {
+      ASSERT_TRUE(b_log.try_take(sttcp::DecisionKind::kEvict, &victim));
+    }
+    cache.evict(static_cast<std::uint32_t>(victim), dev);
+  };
+
+  const auto apply = [&](bool record, int op, std::uint32_t block,
+                         const net::Bytes& data) {
+    BlockDevice& dev = record ? p_dev : b_dev;
+    LruBlockCache& cache = record ? p_cache : b_cache;
+    switch (op) {
+      case 0:  // GET-shaped: read through, faulting in on miss
+        if (cache.get(block) == nullptr && dev.allocated(block)) {
+          ensure_slot(dev, cache, record);
+          cache.insert_clean(block, dev.read(block));
+        }
+        break;
+      case 1:  // PUT-shaped
+        if (!cache.contains(block)) ensure_slot(dev, cache, record);
+        cache.put(block, data);
+        dev.allocate(block);
+        break;
+      default:  // DELETE-shaped
+        cache.drop(block);
+        dev.deallocate(block);
+        break;
+    }
+  };
+
+  for (int step = 0; step < 500; ++step) {
+    const std::uint32_t block = static_cast<std::uint32_t>(ops.below(kBlocks));
+    const int op = static_cast<int>(ops.below(3));
+    const net::Bytes data = fill(kBlockSize, static_cast<std::uint8_t>(step));
+
+    apply(/*record=*/true, op, block, data);
+    // Ship this step's decisions primary -> backup, as a heartbeat would,
+    // then run the replay twin off the log.
+    b_log.ingest(p_log.unacked(64));
+    p_log.on_peer_ack(b_log.rx_cursor());
+    apply(/*record=*/false, op, block, data);
+  }
+
+  EXPECT_GT(p_log.stats().appended, 0u);  // evictions actually happened
+  EXPECT_EQ(b_log.pending_replay(), 0u);  // every one was consumed
+  EXPECT_EQ(p_cache.digest(), b_cache.digest());
+  EXPECT_EQ(p_dev.digest(), b_dev.digest());
+  EXPECT_EQ(p_cache.victim_candidates(kCapacity),
+            b_cache.victim_candidates(kCapacity));
+}
+
+}  // namespace
+}  // namespace sttcp::app
